@@ -1,0 +1,132 @@
+//! E10: the QIDL compiler (aspect weaver) itself.
+//!
+//! Front-end (lex+parse+check) and code-generation throughput vs
+//! interface size, generated-code size vs input size, and repository
+//! lookup costs on the reflective path.
+//!
+//! Expected shape: compilation linear in source size; woven lookup is a
+//! hash probe plus a small scan — cheap enough to sit on the dispatch
+//! path of every request.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use maqs_bench::{banner, row};
+use std::fmt::Write;
+
+/// A synthetic spec with `interfaces` interfaces of `ops` operations,
+/// all assigned two QoS characteristics.
+fn synthetic_spec(interfaces: usize, ops: usize) -> String {
+    let mut src = String::from(
+        "qos Rep category fault_tolerance { param unsigned long replicas = 3; \
+         management { void start(); }; };\n\
+         qos Act category timeliness { management { void refresh(); }; };\n",
+    );
+    for i in 0..interfaces {
+        let _ = writeln!(src, "interface Iface{i} with qos Rep, Act {{");
+        for o in 0..ops {
+            let _ = writeln!(
+                src,
+                "    long long op{o}(in string key, in long long value, in sequence<octet> blob);"
+            );
+        }
+        let _ = writeln!(src, "}};");
+    }
+    src
+}
+
+fn summary() {
+    banner("E10", "QIDL compiler throughput (front-end + codegen)");
+    row(
+        "spec size",
+        &["source B".into(), "compile µs".into(), "codegen µs".into(), "generated B".into()],
+    );
+    for (interfaces, ops) in [(1usize, 5usize), (5, 10), (20, 20)] {
+        let src = synthetic_spec(interfaces, ops);
+        let n = 50u32;
+        let start = std::time::Instant::now();
+        let mut spec = None;
+        for _ in 0..n {
+            spec = Some(qidl::compile(&src).unwrap());
+        }
+        let compile_us = start.elapsed().as_secs_f64() * 1e6 / n as f64;
+        let spec = spec.unwrap();
+        let start = std::time::Instant::now();
+        let mut generated = String::new();
+        for _ in 0..n {
+            generated = qidl::codegen::generate(&spec);
+        }
+        let codegen_us = start.elapsed().as_secs_f64() * 1e6 / n as f64;
+        row(
+            &format!("{interfaces} ifaces x {ops} ops"),
+            &[
+                format!("{:8}", src.len()),
+                format!("{compile_us:9.1}"),
+                format!("{codegen_us:9.1}"),
+                format!("{:8}", generated.len()),
+            ],
+        );
+    }
+
+    banner("E10b", "interface repository lookups (the reflective dispatch path)");
+    let mut repo = qosmech::specs::standard_repository();
+    let spec = qidl::parser::parse(
+        &qidl::lexer::lex(&synthetic_spec(10, 10).replace("Rep", "Replication").replace(
+            "qos Replication category fault_tolerance { param unsigned long replicas = 3; management { void start(); }; };\n",
+            "",
+        ))
+        .unwrap(),
+    );
+    // Simpler: load a fresh synthetic spec against the standard repo.
+    let src = "interface Probe with qos Replication, Actuality { long long op0(in string k); };";
+    repo.load(&qidl::parser::parse(&qidl::lexer::lex(src).unwrap()).unwrap()).unwrap();
+    drop(spec);
+    let n = 1_000_000u32;
+    let start = std::time::Instant::now();
+    for _ in 0..n {
+        let _ = repo.lookup_woven("Probe", "op0");
+    }
+    row("application op lookup", &[format!("{:7.1} ns", start.elapsed().as_secs_f64() * 1e9 / n as f64)]);
+    let start = std::time::Instant::now();
+    for _ in 0..n {
+        let _ = repo.lookup_woven("Probe", "export_state");
+    }
+    row("qos op lookup", &[format!("{:7.1} ns", start.elapsed().as_secs_f64() * 1e9 / n as f64)]);
+    let start = std::time::Instant::now();
+    for _ in 0..n {
+        let _ = repo.lookup_woven("Probe", "missing_op");
+    }
+    row("miss lookup", &[format!("{:7.1} ns", start.elapsed().as_secs_f64() * 1e9 / n as f64)]);
+}
+
+fn bench(c: &mut Criterion) {
+    summary();
+
+    let mut group = c.benchmark_group("e10_qidl");
+    for (interfaces, ops) in [(1usize, 5usize), (20, 20)] {
+        let src = synthetic_spec(interfaces, ops);
+        group.throughput(Throughput::Bytes(src.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("compile", format!("{interfaces}x{ops}")),
+            &src,
+            |b, src| b.iter(|| qidl::compile(src).unwrap()),
+        );
+        let spec = qidl::compile(&src).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("codegen", format!("{interfaces}x{ops}")),
+            &spec,
+            |b, spec| b.iter(|| qidl::codegen::generate(spec)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pretty_print", format!("{interfaces}x{ops}")),
+            &spec,
+            |b, spec| b.iter(|| qidl::pretty::pretty(spec)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! E5: performance through load balancing.
+//!
+//! Routing distribution and completion time for the three strategies
+//! over heterogeneous servers (one deliberately slow).
+//!
+//! Expected shape: round-robin ≈ random ≈ uniform shares; least-loaded
+//! steers traffic away from the slow server and finishes the batch
+//! fastest when service times are skewed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maqs_bench::{banner, row};
+use netsim::Network;
+use orb::{Any, Orb, OrbError, Servant};
+use qosmech::loadbalance::{deploy_servers, distribution, LoadBalancingMediator, Strategy};
+use std::sync::Arc;
+use weaver::ClientStub;
+
+struct Worker {
+    delay_us: u64,
+}
+impl Servant for Worker {
+    fn interface_id(&self) -> &str {
+        "IDL:Worker:1.0"
+    }
+    fn dispatch(&self, op: &str, _args: &[Any]) -> Result<Any, OrbError> {
+        match op {
+            "work" => {
+                if self.delay_us > 0 {
+                    // Busy-wait: sleep() granularity is too coarse at µs scale.
+                    let start = std::time::Instant::now();
+                    while start.elapsed().as_micros() < self.delay_us as u128 {}
+                }
+                Ok(Any::Void)
+            }
+            _ => Err(OrbError::BadOperation(op.to_string())),
+        }
+    }
+}
+
+fn run(strategy: Strategy, delays_us: &[u64], calls: usize) -> (Vec<u64>, f64) {
+    let net = Network::new(50);
+    let delays = delays_us.to_vec();
+    let (orbs, iors) =
+        deploy_servers(&net, delays.len(), "w", |i| Box::new(Worker { delay_us: delays[i] }));
+    let client = Orb::start(&net, "client");
+    let mediator = Arc::new(LoadBalancingMediator::new(iors.clone(), strategy, 42));
+    let stub = ClientStub::new(client.clone(), iors[0].clone());
+    stub.set_mediator(mediator.clone());
+    let start = std::time::Instant::now();
+    for _ in 0..calls {
+        stub.invoke("work", &[]).unwrap();
+    }
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    let routed = mediator.routed();
+    for o in orbs {
+        o.shutdown();
+    }
+    client.shutdown();
+    (routed, elapsed_ms)
+}
+
+fn summary() {
+    banner("E5", "load balancing: 4 servers, server 3 is 50x slower (120 calls)");
+    let delays = [20u64, 20, 20, 1000];
+    row(
+        "strategy",
+        &["s0%".into(), "s1%".into(), "s2%".into(), "s3%(slow)".into(), "batch ms".into()],
+    );
+    for (strategy, label) in [
+        (Strategy::RoundRobin, "round-robin"),
+        (Strategy::Random, "random"),
+        (Strategy::LeastLoaded, "least-loaded"),
+    ] {
+        let (routed, ms) = run(strategy, &delays, 120);
+        let dist = distribution(&routed);
+        let mut cols: Vec<String> =
+            (0..4).map(|i| format!("{:5.1}", dist[&i] * 100.0)).collect();
+        cols.push(format!("{ms:8.1}"));
+        row(label, &cols);
+    }
+
+    banner("E5b", "uniform servers: all strategies spread evenly");
+    for (strategy, label) in [
+        (Strategy::RoundRobin, "round-robin"),
+        (Strategy::Random, "random"),
+        (Strategy::LeastLoaded, "least-loaded"),
+    ] {
+        let (routed, _) = run(strategy, &[20, 20, 20, 20], 120);
+        let dist = distribution(&routed);
+        let cols: Vec<String> = (0..4).map(|i| format!("{:5.1}", dist[&i] * 100.0)).collect();
+        row(label, &cols);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    summary();
+
+    let mut group = c.benchmark_group("e5_loadbalance");
+    let delays = [20u64, 20, 20, 1000];
+    for (strategy, name) in [
+        (Strategy::RoundRobin, "round_robin"),
+        (Strategy::Random, "random"),
+        (Strategy::LeastLoaded, "least_loaded"),
+    ] {
+        let net = Network::new(51);
+        let d = delays;
+        let (orbs, iors) =
+            deploy_servers(&net, d.len(), "w", move |i| Box::new(Worker { delay_us: d[i] }));
+        let client = Orb::start(&net, "client");
+        let mediator = Arc::new(LoadBalancingMediator::new(iors.clone(), strategy, 42));
+        let stub = ClientStub::new(client.clone(), iors[0].clone());
+        stub.set_mediator(mediator);
+        group.bench_with_input(BenchmarkId::new("skewed_call", name), &stub, |b, stub| {
+            b.iter(|| stub.invoke("work", &[]).unwrap())
+        });
+        for o in orbs {
+            o.shutdown();
+        }
+        client.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

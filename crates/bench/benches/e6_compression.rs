@@ -1,0 +1,131 @@
+//! E6: compression on small-bandwidth channels.
+//!
+//! Virtual (modelled) transfer time for a fixed workload, compressed vs
+//! plain, across a bandwidth sweep and payload compressibilities, plus
+//! raw codec throughput.
+//!
+//! Expected shape: compression wins by ~1/ratio on narrow links and the
+//! advantage shrinks as bandwidth grows (the codec's CPU cost is real
+//! time, the wire time is virtual, so the crossover appears as the wire
+//! saving approaching zero); incompressible payloads never win.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use maqs_bench::{banner, payload, row, Echo};
+use netsim::{LinkModel, Network};
+use orb::giop::QosContext;
+use orb::transport::BindingKey;
+use orb::{Any, Orb};
+use qosmech::compress::{codec, CompressionModule, COMPRESSION_MODULE};
+use std::sync::Arc;
+
+/// Virtual time to push `frames` payloads over a link of `kbps`,
+/// optionally through the compression module.
+fn virtual_push_ms(kbps: u64, compressed: bool, redundancy: f64) -> f64 {
+    let net = Network::new(60);
+    let server = Orb::start(&net, "server");
+    let client = Orb::start(&net, "client");
+    net.set_link(client.node(), server.node(), LinkModel::narrowband(kbps));
+    let ior = server.activate_with_tags("echo", Box::new(Echo), &["Compression"]);
+    if compressed {
+        client.qos_transport().install(Arc::new(CompressionModule::new()));
+        server.qos_transport().install(Arc::new(CompressionModule::new()));
+        client
+            .qos_transport()
+            .bind(BindingKey { peer: None, key: ior.key.clone() }, COMPRESSION_MODULE)
+            .unwrap();
+    }
+    let qos = compressed.then(|| QosContext::new("Compression"));
+    let start = client.net_handle().now();
+    for frame in 0..4u64 {
+        let data = Any::Bytes(payload(8192, redundancy, frame));
+        client.invoke_qos(&ior, "echo", &[data], qos.clone()).unwrap();
+    }
+    let elapsed = client.net_handle().now() - start;
+    server.shutdown();
+    client.shutdown();
+    elapsed.as_millis_f64()
+}
+
+fn summary() {
+    banner("E6", "4x8 KiB request/reply over a narrowband link (virtual time, redundancy 0.9)");
+    row(
+        "bandwidth",
+        &["plain ms".into(), "compressed ms".into(), "speedup".into()],
+    );
+    for kbps in [8u64, 64, 512, 10_000] {
+        let plain = virtual_push_ms(kbps, false, 0.9);
+        let comp = virtual_push_ms(kbps, true, 0.9);
+        row(
+            &format!("{kbps} kbit/s"),
+            &[
+                format!("{plain:10.1}"),
+                format!("{comp:10.1}"),
+                format!("{:6.2}x", plain / comp.max(1e-9)),
+            ],
+        );
+    }
+
+    banner("E6b", "compressibility sweep at 64 kbit/s");
+    row("redundancy", &["ratio".into(), "plain ms".into(), "compressed ms".into()]);
+    for redundancy in [0.05, 0.5, 0.95] {
+        let data = payload(8192, redundancy, 1);
+        let ratio = codec::compress(&data).len() as f64 / data.len() as f64;
+        let plain = virtual_push_ms(64, false, redundancy);
+        let comp = virtual_push_ms(64, true, redundancy);
+        row(
+            &format!("{redundancy:.2}"),
+            &[format!("{ratio:5.2}"), format!("{plain:10.1}"), format!("{comp:10.1}")],
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    summary();
+
+    let mut group = c.benchmark_group("e6_codec_throughput");
+    for (redundancy, name) in [(0.95, "redundant"), (0.05, "noisy")] {
+        let data = payload(64 * 1024, redundancy, 9);
+        group.throughput(Throughput::Bytes(data.len() as u64));
+        group.bench_with_input(BenchmarkId::new("compress", name), &data, |b, data| {
+            b.iter(|| codec::compress(data))
+        });
+        let compressed = codec::compress(&data);
+        group.bench_with_input(BenchmarkId::new("decompress", name), &compressed, |b, c| {
+            b.iter(|| codec::decompress(c).unwrap())
+        });
+    }
+    group.finish();
+
+    // End-to-end call cost with/without the module (wall time; wire is
+    // instant in the simulator, so this isolates the CPU overhead).
+    let net = Network::new(61);
+    let server = Orb::start(&net, "server");
+    let client = Orb::start(&net, "client");
+    let ior = server.activate_with_tags("echo", Box::new(Echo), &["Compression"]);
+    client.qos_transport().install(Arc::new(CompressionModule::new()));
+    server.qos_transport().install(Arc::new(CompressionModule::new()));
+    let arg = [Any::Bytes(payload(8192, 0.9, 3))];
+    let mut group = c.benchmark_group("e6_call_cpu_cost");
+    group.bench_function("plain", |b| b.iter(|| client.invoke(&ior, "echo", &arg).unwrap()));
+    client
+        .qos_transport()
+        .bind(BindingKey { peer: None, key: ior.key.clone() }, COMPRESSION_MODULE)
+        .unwrap();
+    group.bench_function("compressed", |b| {
+        b.iter(|| {
+            client
+                .invoke_qos(&ior, "echo", &arg, Some(QosContext::new("Compression")))
+                .unwrap()
+        })
+    });
+    group.finish();
+    server.shutdown();
+    client.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

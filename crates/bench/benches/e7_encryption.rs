@@ -1,0 +1,122 @@
+//! E7: privacy through encryption.
+//!
+//! Round-trip overhead of the encryption module across payload sizes,
+//! raw cipher throughput, and the cost of the key-agreement and rekey
+//! operations (the QoS-to-QoS path).
+//!
+//! Expected shape: overhead linear in payload with a small constant;
+//! rekeying is microseconds, so on-the-fly key changes are viable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use maqs_bench::{banner, payload, row, Echo};
+use netsim::Network;
+use orb::giop::QosContext;
+use orb::transport::BindingKey;
+use orb::{Any, Orb};
+use qosmech::crypt::{keyex, open, seal, EncryptionModule, ENCRYPTION_MODULE};
+use std::sync::Arc;
+
+fn setup(bound: bool) -> (Orb, Orb, orb::Ior) {
+    let net = Network::new(70);
+    let server = Orb::start(&net, "server");
+    let client = Orb::start(&net, "client");
+    let ior = server.activate_with_tags("echo", Box::new(Echo), &["Encryption"]);
+    client.qos_transport().install(Arc::new(EncryptionModule::new(42)));
+    server.qos_transport().install(Arc::new(EncryptionModule::new(42)));
+    if bound {
+        client
+            .qos_transport()
+            .bind(BindingKey { peer: None, key: ior.key.clone() }, ENCRYPTION_MODULE)
+            .unwrap();
+    }
+    (server, client, ior)
+}
+
+fn summary() {
+    banner("E7", "encrypted vs plain round-trip (wall time, 500 calls each)");
+    row("payload", &["plain µs".into(), "encrypted µs".into(), "overhead".into()]);
+    for size in [64usize, 1024, 16384, 262144] {
+        let arg = [Any::Bytes(payload(size, 0.5, 4))];
+        let n = 500u32;
+        let time = |client: &Orb, ior: &orb::Ior, qos: Option<QosContext>| {
+            let start = std::time::Instant::now();
+            for _ in 0..n {
+                client.invoke_qos(ior, "echo", &arg, qos.clone()).unwrap();
+            }
+            start.elapsed().as_secs_f64() * 1e6 / n as f64
+        };
+        let (server_p, client_p, ior_p) = setup(false);
+        let plain = time(&client_p, &ior_p, None);
+        server_p.shutdown();
+        client_p.shutdown();
+        let (server_e, client_e, ior_e) = setup(true);
+        let enc = time(&client_e, &ior_e, Some(QosContext::new("Encryption")));
+        server_e.shutdown();
+        client_e.shutdown();
+        row(
+            &format!("{size} B"),
+            &[
+                format!("{plain:9.1}"),
+                format!("{enc:9.1}"),
+                format!("{:5.1}%", (enc - plain) / plain * 100.0),
+            ],
+        );
+    }
+
+    banner("E7b", "key agreement and rekey");
+    let n = 10_000u32;
+    let start = std::time::Instant::now();
+    let mut acc = 0u64;
+    for i in 1..=n as u64 {
+        acc ^= keyex::shared(i, keyex::public(i + 1));
+    }
+    criterion::black_box(acc);
+    row("DH-style agreement", &[format!("{:8.2} µs/op", start.elapsed().as_secs_f64() * 1e6 / n as f64)]);
+    let module = EncryptionModule::new(1);
+    let start = std::time::Instant::now();
+    for i in 0..n as u64 {
+        module.rekey(i);
+    }
+    criterion::black_box(module.frames());
+    row("module rekey", &[format!("{:8.2} µs/op", start.elapsed().as_secs_f64() * 1e6 / n as f64)]);
+}
+
+fn bench(c: &mut Criterion) {
+    summary();
+
+    // Raw cipher throughput.
+    let mut group = c.benchmark_group("e7_cipher_throughput");
+    for size in [1024usize, 65536] {
+        let data = payload(size, 0.5, 5);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("seal", size), &data, |b, data| {
+            b.iter(|| seal(42, 7, data))
+        });
+        let frame = seal(42, 7, &data);
+        group.bench_with_input(BenchmarkId::new("open", size), &frame, |b, frame| {
+            b.iter(|| open(42, frame).unwrap())
+        });
+    }
+    group.finish();
+
+    // End-to-end encrypted round-trips.
+    let (server, client, ior) = setup(true);
+    let qos = QosContext::new("Encryption");
+    let mut group = c.benchmark_group("e7_roundtrip");
+    for size in [64usize, 16384] {
+        let arg = [Any::Bytes(payload(size, 0.5, 6))];
+        group.bench_with_input(BenchmarkId::new("encrypted", size), &arg, |b, arg| {
+            b.iter(|| client.invoke_qos(&ior, "echo", arg, Some(qos.clone())).unwrap())
+        });
+    }
+    group.finish();
+    server.shutdown();
+    client.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,147 @@
+//! E8: actuality (bounded staleness) of data.
+//!
+//! Cache hit ratio and server offload vs the negotiated validity
+//! interval under a fixed read rate, measured staleness bounds, and the
+//! per-call cost of cache hits vs misses.
+//!
+//! Expected shape: hit ratio grows with the validity interval (≈ 1 -
+//! inter-arrival/validity); staleness stays below the validity bound; a
+//! cache hit costs ~100x less than a remote miss.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maqs_bench::{banner, row};
+use netsim::Network;
+use orb::{Any, Orb, OrbError, Servant};
+use qosmech::actuality::ActualityMediator;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use weaver::ClientStub;
+
+struct Source(AtomicU64);
+impl Servant for Source {
+    fn interface_id(&self) -> &str {
+        "IDL:Source:1.0"
+    }
+    fn dispatch(&self, op: &str, _args: &[Any]) -> Result<Any, OrbError> {
+        match op {
+            "read" => Ok(Any::ULongLong(self.0.fetch_add(1, Ordering::Relaxed))),
+            _ => Err(OrbError::BadOperation(op.to_string())),
+        }
+    }
+}
+
+fn run(validity_ms: u64, reads: usize, interarrival_ms: u64) -> (f64, u64) {
+    let net = Network::new(80);
+    let server = Orb::start(&net, "server");
+    let client = Orb::start(&net, "client");
+    let ior = server.activate("src", Box::new(Source(AtomicU64::new(0))));
+    let stub = ClientStub::new(client.clone(), ior);
+    let mediator = Arc::new(ActualityMediator::new(
+        Duration::from_millis(validity_ms),
+        vec!["read".to_string()],
+    ));
+    stub.set_mediator(mediator.clone());
+    for _ in 0..reads {
+        stub.invoke("read", &[]).unwrap();
+        std::thread::sleep(Duration::from_millis(interarrival_ms));
+    }
+    let hit_ratio = mediator.hit_ratio();
+    let server_requests = server.stats().requests_handled;
+    server.shutdown();
+    client.shutdown();
+    (hit_ratio, server_requests)
+}
+
+fn summary() {
+    banner("E8", "hit ratio vs validity interval (40 reads, 5 ms apart)");
+    row("validity", &["hit ratio".into(), "server reqs".into(), "offload".into()]);
+    for validity_ms in [0u64, 5, 20, 100, 1000] {
+        let (hit, served) = run(validity_ms, 40, 5);
+        row(
+            &format!("{validity_ms:4} ms"),
+            &[
+                format!("{hit:8.2}"),
+                format!("{served:8}"),
+                format!("{:6.0}%", hit * 100.0),
+            ],
+        );
+    }
+
+    banner("E8b", "measured staleness stays under the validity bound");
+    // Read a monotonically increasing counter: staleness in "versions"
+    // = how far the cached value lags the true one.
+    let net = Network::new(81);
+    let server = Orb::start(&net, "server");
+    let client = Orb::start(&net, "client");
+    let source = Arc::new(Source(AtomicU64::new(0)));
+    struct Shared(Arc<Source>);
+    impl Servant for Shared {
+        fn interface_id(&self) -> &str {
+            "IDL:Source:1.0"
+        }
+        fn dispatch(&self, op: &str, args: &[Any]) -> Result<Any, OrbError> {
+            self.0.dispatch(op, args)
+        }
+    }
+    let ior = server.activate("src", Box::new(Shared(Arc::clone(&source))));
+    let stub = ClientStub::new(client.clone(), ior);
+    let mediator = Arc::new(ActualityMediator::new(
+        Duration::from_millis(50),
+        vec!["read".to_string()],
+    ));
+    stub.set_mediator(mediator);
+    let mut max_lag = 0i64;
+    for _ in 0..30 {
+        let seen = stub.invoke("read", &[]).unwrap().as_i64().unwrap_or(0);
+        let truth = source.0.load(Ordering::Relaxed) as i64;
+        max_lag = max_lag.max(truth - seen);
+        // Source advances ~1 version per 10 ms (cache validity 50 ms =>
+        // lag bounded by ~5 versions).
+        source.0.fetch_add(1, Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    row("validity 50ms, source +1/10ms", &[format!("max version lag {max_lag} (bound ≈ 6)")]);
+    server.shutdown();
+    client.shutdown();
+}
+
+fn bench(c: &mut Criterion) {
+    summary();
+
+    let net = Network::new(82);
+    let server = Orb::start(&net, "server");
+    let client = Orb::start(&net, "client");
+    let ior = server.activate("src", Box::new(Source(AtomicU64::new(0))));
+
+    let mut group = c.benchmark_group("e8_actuality");
+    // Miss path: validity zero => every read goes to the server.
+    let stub_miss = ClientStub::new(client.clone(), ior.clone());
+    stub_miss.set_mediator(Arc::new(ActualityMediator::new(
+        Duration::ZERO,
+        vec!["read".to_string()],
+    )));
+    group.bench_function("cache_miss_remote", |b| {
+        b.iter(|| stub_miss.invoke("read", &[]).unwrap())
+    });
+    // Hit path: long validity => served locally.
+    let stub_hit = ClientStub::new(client.clone(), ior.clone());
+    stub_hit.set_mediator(Arc::new(ActualityMediator::new(
+        Duration::from_secs(3600),
+        vec!["read".to_string()],
+    )));
+    stub_hit.invoke("read", &[]).unwrap(); // warm
+    group.bench_function("cache_hit_local", |b| {
+        b.iter(|| stub_hit.invoke("read", &[]).unwrap())
+    });
+    group.finish();
+    server.shutdown();
+    client.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

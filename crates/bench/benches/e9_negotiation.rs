@@ -1,0 +1,168 @@
+//! E9: negotiation and preference resolution.
+//!
+//! Agreement latency over the wire, renegotiation cost, contract
+//! hierarchy resolution vs depth/branching, and the adaptation loop
+//! (rejection → re-resolve → retry) under shrinking capacity.
+//!
+//! Expected shape: a negotiation costs ~two round-trips (offer +
+//! negotiate); hierarchy resolution is linear in leaf count; each
+//! rejected alternative adds one round-trip to adaptation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maqs_bench::{banner, row};
+use maqs::prelude::*;
+use qosmech::actuality::FreshnessStampQosImpl;
+use qosmech::loadbalance::LoadReportingQosImpl;
+use qosmech::replication::ReplicationQosImpl;
+use services::contract::synthetic_hierarchy;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+struct Nil;
+impl Servant for Nil {
+    fn interface_id(&self) -> &str {
+        "IDL:Store:1.0"
+    }
+    fn dispatch(&self, op: &str, _a: &[Any]) -> Result<Any, OrbError> {
+        match op {
+            "get" => Ok(Any::Long(0)),
+            _ => Err(OrbError::BadOperation(op.to_string())),
+        }
+    }
+}
+
+const SPEC: &str = r#"
+    interface Store with qos Replication, Actuality, LoadBalancing {
+        long get();
+    };
+"#;
+
+fn setup(capacity: usize) -> (MaqsNode, MaqsNode) {
+    let net = Network::new(90);
+    let server = MaqsNode::builder(&net, "server").spec(SPEC).build().unwrap();
+    let client = MaqsNode::builder(&net, "client").build().unwrap();
+    server
+        .serve_woven_with(
+            "store",
+            Arc::new(Nil),
+            "Store",
+            vec![
+                Arc::new(ReplicationQosImpl::new()),
+                Arc::new(FreshnessStampQosImpl::new()),
+                Arc::new(LoadReportingQosImpl::new()),
+            ],
+            HashMap::from([("Replication".to_string(), capacity)]),
+        )
+        .unwrap();
+    (server, client)
+}
+
+fn summary() {
+    banner("E9", "negotiation protocol latency (wall time, 300 iterations)");
+    let (server, client) = setup(usize::MAX / 2);
+    let node = server.orb().node();
+    let negotiator = client.negotiator();
+    let n = 300u32;
+
+    let start = std::time::Instant::now();
+    for _ in 0..n {
+        negotiator.offers(node, "store").unwrap();
+    }
+    row("offer query", &[format!("{:8.1} µs", start.elapsed().as_secs_f64() * 1e6 / n as f64)]);
+
+    let start = std::time::Instant::now();
+    let mut last = None;
+    for _ in 0..n {
+        let a = negotiator
+            .negotiate_offer(node, "store", &Offer::new("Replication", 1.0))
+            .unwrap();
+        last = Some(a);
+    }
+    row("negotiate", &[format!("{:8.1} µs", start.elapsed().as_secs_f64() * 1e6 / n as f64)]);
+
+    let agreement = last.unwrap();
+    let start = std::time::Instant::now();
+    for i in 0..n {
+        negotiator
+            .renegotiate(node, &agreement, vec![("replicas".to_string(), Any::ULong(i))])
+            .unwrap();
+    }
+    row("renegotiate", &[format!("{:8.1} µs", start.elapsed().as_secs_f64() * 1e6 / n as f64)]);
+    server.shutdown();
+    client.shutdown();
+
+    banner("E9b", "hierarchy resolution scaling (pure computation)");
+    row("depth x branching", &["leaves".into(), "ns/resolve".into()]);
+    for (depth, branching) in [(1usize, 2usize), (2, 2), (4, 2), (2, 4), (3, 4)] {
+        let h = synthetic_hierarchy(depth, branching);
+        let leaves = h.root.leaf_count();
+        let n = 10_000u32;
+        let start = std::time::Instant::now();
+        for _ in 0..n {
+            let _ = h.resolve(&|_| true);
+        }
+        let ns = start.elapsed().as_secs_f64() * 1e9 / n as f64;
+        row(&format!("d={depth} b={branching}"), &[format!("{leaves:6}"), format!("{ns:10.1}")]);
+    }
+
+    banner("E9c", "adaptation: rejections before agreement vs preference rank achieved");
+    // Capacity 0 for the top alternative forces the client down its list.
+    let (server, client) = setup(0);
+    let node = server.orb().node();
+    let prefs = ContractHierarchy::new(
+        "ranked",
+        ContractNode::Any(vec![
+            ContractNode::Leaf(Offer::new("Replication", 10.0)),
+            ContractNode::Leaf(Offer::new("Actuality", 6.0)),
+            ContractNode::Leaf(Offer::new("LoadBalancing", 2.0)),
+        ]),
+    );
+    let (agreements, utility) =
+        client.negotiator().negotiate_preferences(node, "store", &prefs).unwrap();
+    row(
+        "top choice at capacity 0",
+        &[format!(
+            "settled on {} (utility {utility}, 1 alternative skipped)",
+            agreements[0].characteristic
+        )],
+    );
+    server.shutdown();
+    client.shutdown();
+}
+
+fn bench(c: &mut Criterion) {
+    summary();
+
+    let (server, client) = setup(usize::MAX / 2);
+    let node = server.orb().node();
+    let negotiator = client.negotiator();
+
+    let mut group = c.benchmark_group("e9_negotiation");
+    group.bench_function("offer_query", |b| {
+        b.iter(|| negotiator.offers(node, "store").unwrap())
+    });
+    group.bench_function("negotiate_release", |b| {
+        b.iter(|| {
+            let a = negotiator
+                .negotiate_offer(node, "store", &Offer::new("Replication", 1.0))
+                .unwrap();
+            negotiator.release(node, &a).unwrap();
+        })
+    });
+    for depth in [2usize, 4] {
+        let h = synthetic_hierarchy(depth, 2);
+        group.bench_with_input(BenchmarkId::new("resolve_depth", depth), &h, |b, h| {
+            b.iter(|| h.resolve(&|_| true))
+        });
+    }
+    group.finish();
+    server.shutdown();
+    client.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! E1 (Fig. 1): per-layer request cost.
+//!
+//! Measures the same `echo` invocation at each layer of the Fig. 1
+//! stack: direct servant call, adapter dispatch, collocated ORB call,
+//! full remote round-trip, and the remote round-trip with a woven stub
+//! (mediator + prolog/epilog). Payloads sweep 16 B – 64 KiB.
+//!
+//! Expected shape: each layer adds cost; the weaving increment is small
+//! relative to the marshalling + network increment — the paper's
+//! separation of concerns is affordable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maqs_bench::{banner, payload, row, Echo};
+use netsim::Network;
+use orb::adapter::ObjectAdapter;
+use orb::ior::ObjectKey;
+use orb::{Any, Orb, Servant};
+use std::sync::Arc;
+use weaver::{Call, ClientStub, Mediator, Next};
+
+struct PassThrough;
+impl Mediator for PassThrough {
+    fn characteristic(&self) -> &str {
+        "passthrough"
+    }
+    fn around(&self, call: Call, next: Next<'_>) -> Result<Any, orb::OrbError> {
+        next(call)
+    }
+}
+
+fn summary() {
+    banner("E1 / Fig.1", "per-layer request cost (1000 echo calls each, 1 KiB payload)");
+    let arg = Any::Bytes(payload(1024, 0.5, 1));
+    let n = 1000u32;
+
+    let time = |f: &mut dyn FnMut()| {
+        let start = std::time::Instant::now();
+        for _ in 0..n {
+            f();
+        }
+        start.elapsed().as_secs_f64() * 1e6 / n as f64
+    };
+
+    // Layer 0: direct call on the servant.
+    let servant = Echo;
+    let direct = time(&mut || {
+        let _ = servant.dispatch("echo", std::slice::from_ref(&arg));
+    });
+
+    // Layer 1: object-adapter dispatch.
+    let adapter = ObjectAdapter::new();
+    adapter.activate("echo", Arc::new(Echo));
+    let key = ObjectKey("echo".into());
+    let adapter_cost = time(&mut || {
+        let _ = adapter.dispatch(&key, "echo", std::slice::from_ref(&arg));
+    });
+
+    // Layer 2: collocated ORB invocation.
+    let net = Network::new(1);
+    let orb = Orb::start(&net, "solo");
+    let ior = orb.activate("echo", Box::new(Echo));
+    let collocated = time(&mut || {
+        let _ = orb.invoke(&ior, "echo", std::slice::from_ref(&arg));
+    });
+
+    // Layer 3: full remote round-trip (marshalling + simulated wire).
+    let server = Orb::start(&net, "server");
+    let client = Orb::start(&net, "client");
+    let remote_ior = server.activate("echo", Box::new(Echo));
+    let remote = time(&mut || {
+        let _ = client.invoke(&remote_ior, "echo", std::slice::from_ref(&arg));
+    });
+
+    // Layer 4: remote + woven stub (one pass-through mediator).
+    let stub = ClientStub::new(client.clone(), remote_ior.clone());
+    stub.set_mediator(Arc::new(PassThrough));
+    let woven = time(&mut || {
+        let _ = stub.invoke("echo", std::slice::from_ref(&arg));
+    });
+
+    row("layer", &["µs/call".into()]);
+    row("0 direct servant call", &[format!("{direct:9.3}")]);
+    row("1 + object adapter", &[format!("{adapter_cost:9.3}")]);
+    row("2 + ORB (collocated shortcut)", &[format!("{collocated:9.3}")]);
+    row("3 + marshalling + wire (remote)", &[format!("{remote:9.3}")]);
+    row("4 + mediator weaving (remote)", &[format!("{woven:9.3}")]);
+    println!(
+        "  weaving increment: {:.3} µs ({:.1}% of a remote call)",
+        woven - remote,
+        (woven - remote) / remote * 100.0
+    );
+
+    orb.shutdown();
+    server.shutdown();
+    client.shutdown();
+}
+
+fn bench(c: &mut Criterion) {
+    summary();
+
+    let net = Network::new(1);
+    let server = Orb::start(&net, "server");
+    let client = Orb::start(&net, "client");
+    let ior = server.activate("echo", Box::new(Echo));
+    let stub = ClientStub::new(client.clone(), ior.clone());
+    stub.set_mediator(Arc::new(PassThrough));
+
+    let mut group = c.benchmark_group("fig1_layers");
+    for size in [16usize, 1024, 65536] {
+        let arg = Any::Bytes(payload(size, 0.5, 2));
+        group.bench_with_input(BenchmarkId::new("remote_plain", size), &arg, |b, arg| {
+            b.iter(|| client.invoke(&ior, "echo", std::slice::from_ref(arg)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("remote_woven", size), &arg, |b, arg| {
+            b.iter(|| stub.invoke("echo", std::slice::from_ref(arg)).unwrap())
+        });
+    }
+    group.finish();
+    server.shutdown();
+    client.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! E2 (Fig. 2): weaving overhead on the server and client side.
+//!
+//! Compares an unwoven servant against the woven skeleton with 0–2
+//! active QoS brackets and mediator chains of depth 0–4, and measures
+//! the cost of the runtime delegate exchange itself.
+//!
+//! Expected shape: prolog/epilog and each mediator add a small constant;
+//! the delegate exchange is O(1) and cheap enough to do per
+//! renegotiation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maqs_bench::{banner, row, Echo};
+use orb::{Any, OrbError, Servant};
+use qosmech::loadbalance::LoadReportingQosImpl;
+use std::sync::Arc;
+use weaver::{Call, Mediator, Next, WovenServant};
+
+const SPEC: &str = r#"
+    interface Echo with qos LoadBalancing, Actuality {
+        any echo(in any v);
+    };
+"#;
+
+struct PassThrough(&'static str);
+impl Mediator for PassThrough {
+    fn characteristic(&self) -> &str {
+        self.0
+    }
+    fn around(&self, call: Call, next: Next<'_>) -> Result<Any, OrbError> {
+        next(call)
+    }
+}
+
+fn woven() -> WovenServant {
+    let mut repo = qosmech::specs::standard_repository();
+    repo.load(&qidl::parser::parse(&qidl::lexer::lex(SPEC).unwrap()).unwrap()).unwrap();
+    WovenServant::new(Arc::new(Echo), Arc::new(repo), "Echo")
+}
+
+fn summary() {
+    banner("E2 / Fig.2", "weaving overhead (collocated dispatch, 100k calls each)");
+    let n = 100_000u32;
+    let arg = [Any::Long(7)];
+    let time = |f: &mut dyn FnMut()| {
+        let start = std::time::Instant::now();
+        for _ in 0..n {
+            f();
+        }
+        start.elapsed().as_secs_f64() * 1e9 / n as f64
+    };
+
+    let plain = Echo;
+    let t_plain = time(&mut || {
+        let _ = plain.dispatch("echo", &arg);
+    });
+
+    let w = woven();
+    let t_unneg = time(&mut || {
+        let _ = w.dispatch("echo", &arg);
+    });
+
+    w.install_qos(Arc::new(LoadReportingQosImpl::new())).unwrap();
+    w.negotiate("LoadBalancing").unwrap();
+    let t_bracket = time(&mut || {
+        let _ = w.dispatch("echo", &arg);
+    });
+
+    row("server side", &["ns/call".into()]);
+    row("bare servant", &[format!("{t_plain:9.1}")]);
+    row("woven, no active QoS", &[format!("{t_unneg:9.1}")]);
+    row("woven + prolog/epilog", &[format!("{t_bracket:9.1}")]);
+
+    // Delegate exchange cost.
+    let t_exchange = {
+        let start = std::time::Instant::now();
+        for _ in 0..n {
+            w.negotiate("LoadBalancing").unwrap();
+        }
+        start.elapsed().as_secs_f64() * 1e9 / n as f64
+    };
+    row("delegate exchange (negotiate)", &[format!("{t_exchange:9.1}")]);
+
+    // Client side: mediator chain depth sweep over a collocated stub.
+    let net = netsim::Network::new(1);
+    let orb = orb::Orb::start(&net, "solo");
+    let ior = orb.activate("echo", Box::new(Echo));
+    println!("  client side (collocated stub):");
+    for depth in [0usize, 1, 2, 4] {
+        let stub = weaver::ClientStub::new(orb.clone(), ior.clone());
+        for i in 0..depth {
+            stub.push_mediator(Arc::new(PassThrough(match i {
+                0 => "m0",
+                1 => "m1",
+                2 => "m2",
+                _ => "m3",
+            })));
+        }
+        let t = time(&mut || {
+            let _ = stub.invoke("echo", &arg);
+        });
+        row(&format!("mediator chain depth {depth}"), &[format!("{t:9.1}")]);
+    }
+    orb.shutdown();
+}
+
+fn bench(c: &mut Criterion) {
+    summary();
+
+    let arg = [Any::Long(7)];
+    let mut group = c.benchmark_group("fig2_weaving");
+
+    let plain = Echo;
+    group.bench_function("bare_servant", |b| b.iter(|| plain.dispatch("echo", &arg).unwrap()));
+
+    let w = woven();
+    group.bench_function("woven_idle", |b| b.iter(|| w.dispatch("echo", &arg).unwrap()));
+
+    w.install_qos(Arc::new(LoadReportingQosImpl::new())).unwrap();
+    w.negotiate("LoadBalancing").unwrap();
+    group.bench_function("woven_bracketed", |b| b.iter(|| w.dispatch("echo", &arg).unwrap()));
+    group.bench_function("delegate_exchange", |b| {
+        b.iter(|| w.negotiate("LoadBalancing").unwrap())
+    });
+
+    let net = netsim::Network::new(1);
+    let orb = orb::Orb::start(&net, "solo");
+    let ior = orb.activate("echo", Box::new(Echo));
+    for depth in [0usize, 2, 4] {
+        let stub = weaver::ClientStub::new(orb.clone(), ior.clone());
+        for _ in 0..depth {
+            stub.push_mediator(Arc::new(PassThrough("m")));
+        }
+        group.bench_with_input(BenchmarkId::new("mediator_chain", depth), &stub, |b, stub| {
+            b.iter(|| stub.invoke("echo", &arg).unwrap())
+        });
+    }
+    group.finish();
+    orb.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

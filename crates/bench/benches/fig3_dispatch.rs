@@ -1,0 +1,156 @@
+//! E3 (Fig. 3): the ORB invocation-interface decision tree.
+//!
+//! Measures every branch of the Fig. 3 dispatch: plain GIOP requests,
+//! QoS-tagged-but-unbound requests (fallback path), module-bound
+//! requests (identity module), transport commands, module commands, and
+//! the cost of reflective module loading/unloading.
+//!
+//! Expected shape: the QoS-aware branch costs one binding lookup more
+//! than plain GIOP; commands cost about a service request; module
+//! loading is microseconds — cheap enough for on-demand reflection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maqs_bench::{banner, row, Echo};
+use netsim::Network;
+use orb::giop::{CommandTarget, QosContext};
+use orb::transport::{BindingKey, Outbound, QosModule};
+use orb::{Any, Orb, OrbError};
+use std::sync::Arc;
+
+/// Identity transform module: pure dispatch-path cost.
+struct Identity;
+impl QosModule for Identity {
+    fn name(&self) -> &str {
+        "identity"
+    }
+    fn command(&self, op: &str, _args: &[Any]) -> Result<Any, OrbError> {
+        match op {
+            "ping" => Ok(Any::Void),
+            other => Err(OrbError::BadOperation(other.to_string())),
+        }
+    }
+    fn outbound(&self, dst: netsim::NodeId, bytes: Vec<u8>) -> Result<Outbound, OrbError> {
+        Ok(vec![(dst, bytes)])
+    }
+}
+
+fn setup() -> (Network, Orb, Orb, orb::Ior) {
+    let net = Network::new(1);
+    let server = Orb::start(&net, "server");
+    let client = Orb::start(&net, "client");
+    let ior = server.activate_with_tags("echo", Box::new(Echo), &["identity"]);
+    client.qos_transport().install(Arc::new(Identity));
+    server.qos_transport().install(Arc::new(Identity));
+    (net, server, client, ior)
+}
+
+fn summary() {
+    banner("E3 / Fig.3", "invocation-interface dispatch branches (2000 calls each)");
+    let (_net, server, client, ior) = setup();
+    let n = 2000u32;
+    let arg = [Any::Long(1)];
+    let time = |f: &mut dyn FnMut()| {
+        let start = std::time::Instant::now();
+        for _ in 0..n {
+            f();
+        }
+        start.elapsed().as_secs_f64() * 1e6 / n as f64
+    };
+
+    row("branch", &["µs/request".into()]);
+    let t = time(&mut || {
+        client.invoke(&ior, "echo", &arg).unwrap();
+    });
+    row("plain GIOP service request", &[format!("{t:9.3}")]);
+
+    let qos = QosContext::new("identity");
+    let t = time(&mut || {
+        client.invoke_qos(&ior, "echo", &arg, Some(qos.clone())).unwrap();
+    });
+    row("QoS-tagged, unbound (fallback)", &[format!("{t:9.3}")]);
+
+    client
+        .qos_transport()
+        .bind(BindingKey { peer: None, key: ior.key.clone() }, "identity")
+        .unwrap();
+    let t = time(&mut || {
+        client.invoke_qos(&ior, "echo", &arg, Some(qos.clone())).unwrap();
+    });
+    row("QoS-bound via identity module", &[format!("{t:9.3}")]);
+
+    let t = time(&mut || {
+        client
+            .send_command(server.node(), CommandTarget::Transport, "list_modules", &[])
+            .unwrap();
+    });
+    row("transport command", &[format!("{t:9.3}")]);
+
+    let t = time(&mut || {
+        client
+            .send_command(server.node(), CommandTarget::Module("identity".into()), "ping", &[])
+            .unwrap();
+    });
+    row("module command", &[format!("{t:9.3}")]);
+
+    // Reflective loading: local factory instantiation + install + remove.
+    server.qos_transport().register_factory(
+        "identity-type",
+        Arc::new(|_cfg: &Any| Ok(Arc::new(Identity) as Arc<dyn QosModule>)),
+    );
+    let t = time(&mut || {
+        server.qos_transport().load_module("identity-type", &Any::Void).unwrap();
+        server.qos_transport().unload_module("identity").unwrap();
+    });
+    row("module load+unload (local)", &[format!("{t:9.3}")]);
+    server.qos_transport().install(Arc::new(Identity)); // restore
+
+    server.shutdown();
+    client.shutdown();
+}
+
+fn bench(c: &mut Criterion) {
+    summary();
+
+    let (_net, server, client, ior) = setup();
+    let arg = [Any::Long(1)];
+    let qos = QosContext::new("identity");
+    let mut group = c.benchmark_group("fig3_dispatch");
+
+    group.bench_function("plain_giop", |b| {
+        b.iter(|| client.invoke(&ior, "echo", &arg).unwrap())
+    });
+    group.bench_function("qos_unbound_fallback", |b| {
+        b.iter(|| client.invoke_qos(&ior, "echo", &arg, Some(qos.clone())).unwrap())
+    });
+    client
+        .qos_transport()
+        .bind(BindingKey { peer: None, key: ior.key.clone() }, "identity")
+        .unwrap();
+    group.bench_function("qos_bound_module", |b| {
+        b.iter(|| client.invoke_qos(&ior, "echo", &arg, Some(qos.clone())).unwrap())
+    });
+    group.bench_function("transport_command", |b| {
+        b.iter(|| {
+            client
+                .send_command(server.node(), CommandTarget::Transport, "list_modules", &[])
+                .unwrap()
+        })
+    });
+    group.bench_function("module_command", |b| {
+        b.iter(|| {
+            client
+                .send_command(server.node(), CommandTarget::Module("identity".into()), "ping", &[])
+                .unwrap()
+        })
+    });
+    group.finish();
+    server.shutdown();
+    client.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

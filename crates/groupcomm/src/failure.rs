@@ -1,0 +1,125 @@
+//! Liveness probing for group members.
+
+use orb::core::OrbConfig;
+use orb::{Ior, Orb};
+use std::time::Duration;
+
+/// Probes object liveness through the ORB.
+///
+/// Uses the CORBA built-in `_non_existent` operation with a short
+/// timeout: a crashed node never answers, a live one answers `false`.
+/// This is the unreliable-failure-detector end of the spectrum — exactly
+/// what a 2001-era CORBA deployment had.
+#[derive(Debug, Clone)]
+pub struct FailureDetector {
+    orb: Orb,
+    timeout: Duration,
+}
+
+impl FailureDetector {
+    /// A detector probing through `orb` with the given per-probe timeout.
+    pub fn new(orb: Orb, timeout: Duration) -> FailureDetector {
+        FailureDetector { orb, timeout }
+    }
+
+    /// The configured probe timeout.
+    pub fn timeout(&self) -> Duration {
+        self.timeout
+    }
+
+    /// Whether the object behind `ior` currently answers.
+    pub fn is_alive(&self, ior: &Ior) -> bool {
+        // A dedicated short-timeout probe ORB call: reuse the orb but
+        // bound the wait ourselves via invoke_collect's timeout.
+        match self.orb.invoke_collect(ior, "_non_existent", &[], None, 1, self.timeout) {
+            Ok(replies) => replies.iter().any(|(_, r)| r.is_ok()),
+            Err(_) => false,
+        }
+    }
+
+    /// Partition `iors` into `(alive, dead)`.
+    pub fn sweep<'a>(&self, iors: &'a [Ior]) -> (Vec<&'a Ior>, Vec<&'a Ior>) {
+        let mut alive = Vec::new();
+        let mut dead = Vec::new();
+        for ior in iors {
+            if self.is_alive(ior) {
+                alive.push(ior);
+            } else {
+                dead.push(ior);
+            }
+        }
+        (alive, dead)
+    }
+}
+
+/// Convenience: a probe-friendly ORB configuration (short timeouts),
+/// for dedicated prober ORBs.
+pub fn probe_config() -> OrbConfig {
+    OrbConfig { request_timeout: Duration::from_millis(250), ..OrbConfig::default() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::Network;
+    use orb::{Any, OrbError, Servant};
+
+    struct Noop;
+    impl Servant for Noop {
+        fn interface_id(&self) -> &str {
+            "IDL:Noop:1.0"
+        }
+        fn dispatch(&self, op: &str, _args: &[Any]) -> Result<Any, OrbError> {
+            Err(OrbError::BadOperation(op.to_string()))
+        }
+    }
+
+    #[test]
+    fn detects_live_and_crashed_nodes() {
+        let net = Network::new(1);
+        let server = Orb::start(&net, "server");
+        let client = Orb::start(&net, "client");
+        let ior = server.activate("x", Box::new(Noop));
+        let fd = FailureDetector::new(client.clone(), Duration::from_millis(300));
+        assert!(fd.is_alive(&ior));
+        net.crash(server.node());
+        assert!(!fd.is_alive(&ior));
+        net.revive(server.node());
+        assert!(fd.is_alive(&ior));
+        server.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn deactivated_object_counts_as_dead() {
+        let net = Network::new(1);
+        let server = Orb::start(&net, "server");
+        let client = Orb::start(&net, "client");
+        let ior = server.activate("x", Box::new(Noop));
+        let fd = FailureDetector::new(client.clone(), Duration::from_millis(300));
+        assert!(fd.is_alive(&ior));
+        server.deactivate("x");
+        assert!(!fd.is_alive(&ior));
+        server.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn sweep_partitions_members() {
+        let net = Network::new(1);
+        let a = Orb::start(&net, "a");
+        let b = Orb::start(&net, "b");
+        let client = Orb::start(&net, "client");
+        let ior_a = a.activate("x", Box::new(Noop));
+        let ior_b = b.activate("x", Box::new(Noop));
+        net.crash(b.node());
+        let fd = FailureDetector::new(client.clone(), Duration::from_millis(300));
+        let iors = vec![ior_a.clone(), ior_b.clone()];
+        let (alive, dead) = fd.sweep(&iors);
+        assert_eq!(alive, vec![&ior_a]);
+        assert_eq!(dead, vec![&ior_b]);
+        a.shutdown();
+        b.shutdown();
+        client.shutdown();
+    }
+}

@@ -1,0 +1,98 @@
+//! Group communication substrate.
+//!
+//! The paper's fault-tolerance characteristic masks server crashes with
+//! replica groups (§3.1, §6), reusing "a multicast on network layer …
+//! for k-availability as well as for diversity through majority votes on
+//! results". Electra-style group communication does not exist in our
+//! stack, so this crate builds it on top of the [`orb`]:
+//!
+//! * [`GroupView`] / [`ViewTracker`] — versioned group membership with
+//!   monotone view ids;
+//! * [`GroupService`] — a membership service servant (join/leave/view),
+//!   deployable on any node and reachable through the ORB like any other
+//!   object;
+//! * [`MulticastModule`] — a transport-level QoS module (pluggable into
+//!   the [`orb::QosTransport`], Fig. 3) that fans one request out to all
+//!   group members;
+//! * [`FailureDetector`] — liveness probing via the built-in
+//!   `_non_existent` operation with a short timeout;
+//! * [`transfer_state`] — replica initialization: copy `_get_state` from
+//!   a running member into a joining one (§3.1's motivating example for
+//!   QoS-aspect integration).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod failure;
+mod membership;
+mod multicast;
+mod view;
+
+pub use failure::{probe_config, FailureDetector};
+pub use membership::{fetch_members, GroupService, GROUP_SERVICE_INTERFACE};
+pub use multicast::MulticastModule;
+pub use view::{GroupView, ViewTracker};
+
+use orb::{Ior, Orb, OrbError};
+
+/// Initialize a joining replica from a running one: read the state of
+/// `source` and install it into `target` (both via the ORB, so the
+/// transfer itself is just another pair of requests).
+///
+/// # Errors
+///
+/// Propagates failures of either the `_get_state` read or the
+/// `_set_state` write.
+pub fn transfer_state(orb: &Orb, source: &Ior, target: &Ior) -> Result<(), OrbError> {
+    let state = orb.invoke(source, "_get_state", &[])?;
+    orb.invoke(target, "_set_state", &[state])?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::Network;
+    use orb::{Any, Servant};
+    use parking_lot::Mutex;
+
+    struct Register(Mutex<i64>);
+    impl Servant for Register {
+        fn interface_id(&self) -> &str {
+            "IDL:Register:1.0"
+        }
+        fn dispatch(&self, op: &str, args: &[Any]) -> Result<Any, OrbError> {
+            match op {
+                "set" => {
+                    *self.0.lock() = args[0].as_i64().unwrap_or(0);
+                    Ok(Any::Void)
+                }
+                "get" => Ok(Any::LongLong(*self.0.lock())),
+                _ => Err(OrbError::BadOperation(op.to_string())),
+            }
+        }
+        fn get_state(&self) -> Result<Any, OrbError> {
+            Ok(Any::LongLong(*self.0.lock()))
+        }
+        fn set_state(&self, state: &Any) -> Result<(), OrbError> {
+            *self.0.lock() = state.as_i64().ok_or_else(|| OrbError::BadParam("state".into()))?;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn state_transfer_initializes_new_replica() {
+        let net = Network::new(1);
+        let a = Orb::start(&net, "a");
+        let b = Orb::start(&net, "b");
+        let client = Orb::start(&net, "client");
+        let ior_a = a.activate("r", Box::new(Register(Mutex::new(0))));
+        let ior_b = b.activate("r", Box::new(Register(Mutex::new(0))));
+        client.invoke(&ior_a, "set", &[Any::LongLong(99)]).unwrap();
+        transfer_state(&client, &ior_a, &ior_b).unwrap();
+        assert_eq!(client.invoke(&ior_b, "get", &[]).unwrap(), Any::LongLong(99));
+        a.shutdown();
+        b.shutdown();
+        client.shutdown();
+    }
+}

@@ -1,0 +1,215 @@
+//! The group membership service, itself an ORB object.
+
+use crate::view::ViewTracker;
+use netsim::NodeId;
+use orb::{Any, Ior, OrbError, Servant};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Repository id of the membership service interface.
+pub const GROUP_SERVICE_INTERFACE: &str = "IDL:maqs/GroupService:1.0";
+
+struct Group {
+    tracker: ViewTracker,
+    /// Member object references (IOR URIs), keyed by hosting node.
+    members: HashMap<NodeId, String>,
+}
+
+/// A membership service servant.
+///
+/// Operations (all args/results are `Any`s):
+///
+/// * `join(group: string, ior_uri: string)` → `view_id: ulonglong`
+/// * `leave(group: string, node: ulong)` → `view_id: ulonglong`
+/// * `members(group: string)` → `sequence<string>` of IOR URIs
+/// * `view_id(group: string)` → `ulonglong`
+/// * `remove_node(group: string, node: ulong)` → `view_id` (failure
+///   detectors call this to evict crashed members)
+#[derive(Default)]
+pub struct GroupService {
+    groups: Mutex<HashMap<String, Group>>,
+}
+
+impl GroupService {
+    /// An empty service.
+    pub fn new() -> GroupService {
+        GroupService::default()
+    }
+
+    fn join(&self, group: &str, ior_uri: &str) -> Result<u64, OrbError> {
+        let ior = Ior::from_uri(ior_uri)?;
+        let mut groups = self.groups.lock();
+        let g = groups.entry(group.to_string()).or_insert_with(|| Group {
+            tracker: ViewTracker::new(group),
+            members: HashMap::new(),
+        });
+        g.tracker.join(ior.node);
+        g.members.insert(ior.node, ior_uri.to_string());
+        Ok(g.tracker.view().view_id)
+    }
+
+    fn remove(&self, group: &str, node: NodeId) -> Result<u64, OrbError> {
+        let mut groups = self.groups.lock();
+        let g = groups
+            .get_mut(group)
+            .ok_or_else(|| OrbError::ObjectNotExist(format!("group {group}")))?;
+        g.tracker.leave(node);
+        g.members.remove(&node);
+        Ok(g.tracker.view().view_id)
+    }
+
+    fn members(&self, group: &str) -> Vec<String> {
+        let groups = self.groups.lock();
+        match groups.get(group) {
+            None => Vec::new(),
+            Some(g) => {
+                // In view order (sorted by node id) for determinism.
+                g.tracker
+                    .view()
+                    .members
+                    .iter()
+                    .filter_map(|n| g.members.get(n).cloned())
+                    .collect()
+            }
+        }
+    }
+
+    fn view_id(&self, group: &str) -> u64 {
+        self.groups.lock().get(group).map(|g| g.tracker.view().view_id).unwrap_or(0)
+    }
+}
+
+fn str_arg(args: &[Any], i: usize, ctx: &str) -> Result<String, OrbError> {
+    args.get(i)
+        .and_then(Any::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| OrbError::BadParam(format!("{ctx}: argument {i} must be a string")))
+}
+
+fn node_arg(args: &[Any], i: usize, ctx: &str) -> Result<NodeId, OrbError> {
+    args.get(i)
+        .and_then(Any::as_i64)
+        .and_then(|v| u32::try_from(v).ok())
+        .map(NodeId)
+        .ok_or_else(|| OrbError::BadParam(format!("{ctx}: argument {i} must be a node id")))
+}
+
+impl Servant for GroupService {
+    fn interface_id(&self) -> &str {
+        GROUP_SERVICE_INTERFACE
+    }
+
+    fn dispatch(&self, op: &str, args: &[Any]) -> Result<Any, OrbError> {
+        match op {
+            "join" => {
+                let group = str_arg(args, 0, "join")?;
+                let ior = str_arg(args, 1, "join")?;
+                Ok(Any::ULongLong(self.join(&group, &ior)?))
+            }
+            "leave" | "remove_node" => {
+                let group = str_arg(args, 0, op)?;
+                let node = node_arg(args, 1, op)?;
+                Ok(Any::ULongLong(self.remove(&group, node)?))
+            }
+            "members" => {
+                let group = str_arg(args, 0, "members")?;
+                Ok(Any::Sequence(self.members(&group).into_iter().map(Any::Str).collect()))
+            }
+            "view_id" => {
+                let group = str_arg(args, 0, "view_id")?;
+                Ok(Any::ULongLong(self.view_id(&group)))
+            }
+            other => Err(OrbError::BadOperation(other.to_string())),
+        }
+    }
+}
+
+/// Client-side helper: fetch the current member IORs of `group` from a
+/// membership service at `service`.
+///
+/// # Errors
+///
+/// Propagates invocation failures and malformed IOR URIs.
+pub fn fetch_members(
+    orb: &orb::Orb,
+    service: &Ior,
+    group: &str,
+) -> Result<Vec<Ior>, OrbError> {
+    let reply = orb.invoke(service, "members", &[Any::from(group)])?;
+    let items = reply
+        .as_sequence()
+        .ok_or_else(|| OrbError::Marshal("members: expected sequence".to_string()))?;
+    items
+        .iter()
+        .map(|item| {
+            let uri = item
+                .as_str()
+                .ok_or_else(|| OrbError::Marshal("members: expected string".to_string()))?;
+            Ior::from_uri(uri)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::Network;
+    use orb::Orb;
+
+    fn ior_on(node: u32, key: &str) -> String {
+        Ior::new("IDL:Register:1.0", NodeId(node), key).to_uri()
+    }
+
+    #[test]
+    fn join_members_leave() {
+        let svc = GroupService::new();
+        let v1 = svc.dispatch("join", &[Any::from("g"), Any::from(ior_on(1, "r1"))]).unwrap();
+        assert_eq!(v1, Any::ULongLong(2)); // empty view is 1, first join bumps to 2
+        svc.dispatch("join", &[Any::from("g"), Any::from(ior_on(2, "r2"))]).unwrap();
+        let members = svc.dispatch("members", &[Any::from("g")]).unwrap();
+        assert_eq!(members.as_sequence().unwrap().len(), 2);
+        svc.dispatch("leave", &[Any::from("g"), Any::ULong(1)]).unwrap();
+        let members = svc.dispatch("members", &[Any::from("g")]).unwrap();
+        assert_eq!(members.as_sequence().unwrap().len(), 1);
+        assert_eq!(svc.dispatch("view_id", &[Any::from("g")]).unwrap(), Any::ULongLong(4));
+    }
+
+    #[test]
+    fn unknown_group_behaviour() {
+        let svc = GroupService::new();
+        assert_eq!(svc.dispatch("view_id", &[Any::from("nope")]).unwrap(), Any::ULongLong(0));
+        assert_eq!(
+            svc.dispatch("members", &[Any::from("nope")]).unwrap(),
+            Any::Sequence(vec![])
+        );
+        assert!(svc.dispatch("leave", &[Any::from("nope"), Any::ULong(1)]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_arguments() {
+        let svc = GroupService::new();
+        assert!(svc.dispatch("join", &[Any::Long(3)]).is_err());
+        assert!(svc.dispatch("join", &[Any::from("g"), Any::from("not-an-ior")]).is_err());
+        assert!(svc.dispatch("frob", &[]).is_err());
+    }
+
+    #[test]
+    fn fetch_members_over_the_orb() {
+        let net = Network::new(1);
+        let host = Orb::start(&net, "gs-host");
+        let client = Orb::start(&net, "client");
+        let svc_ior = host.activate("groups", Box::new(GroupService::new()));
+        client
+            .invoke(&svc_ior, "join", &[Any::from("db"), Any::from(ior_on(7, "a"))])
+            .unwrap();
+        client
+            .invoke(&svc_ior, "join", &[Any::from("db"), Any::from(ior_on(9, "b"))])
+            .unwrap();
+        let members = fetch_members(&client, &svc_ior, "db").unwrap();
+        assert_eq!(members.len(), 2);
+        assert_eq!(members[0].node, NodeId(7));
+        assert_eq!(members[1].node, NodeId(9));
+        host.shutdown();
+        client.shutdown();
+    }
+}

@@ -1,0 +1,189 @@
+//! A transport-level multicast QoS module (Fig. 3's "group communication
+//! on the network layer").
+
+use netsim::NodeId;
+use orb::transport::{Outbound, QosModule};
+use orb::{Any, OrbError};
+use parking_lot::RwLock;
+
+/// Fans every outbound message out to all configured group member nodes.
+///
+/// Loaded into a client ORB's [`orb::QosTransport`] and bound to the
+/// replicated object, it turns an ordinary invocation into a one-to-many
+/// invocation; each replica replies individually and the caller gathers
+/// replies with [`orb::Orb::invoke_collect`]. The member list is managed
+/// through the module's dynamic interface (commands), which is exactly
+/// how the paper expects QoS mechanisms to be configured at runtime:
+///
+/// * `set_members(sequence<ulong>)` — replace the member node list
+/// * `add_member(ulong)` / `remove_member(ulong)`
+/// * `members()` → `sequence<ulong>`
+pub struct MulticastModule {
+    name: String,
+    members: RwLock<Vec<NodeId>>,
+}
+
+impl MulticastModule {
+    /// A module named `name` (bindings and packets reference this name)
+    /// with an initial member list.
+    pub fn new(name: impl Into<String>, members: impl IntoIterator<Item = NodeId>) -> MulticastModule {
+        let mut members: Vec<NodeId> = members.into_iter().collect();
+        members.sort_unstable();
+        members.dedup();
+        MulticastModule { name: name.into(), members: RwLock::new(members) }
+    }
+
+    /// Current member nodes, sorted.
+    pub fn members(&self) -> Vec<NodeId> {
+        self.members.read().clone()
+    }
+
+    fn set_members(&self, nodes: Vec<NodeId>) {
+        let mut m = self.members.write();
+        *m = nodes;
+        m.sort_unstable();
+        m.dedup();
+    }
+}
+
+fn nodes_from_any(v: &Any, ctx: &str) -> Result<Vec<NodeId>, OrbError> {
+    let items = v
+        .as_sequence()
+        .ok_or_else(|| OrbError::BadParam(format!("{ctx}: expected sequence of node ids")))?;
+    items
+        .iter()
+        .map(|item| {
+            item.as_i64()
+                .and_then(|v| u32::try_from(v).ok())
+                .map(NodeId)
+                .ok_or_else(|| OrbError::BadParam(format!("{ctx}: bad node id {item}")))
+        })
+        .collect()
+}
+
+impl QosModule for MulticastModule {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn command(&self, op: &str, args: &[Any]) -> Result<Any, OrbError> {
+        match op {
+            "set_members" => {
+                let nodes = nodes_from_any(
+                    args.first().unwrap_or(&Any::Sequence(vec![])),
+                    "set_members",
+                )?;
+                self.set_members(nodes);
+                Ok(Any::Void)
+            }
+            "add_member" => {
+                let node = args
+                    .first()
+                    .and_then(Any::as_i64)
+                    .and_then(|v| u32::try_from(v).ok())
+                    .map(NodeId)
+                    .ok_or_else(|| OrbError::BadParam("add_member(node)".to_string()))?;
+                let mut m = self.members.write();
+                if let Err(pos) = m.binary_search(&node) {
+                    m.insert(pos, node);
+                }
+                Ok(Any::Void)
+            }
+            "remove_member" => {
+                let node = args
+                    .first()
+                    .and_then(Any::as_i64)
+                    .and_then(|v| u32::try_from(v).ok())
+                    .map(NodeId)
+                    .ok_or_else(|| OrbError::BadParam("remove_member(node)".to_string()))?;
+                let mut m = self.members.write();
+                if let Ok(pos) = m.binary_search(&node) {
+                    m.remove(pos);
+                }
+                Ok(Any::Void)
+            }
+            "members" => Ok(Any::Sequence(
+                self.members().into_iter().map(|n| Any::ULong(n.0)).collect(),
+            )),
+            other => Err(OrbError::BadOperation(format!("multicast command {other}"))),
+        }
+    }
+
+    fn outbound(&self, dst: NodeId, bytes: Vec<u8>) -> Result<Outbound, OrbError> {
+        let members = self.members.read();
+        if members.is_empty() {
+            // No group configured: degrade to unicast.
+            return Ok(vec![(dst, bytes)]);
+        }
+        Ok(members.iter().map(|n| (*n, bytes.clone())).collect())
+    }
+
+    fn inbound(&self, _src: NodeId, bytes: Vec<u8>) -> Result<Option<Vec<u8>>, OrbError> {
+        Ok(Some(bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn outbound_fans_out_to_all_members() {
+        let m = MulticastModule::new("mc", [n(1), n(2), n(3)]);
+        let outs = m.outbound(n(9), vec![0xAB]).unwrap();
+        assert_eq!(outs.len(), 3);
+        assert!(outs.iter().all(|(_, b)| b == &vec![0xAB]));
+        let nodes: Vec<NodeId> = outs.iter().map(|(d, _)| *d).collect();
+        assert_eq!(nodes, vec![n(1), n(2), n(3)]);
+    }
+
+    #[test]
+    fn empty_group_degrades_to_unicast() {
+        let m = MulticastModule::new("mc", []);
+        let outs = m.outbound(n(9), vec![1]).unwrap();
+        assert_eq!(outs, vec![(n(9), vec![1])]);
+    }
+
+    #[test]
+    fn member_management_commands() {
+        let m = MulticastModule::new("mc", [n(5)]);
+        m.command("add_member", &[Any::ULong(3)]).unwrap();
+        m.command("add_member", &[Any::ULong(3)]).unwrap(); // idempotent
+        assert_eq!(m.members(), vec![n(3), n(5)]);
+        m.command("remove_member", &[Any::ULong(5)]).unwrap();
+        assert_eq!(m.members(), vec![n(3)]);
+        m.command(
+            "set_members",
+            &[Any::Sequence(vec![Any::ULong(8), Any::ULong(6), Any::ULong(8)])],
+        )
+        .unwrap();
+        assert_eq!(m.members(), vec![n(6), n(8)]);
+        let listed = m.command("members", &[]).unwrap();
+        assert_eq!(listed, Any::Sequence(vec![Any::ULong(6), Any::ULong(8)]));
+    }
+
+    #[test]
+    fn bad_commands_rejected() {
+        let m = MulticastModule::new("mc", []);
+        assert!(m.command("set_members", &[Any::Long(1)]).is_err());
+        assert!(m.command("add_member", &[Any::from("x")]).is_err());
+        assert!(m.command("add_member", &[Any::Long(-1)]).is_err());
+        assert!(m.command("warp", &[]).is_err());
+    }
+
+    #[test]
+    fn inbound_is_identity() {
+        let m = MulticastModule::new("mc", [n(1)]);
+        assert_eq!(m.inbound(n(1), vec![9]).unwrap(), Some(vec![9]));
+    }
+
+    #[test]
+    fn constructor_sorts_and_dedups() {
+        let m = MulticastModule::new("mc", [n(4), n(2), n(4)]);
+        assert_eq!(m.members(), vec![n(2), n(4)]);
+    }
+}

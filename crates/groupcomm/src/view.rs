@@ -1,0 +1,180 @@
+//! Versioned group membership views.
+
+use netsim::NodeId;
+use std::fmt;
+
+/// An immutable snapshot of a group's membership at one version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupView {
+    /// Group name.
+    pub group: String,
+    /// Monotonically increasing view version (starts at 1).
+    pub view_id: u64,
+    /// Member nodes, sorted and deduplicated.
+    pub members: Vec<NodeId>,
+}
+
+impl GroupView {
+    /// A first view (`view_id == 1`) with the given members.
+    pub fn initial(group: impl Into<String>, members: impl IntoIterator<Item = NodeId>) -> GroupView {
+        let mut members: Vec<NodeId> = members.into_iter().collect();
+        members.sort_unstable();
+        members.dedup();
+        GroupView { group: group.into(), view_id: 1, members }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the group has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether `node` is a member.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.members.binary_search(&node).is_ok()
+    }
+
+    /// The majority quorum size (`⌊n/2⌋ + 1`), 0 for an empty view.
+    pub fn quorum(&self) -> usize {
+        if self.members.is_empty() {
+            0
+        } else {
+            self.members.len() / 2 + 1
+        }
+    }
+}
+
+impl fmt::Display for GroupView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#v{}[", self.group, self.view_id)?;
+        for (i, m) in self.members.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{m}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Evolves a [`GroupView`] while preserving its invariants: view ids grow
+/// by exactly one per change, membership stays sorted and unique, and
+/// no-op changes do not create new views.
+#[derive(Debug, Clone)]
+pub struct ViewTracker {
+    view: GroupView,
+}
+
+impl ViewTracker {
+    /// Track `group` starting from an empty first view.
+    pub fn new(group: impl Into<String>) -> ViewTracker {
+        ViewTracker { view: GroupView::initial(group, []) }
+    }
+
+    /// The current view.
+    pub fn view(&self) -> &GroupView {
+        &self.view
+    }
+
+    /// Add a member. Returns `true` (and bumps the view) if it was new.
+    pub fn join(&mut self, node: NodeId) -> bool {
+        match self.view.members.binary_search(&node) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.view.members.insert(pos, node);
+                self.view.view_id += 1;
+                true
+            }
+        }
+    }
+
+    /// Remove a member. Returns `true` (and bumps the view) if present.
+    pub fn leave(&mut self, node: NodeId) -> bool {
+        match self.view.members.binary_search(&node) {
+            Ok(pos) => {
+                self.view.members.remove(pos);
+                self.view.view_id += 1;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Remove every member not in `alive`. Returns the number removed.
+    pub fn retain_alive(&mut self, alive: &[NodeId]) -> usize {
+        let before = self.view.members.len();
+        self.view.members.retain(|m| alive.contains(m));
+        let removed = before - self.view.members.len();
+        if removed > 0 {
+            self.view.view_id += 1;
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn initial_view_sorts_and_dedups() {
+        let v = GroupView::initial("g", [n(3), n(1), n(3), n(2)]);
+        assert_eq!(v.members, vec![n(1), n(2), n(3)]);
+        assert_eq!(v.view_id, 1);
+        assert!(v.contains(n(2)));
+        assert!(!v.contains(n(9)));
+    }
+
+    #[test]
+    fn quorum_sizes() {
+        assert_eq!(GroupView::initial("g", []).quorum(), 0);
+        assert_eq!(GroupView::initial("g", [n(1)]).quorum(), 1);
+        assert_eq!(GroupView::initial("g", [n(1), n(2)]).quorum(), 2);
+        assert_eq!(GroupView::initial("g", [n(1), n(2), n(3)]).quorum(), 2);
+        assert_eq!(GroupView::initial("g", (0..5).map(n)).quorum(), 3);
+    }
+
+    #[test]
+    fn join_leave_bump_views_only_on_change() {
+        let mut t = ViewTracker::new("g");
+        assert!(t.join(n(1)));
+        assert_eq!(t.view().view_id, 2);
+        assert!(!t.join(n(1))); // duplicate join: no new view
+        assert_eq!(t.view().view_id, 2);
+        assert!(t.join(n(2)));
+        assert!(t.leave(n(1)));
+        assert_eq!(t.view().view_id, 4);
+        assert!(!t.leave(n(1)));
+        assert_eq!(t.view().view_id, 4);
+        assert_eq!(t.view().members, vec![n(2)]);
+    }
+
+    #[test]
+    fn retain_alive_removes_dead_members() {
+        let mut t = ViewTracker::new("g");
+        for i in 1..=4 {
+            t.join(n(i));
+        }
+        let v_before = t.view().view_id;
+        assert_eq!(t.retain_alive(&[n(1), n(3)]), 2);
+        assert_eq!(t.view().members, vec![n(1), n(3)]);
+        assert_eq!(t.view().view_id, v_before + 1);
+        // All alive: no view change.
+        assert_eq!(t.retain_alive(&[n(1), n(3)]), 0);
+        assert_eq!(t.view().view_id, v_before + 1);
+    }
+
+    #[test]
+    fn display_format() {
+        let v = GroupView::initial("db", [n(1), n(2)]);
+        assert_eq!(v.to_string(), "db#v1[n1,n2]");
+    }
+}

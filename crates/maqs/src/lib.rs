@@ -1,0 +1,82 @@
+//! MAQS-RS: a reproduction of the **M**anagement **A**rchitecture for
+//! **Q**uality of **S**ervice (Becker & Geihs, ICDCS 2001) in Rust.
+//!
+//! The paper separates QoS from application logic on two levels:
+//! aspect-oriented weaving on the application layer (QIDL, mediators,
+//! woven skeletons with prolog/epilog — §3) and reflective, dynamically
+//! loadable QoS modules inside the ORB (§4). This crate is the facade
+//! over the full stack:
+//!
+//! | layer | crate |
+//! |---|---|
+//! | network simulator | [`netsim`] |
+//! | CORBA-like ORB, QoS transport | [`orb`] |
+//! | QIDL language + compiler/weaver | [`qidl`] |
+//! | runtime weaving (mediator / woven skeleton) | [`weaver`] |
+//! | group communication | [`groupcomm`] |
+//! | the five QoS characteristics | [`qosmech`] |
+//! | negotiation, monitoring, trading, accounting | [`services`] |
+//!
+//! [`MaqsNode`] wires one node's worth of that stack together: an ORB, a
+//! frozen interface repository, a negotiation servant and a trader.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use maqs::prelude::*;
+//!
+//! // Application logic — no QoS anywhere in here.
+//! struct Greeter;
+//! impl Servant for Greeter {
+//!     fn interface_id(&self) -> &str { "IDL:Greeter:1.0" }
+//!     fn dispatch(&self, op: &str, args: &[Any]) -> Result<Any, OrbError> {
+//!         match op {
+//!             "greet" => Ok(Any::Str(format!(
+//!                 "hello, {}", args[0].as_str().unwrap_or("?")))),
+//!             _ => Err(OrbError::BadOperation(op.into())),
+//!         }
+//!     }
+//! }
+//!
+//! let net = netsim::Network::new(1);
+//! let server = MaqsNode::builder(&net, "server")
+//!     .spec("interface Greeter with qos Actuality { string greet(in string who); };")
+//!     .build()
+//!     .unwrap();
+//! let client = MaqsNode::builder(&net, "client").build().unwrap();
+//!
+//! let ior = server
+//!     .serve_woven("greeter", Arc::new(Greeter), "Greeter")
+//!     .unwrap();
+//! let reply = client.orb().invoke(&ior, "greet", &[Any::from("world")]).unwrap();
+//! assert_eq!(reply.as_str(), Some("hello, world"));
+//! # server.shutdown(); client.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod demo;
+mod node;
+
+pub use node::{MaqsNode, MaqsNodeBuilder};
+
+/// One-stop imports for MAQS applications.
+pub mod prelude {
+    pub use crate::{MaqsNode, MaqsNodeBuilder};
+    pub use netsim::{LinkModel, Network};
+    pub use orb::{Any, Ior, Orb, OrbError, Servant};
+    pub use qidl::InterfaceRepository;
+    pub use services::{Agreement, ContractHierarchy, ContractNode, Negotiator, Offer};
+    pub use weaver::{Call, ClientStub, Mediator, Next, QosImplementation, WovenServant};
+}
+
+// Re-export the stack for users who need the full depth.
+pub use groupcomm;
+pub use netsim;
+pub use orb;
+pub use qidl;
+pub use qosmech;
+pub use services;
+pub use weaver;

@@ -1,0 +1,333 @@
+//! [`MaqsNode`]: one node's worth of the MAQS stack, wired together.
+
+use netsim::Network;
+use orb::{Ior, Orb, OrbError, Servant};
+use parking_lot::RwLock;
+use qidl::InterfaceRepository;
+use services::naming::{NamingService, NAMING_KEY};
+use services::negotiation::{NegotiationServant, NEGOTIATOR_KEY};
+use services::trading::{Trader, TRADER_KEY};
+use services::Negotiator;
+use std::collections::HashMap;
+use std::sync::Arc;
+use weaver::{ClientStub, QosImplementation, WovenServant};
+
+/// Builder for a [`MaqsNode`].
+pub struct MaqsNodeBuilder<'a> {
+    net: &'a Network,
+    name: String,
+    config: orb::OrbConfig,
+    specs: Vec<String>,
+    standard_qos: bool,
+}
+
+impl<'a> MaqsNodeBuilder<'a> {
+    /// Add a QIDL compilation unit (may reference the standard QoS
+    /// characteristics, which are preloaded unless disabled).
+    pub fn spec(mut self, source: &str) -> Self {
+        self.specs.push(source.to_string());
+        self
+    }
+
+    /// Override the ORB configuration.
+    pub fn orb_config(mut self, config: orb::OrbConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Skip preloading [`qosmech::specs::QOS_SPECS`].
+    pub fn without_standard_qos(mut self) -> Self {
+        self.standard_qos = false;
+        self
+    }
+
+    /// Start the node: ORB threads, negotiation servant, trader.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any provided spec does not compile or load.
+    pub fn build(self) -> Result<MaqsNode, qidl::QidlError> {
+        let mut repo = if self.standard_qos {
+            qosmech::specs::standard_repository()
+        } else {
+            InterfaceRepository::new()
+        };
+        for src in &self.specs {
+            let tokens = qidl::lexer::lex(src)?;
+            let spec = qidl::parser::parse(&tokens)?;
+            repo.load(&spec)?;
+        }
+        let orb = Orb::start_with(self.net, &self.name, self.config);
+        let negotiation = Arc::new(NegotiationServant::new());
+        let trader = Arc::new(Trader::new());
+        let naming = Arc::new(NamingService::new());
+        orb.adapter().activate(NEGOTIATOR_KEY, Arc::clone(&negotiation) as Arc<dyn Servant>);
+        orb.adapter().activate(TRADER_KEY, Arc::clone(&trader) as Arc<dyn Servant>);
+        orb.adapter().activate(NAMING_KEY, Arc::clone(&naming) as Arc<dyn Servant>);
+        Ok(MaqsNode {
+            orb,
+            repo: Arc::new(repo),
+            negotiation,
+            trader,
+            naming,
+            woven: RwLock::new(HashMap::new()),
+        })
+    }
+}
+
+/// A MAQS runtime node: ORB + interface repository + infrastructure
+/// services, with helpers for weaving servants and negotiating QoS.
+pub struct MaqsNode {
+    orb: Orb,
+    repo: Arc<InterfaceRepository>,
+    negotiation: Arc<NegotiationServant>,
+    trader: Arc<Trader>,
+    naming: Arc<NamingService>,
+    woven: RwLock<HashMap<String, Arc<WovenServant>>>,
+}
+
+impl MaqsNode {
+    /// Start building a node attached to `net`.
+    pub fn builder<'a>(net: &'a Network, name: &str) -> MaqsNodeBuilder<'a> {
+        MaqsNodeBuilder {
+            net,
+            name: name.to_string(),
+            config: orb::OrbConfig::default(),
+            specs: Vec::new(),
+            standard_qos: true,
+        }
+    }
+
+    /// The node's ORB.
+    pub fn orb(&self) -> &Orb {
+        &self.orb
+    }
+
+    /// The node's (frozen) interface repository.
+    pub fn repository(&self) -> &Arc<InterfaceRepository> {
+        &self.repo
+    }
+
+    /// The node's negotiation servant (server-side agreement control).
+    pub fn negotiation(&self) -> &Arc<NegotiationServant> {
+        &self.negotiation
+    }
+
+    /// The node's trader.
+    pub fn trader(&self) -> &Arc<Trader> {
+        &self.trader
+    }
+
+    /// The node's naming service.
+    pub fn naming(&self) -> &Arc<NamingService> {
+        &self.naming
+    }
+
+    /// A client-side [`Negotiator`] speaking through this node's ORB.
+    pub fn negotiator(&self) -> Negotiator {
+        Negotiator::new(self.orb.clone())
+    }
+
+    /// Weave `servant` (implementing QIDL interface `interface_name`)
+    /// and activate it under `key`. The returned IOR carries the
+    /// interface's assigned characteristics as QoS tags.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::BadParam`] if the interface is not in the repository.
+    pub fn serve_woven(
+        &self,
+        key: &str,
+        servant: Arc<dyn Servant>,
+        interface_name: &str,
+    ) -> Result<Ior, OrbError> {
+        self.serve_woven_with(key, servant, interface_name, Vec::new(), HashMap::new())
+    }
+
+    /// Like [`MaqsNode::serve_woven`], additionally installing QoS
+    /// implementations and registering the object for negotiation with
+    /// the given per-characteristic capacities.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::BadParam`] for unknown interfaces;
+    /// [`OrbError::QosViolation`] if an implementation's characteristic
+    /// is not assigned to the interface.
+    pub fn serve_woven_with(
+        &self,
+        key: &str,
+        servant: Arc<dyn Servant>,
+        interface_name: &str,
+        qos_impls: Vec<Arc<dyn QosImplementation>>,
+        capacity: HashMap<String, usize>,
+    ) -> Result<Ior, OrbError> {
+        let iface = self
+            .repo
+            .interface(interface_name)
+            .ok_or_else(|| {
+                OrbError::BadParam(format!("interface `{interface_name}` not in repository"))
+            })?
+            .clone();
+        let woven = Arc::new(WovenServant::new(servant, Arc::clone(&self.repo), interface_name));
+        for qi in qos_impls {
+            woven.install_qos(qi)?;
+        }
+        self.negotiation.register_object(key, Arc::clone(&woven), capacity);
+        self.orb.adapter().activate(key, Arc::clone(&woven) as Arc<dyn Servant>);
+        self.woven.write().insert(key.to_string(), woven);
+        let mut ior = Ior::new(iface.repository_id(), self.orb.node(), key);
+        for tag in &iface.qos {
+            ior = ior.with_qos_tag(tag.clone());
+        }
+        Ok(ior)
+    }
+
+    /// The woven servant under `key`, if any.
+    pub fn woven(&self, key: &str) -> Option<Arc<WovenServant>> {
+        self.woven.read().get(key).cloned()
+    }
+
+    /// A dynamic client stub for `target`, invoking through this node.
+    pub fn stub(&self, target: &Ior) -> ClientStub {
+        ClientStub::new(self.orb.clone(), target.clone())
+    }
+
+    /// Shut the node's ORB down.
+    pub fn shutdown(&self) {
+        self.orb.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orb::Any;
+    use qosmech::actuality::FreshnessStampQosImpl;
+    use qosmech::replication::ReplicationQosImpl;
+    use services::{ContractHierarchy, ContractNode, Offer};
+
+    struct Kv(parking_lot::Mutex<HashMap<String, i64>>);
+    impl Servant for Kv {
+        fn interface_id(&self) -> &str {
+            "IDL:Kv:1.0"
+        }
+        fn dispatch(&self, op: &str, args: &[Any]) -> Result<Any, OrbError> {
+            match op {
+                "put" => {
+                    let k = args[0].as_str().unwrap_or("").to_string();
+                    let v = args[1].as_i64().unwrap_or(0);
+                    self.0.lock().insert(k, v);
+                    Ok(Any::Void)
+                }
+                "get" => {
+                    let k = args[0].as_str().unwrap_or("");
+                    Ok(Any::LongLong(self.0.lock().get(k).copied().unwrap_or(0)))
+                }
+                _ => Err(OrbError::BadOperation(op.to_string())),
+            }
+        }
+    }
+
+    const SPEC: &str = r#"
+        interface Kv with qos Replication, Actuality {
+            void put(in string key, in long long value);
+            long long get(in string key);
+        };
+    "#;
+
+    fn kv() -> Arc<dyn Servant> {
+        Arc::new(Kv(parking_lot::Mutex::new(HashMap::new())))
+    }
+
+    #[test]
+    fn builder_loads_specs_and_rejects_bad_ones() {
+        let net = Network::new(1);
+        let node = MaqsNode::builder(&net, "n").spec(SPEC).build().unwrap();
+        assert!(node.repository().interface("Kv").is_some());
+        assert!(node.repository().qos("Replication").is_some());
+        node.shutdown();
+        assert!(MaqsNode::builder(&net, "bad").spec("interface {").build().is_err());
+        let no_std = MaqsNode::builder(&net, "nostd").without_standard_qos().build().unwrap();
+        assert!(no_std.repository().qos("Replication").is_none());
+        no_std.shutdown();
+    }
+
+    #[test]
+    fn woven_service_end_to_end_with_negotiation() {
+        let net = Network::new(1);
+        let server = MaqsNode::builder(&net, "server").spec(SPEC).build().unwrap();
+        let client = MaqsNode::builder(&net, "client").build().unwrap();
+
+        let ior = server
+            .serve_woven_with(
+                "kv",
+                kv(),
+                "Kv",
+                vec![Arc::new(ReplicationQosImpl::new()), Arc::new(FreshnessStampQosImpl::new())],
+                HashMap::from([("Replication".to_string(), 1)]),
+            )
+            .unwrap();
+        assert!(ior.offers("Replication") && ior.offers("Actuality"));
+
+        // Plain application traffic works unwoven.
+        client.orb().invoke(&ior, "put", &[Any::from("a"), Any::LongLong(5)]).unwrap();
+        assert_eq!(
+            client.orb().invoke(&ior, "get", &[Any::from("a")]).unwrap(),
+            Any::LongLong(5)
+        );
+
+        // QoS ops require negotiation first (Fig. 2 exception).
+        assert!(matches!(
+            client.orb().invoke(&ior, "export_state", &[]),
+            Err(OrbError::QosNotNegotiated(_))
+        ));
+
+        // Negotiate via preferences.
+        let prefs = ContractHierarchy::new(
+            "p",
+            ContractNode::Any(vec![
+                ContractNode::Leaf(Offer::new("Replication", 5.0)),
+                ContractNode::Leaf(Offer::new("Actuality", 1.0)),
+            ]),
+        );
+        let (agreements, utility) = client
+            .negotiator()
+            .negotiate_preferences(server.orb().node(), "kv", &prefs)
+            .unwrap();
+        assert_eq!(utility, 5.0);
+        assert_eq!(agreements[0].characteristic, "Replication");
+        assert_eq!(
+            server.woven("kv").unwrap().active_characteristic().as_deref(),
+            Some("Replication")
+        );
+
+        // Now the Replication QoS ops answer.
+        assert_eq!(
+            client.orb().invoke(&ior, "replica_role", &[]).unwrap(),
+            Any::Str("follower".into())
+        );
+        server.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn serve_woven_unknown_interface_fails() {
+        let net = Network::new(1);
+        let node = MaqsNode::builder(&net, "n").build().unwrap();
+        assert!(node.serve_woven("x", kv(), "Ghost").is_err());
+        node.shutdown();
+    }
+
+    #[test]
+    fn stub_helper_builds_working_stub() {
+        let net = Network::new(1);
+        let server = MaqsNode::builder(&net, "server").spec(SPEC).build().unwrap();
+        let client = MaqsNode::builder(&net, "client").build().unwrap();
+        let ior = server.serve_woven("kv", kv(), "Kv").unwrap();
+        let stub = client.stub(&ior);
+        stub.invoke("put", &[Any::from("k"), Any::LongLong(9)]).unwrap();
+        assert_eq!(stub.invoke("get", &[Any::from("k")]).unwrap(), Any::LongLong(9));
+        server.shutdown();
+        client.shutdown();
+    }
+}

@@ -1,0 +1,127 @@
+//! Failure injection: crashes and partitions.
+
+use crate::message::NodeId;
+use std::collections::HashSet;
+
+/// A network partition: nodes in different groups cannot communicate.
+///
+/// Nodes not mentioned in any group form an implicit extra group together.
+#[derive(Debug, Clone, Default)]
+pub struct Partition {
+    groups: Vec<HashSet<NodeId>>,
+}
+
+impl Partition {
+    /// A partition with the given groups.
+    pub fn new<I, G>(groups: I) -> Partition
+    where
+        I: IntoIterator<Item = G>,
+        G: IntoIterator<Item = NodeId>,
+    {
+        Partition {
+            groups: groups.into_iter().map(|g| g.into_iter().collect()).collect(),
+        }
+    }
+
+    /// Whether `a` and `b` may communicate under this partition.
+    pub fn connected(&self, a: NodeId, b: NodeId) -> bool {
+        if a == b {
+            return true;
+        }
+        let ga = self.groups.iter().position(|g| g.contains(&a));
+        let gb = self.groups.iter().position(|g| g.contains(&b));
+        // Nodes outside all groups share the implicit "rest" group.
+        ga == gb
+    }
+}
+
+/// The mutable fault state of a [`crate::Network`].
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    crashed: HashSet<NodeId>,
+    partition: Option<Partition>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Mark a node as crashed: it neither sends nor receives.
+    pub fn crash(&mut self, node: NodeId) {
+        self.crashed.insert(node);
+    }
+
+    /// Revive a crashed node.
+    pub fn revive(&mut self, node: NodeId) {
+        self.crashed.remove(&node);
+    }
+
+    /// Whether a node is currently crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed.contains(&node)
+    }
+
+    /// Install a partition (replacing any existing one).
+    pub fn partition(&mut self, p: Partition) {
+        self.partition = Some(p);
+    }
+
+    /// Remove any partition.
+    pub fn heal(&mut self) {
+        self.partition = None;
+    }
+
+    /// Whether a message from `src` to `dst` is currently deliverable.
+    pub fn deliverable(&self, src: NodeId, dst: NodeId) -> bool {
+        if self.is_crashed(src) || self.is_crashed(dst) {
+            return false;
+        }
+        match &self.partition {
+            Some(p) => p.connected(src, dst),
+            None => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn crash_blocks_both_directions() {
+        let mut f = FaultPlan::new();
+        assert!(f.deliverable(n(1), n(2)));
+        f.crash(n(2));
+        assert!(!f.deliverable(n(1), n(2)));
+        assert!(!f.deliverable(n(2), n(1)));
+        assert!(f.deliverable(n(1), n(3)));
+        f.revive(n(2));
+        assert!(f.deliverable(n(1), n(2)));
+    }
+
+    #[test]
+    fn partition_separates_groups() {
+        let p = Partition::new([vec![n(1), n(2)], vec![n(3)]]);
+        assert!(p.connected(n(1), n(2)));
+        assert!(!p.connected(n(1), n(3)));
+        assert!(p.connected(n(3), n(3)));
+        // Unlisted nodes share the implicit rest-group.
+        assert!(p.connected(n(8), n(9)));
+        assert!(!p.connected(n(8), n(1)));
+    }
+
+    #[test]
+    fn heal_restores_connectivity() {
+        let mut f = FaultPlan::new();
+        f.partition(Partition::new([vec![n(1)], vec![n(2)]]));
+        assert!(!f.deliverable(n(1), n(2)));
+        f.heal();
+        assert!(f.deliverable(n(1), n(2)));
+    }
+}

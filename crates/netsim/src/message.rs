@@ -1,0 +1,77 @@
+//! Node identity and the simulated wire message.
+
+use crate::time::VirtualInstant;
+use std::fmt;
+
+/// Identifies a node attached to a [`crate::Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A message delivered by the simulator.
+///
+/// The payload is opaque bytes; the ORB layers its own protocol on top.
+/// Timestamps are *virtual* (see [`crate::VirtualClock`]): `deliver_vt -
+/// send_vt` is the modelled network transit time for the configured link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// The sending node.
+    pub src: NodeId,
+    /// The destination node.
+    pub dst: NodeId,
+    /// Per-(src,dst) sequence number, starting at 0.
+    pub seq: u64,
+    /// Virtual time at which the sender issued the message.
+    pub send_vt: VirtualInstant,
+    /// Virtual time at which the message arrives at the destination.
+    pub deliver_vt: VirtualInstant,
+    /// The message body.
+    pub payload: Vec<u8>,
+}
+
+impl Message {
+    /// Modelled transit time (`deliver_vt - send_vt`).
+    pub fn transit(&self) -> crate::VirtualDuration {
+        self.deliver_vt.saturating_since(self.send_vt)
+    }
+
+    /// Payload size in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transit_is_delivery_minus_send() {
+        let m = Message {
+            src: NodeId(0),
+            dst: NodeId(1),
+            seq: 0,
+            send_vt: VirtualInstant(100),
+            deliver_vt: VirtualInstant(350),
+            payload: vec![1, 2, 3],
+        };
+        assert_eq!(m.transit().as_nanos(), 250);
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId(7).to_string(), "n7");
+    }
+}

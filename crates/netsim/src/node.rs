@@ -1,0 +1,143 @@
+//! The per-node handle returned by [`crate::Network::attach`].
+
+use crate::message::{Message, NodeId};
+use crate::network::{NetworkInner, SendError};
+use crate::time::{VirtualClock, VirtualInstant};
+use crossbeam::channel::{Receiver, RecvTimeoutError, TryRecvError};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Error returned by the receive operations of a [`NetHandle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// No message is currently queued (`try_recv` only).
+    Empty,
+    /// No message arrived within the wall-clock timeout.
+    Timeout,
+    /// The network was dropped; no further messages can arrive.
+    Disconnected,
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvError::Empty => write!(f, "no message queued"),
+            RecvError::Timeout => write!(f, "receive timed out"),
+            RecvError::Disconnected => write!(f, "network disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// A node's endpoint on the simulated network.
+///
+/// Cheap to clone; clones share the same inbox and virtual clock, which
+/// lets a node run a receive loop on one thread while sending from others.
+#[derive(Clone)]
+pub struct NetHandle {
+    pub(crate) id: NodeId,
+    pub(crate) name: Arc<str>,
+    pub(crate) inbox: Receiver<Message>,
+    pub(crate) clock: VirtualClock,
+    pub(crate) net: Arc<NetworkInner>,
+}
+
+impl fmt::Debug for NetHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NetHandle")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("vt", &self.clock.now())
+            .finish()
+    }
+}
+
+impl NetHandle {
+    /// This node's identity.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The human-readable name given at attach time.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// This node's virtual clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// Current virtual time at this node.
+    pub fn now(&self) -> VirtualInstant {
+        self.clock.now()
+    }
+
+    /// Send `payload` to `dst`.
+    ///
+    /// Delivery is unreliable in exactly the ways the network is configured
+    /// to be: messages eaten by the loss model or by faults are *not*
+    /// errors (they are recorded in [`crate::NetworkStats`]), mirroring a
+    /// datagram network where the sender cannot observe the drop.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `dst` was never attached or if this node has
+    /// been crashed by fault injection.
+    pub fn send(&self, dst: NodeId, payload: Vec<u8>) -> Result<(), SendError> {
+        self.net.send(self.id, dst, payload, &self.clock)
+    }
+
+    /// Block until a message arrives. Advances the virtual clock to the
+    /// message's delivery time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError::Disconnected`] if the network is gone.
+    pub fn recv(&self) -> Result<Message, RecvError> {
+        let msg = self.inbox.recv().map_err(|_| RecvError::Disconnected)?;
+        self.clock.advance_to(msg.deliver_vt);
+        Ok(msg)
+    }
+
+    /// Receive without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError::Empty`] if no message is queued,
+    /// [`RecvError::Disconnected`] if the network is gone.
+    pub fn try_recv(&self) -> Result<Message, RecvError> {
+        match self.inbox.try_recv() {
+            Ok(msg) => {
+                self.clock.advance_to(msg.deliver_vt);
+                Ok(msg)
+            }
+            Err(TryRecvError::Empty) => Err(RecvError::Empty),
+            Err(TryRecvError::Disconnected) => Err(RecvError::Disconnected),
+        }
+    }
+
+    /// Block up to a wall-clock `timeout` for a message.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError::Timeout`] on timeout, [`RecvError::Disconnected`] if
+    /// the network is gone.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Message, RecvError> {
+        match self.inbox.recv_timeout(timeout) {
+            Ok(msg) => {
+                self.clock.advance_to(msg.deliver_vt);
+                Ok(msg)
+            }
+            Err(RecvTimeoutError::Timeout) => Err(RecvError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(RecvError::Disconnected),
+        }
+    }
+
+    /// Number of messages currently queued in the inbox.
+    pub fn pending(&self) -> usize {
+        self.inbox.len()
+    }
+}

@@ -1,0 +1,90 @@
+//! Traffic statistics, per link and network-wide.
+
+use crate::message::NodeId;
+use std::collections::HashMap;
+
+/// Counters for one directed link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Messages successfully enqueued for delivery.
+    pub msgs_delivered: u64,
+    /// Payload bytes successfully enqueued for delivery.
+    pub bytes_delivered: u64,
+    /// Messages dropped by the loss model.
+    pub msgs_lost: u64,
+    /// Messages suppressed by crash/partition faults.
+    pub msgs_blocked: u64,
+}
+
+/// Aggregated statistics for a [`crate::Network`].
+#[derive(Debug, Clone, Default)]
+pub struct NetworkStats {
+    links: HashMap<(NodeId, NodeId), LinkStats>,
+}
+
+impl NetworkStats {
+    /// Record a successful delivery.
+    pub(crate) fn record_delivered(&mut self, src: NodeId, dst: NodeId, bytes: usize) {
+        let e = self.links.entry((src, dst)).or_default();
+        e.msgs_delivered += 1;
+        e.bytes_delivered += bytes as u64;
+    }
+
+    /// Record a message dropped by the loss model.
+    pub(crate) fn record_lost(&mut self, src: NodeId, dst: NodeId) {
+        self.links.entry((src, dst)).or_default().msgs_lost += 1;
+    }
+
+    /// Record a message blocked by faults.
+    pub(crate) fn record_blocked(&mut self, src: NodeId, dst: NodeId) {
+        self.links.entry((src, dst)).or_default().msgs_blocked += 1;
+    }
+
+    /// Counters for one directed link (zeroes if never used).
+    pub fn link(&self, src: NodeId, dst: NodeId) -> LinkStats {
+        self.links.get(&(src, dst)).copied().unwrap_or_default()
+    }
+
+    /// Total payload bytes delivered over all links.
+    pub fn total_bytes(&self) -> u64 {
+        self.links.values().map(|s| s.bytes_delivered).sum()
+    }
+
+    /// Total messages delivered over all links.
+    pub fn total_msgs(&self) -> u64 {
+        self.links.values().map(|s| s.msgs_delivered).sum()
+    }
+
+    /// Total messages lost to the loss model.
+    pub fn total_lost(&self) -> u64 {
+        self.links.values().map(|s| s.msgs_lost).sum()
+    }
+
+    /// Iterate over `((src, dst), stats)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&(NodeId, NodeId), &LinkStats)> {
+        self.links.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = NetworkStats::default();
+        let (a, b) = (NodeId(1), NodeId(2));
+        s.record_delivered(a, b, 100);
+        s.record_delivered(a, b, 50);
+        s.record_lost(a, b);
+        s.record_blocked(b, a);
+        assert_eq!(s.link(a, b).msgs_delivered, 2);
+        assert_eq!(s.link(a, b).bytes_delivered, 150);
+        assert_eq!(s.link(a, b).msgs_lost, 1);
+        assert_eq!(s.link(b, a).msgs_blocked, 1);
+        assert_eq!(s.total_bytes(), 150);
+        assert_eq!(s.total_msgs(), 2);
+        assert_eq!(s.total_lost(), 1);
+        assert_eq!(s.link(NodeId(9), NodeId(9)), LinkStats::default());
+    }
+}

@@ -1,0 +1,202 @@
+//! Virtual time for the simulator.
+//!
+//! Virtual time is a logical clock measured in nanoseconds. Every message
+//! sent through the simulator carries its virtual send time and a computed
+//! virtual delivery time; receiving nodes advance their clocks to the
+//! delivery time. This is the standard "logical execution time" trick:
+//! wall-clock delivery is immediate, but the *modelled* timing of a real
+//! network with the configured link parameters is fully deterministic.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A point in virtual time, in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtualInstant(pub u64);
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtualDuration(pub u64);
+
+impl VirtualInstant {
+    /// The origin of virtual time.
+    pub const ZERO: VirtualInstant = VirtualInstant(0);
+
+    /// Nanoseconds since simulation start.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Virtual time elapsed since `earlier`, saturating at zero.
+    pub fn saturating_since(self, earlier: VirtualInstant) -> VirtualDuration {
+        VirtualDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: VirtualInstant) -> VirtualInstant {
+        VirtualInstant(self.0.max(other.0))
+    }
+}
+
+impl VirtualDuration {
+    /// The zero duration.
+    pub const ZERO: VirtualDuration = VirtualDuration(0);
+
+    /// A duration of `n` nanoseconds.
+    pub fn from_nanos(n: u64) -> VirtualDuration {
+        VirtualDuration(n)
+    }
+
+    /// A duration of `n` microseconds.
+    pub fn from_micros(n: u64) -> VirtualDuration {
+        VirtualDuration(n.saturating_mul(1_000))
+    }
+
+    /// A duration of `n` milliseconds.
+    pub fn from_millis(n: u64) -> VirtualDuration {
+        VirtualDuration(n.saturating_mul(1_000_000))
+    }
+
+    /// A duration of `n` seconds.
+    pub fn from_secs(n: u64) -> VirtualDuration {
+        VirtualDuration(n.saturating_mul(1_000_000_000))
+    }
+
+    /// The duration in nanoseconds.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// The duration in (fractional) milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// The duration in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, rhs: VirtualDuration) -> VirtualDuration {
+        VirtualDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl Add<VirtualDuration> for VirtualInstant {
+    type Output = VirtualInstant;
+    fn add(self, rhs: VirtualDuration) -> VirtualInstant {
+        VirtualInstant(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<VirtualDuration> for VirtualInstant {
+    fn add_assign(&mut self, rhs: VirtualDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Add for VirtualDuration {
+    type Output = VirtualDuration;
+    fn add(self, rhs: VirtualDuration) -> VirtualDuration {
+        VirtualDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl Sub for VirtualInstant {
+    type Output = VirtualDuration;
+    fn sub(self, rhs: VirtualInstant) -> VirtualDuration {
+        VirtualDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for VirtualInstant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms(vt)", self.0 as f64 / 1e6)
+    }
+}
+
+impl fmt::Display for VirtualDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+    }
+}
+
+/// A shared, monotonically advancing virtual clock.
+///
+/// Each simulated node owns one; it only moves forward. Cloning the clock
+/// yields a handle onto the same underlying counter.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    nanos: Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    /// A new clock at virtual time zero.
+    pub fn new() -> VirtualClock {
+        VirtualClock::default()
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> VirtualInstant {
+        VirtualInstant(self.nanos.load(Ordering::Acquire))
+    }
+
+    /// Advance the clock by `d`, returning the new time.
+    pub fn advance(&self, d: VirtualDuration) -> VirtualInstant {
+        VirtualInstant(self.nanos.fetch_add(d.0, Ordering::AcqRel) + d.0)
+    }
+
+    /// Advance the clock to at least `t` (no-op if already past it).
+    pub fn advance_to(&self, t: VirtualInstant) {
+        self.nanos.fetch_max(t.0, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_arithmetic() {
+        let t = VirtualInstant::ZERO + VirtualDuration::from_millis(5);
+        assert_eq!(t.as_nanos(), 5_000_000);
+        assert_eq!((t - VirtualInstant::ZERO).as_millis_f64(), 5.0);
+        assert_eq!(t.max(VirtualInstant(1)), t);
+    }
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(VirtualDuration::from_secs(1), VirtualDuration::from_millis(1000));
+        assert_eq!(VirtualDuration::from_millis(1), VirtualDuration::from_micros(1000));
+        assert_eq!(VirtualDuration::from_micros(1), VirtualDuration::from_nanos(1000));
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let c = VirtualClock::new();
+        c.advance(VirtualDuration::from_millis(10));
+        c.advance_to(VirtualInstant(5)); // in the past: no effect
+        assert_eq!(c.now(), VirtualInstant(10_000_000));
+        c.advance_to(VirtualInstant(20_000_000));
+        assert_eq!(c.now(), VirtualInstant(20_000_000));
+    }
+
+    #[test]
+    fn clock_handles_share_state() {
+        let c = VirtualClock::new();
+        let c2 = c.clone();
+        c.advance(VirtualDuration::from_nanos(7));
+        assert_eq!(c2.now(), VirtualInstant(7));
+    }
+
+    #[test]
+    fn saturating_since_does_not_underflow() {
+        let a = VirtualInstant(5);
+        let b = VirtualInstant(10);
+        assert_eq!(a.saturating_since(b), VirtualDuration::ZERO);
+        assert_eq!(b.saturating_since(a), VirtualDuration(5));
+    }
+}

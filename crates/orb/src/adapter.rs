@@ -1,0 +1,245 @@
+//! The object adapter: servant registry and request dispatch.
+
+use crate::any::Any;
+use crate::error::OrbError;
+use crate::ior::ObjectKey;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// An object implementation registered with an [`ObjectAdapter`].
+///
+/// The servant is the "Service" box of the paper's Fig. 1: pure
+/// application logic, unaware of QoS. The two `*_state` hooks are the
+/// paper's §3.1 observation made concrete: replication-style QoS
+/// mechanisms need a *dedicated interface* into the otherwise encapsulated
+/// object state (initializing new replicas to the state of running ones).
+/// Servants that opt out of state transfer simply keep the defaults.
+pub trait Servant: Send + Sync {
+    /// Repository id of the implemented interface, e.g. `IDL:Bank:1.0`.
+    fn interface_id(&self) -> &str;
+
+    /// Execute `op` with `args`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`OrbError::BadOperation`] for unknown
+    /// operations, [`OrbError::BadParam`] for arity/type errors, and
+    /// [`OrbError::UserException`] for application-level failures.
+    fn dispatch(&self, op: &str, args: &[Any]) -> Result<Any, OrbError>;
+
+    /// Export the object state (for QoS mechanisms such as replica
+    /// initialization). Default: unsupported.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::BadOperation`] if the servant does not support state
+    /// export.
+    fn get_state(&self) -> Result<Any, OrbError> {
+        Err(OrbError::BadOperation("_get_state".to_string()))
+    }
+
+    /// Overwrite the object state. Default: unsupported.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::BadOperation`] if the servant does not support state
+    /// import.
+    fn set_state(&self, _state: &Any) -> Result<(), OrbError> {
+        Err(OrbError::BadOperation("_set_state".to_string()))
+    }
+}
+
+/// Maps object keys to active servants and dispatches requests to them.
+#[derive(Clone, Default)]
+pub struct ObjectAdapter {
+    servants: Arc<RwLock<HashMap<ObjectKey, Arc<dyn Servant>>>>,
+}
+
+impl fmt::Debug for ObjectAdapter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ObjectAdapter")
+            .field("active_objects", &self.servants.read().len())
+            .finish()
+    }
+}
+
+impl ObjectAdapter {
+    /// A new, empty adapter.
+    pub fn new() -> ObjectAdapter {
+        ObjectAdapter::default()
+    }
+
+    /// Activate `servant` under `key`, replacing any previous activation.
+    pub fn activate(&self, key: impl Into<ObjectKey>, servant: Arc<dyn Servant>) {
+        self.servants.write().insert(key.into(), servant);
+    }
+
+    /// Deactivate the object under `key`, returning its servant if active.
+    pub fn deactivate(&self, key: &ObjectKey) -> Option<Arc<dyn Servant>> {
+        self.servants.write().remove(key)
+    }
+
+    /// Look up the servant for `key`.
+    pub fn resolve(&self, key: &ObjectKey) -> Option<Arc<dyn Servant>> {
+        self.servants.read().get(key).cloned()
+    }
+
+    /// All currently active object keys, in unspecified order.
+    pub fn active_keys(&self) -> Vec<ObjectKey> {
+        self.servants.read().keys().cloned().collect()
+    }
+
+    /// Number of active objects.
+    pub fn len(&self) -> usize {
+        self.servants.read().len()
+    }
+
+    /// Whether no objects are active.
+    pub fn is_empty(&self) -> bool {
+        self.servants.read().is_empty()
+    }
+
+    /// Dispatch `op(args)` to the servant under `key`.
+    ///
+    /// Implements the CORBA built-in operations uniformly for every
+    /// object: `_is_a` (repository-id check), `_non_existent`,
+    /// `_interface` (repository id as a string), plus the MAQS state hooks
+    /// `_get_state` / `_set_state`.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::ObjectNotExist`] if `key` is not active, or whatever
+    /// the servant's own dispatch returns.
+    pub fn dispatch(&self, key: &ObjectKey, op: &str, args: &[Any]) -> Result<Any, OrbError> {
+        let servant = self
+            .resolve(key)
+            .ok_or_else(|| OrbError::ObjectNotExist(key.0.clone()))?;
+        match op {
+            "_is_a" => {
+                let id = args
+                    .first()
+                    .and_then(Any::as_str)
+                    .ok_or_else(|| OrbError::BadParam("_is_a expects a string".to_string()))?;
+                Ok(Any::Bool(servant.interface_id() == id))
+            }
+            "_non_existent" => Ok(Any::Bool(false)),
+            "_interface" => Ok(Any::Str(servant.interface_id().to_string())),
+            "_get_state" => servant.get_state(),
+            "_set_state" => {
+                let state = args
+                    .first()
+                    .ok_or_else(|| OrbError::BadParam("_set_state expects a value".to_string()))?;
+                servant.set_state(state)?;
+                Ok(Any::Void)
+            }
+            _ => servant.dispatch(op, args),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(parking_lot::Mutex<i32>);
+    impl Servant for Counter {
+        fn interface_id(&self) -> &str {
+            "IDL:Counter:1.0"
+        }
+        fn dispatch(&self, op: &str, args: &[Any]) -> Result<Any, OrbError> {
+            match op {
+                "add" => {
+                    let n = args
+                        .first()
+                        .and_then(Any::as_long)
+                        .ok_or_else(|| OrbError::BadParam("add(long)".to_string()))?;
+                    let mut v = self.0.lock();
+                    *v += n;
+                    Ok(Any::Long(*v))
+                }
+                _ => Err(OrbError::BadOperation(op.to_string())),
+            }
+        }
+        fn get_state(&self) -> Result<Any, OrbError> {
+            Ok(Any::Long(*self.0.lock()))
+        }
+        fn set_state(&self, state: &Any) -> Result<(), OrbError> {
+            *self.0.lock() = state.as_long().ok_or_else(|| OrbError::BadParam("long".to_string()))?;
+            Ok(())
+        }
+    }
+
+    fn adapter_with_counter() -> ObjectAdapter {
+        let a = ObjectAdapter::new();
+        a.activate("c1", Arc::new(Counter(parking_lot::Mutex::new(0))));
+        a
+    }
+
+    #[test]
+    fn activate_resolve_deactivate() {
+        let a = adapter_with_counter();
+        let key = ObjectKey("c1".into());
+        assert!(a.resolve(&key).is_some());
+        assert_eq!(a.len(), 1);
+        assert!(a.deactivate(&key).is_some());
+        assert!(a.is_empty());
+        assert!(a.deactivate(&key).is_none());
+    }
+
+    #[test]
+    fn dispatch_reaches_servant() {
+        let a = adapter_with_counter();
+        let key = ObjectKey("c1".into());
+        assert_eq!(a.dispatch(&key, "add", &[Any::Long(5)]).unwrap(), Any::Long(5));
+        assert_eq!(a.dispatch(&key, "add", &[Any::Long(2)]).unwrap(), Any::Long(7));
+    }
+
+    #[test]
+    fn unknown_object_and_operation() {
+        let a = adapter_with_counter();
+        let missing = ObjectKey("nope".into());
+        assert!(matches!(a.dispatch(&missing, "add", &[]), Err(OrbError::ObjectNotExist(_))));
+        let key = ObjectKey("c1".into());
+        assert!(matches!(a.dispatch(&key, "frob", &[]), Err(OrbError::BadOperation(_))));
+    }
+
+    #[test]
+    fn builtin_operations() {
+        let a = adapter_with_counter();
+        let key = ObjectKey("c1".into());
+        assert_eq!(
+            a.dispatch(&key, "_is_a", &[Any::from("IDL:Counter:1.0")]).unwrap(),
+            Any::Bool(true)
+        );
+        assert_eq!(
+            a.dispatch(&key, "_is_a", &[Any::from("IDL:Other:1.0")]).unwrap(),
+            Any::Bool(false)
+        );
+        assert_eq!(a.dispatch(&key, "_non_existent", &[]).unwrap(), Any::Bool(false));
+        assert_eq!(
+            a.dispatch(&key, "_interface", &[]).unwrap(),
+            Any::Str("IDL:Counter:1.0".into())
+        );
+    }
+
+    #[test]
+    fn state_transfer_hooks() {
+        let a = adapter_with_counter();
+        let key = ObjectKey("c1".into());
+        a.dispatch(&key, "add", &[Any::Long(9)]).unwrap();
+        let state = a.dispatch(&key, "_get_state", &[]).unwrap();
+        assert_eq!(state, Any::Long(9));
+        a.dispatch(&key, "_set_state", &[Any::Long(3)]).unwrap();
+        assert_eq!(a.dispatch(&key, "add", &[Any::Long(0)]).unwrap(), Any::Long(3));
+    }
+
+    #[test]
+    fn replacing_activation() {
+        let a = adapter_with_counter();
+        a.activate("c1", Arc::new(Counter(parking_lot::Mutex::new(100))));
+        let key = ObjectKey("c1".into());
+        assert_eq!(a.dispatch(&key, "add", &[Any::Long(0)]).unwrap(), Any::Long(100));
+    }
+}

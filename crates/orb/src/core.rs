@@ -1,0 +1,825 @@
+//! The ORB core: request brokering and the Fig. 3 invocation interface.
+//!
+//! Each [`Orb`] owns one [`netsim::NetHandle`] (its "host"), an object
+//! adapter, a QoS transport, and a pseudo-object registry. A background
+//! **receive loop** reads packets off the network; requests are queued to
+//! a small dispatcher pool (so a servant may itself make outbound calls
+//! without deadlocking the loop), replies are correlated back to waiting
+//! callers.
+//!
+//! The send path implements the client half of Fig. 3:
+//!
+//! 1. collocated QoS-unaware requests short-circuit straight into the
+//!    local adapter (a standard ORB optimization, kept measurable for
+//!    experiment E1);
+//! 2. if the binding (peer, object) is assigned to a QoS module, the
+//!    module's outbound transform produces the wire messages, framed as
+//!    [`Packet::Qos`];
+//! 3. otherwise the request travels as plain GIOP ([`Packet::Plain`]) —
+//!    including *commands* and not-yet-negotiated QoS traffic, which is
+//!    exactly how the paper bootstraps negotiation.
+//!
+//! The receive path implements the server half: plain packets go straight
+//! to GIOP decoding; QoS packets first run the named module's inbound
+//! transform (which may swallow duplicates); commands are routed to the
+//! QoS transport or the named module; pseudo-object keys (`pseudo:NAME`)
+//! hit the local registry; everything else is adapter dispatch.
+
+use crate::adapter::{ObjectAdapter, Servant};
+use crate::any::Any;
+use crate::error::OrbError;
+use crate::giop::{
+    CommandTarget, GiopMessage, Packet, QosContext, ReplyMessage, RequestKind, RequestMessage,
+};
+use crate::ior::{Ior, ObjectKey};
+use crate::pseudo::PseudoObjectRegistry;
+use crate::transport::QosTransport;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use netsim::{NetHandle, Network, NodeId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Prefix marking object keys that resolve in the pseudo-object registry.
+pub const PSEUDO_KEY_PREFIX: &str = "pseudo:";
+
+/// Tuning knobs for an [`Orb`].
+#[derive(Debug, Clone)]
+pub struct OrbConfig {
+    /// Wall-clock timeout for synchronous invocations.
+    pub request_timeout: Duration,
+    /// Short-circuit collocated QoS-unaware calls into the local adapter.
+    pub collocated_shortcut: bool,
+    /// Number of dispatcher threads executing incoming requests.
+    pub dispatch_threads: usize,
+}
+
+impl Default for OrbConfig {
+    fn default() -> OrbConfig {
+        OrbConfig {
+            request_timeout: Duration::from_secs(5),
+            collocated_shortcut: true,
+            dispatch_threads: 1,
+        }
+    }
+}
+
+/// Counters exposed by [`Orb::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OrbStats {
+    /// Requests dispatched by this ORB (as a server).
+    pub requests_handled: u64,
+    /// Replies delivered to local callers.
+    pub replies_matched: u64,
+    /// Replies that arrived for no waiting caller (e.g. fan-out extras).
+    pub replies_orphaned: u64,
+    /// Packets dropped because they could not be decoded or un-wrapped.
+    pub packets_dropped: u64,
+    /// Requests answered via the collocated shortcut.
+    pub collocated_calls: u64,
+}
+
+struct Pending {
+    tx: Sender<ReplyMessage>,
+}
+
+struct OrbInner {
+    handle: NetHandle,
+    adapter: ObjectAdapter,
+    transport: QosTransport,
+    pseudo: PseudoObjectRegistry,
+    pending: Mutex<HashMap<u64, Pending>>,
+    next_request: AtomicU64,
+    config: OrbConfig,
+    shutdown: AtomicBool,
+    stats: Mutex<OrbStats>,
+    dispatch_tx: Sender<DispatchWork>,
+}
+
+struct DispatchWork {
+    via_module: Option<String>,
+    request: RequestMessage,
+}
+
+/// An object request broker bound to one simulated network node.
+///
+/// Cloning shares the same broker. Dropping the last clone does *not*
+/// stop the background threads; call [`Orb::shutdown`] for a clean stop.
+#[derive(Clone)]
+pub struct Orb {
+    inner: Arc<OrbInner>,
+}
+
+impl fmt::Debug for Orb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Orb")
+            .field("node", &self.inner.handle.id())
+            .field("name", &self.inner.handle.name())
+            .finish()
+    }
+}
+
+impl Orb {
+    /// Start an ORB on a fresh node of `net` with default configuration.
+    pub fn start(net: &Network, name: &str) -> Orb {
+        Orb::start_with(net, name, OrbConfig::default())
+    }
+
+    /// Start an ORB with explicit configuration.
+    pub fn start_with(net: &Network, name: &str, config: OrbConfig) -> Orb {
+        let handle = net.attach(name);
+        let (dispatch_tx, dispatch_rx) = unbounded::<DispatchWork>();
+        let inner = Arc::new(OrbInner {
+            handle,
+            adapter: ObjectAdapter::new(),
+            transport: QosTransport::new(),
+            pseudo: PseudoObjectRegistry::new(),
+            pending: Mutex::new(HashMap::new()),
+            next_request: AtomicU64::new(1),
+            config,
+            shutdown: AtomicBool::new(false),
+            stats: Mutex::new(OrbStats::default()),
+            dispatch_tx,
+        });
+        let orb = Orb { inner };
+        orb.spawn_receive_loop();
+        for _ in 0..orb.inner.config.dispatch_threads.max(1) {
+            orb.spawn_dispatcher(dispatch_rx.clone());
+        }
+        orb
+    }
+
+    /// The network node this ORB runs on.
+    pub fn node(&self) -> NodeId {
+        self.inner.handle.id()
+    }
+
+    /// The underlying network handle (virtual clock, name, …).
+    pub fn net_handle(&self) -> &NetHandle {
+        &self.inner.handle
+    }
+
+    /// The ORB's object adapter.
+    pub fn adapter(&self) -> &ObjectAdapter {
+        &self.inner.adapter
+    }
+
+    /// The ORB's QoS transport (module/factory/binding administration).
+    pub fn qos_transport(&self) -> &QosTransport {
+        &self.inner.transport
+    }
+
+    /// The ORB's pseudo-object registry.
+    pub fn pseudo_objects(&self) -> &PseudoObjectRegistry {
+        &self.inner.pseudo
+    }
+
+    /// A snapshot of the broker counters.
+    pub fn stats(&self) -> OrbStats {
+        *self.inner.stats.lock()
+    }
+
+    /// Activate a servant and return a QoS-unaware reference to it.
+    pub fn activate(&self, key: &str, servant: Box<dyn Servant>) -> Ior {
+        self.activate_with_tags(key, servant, &[])
+    }
+
+    /// Activate a servant and return a reference tagged with the QoS
+    /// characteristics offered for it (the Fig. 3 IOR tag).
+    pub fn activate_with_tags(&self, key: &str, servant: Box<dyn Servant>, tags: &[&str]) -> Ior {
+        let servant: Arc<dyn Servant> = Arc::from(servant);
+        let type_id = servant.interface_id().to_string();
+        self.inner.adapter.activate(key, servant);
+        let mut ior = Ior::new(type_id, self.node(), key);
+        for t in tags {
+            ior = ior.with_qos_tag(*t);
+        }
+        ior
+    }
+
+    /// Deactivate an object.
+    pub fn deactivate(&self, key: &str) {
+        self.inner.adapter.deactivate(&ObjectKey(key.to_string()));
+    }
+
+    /// Synchronous QoS-unaware invocation.
+    ///
+    /// # Errors
+    ///
+    /// Remote exceptions, [`OrbError::Timeout`] if no reply arrives in
+    /// [`OrbConfig::request_timeout`], or transport errors.
+    pub fn invoke(&self, ior: &Ior, op: &str, args: &[Any]) -> Result<Any, OrbError> {
+        self.invoke_qos(ior, op, args, None)
+    }
+
+    /// Synchronous invocation with an optional negotiated-QoS context.
+    ///
+    /// # Errors
+    ///
+    /// As [`Orb::invoke`].
+    pub fn invoke_qos(
+        &self,
+        ior: &Ior,
+        op: &str,
+        args: &[Any],
+        qos: Option<QosContext>,
+    ) -> Result<Any, OrbError> {
+        self.check_running()?;
+        // Collocated shortcut (only for plain calls: QoS-annotated traffic
+        // must take the full path so mediator/module semantics hold).
+        if self.inner.config.collocated_shortcut && qos.is_none() && ior.node == self.node() {
+            self.inner.stats.lock().collocated_calls += 1;
+            return self.inner.adapter.dispatch(&ior.key, op, args);
+        }
+        let (id, rx) = self.register_pending();
+        let request = RequestMessage {
+            request_id: id,
+            reply_to: self.node(),
+            object_key: ior.key.clone(),
+            operation: op.to_string(),
+            args: args.to_vec(),
+            response_expected: true,
+            kind: RequestKind::ServiceRequest,
+            qos,
+        };
+        let send_result = self.send_request(ior.node, &request);
+        if let Err(e) = send_result {
+            self.unregister_pending(id);
+            return Err(e);
+        }
+        let reply = self.await_reply(id, &rx, self.inner.config.request_timeout);
+        self.unregister_pending(id);
+        reply?.into_result()
+    }
+
+    /// Invocation that collects replies from multiple responders (replica
+    /// fan-out). Waits until `min_replies` have arrived or `timeout`
+    /// elapses, and returns everything received (possibly more than
+    /// `min_replies` if extras raced in).
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::Timeout`] if *no* reply arrived at all; partial results
+    /// are returned as `Ok` so voters can quorum on what they have.
+    pub fn invoke_collect(
+        &self,
+        ior: &Ior,
+        op: &str,
+        args: &[Any],
+        qos: Option<QosContext>,
+        min_replies: usize,
+        timeout: Duration,
+    ) -> Result<Vec<(NodeId, Result<Any, OrbError>)>, OrbError> {
+        self.check_running()?;
+        let (id, rx) = self.register_pending();
+        let request = RequestMessage {
+            request_id: id,
+            reply_to: self.node(),
+            object_key: ior.key.clone(),
+            operation: op.to_string(),
+            args: args.to_vec(),
+            response_expected: true,
+            kind: RequestKind::ServiceRequest,
+            qos,
+        };
+        if let Err(e) = self.send_request(ior.node, &request) {
+            self.unregister_pending(id);
+            return Err(e);
+        }
+        let deadline = Instant::now() + timeout;
+        let mut replies = Vec::new();
+        while replies.len() < min_replies {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(reply) => replies.push((reply.from, reply.into_result())),
+                Err(_) => break,
+            }
+        }
+        // Drain any extras that arrived while we were counting.
+        while let Ok(reply) = rx.try_recv() {
+            replies.push((reply.from, reply.into_result()));
+        }
+        self.unregister_pending(id);
+        if replies.is_empty() {
+            return Err(OrbError::Timeout(format!("{op}: no replies within {timeout:?}")));
+        }
+        Ok(replies)
+    }
+
+    /// Fire-and-forget invocation (CORBA `oneway`).
+    ///
+    /// # Errors
+    ///
+    /// Local send errors only; remote failures are invisible by design.
+    pub fn invoke_oneway(
+        &self,
+        ior: &Ior,
+        op: &str,
+        args: &[Any],
+        qos: Option<QosContext>,
+    ) -> Result<(), OrbError> {
+        self.check_running()?;
+        let request = RequestMessage {
+            request_id: self.inner.next_request.fetch_add(1, Ordering::Relaxed),
+            reply_to: self.node(),
+            object_key: ior.key.clone(),
+            operation: op.to_string(),
+            args: args.to_vec(),
+            response_expected: false,
+            kind: RequestKind::ServiceRequest,
+            qos,
+        };
+        self.send_request(ior.node, &request)
+    }
+
+    /// Send a *command* (Fig. 3) to the QoS transport or a module on
+    /// `node` and wait for the result. Commands always travel the plain
+    /// GIOP path.
+    ///
+    /// # Errors
+    ///
+    /// Remote command errors, [`OrbError::Timeout`], or transport errors.
+    pub fn send_command(
+        &self,
+        node: NodeId,
+        target: CommandTarget,
+        op: &str,
+        args: &[Any],
+    ) -> Result<Any, OrbError> {
+        self.check_running()?;
+        let (id, rx) = self.register_pending();
+        let request = RequestMessage {
+            request_id: id,
+            reply_to: self.node(),
+            object_key: ObjectKey(String::new()),
+            operation: op.to_string(),
+            args: args.to_vec(),
+            response_expected: true,
+            kind: RequestKind::Command(target),
+            qos: None,
+        };
+        let bytes = GiopMessage::Request(request).to_bytes();
+        let r = self.send_packet(node, &Packet::Plain(bytes));
+        if let Err(e) = r {
+            self.unregister_pending(id);
+            return Err(e);
+        }
+        let reply = self.await_reply(id, &rx, self.inner.config.request_timeout);
+        self.unregister_pending(id);
+        reply?.into_result()
+    }
+
+    /// Stop the receive loop and dispatchers. Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`Orb::shutdown`] has been called.
+    pub fn is_shut_down(&self) -> bool {
+        self.inner.shutdown.load(Ordering::SeqCst)
+    }
+
+    // ---- internals ------------------------------------------------------
+
+    fn check_running(&self) -> Result<(), OrbError> {
+        if self.is_shut_down() {
+            Err(OrbError::Shutdown)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn register_pending(&self) -> (u64, Receiver<ReplyMessage>) {
+        let id = self.inner.next_request.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = unbounded();
+        self.inner.pending.lock().insert(id, Pending { tx });
+        (id, rx)
+    }
+
+    fn unregister_pending(&self, id: u64) {
+        self.inner.pending.lock().remove(&id);
+    }
+
+    fn await_reply(
+        &self,
+        id: u64,
+        rx: &Receiver<ReplyMessage>,
+        timeout: Duration,
+    ) -> Result<ReplyMessage, OrbError> {
+        rx.recv_timeout(timeout)
+            .map_err(|_| OrbError::Timeout(format!("request {id}: no reply within {timeout:?}")))
+    }
+
+    /// The client half of the Fig. 3 decision tree.
+    fn send_request(&self, dst: NodeId, request: &RequestMessage) -> Result<(), OrbError> {
+        let bytes = GiopMessage::Request(request.clone()).to_bytes();
+        let qos_aware = request.qos.is_some();
+        if qos_aware {
+            if let Some(module) = self.inner.transport.bound_module(dst, &request.object_key) {
+                let outs = module.outbound(dst, bytes)?;
+                for (node, body) in outs {
+                    self.send_packet(node, &Packet::Qos { module: module.name().to_string(), body })?;
+                }
+                return Ok(());
+            }
+            // QoS-aware but unbound: fall back to GIOP/IIOP (Fig. 3) —
+            // this is the path negotiation itself travels on.
+        }
+        self.send_packet(dst, &Packet::Plain(bytes))
+    }
+
+    fn send_packet(&self, dst: NodeId, packet: &Packet) -> Result<(), OrbError> {
+        self.inner
+            .handle
+            .send(dst, packet.to_bytes())
+            .map_err(|e| OrbError::CommFailure(e.to_string()))
+    }
+
+    fn spawn_receive_loop(&self) -> JoinHandle<()> {
+        let inner = Arc::clone(&self.inner);
+        std::thread::Builder::new()
+            .name(format!("orb-recv-{}", inner.handle.name()))
+            .spawn(move || {
+                while !inner.shutdown.load(Ordering::SeqCst) {
+                    let msg = match inner.handle.recv_timeout(Duration::from_millis(25)) {
+                        Ok(m) => m,
+                        Err(netsim::RecvError::Timeout) => continue,
+                        Err(_) => break,
+                    };
+                    Orb::handle_packet(&inner, msg.src, &msg.payload);
+                }
+            })
+            .expect("spawn orb receive loop")
+    }
+
+    fn spawn_dispatcher(&self, rx: Receiver<DispatchWork>) -> JoinHandle<()> {
+        let inner = Arc::clone(&self.inner);
+        std::thread::Builder::new()
+            .name(format!("orb-dispatch-{}", inner.handle.name()))
+            .spawn(move || {
+                while !inner.shutdown.load(Ordering::SeqCst) {
+                    let work = match rx.recv_timeout(Duration::from_millis(25)) {
+                        Ok(w) => w,
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                        Err(_) => break,
+                    };
+                    Orb::execute_request(&inner, work);
+                }
+            })
+            .expect("spawn orb dispatcher")
+    }
+
+    fn handle_packet(inner: &Arc<OrbInner>, src: NodeId, payload: &[u8]) {
+        let packet = match Packet::from_bytes(payload) {
+            Ok(p) => p,
+            Err(_) => {
+                inner.stats.lock().packets_dropped += 1;
+                return;
+            }
+        };
+        let (giop_bytes, via_module) = match packet {
+            Packet::Plain(body) => (body, None),
+            Packet::Qos { module, body } => match inner.transport.module(&module) {
+                Some(m) => match m.inbound(src, body) {
+                    Ok(Some(bytes)) => (bytes, Some(module)),
+                    Ok(None) => return, // module swallowed it (e.g. duplicate)
+                    Err(_) => {
+                        inner.stats.lock().packets_dropped += 1;
+                        return;
+                    }
+                },
+                None => {
+                    inner.stats.lock().packets_dropped += 1;
+                    return;
+                }
+            },
+        };
+        let message = match GiopMessage::from_bytes(&giop_bytes) {
+            Ok(m) => m,
+            Err(_) => {
+                inner.stats.lock().packets_dropped += 1;
+                return;
+            }
+        };
+        match message {
+            GiopMessage::Request(request) => {
+                let _ = inner.dispatch_tx.send(DispatchWork { via_module, request });
+            }
+            GiopMessage::Reply(reply) => {
+                let pending = inner.pending.lock();
+                match pending.get(&reply.request_id) {
+                    Some(p) => {
+                        let _ = p.tx.send(reply);
+                        let mut stats = inner.stats.lock();
+                        stats.replies_matched += 1;
+                    }
+                    None => {
+                        inner.stats.lock().replies_orphaned += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The server half of the Fig. 3 decision tree.
+    fn execute_request(inner: &Arc<OrbInner>, work: DispatchWork) {
+        let DispatchWork { via_module, request } = work;
+        let result = match &request.kind {
+            RequestKind::Command(CommandTarget::Transport) => {
+                inner.transport.command(&request.operation, &request.args)
+            }
+            RequestKind::Command(CommandTarget::Module(name)) => match inner.transport.module(name) {
+                Some(m) => m.command(&request.operation, &request.args),
+                None => Err(OrbError::ModuleNotFound(name.clone())),
+            },
+            RequestKind::ServiceRequest => {
+                if let Some(name) = request.object_key.0.strip_prefix(PSEUDO_KEY_PREFIX) {
+                    inner.pseudo.invoke(name, &request.operation, &request.args)
+                } else {
+                    inner.adapter.dispatch(&request.object_key, &request.operation, &request.args)
+                }
+            }
+        };
+        inner.stats.lock().requests_handled += 1;
+        if !request.response_expected {
+            return;
+        }
+        let reply = ReplyMessage::from_result(request.request_id, inner.handle.id(), result);
+        let bytes = GiopMessage::Reply(reply).to_bytes();
+        // Route the reply back through the same module the request came
+        // in by, so transforms like compression are symmetric.
+        let packet = match via_module.and_then(|m| inner.transport.module(&m)) {
+            Some(module) => match module.outbound(request.reply_to, bytes) {
+                Ok(mut outs) if outs.len() == 1 => {
+                    let (node, body) = outs.remove(0);
+                    debug_assert_eq!(node, request.reply_to);
+                    Packet::Qos { module: module.name().to_string(), body }
+                }
+                _ => return, // fan-out modules answer per-destination themselves
+            },
+            None => Packet::Plain(bytes),
+        };
+        let _ = inner.handle.send(request.reply_to, packet.to_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{Outbound, QosModule};
+
+    struct Echo;
+    impl Servant for Echo {
+        fn interface_id(&self) -> &str {
+            "IDL:Echo:1.0"
+        }
+        fn dispatch(&self, op: &str, args: &[Any]) -> Result<Any, OrbError> {
+            match op {
+                "echo" => Ok(args.first().cloned().unwrap_or(Any::Void)),
+                "fail" => Err(OrbError::UserException("boom".to_string())),
+                _ => Err(OrbError::BadOperation(op.to_string())),
+            }
+        }
+    }
+
+    fn pair() -> (Network, Orb, Orb, Ior) {
+        let net = Network::new(1);
+        let server = Orb::start(&net, "server");
+        let client = Orb::start(&net, "client");
+        let ior = server.activate("echo", Box::new(Echo));
+        (net, server, client, ior)
+    }
+
+    #[test]
+    fn remote_roundtrip() {
+        let (_net, server, client, ior) = pair();
+        let r = client.invoke(&ior, "echo", &[Any::from("hi")]).unwrap();
+        assert_eq!(r, Any::Str("hi".into()));
+        assert_eq!(server.stats().requests_handled, 1);
+        assert_eq!(client.stats().replies_matched, 1);
+        server.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn remote_exception_propagates() {
+        let (_net, server, client, ior) = pair();
+        let err = client.invoke(&ior, "fail", &[]).unwrap_err();
+        assert_eq!(err, OrbError::UserException("boom".into()));
+        let err = client.invoke(&ior, "nope", &[]).unwrap_err();
+        assert!(matches!(err, OrbError::BadOperation(_)));
+        server.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn unknown_object() {
+        let (_net, server, client, _) = pair();
+        let bogus = Ior::new("IDL:X:1.0", server.node(), "ghost");
+        assert!(matches!(client.invoke(&bogus, "x", &[]), Err(OrbError::ObjectNotExist(_))));
+        server.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn collocated_shortcut_counts() {
+        let (_net, server, _client, ior) = pair();
+        let r = server.invoke(&ior, "echo", &[Any::Long(1)]).unwrap();
+        assert_eq!(r, Any::Long(1));
+        assert_eq!(server.stats().collocated_calls, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn collocated_without_shortcut_goes_over_wire() {
+        let net = Network::new(1);
+        let cfg = OrbConfig { collocated_shortcut: false, ..OrbConfig::default() };
+        let orb = Orb::start_with(&net, "solo", cfg);
+        let ior = orb.activate("echo", Box::new(Echo));
+        let r = orb.invoke(&ior, "echo", &[Any::Long(2)]).unwrap();
+        assert_eq!(r, Any::Long(2));
+        assert_eq!(orb.stats().collocated_calls, 0);
+        assert_eq!(orb.stats().requests_handled, 1);
+        orb.shutdown();
+    }
+
+    #[test]
+    fn oneway_does_not_wait() {
+        let (_net, server, client, ior) = pair();
+        client.invoke_oneway(&ior, "echo", &[Any::Long(3)], None).unwrap();
+        // Give the server a moment, then check it processed the request.
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(server.stats().requests_handled, 1);
+        server.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn timeout_on_crashed_server() {
+        let net = Network::new(1);
+        let server = Orb::start(&net, "server");
+        let client = Orb::start_with(
+            &net,
+            "client",
+            OrbConfig { request_timeout: Duration::from_millis(100), ..OrbConfig::default() },
+        );
+        let ior = server.activate("echo", Box::new(Echo));
+        net.crash(server.node());
+        let err = client.invoke(&ior, "echo", &[Any::Void]).unwrap_err();
+        assert!(matches!(err, OrbError::Timeout(_)));
+        server.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn remote_transport_command() {
+        let (_net, server, client, _ior) = pair();
+        let mods = client
+            .send_command(server.node(), CommandTarget::Transport, "list_modules", &[])
+            .unwrap();
+        assert_eq!(mods, Any::Sequence(vec![]));
+        server.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn pseudo_object_reachable_remotely() {
+        let (_net, server, client, _ior) = pair();
+        struct Answer;
+        impl Servant for Answer {
+            fn interface_id(&self) -> &str {
+                "IDL:Pseudo/Answer:1.0"
+            }
+            fn dispatch(&self, op: &str, _args: &[Any]) -> Result<Any, OrbError> {
+                match op {
+                    "get" => Ok(Any::Long(42)),
+                    other => Err(OrbError::BadOperation(other.to_string())),
+                }
+            }
+        }
+        server.pseudo_objects().register("Answer", Arc::new(Answer));
+        let ior = Ior::new("IDL:Pseudo/Answer:1.0", server.node(), "pseudo:Answer");
+        assert_eq!(client.invoke(&ior, "get", &[]).unwrap(), Any::Long(42));
+        server.shutdown();
+        client.shutdown();
+    }
+
+    /// Module that reverses the body bytes — detectable if only one side runs.
+    struct Mirror;
+    impl QosModule for Mirror {
+        fn name(&self) -> &str {
+            "mirror"
+        }
+        fn command(&self, op: &str, _args: &[Any]) -> Result<Any, OrbError> {
+            Err(OrbError::BadOperation(op.to_string()))
+        }
+        fn outbound(&self, dst: NodeId, mut bytes: Vec<u8>) -> Result<Outbound, OrbError> {
+            bytes.reverse();
+            Ok(vec![(dst, bytes)])
+        }
+        fn inbound(&self, _src: NodeId, mut bytes: Vec<u8>) -> Result<Option<Vec<u8>>, OrbError> {
+            bytes.reverse();
+            Ok(Some(bytes))
+        }
+    }
+
+    #[test]
+    fn qos_bound_traffic_goes_through_module_both_ways() {
+        let (_net, server, client, ior) = pair();
+        client.qos_transport().install(Arc::new(Mirror));
+        server.qos_transport().install(Arc::new(Mirror));
+        client
+            .qos_transport()
+            .bind(crate::transport::BindingKey { peer: None, key: ior.key.clone() }, "mirror")
+            .unwrap();
+        let qos = Some(QosContext::new("mirror"));
+        let r = client.invoke_qos(&ior, "echo", &[Any::from("qos!")], qos).unwrap();
+        assert_eq!(r, Any::Str("qos!".into()));
+        server.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn qos_aware_but_unbound_falls_back_to_plain() {
+        let (_net, server, client, ior) = pair();
+        let qos = Some(QosContext::new("anything"));
+        let r = client.invoke_qos(&ior, "echo", &[Any::Long(7)], qos).unwrap();
+        assert_eq!(r, Any::Long(7));
+        server.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn invoke_collect_gathers_single_reply() {
+        let (_net, server, client, ior) = pair();
+        let replies = client
+            .invoke_collect(&ior, "echo", &[Any::Long(5)], None, 1, Duration::from_secs(1))
+            .unwrap();
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].0, server.node());
+        assert_eq!(replies[0].1, Ok(Any::Long(5)));
+        server.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn shutdown_rejects_new_calls() {
+        let (_net, server, client, ior) = pair();
+        client.shutdown();
+        assert_eq!(client.invoke(&ior, "echo", &[]), Err(OrbError::Shutdown));
+        server.shutdown();
+    }
+
+    #[test]
+    fn garbage_packets_are_counted_not_fatal() {
+        let (net, server, client, ior) = pair();
+        let raw = net.attach("attacker");
+        raw.send(server.node(), vec![1, 2, 3]).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(server.stats().packets_dropped, 1);
+        // Server still works.
+        assert_eq!(client.invoke(&ior, "echo", &[Any::Long(1)]).unwrap(), Any::Long(1));
+        server.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn nested_outbound_call_from_servant() {
+        // A forwarding servant that calls another object during dispatch;
+        // requires the dispatcher pool to be distinct from the recv loop.
+        let net = Network::new(1);
+        let backend = Orb::start(&net, "backend");
+        let front = Orb::start(&net, "front");
+        let client = Orb::start(&net, "client");
+        let backend_ior = backend.activate("echo", Box::new(Echo));
+
+        struct Forwarder {
+            orb: Orb,
+            target: Ior,
+        }
+        impl Servant for Forwarder {
+            fn interface_id(&self) -> &str {
+                "IDL:Forwarder:1.0"
+            }
+            fn dispatch(&self, op: &str, args: &[Any]) -> Result<Any, OrbError> {
+                self.orb.invoke(&self.target, op, args)
+            }
+        }
+        let fw_ior = front.activate(
+            "fw",
+            Box::new(Forwarder { orb: front.clone(), target: backend_ior }),
+        );
+        let r = client.invoke(&fw_ior, "echo", &[Any::from("deep")]).unwrap();
+        assert_eq!(r, Any::Str("deep".into()));
+        backend.shutdown();
+        front.shutdown();
+        client.shutdown();
+    }
+}

@@ -1,0 +1,161 @@
+//! ORB error types, modelled after the CORBA system exceptions.
+
+use std::fmt;
+
+/// Errors raised by the ORB runtime and by servants.
+///
+/// The variants mirror the CORBA system exceptions the paper's framework
+/// relies on, plus [`OrbError::QosNotNegotiated`], the exception the woven
+/// server skeleton raises for operations of a QoS characteristic that is
+/// assigned to the interface but not currently negotiated (§3.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrbError {
+    /// The object key does not name an active servant (`OBJECT_NOT_EXIST`).
+    ObjectNotExist(String),
+    /// The operation is not part of the interface (`BAD_OPERATION`).
+    BadOperation(String),
+    /// Wrong argument count or types for an operation (`BAD_PARAM`).
+    BadParam(String),
+    /// Marshalling or unmarshalling failed (`MARSHAL`).
+    Marshal(String),
+    /// A transient communication failure; the request may be retried
+    /// (`TRANSIENT`).
+    Transient(String),
+    /// The peer cannot be reached at all (`COMM_FAILURE`).
+    CommFailure(String),
+    /// No reply arrived within the configured timeout (`TIMEOUT`).
+    Timeout(String),
+    /// The caller lacks permission for the operation (`NO_PERMISSION`).
+    NoPermission(String),
+    /// A user-defined exception raised by the servant.
+    UserException(String),
+    /// A QoS operation was invoked but its characteristic is not the one
+    /// currently negotiated for this binding (MAQS-specific, §3.3).
+    QosNotNegotiated(String),
+    /// A QoS agreement could not be established or was violated.
+    QosViolation(String),
+    /// A named QoS transport module is not loaded (Fig. 3 dispatch).
+    ModuleNotFound(String),
+    /// The ORB has been shut down.
+    Shutdown,
+}
+
+impl OrbError {
+    /// Short CORBA-style exception name, used on the wire.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            OrbError::ObjectNotExist(_) => "OBJECT_NOT_EXIST",
+            OrbError::BadOperation(_) => "BAD_OPERATION",
+            OrbError::BadParam(_) => "BAD_PARAM",
+            OrbError::Marshal(_) => "MARSHAL",
+            OrbError::Transient(_) => "TRANSIENT",
+            OrbError::CommFailure(_) => "COMM_FAILURE",
+            OrbError::Timeout(_) => "TIMEOUT",
+            OrbError::NoPermission(_) => "NO_PERMISSION",
+            OrbError::UserException(_) => "USER_EXCEPTION",
+            OrbError::QosNotNegotiated(_) => "QOS_NOT_NEGOTIATED",
+            OrbError::QosViolation(_) => "QOS_VIOLATION",
+            OrbError::ModuleNotFound(_) => "MODULE_NOT_FOUND",
+            OrbError::Shutdown => "SHUTDOWN",
+        }
+    }
+
+    /// Human-readable detail message.
+    pub fn detail(&self) -> &str {
+        match self {
+            OrbError::ObjectNotExist(s)
+            | OrbError::BadOperation(s)
+            | OrbError::BadParam(s)
+            | OrbError::Marshal(s)
+            | OrbError::Transient(s)
+            | OrbError::CommFailure(s)
+            | OrbError::Timeout(s)
+            | OrbError::NoPermission(s)
+            | OrbError::UserException(s)
+            | OrbError::QosNotNegotiated(s)
+            | OrbError::QosViolation(s)
+            | OrbError::ModuleNotFound(s) => s,
+            OrbError::Shutdown => "orb shut down",
+        }
+    }
+
+    /// Reconstruct an error from its wire form (`kind`, `detail`).
+    pub fn from_wire(kind: &str, detail: String) -> OrbError {
+        match kind {
+            "OBJECT_NOT_EXIST" => OrbError::ObjectNotExist(detail),
+            "BAD_OPERATION" => OrbError::BadOperation(detail),
+            "BAD_PARAM" => OrbError::BadParam(detail),
+            "MARSHAL" => OrbError::Marshal(detail),
+            "TRANSIENT" => OrbError::Transient(detail),
+            "COMM_FAILURE" => OrbError::CommFailure(detail),
+            "TIMEOUT" => OrbError::Timeout(detail),
+            "NO_PERMISSION" => OrbError::NoPermission(detail),
+            "USER_EXCEPTION" => OrbError::UserException(detail),
+            "QOS_NOT_NEGOTIATED" => OrbError::QosNotNegotiated(detail),
+            "QOS_VIOLATION" => OrbError::QosViolation(detail),
+            "MODULE_NOT_FOUND" => OrbError::ModuleNotFound(detail),
+            "SHUTDOWN" => OrbError::Shutdown,
+            other => OrbError::Marshal(format!("unknown exception kind {other}: {detail}")),
+        }
+    }
+
+    /// Whether a retry of the failed request may succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, OrbError::Transient(_) | OrbError::Timeout(_) | OrbError::CommFailure(_))
+    }
+}
+
+impl fmt::Display for OrbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind(), self.detail())
+    }
+}
+
+impl std::error::Error for OrbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_roundtrip_all_variants() {
+        let all = vec![
+            OrbError::ObjectNotExist("k".into()),
+            OrbError::BadOperation("op".into()),
+            OrbError::BadParam("p".into()),
+            OrbError::Marshal("m".into()),
+            OrbError::Transient("t".into()),
+            OrbError::CommFailure("c".into()),
+            OrbError::Timeout("to".into()),
+            OrbError::NoPermission("np".into()),
+            OrbError::UserException("ue".into()),
+            OrbError::QosNotNegotiated("q".into()),
+            OrbError::QosViolation("qv".into()),
+            OrbError::ModuleNotFound("mod".into()),
+            OrbError::Shutdown,
+        ];
+        for e in all {
+            let back = OrbError::from_wire(e.kind(), e.detail().to_string());
+            assert_eq!(back, e);
+        }
+    }
+
+    #[test]
+    fn unknown_kind_degrades_to_marshal() {
+        let e = OrbError::from_wire("NOPE", "x".into());
+        assert!(matches!(e, OrbError::Marshal(_)));
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(OrbError::Transient("".into()).is_retryable());
+        assert!(OrbError::Timeout("".into()).is_retryable());
+        assert!(!OrbError::BadOperation("".into()).is_retryable());
+    }
+
+    #[test]
+    fn display_contains_kind_and_detail() {
+        let s = OrbError::BadOperation("frob".into()).to_string();
+        assert!(s.contains("BAD_OPERATION") && s.contains("frob"));
+    }
+}

@@ -1,0 +1,424 @@
+//! The GIOP-like wire protocol.
+//!
+//! Messages mirror GIOP's Request/Reply pair, with the MAQS extensions
+//! from §4 of the paper:
+//!
+//! * A request is **dual-use**: either a *service request* addressed to an
+//!   object, or a *command* addressed to the QoS transport itself or to a
+//!   named QoS module ([`RequestKind`], Fig. 3).
+//! * A request may carry a **QoS context** naming the negotiated
+//!   characteristic and its parameters — the "tag" that routes it through
+//!   the QoS transport instead of plain GIOP/IIOP.
+//! * The outer [`Packet`] envelope records whether the GIOP body was
+//!   transformed by a transport-level QoS module (and by which), so the
+//!   receiving ORB can run the inverse transform before dispatch.
+
+use crate::any::Any;
+use crate::cdr::{CdrDecoder, CdrEncoder};
+use crate::error::OrbError;
+use crate::ior::ObjectKey;
+use netsim::NodeId;
+
+/// Protocol magic, first four octets of every packet.
+pub const MAGIC: &[u8; 4] = b"MAQ1";
+
+/// Who a *command* request is addressed to (Fig. 3 dispatch).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommandTarget {
+    /// The QoS transport itself (load/unload/list modules, bind…).
+    Transport,
+    /// A named, loaded QoS module.
+    Module(String),
+}
+
+/// Whether a request is a plain service request or a QoS command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestKind {
+    /// An ordinary invocation on an application object.
+    ServiceRequest,
+    /// A command interpreted by the QoS transport or one of its modules.
+    Command(CommandTarget),
+}
+
+/// The negotiated-QoS annotation a request may carry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QosContext {
+    /// Name of the negotiated QoS characteristic (e.g. `"compression"`).
+    pub characteristic: String,
+    /// Characteristic-specific parameters.
+    pub params: Vec<(String, Any)>,
+}
+
+impl QosContext {
+    /// A context with no parameters.
+    pub fn new(characteristic: impl Into<String>) -> QosContext {
+        QosContext { characteristic: characteristic.into(), params: Vec::new() }
+    }
+
+    /// Builder-style parameter.
+    pub fn with_param(mut self, name: impl Into<String>, value: Any) -> QosContext {
+        self.params.push((name.into(), value));
+        self
+    }
+
+    /// Look up a parameter by name.
+    pub fn param(&self, name: &str) -> Option<&Any> {
+        self.params.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+}
+
+/// A request message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestMessage {
+    /// Correlation id, unique per sending ORB.
+    pub request_id: u64,
+    /// Node the reply should be sent to.
+    pub reply_to: NodeId,
+    /// Target object within the receiving adapter.
+    pub object_key: ObjectKey,
+    /// Operation name.
+    pub operation: String,
+    /// Operation arguments.
+    pub args: Vec<Any>,
+    /// Whether the caller waits for a reply (`false` = oneway).
+    pub response_expected: bool,
+    /// Service request vs command (Fig. 3).
+    pub kind: RequestKind,
+    /// Negotiated-QoS annotation, if any.
+    pub qos: Option<QosContext>,
+}
+
+/// Outcome carried by a reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplyStatus {
+    /// Success, with the operation result.
+    Ok(Any),
+    /// A system or user exception.
+    Exception {
+        /// Exception kind (see [`OrbError::kind`]).
+        kind: String,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+/// A reply message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplyMessage {
+    /// Correlation id matching the request.
+    pub request_id: u64,
+    /// Node that produced the reply (useful after group fan-out).
+    pub from: NodeId,
+    /// Outcome.
+    pub status: ReplyStatus,
+}
+
+impl ReplyMessage {
+    /// Convert the wire status into the client-visible `Result`.
+    pub fn into_result(self) -> Result<Any, OrbError> {
+        match self.status {
+            ReplyStatus::Ok(v) => Ok(v),
+            ReplyStatus::Exception { kind, detail } => Err(OrbError::from_wire(&kind, detail)),
+        }
+    }
+
+    /// Build a reply from a dispatch result.
+    pub fn from_result(request_id: u64, from: NodeId, result: Result<Any, OrbError>) -> ReplyMessage {
+        let status = match result {
+            Ok(v) => ReplyStatus::Ok(v),
+            Err(e) => ReplyStatus::Exception { kind: e.kind().to_string(), detail: e.detail().to_string() },
+        };
+        ReplyMessage { request_id, from, status }
+    }
+}
+
+/// Any GIOP-level message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GiopMessage {
+    /// A request.
+    Request(RequestMessage),
+    /// A reply.
+    Reply(ReplyMessage),
+}
+
+impl GiopMessage {
+    /// Encode to wire bytes (without the outer [`Packet`] envelope).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = CdrEncoder::with_capacity(64);
+        match self {
+            GiopMessage::Request(r) => {
+                enc.put_u8(0);
+                enc.put_u64(r.request_id);
+                enc.put_u32(r.reply_to.0);
+                enc.put_string(&r.object_key.0);
+                enc.put_string(&r.operation);
+                enc.put_bool(r.response_expected);
+                match &r.kind {
+                    RequestKind::ServiceRequest => enc.put_u8(0),
+                    RequestKind::Command(CommandTarget::Transport) => enc.put_u8(1),
+                    RequestKind::Command(CommandTarget::Module(m)) => {
+                        enc.put_u8(2);
+                        enc.put_string(m);
+                    }
+                }
+                match &r.qos {
+                    None => enc.put_bool(false),
+                    Some(q) => {
+                        enc.put_bool(true);
+                        enc.put_string(&q.characteristic);
+                        enc.put_len(q.params.len());
+                        for (n, v) in &q.params {
+                            enc.put_string(n);
+                            v.encode(&mut enc);
+                        }
+                    }
+                }
+                enc.put_len(r.args.len());
+                for a in &r.args {
+                    a.encode(&mut enc);
+                }
+            }
+            GiopMessage::Reply(r) => {
+                enc.put_u8(1);
+                enc.put_u64(r.request_id);
+                enc.put_u32(r.from.0);
+                match &r.status {
+                    ReplyStatus::Ok(v) => {
+                        enc.put_u8(0);
+                        v.encode(&mut enc);
+                    }
+                    ReplyStatus::Exception { kind, detail } => {
+                        enc.put_u8(1);
+                        enc.put_string(kind);
+                        enc.put_string(detail);
+                    }
+                }
+            }
+        }
+        enc.into_bytes()
+    }
+
+    /// Decode from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::Marshal`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<GiopMessage, OrbError> {
+        let mut dec = CdrDecoder::new(bytes);
+        match dec.get_u8()? {
+            0 => {
+                let request_id = dec.get_u64()?;
+                let reply_to = NodeId(dec.get_u32()?);
+                let object_key = ObjectKey(dec.get_string()?);
+                let operation = dec.get_string()?;
+                let response_expected = dec.get_bool()?;
+                let kind = match dec.get_u8()? {
+                    0 => RequestKind::ServiceRequest,
+                    1 => RequestKind::Command(CommandTarget::Transport),
+                    2 => RequestKind::Command(CommandTarget::Module(dec.get_string()?)),
+                    k => return Err(OrbError::Marshal(format!("bad request kind {k}"))),
+                };
+                let qos = if dec.get_bool()? {
+                    let characteristic = dec.get_string()?;
+                    let n = dec.get_len()?;
+                    let mut params = Vec::with_capacity(n.min(64));
+                    for _ in 0..n {
+                        let name = dec.get_string()?;
+                        let val = Any::decode(&mut dec)?;
+                        params.push((name, val));
+                    }
+                    Some(QosContext { characteristic, params })
+                } else {
+                    None
+                };
+                let n = dec.get_len()?;
+                let mut args = Vec::with_capacity(n.min(256));
+                for _ in 0..n {
+                    args.push(Any::decode(&mut dec)?);
+                }
+                Ok(GiopMessage::Request(RequestMessage {
+                    request_id,
+                    reply_to,
+                    object_key,
+                    operation,
+                    args,
+                    response_expected,
+                    kind,
+                    qos,
+                }))
+            }
+            1 => {
+                let request_id = dec.get_u64()?;
+                let from = NodeId(dec.get_u32()?);
+                let status = match dec.get_u8()? {
+                    0 => ReplyStatus::Ok(Any::decode(&mut dec)?),
+                    1 => {
+                        let kind = dec.get_string()?;
+                        let detail = dec.get_string()?;
+                        ReplyStatus::Exception { kind, detail }
+                    }
+                    s => return Err(OrbError::Marshal(format!("bad reply status {s}"))),
+                };
+                Ok(GiopMessage::Reply(ReplyMessage { request_id, from, status }))
+            }
+            t => Err(OrbError::Marshal(format!("bad GIOP message tag {t}"))),
+        }
+    }
+}
+
+/// The outer transport envelope.
+///
+/// Records whether the GIOP body travelled over the plain GIOP/IIOP path
+/// or through a transport-level QoS module; in the latter case the body
+/// bytes are whatever the module's outbound transform produced, and the
+/// receiving ORB applies the module's inverse transform before dispatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Packet {
+    /// Untransformed GIOP bytes, the GIOP/IIOP path of Fig. 3.
+    Plain(Vec<u8>),
+    /// GIOP bytes transformed by the named QoS module.
+    Qos {
+        /// Name of the module whose inverse transform must be applied.
+        module: String,
+        /// Transformed bytes.
+        body: Vec<u8>,
+    },
+}
+
+impl Packet {
+    /// Encode with magic and kind byte.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = CdrEncoder::with_capacity(32);
+        for b in MAGIC {
+            enc.put_u8(*b);
+        }
+        match self {
+            Packet::Plain(body) => {
+                enc.put_u8(0);
+                enc.put_bytes(body);
+            }
+            Packet::Qos { module, body } => {
+                enc.put_u8(1);
+                enc.put_string(module);
+                enc.put_bytes(body);
+            }
+        }
+        enc.into_bytes()
+    }
+
+    /// Decode a packet.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::Marshal`] on bad magic or malformed framing.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Packet, OrbError> {
+        let mut dec = CdrDecoder::new(bytes);
+        let mut magic = [0u8; 4];
+        for m in &mut magic {
+            *m = dec.get_u8()?;
+        }
+        if &magic != MAGIC {
+            return Err(OrbError::Marshal(format!("bad packet magic {magic:?}")));
+        }
+        match dec.get_u8()? {
+            0 => Ok(Packet::Plain(dec.get_bytes()?)),
+            1 => {
+                let module = dec.get_string()?;
+                let body = dec.get_bytes()?;
+                Ok(Packet::Qos { module, body })
+            }
+            k => Err(OrbError::Marshal(format!("bad packet kind {k}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> RequestMessage {
+        RequestMessage {
+            request_id: 42,
+            reply_to: NodeId(1),
+            object_key: ObjectKey("bank-1".into()),
+            operation: "deposit".into(),
+            args: vec![Any::Long(100), Any::Str("acct".into())],
+            response_expected: true,
+            kind: RequestKind::ServiceRequest,
+            qos: Some(
+                QosContext::new("compression").with_param("level", Any::Octet(3)),
+            ),
+        }
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let m = GiopMessage::Request(sample_request());
+        assert_eq!(GiopMessage::from_bytes(&m.to_bytes()).unwrap(), m);
+    }
+
+    #[test]
+    fn command_roundtrip() {
+        for target in [CommandTarget::Transport, CommandTarget::Module("mcast".into())] {
+            let mut r = sample_request();
+            r.kind = RequestKind::Command(target);
+            r.qos = None;
+            let m = GiopMessage::Request(r);
+            assert_eq!(GiopMessage::from_bytes(&m.to_bytes()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn reply_roundtrip_ok_and_exception() {
+        let ok = GiopMessage::Reply(ReplyMessage {
+            request_id: 7,
+            from: NodeId(2),
+            status: ReplyStatus::Ok(Any::Str("done".into())),
+        });
+        assert_eq!(GiopMessage::from_bytes(&ok.to_bytes()).unwrap(), ok);
+
+        let exc = GiopMessage::Reply(ReplyMessage {
+            request_id: 8,
+            from: NodeId(2),
+            status: ReplyStatus::Exception { kind: "BAD_OPERATION".into(), detail: "nope".into() },
+        });
+        assert_eq!(GiopMessage::from_bytes(&exc.to_bytes()).unwrap(), exc);
+    }
+
+    #[test]
+    fn reply_into_result() {
+        let ok = ReplyMessage { request_id: 1, from: NodeId(0), status: ReplyStatus::Ok(Any::Long(5)) };
+        assert_eq!(ok.into_result().unwrap(), Any::Long(5));
+        let err = ReplyMessage::from_result(1, NodeId(0), Err(OrbError::BadOperation("f".into())));
+        assert_eq!(err.into_result(), Err(OrbError::BadOperation("f".into())));
+    }
+
+    #[test]
+    fn packet_roundtrip() {
+        let giop = GiopMessage::Request(sample_request()).to_bytes();
+        let plain = Packet::Plain(giop.clone());
+        assert_eq!(Packet::from_bytes(&plain.to_bytes()).unwrap(), plain);
+        let qos = Packet::Qos { module: "compress".into(), body: giop };
+        assert_eq!(Packet::from_bytes(&qos.to_bytes()).unwrap(), qos);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = Packet::Plain(vec![1]).to_bytes();
+        bytes[0] = b'X';
+        assert!(Packet::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn qos_context_param_lookup() {
+        let q = QosContext::new("enc").with_param("key", Any::ULong(9));
+        assert_eq!(q.param("key"), Some(&Any::ULong(9)));
+        assert_eq!(q.param("nope"), None);
+    }
+
+    #[test]
+    fn truncated_message_rejected() {
+        let bytes = GiopMessage::Request(sample_request()).to_bytes();
+        assert!(GiopMessage::from_bytes(&bytes[..bytes.len() / 2]).is_err());
+    }
+}

@@ -1,0 +1,108 @@
+//! Pseudo objects: locally implemented, ORB-internal objects.
+//!
+//! CORBA exposes ORB internals (the ORB itself, POA, …) as *pseudo
+//! objects*: entities that look like objects but are implemented inside
+//! the local ORB and never cross the wire. The paper models each QoS
+//! module's **static interface** as a pseudo object "and therefore \[it\]
+//! can be accessed like any other object" (§4). This registry is the
+//! MAQS-RS analogue of `resolve_initial_references`.
+
+use crate::adapter::Servant;
+use crate::any::Any;
+use crate::error::OrbError;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Well-known name of the QoS transport pseudo object.
+pub const QOS_TRANSPORT_NAME: &str = "QoSTransport";
+
+/// Registry of named pseudo objects local to one ORB.
+#[derive(Clone, Default)]
+pub struct PseudoObjectRegistry {
+    objects: Arc<RwLock<HashMap<String, Arc<dyn Servant>>>>,
+}
+
+impl fmt::Debug for PseudoObjectRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<String> = self.objects.read().keys().cloned().collect();
+        f.debug_struct("PseudoObjectRegistry").field("names", &names).finish()
+    }
+}
+
+impl PseudoObjectRegistry {
+    /// A new, empty registry.
+    pub fn new() -> PseudoObjectRegistry {
+        PseudoObjectRegistry::default()
+    }
+
+    /// Register `object` under `name`, replacing any previous entry.
+    pub fn register(&self, name: impl Into<String>, object: Arc<dyn Servant>) {
+        self.objects.write().insert(name.into(), object);
+    }
+
+    /// The CORBA `resolve_initial_references` analogue.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::ObjectNotExist`] if no pseudo object has that name.
+    pub fn resolve(&self, name: &str) -> Result<Arc<dyn Servant>, OrbError> {
+        self.objects
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| OrbError::ObjectNotExist(format!("pseudo object {name}")))
+    }
+
+    /// Invoke an operation on a named pseudo object.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::ObjectNotExist`] for unknown names, plus whatever the
+    /// object's dispatch raises.
+    pub fn invoke(&self, name: &str, op: &str, args: &[Any]) -> Result<Any, OrbError> {
+        self.resolve(name)?.dispatch(op, args)
+    }
+
+    /// Names of all registered pseudo objects, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.objects.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Clock;
+    impl Servant for Clock {
+        fn interface_id(&self) -> &str {
+            "IDL:Pseudo/Clock:1.0"
+        }
+        fn dispatch(&self, op: &str, _args: &[Any]) -> Result<Any, OrbError> {
+            match op {
+                "zero" => Ok(Any::ULongLong(0)),
+                other => Err(OrbError::BadOperation(other.to_string())),
+            }
+        }
+    }
+
+    #[test]
+    fn register_resolve_invoke() {
+        let reg = PseudoObjectRegistry::new();
+        reg.register("Clock", Arc::new(Clock));
+        assert_eq!(reg.names(), vec!["Clock"]);
+        assert_eq!(reg.invoke("Clock", "zero", &[]).unwrap(), Any::ULongLong(0));
+        assert!(reg.resolve("Clock").is_ok());
+    }
+
+    #[test]
+    fn unknown_name_is_object_not_exist() {
+        let reg = PseudoObjectRegistry::new();
+        assert!(matches!(reg.resolve("Ghost"), Err(OrbError::ObjectNotExist(_))));
+        assert!(matches!(reg.invoke("Ghost", "x", &[]), Err(OrbError::ObjectNotExist(_))));
+    }
+}

@@ -1,0 +1,216 @@
+//! Retry policies for transient invocation failures.
+//!
+//! The ORB classifies failures as retryable or not
+//! ([`OrbError::is_retryable`]); this module adds the policy layer:
+//! bounded attempts with (optionally jittered) exponential backoff.
+//! Retry is deliberately *not* built into [`Orb::invoke`] — CORBA
+//! semantics are at-most-once unless the caller opts in, and QoS
+//! mechanisms like replication implement their own redundancy instead.
+
+use crate::any::Any;
+use crate::core::Orb;
+use crate::error::OrbError;
+use crate::giop::QosContext;
+use crate::ior::Ior;
+use std::time::Duration;
+
+/// A bounded-retry policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). Zero is treated as one.
+    pub max_attempts: u32,
+    /// Sleep before the first retry.
+    pub initial_backoff: Duration,
+    /// Backoff multiplier numerator/denominator per retry (e.g. 2/1).
+    pub backoff_factor: u32,
+    /// Upper bound on any single backoff.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 10 ms initial backoff, doubling, capped at 1 s.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            initial_backoff: Duration::from_millis(10),
+            backoff_factor: 2,
+            max_backoff: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `max_attempts` and no backoff (tests, tight loops).
+    pub fn immediate(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            initial_backoff: Duration::ZERO,
+            backoff_factor: 1,
+            max_backoff: Duration::ZERO,
+        }
+    }
+
+    /// The backoff to sleep before retry number `retry` (1-based).
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let mut b = self.initial_backoff;
+        for _ in 1..retry {
+            b = b.saturating_mul(self.backoff_factor.max(1)).min(self.max_backoff);
+        }
+        b.min(self.max_backoff)
+    }
+
+    /// Run `op` under this policy, retrying retryable [`OrbError`]s.
+    ///
+    /// # Errors
+    ///
+    /// The last error once attempts are exhausted, or immediately for
+    /// non-retryable errors.
+    pub fn run<T>(
+        &self,
+        mut op: impl FnMut() -> Result<T, OrbError>,
+    ) -> Result<T, OrbError> {
+        let attempts = self.max_attempts.max(1);
+        let mut last = None;
+        for attempt in 1..=attempts {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_retryable() && attempt < attempts => {
+                    let backoff = self.backoff(attempt);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                    last = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| OrbError::Transient("retries exhausted".to_string())))
+    }
+}
+
+/// Invoke with retries under `policy`.
+///
+/// # Errors
+///
+/// As [`RetryPolicy::run`].
+pub fn invoke_with_retry(
+    orb: &Orb,
+    ior: &Ior,
+    op: &str,
+    args: &[Any],
+    qos: Option<QosContext>,
+    policy: &RetryPolicy,
+) -> Result<Any, OrbError> {
+    policy.run(|| orb.invoke_qos(ior, op, args, qos.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapter::Servant;
+    use netsim::Network;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn backoff_schedule() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            initial_backoff: Duration::from_millis(10),
+            backoff_factor: 2,
+            max_backoff: Duration::from_millis(35),
+        };
+        assert_eq!(p.backoff(1), Duration::from_millis(10));
+        assert_eq!(p.backoff(2), Duration::from_millis(20));
+        assert_eq!(p.backoff(3), Duration::from_millis(35)); // capped
+        assert_eq!(p.backoff(4), Duration::from_millis(35));
+    }
+
+    #[test]
+    fn retries_transient_until_success() {
+        let calls = AtomicU32::new(0);
+        let result = RetryPolicy::immediate(5).run(|| {
+            if calls.fetch_add(1, Ordering::Relaxed) < 2 {
+                Err(OrbError::Transient("flaky".to_string()))
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(result.unwrap(), 42);
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn non_retryable_fails_fast() {
+        let calls = AtomicU32::new(0);
+        let result: Result<(), _> = RetryPolicy::immediate(5).run(|| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Err(OrbError::BadOperation("nope".to_string()))
+        });
+        assert!(result.is_err());
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn exhaustion_returns_last_error() {
+        let result: Result<(), _> =
+            RetryPolicy::immediate(3).run(|| Err(OrbError::Timeout("t".to_string())));
+        assert_eq!(result.unwrap_err(), OrbError::Timeout("t".to_string()));
+    }
+
+    #[test]
+    fn zero_attempts_still_runs_once() {
+        let calls = AtomicU32::new(0);
+        let _ = RetryPolicy::immediate(0).run(|| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    struct FlakyEcho {
+        failures_left: Arc<AtomicU32>,
+    }
+    impl Servant for FlakyEcho {
+        fn interface_id(&self) -> &str {
+            "IDL:Flaky:1.0"
+        }
+        fn dispatch(&self, op: &str, args: &[Any]) -> Result<Any, OrbError> {
+            match op {
+                "echo" => {
+                    if self
+                        .failures_left
+                        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                        .is_ok()
+                    {
+                        Err(OrbError::Transient("warming up".to_string()))
+                    } else {
+                        Ok(args[0].clone())
+                    }
+                }
+                _ => Err(OrbError::BadOperation(op.to_string())),
+            }
+        }
+    }
+
+    #[test]
+    fn invoke_with_retry_end_to_end() {
+        let net = Network::new(1);
+        let server = Orb::start(&net, "server");
+        let client = Orb::start(&net, "client");
+        let failures = Arc::new(AtomicU32::new(2));
+        let ior = server.activate("f", Box::new(FlakyEcho { failures_left: failures }));
+        let r = invoke_with_retry(
+            &client,
+            &ior,
+            "echo",
+            &[Any::Long(9)],
+            None,
+            &RetryPolicy::immediate(5),
+        )
+        .unwrap();
+        assert_eq!(r, Any::Long(9));
+        server.shutdown();
+        client.shutdown();
+    }
+}

@@ -1,0 +1,386 @@
+//! The QoS transport: reflective, dynamically loadable transport modules.
+//!
+//! This is the §4 half of the paper. The ORB's invocation interface hands
+//! QoS-aware traffic to the **QoS transport**, "an entity which
+//! administrates all QoS transport modules". Each module offers:
+//!
+//! * a **common static interface** — load, unload, configure, status —
+//!   modelled as a pseudo-object ([`QosModule::command`] plus the
+//!   transport-level commands), and
+//! * a **specific dynamic interface** — reached through the DII as
+//!   commands addressed to the module by name.
+//!
+//! Modules transform outbound GIOP bytes ([`QosModule::outbound`]) and
+//! apply the inverse on the receiving side ([`QosModule::inbound`]); a
+//! module may also redirect or fan out a message (group multicast) or
+//! swallow one (duplicate suppression). Client/server relationships are
+//! *bound* to a module; unbound QoS-aware traffic falls back to plain
+//! GIOP/IIOP, which is how initial negotiation travels (Fig. 3).
+
+use crate::any::Any;
+use crate::error::OrbError;
+use crate::ior::ObjectKey;
+use netsim::NodeId;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Destinations and payloads produced by a module's outbound transform.
+pub type Outbound = Vec<(NodeId, Vec<u8>)>;
+
+/// A transport-level QoS module.
+///
+/// Implementations must be cheap to share (`Send + Sync`); the transport
+/// holds them in `Arc`s and calls them from the ORB's send path and
+/// receive loop concurrently.
+pub trait QosModule: Send + Sync {
+    /// The module's unique name, used for binding and command addressing.
+    fn name(&self) -> &str;
+
+    /// The module's *dynamic* interface: handle a command operation.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::BadOperation`] for unknown commands; module-specific
+    /// errors otherwise.
+    fn command(&self, op: &str, args: &[Any]) -> Result<Any, OrbError>;
+
+    /// Outbound transform: given the destination and the GIOP bytes,
+    /// produce the messages to actually put on the wire.
+    ///
+    /// The default is the identity transform to the original destination.
+    ///
+    /// # Errors
+    ///
+    /// Module-specific; errors abort the send.
+    fn outbound(&self, dst: NodeId, bytes: Vec<u8>) -> Result<Outbound, OrbError> {
+        Ok(vec![(dst, bytes)])
+    }
+
+    /// Inbound transform: invert [`QosModule::outbound`] on received
+    /// bytes. Returning `Ok(None)` swallows the message (e.g. duplicate
+    /// suppression after a fan-out).
+    ///
+    /// # Errors
+    ///
+    /// Module-specific; errors drop the message.
+    fn inbound(&self, src: NodeId, bytes: Vec<u8>) -> Result<Option<Vec<u8>>, OrbError> {
+        let _ = src;
+        Ok(Some(bytes))
+    }
+}
+
+/// Constructor for dynamically loadable modules.
+///
+/// The paper's "common static interface allows the dynamic loading of QoS
+/// modules on request": factories are registered under a module-type
+/// name, and a `load_module` command instantiates one with a
+/// configuration value.
+pub type ModuleFactory = Arc<dyn Fn(&Any) -> Result<Arc<dyn QosModule>, OrbError> + Send + Sync>;
+
+/// Identifies one client/server QoS relationship for binding purposes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BindingKey {
+    /// The remote peer (server node for clients, client node for servers).
+    pub peer: Option<NodeId>,
+    /// The object the binding concerns.
+    pub key: ObjectKey,
+}
+
+struct TransportState {
+    factories: HashMap<String, ModuleFactory>,
+    modules: HashMap<String, Arc<dyn QosModule>>,
+    bindings: HashMap<BindingKey, String>,
+}
+
+/// Administers loaded QoS modules and their bindings (Fig. 3).
+#[derive(Clone)]
+pub struct QosTransport {
+    state: Arc<RwLock<TransportState>>,
+}
+
+impl fmt::Debug for QosTransport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.state.read();
+        f.debug_struct("QosTransport")
+            .field("factories", &st.factories.len())
+            .field("modules", &st.modules.keys().collect::<Vec<_>>())
+            .field("bindings", &st.bindings.len())
+            .finish()
+    }
+}
+
+impl Default for QosTransport {
+    fn default() -> QosTransport {
+        QosTransport::new()
+    }
+}
+
+impl QosTransport {
+    /// An empty transport: no factories, no modules, no bindings.
+    pub fn new() -> QosTransport {
+        QosTransport {
+            state: Arc::new(RwLock::new(TransportState {
+                factories: HashMap::new(),
+                modules: HashMap::new(),
+                bindings: HashMap::new(),
+            })),
+        }
+    }
+
+    /// Register a factory for a loadable module type.
+    pub fn register_factory(&self, type_name: impl Into<String>, factory: ModuleFactory) {
+        self.state.write().factories.insert(type_name.into(), factory);
+    }
+
+    /// Instantiate and install a module of registered type `type_name`.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::ModuleNotFound`] if no factory is registered, or the
+    /// factory's own error.
+    pub fn load_module(&self, type_name: &str, config: &Any) -> Result<String, OrbError> {
+        let factory = self
+            .state
+            .read()
+            .factories
+            .get(type_name)
+            .cloned()
+            .ok_or_else(|| OrbError::ModuleNotFound(format!("no factory for {type_name}")))?;
+        let module = factory(config)?;
+        let name = module.name().to_string();
+        self.state.write().modules.insert(name.clone(), module);
+        Ok(name)
+    }
+
+    /// Install an already constructed module.
+    pub fn install(&self, module: Arc<dyn QosModule>) {
+        self.state.write().modules.insert(module.name().to_string(), module);
+    }
+
+    /// Remove a module and all bindings that point at it.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::ModuleNotFound`] if no such module is loaded.
+    pub fn unload_module(&self, name: &str) -> Result<(), OrbError> {
+        let mut st = self.state.write();
+        if st.modules.remove(name).is_none() {
+            return Err(OrbError::ModuleNotFound(name.to_string()));
+        }
+        st.bindings.retain(|_, m| m != name);
+        Ok(())
+    }
+
+    /// Look up a loaded module by name.
+    pub fn module(&self, name: &str) -> Option<Arc<dyn QosModule>> {
+        self.state.read().modules.get(name).cloned()
+    }
+
+    /// Names of all loaded modules, sorted.
+    pub fn loaded_modules(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.state.read().modules.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Bind a client/server relationship to a module.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::ModuleNotFound`] if the module is not loaded.
+    pub fn bind(&self, binding: BindingKey, module: &str) -> Result<(), OrbError> {
+        let mut st = self.state.write();
+        if !st.modules.contains_key(module) {
+            return Err(OrbError::ModuleNotFound(module.to_string()));
+        }
+        st.bindings.insert(binding, module.to_string());
+        Ok(())
+    }
+
+    /// Remove a binding, returning the module it pointed at.
+    pub fn unbind(&self, binding: &BindingKey) -> Option<String> {
+        self.state.write().bindings.remove(binding)
+    }
+
+    /// The module bound to a relationship, trying the exact
+    /// `(peer, key)` binding first and falling back to a wildcard
+    /// `(None, key)` binding. `None` means: use plain GIOP/IIOP.
+    pub fn bound_module(&self, peer: NodeId, key: &ObjectKey) -> Option<Arc<dyn QosModule>> {
+        let st = self.state.read();
+        let name = st
+            .bindings
+            .get(&BindingKey { peer: Some(peer), key: key.clone() })
+            .or_else(|| st.bindings.get(&BindingKey { peer: None, key: key.clone() }))?;
+        st.modules.get(name).cloned()
+    }
+
+    /// The transport's own command interface (the "Transport-Command"
+    /// branch of Fig. 3): `load_module(type, config)`,
+    /// `unload_module(name)`, `list_modules()`, `bind(key, module)`,
+    /// `unbind(key)`.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::BadOperation`] for unknown commands,
+    /// [`OrbError::BadParam`] for malformed arguments, and the underlying
+    /// operation's error otherwise.
+    pub fn command(&self, op: &str, args: &[Any]) -> Result<Any, OrbError> {
+        match op {
+            "load_module" => {
+                let type_name = args
+                    .first()
+                    .and_then(Any::as_str)
+                    .ok_or_else(|| OrbError::BadParam("load_module(type, config)".to_string()))?;
+                let config = args.get(1).cloned().unwrap_or(Any::Void);
+                let name = self.load_module(type_name, &config)?;
+                Ok(Any::Str(name))
+            }
+            "unload_module" => {
+                let name = args
+                    .first()
+                    .and_then(Any::as_str)
+                    .ok_or_else(|| OrbError::BadParam("unload_module(name)".to_string()))?;
+                self.unload_module(name)?;
+                Ok(Any::Void)
+            }
+            "list_modules" => Ok(Any::Sequence(
+                self.loaded_modules().into_iter().map(Any::Str).collect(),
+            )),
+            "bind" => {
+                let key = args
+                    .first()
+                    .and_then(Any::as_str)
+                    .ok_or_else(|| OrbError::BadParam("bind(object_key, module)".to_string()))?;
+                let module = args
+                    .get(1)
+                    .and_then(Any::as_str)
+                    .ok_or_else(|| OrbError::BadParam("bind(object_key, module)".to_string()))?;
+                self.bind(BindingKey { peer: None, key: ObjectKey(key.to_string()) }, module)?;
+                Ok(Any::Void)
+            }
+            "unbind" => {
+                let key = args
+                    .first()
+                    .and_then(Any::as_str)
+                    .ok_or_else(|| OrbError::BadParam("unbind(object_key)".to_string()))?;
+                let removed = self.unbind(&BindingKey { peer: None, key: ObjectKey(key.to_string()) });
+                Ok(Any::Bool(removed.is_some()))
+            }
+            other => Err(OrbError::BadOperation(format!("transport command {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A module that XORs every byte — enough to verify both transforms run.
+    struct XorModule {
+        name: String,
+        key: u8,
+    }
+
+    impl QosModule for XorModule {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn command(&self, op: &str, _args: &[Any]) -> Result<Any, OrbError> {
+            match op {
+                "key" => Ok(Any::Octet(self.key)),
+                other => Err(OrbError::BadOperation(other.to_string())),
+            }
+        }
+        fn outbound(&self, dst: NodeId, bytes: Vec<u8>) -> Result<Outbound, OrbError> {
+            Ok(vec![(dst, bytes.iter().map(|b| b ^ self.key).collect())])
+        }
+        fn inbound(&self, _src: NodeId, bytes: Vec<u8>) -> Result<Option<Vec<u8>>, OrbError> {
+            Ok(Some(bytes.iter().map(|b| b ^ self.key).collect()))
+        }
+    }
+
+    fn xor_factory() -> ModuleFactory {
+        Arc::new(|config: &Any| {
+            let key = config.field("key").and_then(Any::as_i64).unwrap_or(0x55) as u8;
+            Ok(Arc::new(XorModule { name: "xor".to_string(), key }) as Arc<dyn QosModule>)
+        })
+    }
+
+    #[test]
+    fn load_bind_and_transform() {
+        let t = QosTransport::new();
+        t.register_factory("xor", xor_factory());
+        let name = t.load_module("xor", &Any::Void).unwrap();
+        assert_eq!(name, "xor");
+        assert_eq!(t.loaded_modules(), vec!["xor"]);
+
+        let key = ObjectKey("obj".into());
+        t.bind(BindingKey { peer: None, key: key.clone() }, "xor").unwrap();
+        let m = t.bound_module(NodeId(9), &key).expect("wildcard binding matches any peer");
+        let out = m.outbound(NodeId(1), vec![0x00, 0xFF]).unwrap();
+        assert_eq!(out, vec![(NodeId(1), vec![0x55, 0xAA])]);
+        let back = m.inbound(NodeId(1), out[0].1.clone()).unwrap().unwrap();
+        assert_eq!(back, vec![0x00, 0xFF]);
+    }
+
+    #[test]
+    fn peer_binding_beats_wildcard() {
+        let t = QosTransport::new();
+        t.install(Arc::new(XorModule { name: "a".into(), key: 1 }));
+        t.install(Arc::new(XorModule { name: "b".into(), key: 2 }));
+        let key = ObjectKey("o".into());
+        t.bind(BindingKey { peer: None, key: key.clone() }, "a").unwrap();
+        t.bind(BindingKey { peer: Some(NodeId(5)), key: key.clone() }, "b").unwrap();
+        assert_eq!(t.bound_module(NodeId(5), &key).unwrap().name(), "b");
+        assert_eq!(t.bound_module(NodeId(6), &key).unwrap().name(), "a");
+    }
+
+    #[test]
+    fn unload_removes_bindings() {
+        let t = QosTransport::new();
+        t.install(Arc::new(XorModule { name: "x".into(), key: 0 }));
+        let key = ObjectKey("o".into());
+        t.bind(BindingKey { peer: None, key: key.clone() }, "x").unwrap();
+        t.unload_module("x").unwrap();
+        assert!(t.bound_module(NodeId(0), &key).is_none());
+        assert!(t.unload_module("x").is_err());
+    }
+
+    #[test]
+    fn bind_to_missing_module_fails() {
+        let t = QosTransport::new();
+        let err = t.bind(BindingKey { peer: None, key: ObjectKey("o".into()) }, "ghost");
+        assert!(matches!(err, Err(OrbError::ModuleNotFound(_))));
+    }
+
+    #[test]
+    fn transport_command_interface() {
+        let t = QosTransport::new();
+        t.register_factory("xor", xor_factory());
+        let cfg = Any::Struct("Cfg".into(), vec![("key".into(), Any::Octet(7))]);
+        let name = t.command("load_module", &[Any::from("xor"), cfg]).unwrap();
+        assert_eq!(name, Any::Str("xor".into()));
+        assert_eq!(
+            t.command("list_modules", &[]).unwrap(),
+            Any::Sequence(vec![Any::Str("xor".into())])
+        );
+        t.command("bind", &[Any::from("obj"), Any::from("xor")]).unwrap();
+        assert!(t.bound_module(NodeId(0), &ObjectKey("obj".into())).is_some());
+        assert_eq!(t.command("unbind", &[Any::from("obj")]).unwrap(), Any::Bool(true));
+        assert_eq!(t.command("unbind", &[Any::from("obj")]).unwrap(), Any::Bool(false));
+        t.command("unload_module", &[Any::from("xor")]).unwrap();
+        assert!(t.command("load_module", &[Any::from("ghost")]).is_err());
+        assert!(t.command("frob", &[]).is_err());
+    }
+
+    #[test]
+    fn module_dynamic_interface_via_command() {
+        let t = QosTransport::new();
+        t.install(Arc::new(XorModule { name: "x".into(), key: 9 }));
+        let m = t.module("x").unwrap();
+        assert_eq!(m.command("key", &[]).unwrap(), Any::Octet(9));
+        assert!(m.command("nope", &[]).is_err());
+    }
+}

@@ -1,0 +1,5 @@
+fn main() {
+    let src = std::fs::read_to_string(std::env::args().nth(1).unwrap()).unwrap();
+    let spec = qidl::compile(&src).unwrap();
+    print!("{}", qidl::codegen::generate(&spec));
+}

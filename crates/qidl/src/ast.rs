@@ -1,0 +1,363 @@
+//! The QIDL abstract syntax tree.
+
+use std::fmt;
+
+/// A complete QIDL specification (one compilation unit).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Spec {
+    /// Top-level definitions in source order.
+    pub definitions: Vec<Definition>,
+}
+
+impl Spec {
+    /// Iterate over the interface definitions.
+    pub fn interfaces(&self) -> impl Iterator<Item = &InterfaceDef> {
+        self.definitions.iter().filter_map(|d| match d {
+            Definition::Interface(i) => Some(i),
+            _ => None,
+        })
+    }
+
+    /// Iterate over the QoS characteristic definitions.
+    pub fn qos_characteristics(&self) -> impl Iterator<Item = &QosDef> {
+        self.definitions.iter().filter_map(|d| match d {
+            Definition::Qos(q) => Some(q),
+            _ => None,
+        })
+    }
+
+    /// Iterate over the struct definitions.
+    pub fn structs(&self) -> impl Iterator<Item = &StructDef> {
+        self.definitions.iter().filter_map(|d| match d {
+            Definition::Struct(s) => Some(s),
+            _ => None,
+        })
+    }
+
+    /// Iterate over the exception definitions.
+    pub fn exceptions(&self) -> impl Iterator<Item = &ExceptionDef> {
+        self.definitions.iter().filter_map(|d| match d {
+            Definition::Exception(e) => Some(e),
+            _ => None,
+        })
+    }
+
+    /// Find an exception by name.
+    pub fn exception(&self, name: &str) -> Option<&ExceptionDef> {
+        self.exceptions().find(|e| e.name == name)
+    }
+
+    /// Find an interface by name.
+    pub fn interface(&self, name: &str) -> Option<&InterfaceDef> {
+        self.interfaces().find(|i| i.name == name)
+    }
+
+    /// Find a QoS characteristic by name.
+    pub fn qos(&self, name: &str) -> Option<&QosDef> {
+        self.qos_characteristics().find(|q| q.name == name)
+    }
+
+    /// Find a struct by name.
+    pub fn struct_def(&self, name: &str) -> Option<&StructDef> {
+        self.structs().find(|s| s.name == name)
+    }
+}
+
+/// A top-level QIDL definition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Definition {
+    /// A `struct` definition.
+    Struct(StructDef),
+    /// An `exception` definition.
+    Exception(ExceptionDef),
+    /// A `qos` characteristic definition.
+    Qos(QosDef),
+    /// An `interface` definition.
+    Interface(InterfaceDef),
+}
+
+/// A user exception type (referenced by `raises` clauses).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExceptionDef {
+    /// Exception name.
+    pub name: String,
+    /// Exception members in declaration order.
+    pub fields: Vec<(String, Type)>,
+}
+
+/// A named struct type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// Fields in declaration order.
+    pub fields: Vec<(String, Type)>,
+}
+
+/// A QoS characteristic (§3.2): parameters plus the operations of the
+/// *QoS responsibility*, grouped by the paper's three tasks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QosDef {
+    /// Characteristic name, e.g. `Replication`.
+    pub name: String,
+    /// QoS category (`fault_tolerance`, `performance`, …), if declared.
+    pub category: Option<String>,
+    /// Tunable parameters with optional defaults.
+    pub params: Vec<QosParam>,
+    /// "QoS mechanism management": setup, control, monitoring operations.
+    pub management: Vec<Operation>,
+    /// "QoS to QoS": operations the client- and server-side mechanisms
+    /// use to talk to each other over the middleware.
+    pub peer: Vec<Operation>,
+    /// "QoS aspect integration": the dedicated interface toward the
+    /// application object (e.g. state access for replica groups).
+    pub integration: Vec<Operation>,
+}
+
+impl QosDef {
+    /// All operations of the characteristic, in group order.
+    pub fn all_operations(&self) -> impl Iterator<Item = &Operation> {
+        self.management.iter().chain(self.peer.iter()).chain(self.integration.iter())
+    }
+}
+
+/// A QoS parameter declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QosParam {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type.
+    pub ty: Type,
+    /// Default value, if declared.
+    pub default: Option<Literal>,
+}
+
+/// An interface definition, possibly with assigned QoS characteristics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterfaceDef {
+    /// Interface name.
+    pub name: String,
+    /// Base interfaces (`: Base1, Base2`).
+    pub inherits: Vec<String>,
+    /// Assigned QoS characteristics (`with qos A, B`). Assignment is at
+    /// interface granularity only, per the paper.
+    pub qos: Vec<String>,
+    /// Operations in declaration order.
+    pub operations: Vec<Operation>,
+    /// Attributes in declaration order.
+    pub attributes: Vec<Attribute>,
+}
+
+impl InterfaceDef {
+    /// CORBA-style repository id, `IDL:<name>:1.0`.
+    pub fn repository_id(&self) -> String {
+        format!("IDL:{}:1.0", self.name)
+    }
+}
+
+/// An operation signature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Operation {
+    /// Operation name.
+    pub name: String,
+    /// `oneway` operations must return `void` and may not raise.
+    pub oneway: bool,
+    /// Return type.
+    pub ret: Type,
+    /// Parameters in declaration order.
+    pub params: Vec<Param>,
+    /// Names of user exceptions this operation may raise.
+    pub raises: Vec<String>,
+}
+
+/// An interface attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribute {
+    /// Attribute name.
+    pub name: String,
+    /// Attribute type.
+    pub ty: Type,
+    /// `readonly` attributes map to a getter only.
+    pub readonly: bool,
+}
+
+/// A formal parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Passing direction.
+    pub direction: Direction,
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type.
+    pub ty: Type,
+}
+
+/// Parameter passing direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Direction {
+    /// Client-to-server (the default).
+    #[default]
+    In,
+    /// Server-to-client.
+    Out,
+    /// Both directions.
+    InOut,
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::In => write!(f, "in"),
+            Direction::Out => write!(f, "out"),
+            Direction::InOut => write!(f, "inout"),
+        }
+    }
+}
+
+/// A QIDL type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Type {
+    /// No value (return types only).
+    Void,
+    /// Boolean.
+    Boolean,
+    /// 8-bit unsigned.
+    Octet,
+    /// 32-bit signed.
+    Long,
+    /// 32-bit unsigned.
+    ULong,
+    /// 64-bit signed.
+    LongLong,
+    /// 64-bit unsigned.
+    ULongLong,
+    /// IEEE-754 double.
+    Double,
+    /// UTF-8 string.
+    Str,
+    /// Self-describing value.
+    Any,
+    /// Homogeneous sequence.
+    Sequence(Box<Type>),
+    /// Reference to a named struct.
+    Named(String),
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Void => write!(f, "void"),
+            Type::Boolean => write!(f, "boolean"),
+            Type::Octet => write!(f, "octet"),
+            Type::Long => write!(f, "long"),
+            Type::ULong => write!(f, "unsigned long"),
+            Type::LongLong => write!(f, "long long"),
+            Type::ULongLong => write!(f, "unsigned long long"),
+            Type::Double => write!(f, "double"),
+            Type::Str => write!(f, "string"),
+            Type::Any => write!(f, "any"),
+            Type::Sequence(e) => write!(f, "sequence<{e}>"),
+            Type::Named(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// A literal (QoS parameter defaults).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Int(v) => write!(f, "{v}"),
+            Literal::Float(v) => {
+                if v.fract() == 0.0 && v.is_finite() {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Literal::Str(s) => write!(f, "{s:?}"),
+            Literal::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_lookup_helpers() {
+        let spec = Spec {
+            definitions: vec![
+                Definition::Struct(StructDef { name: "S".into(), fields: vec![] }),
+                Definition::Qos(QosDef {
+                    name: "Q".into(),
+                    category: None,
+                    params: vec![],
+                    management: vec![],
+                    peer: vec![],
+                    integration: vec![],
+                }),
+                Definition::Interface(InterfaceDef {
+                    name: "I".into(),
+                    inherits: vec![],
+                    qos: vec!["Q".into()],
+                    operations: vec![],
+                    attributes: vec![],
+                }),
+            ],
+        };
+        assert!(spec.interface("I").is_some());
+        assert!(spec.qos("Q").is_some());
+        assert!(spec.struct_def("S").is_some());
+        assert!(spec.interface("X").is_none());
+        assert_eq!(spec.interface("I").unwrap().repository_id(), "IDL:I:1.0");
+    }
+
+    #[test]
+    fn type_display() {
+        assert_eq!(Type::Sequence(Box::new(Type::Octet)).to_string(), "sequence<octet>");
+        assert_eq!(Type::ULongLong.to_string(), "unsigned long long");
+        assert_eq!(Type::Named("Point".into()).to_string(), "Point");
+    }
+
+    #[test]
+    fn literal_display_roundtrips_floats() {
+        assert_eq!(Literal::Float(3.0).to_string(), "3.0");
+        assert_eq!(Literal::Float(0.25).to_string(), "0.25");
+        assert_eq!(Literal::Bool(true).to_string(), "TRUE");
+        assert_eq!(Literal::Str("a\"b".into()).to_string(), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn qos_all_operations_order() {
+        let op = |n: &str| Operation {
+            name: n.into(),
+            oneway: false,
+            ret: Type::Void,
+            params: vec![],
+            raises: vec![],
+        };
+        let q = QosDef {
+            name: "Q".into(),
+            category: None,
+            params: vec![],
+            management: vec![op("m")],
+            peer: vec![op("p")],
+            integration: vec![op("i")],
+        };
+        let names: Vec<&str> = q.all_operations().map(|o| o.name.as_str()).collect();
+        assert_eq!(names, vec!["m", "p", "i"]);
+    }
+}

@@ -1,0 +1,411 @@
+//! The QIDL tokenizer.
+
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// The kind of a token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier or keyword (keywords are resolved by the parser).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A floating-point literal.
+    Float(f64),
+    /// A double-quoted string literal (unescaped).
+    Str(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `=`
+    Eq,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Int(v) => write!(f, "integer {v}"),
+            TokenKind::Float(v) => write!(f, "float {v}"),
+            TokenKind::Str(s) => write!(f, "string {s:?}"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::Eq => write!(f, "`=`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// A tokenization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Description of the problem.
+    pub message: String,
+    /// Where it occurred.
+    pub pos: Pos,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.message, self.pos)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn pos(&self) -> Pos {
+        Pos { line: self.line, col: self.col }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.i).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.i + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.i += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, message: impl Into<String>) -> LexError {
+        LexError { message: message.into(), pos: self.pos() }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => {
+                                return Err(LexError {
+                                    message: "unterminated block comment".to_string(),
+                                    pos: start,
+                                })
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                s.push(c as char);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        TokenKind::Ident(s)
+    }
+
+    fn number(&mut self) -> Result<TokenKind, LexError> {
+        let mut s = String::new();
+        if self.peek() == Some(b'-') {
+            s.push('-');
+            self.bump();
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                s.push(c as char);
+                self.bump();
+            } else if c == b'.' && !is_float && self.peek2().is_some_and(|d| d.is_ascii_digit()) {
+                is_float = true;
+                s.push('.');
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if s.is_empty() || s == "-" {
+            return Err(self.err("expected digits after `-`"));
+        }
+        if is_float {
+            s.parse::<f64>().map(TokenKind::Float).map_err(|e| self.err(format!("bad float: {e}")))
+        } else {
+            s.parse::<i64>().map(TokenKind::Int).map_err(|e| self.err(format!("bad integer: {e}")))
+        }
+    }
+
+    fn string(&mut self) -> Result<TokenKind, LexError> {
+        let start = self.pos();
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(TokenKind::Str(s)),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => s.push('"'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(b'n') => s.push('\n'),
+                    Some(b't') => s.push('\t'),
+                    Some(c) => {
+                        return Err(self.err(format!("unknown escape `\\{}`", c as char)))
+                    }
+                    None => {
+                        return Err(LexError {
+                            message: "unterminated string".to_string(),
+                            pos: start,
+                        })
+                    }
+                },
+                Some(b'\n') | None => {
+                    return Err(LexError { message: "unterminated string".to_string(), pos: start })
+                }
+                Some(c) => s.push(c as char),
+            }
+        }
+    }
+}
+
+/// Tokenize QIDL source.
+///
+/// The resulting vector always ends with a [`TokenKind::Eof`] token.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] for unterminated comments/strings, malformed
+/// numbers and characters outside the language.
+pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
+    let mut lx = Lexer { src: source.as_bytes(), i: 0, line: 1, col: 1 };
+    let mut tokens = Vec::new();
+    loop {
+        lx.skip_trivia()?;
+        let pos = lx.pos();
+        let kind = match lx.peek() {
+            None => {
+                tokens.push(Token { kind: TokenKind::Eof, pos });
+                return Ok(tokens);
+            }
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => lx.ident(),
+            Some(c) if c.is_ascii_digit() || c == b'-' => lx.number()?,
+            Some(b'"') => lx.string()?,
+            Some(b'{') => {
+                lx.bump();
+                TokenKind::LBrace
+            }
+            Some(b'}') => {
+                lx.bump();
+                TokenKind::RBrace
+            }
+            Some(b'(') => {
+                lx.bump();
+                TokenKind::LParen
+            }
+            Some(b')') => {
+                lx.bump();
+                TokenKind::RParen
+            }
+            Some(b'<') => {
+                lx.bump();
+                TokenKind::Lt
+            }
+            Some(b'>') => {
+                lx.bump();
+                TokenKind::Gt
+            }
+            Some(b';') => {
+                lx.bump();
+                TokenKind::Semi
+            }
+            Some(b',') => {
+                lx.bump();
+                TokenKind::Comma
+            }
+            Some(b':') => {
+                lx.bump();
+                TokenKind::Colon
+            }
+            Some(b'=') => {
+                lx.bump();
+                TokenKind::Eq
+            }
+            Some(c) => return Err(lx.err(format!("unexpected character `{}`", c as char))),
+        };
+        tokens.push(Token { kind, pos });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn punctuation_and_idents() {
+        assert_eq!(
+            kinds("interface I { };"),
+            vec![
+                TokenKind::Ident("interface".into()),
+                TokenKind::Ident("I".into()),
+                TokenKind::LBrace,
+                TokenKind::RBrace,
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42"), vec![TokenKind::Int(42), TokenKind::Eof]);
+        assert_eq!(kinds("-7"), vec![TokenKind::Int(-7), TokenKind::Eof]);
+        assert_eq!(kinds("3.5"), vec![TokenKind::Float(3.5), TokenKind::Eof]);
+        assert_eq!(kinds("-0.25"), vec![TokenKind::Float(-0.25), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""a\"b\\c\nd""#),
+            vec![TokenKind::Str("a\"b\\c\nd".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let src = "// line\ninterface /* block\nspanning */ I;";
+        assert_eq!(
+            kinds(src),
+            vec![
+                TokenKind::Ident("interface".into()),
+                TokenKind::Ident("I".into()),
+                TokenKind::Semi,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(toks[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\u{7}").is_err());
+        assert!(lex("\"open").is_err());
+        assert!(lex("/* open").is_err());
+        assert!(lex("- ").is_err());
+        assert!(lex(r#""bad \q escape""#).is_err());
+        assert!(lex("99999999999999999999").is_err());
+    }
+
+    #[test]
+    fn angle_brackets_for_sequences() {
+        assert_eq!(
+            kinds("sequence<octet>"),
+            vec![
+                TokenKind::Ident("sequence".into()),
+                TokenKind::Lt,
+                TokenKind::Ident("octet".into()),
+                TokenKind::Gt,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_input_is_just_eof() {
+        assert_eq!(kinds(""), vec![TokenKind::Eof]);
+        assert_eq!(kinds("   \n\t "), vec![TokenKind::Eof]);
+    }
+}

@@ -1,0 +1,173 @@
+//! QIDL — the Quality of Service Interface Definition Language.
+//!
+//! The paper's §3.2 extends CORBA IDL with QoS specifications: *QoS
+//! characteristics* are declared as first-class specification entities
+//! (parameters plus the operations of the QoS responsibility), and
+//! interfaces are *assigned* characteristics — at interface granularity
+//! only, finer granularity being explicitly forbidden ("QoS specifications
+//! in QIDL can be assigned to interfaces only"). The QIDL compiler then
+//! acts as an **aspect weaver** (§3.3): its language mapping generates the
+//! client-side mediators and server-side QoS skeletons that keep QoS and
+//! application concerns apart.
+//!
+//! This crate is the full language pipeline:
+//!
+//! * [`lexer`] — tokenizer with comments, positions and error reporting;
+//! * [`ast`] — the abstract syntax tree;
+//! * [`parser`] — recursive-descent parser;
+//! * [`pretty`] — pretty-printer (AST → canonical QIDL source);
+//! * [`sema`] — semantic analysis (name resolution, duplicate and cycle
+//!   checks, QoS-assignment validation);
+//! * [`repo`] — the interface repository: runtime-queryable metadata, the
+//!   reflective half of the pipeline;
+//! * [`codegen`] — the Rust language mapping: emits stubs with mediator
+//!   delegation, server skeletons with prolog/epilog weaving, and QoS
+//!   implementation skeletons, reproducing Fig. 2.
+//!
+//! # Grammar (EBNF)
+//!
+//! ```text
+//! spec        := definition* EOF
+//! definition  := struct | exception | qos | interface
+//! struct      := "struct" IDENT "{" (type IDENT ";")* "}" ";"
+//! exception   := "exception" IDENT "{" (type IDENT ";")* "}" ";"
+//! qos         := "qos" IDENT ("category" IDENT)? "{" qos_item* "}" ";"
+//! qos_item    := "param" type IDENT ("=" literal)? ";"
+//!              | "management" "{" operation* "}" ";"
+//!              | "peer" "{" operation* "}" ";"
+//!              | "integration" "{" operation* "}" ";"
+//! interface   := "interface" IDENT (":" IDENT ("," IDENT)*)?
+//!                ("with" "qos" IDENT ("," IDENT)*)?
+//!                "{" (operation | attribute)* "}" ";"
+//! operation   := "oneway"? type IDENT "(" params? ")"
+//!                ("raises" "(" IDENT ("," IDENT)* ")")? ";"
+//! attribute   := "readonly"? "attribute" type IDENT ";"
+//! params      := param ("," param)*
+//! param       := ("in" | "out" | "inout")? type IDENT
+//! type        := "void" | "boolean" | "octet" | "long" | "unsigned" "long"
+//!              | "long" "long" | "unsigned" "long" "long" | "double"
+//!              | "string" | "any" | "sequence" "<" type ">" | IDENT
+//! literal     := INT | FLOAT | STRING | "TRUE" | "FALSE"
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! let src = r#"
+//!     qos Compression category performance {
+//!         param long level = 6;
+//!         management {
+//!             void set_level(in long level);
+//!         };
+//!     };
+//!     interface FileStore with qos Compression {
+//!         void put(in string name, in sequence<octet> data);
+//!         sequence<octet> get(in string name);
+//!     };
+//! "#;
+//! let spec = qidl::compile(src).unwrap();
+//! assert_eq!(spec.interfaces().count(), 1);
+//! let rust = qidl::codegen::generate(&spec);
+//! assert!(rust.contains("pub struct FileStoreStub"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod codegen;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod repo;
+pub mod sema;
+
+pub use ast::Spec;
+pub use lexer::{LexError, Token, TokenKind};
+pub use parser::ParseError;
+pub use repo::InterfaceRepository;
+pub use sema::SemaError;
+
+use std::fmt;
+
+/// Any error produced by the QIDL pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QidlError {
+    /// Tokenization failed.
+    Lex(LexError),
+    /// Parsing failed.
+    Parse(ParseError),
+    /// Semantic analysis failed.
+    Sema(SemaError),
+}
+
+impl fmt::Display for QidlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QidlError::Lex(e) => write!(f, "lex error: {e}"),
+            QidlError::Parse(e) => write!(f, "parse error: {e}"),
+            QidlError::Sema(e) => write!(f, "semantic error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QidlError {}
+
+impl From<LexError> for QidlError {
+    fn from(e: LexError) -> QidlError {
+        QidlError::Lex(e)
+    }
+}
+impl From<ParseError> for QidlError {
+    fn from(e: ParseError) -> QidlError {
+        QidlError::Parse(e)
+    }
+}
+impl From<SemaError> for QidlError {
+    fn from(e: SemaError) -> QidlError {
+        QidlError::Sema(e)
+    }
+}
+
+/// Compile QIDL source into a semantically checked [`Spec`].
+///
+/// This is the front half of the QIDL compiler: lex, parse, analyse.
+/// Feed the result to [`codegen::generate`] for the Rust language
+/// mapping, or to [`InterfaceRepository::load`] for runtime reflection.
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic or semantic error found.
+pub fn compile(source: &str) -> Result<Spec, QidlError> {
+    let tokens = lexer::lex(source)?;
+    let spec = parser::parse(&tokens)?;
+    sema::check(&spec)?;
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_accepts_valid_source() {
+        let spec = compile("interface Empty {};").unwrap();
+        assert_eq!(spec.interfaces().count(), 1);
+    }
+
+    #[test]
+    fn compile_reports_stage_errors() {
+        assert!(matches!(compile("interface \u{1}"), Err(QidlError::Lex(_))));
+        assert!(matches!(compile("interface {"), Err(QidlError::Parse(_))));
+        assert!(matches!(
+            compile("interface I with qos Missing {};"),
+            Err(QidlError::Sema(_))
+        ));
+    }
+
+    #[test]
+    fn error_display_mentions_stage() {
+        let e = compile("interface {").unwrap_err();
+        assert!(e.to_string().starts_with("parse error"));
+    }
+}

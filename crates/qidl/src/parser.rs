@@ -1,0 +1,592 @@
+//! Recursive-descent parser for QIDL.
+
+use crate::ast::*;
+use crate::lexer::{Pos, Token, TokenKind};
+use std::fmt;
+
+/// A syntax error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description of the problem.
+    pub message: String,
+    /// Where it occurred.
+    pub pos: Pos,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.message, self.pos)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    i: usize,
+}
+
+type PResult<T> = Result<T, ParseError>;
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.i.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.i < self.tokens.len() - 1 {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> PResult<T> {
+        Err(ParseError { message: message.into(), pos: self.peek().pos })
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> PResult<()> {
+        if &self.peek().kind == kind {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {kind}, found {}", self.peek().kind))
+        }
+    }
+
+    /// Consume a keyword if present.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(&self.peek().kind, TokenKind::Ident(s) if s == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> PResult<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{kw}`, found {}", self.peek().kind))
+        }
+    }
+
+    fn ident(&mut self) -> PResult<String> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) if !is_keyword(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            TokenKind::Ident(s) => self.err(format!("`{s}` is a keyword, not a name")),
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn spec(&mut self) -> PResult<Spec> {
+        let mut definitions = Vec::new();
+        while self.peek().kind != TokenKind::Eof {
+            definitions.push(self.definition()?);
+        }
+        Ok(Spec { definitions })
+    }
+
+    fn definition(&mut self) -> PResult<Definition> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) if s == "struct" => Ok(Definition::Struct(self.struct_def()?)),
+            TokenKind::Ident(s) if s == "exception" => {
+                Ok(Definition::Exception(self.exception_def()?))
+            }
+            TokenKind::Ident(s) if s == "qos" => Ok(Definition::Qos(self.qos_def()?)),
+            TokenKind::Ident(s) if s == "interface" => {
+                Ok(Definition::Interface(self.interface_def()?))
+            }
+            other => self.err(format!(
+                "expected `struct`, `exception`, `qos` or `interface`, found {other}"
+            )),
+        }
+    }
+
+    fn struct_def(&mut self) -> PResult<StructDef> {
+        self.expect_kw("struct")?;
+        let name = self.ident()?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut fields = Vec::new();
+        while self.peek().kind != TokenKind::RBrace {
+            let ty = self.ty()?;
+            let fname = self.ident()?;
+            self.expect(&TokenKind::Semi)?;
+            fields.push((fname, ty));
+        }
+        self.expect(&TokenKind::RBrace)?;
+        self.expect(&TokenKind::Semi)?;
+        Ok(StructDef { name, fields })
+    }
+
+    fn exception_def(&mut self) -> PResult<ExceptionDef> {
+        self.expect_kw("exception")?;
+        let name = self.ident()?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut fields = Vec::new();
+        while self.peek().kind != TokenKind::RBrace {
+            let ty = self.ty()?;
+            let fname = self.ident()?;
+            self.expect(&TokenKind::Semi)?;
+            fields.push((fname, ty));
+        }
+        self.expect(&TokenKind::RBrace)?;
+        self.expect(&TokenKind::Semi)?;
+        Ok(ExceptionDef { name, fields })
+    }
+
+    fn qos_def(&mut self) -> PResult<QosDef> {
+        self.expect_kw("qos")?;
+        let name = self.ident()?;
+        let category = if self.eat_kw("category") { Some(self.ident()?) } else { None };
+        self.expect(&TokenKind::LBrace)?;
+        let mut def = QosDef {
+            name,
+            category,
+            params: Vec::new(),
+            management: Vec::new(),
+            peer: Vec::new(),
+            integration: Vec::new(),
+        };
+        while self.peek().kind != TokenKind::RBrace {
+            if self.eat_kw("param") {
+                let ty = self.ty()?;
+                let pname = self.ident()?;
+                let default = if self.peek().kind == TokenKind::Eq {
+                    self.bump();
+                    Some(self.literal()?)
+                } else {
+                    None
+                };
+                self.expect(&TokenKind::Semi)?;
+                def.params.push(QosParam { name: pname, ty, default });
+            } else if self.eat_kw("management") {
+                def.management.extend(self.operation_block()?);
+            } else if self.eat_kw("peer") {
+                def.peer.extend(self.operation_block()?);
+            } else if self.eat_kw("integration") {
+                def.integration.extend(self.operation_block()?);
+            } else {
+                return self.err(format!(
+                    "expected `param`, `management`, `peer` or `integration`, found {}",
+                    self.peek().kind
+                ));
+            }
+        }
+        self.expect(&TokenKind::RBrace)?;
+        self.expect(&TokenKind::Semi)?;
+        Ok(def)
+    }
+
+    fn operation_block(&mut self) -> PResult<Vec<Operation>> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut ops = Vec::new();
+        while self.peek().kind != TokenKind::RBrace {
+            ops.push(self.operation()?);
+        }
+        self.expect(&TokenKind::RBrace)?;
+        self.expect(&TokenKind::Semi)?;
+        Ok(ops)
+    }
+
+    fn interface_def(&mut self) -> PResult<InterfaceDef> {
+        self.expect_kw("interface")?;
+        let name = self.ident()?;
+        let mut inherits = Vec::new();
+        if self.peek().kind == TokenKind::Colon {
+            self.bump();
+            inherits.push(self.ident()?);
+            while self.peek().kind == TokenKind::Comma {
+                self.bump();
+                inherits.push(self.ident()?);
+            }
+        }
+        let mut qos = Vec::new();
+        if self.eat_kw("with") {
+            self.expect_kw("qos")?;
+            qos.push(self.ident()?);
+            while self.peek().kind == TokenKind::Comma {
+                self.bump();
+                qos.push(self.ident()?);
+            }
+        }
+        self.expect(&TokenKind::LBrace)?;
+        let mut operations = Vec::new();
+        let mut attributes = Vec::new();
+        while self.peek().kind != TokenKind::RBrace {
+            if let TokenKind::Ident(s) = &self.peek().kind {
+                if s == "readonly" || s == "attribute" {
+                    attributes.push(self.attribute()?);
+                    continue;
+                }
+            }
+            operations.push(self.operation()?);
+        }
+        self.expect(&TokenKind::RBrace)?;
+        self.expect(&TokenKind::Semi)?;
+        Ok(InterfaceDef { name, inherits, qos, operations, attributes })
+    }
+
+    fn attribute(&mut self) -> PResult<Attribute> {
+        let readonly = self.eat_kw("readonly");
+        self.expect_kw("attribute")?;
+        let ty = self.ty()?;
+        let name = self.ident()?;
+        self.expect(&TokenKind::Semi)?;
+        Ok(Attribute { name, ty, readonly })
+    }
+
+    fn operation(&mut self) -> PResult<Operation> {
+        let oneway = self.eat_kw("oneway");
+        let ret = self.ty()?;
+        let name = self.ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if self.peek().kind != TokenKind::RParen {
+            params.push(self.param()?);
+            while self.peek().kind == TokenKind::Comma {
+                self.bump();
+                params.push(self.param()?);
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        let mut raises = Vec::new();
+        if self.eat_kw("raises") {
+            self.expect(&TokenKind::LParen)?;
+            raises.push(self.ident()?);
+            while self.peek().kind == TokenKind::Comma {
+                self.bump();
+                raises.push(self.ident()?);
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        self.expect(&TokenKind::Semi)?;
+        if oneway && ret != Type::Void {
+            return self.err(format!("oneway operation `{name}` must return void"));
+        }
+        if oneway && !raises.is_empty() {
+            return self.err(format!("oneway operation `{name}` may not raise exceptions"));
+        }
+        Ok(Operation { name, oneway, ret, params, raises })
+    }
+
+    fn param(&mut self) -> PResult<Param> {
+        let direction = if self.eat_kw("in") {
+            Direction::In
+        } else if self.eat_kw("out") {
+            Direction::Out
+        } else if self.eat_kw("inout") {
+            Direction::InOut
+        } else {
+            Direction::In
+        };
+        let ty = self.ty()?;
+        let name = self.ident()?;
+        Ok(Param { direction, name, ty })
+    }
+
+    fn ty(&mut self) -> PResult<Type> {
+        let kw = match &self.peek().kind {
+            TokenKind::Ident(s) => s.clone(),
+            other => return self.err(format!("expected a type, found {other}")),
+        };
+        match kw.as_str() {
+            "void" => {
+                self.bump();
+                Ok(Type::Void)
+            }
+            "boolean" => {
+                self.bump();
+                Ok(Type::Boolean)
+            }
+            "octet" => {
+                self.bump();
+                Ok(Type::Octet)
+            }
+            "double" => {
+                self.bump();
+                Ok(Type::Double)
+            }
+            "string" => {
+                self.bump();
+                Ok(Type::Str)
+            }
+            "any" => {
+                self.bump();
+                Ok(Type::Any)
+            }
+            "long" => {
+                self.bump();
+                if self.eat_kw("long") {
+                    Ok(Type::LongLong)
+                } else {
+                    Ok(Type::Long)
+                }
+            }
+            "unsigned" => {
+                self.bump();
+                self.expect_kw("long")?;
+                if self.eat_kw("long") {
+                    Ok(Type::ULongLong)
+                } else {
+                    Ok(Type::ULong)
+                }
+            }
+            "sequence" => {
+                self.bump();
+                self.expect(&TokenKind::Lt)?;
+                let elem = self.ty()?;
+                self.expect(&TokenKind::Gt)?;
+                Ok(Type::Sequence(Box::new(elem)))
+            }
+            _ if is_keyword(&kw) => self.err(format!("`{kw}` is not a type")),
+            _ => {
+                self.bump();
+                Ok(Type::Named(kw))
+            }
+        }
+    }
+
+    fn literal(&mut self) -> PResult<Literal> {
+        match self.peek().kind.clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Literal::Int(v))
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(Literal::Float(v))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Literal::Str(s))
+            }
+            TokenKind::Ident(s) if s == "TRUE" => {
+                self.bump();
+                Ok(Literal::Bool(true))
+            }
+            TokenKind::Ident(s) if s == "FALSE" => {
+                self.bump();
+                Ok(Literal::Bool(false))
+            }
+            other => self.err(format!("expected a literal, found {other}")),
+        }
+    }
+}
+
+/// Words that cannot be used as names.
+pub(crate) fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "struct"
+            | "exception"
+            | "qos"
+            | "interface"
+            | "with"
+            | "category"
+            | "param"
+            | "management"
+            | "peer"
+            | "integration"
+            | "oneway"
+            | "raises"
+            | "readonly"
+            | "attribute"
+            | "in"
+            | "out"
+            | "inout"
+            | "void"
+            | "boolean"
+            | "octet"
+            | "long"
+            | "unsigned"
+            | "double"
+            | "string"
+            | "any"
+            | "sequence"
+    )
+}
+
+/// Parse a token stream into a [`Spec`].
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered.
+pub fn parse(tokens: &[Token]) -> Result<Spec, ParseError> {
+    assert!(
+        matches!(tokens.last().map(|t| &t.kind), Some(TokenKind::Eof)),
+        "token stream must end with Eof (use qidl::lexer::lex)"
+    );
+    Parser { tokens, i: 0 }.spec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_ok(src: &str) -> Spec {
+        parse(&lex(src).unwrap()).unwrap()
+    }
+
+    fn parse_err(src: &str) -> ParseError {
+        parse(&lex(src).unwrap()).unwrap_err()
+    }
+
+    #[test]
+    fn empty_interface() {
+        let spec = parse_ok("interface I {};");
+        let i = spec.interface("I").unwrap();
+        assert!(i.operations.is_empty() && i.qos.is_empty() && i.inherits.is_empty());
+    }
+
+    #[test]
+    fn interface_with_everything() {
+        let spec = parse_ok(
+            r#"
+            interface Bank : Base, Auditable with qos Replication, Encryption {
+                long balance(in string account);
+                void transfer(in string from, inout string to, out long receipt)
+                    raises (Overdraft, Frozen);
+                oneway void log(in string msg);
+                readonly attribute string name;
+                attribute long limit;
+            };
+            "#,
+        );
+        let i = spec.interface("Bank").unwrap();
+        assert_eq!(i.inherits, vec!["Base", "Auditable"]);
+        assert_eq!(i.qos, vec!["Replication", "Encryption"]);
+        assert_eq!(i.operations.len(), 3);
+        assert_eq!(i.attributes.len(), 2);
+        let t = &i.operations[1];
+        assert_eq!(t.params[1].direction, Direction::InOut);
+        assert_eq!(t.params[2].direction, Direction::Out);
+        assert_eq!(t.raises, vec!["Overdraft", "Frozen"]);
+        assert!(i.operations[2].oneway);
+        assert!(i.attributes[0].readonly);
+        assert!(!i.attributes[1].readonly);
+    }
+
+    #[test]
+    fn qos_definition() {
+        let spec = parse_ok(
+            r#"
+            qos Replication category fault_tolerance {
+                param unsigned long replicas = 3;
+                param double availability = 0.99;
+                param string strategy = "majority";
+                param boolean eager = TRUE;
+                management {
+                    void start();
+                    double current_availability();
+                };
+                peer {
+                    void sync_state(in any state);
+                };
+                integration {
+                    any export_state();
+                };
+            };
+            "#,
+        );
+        let q = spec.qos("Replication").unwrap();
+        assert_eq!(q.category.as_deref(), Some("fault_tolerance"));
+        assert_eq!(q.params.len(), 4);
+        assert_eq!(q.params[0].default, Some(Literal::Int(3)));
+        assert_eq!(q.params[1].default, Some(Literal::Float(0.99)));
+        assert_eq!(q.params[2].default, Some(Literal::Str("majority".into())));
+        assert_eq!(q.params[3].default, Some(Literal::Bool(true)));
+        assert_eq!(q.management.len(), 2);
+        assert_eq!(q.peer.len(), 1);
+        assert_eq!(q.integration.len(), 1);
+        assert_eq!(q.all_operations().count(), 4);
+    }
+
+    #[test]
+    fn struct_and_types() {
+        let spec = parse_ok(
+            r#"
+            struct Quote {
+                string symbol;
+                double price;
+                unsigned long long timestamp;
+                sequence<octet> blob;
+                sequence<sequence<double>> matrix;
+            };
+            "#,
+        );
+        let s = spec.struct_def("Quote").unwrap();
+        assert_eq!(s.fields[2].1, Type::ULongLong);
+        assert_eq!(
+            s.fields[4].1,
+            Type::Sequence(Box::new(Type::Sequence(Box::new(Type::Double))))
+        );
+    }
+
+    #[test]
+    fn named_types_in_operations() {
+        let spec = parse_ok(
+            "struct P { double x; };\ninterface I { P get(in P p); };",
+        );
+        let op = &spec.interface("I").unwrap().operations[0];
+        assert_eq!(op.ret, Type::Named("P".into()));
+        assert_eq!(op.params[0].ty, Type::Named("P".into()));
+    }
+
+    #[test]
+    fn default_direction_is_in() {
+        let spec = parse_ok("interface I { void f(long x); };");
+        assert_eq!(spec.interface("I").unwrap().operations[0].params[0].direction, Direction::In);
+    }
+
+    #[test]
+    fn syntax_errors_have_positions() {
+        let e = parse_err("interface I {");
+        assert!(e.pos.line >= 1);
+        assert!(e.message.contains("expected"));
+    }
+
+    #[test]
+    fn oneway_constraints() {
+        assert!(parse(&lex("interface I { oneway long f(); };").unwrap()).is_err());
+        assert!(parse(&lex("interface I { oneway void f() raises (E); };").unwrap()).is_err());
+    }
+
+    #[test]
+    fn keywords_cannot_be_names() {
+        assert!(parse(&lex("interface interface {};").unwrap()).is_err());
+        assert!(parse(&lex("interface I { void qos(); };").unwrap()).is_err());
+    }
+
+    #[test]
+    fn exception_definitions() {
+        let spec = parse_ok(
+            "exception Overdraft { string account; long long shortfall; };\n\
+             exception Plain {};",
+        );
+        let e = spec.exception("Overdraft").unwrap();
+        assert_eq!(e.fields.len(), 2);
+        assert_eq!(e.fields[1].1, Type::LongLong);
+        assert!(spec.exception("Plain").unwrap().fields.is_empty());
+        assert!(parse(&lex("exception {};").unwrap()).is_err());
+        assert!(parse(&lex("exception E { long };").unwrap()).is_err());
+    }
+
+    #[test]
+    fn garbage_top_level() {
+        let e = parse_err("banana;");
+        assert!(e.message.contains("expected `struct`, `exception`, `qos` or `interface`"));
+    }
+
+    #[test]
+    fn missing_semicolons_rejected() {
+        assert!(parse(&lex("interface I {}").unwrap()).is_err());
+        assert!(parse(&lex("interface I { void f() };").unwrap()).is_err());
+    }
+}

@@ -1,0 +1,165 @@
+//! Pretty-printer: AST back to canonical QIDL source.
+//!
+//! `parse(pretty(spec)) == spec` holds for every well-formed AST, which
+//! the property tests exploit.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Render a [`Spec`] as canonical QIDL source.
+pub fn pretty(spec: &Spec) -> String {
+    let mut out = String::new();
+    for (i, def) in spec.definitions.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        match def {
+            Definition::Struct(s) => write_struct(&mut out, s),
+            Definition::Exception(e) => write_exception(&mut out, e),
+            Definition::Qos(q) => write_qos(&mut out, q),
+            Definition::Interface(iface) => write_interface(&mut out, iface),
+        }
+    }
+    out
+}
+
+fn write_struct(out: &mut String, s: &StructDef) {
+    let _ = writeln!(out, "struct {} {{", s.name);
+    for (name, ty) in &s.fields {
+        let _ = writeln!(out, "    {ty} {name};");
+    }
+    let _ = writeln!(out, "}};");
+}
+
+fn write_exception(out: &mut String, e: &ExceptionDef) {
+    let _ = writeln!(out, "exception {} {{", e.name);
+    for (name, ty) in &e.fields {
+        let _ = writeln!(out, "    {ty} {name};");
+    }
+    let _ = writeln!(out, "}};");
+}
+
+fn write_qos(out: &mut String, q: &QosDef) {
+    let _ = write!(out, "qos {}", q.name);
+    if let Some(cat) = &q.category {
+        let _ = write!(out, " category {cat}");
+    }
+    let _ = writeln!(out, " {{");
+    for p in &q.params {
+        let _ = write!(out, "    param {} {}", p.ty, p.name);
+        if let Some(d) = &p.default {
+            let _ = write!(out, " = {d}");
+        }
+        let _ = writeln!(out, ";");
+    }
+    for (label, ops) in
+        [("management", &q.management), ("peer", &q.peer), ("integration", &q.integration)]
+    {
+        if ops.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "    {label} {{");
+        for op in ops {
+            let _ = writeln!(out, "        {}", operation_to_string(op));
+        }
+        let _ = writeln!(out, "    }};");
+    }
+    let _ = writeln!(out, "}};");
+}
+
+fn write_interface(out: &mut String, i: &InterfaceDef) {
+    let _ = write!(out, "interface {}", i.name);
+    if !i.inherits.is_empty() {
+        let _ = write!(out, " : {}", i.inherits.join(", "));
+    }
+    if !i.qos.is_empty() {
+        let _ = write!(out, " with qos {}", i.qos.join(", "));
+    }
+    let _ = writeln!(out, " {{");
+    for op in &i.operations {
+        let _ = writeln!(out, "    {}", operation_to_string(op));
+    }
+    for a in &i.attributes {
+        let ro = if a.readonly { "readonly " } else { "" };
+        let _ = writeln!(out, "    {ro}attribute {} {};", a.ty, a.name);
+    }
+    let _ = writeln!(out, "}};");
+}
+
+/// Render one operation signature (without indentation).
+pub fn operation_to_string(op: &Operation) -> String {
+    let mut s = String::new();
+    if op.oneway {
+        s.push_str("oneway ");
+    }
+    let _ = write!(s, "{} {}(", op.ret, op.name);
+    for (i, p) in op.params.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "{} {} {}", p.direction, p.ty, p.name);
+    }
+    s.push(')');
+    if !op.raises.is_empty() {
+        let _ = write!(s, " raises ({})", op.raises.join(", "));
+    }
+    s.push(';');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn roundtrip(src: &str) {
+        let spec = parse(&lex(src).unwrap()).unwrap();
+        let printed = pretty(&spec);
+        let reparsed = parse(&lex(&printed).unwrap()).unwrap();
+        assert_eq!(reparsed, spec, "pretty output:\n{printed}");
+    }
+
+    #[test]
+    fn roundtrips() {
+        roundtrip("interface I {};");
+        roundtrip("struct P { double x; double y; };");
+        roundtrip("exception Denied { string reason; unsigned long code; };");
+        roundtrip(
+            "exception Denied {};\ninterface V { octet read(in string k) raises (Denied); };",
+        );
+        roundtrip(
+            r#"
+            qos Enc category privacy {
+                param string cipher = "stream";
+                param boolean strict = FALSE;
+                management { void rekey(in unsigned long long seed); };
+                peer { void exchange(in any blob); };
+            };
+            interface Vault : Base with qos Enc {
+                sequence<octet> read(in string key) raises (Denied);
+                oneway void audit(in string what);
+                readonly attribute unsigned long size;
+            };
+            "#,
+        );
+    }
+
+    #[test]
+    fn operation_rendering() {
+        let op = Operation {
+            name: "f".into(),
+            oneway: false,
+            ret: Type::Long,
+            params: vec![Param { direction: Direction::InOut, name: "x".into(), ty: Type::Str }],
+            raises: vec!["E".into()],
+        };
+        assert_eq!(operation_to_string(&op), "long f(inout string x) raises (E);");
+    }
+
+    #[test]
+    fn float_defaults_survive_roundtrip() {
+        roundtrip("qos Q { param double a = 1.0; param double b = -0.5; };");
+        roundtrip("qos Q { param long n = -12; };");
+    }
+}

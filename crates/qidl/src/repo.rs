@@ -1,0 +1,294 @@
+//! The interface repository: runtime-queryable QIDL metadata.
+//!
+//! CORBA keeps compiled IDL available at runtime in the *interface
+//! repository*; MAQS needs the same reflective access so the weaving
+//! runtime can (a) tell application operations from QoS operations, (b)
+//! find the operations of each *assigned* characteristic, and (c) answer
+//! `is_a` questions for inherited interfaces.
+
+use crate::ast::{ExceptionDef, InterfaceDef, Operation, QosDef, Spec, StructDef};
+use crate::sema;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Where a woven operation comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpOrigin {
+    /// Declared on the application interface (possibly inherited).
+    Application,
+    /// Declared by the named QoS characteristic assigned to the interface.
+    Qos(String),
+}
+
+/// A loaded, queryable collection of QIDL definitions.
+#[derive(Debug, Clone, Default)]
+pub struct InterfaceRepository {
+    structs: HashMap<String, StructDef>,
+    exceptions: HashMap<String, ExceptionDef>,
+    qos: HashMap<String, QosDef>,
+    interfaces: HashMap<String, InterfaceDef>,
+}
+
+impl fmt::Display for InterfaceRepository {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "repository: {} interfaces, {} qos, {} structs, {} exceptions",
+            self.interfaces.len(),
+            self.qos.len(),
+            self.structs.len(),
+            self.exceptions.len()
+        )
+    }
+}
+
+impl InterfaceRepository {
+    /// An empty repository.
+    pub fn new() -> InterfaceRepository {
+        InterfaceRepository::default()
+    }
+
+    /// Load all definitions of a [`Spec`], resolving names against the
+    /// union of the incoming spec and what is already loaded.
+    ///
+    /// # Errors
+    ///
+    /// [`sema::SemaError`] if the spec fails semantic checks or collides
+    /// with already loaded definitions.
+    pub fn load(&mut self, spec: &Spec) -> Result<(), sema::SemaError> {
+        let env = sema::Externals {
+            structs: self.structs.keys().cloned().collect(),
+            exceptions: self.exceptions.keys().cloned().collect(),
+            qos: self.qos.keys().cloned().collect(),
+            interfaces: self.interfaces.keys().cloned().collect(),
+        };
+        sema::check_with(spec, &env)?;
+        for s in spec.structs() {
+            if self.name_taken(&s.name) {
+                return Err(collision(&s.name));
+            }
+        }
+        for e in spec.exceptions() {
+            if self.name_taken(&e.name) {
+                return Err(collision(&e.name));
+            }
+        }
+        for q in spec.qos_characteristics() {
+            if self.name_taken(&q.name) {
+                return Err(collision(&q.name));
+            }
+        }
+        for i in spec.interfaces() {
+            if self.name_taken(&i.name) {
+                return Err(collision(&i.name));
+            }
+        }
+        for s in spec.structs() {
+            self.structs.insert(s.name.clone(), s.clone());
+        }
+        for e in spec.exceptions() {
+            self.exceptions.insert(e.name.clone(), e.clone());
+        }
+        for q in spec.qos_characteristics() {
+            self.qos.insert(q.name.clone(), q.clone());
+        }
+        for i in spec.interfaces() {
+            self.interfaces.insert(i.name.clone(), i.clone());
+        }
+        Ok(())
+    }
+
+    fn name_taken(&self, name: &str) -> bool {
+        self.structs.contains_key(name)
+            || self.exceptions.contains_key(name)
+            || self.qos.contains_key(name)
+            || self.interfaces.contains_key(name)
+    }
+
+    /// Look up an interface definition.
+    pub fn interface(&self, name: &str) -> Option<&InterfaceDef> {
+        self.interfaces.get(name)
+    }
+
+    /// Look up a QoS characteristic definition.
+    pub fn qos(&self, name: &str) -> Option<&QosDef> {
+        self.qos.get(name)
+    }
+
+    /// Look up a struct definition.
+    pub fn struct_def(&self, name: &str) -> Option<&StructDef> {
+        self.structs.get(name)
+    }
+
+    /// Look up an exception definition.
+    pub fn exception(&self, name: &str) -> Option<&ExceptionDef> {
+        self.exceptions.get(name)
+    }
+
+    /// Interface names, sorted.
+    pub fn interface_names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.interfaces.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Transitive `is_a`: is `iface` equal to or derived from `base`?
+    pub fn is_a(&self, iface: &str, base: &str) -> bool {
+        if iface == base {
+            return self.interfaces.contains_key(iface);
+        }
+        match self.interfaces.get(iface) {
+            None => false,
+            Some(def) => def.inherits.iter().any(|b| self.is_a(b, base)),
+        }
+    }
+
+    /// All application operations of `iface`, inherited ones first.
+    pub fn application_operations(&self, iface: &str) -> Vec<&Operation> {
+        let Some(def) = self.interfaces.get(iface) else { return Vec::new() };
+        let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        self.collect(def, &mut seen, &mut out);
+        out
+    }
+
+    fn collect<'a>(
+        &'a self,
+        def: &'a InterfaceDef,
+        seen: &mut std::collections::HashSet<&'a str>,
+        out: &mut Vec<&'a Operation>,
+    ) {
+        for base in &def.inherits {
+            if let Some(b) = self.interfaces.get(base) {
+                self.collect(b, seen, out);
+            }
+        }
+        for op in &def.operations {
+            if seen.insert(op.name.as_str()) {
+                out.push(op);
+            }
+        }
+    }
+
+    /// The QoS characteristics assigned to `iface` (in assignment order).
+    pub fn assigned_qos(&self, iface: &str) -> Vec<&QosDef> {
+        let Some(def) = self.interfaces.get(iface) else { return Vec::new() };
+        def.qos.iter().filter_map(|name| self.qos.get(name)).collect()
+    }
+
+    /// Resolve an operation on the *woven* interface: the application
+    /// operations plus every assigned characteristic's QoS operations
+    /// (the woven server of Fig. 2 "accepts potentially all assigned QoS
+    /// operations").
+    pub fn lookup_woven(&self, iface: &str, op: &str) -> Option<(OpOrigin, &Operation)> {
+        if let Some(found) = self.application_operations(iface).into_iter().find(|o| o.name == op)
+        {
+            return Some((OpOrigin::Application, found));
+        }
+        for q in self.assigned_qos(iface) {
+            if let Some(found) = q.all_operations().find(|o| o.name == op) {
+                return Some((OpOrigin::Qos(q.name.clone()), found));
+            }
+        }
+        None
+    }
+}
+
+fn collision(name: &str) -> sema::SemaError {
+    sema::SemaError { message: format!("`{name}` is already defined in the repository") }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    fn repo(src: &str) -> InterfaceRepository {
+        let mut r = InterfaceRepository::new();
+        r.load(&compile(src).unwrap()).unwrap();
+        r
+    }
+
+    const BANK: &str = r#"
+        qos Replication category fault_tolerance {
+            param unsigned long replicas = 3;
+            management { void start(); };
+            integration { any export_state(); };
+        };
+        qos Encryption category privacy {
+            management { void rekey(in unsigned long long seed); };
+        };
+        interface Account { long balance(); };
+        interface Bank : Account with qos Replication, Encryption {
+            void deposit(in long amount);
+        };
+    "#;
+
+    #[test]
+    fn lookups_work() {
+        let r = repo(BANK);
+        assert!(r.interface("Bank").is_some());
+        assert!(r.qos("Replication").is_some());
+        assert_eq!(r.interface_names(), vec!["Account", "Bank"]);
+        assert_eq!(r.assigned_qos("Bank").len(), 2);
+        assert!(r.assigned_qos("Account").is_empty());
+    }
+
+    #[test]
+    fn is_a_is_transitive_and_reflexive() {
+        let r = repo(BANK);
+        assert!(r.is_a("Bank", "Bank"));
+        assert!(r.is_a("Bank", "Account"));
+        assert!(!r.is_a("Account", "Bank"));
+        assert!(!r.is_a("Ghost", "Ghost"));
+    }
+
+    #[test]
+    fn application_operations_include_inherited() {
+        let r = repo(BANK);
+        let names: Vec<&str> =
+            r.application_operations("Bank").iter().map(|o| o.name.as_str()).collect();
+        assert_eq!(names, vec!["balance", "deposit"]);
+    }
+
+    #[test]
+    fn woven_lookup_spans_application_and_qos() {
+        let r = repo(BANK);
+        let (origin, _) = r.lookup_woven("Bank", "deposit").unwrap();
+        assert_eq!(origin, OpOrigin::Application);
+        let (origin, _) = r.lookup_woven("Bank", "balance").unwrap();
+        assert_eq!(origin, OpOrigin::Application);
+        let (origin, op) = r.lookup_woven("Bank", "start").unwrap();
+        assert_eq!(origin, OpOrigin::Qos("Replication".into()));
+        assert_eq!(op.name, "start");
+        let (origin, _) = r.lookup_woven("Bank", "rekey").unwrap();
+        assert_eq!(origin, OpOrigin::Qos("Encryption".into()));
+        assert!(r.lookup_woven("Bank", "nope").is_none());
+        // Unassigned characteristics are not visible on the interface.
+        assert!(r.lookup_woven("Account", "start").is_none());
+    }
+
+    fn parse_only(src: &str) -> Spec {
+        crate::parser::parse(&crate::lexer::lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn incremental_load_and_collisions() {
+        let mut r = InterfaceRepository::new();
+        r.load(&parse_only("interface A {};")).unwrap();
+        // B can inherit the already loaded A, even though "interface B : A"
+        // would not compile as a standalone unit.
+        r.load(&parse_only("interface B : A {};")).unwrap();
+        assert!(r.is_a("B", "A"));
+        // Redefinition collides.
+        let e = r.load(&parse_only("interface A {};")).unwrap_err();
+        assert!(e.message.contains("already defined"));
+        // Unresolved base across loads is caught.
+        let e = r.load(&parse_only("interface C : Ghost {};")).unwrap_err();
+        assert!(e.message.contains("unknown"));
+        // Cross-load qos assignment also resolves.
+        r.load(&parse_only("qos Q {};")).unwrap();
+        r.load(&parse_only("interface D with qos Q {};")).unwrap();
+        assert_eq!(r.assigned_qos("D").len(), 1);
+    }
+}

@@ -1,0 +1,481 @@
+//! Semantic analysis for QIDL specifications.
+//!
+//! Enforces the language rules the parser cannot: name uniqueness,
+//! resolution of named types / base interfaces / assigned QoS
+//! characteristics, inheritance acyclicity, default-value typing, and the
+//! reservation of `_`-prefixed operation names (used by the ORB built-ins
+//! and the weaving runtime).
+
+use crate::ast::*;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A semantic error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SemaError {
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl SemaError {
+    fn new(message: impl Into<String>) -> SemaError {
+        SemaError { message: message.into() }
+    }
+}
+
+impl fmt::Display for SemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for SemaError {}
+
+/// Names visible from outside the spec being checked (e.g. definitions
+/// already loaded into an [`crate::InterfaceRepository`]).
+#[derive(Debug, Clone, Default)]
+pub struct Externals {
+    /// Struct names resolvable externally.
+    pub structs: HashSet<String>,
+    /// Exception names resolvable externally.
+    pub exceptions: HashSet<String>,
+    /// QoS characteristic names resolvable externally.
+    pub qos: HashSet<String>,
+    /// Interface names resolvable externally.
+    pub interfaces: HashSet<String>,
+}
+
+/// Check a parsed [`Spec`] as a self-contained compilation unit.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn check(spec: &Spec) -> Result<(), SemaError> {
+    check_with(spec, &Externals::default())
+}
+
+/// Check a parsed [`Spec`] against additional externally known names.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn check_with(spec: &Spec, env: &Externals) -> Result<(), SemaError> {
+    let mut names: HashSet<&str> = HashSet::new();
+    for def in &spec.definitions {
+        let name = match def {
+            Definition::Struct(s) => &s.name,
+            Definition::Exception(e) => &e.name,
+            Definition::Qos(q) => &q.name,
+            Definition::Interface(i) => &i.name,
+        };
+        if !names.insert(name) {
+            return Err(SemaError::new(format!("duplicate definition `{name}`")));
+        }
+    }
+
+    let mut structs: HashSet<&str> = spec.structs().map(|s| s.name.as_str()).collect();
+    structs.extend(env.structs.iter().map(String::as_str));
+    let mut exceptions: HashSet<&str> = spec.exceptions().map(|e| e.name.as_str()).collect();
+    exceptions.extend(env.exceptions.iter().map(String::as_str));
+    let mut qos: HashSet<&str> = spec.qos_characteristics().map(|q| q.name.as_str()).collect();
+    qos.extend(env.qos.iter().map(String::as_str));
+    let mut interfaces: HashMap<&str, Option<&InterfaceDef>> =
+        spec.interfaces().map(|i| (i.name.as_str(), Some(i))).collect();
+    for ext in &env.interfaces {
+        interfaces.entry(ext.as_str()).or_insert(None);
+    }
+
+    for s in spec.structs() {
+        let mut fields = HashSet::new();
+        for (fname, fty) in &s.fields {
+            if !fields.insert(fname.as_str()) {
+                return Err(SemaError::new(format!(
+                    "duplicate field `{fname}` in struct `{}`",
+                    s.name
+                )));
+            }
+            check_type(fty, &structs, &format!("field `{}.{}`", s.name, fname))?;
+        }
+    }
+
+    for e in spec.exceptions() {
+        let mut fields = HashSet::new();
+        for (fname, fty) in &e.fields {
+            if !fields.insert(fname.as_str()) {
+                return Err(SemaError::new(format!(
+                    "duplicate field `{fname}` in exception `{}`",
+                    e.name
+                )));
+            }
+            check_type(fty, &structs, &format!("field `{}.{}`", e.name, fname))?;
+        }
+    }
+
+    for q in spec.qos_characteristics() {
+        let mut params = HashSet::new();
+        for p in &q.params {
+            if !params.insert(p.name.as_str()) {
+                return Err(SemaError::new(format!(
+                    "duplicate param `{}` in qos `{}`",
+                    p.name, q.name
+                )));
+            }
+            check_type(&p.ty, &structs, &format!("param `{}.{}`", q.name, p.name))?;
+            if let Some(default) = &p.default {
+                check_default(&p.ty, default, &q.name, &p.name)?;
+            }
+        }
+        check_operations(q.all_operations(), &structs, &exceptions, &format!("qos `{}`", q.name))?;
+    }
+
+    for i in spec.interfaces() {
+        for base in &i.inherits {
+            if !interfaces.contains_key(base.as_str()) {
+                return Err(SemaError::new(format!(
+                    "interface `{}` inherits unknown interface `{base}`",
+                    i.name
+                )));
+            }
+        }
+        for tag in &i.qos {
+            if !qos.contains(tag.as_str()) {
+                return Err(SemaError::new(format!(
+                    "interface `{}` assigned unknown qos characteristic `{tag}`",
+                    i.name
+                )));
+            }
+        }
+        let mut qos_seen = HashSet::new();
+        for tag in &i.qos {
+            if !qos_seen.insert(tag.as_str()) {
+                return Err(SemaError::new(format!(
+                    "interface `{}` assigns qos `{tag}` twice",
+                    i.name
+                )));
+            }
+        }
+        check_operations(
+            i.operations.iter(),
+            &structs,
+            &exceptions,
+            &format!("interface `{}`", i.name),
+        )?;
+        let mut members: HashSet<&str> = i.operations.iter().map(|o| o.name.as_str()).collect();
+        for a in &i.attributes {
+            if !members.insert(a.name.as_str()) {
+                return Err(SemaError::new(format!(
+                    "duplicate member `{}` in interface `{}`",
+                    a.name, i.name
+                )));
+            }
+            check_type(&a.ty, &structs, &format!("attribute `{}.{}`", i.name, a.name))?;
+            if a.ty == Type::Void {
+                return Err(SemaError::new(format!(
+                    "attribute `{}.{}` cannot be void",
+                    i.name, a.name
+                )));
+            }
+        }
+    }
+
+    check_inheritance_cycles(&interfaces)?;
+    Ok(())
+}
+
+fn check_operations<'a, I: Iterator<Item = &'a Operation>>(
+    ops: I,
+    structs: &HashSet<&str>,
+    exceptions: &HashSet<&str>,
+    ctx: &str,
+) -> Result<(), SemaError> {
+    let mut names = HashSet::new();
+    for op in ops {
+        if !names.insert(op.name.as_str()) {
+            return Err(SemaError::new(format!("duplicate operation `{}` in {ctx}", op.name)));
+        }
+        if op.name.starts_with('_') {
+            return Err(SemaError::new(format!(
+                "operation name `{}` in {ctx} is reserved (leading underscore)",
+                op.name
+            )));
+        }
+        if op.ret != Type::Void {
+            check_type(&op.ret, structs, &format!("return of `{}` in {ctx}", op.name))?;
+        }
+        for raised in &op.raises {
+            if !exceptions.contains(raised.as_str()) {
+                return Err(SemaError::new(format!(
+                    "operation `{}` in {ctx} raises undeclared exception `{raised}`",
+                    op.name
+                )));
+            }
+        }
+        let mut params = HashSet::new();
+        for p in &op.params {
+            if !params.insert(p.name.as_str()) {
+                return Err(SemaError::new(format!(
+                    "duplicate parameter `{}` in operation `{}` of {ctx}",
+                    p.name, op.name
+                )));
+            }
+            if p.ty == Type::Void {
+                return Err(SemaError::new(format!(
+                    "parameter `{}` of `{}` in {ctx} cannot be void",
+                    p.name, op.name
+                )));
+            }
+            check_type(&p.ty, structs, &format!("parameter `{}` of `{}` in {ctx}", p.name, op.name))?;
+            if op.oneway && p.direction != Direction::In {
+                return Err(SemaError::new(format!(
+                    "oneway operation `{}` in {ctx} may only have `in` parameters",
+                    op.name
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_type(ty: &Type, structs: &HashSet<&str>, ctx: &str) -> Result<(), SemaError> {
+    match ty {
+        Type::Named(n) if !structs.contains(n.as_str()) => {
+            Err(SemaError::new(format!("unknown type `{n}` in {ctx}")))
+        }
+        Type::Sequence(elem) => {
+            if **elem == Type::Void {
+                return Err(SemaError::new(format!("sequence of void in {ctx}")));
+            }
+            check_type(elem, structs, ctx)
+        }
+        _ => Ok(()),
+    }
+}
+
+fn check_default(ty: &Type, lit: &Literal, qos: &str, param: &str) -> Result<(), SemaError> {
+    let ok = matches!(
+        (ty, lit),
+        (Type::Long | Type::ULong | Type::LongLong | Type::ULongLong | Type::Octet, Literal::Int(_))
+            | (Type::Double, Literal::Float(_))
+            | (Type::Double, Literal::Int(_))
+            | (Type::Str, Literal::Str(_))
+            | (Type::Boolean, Literal::Bool(_))
+    );
+    if ok {
+        // Range checks for the unsigned/narrow integer types.
+        if let Literal::Int(v) = lit {
+            let in_range = match ty {
+                Type::Octet => (0..=255).contains(v),
+                Type::ULong => *v >= 0 && *v <= u32::MAX as i64,
+                Type::ULongLong => *v >= 0,
+                Type::Long => i32::try_from(*v).is_ok(),
+                _ => true,
+            };
+            if !in_range {
+                return Err(SemaError::new(format!(
+                    "default {v} out of range for `{ty}` param `{qos}.{param}`"
+                )));
+            }
+        }
+        Ok(())
+    } else {
+        Err(SemaError::new(format!(
+            "default value {lit} does not match type `{ty}` of param `{qos}.{param}`"
+        )))
+    }
+}
+
+fn check_inheritance_cycles(
+    interfaces: &HashMap<&str, Option<&InterfaceDef>>,
+) -> Result<(), SemaError> {
+    // DFS with colouring. External interfaces (`None`) were validated by
+    // their own load and cannot participate in a cycle with new names.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Colour {
+        White,
+        Grey,
+        Black,
+    }
+    let mut colour: HashMap<&str, Colour> =
+        interfaces.keys().map(|k| (*k, Colour::White)).collect();
+
+    fn visit<'a>(
+        name: &'a str,
+        interfaces: &HashMap<&'a str, Option<&'a InterfaceDef>>,
+        colour: &mut HashMap<&'a str, Colour>,
+    ) -> Result<(), SemaError> {
+        match colour.get(name) {
+            Some(Colour::Black) | None => return Ok(()),
+            Some(Colour::Grey) => {
+                return Err(SemaError::new(format!("inheritance cycle through `{name}`")))
+            }
+            Some(Colour::White) => {}
+        }
+        colour.insert(name, Colour::Grey);
+        if let Some(Some(def)) = interfaces.get(name) {
+            for base in &def.inherits {
+                visit(base, interfaces, colour)?;
+            }
+        }
+        colour.insert(name, Colour::Black);
+        Ok(())
+    }
+
+    let names: Vec<&str> = interfaces.keys().copied().collect();
+    for name in names {
+        visit(name, interfaces, &mut colour)?;
+    }
+    Ok(())
+}
+
+/// Collect an interface's full operation set including inherited ones,
+/// base-first. Assumes the spec passed [`check`].
+pub fn flattened_operations<'a>(spec: &'a Spec, iface: &'a InterfaceDef) -> Vec<&'a Operation> {
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    collect_ops(spec, iface, &mut seen, &mut out);
+    out
+}
+
+fn collect_ops<'a>(
+    spec: &'a Spec,
+    iface: &'a InterfaceDef,
+    seen: &mut HashSet<&'a str>,
+    out: &mut Vec<&'a Operation>,
+) {
+    for base in &iface.inherits {
+        if let Some(b) = spec.interface(base) {
+            collect_ops(spec, b, seen, out);
+        }
+    }
+    for op in &iface.operations {
+        if seen.insert(op.name.as_str()) {
+            out.push(op);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<(), SemaError> {
+        check(&parse(&lex(src).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn valid_spec_passes() {
+        check_src(
+            r#"
+            struct P { double x; };
+            qos Q category perf { param long level = 3; management { void go(); }; };
+            interface A { P get(in P p); };
+            interface B : A with qos Q { void put(in sequence<P> ps); };
+            "#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn duplicate_definitions_rejected() {
+        let e = check_src("interface I {}; interface I {};").unwrap_err();
+        assert!(e.message.contains("duplicate definition"));
+        assert!(check_src("struct I { double x; }; interface I {};").is_err());
+    }
+
+    #[test]
+    fn unknown_references_rejected() {
+        assert!(check_src("interface I : Ghost {};").unwrap_err().message.contains("unknown"));
+        assert!(check_src("interface I with qos Ghost {};").is_err());
+        assert!(check_src("interface I { void f(in Ghost g); };").is_err());
+        assert!(check_src("interface I { Ghost f(); };").is_err());
+        assert!(check_src("struct S { Ghost g; };").is_err());
+        assert!(check_src("qos Q { param Ghost p; };").is_err());
+    }
+
+    #[test]
+    fn inheritance_cycles_rejected() {
+        let e = check_src("interface A : B {}; interface B : A {};").unwrap_err();
+        assert!(e.message.contains("cycle"));
+        assert!(check_src("interface A : A {};").is_err());
+        // Diamonds are fine.
+        check_src(
+            "interface R {}; interface A : R {}; interface B : R {}; interface D : A, B {};",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn duplicate_members_rejected() {
+        assert!(check_src("interface I { void f(); void f(); };").is_err());
+        assert!(check_src("interface I { void f(); attribute long f; };").is_err());
+        assert!(check_src("interface I { void f(in long a, in long a); };").is_err());
+        assert!(check_src("struct S { double a; double a; };").is_err());
+        assert!(check_src("qos Q { param long a; param long a; };").is_err());
+        assert!(check_src("qos Q { management { void f(); void f(); }; };").is_err());
+    }
+
+    #[test]
+    fn reserved_operation_names_rejected() {
+        let e = check_src("interface I { void _get_state(); };").unwrap_err();
+        assert!(e.message.contains("reserved"));
+    }
+
+    #[test]
+    fn default_typing() {
+        check_src("qos Q { param double d = 1; };").unwrap(); // int widens
+        assert!(check_src("qos Q { param long a = \"x\"; };").is_err());
+        assert!(check_src("qos Q { param boolean b = 1; };").is_err());
+        assert!(check_src("qos Q { param octet o = 300; };").is_err());
+        assert!(check_src("qos Q { param unsigned long u = -1; };").is_err());
+        assert!(check_src("qos Q { param long n = 3000000000; };").is_err());
+    }
+
+    #[test]
+    fn misc_type_rules() {
+        assert!(check_src("interface I { void f(in void v); };").is_err());
+        assert!(check_src("interface I { attribute void a; };").is_err());
+        assert!(check_src("interface I { void f(in sequence<void> s); };").is_err());
+        assert!(check_src("interface I { oneway void f(out long x); };").is_err());
+    }
+
+    #[test]
+    fn raises_must_reference_declared_exceptions() {
+        check_src(
+            "exception E { string why; }; interface I { void f() raises (E); };",
+        )
+        .unwrap();
+        let e = check_src("interface I { void f() raises (Ghost); };").unwrap_err();
+        assert!(e.message.contains("undeclared exception"));
+        // Exceptions share the top-level namespace.
+        assert!(check_src("exception X {}; struct X { double a; };").is_err());
+        // Exception field rules match struct field rules.
+        assert!(check_src("exception E { long a; long a; };").is_err());
+        assert!(check_src("exception E { Ghost g; };").is_err());
+    }
+
+    #[test]
+    fn duplicate_qos_assignment_rejected() {
+        assert!(check_src("qos Q {}; interface I with qos Q, Q {};").is_err());
+    }
+
+    #[test]
+    fn flattened_operations_dedup_base_first() {
+        let spec = parse(
+            &lex(
+                r#"
+                interface A { void a(); void shared(); };
+                interface B : A { void b(); void shared(); };
+                "#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        check(&spec).unwrap();
+        let b = spec.interface("B").unwrap();
+        let names: Vec<&str> =
+            flattened_operations(&spec, b).iter().map(|o| o.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "shared", "b"]);
+    }
+}

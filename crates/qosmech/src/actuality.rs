@@ -1,0 +1,359 @@
+//! Actuality (freshness) of data.
+//!
+//! The paper lists "actuality of data" among the evaluated QoS
+//! characteristics: a client is willing to see results up to a bounded
+//! age, in exchange for latency and load savings. The mediator caches
+//! replies and answers from cache while they are younger than the
+//! negotiated validity interval; the server-side QoS implementation
+//! stamps every reply with its production time so staleness is
+//! measurable end to end.
+
+use orb::{Any, OrbError, Servant};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+use weaver::{Call, Mediator, Next, QosImplementation};
+
+/// Characteristic name, matching [`crate::specs::QOS_SPECS`].
+pub const ACTUALITY_CHARACTERISTIC: &str = "Actuality";
+
+/// Field name added by the server-side stamp.
+pub const STAMP_FIELD: &str = "_produced_at_us";
+
+struct CacheEntry {
+    value: Any,
+    fetched: Instant,
+}
+
+/// Counters exposed by the actuality mediator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ActualityStats {
+    /// Calls answered from cache.
+    pub hits: u64,
+    /// Calls forwarded to the server.
+    pub misses: u64,
+}
+
+/// Client-side bounded-staleness caching mediator.
+///
+/// Only operations named in the read set are cached; writes always pass
+/// through and invalidate the whole cache (conservative but correct).
+pub struct ActualityMediator {
+    validity: RwLock<Duration>,
+    read_ops: Vec<String>,
+    cache: Mutex<HashMap<String, CacheEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ActualityMediator {
+    /// A mediator caching `read_ops` results for up to `validity`.
+    pub fn new(validity: Duration, read_ops: impl IntoIterator<Item = String>) -> ActualityMediator {
+        ActualityMediator {
+            validity: RwLock::new(validity),
+            read_ops: read_ops.into_iter().collect(),
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Change the validity interval (renegotiation).
+    pub fn set_validity(&self, validity: Duration) {
+        *self.validity.write() = validity;
+    }
+
+    /// The current validity interval.
+    pub fn validity(&self) -> Duration {
+        *self.validity.read()
+    }
+
+    /// Drop all cached entries.
+    pub fn invalidate(&self) {
+        self.cache.lock().clear();
+    }
+
+    /// A snapshot of the hit/miss counters.
+    pub fn stats(&self) -> ActualityStats {
+        ActualityStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Hit ratio in `[0, 1]` (0 when nothing was asked).
+    pub fn hit_ratio(&self) -> f64 {
+        let s = self.stats();
+        let total = s.hits + s.misses;
+        if total == 0 {
+            0.0
+        } else {
+            s.hits as f64 / total as f64
+        }
+    }
+
+    fn cache_key(call: &Call) -> String {
+        use std::fmt::Write;
+        let mut key = call.operation.clone();
+        for a in &call.args {
+            let _ = write!(key, "|{a}");
+        }
+        key
+    }
+}
+
+impl Mediator for ActualityMediator {
+    fn characteristic(&self) -> &str {
+        ACTUALITY_CHARACTERISTIC
+    }
+
+    fn around(&self, call: Call, next: Next<'_>) -> Result<Any, OrbError> {
+        if !self.read_ops.iter().any(|op| op == &call.operation) {
+            // A write: pass through and invalidate.
+            let result = next(call);
+            if result.is_ok() {
+                self.invalidate();
+            }
+            return result;
+        }
+        let key = Self::cache_key(&call);
+        let validity = self.validity();
+        if let Some(entry) = self.cache.lock().get(&key) {
+            if entry.fetched.elapsed() <= validity {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(entry.value.clone());
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = next(call)?;
+        self.cache
+            .lock()
+            .insert(key, CacheEntry { value: value.clone(), fetched: Instant::now() });
+        Ok(value)
+    }
+
+    fn qos_op(&self, op: &str, args: &[Any]) -> Result<Any, OrbError> {
+        match op {
+            "set_validity_ms" => {
+                let ms = args
+                    .first()
+                    .and_then(Any::as_i64)
+                    .filter(|v| *v >= 0)
+                    .ok_or_else(|| OrbError::BadParam("set_validity_ms(ms)".to_string()))?;
+                self.set_validity(Duration::from_millis(ms as u64));
+                Ok(Any::Void)
+            }
+            "invalidate" => {
+                self.invalidate();
+                Ok(Any::Void)
+            }
+            "hit_ratio" => Ok(Any::Double(self.hit_ratio())),
+            other => Err(OrbError::BadOperation(format!("actuality op {other}"))),
+        }
+    }
+}
+
+/// Server-side QoS implementation: stamps every struct reply with a
+/// production timestamp (µs since the implementation started) so clients
+/// and monitors can measure staleness.
+pub struct FreshnessStampQosImpl {
+    epoch: Instant,
+    stamped: AtomicU64,
+}
+
+impl Default for FreshnessStampQosImpl {
+    fn default() -> FreshnessStampQosImpl {
+        FreshnessStampQosImpl::new()
+    }
+}
+
+impl FreshnessStampQosImpl {
+    /// A stamper with its epoch at construction time.
+    pub fn new() -> FreshnessStampQosImpl {
+        FreshnessStampQosImpl { epoch: Instant::now(), stamped: AtomicU64::new(0) }
+    }
+
+    /// Microseconds since this implementation's epoch.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Replies stamped so far.
+    pub fn stamped(&self) -> u64 {
+        self.stamped.load(Ordering::Relaxed)
+    }
+}
+
+impl QosImplementation for FreshnessStampQosImpl {
+    fn characteristic(&self) -> &str {
+        ACTUALITY_CHARACTERISTIC
+    }
+
+    fn epilog(&self, _op: &str, _args: &[Any], result: &mut Result<Any, OrbError>) {
+        if let Ok(Any::Struct(_, fields)) = result {
+            fields.push((STAMP_FIELD.to_string(), Any::ULongLong(self.now_us())));
+            self.stamped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn qos_op(&self, op: &str, _args: &[Any], _server: &dyn Servant) -> Result<Any, OrbError> {
+        match op {
+            "now_us" => Ok(Any::ULongLong(self.now_us())),
+            "stamped" => Ok(Any::ULongLong(self.stamped())),
+            other => Err(OrbError::BadOperation(format!("freshness op {other}"))),
+        }
+    }
+}
+
+/// Extract the freshness stamp from a stamped reply, if present.
+pub fn stamp_of(reply: &Any) -> Option<u64> {
+    reply.field(STAMP_FIELD).and_then(Any::as_i64).map(|v| v as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::Network;
+    use orb::Orb;
+    use std::sync::Arc;
+    use weaver::ClientStub;
+
+    struct Source(AtomicU64);
+    impl Servant for Source {
+        fn interface_id(&self) -> &str {
+            "IDL:Source:1.0"
+        }
+        fn dispatch(&self, op: &str, _args: &[Any]) -> Result<Any, OrbError> {
+            match op {
+                "read" => Ok(Any::ULongLong(self.0.fetch_add(1, Ordering::Relaxed))),
+                "write" => {
+                    self.0.store(1000, Ordering::Relaxed);
+                    Ok(Any::Void)
+                }
+                _ => Err(OrbError::BadOperation(op.to_string())),
+            }
+        }
+    }
+
+    fn setup(validity: Duration) -> (Orb, Orb, ClientStub, Arc<ActualityMediator>) {
+        let net = Network::new(1);
+        let server = Orb::start(&net, "server");
+        let client = Orb::start(&net, "client");
+        let ior = server.activate("src", Box::new(Source(AtomicU64::new(0))));
+        let stub = ClientStub::new(client.clone(), ior);
+        let mediator = Arc::new(ActualityMediator::new(validity, vec!["read".to_string()]));
+        stub.set_mediator(mediator.clone());
+        (server, client, stub, mediator)
+    }
+
+    #[test]
+    fn fresh_cache_answers_without_server() {
+        let (server, client, stub, mediator) = setup(Duration::from_secs(10));
+        let v1 = stub.invoke("read", &[]).unwrap();
+        let v2 = stub.invoke("read", &[]).unwrap();
+        assert_eq!(v1, v2); // second call served from cache
+        assert_eq!(mediator.stats(), ActualityStats { hits: 1, misses: 1 });
+        assert_eq!(server.stats().requests_handled, 1);
+        assert!((mediator.hit_ratio() - 0.5).abs() < 1e-9);
+        server.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn stale_cache_refetches() {
+        let (server, client, stub, mediator) = setup(Duration::from_millis(30));
+        let v1 = stub.invoke("read", &[]).unwrap();
+        std::thread::sleep(Duration::from_millis(60));
+        let v2 = stub.invoke("read", &[]).unwrap();
+        assert_ne!(v1, v2);
+        assert_eq!(mediator.stats().misses, 2);
+        server.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn zero_validity_disables_caching() {
+        let (server, client, stub, mediator) = setup(Duration::ZERO);
+        stub.invoke("read", &[]).unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+        stub.invoke("read", &[]).unwrap();
+        assert_eq!(mediator.stats().hits, 0);
+        server.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn writes_pass_through_and_invalidate() {
+        let (server, client, stub, mediator) = setup(Duration::from_secs(10));
+        let v1 = stub.invoke("read", &[]).unwrap();
+        stub.invoke("write", &[]).unwrap();
+        let v2 = stub.invoke("read", &[]).unwrap();
+        assert_ne!(v1, v2);
+        assert_eq!(mediator.stats().misses, 2);
+        server.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn renegotiation_via_qos_op() {
+        let (server, client, stub, mediator) = setup(Duration::from_secs(10));
+        stub.qos_op(ACTUALITY_CHARACTERISTIC, "set_validity_ms", &[Any::LongLong(5)]).unwrap();
+        assert_eq!(mediator.validity(), Duration::from_millis(5));
+        stub.invoke("read", &[]).unwrap();
+        stub.qos_op(ACTUALITY_CHARACTERISTIC, "invalidate", &[]).unwrap();
+        stub.invoke("read", &[]).unwrap();
+        assert_eq!(mediator.stats().misses, 2);
+        assert!(stub
+            .qos_op(ACTUALITY_CHARACTERISTIC, "set_validity_ms", &[Any::LongLong(-1)])
+            .is_err());
+        assert!(stub.qos_op(ACTUALITY_CHARACTERISTIC, "nope", &[]).is_err());
+        server.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn distinct_args_cache_separately() {
+        let (server, client, stub, mediator) = setup(Duration::from_secs(10));
+        // "read" ignores args, but cache keys include them.
+        stub.invoke("read", &[Any::Long(1)]).unwrap();
+        stub.invoke("read", &[Any::Long(2)]).unwrap();
+        assert_eq!(mediator.stats().misses, 2);
+        stub.invoke("read", &[Any::Long(1)]).unwrap();
+        assert_eq!(mediator.stats().hits, 1);
+        server.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn freshness_stamping() {
+        let qi = FreshnessStampQosImpl::new();
+        let mut result = Ok(Any::Struct("Quote".into(), vec![("px".into(), Any::Double(1.0))]));
+        qi.epilog("latest", &[], &mut result);
+        let reply = result.unwrap();
+        assert!(stamp_of(&reply).is_some());
+        assert_eq!(qi.stamped(), 1);
+        // Non-struct replies are left alone.
+        let mut plain = Ok(Any::Long(1));
+        qi.epilog("latest", &[], &mut plain);
+        assert_eq!(plain.unwrap(), Any::Long(1));
+        assert_eq!(qi.stamped(), 1);
+    }
+
+    #[test]
+    fn freshness_qos_ops() {
+        let qi = FreshnessStampQosImpl::new();
+        struct Nothing;
+        impl Servant for Nothing {
+            fn interface_id(&self) -> &str {
+                "IDL:N:1.0"
+            }
+            fn dispatch(&self, op: &str, _a: &[Any]) -> Result<Any, OrbError> {
+                Err(OrbError::BadOperation(op.to_string()))
+            }
+        }
+        assert!(qi.qos_op("now_us", &[], &Nothing).is_ok());
+        assert_eq!(qi.qos_op("stamped", &[], &Nothing).unwrap(), Any::ULongLong(0));
+        assert!(qi.qos_op("x", &[], &Nothing).is_err());
+    }
+}

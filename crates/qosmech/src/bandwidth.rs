@@ -1,0 +1,288 @@
+//! Bandwidth reservation — the paper's own example of a QoS module.
+//!
+//! §4: the module-specific dynamic interface exists to "e.g. reserve a
+//! distinct bandwidth". This transport module implements reservation as
+//! token-bucket admission control: a relationship reserves a rate; the
+//! module meters outbound bytes against the reserved budget and rejects
+//! sends that would exceed it (admission control being what a
+//! reservation without a real RSVP substrate can honestly provide).
+//! The budget refills continuously at the reserved rate, with a burst
+//! allowance of one second's worth of tokens.
+
+use netsim::NodeId;
+use orb::transport::{Outbound, QosModule};
+use orb::{Any, OrbError};
+use parking_lot::Mutex;
+use std::time::Instant;
+
+/// The module name bandwidth reservation binds under.
+pub const BANDWIDTH_MODULE: &str = "bandwidth";
+
+struct Bucket {
+    /// Reserved rate in bytes per second (None = unreserved: reject).
+    rate_bps: Option<u64>,
+    /// Available tokens (bytes).
+    tokens: f64,
+    /// Last refill instant.
+    refilled: Instant,
+}
+
+/// Counters exposed by the module.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BandwidthStats {
+    /// Messages admitted.
+    pub admitted: u64,
+    /// Messages rejected for lack of tokens or reservation.
+    pub rejected: u64,
+    /// Bytes admitted.
+    pub bytes: u64,
+}
+
+/// Token-bucket bandwidth reservation module.
+///
+/// Dynamic interface (commands):
+///
+/// * `reserve(bits_per_second: ulonglong)` — install/replace the
+///   reservation
+/// * `release()` — drop the reservation (sends are rejected again)
+/// * `reservation()` → `ulonglong` bits per second (0 = none)
+/// * `stats()` → `[admitted, rejected, bytes]`
+pub struct BandwidthReservationModule {
+    bucket: Mutex<Bucket>,
+    stats: Mutex<BandwidthStats>,
+}
+
+impl Default for BandwidthReservationModule {
+    fn default() -> BandwidthReservationModule {
+        BandwidthReservationModule::new()
+    }
+}
+
+impl BandwidthReservationModule {
+    /// A module with no reservation installed.
+    pub fn new() -> BandwidthReservationModule {
+        BandwidthReservationModule {
+            bucket: Mutex::new(Bucket { rate_bps: None, tokens: 0.0, refilled: Instant::now() }),
+            stats: Mutex::new(BandwidthStats::default()),
+        }
+    }
+
+    /// A module with `bits_per_second` reserved from the start.
+    pub fn with_reservation(bits_per_second: u64) -> BandwidthReservationModule {
+        let m = BandwidthReservationModule::new();
+        m.reserve(bits_per_second);
+        m
+    }
+
+    /// Install or replace the reservation; the bucket starts full (one
+    /// second of burst).
+    pub fn reserve(&self, bits_per_second: u64) {
+        let bytes_per_second = bits_per_second / 8;
+        let mut b = self.bucket.lock();
+        b.rate_bps = Some(bytes_per_second);
+        b.tokens = bytes_per_second as f64;
+        b.refilled = Instant::now();
+    }
+
+    /// Drop the reservation.
+    pub fn release(&self) {
+        let mut b = self.bucket.lock();
+        b.rate_bps = None;
+        b.tokens = 0.0;
+    }
+
+    /// The reserved rate in bits per second (0 if none).
+    pub fn reservation_bps(&self) -> u64 {
+        self.bucket.lock().rate_bps.map(|b| b * 8).unwrap_or(0)
+    }
+
+    /// A snapshot of the admission counters.
+    pub fn stats(&self) -> BandwidthStats {
+        *self.stats.lock()
+    }
+
+    fn admit(&self, bytes: usize) -> Result<(), OrbError> {
+        let mut b = self.bucket.lock();
+        let Some(rate) = b.rate_bps else {
+            self.stats.lock().rejected += 1;
+            return Err(OrbError::QosViolation(
+                "no bandwidth reservation for this relationship".to_string(),
+            ));
+        };
+        // Continuous refill, capped at one second of burst.
+        let now = Instant::now();
+        let elapsed = now.duration_since(b.refilled).as_secs_f64();
+        b.refilled = now;
+        b.tokens = (b.tokens + elapsed * rate as f64).min(rate as f64);
+        if (bytes as f64) <= b.tokens {
+            b.tokens -= bytes as f64;
+            let mut stats = self.stats.lock();
+            stats.admitted += 1;
+            stats.bytes += bytes as u64;
+            Ok(())
+        } else {
+            self.stats.lock().rejected += 1;
+            Err(OrbError::QosViolation(format!(
+                "reservation exceeded: need {bytes} B, {:.0} B available",
+                b.tokens
+            )))
+        }
+    }
+}
+
+impl QosModule for BandwidthReservationModule {
+    fn name(&self) -> &str {
+        BANDWIDTH_MODULE
+    }
+
+    fn command(&self, op: &str, args: &[Any]) -> Result<Any, OrbError> {
+        match op {
+            "reserve" => {
+                let bps = args
+                    .first()
+                    .and_then(Any::as_i64)
+                    .filter(|v| *v > 0)
+                    .ok_or_else(|| OrbError::BadParam("reserve(bits_per_second)".to_string()))?;
+                self.reserve(bps as u64);
+                Ok(Any::Void)
+            }
+            "release" => {
+                self.release();
+                Ok(Any::Void)
+            }
+            "reservation" => Ok(Any::ULongLong(self.reservation_bps())),
+            "stats" => {
+                let s = self.stats();
+                Ok(Any::Sequence(vec![
+                    Any::ULongLong(s.admitted),
+                    Any::ULongLong(s.rejected),
+                    Any::ULongLong(s.bytes),
+                ]))
+            }
+            other => Err(OrbError::BadOperation(format!("bandwidth command {other}"))),
+        }
+    }
+
+    fn outbound(&self, dst: NodeId, bytes: Vec<u8>) -> Result<Outbound, OrbError> {
+        self.admit(bytes.len())?;
+        Ok(vec![(dst, bytes)])
+    }
+
+    fn inbound(&self, _src: NodeId, bytes: Vec<u8>) -> Result<Option<Vec<u8>>, OrbError> {
+        Ok(Some(bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::Network;
+    use orb::giop::QosContext;
+    use orb::transport::BindingKey;
+    use orb::{Orb, Servant};
+    use std::sync::Arc;
+
+    #[test]
+    fn unreserved_relationship_is_rejected() {
+        let m = BandwidthReservationModule::new();
+        assert!(matches!(m.outbound(NodeId(1), vec![0; 10]), Err(OrbError::QosViolation(_))));
+        assert_eq!(m.stats().rejected, 1);
+    }
+
+    #[test]
+    fn admission_within_burst_then_rejection() {
+        let m = BandwidthReservationModule::with_reservation(8_000); // 1000 B/s, 1000 B burst
+        assert!(m.outbound(NodeId(1), vec![0; 600]).is_ok());
+        assert!(m.outbound(NodeId(1), vec![0; 300]).is_ok());
+        // Bucket nearly empty: a large send is rejected.
+        assert!(m.outbound(NodeId(1), vec![0; 600]).is_err());
+        let s = m.stats();
+        assert_eq!(s.admitted, 2);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.bytes, 900);
+    }
+
+    #[test]
+    fn tokens_refill_over_time() {
+        let m = BandwidthReservationModule::with_reservation(800_000); // 100 kB/s
+        assert!(m.outbound(NodeId(1), vec![0; 100_000]).is_ok()); // drain burst
+        assert!(m.outbound(NodeId(1), vec![0; 50_000]).is_err());
+        std::thread::sleep(std::time::Duration::from_millis(600)); // ~60 kB refill
+        assert!(m.outbound(NodeId(1), vec![0; 50_000]).is_ok());
+    }
+
+    #[test]
+    fn release_revokes_admission() {
+        let m = BandwidthReservationModule::with_reservation(1_000_000);
+        assert!(m.outbound(NodeId(1), vec![0; 10]).is_ok());
+        m.release();
+        assert!(m.outbound(NodeId(1), vec![0; 10]).is_err());
+        assert_eq!(m.reservation_bps(), 0);
+    }
+
+    #[test]
+    fn command_interface() {
+        let m = BandwidthReservationModule::new();
+        m.command("reserve", &[Any::ULongLong(64_000)]).unwrap();
+        assert_eq!(m.command("reservation", &[]).unwrap(), Any::ULongLong(64_000));
+        m.outbound(NodeId(1), vec![0; 100]).unwrap();
+        let stats = m.command("stats", &[]).unwrap();
+        assert_eq!(stats.as_sequence().unwrap()[0], Any::ULongLong(1));
+        m.command("release", &[]).unwrap();
+        assert_eq!(m.command("reservation", &[]).unwrap(), Any::ULongLong(0));
+        assert!(m.command("reserve", &[Any::Long(-5)]).is_err());
+        assert!(m.command("reserve", &[]).is_err());
+        assert!(m.command("warp", &[]).is_err());
+    }
+
+    struct Echo;
+    impl Servant for Echo {
+        fn interface_id(&self) -> &str {
+            "IDL:Echo:1.0"
+        }
+        fn dispatch(&self, op: &str, args: &[Any]) -> Result<Any, OrbError> {
+            match op {
+                "echo" => Ok(args[0].clone()),
+                _ => Err(OrbError::BadOperation(op.to_string())),
+            }
+        }
+    }
+
+    #[test]
+    fn end_to_end_reservation_via_remote_command() {
+        let net = Network::new(44);
+        let server = Orb::start(&net, "server");
+        let client = Orb::start(&net, "client");
+        let ior = server.activate_with_tags("echo", Box::new(Echo), &["Bandwidth"]);
+        client.qos_transport().install(Arc::new(BandwidthReservationModule::new()));
+        server.qos_transport().install(Arc::new(BandwidthReservationModule::with_reservation(
+            10_000_000,
+        )));
+        client
+            .qos_transport()
+            .bind(BindingKey { peer: None, key: ior.key.clone() }, BANDWIDTH_MODULE)
+            .unwrap();
+
+        // Without a client-side reservation, sends fail locally.
+        let err = client
+            .invoke_qos(&ior, "echo", &[Any::Long(1)], Some(QosContext::new("Bandwidth")))
+            .unwrap_err();
+        assert!(matches!(err, OrbError::QosViolation(_)));
+
+        // Reserve through the module's own dynamic interface (local
+        // command here; remote commands work identically — see the
+        // transport_modules integration tests).
+        client
+            .qos_transport()
+            .module(BANDWIDTH_MODULE)
+            .unwrap()
+            .command("reserve", &[Any::ULongLong(1_000_000)])
+            .unwrap();
+        let r = client
+            .invoke_qos(&ior, "echo", &[Any::Long(1)], Some(QosContext::new("Bandwidth")))
+            .unwrap();
+        assert_eq!(r, Any::Long(1));
+        server.shutdown();
+        client.shutdown();
+    }
+}

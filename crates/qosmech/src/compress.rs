@@ -1,0 +1,365 @@
+//! Compression for small-bandwidth channels.
+//!
+//! The paper's performance-category example for transport-level QoS:
+//! trade CPU for bytes on the wire. The codec is a from-scratch
+//! LZ77-style compressor (the offline dependency set has no compression
+//! crate); only the bytes-on-the-wire reduction matters for the
+//! experiment, not codec strength.
+
+use orb::transport::{Outbound, QosModule};
+use orb::{Any, OrbError};
+use netsim::NodeId;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The LZ77-style codec.
+pub mod codec {
+    /// Magic prefix of compressed buffers.
+    pub const MAGIC: &[u8; 4] = b"MLZ1";
+
+    const WINDOW: usize = 4096;
+    const MIN_MATCH: usize = 4;
+    const MAX_MATCH: usize = 255;
+
+    /// Compress `input`.
+    ///
+    /// Output layout: `MAGIC`, then a token stream. Token first byte:
+    /// `0x00, len(u16 le), bytes` = literal run; `0x01, dist(u16 le),
+    /// len(u8)` = back-reference. Incompressible inputs grow by at most a
+    /// few bytes per 64 KiB literal run plus the 4-byte magic.
+    pub fn compress(input: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(input.len() / 2 + 16);
+        out.extend_from_slice(MAGIC);
+        // Chained hash table over 4-byte prefixes for match finding.
+        let mut head = vec![usize::MAX; 1 << 13];
+        let mut prev = vec![usize::MAX; input.len().max(1)];
+        let hash = |w: &[u8]| -> usize {
+            let v = u32::from_le_bytes([w[0], w[1], w[2], w[3]]);
+            (v.wrapping_mul(2654435761) >> 19) as usize & ((1 << 13) - 1)
+        };
+        let mut literals: Vec<u8> = Vec::new();
+        let flush_literals = |out: &mut Vec<u8>, lits: &mut Vec<u8>| {
+            let mut start = 0;
+            while start < lits.len() {
+                let run = (lits.len() - start).min(u16::MAX as usize);
+                out.push(0x00);
+                out.extend_from_slice(&(run as u16).to_le_bytes());
+                out.extend_from_slice(&lits[start..start + run]);
+                start += run;
+            }
+            lits.clear();
+        };
+        let mut i = 0;
+        while i < input.len() {
+            let mut best_len = 0;
+            let mut best_dist = 0;
+            if i + MIN_MATCH <= input.len() {
+                let h = hash(&input[i..i + 4]);
+                let mut cand = head[h];
+                let mut chain = 0;
+                while cand != usize::MAX && i - cand <= WINDOW && chain < 16 {
+                    let mut l = 0;
+                    let max = (input.len() - i).min(MAX_MATCH);
+                    while l < max && input[cand + l] == input[i + l] {
+                        l += 1;
+                    }
+                    if l > best_len {
+                        best_len = l;
+                        best_dist = i - cand;
+                    }
+                    cand = prev[cand];
+                    chain += 1;
+                }
+                prev[i] = head[h];
+                head[h] = i;
+            }
+            if best_len >= MIN_MATCH {
+                flush_literals(&mut out, &mut literals);
+                out.push(0x01);
+                out.extend_from_slice(&(best_dist as u16).to_le_bytes());
+                out.push(best_len as u8);
+                // Insert hash entries for the matched region (cheap, coarse).
+                let end = i + best_len;
+                let mut j = i + 1;
+                while j + 4 <= input.len() && j < end {
+                    let h = hash(&input[j..j + 4]);
+                    prev[j] = head[h];
+                    head[h] = j;
+                    j += 1;
+                }
+                i = end;
+            } else {
+                literals.push(input[i]);
+                i += 1;
+            }
+        }
+        flush_literals(&mut out, &mut literals);
+        out
+    }
+
+    /// Decompress a buffer produced by [`compress`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the corruption on malformed input.
+    pub fn decompress(input: &[u8]) -> Result<Vec<u8>, String> {
+        let body = input
+            .strip_prefix(MAGIC.as_slice())
+            .ok_or_else(|| "missing MLZ1 magic".to_string())?;
+        let mut out = Vec::with_capacity(body.len() * 2);
+        let mut i = 0;
+        while i < body.len() {
+            match body[i] {
+                0x00 => {
+                    if i + 3 > body.len() {
+                        return Err("truncated literal header".to_string());
+                    }
+                    let len = u16::from_le_bytes([body[i + 1], body[i + 2]]) as usize;
+                    i += 3;
+                    if i + len > body.len() {
+                        return Err("truncated literal run".to_string());
+                    }
+                    out.extend_from_slice(&body[i..i + len]);
+                    i += len;
+                }
+                0x01 => {
+                    if i + 4 > body.len() {
+                        return Err("truncated match token".to_string());
+                    }
+                    let dist = u16::from_le_bytes([body[i + 1], body[i + 2]]) as usize;
+                    let len = body[i + 3] as usize;
+                    i += 4;
+                    if dist == 0 || dist > out.len() {
+                        return Err(format!("bad match distance {dist}"));
+                    }
+                    let start = out.len() - dist;
+                    for k in 0..len {
+                        let b = out[start + k];
+                        out.push(b);
+                    }
+                }
+                t => return Err(format!("bad token {t}")),
+            }
+        }
+        Ok(out)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn roundtrip(data: &[u8]) {
+            let c = compress(data);
+            assert_eq!(decompress(&c).unwrap(), data, "len={}", data.len());
+        }
+
+        #[test]
+        fn roundtrips() {
+            roundtrip(b"");
+            roundtrip(b"a");
+            roundtrip(b"hello world hello world hello world");
+            roundtrip(&[0u8; 10_000]);
+            roundtrip("the quick brown fox ".repeat(500).as_bytes());
+            let noisy: Vec<u8> = (0..5_000u32).map(|i| (i.wrapping_mul(2654435761)) as u8).collect();
+            roundtrip(&noisy);
+        }
+
+        #[test]
+        fn repetitive_data_compresses_well() {
+            let data = b"abcdefgh".repeat(1000);
+            let c = compress(&data);
+            assert!(c.len() < data.len() / 5, "got {} of {}", c.len(), data.len());
+        }
+
+        #[test]
+        fn random_data_grows_only_slightly() {
+            use rand::{RngCore, SeedableRng};
+            let mut data = vec![0u8; 64 * 1024];
+            rand::rngs::StdRng::seed_from_u64(1).fill_bytes(&mut data);
+            let c = compress(&data);
+            assert!(c.len() <= data.len() + 16, "got {} of {}", c.len(), data.len());
+            assert_eq!(decompress(&c).unwrap(), data);
+        }
+
+        #[test]
+        fn long_literal_runs_split_correctly() {
+            use rand::{RngCore, SeedableRng};
+            let mut data = vec![0u8; 70_000]; // > u16::MAX literal run
+            rand::rngs::StdRng::seed_from_u64(2).fill_bytes(&mut data);
+            roundtrip(&data);
+        }
+
+        #[test]
+        fn corrupt_input_rejected() {
+            assert!(decompress(b"nope").is_err());
+            assert!(decompress(b"MLZ1\x00\xff\xff").is_err()); // truncated run
+            assert!(decompress(b"MLZ1\x01\x01\x00\x05").is_err()); // dist > output
+            assert!(decompress(b"MLZ1\x07").is_err()); // bad token
+        }
+    }
+}
+
+/// Transport-level compression QoS module.
+///
+/// Compresses every outbound GIOP body and decompresses inbound ones.
+/// Dynamic interface: `stats()` → `[bytes_in, bytes_out]` (as
+/// `ulonglong`s), `reset_stats()`.
+#[derive(Debug, Default)]
+pub struct CompressionModule {
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+}
+
+/// The module name compression binds under.
+pub const COMPRESSION_MODULE: &str = "compression";
+
+impl CompressionModule {
+    /// A fresh module with zeroed statistics.
+    pub fn new() -> CompressionModule {
+        CompressionModule::default()
+    }
+
+    /// Uncompressed bytes seen on the outbound path.
+    pub fn bytes_in(&self) -> u64 {
+        self.bytes_in.load(Ordering::Relaxed)
+    }
+
+    /// Compressed bytes emitted on the outbound path.
+    pub fn bytes_out(&self) -> u64 {
+        self.bytes_out.load(Ordering::Relaxed)
+    }
+
+    /// Output/input ratio (1.0 when nothing was seen).
+    pub fn ratio(&self) -> f64 {
+        let i = self.bytes_in();
+        if i == 0 {
+            1.0
+        } else {
+            self.bytes_out() as f64 / i as f64
+        }
+    }
+}
+
+impl QosModule for CompressionModule {
+    fn name(&self) -> &str {
+        COMPRESSION_MODULE
+    }
+
+    fn command(&self, op: &str, _args: &[Any]) -> Result<Any, OrbError> {
+        match op {
+            "stats" => Ok(Any::Sequence(vec![
+                Any::ULongLong(self.bytes_in()),
+                Any::ULongLong(self.bytes_out()),
+            ])),
+            "reset_stats" => {
+                self.bytes_in.store(0, Ordering::Relaxed);
+                self.bytes_out.store(0, Ordering::Relaxed);
+                Ok(Any::Void)
+            }
+            other => Err(OrbError::BadOperation(format!("compression command {other}"))),
+        }
+    }
+
+    fn outbound(&self, dst: NodeId, bytes: Vec<u8>) -> Result<Outbound, OrbError> {
+        self.bytes_in.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        let compressed = codec::compress(&bytes);
+        self.bytes_out.fetch_add(compressed.len() as u64, Ordering::Relaxed);
+        Ok(vec![(dst, compressed)])
+    }
+
+    fn inbound(&self, _src: NodeId, bytes: Vec<u8>) -> Result<Option<Vec<u8>>, OrbError> {
+        codec::decompress(&bytes)
+            .map(Some)
+            .map_err(|e| OrbError::Marshal(format!("decompression failed: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{LinkModel, Network};
+    use orb::transport::BindingKey;
+    use orb::giop::QosContext;
+    use orb::{Orb, Servant};
+    use std::sync::Arc;
+
+    struct Blob;
+    impl Servant for Blob {
+        fn interface_id(&self) -> &str {
+            "IDL:Blob:1.0"
+        }
+        fn dispatch(&self, op: &str, args: &[Any]) -> Result<Any, OrbError> {
+            match op {
+                "echo" => Ok(args[0].clone()),
+                _ => Err(OrbError::BadOperation(op.to_string())),
+            }
+        }
+    }
+
+    #[test]
+    fn module_transforms_roundtrip() {
+        let m = CompressionModule::new();
+        let data = b"payload payload payload payload".to_vec();
+        let out = m.outbound(NodeId(1), data.clone()).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_ne!(out[0].1, data);
+        let back = m.inbound(NodeId(1), out[0].1.clone()).unwrap().unwrap();
+        assert_eq!(back, data);
+        assert!(m.bytes_out() < m.bytes_in());
+        assert!(m.ratio() < 1.0);
+    }
+
+    #[test]
+    fn corrupt_inbound_is_marshal_error() {
+        let m = CompressionModule::new();
+        assert!(matches!(
+            m.inbound(NodeId(1), vec![1, 2, 3]),
+            Err(OrbError::Marshal(_))
+        ));
+    }
+
+    #[test]
+    fn stats_command() {
+        let m = CompressionModule::new();
+        m.outbound(NodeId(1), vec![7; 100]).unwrap();
+        let stats = m.command("stats", &[]).unwrap();
+        let items = stats.as_sequence().unwrap();
+        assert_eq!(items[0], Any::ULongLong(100));
+        assert!(items[1].as_i64().unwrap() < 100);
+        m.command("reset_stats", &[]).unwrap();
+        assert_eq!(m.bytes_in(), 0);
+        assert!(m.command("zip", &[]).is_err());
+    }
+
+    #[test]
+    fn end_to_end_compressed_channel_saves_wire_bytes() {
+        let net = Network::new(1);
+        let server = Orb::start(&net, "server");
+        let client = Orb::start(&net, "client");
+        net.set_link(client.node(), server.node(), LinkModel::narrowband(64));
+        let ior = server.activate_with_tags("blob", Box::new(Blob), &["compression"]);
+
+        // First: uncompressed baseline.
+        let payload = Any::Bytes(b"data ".repeat(2000)); // highly compressible
+        client.invoke(&ior, "echo", &[payload.clone()]).unwrap();
+        let plain_bytes = net.stats().link(client.node(), server.node()).bytes_delivered;
+
+        // Now bind the compression module on both sides.
+        client.qos_transport().install(Arc::new(CompressionModule::new()));
+        server.qos_transport().install(Arc::new(CompressionModule::new()));
+        client
+            .qos_transport()
+            .bind(BindingKey { peer: None, key: ior.key.clone() }, COMPRESSION_MODULE)
+            .unwrap();
+        let qos = Some(QosContext::new("compression"));
+        let reply = client.invoke_qos(&ior, "echo", &[payload.clone()], qos).unwrap();
+        assert_eq!(reply, payload);
+        let total = net.stats().link(client.node(), server.node()).bytes_delivered;
+        let compressed_bytes = total - plain_bytes;
+        assert!(
+            compressed_bytes * 4 < plain_bytes,
+            "compressed {compressed_bytes} vs plain {plain_bytes}"
+        );
+        server.shutdown();
+        client.shutdown();
+    }
+}

@@ -1,0 +1,32 @@
+//! The QoS mechanisms evaluated by the paper (§6).
+//!
+//! "So far the framework has been evaluated by implementing QoS
+//! characteristics from diverse QoS categories, e.g. fault-tolerance
+//! through replica groups, performance by load-balancing, compression
+//! for channels with small bandwidth, actuality of data, and privacy
+//! through encryption." This crate implements all five, each as the pair
+//! the weaving architecture prescribes:
+//!
+//! | characteristic | client side (mediator) | server/transport side |
+//! |---|---|---|
+//! | [`replication`] | failover / majority-vote mediator | replica groups + state transfer; multicast transport module |
+//! | [`loadbalance`] | strategy mediator (round-robin, random, least-loaded) | load-reporting QoS implementation |
+//! | [`compress`] | binding mediator | LZ77-style transport module ([`compress::codec`]) |
+//! | [`crypt`] | binding mediator + key exchange | stream-cipher transport module |
+//! | [`actuality`] | bounded-staleness caching mediator | freshness-stamping QoS implementation |
+//!
+//! [`bandwidth`] adds the paper's own §4 module example — "reserve a
+//! distinct bandwidth" — as token-bucket admission control, and
+//! [`specs`] carries the canonical QIDL declarations of the
+//! characteristics, ready to load into an interface repository.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod actuality;
+pub mod bandwidth;
+pub mod compress;
+pub mod crypt;
+pub mod loadbalance;
+pub mod replication;
+pub mod specs;

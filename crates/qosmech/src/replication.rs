@@ -1,0 +1,635 @@
+//! Fault tolerance through replica groups (§3.1's running example).
+//!
+//! "Crashes of servers can be masked when using a group of replicas. As
+//! long as there is one replica running, the service can be fulfilled."
+//! Two client-side strategies are provided, matching the paper's closing
+//! remark that one multicast mechanism serves both *k-availability* and
+//! *diversity through majority votes on results*:
+//!
+//! * [`ReplicationStrategy::Failover`] — try replicas in order until one
+//!   answers; masks crash faults with no redundancy on the wire.
+//! * [`ReplicationStrategy::MajorityVote`] — invoke all replicas (either
+//!   via a bound [`groupcomm::MulticastModule`] or by client-side
+//!   fan-out) and answer with the value a majority agrees on; masks
+//!   crash *and* value faults.
+//!
+//! The server side is [`ReplicationQosImpl`], whose QoS operations expose
+//! the state-transfer integration interface the paper uses to motivate
+//! why QoS is an aspect (replicas must be initializable from each other's
+//! encapsulated state).
+
+use groupcomm::FailureDetector;
+use netsim::NodeId;
+use orb::giop::QosContext;
+use orb::{Any, Ior, Orb, OrbError, Servant};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use weaver::{Call, Mediator, Next, QosImplementation};
+
+/// Characteristic name, matching [`crate::specs::QOS_SPECS`].
+pub const REPLICATION_CHARACTERISTIC: &str = "Replication";
+
+/// How the mediator uses the replica group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicationStrategy {
+    /// Sequential failover: first live replica answers.
+    Failover,
+    /// Fan out to all replicas and majority-vote on the results.
+    MajorityVote,
+}
+
+/// Majority-vote over gathered replies: the value returned by at least
+/// `quorum` replicas wins.
+///
+/// # Errors
+///
+/// [`OrbError::QosViolation`] if no value reaches the quorum.
+pub fn majority_vote(
+    replies: &[(NodeId, Result<Any, OrbError>)],
+    quorum: usize,
+) -> Result<Any, OrbError> {
+    let mut counts: Vec<(&Any, usize)> = Vec::new();
+    for (_, reply) in replies {
+        if let Ok(value) = reply {
+            match counts.iter_mut().find(|(v, _)| *v == value) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((value, 1)),
+            }
+        }
+    }
+    counts
+        .into_iter()
+        .find(|(_, n)| *n >= quorum)
+        .map(|(v, _)| v.clone())
+        .ok_or_else(|| {
+            OrbError::QosViolation(format!(
+                "no majority among {} replies (quorum {quorum})",
+                replies.len()
+            ))
+        })
+}
+
+/// Counters exposed by the replication mediator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicationStats {
+    /// Calls that succeeded on the first replica tried.
+    pub first_try: u64,
+    /// Failovers performed (a replica was skipped after an error).
+    pub failovers: u64,
+    /// Majority votes taken.
+    pub votes: u64,
+    /// Calls that exhausted all replicas / found no quorum.
+    pub exhausted: u64,
+}
+
+/// The client-side replication mediator.
+pub struct ReplicationMediator {
+    orb: Orb,
+    replicas: RwLock<Vec<Ior>>,
+    strategy: ReplicationStrategy,
+    vote_timeout: Duration,
+    first_try: AtomicU64,
+    failovers: AtomicU64,
+    votes: AtomicU64,
+    exhausted: AtomicU64,
+}
+
+impl ReplicationMediator {
+    /// A mediator over `replicas` (all activations of the *same* object
+    /// key on different nodes).
+    pub fn new(orb: Orb, replicas: Vec<Ior>, strategy: ReplicationStrategy) -> ReplicationMediator {
+        ReplicationMediator {
+            orb,
+            replicas: RwLock::new(replicas),
+            strategy,
+            vote_timeout: Duration::from_secs(2),
+            first_try: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            votes: AtomicU64::new(0),
+            exhausted: AtomicU64::new(0),
+        }
+    }
+
+    /// Replace the replica list (after view changes).
+    pub fn set_replicas(&self, replicas: Vec<Ior>) {
+        *self.replicas.write() = replicas;
+    }
+
+    /// The current replica list.
+    pub fn replicas(&self) -> Vec<Ior> {
+        self.replicas.read().clone()
+    }
+
+    /// Remove replicas the failure detector reports dead; returns how
+    /// many were evicted.
+    pub fn evict_dead(&self, detector: &FailureDetector) -> usize {
+        let current = self.replicas();
+        let (alive, dead) = detector.sweep(&current);
+        let removed = dead.len();
+        if removed > 0 {
+            let alive: Vec<Ior> = alive.into_iter().cloned().collect();
+            *self.replicas.write() = alive;
+        }
+        removed
+    }
+
+    /// A snapshot of the mediator counters.
+    pub fn stats(&self) -> ReplicationStats {
+        ReplicationStats {
+            first_try: self.first_try.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            votes: self.votes.load(Ordering::Relaxed),
+            exhausted: self.exhausted.load(Ordering::Relaxed),
+        }
+    }
+
+    fn failover(&self, call: Call, next: Next<'_>) -> Result<Any, OrbError> {
+        let replicas = self.replicas();
+        if replicas.is_empty() {
+            return Err(OrbError::QosViolation("replica group is empty".to_string()));
+        }
+        let mut last_err = None;
+        for (i, replica) in replicas.iter().enumerate() {
+            let mut attempt = call.clone();
+            attempt.target = replica.clone();
+            match next(attempt) {
+                Ok(value) => {
+                    if i == 0 {
+                        self.first_try.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.failovers.fetch_add(i as u64, Ordering::Relaxed);
+                    }
+                    return Ok(value);
+                }
+                Err(e) if e.is_retryable() || matches!(e, OrbError::ObjectNotExist(_)) => {
+                    last_err = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        self.exhausted.fetch_add(1, Ordering::Relaxed);
+        Err(last_err.unwrap_or_else(|| OrbError::QosViolation("all replicas failed".to_string())))
+    }
+
+    fn vote(&self, call: Call) -> Result<Any, OrbError> {
+        let replicas = self.replicas();
+        if replicas.is_empty() {
+            return Err(OrbError::QosViolation("replica group is empty".to_string()));
+        }
+        let quorum = replicas.len() / 2 + 1;
+        self.votes.fetch_add(1, Ordering::Relaxed);
+        // If a multicast module is bound for this object, a single
+        // invoke_collect fans out on the transport layer; otherwise fan
+        // out client-side, one invocation per replica.
+        let bound = self
+            .orb
+            .qos_transport()
+            .bound_module(replicas[0].node, &replicas[0].key)
+            .is_some();
+        let mut replies: Vec<(NodeId, Result<Any, OrbError>)> = Vec::new();
+        if bound {
+            let qos = call
+                .qos
+                .clone()
+                .unwrap_or_else(|| QosContext::new(REPLICATION_CHARACTERISTIC));
+            match self.orb.invoke_collect(
+                &replicas[0],
+                &call.operation,
+                &call.args,
+                Some(qos),
+                quorum,
+                self.vote_timeout,
+            ) {
+                Ok(r) => replies = r,
+                Err(e) => {
+                    self.exhausted.fetch_add(1, Ordering::Relaxed);
+                    return Err(e);
+                }
+            }
+        } else {
+            for replica in &replicas {
+                let reply = self.orb.invoke_collect(
+                    replica,
+                    &call.operation,
+                    &call.args,
+                    call.qos.clone(),
+                    1,
+                    self.vote_timeout,
+                );
+                match reply {
+                    Ok(mut r) if !r.is_empty() => replies.push(r.remove(0)),
+                    Ok(_) => {}
+                    Err(e) => replies.push((replica.node, Err(e))),
+                }
+            }
+        }
+        let result = majority_vote(&replies, quorum);
+        if result.is_err() {
+            self.exhausted.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+}
+
+impl Mediator for ReplicationMediator {
+    fn characteristic(&self) -> &str {
+        REPLICATION_CHARACTERISTIC
+    }
+
+    fn around(&self, call: Call, next: Next<'_>) -> Result<Any, OrbError> {
+        match self.strategy {
+            ReplicationStrategy::Failover => self.failover(call, next),
+            ReplicationStrategy::MajorityVote => self.vote(call),
+        }
+    }
+
+    fn qos_op(&self, op: &str, _args: &[Any]) -> Result<Any, OrbError> {
+        match op {
+            "replica_count" => Ok(Any::ULong(self.replicas().len() as u32)),
+            "stats" => {
+                let s = self.stats();
+                Ok(Any::Struct(
+                    "ReplicationStats".to_string(),
+                    vec![
+                        ("first_try".to_string(), Any::ULongLong(s.first_try)),
+                        ("failovers".to_string(), Any::ULongLong(s.failovers)),
+                        ("votes".to_string(), Any::ULongLong(s.votes)),
+                        ("exhausted".to_string(), Any::ULongLong(s.exhausted)),
+                    ],
+                ))
+            }
+            other => Err(OrbError::BadOperation(format!("replication qos op {other}"))),
+        }
+    }
+}
+
+/// Server-side QoS implementation for replication.
+///
+/// QoS operations: `export_state()`, `import_state(state)` (the §3.2
+/// "aspect integration" interface into the encapsulated object state),
+/// `replica_role()` / `set_replica_role(role)`.
+#[derive(Debug, Default)]
+pub struct ReplicationQosImpl {
+    role: RwLock<String>,
+}
+
+impl ReplicationQosImpl {
+    /// A replica starting in the `"follower"` role.
+    pub fn new() -> ReplicationQosImpl {
+        ReplicationQosImpl { role: RwLock::new("follower".to_string()) }
+    }
+}
+
+impl QosImplementation for ReplicationQosImpl {
+    fn characteristic(&self) -> &str {
+        REPLICATION_CHARACTERISTIC
+    }
+
+    fn qos_op(&self, op: &str, args: &[Any], server: &dyn Servant) -> Result<Any, OrbError> {
+        match op {
+            "export_state" => server.get_state(),
+            "import_state" => {
+                let state = args
+                    .first()
+                    .ok_or_else(|| OrbError::BadParam("import_state(state)".to_string()))?;
+                server.set_state(state)?;
+                Ok(Any::Void)
+            }
+            "replica_role" => Ok(Any::Str(self.role.read().clone())),
+            "set_replica_role" => {
+                let role = args
+                    .first()
+                    .and_then(Any::as_str)
+                    .ok_or_else(|| OrbError::BadParam("set_replica_role(role)".to_string()))?;
+                *self.role.write() = role.to_string();
+                Ok(Any::Void)
+            }
+            other => Err(OrbError::BadOperation(format!("replication op {other}"))),
+        }
+    }
+}
+
+/// Deploy `n` replicas of servants produced by `factory` under the same
+/// object key on fresh server ORBs; returns the ORBs and the replica
+/// references.
+pub fn deploy_replicas<F>(
+    net: &netsim::Network,
+    n: usize,
+    key: &str,
+    factory: F,
+) -> (Vec<Orb>, Vec<Ior>)
+where
+    F: Fn(usize) -> Box<dyn Servant>,
+{
+    let mut orbs = Vec::with_capacity(n);
+    let mut iors = Vec::with_capacity(n);
+    for i in 0..n {
+        let orb = Orb::start(net, &format!("replica-{i}"));
+        let ior = orb.activate_with_tags(key, factory(i), &[REPLICATION_CHARACTERISTIC]);
+        orbs.push(orb);
+        iors.push(ior);
+    }
+    (orbs, iors)
+}
+
+/// Bring a late-joining replica up to date from the first live member,
+/// then add it to the mediator's list.
+///
+/// # Errors
+///
+/// Propagates state-transfer failures; fails with
+/// [`OrbError::QosViolation`] if no live source exists.
+pub fn join_replica(
+    mediator: &ReplicationMediator,
+    detector: &FailureDetector,
+    newcomer: Ior,
+) -> Result<(), OrbError> {
+    let current = mediator.replicas();
+    let (alive, _) = detector.sweep(&current);
+    let source = alive
+        .first()
+        .ok_or_else(|| OrbError::QosViolation("no live replica to copy state from".to_string()))?;
+    groupcomm::transfer_state(&mediator.orb, source, &newcomer)?;
+    let mut replicas = mediator.replicas();
+    replicas.push(newcomer);
+    mediator.set_replicas(replicas);
+    Ok(())
+}
+
+/// Group replies by value for diagnostics (who answered what).
+pub fn tally(replies: &[(NodeId, Result<Any, OrbError>)]) -> HashMap<String, usize> {
+    let mut map = HashMap::new();
+    for (_, reply) in replies {
+        let key = match reply {
+            Ok(v) => format!("ok:{v}"),
+            Err(e) => format!("err:{}", e.kind()),
+        };
+        *map.entry(key).or_insert(0) += 1;
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::Network;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+    use weaver::ClientStub;
+
+    struct Counter {
+        value: Mutex<i64>,
+        /// Fixed answer for "whoami" — lets vote tests inject divergence.
+        id: i64,
+    }
+    impl Counter {
+        fn boxed(id: i64) -> Box<dyn Servant> {
+            Box::new(Counter { value: Mutex::new(0), id })
+        }
+    }
+    impl Servant for Counter {
+        fn interface_id(&self) -> &str {
+            "IDL:Counter:1.0"
+        }
+        fn dispatch(&self, op: &str, args: &[Any]) -> Result<Any, OrbError> {
+            match op {
+                "add" => {
+                    let mut v = self.value.lock();
+                    *v += args.first().and_then(Any::as_i64).unwrap_or(0);
+                    Ok(Any::LongLong(*v))
+                }
+                "get" => Ok(Any::LongLong(*self.value.lock())),
+                "whoami" => Ok(Any::LongLong(self.id)),
+                _ => Err(OrbError::BadOperation(op.to_string())),
+            }
+        }
+        fn get_state(&self) -> Result<Any, OrbError> {
+            Ok(Any::LongLong(*self.value.lock()))
+        }
+        fn set_state(&self, state: &Any) -> Result<(), OrbError> {
+            *self.value.lock() = state.as_i64().unwrap_or(0);
+            Ok(())
+        }
+    }
+
+    fn fast_client(net: &Network) -> Orb {
+        Orb::start_with(
+            net,
+            "client",
+            orb::OrbConfig { request_timeout: Duration::from_millis(400), ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn majority_vote_logic() {
+        let ok = |v: i64| -> Result<Any, OrbError> { Ok(Any::LongLong(v)) };
+        let replies = vec![
+            (NodeId(1), ok(5)),
+            (NodeId(2), ok(5)),
+            (NodeId(3), ok(9)),
+        ];
+        assert_eq!(majority_vote(&replies, 2).unwrap(), Any::LongLong(5));
+        assert!(majority_vote(&replies, 3).is_err());
+        let split = vec![(NodeId(1), ok(1)), (NodeId(2), ok(2))];
+        assert!(majority_vote(&split, 2).is_err());
+        let with_errors = vec![
+            (NodeId(1), Err(OrbError::Timeout("x".into()))),
+            (NodeId(2), ok(7)),
+            (NodeId(3), ok(7)),
+        ];
+        assert_eq!(majority_vote(&with_errors, 2).unwrap(), Any::LongLong(7));
+        assert_eq!(tally(&with_errors)["ok:7"], 2);
+        assert_eq!(tally(&with_errors)["err:TIMEOUT"], 1);
+    }
+
+    #[test]
+    fn failover_masks_crashes() {
+        let net = Network::new(1);
+        let (orbs, iors) = deploy_replicas(&net, 3, "ctr", |i| Counter::boxed(i as i64));
+        let client = fast_client(&net);
+        let mediator =
+            Arc::new(ReplicationMediator::new(client.clone(), iors.clone(), ReplicationStrategy::Failover));
+        let stub = ClientStub::new(client.clone(), iors[0].clone());
+        stub.set_mediator(mediator.clone());
+
+        assert_eq!(stub.invoke("whoami", &[]).unwrap(), Any::LongLong(0));
+        assert_eq!(mediator.stats().first_try, 1);
+
+        // Crash the first replica: calls now fail over to the second.
+        net.crash(orbs[0].node());
+        assert_eq!(stub.invoke("whoami", &[]).unwrap(), Any::LongLong(1));
+        assert!(mediator.stats().failovers >= 1);
+
+        // Crash all: the call exhausts the group.
+        net.crash(orbs[1].node());
+        net.crash(orbs[2].node());
+        assert!(stub.invoke("whoami", &[]).is_err());
+        assert_eq!(mediator.stats().exhausted, 1);
+        for o in &orbs {
+            o.shutdown();
+        }
+        client.shutdown();
+    }
+
+    #[test]
+    fn majority_vote_masks_value_fault() {
+        let net = Network::new(1);
+        // Replica 2 diverges on "whoami"? No — whoami differs per replica by
+        // design; use a value-faulty replica for "get" instead: all values
+        // start at 0, so "get" agrees; whoami disagrees everywhere.
+        let (orbs, iors) = deploy_replicas(&net, 3, "ctr", |i| Counter::boxed(i as i64));
+        let client = fast_client(&net);
+        let mediator = Arc::new(ReplicationMediator::new(
+            client.clone(),
+            iors.clone(),
+            ReplicationStrategy::MajorityVote,
+        ));
+        let stub = ClientStub::new(client.clone(), iors[0].clone());
+        stub.set_mediator(mediator.clone());
+
+        // Agreement case.
+        assert_eq!(stub.invoke("get", &[]).unwrap(), Any::LongLong(0));
+        // Full divergence: no quorum.
+        assert!(matches!(stub.invoke("whoami", &[]), Err(OrbError::QosViolation(_))));
+        assert_eq!(mediator.stats().votes, 2);
+        assert_eq!(mediator.stats().exhausted, 1);
+        for o in &orbs {
+            o.shutdown();
+        }
+        client.shutdown();
+    }
+
+    #[test]
+    fn majority_vote_survives_one_crash() {
+        let net = Network::new(1);
+        let (orbs, iors) = deploy_replicas(&net, 3, "ctr", |i| Counter::boxed(i as i64));
+        let client = fast_client(&net);
+        let mediator = Arc::new(ReplicationMediator::new(
+            client.clone(),
+            iors.clone(),
+            ReplicationStrategy::MajorityVote,
+        ));
+        let stub = ClientStub::new(client.clone(), iors[0].clone());
+        stub.set_mediator(mediator);
+        net.crash(orbs[2].node());
+        assert_eq!(stub.invoke("get", &[]).unwrap(), Any::LongLong(0));
+        for o in &orbs {
+            o.shutdown();
+        }
+        client.shutdown();
+    }
+
+    #[test]
+    fn vote_via_multicast_module() {
+        let net = Network::new(1);
+        let (orbs, iors) = deploy_replicas(&net, 3, "ctr", |i| Counter::boxed(i as i64));
+        let client = fast_client(&net);
+        let nodes: Vec<NodeId> = iors.iter().map(|i| i.node).collect();
+        client
+            .qos_transport()
+            .install(Arc::new(groupcomm::MulticastModule::new("multicast", nodes)));
+        // Servers need the module loaded too, to un-wrap inbound packets
+        // (and to route replies back out through it).
+        for orb in &orbs {
+            orb.qos_transport()
+                .install(Arc::new(groupcomm::MulticastModule::new("multicast", [])));
+        }
+        client
+            .qos_transport()
+            .bind(
+                orb::transport::BindingKey { peer: None, key: iors[0].key.clone() },
+                "multicast",
+            )
+            .unwrap();
+        let mediator = Arc::new(ReplicationMediator::new(
+            client.clone(),
+            iors.clone(),
+            ReplicationStrategy::MajorityVote,
+        ));
+        let stub = ClientStub::new(client.clone(), iors[0].clone());
+        stub.set_mediator(mediator);
+        assert_eq!(stub.invoke("get", &[]).unwrap(), Any::LongLong(0));
+        for o in &orbs {
+            o.shutdown();
+        }
+        client.shutdown();
+    }
+
+    #[test]
+    fn eviction_and_join_with_state_transfer() {
+        let net = Network::new(1);
+        let (orbs, iors) = deploy_replicas(&net, 2, "ctr", |i| Counter::boxed(i as i64));
+        let client = fast_client(&net);
+        let mediator = Arc::new(ReplicationMediator::new(
+            client.clone(),
+            iors.clone(),
+            ReplicationStrategy::Failover,
+        ));
+        let stub = ClientStub::new(client.clone(), iors[0].clone());
+        stub.set_mediator(mediator.clone());
+        // Write through the first replica only (failover => only first).
+        stub.invoke("add", &[Any::LongLong(42)]).unwrap();
+
+        // A new replica joins and is initialized from a live member.
+        let new_orb = Orb::start(&net, "replica-new");
+        let new_ior = new_orb.activate_with_tags("ctr", Counter::boxed(99), &["Replication"]);
+        let detector = FailureDetector::new(client.clone(), Duration::from_millis(300));
+        join_replica(&mediator, &detector, new_ior.clone()).unwrap();
+        assert_eq!(mediator.replicas().len(), 3);
+        assert_eq!(client.invoke(&new_ior, "get", &[]).unwrap(), Any::LongLong(42));
+
+        // Crash one; eviction shrinks the group.
+        net.crash(orbs[1].node());
+        assert_eq!(mediator.evict_dead(&detector), 1);
+        assert_eq!(mediator.replicas().len(), 2);
+        for o in &orbs {
+            o.shutdown();
+        }
+        new_orb.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn qos_impl_operations() {
+        let qi = ReplicationQosImpl::new();
+        let servant = Counter { value: Mutex::new(7), id: 0 };
+        assert_eq!(qi.qos_op("export_state", &[], &servant).unwrap(), Any::LongLong(7));
+        qi.qos_op("import_state", &[Any::LongLong(3)], &servant).unwrap();
+        assert_eq!(*servant.value.lock(), 3);
+        assert_eq!(qi.qos_op("replica_role", &[], &servant).unwrap(), Any::Str("follower".into()));
+        qi.qos_op("set_replica_role", &[Any::from("primary")], &servant).unwrap();
+        assert_eq!(qi.qos_op("replica_role", &[], &servant).unwrap(), Any::Str("primary".into()));
+        assert!(qi.qos_op("nope", &[], &servant).is_err());
+        assert!(qi.qos_op("import_state", &[], &servant).is_err());
+    }
+
+    #[test]
+    fn mediator_qos_ops() {
+        let net = Network::new(1);
+        let client = fast_client(&net);
+        let m = ReplicationMediator::new(client.clone(), vec![], ReplicationStrategy::Failover);
+        assert_eq!(m.qos_op("replica_count", &[]).unwrap(), Any::ULong(0));
+        let stats = m.qos_op("stats", &[]).unwrap();
+        assert_eq!(stats.field("votes"), Some(&Any::ULongLong(0)));
+        assert!(m.qos_op("x", &[]).is_err());
+        client.shutdown();
+    }
+
+    #[test]
+    fn empty_group_is_a_qos_violation() {
+        let net = Network::new(1);
+        let client = fast_client(&net);
+        for strategy in [ReplicationStrategy::Failover, ReplicationStrategy::MajorityVote] {
+            let m = ReplicationMediator::new(client.clone(), vec![], strategy);
+            let stub = ClientStub::new(
+                client.clone(),
+                Ior::new("IDL:X:1.0", client.node(), "ghost"),
+            );
+            stub.set_mediator(Arc::new(m));
+            assert!(matches!(stub.invoke("get", &[]), Err(OrbError::QosViolation(_))));
+        }
+        client.shutdown();
+    }
+}

@@ -1,0 +1,136 @@
+//! Canonical QIDL declarations of the five evaluated characteristics.
+//!
+//! Loading these into an [`qidl::InterfaceRepository`] lets interfaces be
+//! declared `with qos Replication, Encryption, …` and gives the weaving
+//! runtime the metadata to classify QoS operations.
+
+/// QIDL source declaring the five §6 characteristics.
+pub const QOS_SPECS: &str = r#"
+qos Replication category fault_tolerance {
+    param unsigned long replicas = 3;
+    param string strategy = "failover";
+    param double availability = 0.99;
+    management {
+        unsigned long replica_count();
+        any stats();
+    };
+    peer {
+        void sync_view(in unsigned long long view_id);
+    };
+    integration {
+        any export_state();
+        void import_state(in any state);
+        string replica_role();
+        void set_replica_role(in string role);
+    };
+};
+
+qos LoadBalancing category performance {
+    param string strategy = "round_robin";
+    param unsigned long servers = 2;
+    management {
+        unsigned long server_count();
+        sequence<unsigned long long> routed();
+        long long load();
+        unsigned long long served();
+    };
+};
+
+qos Compression category performance {
+    param long level = 6;
+    param unsigned long min_bandwidth_kbps = 64;
+    management {
+        sequence<unsigned long long> stats();
+        void reset_stats();
+    };
+};
+
+qos Encryption category privacy {
+    param string cipher = "xorshift-stream";
+    param unsigned long long key_lifetime_ms = 60000;
+    management {
+        unsigned long long key_id();
+        unsigned long long frames();
+    };
+    peer {
+        void rekey(in unsigned long long key);
+        unsigned long long exchange(in unsigned long long public_half);
+    };
+};
+
+qos Actuality category timeliness {
+    param unsigned long long validity_ms = 1000;
+    management {
+        void set_validity_ms(in long long ms);
+        void invalidate();
+        double hit_ratio();
+        unsigned long long now_us();
+        unsigned long long stamped();
+    };
+};
+"#;
+
+/// Compile [`QOS_SPECS`] and load it into a fresh repository.
+///
+/// # Panics
+///
+/// Panics if the embedded spec does not compile — that would be a bug in
+/// this crate, caught by its tests.
+pub fn standard_repository() -> qidl::InterfaceRepository {
+    let spec = qidl::compile(QOS_SPECS).expect("embedded QoS spec must compile");
+    let mut repo = qidl::InterfaceRepository::new();
+    repo.load(&spec).expect("embedded QoS spec must load");
+    repo
+}
+
+/// Names of the five standard characteristics.
+pub const CHARACTERISTICS: [&str; 5] =
+    ["Replication", "LoadBalancing", "Compression", "Encryption", "Actuality"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_compile_and_load() {
+        let repo = standard_repository();
+        for name in CHARACTERISTICS {
+            assert!(repo.qos(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn categories_match_the_paper() {
+        let repo = standard_repository();
+        assert_eq!(repo.qos("Replication").unwrap().category.as_deref(), Some("fault_tolerance"));
+        assert_eq!(repo.qos("LoadBalancing").unwrap().category.as_deref(), Some("performance"));
+        assert_eq!(repo.qos("Compression").unwrap().category.as_deref(), Some("performance"));
+        assert_eq!(repo.qos("Encryption").unwrap().category.as_deref(), Some("privacy"));
+        assert_eq!(repo.qos("Actuality").unwrap().category.as_deref(), Some("timeliness"));
+    }
+
+    #[test]
+    fn replication_has_all_three_responsibility_groups() {
+        let repo = standard_repository();
+        let r = repo.qos("Replication").unwrap();
+        assert!(!r.management.is_empty());
+        assert!(!r.peer.is_empty());
+        assert!(!r.integration.is_empty());
+        assert_eq!(r.params.len(), 3);
+    }
+
+    #[test]
+    fn interfaces_can_assign_the_characteristics() {
+        let mut repo = standard_repository();
+        let spec = qidl::parser::parse(
+            &qidl::lexer::lex("interface Bank with qos Replication, Encryption { long balance(); };")
+                .unwrap(),
+        )
+        .unwrap();
+        repo.load(&spec).unwrap();
+        assert_eq!(repo.assigned_qos("Bank").len(), 2);
+        assert!(repo.lookup_woven("Bank", "export_state").is_some());
+        assert!(repo.lookup_woven("Bank", "rekey").is_some());
+        assert!(repo.lookup_woven("Bank", "set_validity_ms").is_none());
+    }
+}

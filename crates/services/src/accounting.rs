@@ -1,0 +1,198 @@
+//! Accounting: metering QoS-enabled communication.
+//!
+//! §6: "additional support is needed at runtime in order to allow
+//! negotiation and accounting of QoS enabled communication … especially
+//! when the price is embraced". The accountant meters usage per
+//! agreement and prices it with a per-characteristic tariff, producing
+//! invoices a client can compare against its preference utilities.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Tariff for one QoS characteristic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PriceModel {
+    /// Fixed price per invocation.
+    pub per_call: f64,
+    /// Price per payload byte.
+    pub per_byte: f64,
+    /// Fixed price per second of agreement lifetime.
+    pub per_second: f64,
+}
+
+impl PriceModel {
+    /// A flat per-call tariff.
+    pub fn per_call(price: f64) -> PriceModel {
+        PriceModel { per_call: price, per_byte: 0.0, per_second: 0.0 }
+    }
+
+    /// Price of a concrete usage record.
+    pub fn price(&self, calls: u64, bytes: u64, seconds: f64) -> f64 {
+        self.per_call * calls as f64 + self.per_byte * bytes as f64 + self.per_second * seconds
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct Usage {
+    calls: u64,
+    bytes: u64,
+    seconds: f64,
+    characteristic: String,
+}
+
+/// An itemized invoice for one agreement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Invoice {
+    /// The agreement billed.
+    pub agreement_id: u64,
+    /// The characteristic used.
+    pub characteristic: String,
+    /// Invocations metered.
+    pub calls: u64,
+    /// Payload bytes metered.
+    pub bytes: u64,
+    /// Agreement lifetime metered, in seconds.
+    pub seconds: f64,
+    /// Total due.
+    pub total: f64,
+}
+
+impl fmt::Display for Invoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "agreement {} ({}): {} calls, {} bytes, {:.1}s => {:.4}",
+            self.agreement_id, self.characteristic, self.calls, self.bytes, self.seconds, self.total
+        )
+    }
+}
+
+/// Meters usage per agreement and prices it per characteristic.
+#[derive(Default)]
+pub struct Accountant {
+    tariffs: RwLock<HashMap<String, PriceModel>>,
+    usage: RwLock<HashMap<u64, Usage>>,
+}
+
+impl Accountant {
+    /// An accountant with no tariffs (unpriced usage costs zero).
+    pub fn new() -> Accountant {
+        Accountant::default()
+    }
+
+    /// Install the tariff for a characteristic.
+    pub fn set_tariff(&self, characteristic: impl Into<String>, model: PriceModel) {
+        self.tariffs.write().insert(characteristic.into(), model);
+    }
+
+    /// Meter one invocation of `bytes` payload under an agreement.
+    pub fn record_call(&self, agreement_id: u64, characteristic: &str, bytes: u64) {
+        let mut usage = self.usage.write();
+        let u = usage.entry(agreement_id).or_default();
+        u.calls += 1;
+        u.bytes += bytes;
+        u.characteristic = characteristic.to_string();
+    }
+
+    /// Meter agreement lifetime.
+    pub fn record_lifetime(&self, agreement_id: u64, characteristic: &str, seconds: f64) {
+        let mut usage = self.usage.write();
+        let u = usage.entry(agreement_id).or_default();
+        u.seconds += seconds;
+        u.characteristic = characteristic.to_string();
+    }
+
+    /// Produce the invoice for an agreement (zeroes if never metered).
+    pub fn invoice(&self, agreement_id: u64) -> Invoice {
+        let usage = self.usage.read();
+        let u = usage.get(&agreement_id).cloned().unwrap_or_default();
+        let tariff = self
+            .tariffs
+            .read()
+            .get(&u.characteristic)
+            .copied()
+            .unwrap_or(PriceModel { per_call: 0.0, per_byte: 0.0, per_second: 0.0 });
+        Invoice {
+            agreement_id,
+            characteristic: u.characteristic.clone(),
+            calls: u.calls,
+            bytes: u.bytes,
+            seconds: u.seconds,
+            total: tariff.price(u.calls, u.bytes, u.seconds),
+        }
+    }
+
+    /// Total due across all agreements.
+    pub fn total_due(&self) -> f64 {
+        let ids: Vec<u64> = self.usage.read().keys().copied().collect();
+        ids.into_iter().map(|id| self.invoice(id).total).sum()
+    }
+
+    /// Close an agreement's account, returning the final invoice.
+    pub fn close(&self, agreement_id: u64) -> Invoice {
+        let invoice = self.invoice(agreement_id);
+        self.usage.write().remove(&agreement_id);
+        invoice
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metering_and_pricing() {
+        let acc = Accountant::new();
+        acc.set_tariff(
+            "Replication",
+            PriceModel { per_call: 0.01, per_byte: 0.0001, per_second: 0.5 },
+        );
+        acc.record_call(1, "Replication", 100);
+        acc.record_call(1, "Replication", 300);
+        acc.record_lifetime(1, "Replication", 10.0);
+        let inv = acc.invoice(1);
+        assert_eq!(inv.calls, 2);
+        assert_eq!(inv.bytes, 400);
+        let expected = 0.01 * 2.0 + 0.0001 * 400.0 + 0.5 * 10.0;
+        assert!((inv.total - expected).abs() < 1e-9);
+        assert!(inv.to_string().contains("agreement 1"));
+    }
+
+    #[test]
+    fn unpriced_characteristic_costs_zero() {
+        let acc = Accountant::new();
+        acc.record_call(2, "Mystery", 1_000_000);
+        assert_eq!(acc.invoice(2).total, 0.0);
+    }
+
+    #[test]
+    fn unknown_agreement_is_empty_invoice() {
+        let acc = Accountant::new();
+        let inv = acc.invoice(42);
+        assert_eq!(inv.calls, 0);
+        assert_eq!(inv.total, 0.0);
+    }
+
+    #[test]
+    fn totals_and_close() {
+        let acc = Accountant::new();
+        acc.set_tariff("A", PriceModel::per_call(1.0));
+        acc.set_tariff("B", PriceModel::per_call(2.0));
+        acc.record_call(1, "A", 0);
+        acc.record_call(2, "B", 0);
+        acc.record_call(2, "B", 0);
+        assert!((acc.total_due() - 5.0).abs() < 1e-9);
+        let final_inv = acc.close(2);
+        assert!((final_inv.total - 4.0).abs() < 1e-9);
+        assert!((acc.total_due() - 1.0).abs() < 1e-9);
+        assert_eq!(acc.invoice(2).calls, 0); // account gone
+    }
+
+    #[test]
+    fn price_model_components() {
+        let m = PriceModel { per_call: 1.0, per_byte: 0.5, per_second: 2.0 };
+        assert_eq!(m.price(2, 10, 3.0), 2.0 + 5.0 + 6.0);
+        assert_eq!(PriceModel::per_call(3.0).price(2, 999, 999.0), 6.0);
+    }
+}

@@ -1,0 +1,329 @@
+//! The QoS characteristic catalog.
+//!
+//! §6 of the paper: "We think, that a catalog similar to those for
+//! design patterns is an appropriate way to document QoS
+//! implementations", targeted at two groups — **application developers**
+//! (how to use a characteristic, what adaptation they must provide) and
+//! **QoS implementors** (which mechanisms a characteristic is built from
+//! and which can be reused, e.g. "a multicast on network layer can be
+//! used for k-availability as well as for diversity through majority
+//! votes on results"). This module implements that catalog: pattern-style
+//! entries with both audience views, reusable-mechanism cross references,
+//! queries, and a rendered document. [`standard_catalog`] ships entries
+//! for the five characteristics this repository implements.
+
+use std::collections::HashMap;
+use std::fmt::Write;
+
+/// A reusable mechanism a characteristic is built from.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Mechanism {
+    /// Short mechanism name (e.g. `network multicast`).
+    pub name: String,
+    /// Which layer it lives on (`application`, `transport`, `network`).
+    pub layer: String,
+}
+
+impl Mechanism {
+    /// A mechanism on a layer.
+    pub fn new(name: &str, layer: &str) -> Mechanism {
+        Mechanism { name: name.to_string(), layer: layer.to_string() }
+    }
+}
+
+/// One pattern-style catalog entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatalogEntry {
+    /// Characteristic name (matches the QIDL `qos` declaration).
+    pub name: String,
+    /// QoS category (fault_tolerance, performance, privacy, timeliness…).
+    pub category: String,
+    /// One-paragraph intent, pattern style.
+    pub intent: String,
+    /// For application developers: how to use it, what to adapt.
+    pub developer_view: String,
+    /// For QoS implementors: how it is built, what can be reused.
+    pub implementor_view: String,
+    /// The mechanisms it is composed from.
+    pub mechanisms: Vec<Mechanism>,
+    /// Names of related catalog entries.
+    pub related: Vec<String>,
+}
+
+/// The catalog: entries indexed by name, with mechanism cross-references.
+#[derive(Debug, Clone, Default)]
+pub struct QosCatalog {
+    entries: HashMap<String, CatalogEntry>,
+}
+
+impl QosCatalog {
+    /// An empty catalog.
+    pub fn new() -> QosCatalog {
+        QosCatalog::default()
+    }
+
+    /// Add or replace an entry.
+    pub fn add(&mut self, entry: CatalogEntry) {
+        self.entries.insert(entry.name.clone(), entry);
+    }
+
+    /// Look up an entry.
+    pub fn entry(&self, name: &str) -> Option<&CatalogEntry> {
+        self.entries.get(name)
+    }
+
+    /// Entry names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.entries.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Entries in a category, sorted by name.
+    pub fn by_category(&self, category: &str) -> Vec<&CatalogEntry> {
+        let mut v: Vec<&CatalogEntry> =
+            self.entries.values().filter(|e| e.category == category).collect();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
+    }
+
+    /// Characteristics that share a mechanism with `name` — the reuse
+    /// question a QoS implementor asks the catalog.
+    pub fn sharing_mechanisms(&self, name: &str) -> Vec<(&str, Vec<&Mechanism>)> {
+        let Some(entry) = self.entries.get(name) else { return Vec::new() };
+        let mut out = Vec::new();
+        for other in self.entries.values() {
+            if other.name == entry.name {
+                continue;
+            }
+            let shared: Vec<&Mechanism> =
+                other.mechanisms.iter().filter(|m| entry.mechanisms.contains(m)).collect();
+            if !shared.is_empty() {
+                out.push((other.name.as_str(), shared));
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(b.0));
+        out
+    }
+
+    /// All entries using a mechanism, sorted by name.
+    pub fn users_of(&self, mechanism: &Mechanism) -> Vec<&str> {
+        let mut v: Vec<&str> = self
+            .entries
+            .values()
+            .filter(|e| e.mechanisms.contains(mechanism))
+            .map(|e| e.name.as_str())
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Render the whole catalog as a markdown document.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::from("# QoS characteristic catalog\n");
+        for name in self.names() {
+            let e = &self.entries[name];
+            let _ = write!(
+                out,
+                "\n## {} ({})\n\n**Intent.** {}\n\n**For application developers.** {}\n\n\
+                 **For QoS implementors.** {}\n\n**Mechanisms.** ",
+                e.name, e.category, e.intent, e.developer_view, e.implementor_view
+            );
+            for (i, m) in e.mechanisms.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{} [{}]", m.name, m.layer);
+            }
+            out.push('\n');
+            if !e.related.is_empty() {
+                let _ = writeln!(out, "\n**Related.** {}", e.related.join(", "));
+            }
+        }
+        out
+    }
+}
+
+/// The catalog of the five characteristics implemented in `qosmech`.
+pub fn standard_catalog() -> QosCatalog {
+    let mut c = QosCatalog::new();
+    c.add(CatalogEntry {
+        name: "Replication".to_string(),
+        category: "fault_tolerance".to_string(),
+        intent: "Mask server crashes (and, with voting, value faults) by keeping a \
+                 group of replicas; the service is available while one replica lives."
+            .to_string(),
+        developer_view: "Assign `with qos Replication`; expose object state via the \
+                         `_get_state`/`_set_state` hooks so new replicas can be \
+                         initialized; pick failover (cheap) or majority voting \
+                         (masks value faults) in the agreement parameters."
+            .to_string(),
+        implementor_view: "Client mediator rewrites the call target per replica; \
+                           fan-out uses the transport multicast module; majority \
+                           voting quorums on equal results; membership and failure \
+                           detection come from groupcomm."
+            .to_string(),
+        mechanisms: vec![
+            Mechanism::new("network multicast", "transport"),
+            Mechanism::new("group membership", "application"),
+            Mechanism::new("state transfer", "application"),
+            Mechanism::new("majority voting", "application"),
+        ],
+        related: vec!["LoadBalancing".to_string()],
+    });
+    c.add(CatalogEntry {
+        name: "LoadBalancing".to_string(),
+        category: "performance".to_string(),
+        intent: "Spread invocations over equivalent servers to improve throughput \
+                 and latency under skewed service times."
+            .to_string(),
+        developer_view: "Assign `with qos LoadBalancing`; all servers must be \
+                         stateless or state-shared; choose round_robin, random or \
+                         least_loaded in the agreement parameters."
+            .to_string(),
+        implementor_view: "Client mediator picks the target per call (EWMA response \
+                           estimates for least-loaded); the server-side QoS \
+                           implementation counts in-flight load via prolog/epilog \
+                           and reports it through QoS operations."
+            .to_string(),
+        mechanisms: vec![
+            Mechanism::new("target selection", "application"),
+            Mechanism::new("load metering", "application"),
+            Mechanism::new("group membership", "application"),
+        ],
+        related: vec!["Replication".to_string()],
+    });
+    c.add(CatalogEntry {
+        name: "Compression".to_string(),
+        category: "performance".to_string(),
+        intent: "Trade CPU for bytes on the wire so small-bandwidth channels carry \
+                 more payload."
+            .to_string(),
+        developer_view: "Assign `with qos Compression`; effective only for \
+                         compressible payloads and narrow links — check the \
+                         module's `stats()` ratio before keeping it."
+            .to_string(),
+        implementor_view: "A transport QoS module: LZ77-style transform outbound, \
+                           inverse inbound; bind per client/object relationship; \
+                           reusable beneath any characteristic that moves bulk data."
+            .to_string(),
+        mechanisms: vec![Mechanism::new("stream transform", "transport")],
+        related: vec!["Encryption".to_string()],
+    });
+    c.add(CatalogEntry {
+        name: "Encryption".to_string(),
+        category: "privacy".to_string(),
+        intent: "Keep request and reply contents confidential and tamper-evident \
+                 on the wire."
+            .to_string(),
+        developer_view: "Assign `with qos Encryption`; agree keys via the peer \
+                         operations (`exchange`, `rekey`); both ends must rekey \
+                         together or traffic is rejected."
+            .to_string(),
+        implementor_view: "A transport QoS module: stream-cipher transform with \
+                           per-message nonces and an integrity checksum; key \
+                           agreement runs over the plain GIOP fallback path as \
+                           module commands (QoS-to-QoS communication)."
+            .to_string(),
+        mechanisms: vec![
+            Mechanism::new("stream transform", "transport"),
+            Mechanism::new("key agreement", "application"),
+        ],
+        related: vec!["Compression".to_string()],
+    });
+    c.add(CatalogEntry {
+        name: "Actuality".to_string(),
+        category: "timeliness".to_string(),
+        intent: "Bound how stale a result may be, trading freshness for latency \
+                 and server load."
+            .to_string(),
+        developer_view: "Assign `with qos Actuality`; declare which operations are \
+                         reads; negotiate `validity_ms`; renegotiate when the \
+                         monitor reports staleness violations."
+            .to_string(),
+        implementor_view: "Client mediator caches read results for the agreed \
+                           validity and invalidates on writes; the server-side \
+                           implementation stamps replies in the epilog so staleness \
+                           is measurable end to end."
+            .to_string(),
+        mechanisms: vec![
+            Mechanism::new("result caching", "application"),
+            Mechanism::new("freshness stamping", "application"),
+        ],
+        related: vec![],
+    });
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_catalog_covers_all_characteristics() {
+        let c = standard_catalog();
+        assert_eq!(
+            c.names(),
+            vec!["Actuality", "Compression", "Encryption", "LoadBalancing", "Replication"]
+        );
+        for name in c.names() {
+            let e = c.entry(name).unwrap();
+            assert!(!e.intent.is_empty());
+            assert!(!e.developer_view.is_empty());
+            assert!(!e.implementor_view.is_empty());
+            assert!(!e.mechanisms.is_empty());
+        }
+    }
+
+    #[test]
+    fn categories_partition_entries() {
+        let c = standard_catalog();
+        assert_eq!(c.by_category("performance").len(), 2);
+        assert_eq!(c.by_category("fault_tolerance").len(), 1);
+        assert_eq!(c.by_category("nonexistent").len(), 0);
+    }
+
+    #[test]
+    fn mechanism_reuse_queries() {
+        let c = standard_catalog();
+        // The paper's own example: compression and encryption share the
+        // transport stream-transform mechanism.
+        let sharing = c.sharing_mechanisms("Compression");
+        assert_eq!(sharing.len(), 1);
+        assert_eq!(sharing[0].0, "Encryption");
+        assert_eq!(sharing[0].1[0].name, "stream transform");
+        // Group membership is reused by replication and load balancing.
+        let users = c.users_of(&Mechanism::new("group membership", "application"));
+        assert_eq!(users, vec!["LoadBalancing", "Replication"]);
+        assert!(c.sharing_mechanisms("Ghost").is_empty());
+    }
+
+    #[test]
+    fn markdown_rendering_contains_both_audiences() {
+        let md = standard_catalog().to_markdown();
+        assert!(md.contains("# QoS characteristic catalog"));
+        assert!(md.contains("## Replication (fault_tolerance)"));
+        assert!(md.contains("**For application developers.**"));
+        assert!(md.contains("**For QoS implementors.**"));
+        assert!(md.contains("network multicast [transport]"));
+    }
+
+    #[test]
+    fn add_replaces_entries() {
+        let mut c = QosCatalog::new();
+        c.add(CatalogEntry {
+            name: "X".to_string(),
+            category: "a".to_string(),
+            intent: "i1".to_string(),
+            developer_view: "d".to_string(),
+            implementor_view: "imp".to_string(),
+            mechanisms: vec![],
+            related: vec![],
+        });
+        let mut updated = c.entry("X").unwrap().clone();
+        updated.intent = "i2".to_string();
+        c.add(updated);
+        assert_eq!(c.entry("X").unwrap().intent, "i2");
+        assert_eq!(c.names().len(), 1);
+    }
+}

@@ -1,0 +1,42 @@
+//! QoS infrastructure services.
+//!
+//! §2.2 of the paper: "infrastructure services for e.g. trading,
+//! negotiation, monitoring and accounting should be an integral part of
+//! the framework", and the outlook announces contract hierarchies for
+//! client preferences (ref. \[5\]) and runtime negotiation/accounting as
+//! the work following the ICDCS paper. This crate implements them:
+//!
+//! * [`contract`] — hierarchies of contracts expressing client
+//!   preferences over QoS alternatives, with utility-based resolution;
+//! * [`negotiation`] — the agreement protocol between client and server
+//!   (offer → negotiate → agree/reject → renegotiate/release), wired to
+//!   the server-side [`weaver::WovenServant`] delegate exchange, with a
+//!   capacity model so rejections and adaptation actually happen;
+//! * [`monitoring`] — sliding-window observation of agreed QoS
+//!   (latency, availability, staleness) and violation detection;
+//! * [`accounting`] — per-agreement usage metering and invoicing;
+//! * [`trading`] — a trader matching service offers by interface type
+//!   and required QoS characteristics;
+//! * [`naming`] — a naming service for reference bootstrap;
+//! * [`catalog`] — the §6 pattern-style catalog documenting QoS
+//!   characteristics for application developers and QoS implementors,
+//!   with reusable-mechanism cross references.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accounting;
+pub mod catalog;
+pub mod contract;
+pub mod monitoring;
+pub mod naming;
+pub mod negotiation;
+pub mod trading;
+
+pub use accounting::{Accountant, Invoice, PriceModel};
+pub use catalog::{standard_catalog, CatalogEntry, Mechanism, QosCatalog};
+pub use contract::{ContractHierarchy, ContractNode, Offer};
+pub use monitoring::{Monitor, Observation, ViolationEvent};
+pub use naming::{bind_name, resolve_name, NamingService, NAMING_KEY};
+pub use negotiation::{Agreement, NegotiationServant, Negotiator, NEGOTIATOR_KEY};
+pub use trading::{ServiceOffer, Trader, TRADER_KEY};

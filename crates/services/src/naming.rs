@@ -1,0 +1,261 @@
+//! A naming service (CORBA Naming analogue).
+//!
+//! The one piece of a deployable "distribution infrastructure that
+//! already offers the interaction of remote objects" (§1) still missing
+//! from the stack: hierarchical name → object-reference resolution, so
+//! clients can bootstrap from a single well-known node instead of
+//! passing IOR strings out of band. Names are `/`-separated paths
+//! (`finance/bank/frankfurt`); contexts are created implicitly on bind.
+
+use orb::{Any, Ior, Orb, OrbError, Servant};
+use netsim::NodeId;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// Conventional object key the naming service is activated under.
+pub const NAMING_KEY: &str = "naming";
+
+/// Repository id of the naming interface.
+pub const NAMING_INTERFACE: &str = "IDL:maqs/Naming:1.0";
+
+/// The naming servant.
+///
+/// Wire operations:
+///
+/// * `bind(path, ior_uri)` → `void` (fails if bound)
+/// * `rebind(path, ior_uri)` → `void` (replaces)
+/// * `resolve(path)` → `string` IOR URI
+/// * `unbind(path)` → `boolean` (was it bound?)
+/// * `list(prefix)` → `sequence<string>` of bound paths under `prefix`
+#[derive(Default)]
+pub struct NamingService {
+    bindings: RwLock<BTreeMap<String, String>>,
+}
+
+fn normalize(path: &str) -> Result<String, OrbError> {
+    let parts: Vec<&str> = path.split('/').filter(|p| !p.is_empty()).collect();
+    if parts.is_empty() {
+        return Err(OrbError::BadParam("empty name".to_string()));
+    }
+    if parts.iter().any(|p| p.contains(char::is_whitespace)) {
+        return Err(OrbError::BadParam(format!("whitespace in name `{path}`")));
+    }
+    Ok(parts.join("/"))
+}
+
+impl NamingService {
+    /// An empty naming service.
+    pub fn new() -> NamingService {
+        NamingService::default()
+    }
+
+    /// Bind `path` to `ior` (local API). Fails if already bound.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::BadParam`] for malformed names or an existing binding.
+    pub fn bind(&self, path: &str, ior: &Ior) -> Result<(), OrbError> {
+        let path = normalize(path)?;
+        let mut bindings = self.bindings.write();
+        if bindings.contains_key(&path) {
+            return Err(OrbError::BadParam(format!("`{path}` is already bound")));
+        }
+        bindings.insert(path, ior.to_uri());
+        Ok(())
+    }
+
+    /// Bind or replace (local API).
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::BadParam`] for malformed names.
+    pub fn rebind(&self, path: &str, ior: &Ior) -> Result<(), OrbError> {
+        let path = normalize(path)?;
+        self.bindings.write().insert(path, ior.to_uri());
+        Ok(())
+    }
+
+    /// Resolve a name (local API).
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::ObjectNotExist`] if unbound.
+    pub fn resolve(&self, path: &str) -> Result<Ior, OrbError> {
+        let path = normalize(path)?;
+        let bindings = self.bindings.read();
+        let uri = bindings
+            .get(&path)
+            .ok_or_else(|| OrbError::ObjectNotExist(format!("name `{path}`")))?;
+        Ior::from_uri(uri)
+    }
+
+    /// Remove a binding; returns whether it existed.
+    pub fn unbind(&self, path: &str) -> bool {
+        match normalize(path) {
+            Ok(path) => self.bindings.write().remove(&path).is_some(),
+            Err(_) => false,
+        }
+    }
+
+    /// All bound paths under `prefix` (empty prefix = everything), sorted.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        let prefix = prefix.trim_matches('/');
+        self.bindings
+            .read()
+            .keys()
+            .filter(|k| {
+                prefix.is_empty()
+                    || k.as_str() == prefix
+                    || k.starts_with(&format!("{prefix}/"))
+            })
+            .cloned()
+            .collect()
+    }
+}
+
+impl Servant for NamingService {
+    fn interface_id(&self) -> &str {
+        NAMING_INTERFACE
+    }
+
+    fn dispatch(&self, op: &str, args: &[Any]) -> Result<Any, OrbError> {
+        let str_arg = |i: usize| {
+            args.get(i)
+                .and_then(Any::as_str)
+                .ok_or_else(|| OrbError::BadParam(format!("{op}: argument {i} must be a string")))
+        };
+        match op {
+            "bind" | "rebind" => {
+                let path = str_arg(0)?;
+                let ior = Ior::from_uri(str_arg(1)?)?;
+                if op == "bind" {
+                    self.bind(path, &ior)?;
+                } else {
+                    self.rebind(path, &ior)?;
+                }
+                Ok(Any::Void)
+            }
+            "resolve" => Ok(Any::Str(self.resolve(str_arg(0)?)?.to_uri())),
+            "unbind" => Ok(Any::Bool(self.unbind(str_arg(0)?))),
+            "list" => Ok(Any::Sequence(
+                self.list(str_arg(0).unwrap_or_default()).into_iter().map(Any::Str).collect(),
+            )),
+            other => Err(OrbError::BadOperation(other.to_string())),
+        }
+    }
+}
+
+/// Client helper: resolve `path` at the naming service on `naming_node`.
+///
+/// # Errors
+///
+/// Propagates remote failures; [`OrbError::ObjectNotExist`] if unbound.
+pub fn resolve_name(orb: &Orb, naming_node: NodeId, path: &str) -> Result<Ior, OrbError> {
+    let naming = Ior::new(NAMING_INTERFACE, naming_node, NAMING_KEY);
+    let reply = orb.invoke(&naming, "resolve", &[Any::from(path)])?;
+    Ior::from_uri(reply.as_str().unwrap_or_default())
+}
+
+/// Client helper: bind `ior` under `path` at the remote naming service.
+///
+/// # Errors
+///
+/// Propagates remote failures.
+pub fn bind_name(orb: &Orb, naming_node: NodeId, path: &str, ior: &Ior) -> Result<(), OrbError> {
+    let naming = Ior::new(NAMING_INTERFACE, naming_node, NAMING_KEY);
+    orb.invoke(&naming, "rebind", &[Any::from(path), Any::Str(ior.to_uri())])?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::Network;
+
+    fn ior(node: u32, key: &str) -> Ior {
+        Ior::new("IDL:X:1.0", NodeId(node), key)
+    }
+
+    #[test]
+    fn bind_resolve_unbind() {
+        let ns = NamingService::new();
+        ns.bind("finance/bank", &ior(1, "b")).unwrap();
+        assert_eq!(ns.resolve("finance/bank").unwrap().node, NodeId(1));
+        // Normalization: leading/trailing/double slashes are equivalent.
+        assert_eq!(ns.resolve("/finance//bank/").unwrap().node, NodeId(1));
+        // bind refuses to replace, rebind replaces.
+        assert!(ns.bind("finance/bank", &ior(2, "b")).is_err());
+        ns.rebind("finance/bank", &ior(2, "b")).unwrap();
+        assert_eq!(ns.resolve("finance/bank").unwrap().node, NodeId(2));
+        assert!(ns.unbind("finance/bank"));
+        assert!(!ns.unbind("finance/bank"));
+        assert!(matches!(ns.resolve("finance/bank"), Err(OrbError::ObjectNotExist(_))));
+    }
+
+    #[test]
+    fn malformed_names_rejected() {
+        let ns = NamingService::new();
+        assert!(ns.bind("", &ior(1, "x")).is_err());
+        assert!(ns.bind("///", &ior(1, "x")).is_err());
+        assert!(ns.bind("a b/c", &ior(1, "x")).is_err());
+    }
+
+    #[test]
+    fn list_filters_by_prefix() {
+        let ns = NamingService::new();
+        ns.bind("a/x", &ior(1, "1")).unwrap();
+        ns.bind("a/y", &ior(2, "2")).unwrap();
+        ns.bind("b/z", &ior(3, "3")).unwrap();
+        ns.bind("ab", &ior(4, "4")).unwrap();
+        assert_eq!(ns.list(""), vec!["a/x", "a/y", "ab", "b/z"]);
+        assert_eq!(ns.list("a"), vec!["a/x", "a/y"]); // not "ab"
+        assert_eq!(ns.list("a/x"), vec!["a/x"]);
+        assert!(ns.list("ghost").is_empty());
+    }
+
+    #[test]
+    fn remote_bootstrap_via_naming() {
+        let net = Network::new(1);
+        let registry = Orb::start(&net, "registry");
+        let server = Orb::start(&net, "server");
+        let client = Orb::start(&net, "client");
+        registry.adapter().activate(NAMING_KEY, std::sync::Arc::new(NamingService::new()));
+
+        struct Hello;
+        impl Servant for Hello {
+            fn interface_id(&self) -> &str {
+                "IDL:Hello:1.0"
+            }
+            fn dispatch(&self, op: &str, _a: &[Any]) -> Result<Any, OrbError> {
+                match op {
+                    "hi" => Ok(Any::Str("hi".into())),
+                    other => Err(OrbError::BadOperation(other.to_string())),
+                }
+            }
+        }
+        let hello = server.activate("hello", Box::new(Hello));
+        bind_name(&server, registry.node(), "apps/hello", &hello).unwrap();
+
+        // The client only knows the registry node.
+        let found = resolve_name(&client, registry.node(), "apps/hello").unwrap();
+        assert_eq!(client.invoke(&found, "hi", &[]).unwrap(), Any::Str("hi".into()));
+        assert!(resolve_name(&client, registry.node(), "apps/ghost").is_err());
+
+        // list over the wire.
+        let naming = Ior::new(NAMING_INTERFACE, registry.node(), NAMING_KEY);
+        let listed = client.invoke(&naming, "list", &[Any::from("apps")]).unwrap();
+        assert_eq!(listed, Any::Sequence(vec![Any::Str("apps/hello".into())]));
+        registry.shutdown();
+        server.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn wire_errors() {
+        let ns = NamingService::new();
+        assert!(ns.dispatch("bind", &[Any::Long(1)]).is_err());
+        assert!(ns.dispatch("bind", &[Any::from("a"), Any::from("junk")]).is_err());
+        assert!(ns.dispatch("resolve", &[]).is_err());
+        assert!(ns.dispatch("steal", &[]).is_err());
+    }
+}

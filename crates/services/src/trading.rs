@@ -1,0 +1,252 @@
+//! Trading: discovering QoS-enabled services.
+//!
+//! The CORBA trading service analogue the paper lists among the
+//! framework's infrastructure services: servers export *offers*
+//! (interface type + supported QoS characteristics + object reference),
+//! clients query by type and required characteristics. Because offers
+//! carry the QoS tags, a client can discover not just *a* service but a
+//! service able to enter the agreement it wants.
+
+use orb::{Any, Ior, Orb, OrbError, Servant};
+use netsim::NodeId;
+use parking_lot::RwLock;
+
+/// Conventional object key the trader is activated under.
+pub const TRADER_KEY: &str = "trader";
+
+/// Repository id of the trader interface.
+pub const TRADER_INTERFACE: &str = "IDL:maqs/Trader:1.0";
+
+/// One exported service offer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceOffer {
+    /// Interface repository id of the offered service.
+    pub type_id: String,
+    /// Reference to the service object.
+    pub ior: Ior,
+    /// QoS characteristics the server supports for this object.
+    pub qos: Vec<String>,
+}
+
+/// The trader servant.
+///
+/// Wire operations:
+///
+/// * `export(ior_uri, qos: sequence<string>)` → offer id
+/// * `withdraw(offer_id)` → `void`
+/// * `query(type_id, required_qos: sequence<string>)` →
+///   `sequence<string>` of IOR URIs whose offers support *all* required
+///   characteristics
+/// * `count()` → number of live offers
+#[derive(Default)]
+pub struct Trader {
+    offers: RwLock<Vec<Option<ServiceOffer>>>,
+}
+
+impl Trader {
+    /// An empty trader.
+    pub fn new() -> Trader {
+        Trader::default()
+    }
+
+    /// Export an offer locally, returning its id.
+    pub fn export(&self, offer: ServiceOffer) -> u64 {
+        let mut offers = self.offers.write();
+        offers.push(Some(offer));
+        (offers.len() - 1) as u64
+    }
+
+    /// Withdraw an offer by id; `true` if it existed.
+    pub fn withdraw(&self, id: u64) -> bool {
+        let mut offers = self.offers.write();
+        match offers.get_mut(id as usize) {
+            Some(slot @ Some(_)) => {
+                *slot = None;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Offers of `type_id` supporting all of `required_qos`.
+    pub fn query(&self, type_id: &str, required_qos: &[String]) -> Vec<ServiceOffer> {
+        self.offers
+            .read()
+            .iter()
+            .flatten()
+            .filter(|o| o.type_id == type_id)
+            .filter(|o| required_qos.iter().all(|q| o.qos.contains(q)))
+            .cloned()
+            .collect()
+    }
+
+    /// Number of live offers.
+    pub fn count(&self) -> usize {
+        self.offers.read().iter().flatten().count()
+    }
+}
+
+impl Servant for Trader {
+    fn interface_id(&self) -> &str {
+        TRADER_INTERFACE
+    }
+
+    fn dispatch(&self, op: &str, args: &[Any]) -> Result<Any, OrbError> {
+        match op {
+            "export" => {
+                let uri = args
+                    .first()
+                    .and_then(Any::as_str)
+                    .ok_or_else(|| OrbError::BadParam("export(ior_uri, qos)".to_string()))?;
+                let ior = Ior::from_uri(uri)?;
+                let qos = match args.get(1) {
+                    Some(Any::Sequence(items)) => items
+                        .iter()
+                        .filter_map(|v| v.as_str().map(str::to_string))
+                        .collect(),
+                    _ => ior.qos_tags.clone(),
+                };
+                let id = self.export(ServiceOffer { type_id: ior.type_id.clone(), ior, qos });
+                Ok(Any::ULongLong(id))
+            }
+            "withdraw" => {
+                let id = args
+                    .first()
+                    .and_then(Any::as_i64)
+                    .ok_or_else(|| OrbError::BadParam("withdraw(offer_id)".to_string()))?;
+                Ok(Any::Bool(self.withdraw(id as u64)))
+            }
+            "query" => {
+                let type_id = args
+                    .first()
+                    .and_then(Any::as_str)
+                    .ok_or_else(|| OrbError::BadParam("query(type_id, qos)".to_string()))?;
+                let required: Vec<String> = match args.get(1) {
+                    Some(Any::Sequence(items)) => items
+                        .iter()
+                        .filter_map(|v| v.as_str().map(str::to_string))
+                        .collect(),
+                    _ => Vec::new(),
+                };
+                Ok(Any::Sequence(
+                    self.query(type_id, &required)
+                        .into_iter()
+                        .map(|o| Any::Str(o.ior.to_uri()))
+                        .collect(),
+                ))
+            }
+            "count" => Ok(Any::ULongLong(self.count() as u64)),
+            other => Err(OrbError::BadOperation(other.to_string())),
+        }
+    }
+}
+
+/// Client helper: query a remote trader and parse the returned IORs.
+///
+/// # Errors
+///
+/// Propagates remote failures and malformed IOR URIs.
+pub fn query_trader(
+    orb: &Orb,
+    trader_node: NodeId,
+    type_id: &str,
+    required_qos: &[&str],
+) -> Result<Vec<Ior>, OrbError> {
+    let trader = Ior::new(TRADER_INTERFACE, trader_node, TRADER_KEY);
+    let required =
+        Any::Sequence(required_qos.iter().map(|q| Any::Str(q.to_string())).collect());
+    let reply = orb.invoke(&trader, "query", &[Any::from(type_id), required])?;
+    reply
+        .as_sequence()
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|v| v.as_str())
+        .map(Ior::from_uri)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::Network;
+
+    fn offer(node: u32, type_id: &str, qos: &[&str]) -> ServiceOffer {
+        let mut ior = Ior::new(type_id, NodeId(node), "svc");
+        for q in qos {
+            ior = ior.with_qos_tag(*q);
+        }
+        ServiceOffer {
+            type_id: type_id.to_string(),
+            ior,
+            qos: qos.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn export_query_withdraw() {
+        let t = Trader::new();
+        let id1 = t.export(offer(1, "IDL:Bank:1.0", &["Replication"]));
+        let _id2 = t.export(offer(2, "IDL:Bank:1.0", &["Replication", "Encryption"]));
+        let _id3 = t.export(offer(3, "IDL:Feed:1.0", &["Actuality"]));
+        assert_eq!(t.count(), 3);
+
+        assert_eq!(t.query("IDL:Bank:1.0", &[]).len(), 2);
+        assert_eq!(t.query("IDL:Bank:1.0", &["Encryption".to_string()]).len(), 1);
+        assert_eq!(
+            t.query("IDL:Bank:1.0", &["Encryption".to_string(), "Replication".to_string()])
+                .len(),
+            1
+        );
+        assert_eq!(t.query("IDL:Bank:1.0", &["Actuality".to_string()]).len(), 0);
+        assert_eq!(t.query("IDL:Ghost:1.0", &[]).len(), 0);
+
+        assert!(t.withdraw(id1));
+        assert!(!t.withdraw(id1));
+        assert!(!t.withdraw(99));
+        assert_eq!(t.query("IDL:Bank:1.0", &[]).len(), 1);
+        assert_eq!(t.count(), 2);
+    }
+
+    #[test]
+    fn wire_interface_end_to_end() {
+        let net = Network::new(1);
+        let host = Orb::start(&net, "trader-host");
+        let server = Orb::start(&net, "bank-host");
+        let client = Orb::start(&net, "client");
+        host.adapter().activate(TRADER_KEY, std::sync::Arc::new(Trader::new()));
+
+        struct Nil;
+        impl Servant for Nil {
+            fn interface_id(&self) -> &str {
+                "IDL:Bank:1.0"
+            }
+            fn dispatch(&self, op: &str, _a: &[Any]) -> Result<Any, OrbError> {
+                Err(OrbError::BadOperation(op.to_string()))
+            }
+        }
+        let bank = server.activate_with_tags("svc", Box::new(Nil), &["Replication"]);
+
+        // Export over the wire, defaulting qos to the IOR tags.
+        let trader_ior = Ior::new(TRADER_INTERFACE, host.node(), TRADER_KEY);
+        client.invoke(&trader_ior, "export", &[Any::Str(bank.to_uri())]).unwrap();
+
+        let found = query_trader(&client, host.node(), "IDL:Bank:1.0", &["Replication"]).unwrap();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].node, server.node());
+        let none = query_trader(&client, host.node(), "IDL:Bank:1.0", &["Encryption"]).unwrap();
+        assert!(none.is_empty());
+        host.shutdown();
+        server.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn wire_errors() {
+        let t = Trader::new();
+        assert!(t.dispatch("export", &[Any::Long(1)]).is_err());
+        assert!(t.dispatch("export", &[Any::from("junk-uri")]).is_err());
+        assert!(t.dispatch("withdraw", &[]).is_err());
+        assert!(t.dispatch("query", &[]).is_err());
+        assert!(t.dispatch("steal", &[]).is_err());
+    }
+}

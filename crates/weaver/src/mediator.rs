@@ -1,0 +1,392 @@
+//! Client-side weaving: stubs with mediator delegation.
+
+use orb::giop::QosContext;
+use orb::{Any, Ior, Orb, OrbError};
+use parking_lot::RwLock;
+use std::fmt;
+use std::sync::Arc;
+
+/// One intercepted invocation travelling down the mediator chain.
+///
+/// Mediators may rewrite any part of it: the load-balancing mediator
+/// replaces `target`, the replication mediator clones it per replica, a
+/// caching mediator may answer without ever reaching the innermost
+/// invoker.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// The invocation target (possibly rewritten along the chain).
+    pub target: Ior,
+    /// Operation name.
+    pub operation: String,
+    /// Arguments.
+    pub args: Vec<Any>,
+    /// Negotiated-QoS annotation to put on the wire, if any.
+    pub qos: Option<QosContext>,
+}
+
+/// Continuation invoking the rest of the chain (ending at the ORB).
+pub type Next<'a> = &'a dyn Fn(Call) -> Result<Any, OrbError>;
+
+/// A client-side QoS mediator (§3.3).
+///
+/// "For each QoS characteristic a mediator is generated": the QIDL
+/// compiler emits a skeleton, the QoS implementor fills it in, and at
+/// runtime the mediator of the *negotiated* characteristic is installed
+/// in the stub as a delegate.
+pub trait Mediator: Send + Sync {
+    /// Name of the QoS characteristic this mediator implements.
+    fn characteristic(&self) -> &str;
+
+    /// Intercept an invocation. Call `next(call)` to continue the chain;
+    /// not calling it short-circuits (e.g. a cache hit).
+    ///
+    /// # Errors
+    ///
+    /// Either the propagated downstream error or a mediator-specific one.
+    fn around(&self, call: Call, next: Next<'_>) -> Result<Any, OrbError>;
+
+    /// Client-side QoS operations (the management part of the QoS
+    /// responsibility that is sensible on the client, e.g. reading
+    /// mediator statistics or re-tuning it).
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::BadOperation`] by default.
+    fn qos_op(&self, op: &str, args: &[Any]) -> Result<Any, OrbError> {
+        let _ = args;
+        Err(OrbError::BadOperation(format!(
+            "{} mediator has no QoS operation `{op}`",
+            self.characteristic()
+        )))
+    }
+}
+
+struct StubState {
+    mediators: Vec<Arc<dyn Mediator>>,
+    qos: Option<QosContext>,
+}
+
+/// A client stub extended with a mediator delegate (the client half of
+/// Fig. 2).
+///
+/// Generated typed stubs wrap one of these; dynamic callers use it
+/// directly. Cloning shares the stub (and its installed mediators).
+#[derive(Clone)]
+pub struct ClientStub {
+    orb: Orb,
+    target: Ior,
+    state: Arc<RwLock<StubState>>,
+}
+
+impl fmt::Debug for ClientStub {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.state.read();
+        f.debug_struct("ClientStub")
+            .field("target", &self.target)
+            .field(
+                "mediators",
+                &st.mediators.iter().map(|m| m.characteristic().to_string()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl ClientStub {
+    /// A stub for `target`, with no mediators installed.
+    pub fn new(orb: Orb, target: Ior) -> ClientStub {
+        ClientStub {
+            orb,
+            target,
+            state: Arc::new(RwLock::new(StubState { mediators: Vec::new(), qos: None })),
+        }
+    }
+
+    /// The stub's target reference.
+    pub fn target(&self) -> &Ior {
+        &self.target
+    }
+
+    /// The ORB this stub invokes through.
+    pub fn orb(&self) -> &Orb {
+        &self.orb
+    }
+
+    /// Install `mediator` as the sole delegate, replacing any others —
+    /// the paper's "exchange the delegate at runtime".
+    pub fn set_mediator(&self, mediator: Arc<dyn Mediator>) {
+        self.state.write().mediators = vec![mediator];
+    }
+
+    /// Push an additional mediator onto the chain (outermost first); used
+    /// to stack characteristics, e.g. compression over encryption.
+    pub fn push_mediator(&self, mediator: Arc<dyn Mediator>) {
+        self.state.write().mediators.push(mediator);
+    }
+
+    /// Remove all mediators (back to a plain CORBA stub).
+    pub fn clear_mediators(&self) {
+        self.state.write().mediators.clear();
+    }
+
+    /// Names of the installed mediators, outermost first.
+    pub fn mediator_chain(&self) -> Vec<String> {
+        self.state.read().mediators.iter().map(|m| m.characteristic().to_string()).collect()
+    }
+
+    /// Set the negotiated-QoS context attached to every subsequent call.
+    pub fn set_qos_context(&self, qos: Option<QosContext>) {
+        self.state.write().qos = qos;
+    }
+
+    /// Apply an established [`crate::QosBinding`]: every subsequent call
+    /// carries its wire context (characteristic + agreed parameters).
+    pub fn apply_binding(&self, binding: &crate::QosBinding) {
+        self.set_qos_context(Some(binding.to_context()));
+    }
+
+    /// Invoke `op(args)` through the mediator chain.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the mediators or the underlying ORB invocation produce.
+    pub fn invoke(&self, op: &str, args: &[Any]) -> Result<Any, OrbError> {
+        let (mediators, qos) = {
+            let st = self.state.read();
+            (st.mediators.clone(), st.qos.clone())
+        };
+        let call = Call {
+            target: self.target.clone(),
+            operation: op.to_string(),
+            args: args.to_vec(),
+            qos,
+        };
+        self.run_chain(&mediators, 0, call)
+    }
+
+    fn run_chain(
+        &self,
+        mediators: &[Arc<dyn Mediator>],
+        index: usize,
+        call: Call,
+    ) -> Result<Any, OrbError> {
+        match mediators.get(index) {
+            None => self.orb.invoke_qos(&call.target, &call.operation, &call.args, call.qos),
+            Some(m) => {
+                let next = |c: Call| self.run_chain(mediators, index + 1, c);
+                m.around(call, &next)
+            }
+        }
+    }
+
+    /// Invoke a QoS operation on the installed mediator of
+    /// `characteristic` (client-side management).
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::QosNotNegotiated`] if no mediator of that
+    /// characteristic is installed; otherwise the mediator's error.
+    pub fn qos_op(&self, characteristic: &str, op: &str, args: &[Any]) -> Result<Any, OrbError> {
+        let mediator = self
+            .state
+            .read()
+            .mediators
+            .iter()
+            .find(|m| m.characteristic() == characteristic)
+            .cloned();
+        match mediator {
+            Some(m) => m.qos_op(op, args),
+            None => Err(OrbError::QosNotNegotiated(format!(
+                "no `{characteristic}` mediator installed"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::Network;
+    use orb::Servant;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct Echo;
+    impl Servant for Echo {
+        fn interface_id(&self) -> &str {
+            "IDL:Echo:1.0"
+        }
+        fn dispatch(&self, op: &str, args: &[Any]) -> Result<Any, OrbError> {
+            match op {
+                "echo" => Ok(args.first().cloned().unwrap_or(Any::Void)),
+                _ => Err(OrbError::BadOperation(op.to_string())),
+            }
+        }
+    }
+
+    fn setup() -> (Orb, Orb, ClientStub) {
+        let net = Network::new(1);
+        let server = Orb::start(&net, "server");
+        let client = Orb::start(&net, "client");
+        let ior = server.activate("echo", Box::new(Echo));
+        let stub = ClientStub::new(client.clone(), ior);
+        (server, client, stub)
+    }
+
+    /// Tags results so chain order is observable.
+    struct Tag(&'static str);
+    impl Mediator for Tag {
+        fn characteristic(&self) -> &str {
+            self.0
+        }
+        fn around(&self, call: Call, next: Next<'_>) -> Result<Any, OrbError> {
+            let r = next(call)?;
+            Ok(Any::Str(format!("{}({})", self.0, r.as_str().unwrap_or("?"))))
+        }
+        fn qos_op(&self, op: &str, _args: &[Any]) -> Result<Any, OrbError> {
+            match op {
+                "name" => Ok(Any::Str(self.0.to_string())),
+                other => Err(OrbError::BadOperation(other.to_string())),
+            }
+        }
+    }
+
+    #[test]
+    fn plain_stub_passes_through() {
+        let (server, client, stub) = setup();
+        assert_eq!(stub.invoke("echo", &[Any::from("x")]).unwrap(), Any::Str("x".into()));
+        server.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn mediator_intercepts_each_call() {
+        let (server, client, stub) = setup();
+        struct Count(AtomicU64);
+        impl Mediator for Count {
+            fn characteristic(&self) -> &str {
+                "count"
+            }
+            fn around(&self, call: Call, next: Next<'_>) -> Result<Any, OrbError> {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                next(call)
+            }
+        }
+        let c = Arc::new(Count(AtomicU64::new(0)));
+        stub.set_mediator(c.clone());
+        for _ in 0..3 {
+            stub.invoke("echo", &[Any::from("x")]).unwrap();
+        }
+        assert_eq!(c.0.load(Ordering::Relaxed), 3);
+        server.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn chain_runs_outermost_first() {
+        let (server, client, stub) = setup();
+        stub.push_mediator(Arc::new(Tag("outer")));
+        stub.push_mediator(Arc::new(Tag("inner")));
+        let r = stub.invoke("echo", &[Any::from("x")]).unwrap();
+        // outer wraps inner's result.
+        assert_eq!(r, Any::Str("outer(inner(x))".into()));
+        assert_eq!(stub.mediator_chain(), vec!["outer", "inner"]);
+        server.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn set_mediator_replaces_and_clear_removes() {
+        let (server, client, stub) = setup();
+        stub.push_mediator(Arc::new(Tag("a")));
+        stub.set_mediator(Arc::new(Tag("b")));
+        assert_eq!(stub.mediator_chain(), vec!["b"]);
+        stub.clear_mediators();
+        assert!(stub.mediator_chain().is_empty());
+        assert_eq!(stub.invoke("echo", &[Any::from("x")]).unwrap(), Any::Str("x".into()));
+        server.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn mediator_can_short_circuit() {
+        let (server, client, stub) = setup();
+        struct Cache;
+        impl Mediator for Cache {
+            fn characteristic(&self) -> &str {
+                "cache"
+            }
+            fn around(&self, _call: Call, _next: Next<'_>) -> Result<Any, OrbError> {
+                Ok(Any::Str("cached".into()))
+            }
+        }
+        stub.set_mediator(Arc::new(Cache));
+        assert_eq!(stub.invoke("echo", &[Any::from("x")]).unwrap(), Any::Str("cached".into()));
+        // Server never saw the request.
+        assert_eq!(server.stats().requests_handled, 0);
+        server.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn qos_op_routed_to_matching_mediator() {
+        let (server, client, stub) = setup();
+        stub.push_mediator(Arc::new(Tag("enc")));
+        assert_eq!(stub.qos_op("enc", "name", &[]).unwrap(), Any::Str("enc".into()));
+        assert!(matches!(
+            stub.qos_op("missing", "name", &[]),
+            Err(OrbError::QosNotNegotiated(_))
+        ));
+        assert!(matches!(stub.qos_op("enc", "bogus", &[]), Err(OrbError::BadOperation(_))));
+        server.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn default_qos_op_is_bad_operation() {
+        struct Plain;
+        impl Mediator for Plain {
+            fn characteristic(&self) -> &str {
+                "plain"
+            }
+            fn around(&self, call: Call, next: Next<'_>) -> Result<Any, OrbError> {
+                next(call)
+            }
+        }
+        assert!(matches!(Plain.qos_op("x", &[]), Err(OrbError::BadOperation(_))));
+    }
+
+    #[test]
+    fn mediator_can_rewrite_target() {
+        let net = Network::new(1);
+        let s1 = Orb::start(&net, "s1");
+        let s2 = Orb::start(&net, "s2");
+        let client = Orb::start(&net, "client");
+        struct Fixed(&'static str);
+        impl Servant for Fixed {
+            fn interface_id(&self) -> &str {
+                "IDL:Fixed:1.0"
+            }
+            fn dispatch(&self, _op: &str, _args: &[Any]) -> Result<Any, OrbError> {
+                Ok(Any::Str(self.0.to_string()))
+            }
+        }
+        let ior1 = s1.activate("f", Box::new(Fixed("one")));
+        let ior2 = s2.activate("f", Box::new(Fixed("two")));
+
+        struct Redirect(Ior);
+        impl Mediator for Redirect {
+            fn characteristic(&self) -> &str {
+                "redirect"
+            }
+            fn around(&self, mut call: Call, next: Next<'_>) -> Result<Any, OrbError> {
+                call.target = self.0.clone();
+                next(call)
+            }
+        }
+        let stub = ClientStub::new(client.clone(), ior1);
+        stub.set_mediator(Arc::new(Redirect(ior2)));
+        assert_eq!(stub.invoke("get", &[]).unwrap(), Any::Str("two".into()));
+        s1.shutdown();
+        s2.shutdown();
+        client.shutdown();
+    }
+}

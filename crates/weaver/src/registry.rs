@@ -1,0 +1,172 @@
+//! The mediator registry: from agreement to installed delegate.
+//!
+//! "For each QoS characteristic a mediator is generated" (§3.3) — and at
+//! runtime, after negotiation, *the mediator of the desired QoS is set
+//! in the stub as a delegate*. The registry holds a factory per
+//! characteristic so that step is automatic: give it a concluded
+//! agreement's characteristic and parameters, get the mediator, install
+//! it.
+
+use crate::mediator::{ClientStub, Mediator};
+use orb::{Any, OrbError};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Builds a mediator from negotiated parameter values.
+pub type MediatorFactory =
+    Arc<dyn Fn(&[(String, Any)]) -> Result<Arc<dyn Mediator>, OrbError> + Send + Sync>;
+
+/// Maps characteristic names to mediator factories.
+#[derive(Clone, Default)]
+pub struct MediatorRegistry {
+    factories: Arc<RwLock<HashMap<String, MediatorFactory>>>,
+}
+
+impl fmt::Debug for MediatorRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MediatorRegistry")
+            .field("characteristics", &self.characteristics())
+            .finish()
+    }
+}
+
+impl MediatorRegistry {
+    /// An empty registry.
+    pub fn new() -> MediatorRegistry {
+        MediatorRegistry::default()
+    }
+
+    /// Register the factory for a characteristic (replacing any previous).
+    pub fn register(&self, characteristic: impl Into<String>, factory: MediatorFactory) {
+        self.factories.write().insert(characteristic.into(), factory);
+    }
+
+    /// Registered characteristic names, sorted.
+    pub fn characteristics(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.factories.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Build the mediator for `characteristic` with negotiated `params`.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::QosViolation`] if no factory is registered; the
+    /// factory's own error otherwise.
+    pub fn build(
+        &self,
+        characteristic: &str,
+        params: &[(String, Any)],
+    ) -> Result<Arc<dyn Mediator>, OrbError> {
+        let factory = self
+            .factories
+            .read()
+            .get(characteristic)
+            .cloned()
+            .ok_or_else(|| {
+                OrbError::QosViolation(format!("no mediator factory for `{characteristic}`"))
+            })?;
+        factory(params)
+    }
+
+    /// Build the mediator and install it as the stub's delegate, also
+    /// attaching the wire context — the complete §3.3 runtime step.
+    ///
+    /// # Errors
+    ///
+    /// As [`MediatorRegistry::build`].
+    pub fn install(
+        &self,
+        stub: &ClientStub,
+        characteristic: &str,
+        params: &[(String, Any)],
+    ) -> Result<Arc<dyn Mediator>, OrbError> {
+        let mediator = self.build(characteristic, params)?;
+        stub.set_mediator(Arc::clone(&mediator));
+        let mut ctx = orb::giop::QosContext::new(characteristic);
+        for (n, v) in params {
+            ctx = ctx.with_param(n.clone(), v.clone());
+        }
+        stub.set_qos_context(Some(ctx));
+        Ok(mediator)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mediator::{Call, Next};
+    use netsim::Network;
+    use orb::{Orb, Servant};
+
+    struct Nop(&'static str);
+    impl Mediator for Nop {
+        fn characteristic(&self) -> &str {
+            self.0
+        }
+        fn around(&self, call: Call, next: Next<'_>) -> Result<Any, OrbError> {
+            next(call)
+        }
+    }
+
+    #[test]
+    fn register_and_build() {
+        let reg = MediatorRegistry::new();
+        reg.register(
+            "Caching",
+            Arc::new(|params: &[(String, Any)]| {
+                // Factories see the negotiated parameters.
+                assert_eq!(params.first().map(|(n, _)| n.as_str()), Some("validity_ms"));
+                Ok(Arc::new(Nop("Caching")) as Arc<dyn Mediator>)
+            }),
+        );
+        assert_eq!(reg.characteristics(), vec!["Caching"]);
+        let m = reg
+            .build("Caching", &[("validity_ms".to_string(), Any::ULongLong(5))])
+            .unwrap();
+        assert_eq!(m.characteristic(), "Caching");
+        assert!(matches!(reg.build("Ghost", &[]), Err(OrbError::QosViolation(_))));
+    }
+
+    #[test]
+    fn install_sets_delegate_and_context() {
+        struct Echo;
+        impl Servant for Echo {
+            fn interface_id(&self) -> &str {
+                "IDL:Echo:1.0"
+            }
+            fn dispatch(&self, op: &str, args: &[Any]) -> Result<Any, OrbError> {
+                match op {
+                    "echo" => Ok(args[0].clone()),
+                    _ => Err(OrbError::BadOperation(op.to_string())),
+                }
+            }
+        }
+        let net = Network::new(1);
+        let server = Orb::start(&net, "server");
+        let client = Orb::start(&net, "client");
+        let ior = server.activate("e", Box::new(Echo));
+        let stub = ClientStub::new(client.clone(), ior);
+
+        let reg = MediatorRegistry::new();
+        reg.register("Nop", Arc::new(|_| Ok(Arc::new(Nop("Nop")) as Arc<dyn Mediator>)));
+        reg.install(&stub, "Nop", &[]).unwrap();
+        assert_eq!(stub.mediator_chain(), vec!["Nop"]);
+        assert_eq!(stub.invoke("echo", &[Any::Long(3)]).unwrap(), Any::Long(3));
+        server.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn factory_errors_propagate() {
+        let reg = MediatorRegistry::new();
+        reg.register(
+            "Fussy",
+            Arc::new(|_| Err(OrbError::BadParam("missing required param".to_string()))),
+        );
+        assert!(matches!(reg.build("Fussy", &[]), Err(OrbError::BadParam(_))));
+    }
+}

@@ -1,0 +1,436 @@
+//! Server-side weaving: the Fig. 2 mapping.
+//!
+//! The paper's server-side QIDL mapping makes the servant inherit from
+//! the server skeleton *and* the skeletons of every assigned QoS
+//! characteristic, with a delegate to the implementation of the actually
+//! negotiated one. In Rust the same shape is composition:
+//! [`WovenServant`] wraps the application servant, consults the interface
+//! repository to classify incoming operations, routes QoS operations to
+//! the *negotiated* [`QosImplementation`] (raising
+//! [`OrbError::QosNotNegotiated`] for assigned-but-inactive ones), and
+//! brackets application operations with the active implementation's
+//! prolog and epilog.
+
+use orb::{Any, OrbError, Servant};
+use parking_lot::RwLock;
+use qidl::repo::{InterfaceRepository, OpOrigin};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A server-side QoS implementation (the "QoS-Impl." box of Fig. 2).
+///
+/// One exists per QoS characteristic a server supports; the QIDL
+/// compiler generates its skeleton, the QoS implementor fills it in.
+pub trait QosImplementation: Send + Sync {
+    /// Name of the implemented QoS characteristic.
+    fn characteristic(&self) -> &str;
+
+    /// Called by the woven skeleton *before* each application request.
+    ///
+    /// # Errors
+    ///
+    /// Returning an error vetoes the request (e.g. admission control).
+    fn prolog(&self, op: &str, args: &[Any]) -> Result<(), OrbError> {
+        let (_, _) = (op, args);
+        Ok(())
+    }
+
+    /// Called *after* each application request, before the reply leaves.
+    /// May observe or rewrite the result (e.g. stamp freshness metadata).
+    fn epilog(&self, op: &str, args: &[Any], result: &mut Result<Any, OrbError>) {
+        let (_, _, _) = (op, args, result);
+    }
+
+    /// Handle a QoS operation of this characteristic. `server` is the
+    /// cross-cut interface toward the application object (§3.2 "QoS
+    /// aspect integration"), e.g. for `_get_state`/`_set_state`.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::BadOperation`] for unknown operations.
+    fn qos_op(&self, op: &str, args: &[Any], server: &dyn Servant) -> Result<Any, OrbError>;
+}
+
+struct WovenState {
+    active: Option<Arc<dyn QosImplementation>>,
+    installed: HashMap<String, Arc<dyn QosImplementation>>,
+}
+
+/// The woven server skeleton of Fig. 2.
+///
+/// Implements [`Servant`], so it is activated in the object adapter in
+/// place of the application servant it wraps.
+pub struct WovenServant {
+    inner: Arc<dyn Servant>,
+    repo: Arc<InterfaceRepository>,
+    interface: String,
+    state: RwLock<WovenState>,
+}
+
+impl fmt::Debug for WovenServant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.state.read();
+        f.debug_struct("WovenServant")
+            .field("interface", &self.interface)
+            .field("active", &st.active.as_ref().map(|a| a.characteristic().to_string()))
+            .field("installed", &st.installed.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl WovenServant {
+    /// Weave `inner` (implementing QIDL interface `interface`, which must
+    /// exist in `repo`) with no QoS implementation active yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interface` is not loaded in `repo` — weaving an
+    /// undeclared interface is a programming error, not a runtime
+    /// condition.
+    pub fn new(
+        inner: Arc<dyn Servant>,
+        repo: Arc<InterfaceRepository>,
+        interface: &str,
+    ) -> WovenServant {
+        assert!(
+            repo.interface(interface).is_some(),
+            "interface `{interface}` not in repository"
+        );
+        WovenServant {
+            inner,
+            repo,
+            interface: interface.to_string(),
+            state: RwLock::new(WovenState { active: None, installed: HashMap::new() }),
+        }
+    }
+
+    /// The QIDL interface name this skeleton serves.
+    pub fn interface(&self) -> &str {
+        &self.interface
+    }
+
+    /// The wrapped application servant.
+    pub fn inner(&self) -> &Arc<dyn Servant> {
+        &self.inner
+    }
+
+    /// Install a QoS implementation, making it selectable by
+    /// [`WovenServant::negotiate`].
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::QosViolation`] if the characteristic is not assigned
+    /// to the interface in QIDL — runtime weaving cannot widen the
+    /// statically declared assignment.
+    pub fn install_qos(&self, qos_impl: Arc<dyn QosImplementation>) -> Result<(), OrbError> {
+        let name = qos_impl.characteristic().to_string();
+        let assigned = self
+            .repo
+            .interface(&self.interface)
+            .is_some_and(|i| i.qos.iter().any(|q| q == &name));
+        if !assigned {
+            return Err(OrbError::QosViolation(format!(
+                "characteristic `{name}` is not assigned to interface `{}`",
+                self.interface
+            )));
+        }
+        self.state.write().installed.insert(name, qos_impl);
+        Ok(())
+    }
+
+    /// Exchange the active delegate for the implementation of
+    /// `characteristic` — the outcome of a successful negotiation.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::QosViolation`] if no such implementation is installed.
+    pub fn negotiate(&self, characteristic: &str) -> Result<(), OrbError> {
+        let mut st = self.state.write();
+        match st.installed.get(characteristic) {
+            Some(qi) => {
+                st.active = Some(Arc::clone(qi));
+                Ok(())
+            }
+            None => Err(OrbError::QosViolation(format!(
+                "no installed implementation for `{characteristic}` on `{}`",
+                self.interface
+            ))),
+        }
+    }
+
+    /// Drop back to QoS-less operation.
+    pub fn release(&self) {
+        self.state.write().active = None;
+    }
+
+    /// The currently negotiated characteristic, if any.
+    pub fn active_characteristic(&self) -> Option<String> {
+        self.state.read().active.as_ref().map(|a| a.characteristic().to_string())
+    }
+
+    /// Names of installed (selectable) QoS implementations, sorted.
+    pub fn installed_characteristics(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.state.read().installed.keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+impl Servant for WovenServant {
+    fn interface_id(&self) -> &str {
+        self.inner.interface_id()
+    }
+
+    fn dispatch(&self, op: &str, args: &[Any]) -> Result<Any, OrbError> {
+        match self.repo.lookup_woven(&self.interface, op) {
+            None => Err(OrbError::BadOperation(format!(
+                "`{op}` is neither an application nor an assigned QoS operation of `{}`",
+                self.interface
+            ))),
+            Some((OpOrigin::Application, _)) => {
+                let active = self.state.read().active.clone();
+                match active {
+                    None => self.inner.dispatch(op, args),
+                    Some(qi) => {
+                        qi.prolog(op, args)?;
+                        let mut result = self.inner.dispatch(op, args);
+                        qi.epilog(op, args, &mut result);
+                        result
+                    }
+                }
+            }
+            Some((OpOrigin::Qos(characteristic), _)) => {
+                let active = self.state.read().active.clone();
+                match active {
+                    Some(qi) if qi.characteristic() == characteristic => {
+                        qi.qos_op(op, args, self.inner.as_ref())
+                    }
+                    _ => Err(OrbError::QosNotNegotiated(format!(
+                        "operation `{op}` belongs to `{characteristic}`, which is not the \
+                         negotiated characteristic"
+                    ))),
+                }
+            }
+        }
+    }
+
+    fn get_state(&self) -> Result<Any, OrbError> {
+        self.inner.get_state()
+    }
+
+    fn set_state(&self, state: &Any) -> Result<(), OrbError> {
+        self.inner.set_state(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+
+    const SPEC: &str = r#"
+        qos Replication category fault_tolerance {
+            management { void start(); boolean is_running(); };
+            integration { any export_state(); };
+        };
+        qos Encryption category privacy {
+            management { void rekey(in unsigned long long seed); };
+        };
+        interface Counter with qos Replication, Encryption {
+            long add(in long n);
+        };
+    "#;
+
+    fn repo() -> Arc<InterfaceRepository> {
+        let mut r = InterfaceRepository::new();
+        r.load(&qidl::compile(SPEC).unwrap()).unwrap();
+        Arc::new(r)
+    }
+
+    struct CounterImpl(Mutex<i32>);
+    impl Servant for CounterImpl {
+        fn interface_id(&self) -> &str {
+            "IDL:Counter:1.0"
+        }
+        fn dispatch(&self, op: &str, args: &[Any]) -> Result<Any, OrbError> {
+            match op {
+                "add" => {
+                    let n = args.first().and_then(Any::as_long).unwrap_or(0);
+                    let mut v = self.0.lock();
+                    *v += n;
+                    Ok(Any::Long(*v))
+                }
+                _ => Err(OrbError::BadOperation(op.to_string())),
+            }
+        }
+        fn get_state(&self) -> Result<Any, OrbError> {
+            Ok(Any::Long(*self.0.lock()))
+        }
+    }
+
+    #[derive(Default)]
+    struct ReplImpl {
+        running: Mutex<bool>,
+        prologs: Mutex<u32>,
+        epilogs: Mutex<u32>,
+    }
+    impl QosImplementation for ReplImpl {
+        fn characteristic(&self) -> &str {
+            "Replication"
+        }
+        fn prolog(&self, _op: &str, _args: &[Any]) -> Result<(), OrbError> {
+            *self.prologs.lock() += 1;
+            Ok(())
+        }
+        fn epilog(&self, _op: &str, _args: &[Any], _result: &mut Result<Any, OrbError>) {
+            *self.epilogs.lock() += 1;
+        }
+        fn qos_op(&self, op: &str, _args: &[Any], server: &dyn Servant) -> Result<Any, OrbError> {
+            match op {
+                "start" => {
+                    *self.running.lock() = true;
+                    Ok(Any::Void)
+                }
+                "is_running" => Ok(Any::Bool(*self.running.lock())),
+                "export_state" => server.get_state(),
+                other => Err(OrbError::BadOperation(other.to_string())),
+            }
+        }
+    }
+
+    struct EncImpl;
+    impl QosImplementation for EncImpl {
+        fn characteristic(&self) -> &str {
+            "Encryption"
+        }
+        fn qos_op(&self, op: &str, _args: &[Any], _server: &dyn Servant) -> Result<Any, OrbError> {
+            match op {
+                "rekey" => Ok(Any::Void),
+                other => Err(OrbError::BadOperation(other.to_string())),
+            }
+        }
+    }
+
+    fn woven() -> WovenServant {
+        WovenServant::new(Arc::new(CounterImpl(Mutex::new(0))), repo(), "Counter")
+    }
+
+    #[test]
+    fn application_ops_work_without_negotiation() {
+        let w = woven();
+        assert_eq!(w.dispatch("add", &[Any::Long(2)]).unwrap(), Any::Long(2));
+        assert_eq!(w.active_characteristic(), None);
+    }
+
+    #[test]
+    fn unknown_ops_are_rejected() {
+        let w = woven();
+        assert!(matches!(w.dispatch("frob", &[]), Err(OrbError::BadOperation(_))));
+    }
+
+    #[test]
+    fn qos_ops_require_negotiation() {
+        let w = woven();
+        // Assigned but not negotiated: the Fig. 2 exception.
+        assert!(matches!(w.dispatch("start", &[]), Err(OrbError::QosNotNegotiated(_))));
+        let repl = Arc::new(ReplImpl::default());
+        w.install_qos(repl).unwrap();
+        w.negotiate("Replication").unwrap();
+        assert_eq!(w.dispatch("start", &[]).unwrap(), Any::Void);
+        assert_eq!(w.dispatch("is_running", &[]).unwrap(), Any::Bool(true));
+        // Encryption is assigned but not the active characteristic.
+        assert!(matches!(
+            w.dispatch("rekey", &[Any::ULongLong(1)]),
+            Err(OrbError::QosNotNegotiated(_))
+        ));
+    }
+
+    #[test]
+    fn prolog_epilog_bracket_application_requests() {
+        let w = woven();
+        let repl = Arc::new(ReplImpl::default());
+        w.install_qos(repl.clone()).unwrap();
+        w.negotiate("Replication").unwrap();
+        w.dispatch("add", &[Any::Long(1)]).unwrap();
+        w.dispatch("add", &[Any::Long(1)]).unwrap();
+        assert_eq!(*repl.prologs.lock(), 2);
+        assert_eq!(*repl.epilogs.lock(), 2);
+        // QoS ops are not bracketed.
+        w.dispatch("start", &[]).unwrap();
+        assert_eq!(*repl.prologs.lock(), 2);
+    }
+
+    #[test]
+    fn delegate_exchange_at_runtime() {
+        let w = woven();
+        w.install_qos(Arc::new(ReplImpl::default())).unwrap();
+        w.install_qos(Arc::new(EncImpl)).unwrap();
+        assert_eq!(w.installed_characteristics(), vec!["Encryption", "Replication"]);
+        w.negotiate("Replication").unwrap();
+        assert_eq!(w.active_characteristic().as_deref(), Some("Replication"));
+        w.negotiate("Encryption").unwrap();
+        assert_eq!(w.active_characteristic().as_deref(), Some("Encryption"));
+        assert_eq!(w.dispatch("rekey", &[Any::ULongLong(4)]).unwrap(), Any::Void);
+        assert!(matches!(w.dispatch("start", &[]), Err(OrbError::QosNotNegotiated(_))));
+        w.release();
+        assert_eq!(w.active_characteristic(), None);
+    }
+
+    #[test]
+    fn negotiate_unknown_fails() {
+        let w = woven();
+        assert!(matches!(w.negotiate("Replication"), Err(OrbError::QosViolation(_))));
+    }
+
+    #[test]
+    fn install_unassigned_characteristic_fails() {
+        struct Rogue;
+        impl QosImplementation for Rogue {
+            fn characteristic(&self) -> &str {
+                "Compression"
+            }
+            fn qos_op(&self, op: &str, _a: &[Any], _s: &dyn Servant) -> Result<Any, OrbError> {
+                Err(OrbError::BadOperation(op.to_string()))
+            }
+        }
+        let w = woven();
+        assert!(matches!(w.install_qos(Arc::new(Rogue)), Err(OrbError::QosViolation(_))));
+    }
+
+    #[test]
+    fn integration_ops_reach_the_application_object() {
+        let w = woven();
+        w.install_qos(Arc::new(ReplImpl::default())).unwrap();
+        w.negotiate("Replication").unwrap();
+        w.dispatch("add", &[Any::Long(5)]).unwrap();
+        // export_state goes through the QoS impl to the servant's state hook.
+        assert_eq!(w.dispatch("export_state", &[]).unwrap(), Any::Long(5));
+    }
+
+    #[test]
+    fn prolog_veto_blocks_request() {
+        struct Veto;
+        impl QosImplementation for Veto {
+            fn characteristic(&self) -> &str {
+                "Encryption"
+            }
+            fn prolog(&self, _op: &str, _args: &[Any]) -> Result<(), OrbError> {
+                Err(OrbError::NoPermission("sealed".to_string()))
+            }
+            fn qos_op(&self, op: &str, _a: &[Any], _s: &dyn Servant) -> Result<Any, OrbError> {
+                Err(OrbError::BadOperation(op.to_string()))
+            }
+        }
+        let w = woven();
+        w.install_qos(Arc::new(Veto)).unwrap();
+        w.negotiate("Encryption").unwrap();
+        assert!(matches!(w.dispatch("add", &[Any::Long(1)]), Err(OrbError::NoPermission(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in repository")]
+    fn weaving_unknown_interface_panics() {
+        WovenServant::new(Arc::new(CounterImpl(Mutex::new(0))), repo(), "Ghost");
+    }
+}

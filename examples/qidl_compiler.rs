@@ -1,0 +1,68 @@
+//! The QIDL compiler as a command-line tool (the §3.3 aspect weaver).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --example qidl_compiler                 # compile the demo spec
+//! cargo run --example qidl_compiler -- file.qidl    # compile a file
+//! cargo run --example qidl_compiler -- --check file.qidl   # front-end only
+//! ```
+//!
+//! Prints the woven Rust module (application traits, servant skeletons
+//! with typed dispatch, client stubs with mediator delegation, QoS
+//! parameter structs) to stdout.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check_only = args.iter().any(|a| a == "--check");
+    let file = args.iter().find(|a| !a.starts_with("--"));
+
+    let (name, source) = match file {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(src) => (path.clone(), src),
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => ("<demo: crates/maqs/src/demo/ticker.qidl>".to_string(),
+                 maqs::demo::TICKER_QIDL.to_string()),
+    };
+
+    let spec = match qidl::compile(&source) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("{name}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "// {name}: {} interface(s), {} qos characteristic(s), {} struct(s)",
+        spec.interfaces().count(),
+        spec.qos_characteristics().count(),
+        spec.structs().count()
+    );
+    for iface in spec.interfaces() {
+        eprintln!(
+            "//   interface {} ({} ops{})",
+            iface.name,
+            iface.operations.len(),
+            if iface.qos.is_empty() {
+                String::new()
+            } else {
+                format!(", qos: {}", iface.qos.join(", "))
+            }
+        );
+    }
+
+    if check_only {
+        eprintln!("// ok (checked only)");
+        return ExitCode::SUCCESS;
+    }
+
+    print!("{}", qidl::codegen::generate(&spec));
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,32 @@
+//! Print the QoS characteristic catalog (§6 of the paper).
+//!
+//! "We think, that a catalog similar to those for design patterns is an
+//! appropriate way to document QoS implementations" — this renders the
+//! catalog of the five implemented characteristics, then answers the
+//! reuse question the paper poses (which characteristics share which
+//! mechanisms).
+//!
+//! Run with: `cargo run --example qos_catalog`
+
+use services::catalog::{standard_catalog, Mechanism};
+
+fn main() {
+    let catalog = standard_catalog();
+    println!("{}", catalog.to_markdown());
+
+    println!("\n---\nmechanism reuse (the paper's closing observation):\n");
+    for name in catalog.names() {
+        let sharing = catalog.sharing_mechanisms(name);
+        if sharing.is_empty() {
+            continue;
+        }
+        for (other, mechanisms) in sharing {
+            let list: Vec<&str> = mechanisms.iter().map(|m| m.name.as_str()).collect();
+            println!("  {name} shares [{}] with {other}", list.join(", "));
+        }
+    }
+    println!(
+        "\n  users of the transport stream-transform mechanism: {:?}",
+        catalog.users_of(&Mechanism::new("stream transform", "transport"))
+    );
+}

@@ -1,0 +1,162 @@
+//! Bounded-staleness stock quotes with monitoring and renegotiation.
+//!
+//! The Actuality characteristic end to end: a ticker servant is woven
+//! with a freshness-stamping QoS implementation; the client negotiates a
+//! validity interval, installs the caching mediator, and a QoS monitor
+//! watches observed staleness. When the monitor reports violations, the
+//! client renegotiates a longer validity interval — the paper's
+//! "renegotiations if the resource availability … decreases".
+//!
+//! Run with: `cargo run --example stock_ticker`
+
+use maqs::prelude::*;
+use parking_lot::Mutex;
+use qosmech::actuality::{stamp_of, ActualityMediator, FreshnessStampQosImpl};
+use services::monitoring::{Bound, Monitor, Statistic};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Ticker {
+    prices: Mutex<HashMap<String, f64>>,
+}
+
+impl Servant for Ticker {
+    fn interface_id(&self) -> &str {
+        "IDL:Ticker:1.0"
+    }
+    fn dispatch(&self, op: &str, args: &[Any]) -> Result<Any, OrbError> {
+        match op {
+            "quote" => {
+                let symbol = args[0].as_str().unwrap_or("").to_string();
+                let price = *self.prices.lock().entry(symbol.clone()).or_insert(100.0);
+                Ok(Any::Struct(
+                    "Quote".to_string(),
+                    vec![
+                        ("symbol".to_string(), Any::Str(symbol)),
+                        ("price".to_string(), Any::Double(price)),
+                    ],
+                ))
+            }
+            "tick" => {
+                let symbol = args[0].as_str().unwrap_or("").to_string();
+                let delta = args[1].as_double().unwrap_or(0.0);
+                let mut prices = self.prices.lock();
+                let p = prices.entry(symbol).or_insert(100.0);
+                *p += delta;
+                Ok(Any::Double(*p))
+            }
+            _ => Err(OrbError::BadOperation(op.to_string())),
+        }
+    }
+}
+
+const SPEC: &str = r#"
+    interface Ticker with qos Actuality {
+        any quote(in string symbol);
+        double tick(in string symbol, in double delta);
+    };
+"#;
+
+fn main() {
+    let net = Network::new(11);
+    println!("== stock ticker: actuality + monitoring + renegotiation ==\n");
+
+    let server = MaqsNode::builder(&net, "exchange").spec(SPEC).build().unwrap();
+    let client = MaqsNode::builder(&net, "trader").build().unwrap();
+
+    let stamper = Arc::new(FreshnessStampQosImpl::new());
+    let ior = server
+        .serve_woven_with(
+            "ticker",
+            Arc::new(Ticker { prices: Mutex::new(HashMap::new()) }),
+            "Ticker",
+            vec![stamper.clone()],
+            HashMap::new(),
+        )
+        .unwrap();
+
+    // Negotiate Actuality with a tight validity interval.
+    let negotiator = client.negotiator();
+    let agreement = negotiator
+        .negotiate_offer(
+            server.orb().node(),
+            "ticker",
+            &Offer::new("Actuality", 3.0).with_param("validity_ms", Any::ULongLong(40)),
+        )
+        .unwrap();
+    println!(
+        "agreement v{}: Actuality validity_ms={}",
+        agreement.version,
+        agreement.params[0].1
+    );
+
+    // Client-side mediator enforcing the agreed bound.
+    let stub = client.stub(&ior);
+    let mediator =
+        Arc::new(ActualityMediator::new(Duration::from_millis(40), vec!["quote".to_string()]));
+    stub.set_mediator(mediator.clone());
+
+    // Monitor observed staleness against the agreement.
+    let monitor = Arc::new(Monitor::new(16));
+    monitor.add_rule("ticker", "staleness_ms", Statistic::Mean, Bound::Max, 40.0);
+    monitor.on_violation(Arc::new(|event| {
+        println!("  !! violation: {event}");
+    }));
+
+    // Trading loop: read quotes; the market ticks underneath.
+    println!("\nphase 1: validity 40ms, market ticking every ~25ms");
+    for round in 0..8 {
+        let reply = stub.invoke("quote", &[Any::from("ACME")]).unwrap();
+        let produced = stamp_of(&reply).unwrap_or(0);
+        let staleness_ms = (stamper.now_us().saturating_sub(produced)) as f64 / 1000.0;
+        monitor.record("ticker", "staleness_ms", staleness_ms);
+        println!(
+            "  round {round}: price={:.2} staleness={staleness_ms:.1}ms (cache hit ratio {:.2})",
+            reply.field("price").and_then(Any::as_double).unwrap_or(0.0),
+            mediator.hit_ratio()
+        );
+        server.orb().invoke(&ior, "tick", &[Any::from("ACME"), Any::Double(0.5)]).unwrap();
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    println!(
+        "phase 1 staleness: mean={:.1}ms p95={:.1}ms violations={}",
+        monitor.mean("ticker", "staleness_ms").unwrap_or(0.0),
+        monitor.p95("ticker", "staleness_ms").unwrap_or(0.0),
+        monitor.violations("ticker", "staleness_ms"),
+    );
+
+    // Adaptation: loosen the agreement and the mediator accordingly.
+    let relaxed = negotiator
+        .renegotiate(
+            server.orb().node(),
+            &agreement,
+            vec![("validity_ms".to_string(), Any::ULongLong(200))],
+        )
+        .unwrap();
+    mediator.set_validity(Duration::from_millis(200));
+    mediator.invalidate();
+    println!(
+        "\nrenegotiated to v{}: validity_ms={} (fewer fetches, more staleness allowed)",
+        relaxed.version, relaxed.params[0].1
+    );
+
+    println!("\nphase 2: validity 200ms");
+    for round in 0..8 {
+        let reply = stub.invoke("quote", &[Any::from("ACME")]).unwrap();
+        println!(
+            "  round {round}: price={:.2} (cache hit ratio {:.2})",
+            reply.field("price").and_then(Any::as_double).unwrap_or(0.0),
+            mediator.hit_ratio()
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    println!(
+        "\nserver handled {} requests for 16 client reads — the cache absorbed the rest",
+        server.orb().stats().requests_handled
+    );
+
+    server.shutdown();
+    client.shutdown();
+    println!("\nok.");
+}

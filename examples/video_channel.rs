@@ -1,0 +1,152 @@
+//! A low-bandwidth "video metadata" channel with stacked transport QoS.
+//!
+//! The paper's compression characteristic exists for "channels with
+//! small bandwidth"; privacy adds encryption. This example pushes frame
+//! metadata over a 64 kbit/s narrowband link three ways — plain,
+//! compressed, and compressed+encrypted — and compares the modelled
+//! (virtual-time) transfer cost, including the QoS-to-QoS key exchange
+//! through module commands (Fig. 3's command dispatch).
+//!
+//! Run with: `cargo run --example video_channel`
+
+use maqs::prelude::*;
+use orb::dii::DynamicCommand;
+use orb::giop::QosContext;
+use orb::transport::BindingKey;
+use qosmech::compress::{CompressionModule, COMPRESSION_MODULE};
+use qosmech::crypt::{keyex, EncryptionModule, ENCRYPTION_MODULE};
+use std::sync::Arc;
+
+/// A sink that stores frame metadata blobs.
+struct FrameSink;
+
+impl Servant for FrameSink {
+    fn interface_id(&self) -> &str {
+        "IDL:FrameSink:1.0"
+    }
+    fn dispatch(&self, op: &str, args: &[Any]) -> Result<Any, OrbError> {
+        match op {
+            "push" => {
+                let bytes = args[0].as_bytes().map(<[u8]>::len).unwrap_or(0);
+                Ok(Any::ULongLong(bytes as u64))
+            }
+            _ => Err(OrbError::BadOperation(op.to_string())),
+        }
+    }
+}
+
+/// Synthetic frame metadata: structured, repetitive — compressible.
+fn frame_payload(frame_no: u32) -> Vec<u8> {
+    let mut s = String::new();
+    for block in 0..64 {
+        s.push_str(&format!(
+            "frame={frame_no};block={block};codec=sim264;flags=keyframe=0,inter=1;qp=28;"
+        ));
+    }
+    s.into_bytes()
+}
+
+fn main() {
+    let net = Network::new(3);
+    println!("== video channel: compression + encryption over 64 kbit/s ==\n");
+
+    let server = Orb::start(&net, "sink-host");
+    let client = Orb::start(&net, "uplink");
+    // The paper's "small bandwidth channel".
+    net.set_link(client.node(), server.node(), LinkModel::narrowband(64));
+
+    let ior = server.activate_with_tags(
+        "sink",
+        Box::new(FrameSink),
+        &["Compression", "Encryption"],
+    );
+
+    let frames = 5u32;
+
+    // --- 1. plain ---------------------------------------------------------
+    let start = client.net_handle().now();
+    for f in 0..frames {
+        client.invoke(&ior, "push", &[Any::Bytes(frame_payload(f))]).unwrap();
+    }
+    let plain_vt = client.net_handle().now() - start;
+    let plain_bytes = net.stats().link(client.node(), server.node()).bytes_delivered;
+    println!("plain      : {frames} frames in {plain_vt} (virtual), {plain_bytes} bytes on wire");
+
+    // --- 2. compressed ----------------------------------------------------
+    let cmod_tx = Arc::new(CompressionModule::new());
+    client.qos_transport().install(cmod_tx.clone());
+    server.qos_transport().install(Arc::new(CompressionModule::new()));
+    client
+        .qos_transport()
+        .bind(BindingKey { peer: None, key: ior.key.clone() }, COMPRESSION_MODULE)
+        .unwrap();
+    let start = client.net_handle().now();
+    for f in 0..frames {
+        client
+            .invoke_qos(
+                &ior,
+                "push",
+                &[Any::Bytes(frame_payload(f))],
+                Some(QosContext::new("Compression")),
+            )
+            .unwrap();
+    }
+    let comp_vt = client.net_handle().now() - start;
+    println!(
+        "compressed : {frames} frames in {comp_vt} (virtual), ratio {:.2} ({} -> {} bytes)",
+        cmod_tx.ratio(),
+        cmod_tx.bytes_in(),
+        cmod_tx.bytes_out()
+    );
+
+    // --- 3. compressed + encrypted ----------------------------------------
+    // QoS-to-QoS key agreement through the modules' dynamic interfaces.
+    let client_secret = 0xC0FFEE_u64;
+    let server_secret = 0xB0BA_u64;
+    let shared = keyex::shared(client_secret, keyex::public(server_secret));
+    client.qos_transport().install(Arc::new(EncryptionModule::new(shared)));
+    server.qos_transport().install(Arc::new(EncryptionModule::new(0)));
+    // Tell the server-side module the agreed key via a module command
+    // (the dual-use request of Fig. 3).
+    DynamicCommand::to_module(server.node(), ENCRYPTION_MODULE, "rekey")
+        .arg(Any::ULongLong(keyex::shared(server_secret, keyex::public(client_secret))))
+        .invoke(&client)
+        .unwrap();
+    assert_eq!(
+        keyex::shared(server_secret, keyex::public(client_secret)),
+        shared,
+        "DH halves agree"
+    );
+
+    // Stack: compress first, then encrypt — rebind to encryption and let
+    // the encryption module wrap the already-bound compression? Modules
+    // bind one per relationship, so we stack by composing manually:
+    // compress the payload at the application layer mediator-style, and
+    // encrypt on the transport. (Stacking demo.)
+    client
+        .qos_transport()
+        .bind(BindingKey { peer: None, key: ior.key.clone() }, ENCRYPTION_MODULE)
+        .unwrap();
+    let start = client.net_handle().now();
+    for f in 0..frames {
+        let compressed = qosmech::compress::codec::compress(&frame_payload(f));
+        client
+            .invoke_qos(
+                &ior,
+                "push",
+                &[Any::Bytes(compressed)],
+                Some(QosContext::new("Encryption")),
+            )
+            .unwrap();
+    }
+    let enc_vt = client.net_handle().now() - start;
+    println!("comp+crypt : {frames} frames in {enc_vt} (virtual), key id agreed via module command");
+
+    println!("\nspeedup vs plain: compressed {:.1}x, comp+crypt {:.1}x",
+        plain_vt.as_secs_f64() / comp_vt.as_secs_f64().max(1e-9),
+        plain_vt.as_secs_f64() / enc_vt.as_secs_f64().max(1e-9));
+
+    server.shutdown();
+    client.shutdown();
+    println!("\nok.");
+}

@@ -1,0 +1,264 @@
+//! Integration: the fault-tolerance characteristic under injected faults.
+//!
+//! Crashes, partitions and message loss from `netsim` against the
+//! replication mediator and group-communication substrate (experiment
+//! E4's correctness side).
+
+use groupcomm::{FailureDetector, GroupService, MulticastModule};
+use maqs::prelude::*;
+use netsim::Partition;
+use parking_lot::Mutex;
+use qosmech::replication::{
+    deploy_replicas, majority_vote, ReplicationMediator, ReplicationStrategy,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Register(Mutex<i64>);
+impl Register {
+    fn boxed(v: i64) -> Box<dyn Servant> {
+        Box::new(Register(Mutex::new(v)))
+    }
+}
+impl Servant for Register {
+    fn interface_id(&self) -> &str {
+        "IDL:Register:1.0"
+    }
+    fn dispatch(&self, op: &str, args: &[Any]) -> Result<Any, OrbError> {
+        match op {
+            "get" => Ok(Any::LongLong(*self.0.lock())),
+            "set" => {
+                *self.0.lock() = args[0].as_i64().unwrap_or(0);
+                Ok(Any::Void)
+            }
+            _ => Err(OrbError::BadOperation(op.to_string())),
+        }
+    }
+    fn get_state(&self) -> Result<Any, OrbError> {
+        Ok(Any::LongLong(*self.0.lock()))
+    }
+    fn set_state(&self, state: &Any) -> Result<(), OrbError> {
+        *self.0.lock() = state.as_i64().unwrap_or(0);
+        Ok(())
+    }
+}
+
+fn fast_client(net: &Network) -> Orb {
+    Orb::start_with(
+        net,
+        "client",
+        orb::OrbConfig { request_timeout: Duration::from_millis(400), ..Default::default() },
+    )
+}
+
+#[test]
+fn failover_survives_sequential_crashes_until_last_replica() {
+    let net = Network::new(21);
+    let (orbs, iors) = deploy_replicas(&net, 4, "reg", |_| Register::boxed(7));
+    let client = fast_client(&net);
+    let mediator = Arc::new(ReplicationMediator::new(
+        client.clone(),
+        iors.clone(),
+        ReplicationStrategy::Failover,
+    ));
+    let stub = ClientStub::new(client.clone(), iors[0].clone());
+    stub.set_mediator(mediator.clone());
+
+    for killed in 0..orbs.len() {
+        assert_eq!(
+            stub.invoke("get", &[]).unwrap(),
+            Any::LongLong(7),
+            "after {killed} crashes"
+        );
+        net.crash(orbs[killed].node());
+    }
+    // All dead: now it must fail.
+    assert!(stub.invoke("get", &[]).is_err());
+    for o in &orbs {
+        o.shutdown();
+    }
+    client.shutdown();
+}
+
+#[test]
+fn partition_isolates_then_heals() {
+    let net = Network::new(22);
+    let (orbs, iors) = deploy_replicas(&net, 2, "reg", |_| Register::boxed(1));
+    let client = fast_client(&net);
+    let mediator = Arc::new(ReplicationMediator::new(
+        client.clone(),
+        iors.clone(),
+        ReplicationStrategy::Failover,
+    ));
+    let stub = ClientStub::new(client.clone(), iors[0].clone());
+    stub.set_mediator(mediator.clone());
+
+    // Put the client alone in a partition: nothing reachable.
+    net.partition(Partition::new([
+        vec![client.node()],
+        vec![orbs[0].node(), orbs[1].node()],
+    ]));
+    assert!(stub.invoke("get", &[]).is_err());
+
+    // Heal: service resumes without any reconfiguration.
+    net.heal();
+    assert_eq!(stub.invoke("get", &[]).unwrap(), Any::LongLong(1));
+
+    // Partition that keeps one replica with the client: failover inside
+    // the client's side of the partition succeeds.
+    net.partition(Partition::new([
+        vec![client.node(), orbs[1].node()],
+        vec![orbs[0].node()],
+    ]));
+    assert_eq!(stub.invoke("get", &[]).unwrap(), Any::LongLong(1));
+    assert!(mediator.stats().failovers >= 1);
+    for o in &orbs {
+        o.shutdown();
+    }
+    client.shutdown();
+}
+
+#[test]
+fn majority_vote_tolerates_minority_value_corruption() {
+    let net = Network::new(23);
+    // One replica holds a corrupted value.
+    let values = [5i64, 5, 99];
+    let (orbs, iors) = deploy_replicas(&net, 3, "reg", |i| Register::boxed(values[i]));
+    let client = fast_client(&net);
+    let mediator = Arc::new(ReplicationMediator::new(
+        client.clone(),
+        iors.clone(),
+        ReplicationStrategy::MajorityVote,
+    ));
+    let stub = ClientStub::new(client.clone(), iors[0].clone());
+    stub.set_mediator(mediator);
+    assert_eq!(stub.invoke("get", &[]).unwrap(), Any::LongLong(5));
+    for o in &orbs {
+        o.shutdown();
+    }
+    client.shutdown();
+}
+
+#[test]
+fn majority_vote_with_loss_still_reaches_quorum() {
+    let net = Network::new(24);
+    let (orbs, iors) = deploy_replicas(&net, 5, "reg", |_| Register::boxed(3));
+    let client = fast_client(&net);
+    // 20% loss on the link to one replica: the other four carry quorum.
+    net.set_link_directed(
+        client.node(),
+        orbs[0].node(),
+        netsim::LinkModel::perfect().with_loss(1.0),
+    );
+    let mediator = Arc::new(ReplicationMediator::new(
+        client.clone(),
+        iors.clone(),
+        ReplicationStrategy::MajorityVote,
+    ));
+    let stub = ClientStub::new(client.clone(), iors[0].clone());
+    stub.set_mediator(mediator);
+    assert_eq!(stub.invoke("get", &[]).unwrap(), Any::LongLong(3));
+    for o in &orbs {
+        o.shutdown();
+    }
+    client.shutdown();
+}
+
+#[test]
+fn group_service_view_tracks_crash_evictions() {
+    let net = Network::new(25);
+    let host = Orb::start(&net, "group-host");
+    let client = fast_client(&net);
+    let svc_ior = host.activate("groups", Box::new(GroupService::new()));
+    let (orbs, iors) = deploy_replicas(&net, 3, "reg", |_| Register::boxed(0));
+    for ior in &iors {
+        client
+            .invoke(&svc_ior, "join", &[Any::from("regs"), Any::Str(ior.to_uri())])
+            .unwrap();
+    }
+    let members = groupcomm::fetch_members(&client, &svc_ior, "regs").unwrap();
+    assert_eq!(members.len(), 3);
+
+    // Crash one; a failure-detector sweep reports it and we evict it
+    // from the membership service.
+    net.crash(orbs[1].node());
+    let detector = FailureDetector::new(client.clone(), Duration::from_millis(300));
+    let (_, dead) = detector.sweep(&members);
+    assert_eq!(dead.len(), 1);
+    for d in dead {
+        client
+            .invoke(
+                &svc_ior,
+                "remove_node",
+                &[Any::from("regs"), Any::ULong(d.node.0)],
+            )
+            .unwrap();
+    }
+    let members = groupcomm::fetch_members(&client, &svc_ior, "regs").unwrap();
+    assert_eq!(members.len(), 2);
+    assert!(members.iter().all(|m| m.node != orbs[1].node()));
+    for o in &orbs {
+        o.shutdown();
+    }
+    host.shutdown();
+    client.shutdown();
+}
+
+#[test]
+fn transport_multicast_fans_out_under_crash() {
+    let net = Network::new(26);
+    let (orbs, iors) = deploy_replicas(&net, 3, "reg", |_| Register::boxed(4));
+    let client = fast_client(&net);
+    let nodes: Vec<netsim::NodeId> = iors.iter().map(|i| i.node).collect();
+    client.qos_transport().install(Arc::new(MulticastModule::new("multicast", nodes)));
+    for orb in &orbs {
+        orb.qos_transport().install(Arc::new(MulticastModule::new("multicast", [])));
+    }
+    client
+        .qos_transport()
+        .bind(
+            orb::transport::BindingKey { peer: None, key: iors[0].key.clone() },
+            "multicast",
+        )
+        .unwrap();
+    net.crash(orbs[1].node());
+    // invoke_collect through the fan-out still reaches 2 of 3.
+    let replies = client
+        .invoke_collect(
+            &iors[0],
+            "get",
+            &[],
+            Some(orb::giop::QosContext::new("Replication")),
+            2,
+            Duration::from_millis(500),
+        )
+        .unwrap();
+    assert!(replies.len() >= 2);
+    assert_eq!(majority_vote(&replies, 2).unwrap(), Any::LongLong(4));
+    for o in &orbs {
+        o.shutdown();
+    }
+    client.shutdown();
+}
+
+#[test]
+fn crashed_node_recovers_and_catches_up_via_state_transfer() {
+    let net = Network::new(27);
+    let (orbs, iors) = deploy_replicas(&net, 2, "reg", |_| Register::boxed(0));
+    let client = fast_client(&net);
+    client.invoke(&iors[0], "set", &[Any::LongLong(11)]).unwrap();
+    client.invoke(&iors[1], "set", &[Any::LongLong(11)]).unwrap();
+
+    net.crash(orbs[1].node());
+    client.invoke(&iors[0], "set", &[Any::LongLong(22)]).unwrap();
+
+    // Recover and resynchronize.
+    net.revive(orbs[1].node());
+    assert_eq!(client.invoke(&iors[1], "get", &[]).unwrap(), Any::LongLong(11)); // stale
+    groupcomm::transfer_state(&client, &iors[0], &iors[1]).unwrap();
+    assert_eq!(client.invoke(&iors[1], "get", &[]).unwrap(), Any::LongLong(22));
+    for o in &orbs {
+        o.shutdown();
+    }
+    client.shutdown();
+}

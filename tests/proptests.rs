@@ -1,0 +1,295 @@
+//! Property-based tests on the stack's core invariants.
+
+use proptest::prelude::*;
+
+use orb::cdr::{CdrDecoder, CdrEncoder};
+use orb::{Any, Ior};
+
+// ---------------------------------------------------------------------
+// Arbitrary Any values (bounded depth).
+// ---------------------------------------------------------------------
+
+fn arb_any() -> impl Strategy<Value = Any> {
+    let leaf = prop_oneof![
+        Just(Any::Void),
+        any::<bool>().prop_map(Any::Bool),
+        any::<u8>().prop_map(Any::Octet),
+        any::<i32>().prop_map(Any::Long),
+        any::<u32>().prop_map(Any::ULong),
+        any::<i64>().prop_map(Any::LongLong),
+        any::<u64>().prop_map(Any::ULongLong),
+        // Avoid NaN: PartialEq-based roundtrip checks.
+        (-1e15f64..1e15).prop_map(Any::Double),
+        "[a-zA-Z0-9 _:/.-]{0,24}".prop_map(Any::Str),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(Any::Bytes),
+    ];
+    leaf.prop_recursive(3, 24, 6, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Any::Sequence),
+            ("[a-zA-Z][a-zA-Z0-9]{0,8}", proptest::collection::vec(("[a-z][a-z0-9]{0,6}", inner), 0..4))
+                .prop_map(|(name, fields)| Any::Struct(name, fields)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn any_cdr_roundtrip(value in arb_any()) {
+        let bytes = value.to_bytes();
+        let back = Any::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, value);
+    }
+
+    #[test]
+    fn any_decoding_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Any::from_bytes(&bytes); // must not panic
+    }
+
+    #[test]
+    fn giop_and_packet_decoding_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = orb::giop::GiopMessage::from_bytes(&bytes);
+        let _ = orb::giop::Packet::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn giop_request_roundtrip(
+        request_id in any::<u64>(),
+        node in 0u32..100,
+        key in "[a-z]{1,12}",
+        op in "[a-z_]{1,16}",
+        args in proptest::collection::vec(any::<i64>(), 0..8),
+        oneway in any::<bool>(),
+    ) {
+        use orb::giop::{GiopMessage, RequestKind, RequestMessage};
+        let msg = GiopMessage::Request(RequestMessage {
+            request_id,
+            reply_to: netsim::NodeId(node),
+            object_key: orb::ObjectKey(key),
+            operation: op,
+            args: args.into_iter().map(Any::LongLong).collect(),
+            response_expected: !oneway,
+            kind: RequestKind::ServiceRequest,
+            qos: None,
+        });
+        prop_assert_eq!(GiopMessage::from_bytes(&msg.to_bytes()).unwrap(), msg);
+    }
+
+    #[test]
+    fn cdr_primitive_sequences_roundtrip(
+        bools in proptest::collection::vec(any::<bool>(), 0..8),
+        longs in proptest::collection::vec(any::<i64>(), 0..8),
+        strings in proptest::collection::vec("[a-z]{0,12}", 0..8),
+    ) {
+        let mut enc = CdrEncoder::new();
+        for b in &bools { enc.put_bool(*b); }
+        for l in &longs { enc.put_i64(*l); }
+        for s in &strings { enc.put_string(s); }
+        let buf = enc.into_bytes();
+        let mut dec = CdrDecoder::new(&buf);
+        for b in &bools { prop_assert_eq!(dec.get_bool().unwrap(), *b); }
+        for l in &longs { prop_assert_eq!(dec.get_i64().unwrap(), *l); }
+        for s in &strings { prop_assert_eq!(&dec.get_string().unwrap(), s); }
+    }
+
+    #[test]
+    fn ior_uri_roundtrip(
+        node in 0u32..1000,
+        key in "[a-zA-Z0-9_-]{1,16}",
+        tags in proptest::collection::vec("[A-Z][a-z]{0,8}", 0..4),
+    ) {
+        let mut ior = Ior::new("IDL:X:1.0", netsim::NodeId(node), key.as_str());
+        for t in &tags {
+            ior = ior.with_qos_tag(t.clone());
+        }
+        prop_assert_eq!(Ior::from_uri(&ior.to_uri()).unwrap(), ior);
+    }
+
+    // -----------------------------------------------------------------
+    // Codec invariants.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn lz_codec_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let compressed = qosmech::compress::codec::compress(&data);
+        let back = qosmech::compress::codec::decompress(&compressed).unwrap();
+        prop_assert_eq!(back, data);
+    }
+
+    #[test]
+    fn lz_codec_roundtrip_repetitive(
+        unit in proptest::collection::vec(any::<u8>(), 1..16),
+        reps in 1usize..256,
+    ) {
+        let data: Vec<u8> = unit.iter().copied().cycle().take(unit.len() * reps).collect();
+        let compressed = qosmech::compress::codec::compress(&data);
+        let back = qosmech::compress::codec::decompress(&compressed).unwrap();
+        prop_assert_eq!(back, data);
+    }
+
+    #[test]
+    fn lz_decompress_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = qosmech::compress::codec::decompress(&bytes);
+    }
+
+    #[test]
+    fn cipher_roundtrip(key in any::<u64>(), nonce in any::<u64>(), data in proptest::collection::vec(any::<u8>(), 0..1024)) {
+        let frame = qosmech::crypt::seal(key, nonce, &data);
+        prop_assert_eq!(qosmech::crypt::open(key, &frame).unwrap(), data);
+    }
+
+    #[test]
+    fn cipher_rejects_wrong_key(key in any::<u64>(), other in any::<u64>(), data in proptest::collection::vec(any::<u8>(), 1..256)) {
+        prop_assume!(key != other);
+        let frame = qosmech::crypt::seal(key, 1, &data);
+        // Wrong key must never silently yield the plaintext.
+        match qosmech::crypt::open(other, &frame) {
+            Ok(recovered) => prop_assert_ne!(recovered, data),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn key_exchange_always_agrees(a in 1u64..u64::MAX, b in 1u64..u64::MAX) {
+        let shared_a = qosmech::crypt::keyex::shared(a, qosmech::crypt::keyex::public(b));
+        let shared_b = qosmech::crypt::keyex::shared(b, qosmech::crypt::keyex::public(a));
+        prop_assert_eq!(shared_a, shared_b);
+    }
+
+    // -----------------------------------------------------------------
+    // QIDL pipeline invariants.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn qidl_lexer_never_panics(src in "\\PC{0,128}") {
+        let _ = qidl::lexer::lex(&src);
+    }
+
+    #[test]
+    fn qidl_parser_never_panics(src in "[a-z{}();,<> ]{0,128}") {
+        if let Ok(tokens) = qidl::lexer::lex(&src) {
+            let _ = qidl::parser::parse(&tokens);
+        }
+    }
+
+    #[test]
+    fn qidl_pretty_print_roundtrip(
+        iface in "[A-Z][a-zA-Z]{0,8}",
+        ops in proptest::collection::vec(("[a-z][a-z0-9_]{0,8}", 0usize..3), 0..4),
+    ) {
+        // Build a small spec programmatically through source text.
+        let mut src = format!("interface {iface} {{\n");
+        let mut seen = std::collections::HashSet::new();
+        for (name, arity) in &ops {
+            if !seen.insert(name.clone()) || qidl_keyword(name) {
+                continue;
+            }
+            let params: Vec<String> =
+                (0..*arity).map(|i| format!("in long p{i}")).collect();
+            src.push_str(&format!("    long {name}({});\n", params.join(", ")));
+        }
+        src.push_str("};\n");
+        if let Ok(spec) = qidl::compile(&src) {
+            let printed = qidl::pretty::pretty(&spec);
+            let reparsed = qidl::compile(&printed).unwrap();
+            prop_assert_eq!(reparsed, spec);
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Group view invariants.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn view_tracker_invariants(ops in proptest::collection::vec((any::<bool>(), 0u32..16), 0..64)) {
+        let mut tracker = groupcomm::ViewTracker::new("g");
+        let mut last_view = tracker.view().view_id;
+        for (join, node) in ops {
+            let changed = if join {
+                tracker.join(netsim::NodeId(node))
+            } else {
+                tracker.leave(netsim::NodeId(node))
+            };
+            let view = tracker.view();
+            // View ids are monotone and bump exactly on change.
+            if changed {
+                prop_assert_eq!(view.view_id, last_view + 1);
+            } else {
+                prop_assert_eq!(view.view_id, last_view);
+            }
+            last_view = view.view_id;
+            // Membership stays sorted and unique.
+            let mut sorted = view.members.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(&sorted, &view.members);
+            // Quorum is a majority.
+            if !view.is_empty() {
+                prop_assert!(view.quorum() * 2 > view.len());
+                prop_assert!((view.quorum() - 1) * 2 <= view.len());
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Majority vote invariants.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn majority_vote_winner_really_has_quorum(values in proptest::collection::vec(0i64..4, 1..12)) {
+        let replies: Vec<(netsim::NodeId, Result<Any, orb::OrbError>)> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (netsim::NodeId(i as u32), Ok(Any::LongLong(*v))))
+            .collect();
+        let quorum = values.len() / 2 + 1;
+        match qosmech::replication::majority_vote(&replies, quorum) {
+            Ok(winner) => {
+                let count = values
+                    .iter()
+                    .filter(|v| Any::LongLong(**v) == winner)
+                    .count();
+                prop_assert!(count >= quorum);
+            }
+            Err(_) => {
+                // No value may actually hold a quorum.
+                for v in 0..4 {
+                    let count = values.iter().filter(|x| **x == v).count();
+                    prop_assert!(count < quorum);
+                }
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Contract resolution invariants.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn contract_resolution_respects_feasibility(depth in 1usize..4, branching in 1usize..4, mask in any::<u32>()) {
+        let h = services::contract::synthetic_hierarchy(depth, branching);
+        let feasible = move |o: &services::contract::Offer| {
+            let idx: u32 = o.characteristic[4..].parse().unwrap_or(0);
+            mask & (1 << (idx % 32)) != 0
+        };
+        if let Some((offers, utility)) = h.resolve(&feasible) {
+            prop_assert!(!offers.is_empty());
+            for o in &offers {
+                prop_assert!(feasible(o), "infeasible offer accepted: {}", o.characteristic);
+            }
+            let sum: f64 = offers.iter().map(|o| o.utility).sum();
+            prop_assert!((sum - utility).abs() < 1e-9);
+        }
+    }
+}
+
+fn qidl_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "struct" | "qos" | "interface" | "with" | "category" | "param" | "management"
+            | "peer" | "integration" | "oneway" | "raises" | "readonly" | "attribute"
+            | "in" | "out" | "inout" | "void" | "boolean" | "octet" | "long" | "unsigned"
+            | "double" | "string" | "any" | "sequence"
+    )
+}
