@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# CI gate: formatting, lints, build, tests, and the demo spec staying
+# clean under qoslint. Mirrors what reviewers run locally.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check (advisory: seed code predates rustfmt.toml)"
+cargo fmt --all -- --check || echo "    (formatting drift, not fatal)"
+
+echo "==> cargo clippy"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> qoslint (demo spec must be clean, warnings denied)"
+cargo run -q -p qoslint --release -- --deny-warnings crates/maqs/src/demo/ticker.qidl
+
+echo "==> OK"

@@ -64,11 +64,7 @@ mod tests {
             self.quotes.lock().push(q);
             Ok(())
         }
-        fn subscribe(
-            &self,
-            symbol: String,
-            cursor: i64,
-        ) -> Result<(i64, i64, f64), OrbError> {
+        fn subscribe(&self, symbol: String, cursor: i64) -> Result<(i64, i64, f64), OrbError> {
             let price = self.latest(symbol)?.price;
             // returns (ret, cursor inout, initial_price out)
             Ok((1, cursor + 1, price))
@@ -88,12 +84,7 @@ mod tests {
     }
 
     fn quote(symbol: &str, price: f64, seq: u64) -> Quote {
-        Quote {
-            symbol: symbol.to_string(),
-            price,
-            sequence_no: seq,
-            payload: vec![1, 2, 3],
-        }
+        Quote { symbol: symbol.to_string(), price, sequence_no: seq, payload: vec![1, 2, 3] }
     }
 
     #[test]
@@ -186,9 +177,7 @@ mod tests {
             Arc::new(repo),
             "Ticker",
         );
-        woven
-            .install_qos(Arc::new(ReplicationQosSkeleton::new(ReplImpl)))
-            .unwrap();
+        woven.install_qos(Arc::new(ReplicationQosSkeleton::new(ReplImpl))).unwrap();
         woven.negotiate("Replication").unwrap();
 
         // Typed QoS ops flow through the generated skeleton.
@@ -198,8 +187,6 @@ mod tests {
         assert_eq!(woven.dispatch("export_state", &[]).unwrap(), Any::LongLong(42));
         // Arity and type errors are produced by the generated checks.
         assert!(woven.dispatch("import_state", &[]).is_err());
-        assert!(woven
-            .dispatch("replica_count", &[Any::Long(1)])
-            .is_err());
+        assert!(woven.dispatch("replica_count", &[Any::Long(1)]).is_err());
     }
 }

@@ -58,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub mod demo;
+pub mod lint;
 mod node;
 
 pub use node::{MaqsNode, MaqsNodeBuilder};
@@ -77,6 +78,7 @@ pub use groupcomm;
 pub use netsim;
 pub use orb;
 pub use qidl;
+pub use qoslint;
 pub use qosmech;
 pub use services;
 pub use weaver;

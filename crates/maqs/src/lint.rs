@@ -1,0 +1,48 @@
+//! Deployment-linting glue: snapshot live weaving state into a
+//! [`qoslint::deploy::DeploymentView`].
+//!
+//! [`crate::MaqsNode::deployment_view`] covers the server side (woven
+//! servants, installed implementations, negotiation capacities); the
+//! helpers here convert the *client* side — established
+//! [`weaver::QosBinding`]s and stub mediator chains — so a test or an
+//! operator tool can lint a whole client/server deployment with
+//! [`qoslint::deploy::lint_deployment`].
+
+use qoslint::deploy::{BindingView, StubView};
+use weaver::{ClientStub, QosBindingRegistry};
+
+/// Views of every live binding in `registry`, sorted by object key.
+pub fn binding_views(registry: &QosBindingRegistry) -> Vec<BindingView> {
+    registry
+        .bindings()
+        .iter()
+        .map(|b| BindingView {
+            object_key: b.object.as_str().to_string(),
+            characteristic: b.characteristic.clone(),
+            params: b.params.iter().map(|(n, _)| n.clone()).collect(),
+        })
+        .collect()
+}
+
+/// View of one client stub's mediator chain, targeting `object_key`.
+pub fn stub_view(object_key: &str, stub: &ClientStub) -> StubView {
+    StubView { object_key: object_key.to_string(), mediators: stub.mediator_chain() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orb::Any;
+
+    #[test]
+    fn binding_views_carry_keys_characteristics_and_param_names() {
+        let reg = QosBindingRegistry::new();
+        reg.bind("kv", "Replication", vec![("replicas".into(), Any::ULong(3))]);
+        reg.bind("cam", "Actuality", vec![]);
+        let views = binding_views(&reg);
+        assert_eq!(views.len(), 2);
+        assert_eq!(views[0].object_key, "cam");
+        assert_eq!(views[1].characteristic, "Replication");
+        assert_eq!(views[1].params, vec!["replicas"]);
+    }
+}

@@ -71,6 +71,7 @@ impl<'a> MaqsNodeBuilder<'a> {
             trader,
             naming,
             woven: RwLock::new(HashMap::new()),
+            capacities: RwLock::new(HashMap::new()),
         })
     }
 }
@@ -84,6 +85,7 @@ pub struct MaqsNode {
     trader: Arc<Trader>,
     naming: Arc<NamingService>,
     woven: RwLock<HashMap<String, Arc<WovenServant>>>,
+    capacities: RwLock<HashMap<String, Vec<String>>>,
 }
 
 impl MaqsNode {
@@ -172,9 +174,31 @@ impl MaqsNode {
         for qi in qos_impls {
             woven.install_qos(qi)?;
         }
+        let mut capacity_tags: Vec<String> = capacity.keys().cloned().collect();
+        capacity_tags.sort();
+        #[cfg(feature = "lint-deployments")]
+        {
+            // Refuse to serve a deployment the static analysis can prove
+            // broken (e.g. negotiation capacity for a characteristic that
+            // can never be negotiated).
+            let candidate = qoslint::deploy::DeploymentView {
+                servants: vec![qoslint::deploy::ServantView {
+                    key: key.to_string(),
+                    interface: interface_name.to_string(),
+                    installed: woven.installed_characteristics(),
+                    capacities: capacity_tags.clone(),
+                }],
+                ..qoslint::deploy::DeploymentView::default()
+            };
+            let diags = qoslint::deploy::lint_deployment(&self.repo, &candidate);
+            if diags.has_errors() {
+                return Err(OrbError::QosViolation(qoslint::render::render_json(None, &diags)));
+            }
+        }
         self.negotiation.register_object(key, Arc::clone(&woven), capacity);
         self.orb.adapter().activate(key, Arc::clone(&woven) as Arc<dyn Servant>);
         self.woven.write().insert(key.to_string(), woven);
+        self.capacities.write().insert(key.to_string(), capacity_tags);
         let mut ior = Ior::new(iface.repository_id(), self.orb.node(), key);
         for tag in &iface.qos {
             ior = ior.with_qos_tag(tag.clone());
@@ -185,6 +209,31 @@ impl MaqsNode {
     /// The woven servant under `key`, if any.
     pub fn woven(&self, key: &str) -> Option<Arc<WovenServant>> {
         self.woven.read().get(key).cloned()
+    }
+
+    /// Snapshot this node's woven servants as a
+    /// [`qoslint::deploy::DeploymentView`] (server side only — merge in
+    /// client state with the [`crate::lint`] helpers).
+    pub fn deployment_view(&self) -> qoslint::deploy::DeploymentView {
+        let woven = self.woven.read();
+        let caps = self.capacities.read();
+        let mut servants: Vec<qoslint::deploy::ServantView> = woven
+            .iter()
+            .map(|(key, w)| qoslint::deploy::ServantView {
+                key: key.clone(),
+                interface: w.interface().to_string(),
+                installed: w.installed_characteristics(),
+                capacities: caps.get(key).cloned().unwrap_or_default(),
+            })
+            .collect();
+        servants.sort_by(|a, b| a.key.cmp(&b.key));
+        qoslint::deploy::DeploymentView { servants, ..qoslint::deploy::DeploymentView::default() }
+    }
+
+    /// Run the deployment-level lints (`QL101`–`QL106`) over this
+    /// node's current weaving state.
+    pub fn lint_deployment(&self) -> qidl::Diagnostics {
+        qoslint::deploy::lint_deployment(&self.repo, &self.deployment_view())
     }
 
     /// A dynamic client stub for `target`, invoking through this node.
@@ -271,10 +320,7 @@ mod tests {
 
         // Plain application traffic works unwoven.
         client.orb().invoke(&ior, "put", &[Any::from("a"), Any::LongLong(5)]).unwrap();
-        assert_eq!(
-            client.orb().invoke(&ior, "get", &[Any::from("a")]).unwrap(),
-            Any::LongLong(5)
-        );
+        assert_eq!(client.orb().invoke(&ior, "get", &[Any::from("a")]).unwrap(), Any::LongLong(5));
 
         // QoS ops require negotiation first (Fig. 2 exception).
         assert!(matches!(
@@ -290,10 +336,8 @@ mod tests {
                 ContractNode::Leaf(Offer::new("Actuality", 1.0)),
             ]),
         );
-        let (agreements, utility) = client
-            .negotiator()
-            .negotiate_preferences(server.orb().node(), "kv", &prefs)
-            .unwrap();
+        let (agreements, utility) =
+            client.negotiator().negotiate_preferences(server.orb().node(), "kv", &prefs).unwrap();
         assert_eq!(utility, 5.0);
         assert_eq!(agreements[0].characteristic, "Replication");
         assert_eq!(
@@ -308,6 +352,76 @@ mod tests {
         );
         server.shutdown();
         client.shutdown();
+    }
+
+    #[test]
+    fn deployment_lint_flags_missing_impls_but_not_as_errors() {
+        let net = Network::new(1);
+        let node = MaqsNode::builder(&net, "n").spec(SPEC).build().unwrap();
+        node.serve_woven("kv", kv(), "Kv").unwrap();
+        let diags = node.lint_deployment();
+        // Replication and Actuality are assigned but not installed.
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.code == qoslint::codes::MISSING_QOS_IMPL));
+        assert!(!diags.has_errors());
+        let view = node.deployment_view();
+        assert_eq!(view.servants.len(), 1);
+        assert_eq!(view.servants[0].interface, "Kv");
+        node.shutdown();
+    }
+
+    #[test]
+    fn complete_deployment_lints_clean() {
+        let net = Network::new(1);
+        let node = MaqsNode::builder(&net, "n").spec(SPEC).build().unwrap();
+        node.serve_woven_with(
+            "kv",
+            kv(),
+            "Kv",
+            vec![Arc::new(ReplicationQosImpl::new()), Arc::new(FreshnessStampQosImpl::new())],
+            HashMap::from([("Replication".to_string(), 2)]),
+        )
+        .unwrap();
+        assert!(node.lint_deployment().is_empty());
+        assert_eq!(node.deployment_view().servants[0].capacities, vec!["Replication"]);
+        node.shutdown();
+    }
+
+    #[cfg(feature = "lint-deployments")]
+    #[test]
+    fn lint_gate_refuses_unusable_capacity_with_json_diagnostics() {
+        let net = Network::new(1);
+        let node = MaqsNode::builder(&net, "n").spec(SPEC).build().unwrap();
+        // Capacity for an assigned-but-uninstalled characteristic:
+        // negotiations would be admitted and then always fail.
+        let err = node
+            .serve_woven_with(
+                "kv",
+                kv(),
+                "Kv",
+                Vec::new(),
+                HashMap::from([("Replication".to_string(), 1)]),
+            )
+            .unwrap_err();
+        match err {
+            OrbError::QosViolation(json) => {
+                assert!(json.contains("\"code\":\"QL106\""), "{json}");
+                assert!(json.contains("never installed"), "{json}");
+            }
+            other => panic!("expected QosViolation, got {other:?}"),
+        }
+        // The refused servant was not activated.
+        assert!(node.woven("kv").is_none());
+        // A well-formed deployment still serves.
+        node.serve_woven_with(
+            "kv",
+            kv(),
+            "Kv",
+            vec![Arc::new(ReplicationQosImpl::new()), Arc::new(FreshnessStampQosImpl::new())],
+            HashMap::from([("Replication".to_string(), 1)]),
+        )
+        .unwrap();
+        node.shutdown();
     }
 
     #[test]

@@ -1,5 +1,34 @@
-fn main() {
-    let src = std::fs::read_to_string(std::env::args().nth(1).unwrap()).unwrap();
-    let spec = qidl::compile(&src).unwrap();
-    print!("{}", qidl::codegen::generate(&spec));
+//! `qidlc` — compile a QIDL spec to its Rust language mapping.
+//!
+//! ```text
+//! qidlc <spec.qidl>
+//! ```
+//!
+//! The generated code is written to stdout. Exit codes: `0` success,
+//! `1` the spec does not compile, `2` usage or I/O error.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: qidlc <spec.qidl>");
+        return ExitCode::from(2);
+    };
+    let src = match std::fs::read_to_string(&path) {
+        Ok(src) => src,
+        Err(e) => {
+            eprintln!("qidlc: cannot read `{path}`: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match qidl::compile(&src) {
+        Ok(spec) => {
+            print!("{}", qidl::codegen::generate(&spec));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("qidlc: {path}: {e}");
+            ExitCode::from(1)
+        }
+    }
 }

@@ -1,5 +1,12 @@
 //! The QIDL abstract syntax tree.
+//!
+//! Named nodes carry the [`Span`] of their defining identifier so that
+//! semantic diagnostics can point back into the source. Spans are
+//! *ignored* by `PartialEq`: two ASTs compare equal iff they are
+//! structurally equal, which keeps `parse(pretty(spec)) == spec` true
+//! even though pretty-printing does not preserve positions.
 
+use crate::lexer::Span;
 use std::fmt;
 
 /// A complete QIDL specification (one compilation unit).
@@ -76,27 +83,65 @@ pub enum Definition {
     Interface(InterfaceDef),
 }
 
+impl Definition {
+    /// The defined name.
+    pub fn name(&self) -> &str {
+        match self {
+            Definition::Struct(s) => &s.name,
+            Definition::Exception(e) => &e.name,
+            Definition::Qos(q) => &q.name,
+            Definition::Interface(i) => &i.name,
+        }
+    }
+
+    /// The span of the defining identifier.
+    pub fn span(&self) -> Span {
+        match self {
+            Definition::Struct(s) => s.span,
+            Definition::Exception(e) => e.span,
+            Definition::Qos(q) => q.span,
+            Definition::Interface(i) => i.span,
+        }
+    }
+}
+
 /// A user exception type (referenced by `raises` clauses).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct ExceptionDef {
     /// Exception name.
     pub name: String,
     /// Exception members in declaration order.
     pub fields: Vec<(String, Type)>,
+    /// Span of the exception name.
+    pub span: Span,
+}
+
+impl PartialEq for ExceptionDef {
+    fn eq(&self, other: &ExceptionDef) -> bool {
+        self.name == other.name && self.fields == other.fields
+    }
 }
 
 /// A named struct type.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct StructDef {
     /// Struct name.
     pub name: String,
     /// Fields in declaration order.
     pub fields: Vec<(String, Type)>,
+    /// Span of the struct name.
+    pub span: Span,
+}
+
+impl PartialEq for StructDef {
+    fn eq(&self, other: &StructDef) -> bool {
+        self.name == other.name && self.fields == other.fields
+    }
 }
 
 /// A QoS characteristic (§3.2): parameters plus the operations of the
 /// *QoS responsibility*, grouped by the paper's three tasks.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct QosDef {
     /// Characteristic name, e.g. `Replication`.
     pub name: String,
@@ -112,6 +157,19 @@ pub struct QosDef {
     /// "QoS aspect integration": the dedicated interface toward the
     /// application object (e.g. state access for replica groups).
     pub integration: Vec<Operation>,
+    /// Span of the characteristic name.
+    pub span: Span,
+}
+
+impl PartialEq for QosDef {
+    fn eq(&self, other: &QosDef) -> bool {
+        self.name == other.name
+            && self.category == other.category
+            && self.params == other.params
+            && self.management == other.management
+            && self.peer == other.peer
+            && self.integration == other.integration
+    }
 }
 
 impl QosDef {
@@ -122,7 +180,7 @@ impl QosDef {
 }
 
 /// A QoS parameter declaration.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct QosParam {
     /// Parameter name.
     pub name: String,
@@ -130,10 +188,18 @@ pub struct QosParam {
     pub ty: Type,
     /// Default value, if declared.
     pub default: Option<Literal>,
+    /// Span of the parameter name.
+    pub span: Span,
+}
+
+impl PartialEq for QosParam {
+    fn eq(&self, other: &QosParam) -> bool {
+        self.name == other.name && self.ty == other.ty && self.default == other.default
+    }
 }
 
 /// An interface definition, possibly with assigned QoS characteristics.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct InterfaceDef {
     /// Interface name.
     pub name: String,
@@ -146,6 +212,24 @@ pub struct InterfaceDef {
     pub operations: Vec<Operation>,
     /// Attributes in declaration order.
     pub attributes: Vec<Attribute>,
+    /// Span of the interface name.
+    pub span: Span,
+    /// Spans of the `inherits` entries (parallel to `inherits`; empty
+    /// when the AST was built without source, e.g. by hand).
+    pub inherits_spans: Vec<Span>,
+    /// Spans of the `qos` entries (parallel to `qos`; may be empty,
+    /// like `inherits_spans`).
+    pub qos_spans: Vec<Span>,
+}
+
+impl PartialEq for InterfaceDef {
+    fn eq(&self, other: &InterfaceDef) -> bool {
+        self.name == other.name
+            && self.inherits == other.inherits
+            && self.qos == other.qos
+            && self.operations == other.operations
+            && self.attributes == other.attributes
+    }
 }
 
 impl InterfaceDef {
@@ -153,10 +237,22 @@ impl InterfaceDef {
     pub fn repository_id(&self) -> String {
         format!("IDL:{}:1.0", self.name)
     }
+
+    /// The span of the `i`-th assigned QoS tag, or the interface's own
+    /// span when tag spans were not recorded.
+    pub fn qos_span(&self, i: usize) -> Span {
+        self.qos_spans.get(i).copied().unwrap_or(self.span)
+    }
+
+    /// The span of the `i`-th base-interface reference, or the
+    /// interface's own span when spans were not recorded.
+    pub fn inherit_span(&self, i: usize) -> Span {
+        self.inherits_spans.get(i).copied().unwrap_or(self.span)
+    }
 }
 
 /// An operation signature.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct Operation {
     /// Operation name.
     pub name: String,
@@ -168,10 +264,22 @@ pub struct Operation {
     pub params: Vec<Param>,
     /// Names of user exceptions this operation may raise.
     pub raises: Vec<String>,
+    /// Span of the operation name.
+    pub span: Span,
+}
+
+impl PartialEq for Operation {
+    fn eq(&self, other: &Operation) -> bool {
+        self.name == other.name
+            && self.oneway == other.oneway
+            && self.ret == other.ret
+            && self.params == other.params
+            && self.raises == other.raises
+    }
 }
 
 /// An interface attribute.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct Attribute {
     /// Attribute name.
     pub name: String,
@@ -179,10 +287,18 @@ pub struct Attribute {
     pub ty: Type,
     /// `readonly` attributes map to a getter only.
     pub readonly: bool,
+    /// Span of the attribute name.
+    pub span: Span,
+}
+
+impl PartialEq for Attribute {
+    fn eq(&self, other: &Attribute) -> bool {
+        self.name == other.name && self.ty == other.ty && self.readonly == other.readonly
+    }
 }
 
 /// A formal parameter.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct Param {
     /// Passing direction.
     pub direction: Direction,
@@ -190,6 +306,14 @@ pub struct Param {
     pub name: String,
     /// Parameter type.
     pub ty: Type,
+    /// Span of the parameter name.
+    pub span: Span,
+}
+
+impl PartialEq for Param {
+    fn eq(&self, other: &Param) -> bool {
+        self.direction == other.direction && self.name == other.name && self.ty == other.ty
+    }
 }
 
 /// Parameter passing direction.
@@ -215,9 +339,10 @@ impl fmt::Display for Direction {
 }
 
 /// A QIDL type.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum Type {
     /// No value (return types only).
+    #[default]
     Void,
     /// Boolean.
     Boolean,
@@ -295,26 +420,18 @@ impl fmt::Display for Literal {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lexer::Pos;
 
     #[test]
     fn spec_lookup_helpers() {
         let spec = Spec {
             definitions: vec![
-                Definition::Struct(StructDef { name: "S".into(), fields: vec![] }),
-                Definition::Qos(QosDef {
-                    name: "Q".into(),
-                    category: None,
-                    params: vec![],
-                    management: vec![],
-                    peer: vec![],
-                    integration: vec![],
-                }),
+                Definition::Struct(StructDef { name: "S".into(), ..Default::default() }),
+                Definition::Qos(QosDef { name: "Q".into(), ..Default::default() }),
                 Definition::Interface(InterfaceDef {
                     name: "I".into(),
-                    inherits: vec![],
                     qos: vec!["Q".into()],
-                    operations: vec![],
-                    attributes: vec![],
+                    ..Default::default()
                 }),
             ],
         };
@@ -342,22 +459,33 @@ mod tests {
 
     #[test]
     fn qos_all_operations_order() {
-        let op = |n: &str| Operation {
-            name: n.into(),
-            oneway: false,
-            ret: Type::Void,
-            params: vec![],
-            raises: vec![],
-        };
+        let op = |n: &str| Operation { name: n.into(), ..Default::default() };
         let q = QosDef {
             name: "Q".into(),
-            category: None,
-            params: vec![],
             management: vec![op("m")],
             peer: vec![op("p")],
             integration: vec![op("i")],
+            ..Default::default()
         };
         let names: Vec<&str> = q.all_operations().map(|o| o.name.as_str()).collect();
         assert_eq!(names, vec!["m", "p", "i"]);
+    }
+
+    #[test]
+    fn equality_ignores_spans() {
+        let a = StructDef { name: "S".into(), ..Default::default() };
+        let b = StructDef {
+            name: "S".into(),
+            span: Span::point(Pos { line: 9, col: 9 }),
+            ..Default::default()
+        };
+        assert_eq!(a, b);
+        let op1 = Operation { name: "f".into(), ..Default::default() };
+        let op2 = Operation {
+            name: "f".into(),
+            span: Span::point(Pos { line: 3, col: 1 }),
+            ..Default::default()
+        };
+        assert_eq!(op1, op2);
     }
 }

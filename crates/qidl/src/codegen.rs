@@ -141,10 +141,7 @@ fn outputs(op: &Operation) -> Vec<(String, Type)> {
 
 /// The inputs of an operation: in and inout params.
 fn inputs(op: &Operation) -> Vec<&Param> {
-    op.params
-        .iter()
-        .filter(|p| matches!(p.direction, Direction::In | Direction::InOut))
-        .collect()
+    op.params.iter().filter(|p| matches!(p.direction, Direction::In | Direction::InOut)).collect()
 }
 
 /// The Rust result type of an operation's outputs.
@@ -212,13 +209,17 @@ impl Generator<'_> {
             self.line("        }");
             self.line("    }");
         }
-        self.line("    pub fn expect_seq<'a>(v: &'a Any, ctx: &str) -> Result<&'a [Any], OrbError> {");
+        self.line(
+            "    pub fn expect_seq<'a>(v: &'a Any, ctx: &str) -> Result<&'a [Any], OrbError> {",
+        );
         self.line("        match v {");
         self.line("            Any::Sequence(items) => Ok(items),");
         self.line("            other => Err(OrbError::BadParam(format!(\"{ctx}: expected sequence, got {other}\"))),");
         self.line("        }");
         self.line("    }");
-        self.line("    pub fn expect_arity(args: &[Any], n: usize, ctx: &str) -> Result<(), OrbError> {");
+        self.line(
+            "    pub fn expect_arity(args: &[Any], n: usize, ctx: &str) -> Result<(), OrbError> {",
+        );
         self.line("        if args.len() == n { Ok(()) } else {");
         self.line("            Err(OrbError::BadParam(format!(\"{ctx}: expected {n} argument(s), got {}\", args.len())))");
         self.line("        }");
@@ -250,7 +251,10 @@ impl Generator<'_> {
         self.line("    pub fn from_any(v: &Any) -> Result<Self, OrbError> {");
         self.line("        let mut out = Self::default();");
         self.line("        match v {");
-        self.line(&format!("            Any::Struct(name, fields) if name == \"{}\" => {{", s.name));
+        self.line(&format!(
+            "            Any::Struct(name, fields) if name == \"{}\" => {{",
+            s.name
+        ));
         self.line("                for (fname, fval) in fields {");
         self.line("                    match fname.as_str() {");
         for (fname, fty) in &s.fields {
@@ -312,10 +316,7 @@ impl Generator<'_> {
 
     fn qos_def(&mut self, q: &QosDef) {
         let cat = q.category.as_deref().unwrap_or("uncategorized");
-        self.line(&format!(
-            "/// Parameters of QoS characteristic `{}` (category: {cat}).",
-            q.name
-        ));
+        self.line(&format!("/// Parameters of QoS characteristic `{}` (category: {cat}).", q.name));
         self.line("#[derive(Debug, Clone, PartialEq)]");
         self.line(&format!("pub struct {}Params {{", q.name));
         for p in &q.params {
@@ -379,9 +380,7 @@ impl Generator<'_> {
     /// implementor plus an adapter onto `weaver::QosImplementation`.
     fn qos_skeleton(&mut self, q: &QosDef) {
         let name = &q.name;
-        self.line(&format!(
-            "/// Server-side operations of QoS characteristic `{name}` — the"
-        ));
+        self.line(&format!("/// Server-side operations of QoS characteristic `{name}` — the"));
         self.line("/// QoS implementor fills this in (Fig. 2's \"QoS-Impl.\" box).");
         self.line(&format!("pub trait {name}Ops: Send + Sync {{"));
         for op in q.all_operations() {
@@ -398,14 +397,14 @@ impl Generator<'_> {
         self.line("        Ok(())");
         self.line("    }");
         self.line("    /// Called after each application request.");
-        self.line("    fn epilog(&self, op: &str, args: &[Any], result: &mut Result<Any, OrbError>) {");
+        self.line(
+            "    fn epilog(&self, op: &str, args: &[Any], result: &mut Result<Any, OrbError>) {",
+        );
         self.line("        let (_, _, _) = (op, args, result);");
         self.line("    }");
         self.line("}");
         self.line("");
-        self.line(&format!(
-            "/// Adapter from a typed [`{name}Ops`] implementation onto the"
-        ));
+        self.line(&format!("/// Adapter from a typed [`{name}Ops`] implementation onto the"));
         self.line("/// runtime weaving layer; install into a `weaver::WovenServant`.");
         self.line(&format!("pub struct {name}QosSkeleton<T: {name}Ops> {{"));
         self.line("    inner: T,");
@@ -427,7 +426,9 @@ impl Generator<'_> {
         self.line("    fn prolog(&self, op: &str, args: &[Any]) -> Result<(), OrbError> {");
         self.line("        self.inner.prolog(op, args)");
         self.line("    }");
-        self.line("    fn epilog(&self, op: &str, args: &[Any], result: &mut Result<Any, OrbError>) {");
+        self.line(
+            "    fn epilog(&self, op: &str, args: &[Any], result: &mut Result<Any, OrbError>) {",
+        );
         self.line("        self.inner.epilog(op, args, result)");
         self.line("    }");
         self.line("    fn qos_op(&self, op: &str, args: &[Any], server: &dyn Servant) -> Result<Any, OrbError> {");
@@ -480,9 +481,7 @@ impl Generator<'_> {
             self.line("            }");
         }
         self.line("            _ => Err(OrbError::BadOperation(format!(");
-        self.line(&format!(
-            "                \"{{op}} is not a QoS operation of {name}\""
-        ));
+        self.line(&format!("                \"{{op}} is not a QoS operation of {name}\""));
         self.line("            ))),");
         self.line("        }");
         self.line("    }");
@@ -495,9 +494,7 @@ impl Generator<'_> {
         let name = &i.name;
 
         // -- application trait ------------------------------------------
-        self.line(&format!(
-            "/// Application logic of QIDL interface `{name}` — implement this."
-        ));
+        self.line(&format!("/// Application logic of QIDL interface `{name}` — implement this."));
         let supertraits = if i.inherits.is_empty() {
             "Send + Sync".to_string()
         } else {
@@ -525,9 +522,7 @@ impl Generator<'_> {
         self.line("");
 
         // -- servant adapter (server skeleton, Fig. 2) -------------------
-        self.line(&format!(
-            "/// Server skeleton for `{name}`: maps wire requests onto a typed"
-        ));
+        self.line(&format!("/// Server skeleton for `{name}`: maps wire requests onto a typed"));
         self.line("/// implementation. Wrap in `weaver::WovenServant` to attach QoS.");
         self.line(&format!("pub struct {name}Servant<T: {name}> {{"));
         self.line("    inner: T,");
@@ -555,13 +550,19 @@ impl Generator<'_> {
         }
         for a in &i.attributes {
             self.line(&format!("            \"get_{}\" => {{", a.name));
-            self.line(&format!("                support::expect_arity(args, 0, \"get_{}\")?;", a.name));
+            self.line(&format!(
+                "                support::expect_arity(args, 0, \"get_{}\")?;",
+                a.name
+            ));
             self.line(&format!("                let value = self.inner.{}()?;", a.name));
             self.line(&format!("                Ok({})", to_any_expr("value", &a.ty)));
             self.line("            }");
             if !a.readonly {
                 self.line(&format!("            \"set_{}\" => {{", a.name));
-                self.line(&format!("                support::expect_arity(args, 1, \"set_{}\")?;", a.name));
+                self.line(&format!(
+                    "                support::expect_arity(args, 1, \"set_{}\")?;",
+                    a.name
+                ));
                 let conv = from_any_expr("&args[0]", &a.ty, &format!("set_{}", a.name));
                 self.line(&format!("                self.inner.set_{}({conv})?;", a.name));
                 self.line("                Ok(Any::Void)");
@@ -575,9 +576,7 @@ impl Generator<'_> {
         self.line("");
 
         // -- typed client stub -------------------------------------------
-        self.line(&format!(
-            "/// Typed client stub for `{name}` with a runtime mediator delegate"
-        ));
+        self.line(&format!("/// Typed client stub for `{name}` with a runtime mediator delegate"));
         self.line("/// (the client half of the QIDL weaving).");
         self.line("#[derive(Debug, Clone)]");
         self.line(&format!("pub struct {name}Stub {{"));
@@ -597,19 +596,13 @@ impl Generator<'_> {
             self.stub_method(op);
         }
         for a in &i.attributes {
-            self.line(&format!(
-                "    /// Read attribute `{}`.",
-                a.name
-            ));
+            self.line(&format!("    /// Read attribute `{}`.", a.name));
             self.line(&format!(
                 "    pub fn {}(&self) -> Result<{}, OrbError> {{",
                 a.name,
                 rust_type(&a.ty)
             ));
-            self.line(&format!(
-                "        let reply = self.stub.invoke(\"get_{}\", &[])?;",
-                a.name
-            ));
+            self.line(&format!("        let reply = self.stub.invoke(\"get_{}\", &[])?;", a.name));
             let conv = from_any_expr("&reply", &a.ty, &format!("get_{}", a.name));
             self.line(&format!("        Ok({conv})"));
             self.line("    }");
@@ -621,10 +614,7 @@ impl Generator<'_> {
                     rust_type(&a.ty)
                 ));
                 let arg = to_any_expr("value", &a.ty);
-                self.line(&format!(
-                    "        self.stub.invoke(\"set_{}\", &[{arg}])?;",
-                    a.name
-                ));
+                self.line(&format!("        self.stub.invoke(\"set_{}\", &[{arg}])?;", a.name));
                 self.line("        Ok(())");
                 self.line("    }");
             }
@@ -652,7 +642,8 @@ impl Generator<'_> {
             op.name
         ));
         for (idx, p) in ins.iter().enumerate() {
-            let conv = from_any_expr(&format!("&args[{idx}]"), &p.ty, &format!("{}.{}", op.name, p.name));
+            let conv =
+                from_any_expr(&format!("&args[{idx}]"), &p.ty, &format!("{}.{}", op.name, p.name));
             self.line(&format!("                let {} = {conv};", p.name));
         }
         let call_args: Vec<&str> = ins.iter().map(|p| p.name.as_str()).collect();
@@ -668,10 +659,7 @@ impl Generator<'_> {
             }
             n => {
                 let names: Vec<String> = (0..n).map(|k| format!("out{k}")).collect();
-                self.line(&format!(
-                    "                let ({}) = {call}?;",
-                    names.join(", ")
-                ));
+                self.line(&format!("                let ({}) = {call}?;", names.join(", ")));
                 self.line("                Ok(Any::Sequence(vec![");
                 for (k, (_, ty)) in outs.iter().enumerate() {
                     self.line(&format!(
@@ -695,8 +683,7 @@ impl Generator<'_> {
         }
         let _ = write!(sig, ") -> Result<{}, OrbError> {{", output_type(op));
         self.line(&sig);
-        let arg_exprs: Vec<String> =
-            ins.iter().map(|p| to_any_expr(&p.name, &p.ty)).collect();
+        let arg_exprs: Vec<String> = ins.iter().map(|p| to_any_expr(&p.name, &p.ty)).collect();
         if op.oneway {
             self.line(&format!(
                 "        self.stub.orb().invoke_oneway(self.stub.target(), \"{}\", &[{}], None)",
@@ -725,10 +712,7 @@ impl Generator<'_> {
                     "        let items = support::expect_seq(&reply, \"{}\")?;",
                     op.name
                 ));
-                self.line(&format!(
-                    "        support::expect_arity(items, {n}, \"{}\")?;",
-                    op.name
-                ));
+                self.line(&format!("        support::expect_arity(items, {n}, \"{}\")?;", op.name));
                 let convs: Vec<String> = outs
                     .iter()
                     .enumerate()
@@ -844,8 +828,12 @@ mod tests {
         assert!(g.contains("pub trait Ticker: Feed + Send + Sync {"));
         assert!(g.contains("fn latest(&self, symbol: String) -> Result<Quote, OrbError>;"));
         // multi: ret void, b inout, c out => outputs (i32, f64)
-        assert!(g.contains("fn multi(&self, a: String, b: i64) -> Result<(i64, f64), OrbError>;")
-            || g.contains("fn multi(&self, a: String, b: i32) -> Result<(i32, f64), OrbError>;"));
+        assert!(
+            g.contains("fn multi(&self, a: String, b: i64) -> Result<(i64, f64), OrbError>;")
+                || g.contains(
+                    "fn multi(&self, a: String, b: i32) -> Result<(i32, f64), OrbError>;"
+                )
+        );
     }
 
     #[test]

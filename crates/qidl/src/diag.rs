@@ -1,0 +1,248 @@
+//! Shared diagnostics for the QIDL pipeline and the `qoslint` analyses.
+//!
+//! Every finding is a [`Diagnostic`]: a stable lint code (`QL0xx` for
+//! compiler-enforced rules, `QL01x`/`QL1xx` for the `qoslint` passes), a
+//! [`Severity`], a human-readable message, an optional source [`Span`]
+//! and free-form notes. [`Diagnostics`] accumulates findings so that a
+//! single run can report *every* problem in a spec instead of stopping
+//! at the first one (see [`crate::sema::analyze`]).
+
+use crate::lexer::Span;
+use std::fmt;
+
+/// A stable diagnostic code, e.g. `QL003`.
+///
+/// Codes are never renumbered; retired codes are not reused. The
+/// front-end codes (`QL001`–`QL009`) live in [`codes`]; the `qoslint`
+/// crate defines the lint-only codes on top of this type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Code(pub &'static str);
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+/// The front-end (lex/parse/sema) diagnostic codes.
+pub mod codes {
+    use super::Code;
+
+    /// Lexical error (bad character, unterminated string/comment, …).
+    pub const LEX: Code = Code("QL001");
+    /// Syntax error.
+    pub const PARSE: Code = Code("QL002");
+    /// Duplicate name: definition, member, field or parameter.
+    pub const DUPLICATE: Code = Code("QL003");
+    /// Unresolved reference: type, base interface, characteristic or
+    /// exception.
+    pub const UNRESOLVED: Code = Code("QL004");
+    /// Interface inheritance cycle.
+    pub const CYCLE: Code = Code("QL005");
+    /// QoS parameter default is ill-typed or out of range.
+    pub const BAD_DEFAULT: Code = Code("QL006");
+    /// `oneway` constraint violation (non-void return, `raises`, or
+    /// `out`/`inout` parameters).
+    pub const ONEWAY: Code = Code("QL007");
+    /// Reserved name: leading `_` is for ORB built-ins and the weaving
+    /// runtime.
+    pub const RESERVED: Code = Code("QL008");
+    /// Invalid use of `void` (attribute, parameter or sequence element).
+    pub const VOID: Code = Code("QL009");
+}
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advice; never fails a run.
+    Help,
+    /// Suspicious but not fatal; fails a run only under `--deny-warnings`.
+    Warn,
+    /// A rule violation; always fails the run.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case name, as rendered (`error`, `warning`, `help`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warn => "warning",
+            Severity::Help => "help",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding: code, severity, message, optional span and notes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// The stable lint code.
+    pub code: Code,
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+    /// Source region the finding points at, when known.
+    pub span: Option<Span>,
+    /// Extra lines of context or advice.
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// A new diagnostic with the given severity.
+    pub fn new(severity: Severity, code: Code, message: impl Into<String>) -> Diagnostic {
+        Diagnostic { code, severity, message: message.into(), span: None, notes: Vec::new() }
+    }
+
+    /// An [`Severity::Error`] diagnostic.
+    pub fn error(code: Code, message: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(Severity::Error, code, message)
+    }
+
+    /// A [`Severity::Warn`] diagnostic.
+    pub fn warn(code: Code, message: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(Severity::Warn, code, message)
+    }
+
+    /// A [`Severity::Help`] diagnostic.
+    pub fn help(code: Code, message: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(Severity::Help, code, message)
+    }
+
+    /// Attach a source span.
+    pub fn with_span(mut self, span: Span) -> Diagnostic {
+        self.span = Some(span);
+        self
+    }
+
+    /// Attach a note line.
+    pub fn with_note(mut self, note: impl Into<String>) -> Diagnostic {
+        self.notes.push(note.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)?;
+        if let Some(span) = &self.span {
+            write!(f, " at {span}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered accumulator of [`Diagnostic`]s.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// An empty accumulator.
+    pub fn new() -> Diagnostics {
+        Diagnostics::default()
+    }
+
+    /// Record a finding.
+    pub fn push(&mut self, diagnostic: Diagnostic) {
+        self.items.push(diagnostic);
+    }
+
+    /// Record several findings.
+    pub fn extend(&mut self, diagnostics: impl IntoIterator<Item = Diagnostic>) {
+        self.items.extend(diagnostics);
+    }
+
+    /// All findings, in emission order.
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.items.iter()
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether any [`Severity::Error`] finding was recorded.
+    pub fn has_errors(&self) -> bool {
+        self.items.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of findings of the given severity.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.items.iter().filter(|d| d.severity == severity).count()
+    }
+
+    /// The first [`Severity::Error`] finding, if any.
+    pub fn first_error(&self) -> Option<&Diagnostic> {
+        self.items.iter().find(|d| d.severity == Severity::Error)
+    }
+
+    /// Consume the accumulator, yielding the findings.
+    pub fn into_vec(self) -> Vec<Diagnostic> {
+        self.items
+    }
+}
+
+impl IntoIterator for Diagnostics {
+    type Item = Diagnostic;
+    type IntoIter = std::vec::IntoIter<Diagnostic>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+impl FromIterator<Diagnostic> for Diagnostics {
+    fn from_iter<T: IntoIterator<Item = Diagnostic>>(iter: T) -> Diagnostics {
+        Diagnostics { items: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{Pos, Span};
+
+    #[test]
+    fn severity_orders_help_warn_error() {
+        assert!(Severity::Help < Severity::Warn);
+        assert!(Severity::Warn < Severity::Error);
+    }
+
+    #[test]
+    fn accumulator_counts_and_finds_errors() {
+        let mut acc = Diagnostics::new();
+        assert!(acc.is_empty() && !acc.has_errors());
+        acc.push(Diagnostic::warn(codes::DUPLICATE, "w"));
+        acc.push(Diagnostic::error(codes::UNRESOLVED, "e1"));
+        acc.push(Diagnostic::error(codes::CYCLE, "e2"));
+        acc.push(Diagnostic::help(codes::VOID, "h"));
+        assert_eq!(acc.len(), 4);
+        assert!(acc.has_errors());
+        assert_eq!(acc.count(Severity::Error), 2);
+        assert_eq!(acc.first_error().unwrap().message, "e1");
+    }
+
+    #[test]
+    fn display_includes_code_severity_and_span() {
+        let d = Diagnostic::error(codes::DUPLICATE, "duplicate definition `X`")
+            .with_span(Span::point(Pos { line: 3, col: 7 }))
+            .with_note("first defined here");
+        let s = d.to_string();
+        assert!(s.contains("error[QL003]"), "{s}");
+        assert!(s.contains("at 3:7"), "{s}");
+        assert_eq!(d.notes.len(), 1);
+    }
+}

@@ -17,6 +17,43 @@ impl fmt::Display for Pos {
     }
 }
 
+/// A source region: `start` is the first position of a construct and
+/// `end` the position just past its last character.
+///
+/// Spans originate in the lexer and are threaded through the parser
+/// into the AST so that semantic diagnostics (see [`crate::diag`]) can
+/// point back into the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Start of the region (inclusive).
+    pub start: Pos,
+    /// End of the region (exclusive).
+    pub end: Pos,
+}
+
+impl Span {
+    /// A span covering `start..end`.
+    pub fn new(start: Pos, end: Pos) -> Span {
+        Span { start, end }
+    }
+
+    /// A zero-width span at `pos`.
+    pub fn point(pos: Pos) -> Span {
+        Span { start: pos, end: pos }
+    }
+
+    /// Whether this is the default (absent) span.
+    pub fn is_dummy(&self) -> bool {
+        *self == Span::default()
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.start)
+    }
+}
+
 /// The kind of a token.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TokenKind {
@@ -74,13 +111,20 @@ impl fmt::Display for TokenKind {
     }
 }
 
-/// A token with its source position.
+/// A token with its source span.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
     /// What the token is.
     pub kind: TokenKind,
-    /// Where it starts.
-    pub pos: Pos,
+    /// The source region it covers.
+    pub span: Span,
+}
+
+impl Token {
+    /// The position the token starts at.
+    pub fn pos(&self) -> Pos {
+        self.span.start
+    }
 }
 
 /// A tokenization error.
@@ -232,9 +276,7 @@ impl<'a> Lexer<'a> {
                     Some(b'\\') => s.push('\\'),
                     Some(b'n') => s.push('\n'),
                     Some(b't') => s.push('\t'),
-                    Some(c) => {
-                        return Err(self.err(format!("unknown escape `\\{}`", c as char)))
-                    }
+                    Some(c) => return Err(self.err(format!("unknown escape `\\{}`", c as char))),
                     None => {
                         return Err(LexError {
                             message: "unterminated string".to_string(),
@@ -264,10 +306,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
     let mut tokens = Vec::new();
     loop {
         lx.skip_trivia()?;
-        let pos = lx.pos();
+        let start = lx.pos();
         let kind = match lx.peek() {
             None => {
-                tokens.push(Token { kind: TokenKind::Eof, pos });
+                tokens.push(Token { kind: TokenKind::Eof, span: Span::point(start) });
                 return Ok(tokens);
             }
             Some(c) if c.is_ascii_alphabetic() || c == b'_' => lx.ident(),
@@ -315,7 +357,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
             }
             Some(c) => return Err(lx.err(format!("unexpected character `{}`", c as char))),
         };
-        tokens.push(Token { kind, pos });
+        tokens.push(Token { kind, span: Span::new(start, lx.pos()) });
     }
 }
 
@@ -375,8 +417,16 @@ mod tests {
     #[test]
     fn positions_are_tracked() {
         let toks = lex("a\n  b").unwrap();
-        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
-        assert_eq!(toks[1].pos, Pos { line: 2, col: 3 });
+        assert_eq!(toks[0].pos(), Pos { line: 1, col: 1 });
+        assert_eq!(toks[1].pos(), Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn spans_cover_whole_tokens() {
+        let toks = lex("abc 42").unwrap();
+        assert_eq!(toks[0].span, Span::new(Pos { line: 1, col: 1 }, Pos { line: 1, col: 4 }));
+        assert_eq!(toks[1].span, Span::new(Pos { line: 1, col: 5 }, Pos { line: 1, col: 7 }));
+        assert!(toks[2].span.start == toks[2].span.end); // Eof is zero-width
     }
 
     #[test]

@@ -76,6 +76,7 @@
 
 pub mod ast;
 pub mod codegen;
+pub mod diag;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;
@@ -83,6 +84,7 @@ pub mod repo;
 pub mod sema;
 
 pub use ast::Spec;
+pub use diag::{Diagnostic, Diagnostics, Severity};
 pub use lexer::{LexError, Token, TokenKind};
 pub use parser::ParseError;
 pub use repo::InterfaceRepository;
@@ -145,6 +147,34 @@ pub fn compile(source: &str) -> Result<Spec, QidlError> {
     Ok(spec)
 }
 
+/// Run the full front-end, accumulating *every* finding as a
+/// [`Diagnostic`] instead of stopping at the first error.
+///
+/// Lexical (`QL001`) and syntactic (`QL002`) failures are fatal — no
+/// [`Spec`] can be produced — so the spec is `None` and exactly one
+/// diagnostic is returned. Once a spec parses, [`sema::analyze`] reports
+/// all semantic violations at once; the spec is still returned so later
+/// passes (e.g. `qoslint`) can keep analysing it.
+pub fn analyze(source: &str) -> (Option<Spec>, Diagnostics) {
+    let tokens = match lexer::lex(source) {
+        Ok(t) => t,
+        Err(e) => {
+            let d = Diagnostic::error(diag::codes::LEX, e.message.clone())
+                .with_span(lexer::Span::point(e.pos));
+            return (None, std::iter::once(d).collect());
+        }
+    };
+    let spec = match parser::parse(&tokens) {
+        Ok(s) => s,
+        Err(e) => {
+            let d = Diagnostic::error(diag::codes::PARSE, e.message.clone()).with_span(e.span);
+            return (None, std::iter::once(d).collect());
+        }
+    };
+    let diags = sema::analyze(&spec);
+    (Some(spec), diags)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,15 +189,31 @@ mod tests {
     fn compile_reports_stage_errors() {
         assert!(matches!(compile("interface \u{1}"), Err(QidlError::Lex(_))));
         assert!(matches!(compile("interface {"), Err(QidlError::Parse(_))));
-        assert!(matches!(
-            compile("interface I with qos Missing {};"),
-            Err(QidlError::Sema(_))
-        ));
+        assert!(matches!(compile("interface I with qos Missing {};"), Err(QidlError::Sema(_))));
     }
 
     #[test]
     fn error_display_mentions_stage() {
         let e = compile("interface {").unwrap_err();
         assert!(e.to_string().starts_with("parse error"));
+    }
+
+    #[test]
+    fn analyze_maps_stage_failures_to_codes() {
+        let (spec, diags) = analyze("interface \u{1}");
+        assert!(spec.is_none());
+        assert_eq!(diags.iter().next().unwrap().code, diag::codes::LEX);
+
+        let (spec, diags) = analyze("interface {");
+        assert!(spec.is_none());
+        assert_eq!(diags.iter().next().unwrap().code, diag::codes::PARSE);
+
+        let (spec, diags) = analyze("interface I : Ghost, Phantom {};");
+        assert!(spec.is_some(), "semantic errors still yield a spec");
+        assert_eq!(diags.len(), 2);
+
+        let (spec, diags) = analyze("interface I {};");
+        assert!(spec.is_some());
+        assert!(diags.is_empty());
     }
 }

@@ -1,7 +1,7 @@
 //! Recursive-descent parser for QIDL.
 
 use crate::ast::*;
-use crate::lexer::{Pos, Token, TokenKind};
+use crate::lexer::{Span, Token, TokenKind};
 use std::fmt;
 
 /// A syntax error.
@@ -10,12 +10,12 @@ pub struct ParseError {
     /// Description of the problem.
     pub message: String,
     /// Where it occurred.
-    pub pos: Pos,
+    pub span: Span,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} at {}", self.message, self.pos)
+        write!(f, "{} at {}", self.message, self.span)
     }
 }
 
@@ -42,7 +42,7 @@ impl<'a> Parser<'a> {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> PResult<T> {
-        Err(ParseError { message: message.into(), pos: self.peek().pos })
+        Err(ParseError { message: message.into(), span: self.peek().span })
     }
 
     fn expect(&mut self, kind: &TokenKind) -> PResult<()> {
@@ -72,16 +72,22 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn ident(&mut self) -> PResult<String> {
+    /// An identifier together with its source span.
+    fn spanned_ident(&mut self) -> PResult<(String, Span)> {
         match &self.peek().kind {
             TokenKind::Ident(s) if !is_keyword(s) => {
                 let s = s.clone();
+                let span = self.peek().span;
                 self.bump();
-                Ok(s)
+                Ok((s, span))
             }
             TokenKind::Ident(s) => self.err(format!("`{s}` is a keyword, not a name")),
             other => self.err(format!("expected identifier, found {other}")),
         }
+    }
+
+    fn ident(&mut self) -> PResult<String> {
+        self.spanned_ident().map(|(s, _)| s)
     }
 
     fn spec(&mut self) -> PResult<Spec> {
@@ -108,9 +114,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn struct_def(&mut self) -> PResult<StructDef> {
-        self.expect_kw("struct")?;
-        let name = self.ident()?;
+    fn fields(&mut self) -> PResult<Vec<(String, Type)>> {
         self.expect(&TokenKind::LBrace)?;
         let mut fields = Vec::new();
         while self.peek().kind != TokenKind::RBrace {
@@ -121,42 +125,33 @@ impl<'a> Parser<'a> {
         }
         self.expect(&TokenKind::RBrace)?;
         self.expect(&TokenKind::Semi)?;
-        Ok(StructDef { name, fields })
+        Ok(fields)
+    }
+
+    fn struct_def(&mut self) -> PResult<StructDef> {
+        self.expect_kw("struct")?;
+        let (name, span) = self.spanned_ident()?;
+        let fields = self.fields()?;
+        Ok(StructDef { name, fields, span })
     }
 
     fn exception_def(&mut self) -> PResult<ExceptionDef> {
         self.expect_kw("exception")?;
-        let name = self.ident()?;
-        self.expect(&TokenKind::LBrace)?;
-        let mut fields = Vec::new();
-        while self.peek().kind != TokenKind::RBrace {
-            let ty = self.ty()?;
-            let fname = self.ident()?;
-            self.expect(&TokenKind::Semi)?;
-            fields.push((fname, ty));
-        }
-        self.expect(&TokenKind::RBrace)?;
-        self.expect(&TokenKind::Semi)?;
-        Ok(ExceptionDef { name, fields })
+        let (name, span) = self.spanned_ident()?;
+        let fields = self.fields()?;
+        Ok(ExceptionDef { name, fields, span })
     }
 
     fn qos_def(&mut self) -> PResult<QosDef> {
         self.expect_kw("qos")?;
-        let name = self.ident()?;
+        let (name, span) = self.spanned_ident()?;
         let category = if self.eat_kw("category") { Some(self.ident()?) } else { None };
         self.expect(&TokenKind::LBrace)?;
-        let mut def = QosDef {
-            name,
-            category,
-            params: Vec::new(),
-            management: Vec::new(),
-            peer: Vec::new(),
-            integration: Vec::new(),
-        };
+        let mut def = QosDef { name, category, span, ..Default::default() };
         while self.peek().kind != TokenKind::RBrace {
             if self.eat_kw("param") {
                 let ty = self.ty()?;
-                let pname = self.ident()?;
+                let (pname, pspan) = self.spanned_ident()?;
                 let default = if self.peek().kind == TokenKind::Eq {
                     self.bump();
                     Some(self.literal()?)
@@ -164,7 +159,7 @@ impl<'a> Parser<'a> {
                     None
                 };
                 self.expect(&TokenKind::Semi)?;
-                def.params.push(QosParam { name: pname, ty, default });
+                def.params.push(QosParam { name: pname, ty, default, span: pspan });
             } else if self.eat_kw("management") {
                 def.management.extend(self.operation_block()?);
             } else if self.eat_kw("peer") {
@@ -196,23 +191,33 @@ impl<'a> Parser<'a> {
 
     fn interface_def(&mut self) -> PResult<InterfaceDef> {
         self.expect_kw("interface")?;
-        let name = self.ident()?;
+        let (name, span) = self.spanned_ident()?;
         let mut inherits = Vec::new();
+        let mut inherits_spans = Vec::new();
         if self.peek().kind == TokenKind::Colon {
             self.bump();
-            inherits.push(self.ident()?);
-            while self.peek().kind == TokenKind::Comma {
+            loop {
+                let (base, bspan) = self.spanned_ident()?;
+                inherits.push(base);
+                inherits_spans.push(bspan);
+                if self.peek().kind != TokenKind::Comma {
+                    break;
+                }
                 self.bump();
-                inherits.push(self.ident()?);
             }
         }
         let mut qos = Vec::new();
+        let mut qos_spans = Vec::new();
         if self.eat_kw("with") {
             self.expect_kw("qos")?;
-            qos.push(self.ident()?);
-            while self.peek().kind == TokenKind::Comma {
+            loop {
+                let (tag, tspan) = self.spanned_ident()?;
+                qos.push(tag);
+                qos_spans.push(tspan);
+                if self.peek().kind != TokenKind::Comma {
+                    break;
+                }
                 self.bump();
-                qos.push(self.ident()?);
             }
         }
         self.expect(&TokenKind::LBrace)?;
@@ -229,22 +234,31 @@ impl<'a> Parser<'a> {
         }
         self.expect(&TokenKind::RBrace)?;
         self.expect(&TokenKind::Semi)?;
-        Ok(InterfaceDef { name, inherits, qos, operations, attributes })
+        Ok(InterfaceDef {
+            name,
+            inherits,
+            qos,
+            operations,
+            attributes,
+            span,
+            inherits_spans,
+            qos_spans,
+        })
     }
 
     fn attribute(&mut self) -> PResult<Attribute> {
         let readonly = self.eat_kw("readonly");
         self.expect_kw("attribute")?;
         let ty = self.ty()?;
-        let name = self.ident()?;
+        let (name, span) = self.spanned_ident()?;
         self.expect(&TokenKind::Semi)?;
-        Ok(Attribute { name, ty, readonly })
+        Ok(Attribute { name, ty, readonly, span })
     }
 
     fn operation(&mut self) -> PResult<Operation> {
         let oneway = self.eat_kw("oneway");
         let ret = self.ty()?;
-        let name = self.ident()?;
+        let (name, span) = self.spanned_ident()?;
         self.expect(&TokenKind::LParen)?;
         let mut params = Vec::new();
         if self.peek().kind != TokenKind::RParen {
@@ -266,13 +280,9 @@ impl<'a> Parser<'a> {
             self.expect(&TokenKind::RParen)?;
         }
         self.expect(&TokenKind::Semi)?;
-        if oneway && ret != Type::Void {
-            return self.err(format!("oneway operation `{name}` must return void"));
-        }
-        if oneway && !raises.is_empty() {
-            return self.err(format!("oneway operation `{name}` may not raise exceptions"));
-        }
-        Ok(Operation { name, oneway, ret, params, raises })
+        // `oneway` constraints (void return, no raises, `in`-only params)
+        // are semantic rules: `sema` reports them all, with spans.
+        Ok(Operation { name, oneway, ret, params, raises, span })
     }
 
     fn param(&mut self) -> PResult<Param> {
@@ -286,8 +296,8 @@ impl<'a> Parser<'a> {
             Direction::In
         };
         let ty = self.ty()?;
-        let name = self.ident()?;
-        Ok(Param { direction, name, ty })
+        let (name, span) = self.spanned_ident()?;
+        Ok(Param { direction, name, ty, span })
     }
 
     fn ty(&mut self) -> PResult<Type> {
@@ -416,12 +426,16 @@ pub(crate) fn is_keyword(s: &str) -> bool {
 ///
 /// # Errors
 ///
-/// Returns the first [`ParseError`] encountered.
+/// Returns the first [`ParseError`] encountered, including when the
+/// token stream does not end with [`TokenKind::Eof`] (always use
+/// [`crate::lexer::lex`] to produce the stream).
 pub fn parse(tokens: &[Token]) -> Result<Spec, ParseError> {
-    assert!(
-        matches!(tokens.last().map(|t| &t.kind), Some(TokenKind::Eof)),
-        "token stream must end with Eof (use qidl::lexer::lex)"
-    );
+    if !matches!(tokens.last().map(|t| &t.kind), Some(TokenKind::Eof)) {
+        return Err(ParseError {
+            message: "token stream must end with Eof (use qidl::lexer::lex)".to_string(),
+            span: tokens.last().map(|t| t.span).unwrap_or_default(),
+        });
+    }
     Parser { tokens, i: 0 }.spec()
 }
 
@@ -523,17 +537,12 @@ mod tests {
         );
         let s = spec.struct_def("Quote").unwrap();
         assert_eq!(s.fields[2].1, Type::ULongLong);
-        assert_eq!(
-            s.fields[4].1,
-            Type::Sequence(Box::new(Type::Sequence(Box::new(Type::Double))))
-        );
+        assert_eq!(s.fields[4].1, Type::Sequence(Box::new(Type::Sequence(Box::new(Type::Double)))));
     }
 
     #[test]
     fn named_types_in_operations() {
-        let spec = parse_ok(
-            "struct P { double x; };\ninterface I { P get(in P p); };",
-        );
+        let spec = parse_ok("struct P { double x; };\ninterface I { P get(in P p); };");
         let op = &spec.interface("I").unwrap().operations[0];
         assert_eq!(op.ret, Type::Named("P".into()));
         assert_eq!(op.params[0].ty, Type::Named("P".into()));
@@ -548,14 +557,17 @@ mod tests {
     #[test]
     fn syntax_errors_have_positions() {
         let e = parse_err("interface I {");
-        assert!(e.pos.line >= 1);
+        assert!(e.span.start.line >= 1);
         assert!(e.message.contains("expected"));
     }
 
     #[test]
-    fn oneway_constraints() {
-        assert!(parse(&lex("interface I { oneway long f(); };").unwrap()).is_err());
-        assert!(parse(&lex("interface I { oneway void f() raises (E); };").unwrap()).is_err());
+    fn oneway_constraints_are_semantic_not_syntactic() {
+        // The parser accepts these; `sema` rejects them (with spans).
+        let spec = parse_ok("interface I { oneway long f(); };");
+        assert!(crate::sema::check(&spec).is_err());
+        let spec = parse_ok("exception E {}; interface I { oneway void f() raises (E); };");
+        assert!(crate::sema::check(&spec).is_err());
     }
 
     #[test]
@@ -588,5 +600,27 @@ mod tests {
     fn missing_semicolons_rejected() {
         assert!(parse(&lex("interface I {}").unwrap()).is_err());
         assert!(parse(&lex("interface I { void f() };").unwrap()).is_err());
+    }
+
+    #[test]
+    fn spans_point_at_defining_names() {
+        let spec = parse_ok("interface Iface {\n    void op();\n};");
+        let i = spec.interface("Iface").unwrap();
+        assert_eq!((i.span.start.line, i.span.start.col), (1, 11));
+        assert_eq!((i.operations[0].span.start.line, i.operations[0].span.start.col), (2, 10));
+    }
+
+    #[test]
+    fn qos_tag_spans_are_recorded() {
+        let spec = parse_ok("qos A {};\nqos B {};\ninterface I with qos A, B {};");
+        let i = spec.interface("I").unwrap();
+        assert_eq!(i.qos_spans.len(), 2);
+        assert_eq!(i.qos_span(0).start.line, 3);
+        assert!(i.qos_span(1).start.col > i.qos_span(0).start.col);
+    }
+
+    #[test]
+    fn bad_token_stream_is_an_error_not_a_panic() {
+        assert!(parse(&[]).is_err());
     }
 }

@@ -151,8 +151,14 @@ mod tests {
             name: "f".into(),
             oneway: false,
             ret: Type::Long,
-            params: vec![Param { direction: Direction::InOut, name: "x".into(), ty: Type::Str }],
+            params: vec![Param {
+                direction: Direction::InOut,
+                name: "x".into(),
+                ty: Type::Str,
+                ..Default::default()
+            }],
             raises: vec!["E".into()],
+            ..Default::default()
         };
         assert_eq!(operation_to_string(&op), "long f(inout string x) raises (E);");
     }

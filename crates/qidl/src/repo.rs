@@ -181,8 +181,7 @@ impl InterfaceRepository {
     /// (the woven server of Fig. 2 "accepts potentially all assigned QoS
     /// operations").
     pub fn lookup_woven(&self, iface: &str, op: &str) -> Option<(OpOrigin, &Operation)> {
-        if let Some(found) = self.application_operations(iface).into_iter().find(|o| o.name == op)
-        {
+        if let Some(found) = self.application_operations(iface).into_iter().find(|o| o.name == op) {
             return Some((OpOrigin::Application, found));
         }
         for q in self.assigned_qos(iface) {
@@ -195,7 +194,7 @@ impl InterfaceRepository {
 }
 
 fn collision(name: &str) -> sema::SemaError {
-    sema::SemaError { message: format!("`{name}` is already defined in the repository") }
+    sema::SemaError::new(format!("`{name}` is already defined in the repository"))
 }
 
 #[cfg(test)]

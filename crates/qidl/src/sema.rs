@@ -2,30 +2,50 @@
 //!
 //! Enforces the language rules the parser cannot: name uniqueness,
 //! resolution of named types / base interfaces / assigned QoS
-//! characteristics, inheritance acyclicity, default-value typing, and the
-//! reservation of `_`-prefixed operation names (used by the ORB built-ins
-//! and the weaving runtime).
+//! characteristics, inheritance acyclicity, default-value typing,
+//! `oneway` constraints, and the reservation of `_`-prefixed operation
+//! names (used by the ORB built-ins and the weaving runtime).
+//!
+//! [`analyze`] accumulates *every* violation as a
+//! [`Diagnostic`](crate::diag::Diagnostic) with a source span;
+//! [`check`]/[`check_with`] are thin wrappers that keep the historical
+//! first-error-only [`Result`] API.
 
 use crate::ast::*;
+use crate::diag::{codes, Code, Diagnostic, Diagnostics};
+use crate::lexer::Span;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
-/// A semantic error.
+/// A semantic error (the first one found, see [`check`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SemaError {
     /// Description of the problem.
     pub message: String,
+    /// Where it occurred, when known.
+    pub span: Option<Span>,
 }
 
 impl SemaError {
-    fn new(message: impl Into<String>) -> SemaError {
-        SemaError { message: message.into() }
+    /// A spanless semantic error.
+    pub fn new(message: impl Into<String>) -> SemaError {
+        SemaError { message: message.into(), span: None }
+    }
+}
+
+impl From<&Diagnostic> for SemaError {
+    fn from(d: &Diagnostic) -> SemaError {
+        SemaError { message: d.message.clone(), span: d.span }
     }
 }
 
 impl fmt::Display for SemaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.message)
+        f.write_str(&self.message)?;
+        if let Some(span) = &self.span {
+            write!(f, " at {span}")?;
+        }
+        Ok(())
     }
 }
 
@@ -49,7 +69,7 @@ pub struct Externals {
 ///
 /// # Errors
 ///
-/// Returns the first violation found.
+/// Returns the first violation found. Use [`analyze`] to get them all.
 pub fn check(spec: &Spec) -> Result<(), SemaError> {
     check_with(spec, &Externals::default())
 }
@@ -58,18 +78,33 @@ pub fn check(spec: &Spec) -> Result<(), SemaError> {
 ///
 /// # Errors
 ///
-/// Returns the first violation found.
+/// Returns the first violation found. Use [`analyze_with`] to get them
+/// all.
 pub fn check_with(spec: &Spec, env: &Externals) -> Result<(), SemaError> {
+    match analyze_with(spec, env).first_error() {
+        Some(d) => Err(SemaError::from(d)),
+        None => Ok(()),
+    }
+}
+
+/// Analyze a self-contained [`Spec`], accumulating every violation.
+pub fn analyze(spec: &Spec) -> Diagnostics {
+    analyze_with(spec, &Externals::default())
+}
+
+/// Analyze a [`Spec`] against externally known names, accumulating
+/// every violation instead of stopping at the first.
+pub fn analyze_with(spec: &Spec, env: &Externals) -> Diagnostics {
+    let mut acc = Diagnostics::new();
+
     let mut names: HashSet<&str> = HashSet::new();
     for def in &spec.definitions {
-        let name = match def {
-            Definition::Struct(s) => &s.name,
-            Definition::Exception(e) => &e.name,
-            Definition::Qos(q) => &q.name,
-            Definition::Interface(i) => &i.name,
-        };
-        if !names.insert(name) {
-            return Err(SemaError::new(format!("duplicate definition `{name}`")));
+        if !names.insert(def.name()) {
+            acc.push(err(
+                codes::DUPLICATE,
+                format!("duplicate definition `{}`", def.name()),
+                def.span(),
+            ));
         }
     }
 
@@ -86,176 +121,255 @@ pub fn check_with(spec: &Spec, env: &Externals) -> Result<(), SemaError> {
     }
 
     for s in spec.structs() {
-        let mut fields = HashSet::new();
-        for (fname, fty) in &s.fields {
-            if !fields.insert(fname.as_str()) {
-                return Err(SemaError::new(format!(
-                    "duplicate field `{fname}` in struct `{}`",
-                    s.name
-                )));
-            }
-            check_type(fty, &structs, &format!("field `{}.{}`", s.name, fname))?;
-        }
+        check_fields(&mut acc, &s.fields, &structs, "struct", &s.name, s.span);
     }
 
     for e in spec.exceptions() {
-        let mut fields = HashSet::new();
-        for (fname, fty) in &e.fields {
-            if !fields.insert(fname.as_str()) {
-                return Err(SemaError::new(format!(
-                    "duplicate field `{fname}` in exception `{}`",
-                    e.name
-                )));
-            }
-            check_type(fty, &structs, &format!("field `{}.{}`", e.name, fname))?;
-        }
+        check_fields(&mut acc, &e.fields, &structs, "exception", &e.name, e.span);
     }
 
     for q in spec.qos_characteristics() {
         let mut params = HashSet::new();
         for p in &q.params {
             if !params.insert(p.name.as_str()) {
-                return Err(SemaError::new(format!(
-                    "duplicate param `{}` in qos `{}`",
-                    p.name, q.name
-                )));
+                acc.push(err(
+                    codes::DUPLICATE,
+                    format!("duplicate param `{}` in qos `{}`", p.name, q.name),
+                    p.span,
+                ));
             }
-            check_type(&p.ty, &structs, &format!("param `{}.{}`", q.name, p.name))?;
+            check_type(
+                &mut acc,
+                &p.ty,
+                &structs,
+                &format!("param `{}.{}`", q.name, p.name),
+                p.span,
+            );
             if let Some(default) = &p.default {
-                check_default(&p.ty, default, &q.name, &p.name)?;
-            }
-        }
-        check_operations(q.all_operations(), &structs, &exceptions, &format!("qos `{}`", q.name))?;
-    }
-
-    for i in spec.interfaces() {
-        for base in &i.inherits {
-            if !interfaces.contains_key(base.as_str()) {
-                return Err(SemaError::new(format!(
-                    "interface `{}` inherits unknown interface `{base}`",
-                    i.name
-                )));
-            }
-        }
-        for tag in &i.qos {
-            if !qos.contains(tag.as_str()) {
-                return Err(SemaError::new(format!(
-                    "interface `{}` assigned unknown qos characteristic `{tag}`",
-                    i.name
-                )));
-            }
-        }
-        let mut qos_seen = HashSet::new();
-        for tag in &i.qos {
-            if !qos_seen.insert(tag.as_str()) {
-                return Err(SemaError::new(format!(
-                    "interface `{}` assigns qos `{tag}` twice",
-                    i.name
-                )));
+                check_default(&mut acc, &p.ty, default, &q.name, p);
             }
         }
         check_operations(
+            &mut acc,
+            q.all_operations(),
+            &structs,
+            &exceptions,
+            &format!("qos `{}`", q.name),
+        );
+    }
+
+    for i in spec.interfaces() {
+        for (idx, base) in i.inherits.iter().enumerate() {
+            if !interfaces.contains_key(base.as_str()) {
+                acc.push(err(
+                    codes::UNRESOLVED,
+                    format!("interface `{}` inherits unknown interface `{base}`", i.name),
+                    i.inherit_span(idx),
+                ));
+            }
+        }
+        let mut qos_seen = HashSet::new();
+        for (idx, tag) in i.qos.iter().enumerate() {
+            if !qos.contains(tag.as_str()) {
+                acc.push(err(
+                    codes::UNRESOLVED,
+                    format!("interface `{}` assigned unknown qos characteristic `{tag}`", i.name),
+                    i.qos_span(idx),
+                ));
+            }
+            if !qos_seen.insert(tag.as_str()) {
+                acc.push(err(
+                    codes::DUPLICATE,
+                    format!("interface `{}` assigns qos `{tag}` twice", i.name),
+                    i.qos_span(idx),
+                ));
+            }
+        }
+        check_operations(
+            &mut acc,
             i.operations.iter(),
             &structs,
             &exceptions,
             &format!("interface `{}`", i.name),
-        )?;
+        );
         let mut members: HashSet<&str> = i.operations.iter().map(|o| o.name.as_str()).collect();
         for a in &i.attributes {
             if !members.insert(a.name.as_str()) {
-                return Err(SemaError::new(format!(
-                    "duplicate member `{}` in interface `{}`",
-                    a.name, i.name
-                )));
+                acc.push(err(
+                    codes::DUPLICATE,
+                    format!("duplicate member `{}` in interface `{}`", a.name, i.name),
+                    a.span,
+                ));
             }
-            check_type(&a.ty, &structs, &format!("attribute `{}.{}`", i.name, a.name))?;
+            check_type(
+                &mut acc,
+                &a.ty,
+                &structs,
+                &format!("attribute `{}.{}`", i.name, a.name),
+                a.span,
+            );
             if a.ty == Type::Void {
-                return Err(SemaError::new(format!(
-                    "attribute `{}.{}` cannot be void",
-                    i.name, a.name
-                )));
+                acc.push(err(
+                    codes::VOID,
+                    format!("attribute `{}.{}` cannot be void", i.name, a.name),
+                    a.span,
+                ));
             }
         }
     }
 
-    check_inheritance_cycles(&interfaces)?;
-    Ok(())
+    check_inheritance_cycles(&mut acc, &interfaces);
+    acc
+}
+
+fn err(code: Code, message: String, span: Span) -> Diagnostic {
+    let d = Diagnostic::error(code, message);
+    if span.is_dummy() {
+        d
+    } else {
+        d.with_span(span)
+    }
+}
+
+fn check_fields(
+    acc: &mut Diagnostics,
+    fields: &[(String, Type)],
+    structs: &HashSet<&str>,
+    kind: &str,
+    owner: &str,
+    span: Span,
+) {
+    let mut seen = HashSet::new();
+    for (fname, fty) in fields {
+        if !seen.insert(fname.as_str()) {
+            acc.push(err(
+                codes::DUPLICATE,
+                format!("duplicate field `{fname}` in {kind} `{owner}`"),
+                span,
+            ));
+        }
+        check_type(acc, fty, structs, &format!("field `{owner}.{fname}`"), span);
+    }
 }
 
 fn check_operations<'a, I: Iterator<Item = &'a Operation>>(
+    acc: &mut Diagnostics,
     ops: I,
     structs: &HashSet<&str>,
     exceptions: &HashSet<&str>,
     ctx: &str,
-) -> Result<(), SemaError> {
+) {
     let mut names = HashSet::new();
     for op in ops {
         if !names.insert(op.name.as_str()) {
-            return Err(SemaError::new(format!("duplicate operation `{}` in {ctx}", op.name)));
+            acc.push(err(
+                codes::DUPLICATE,
+                format!("duplicate operation `{}` in {ctx}", op.name),
+                op.span,
+            ));
         }
         if op.name.starts_with('_') {
-            return Err(SemaError::new(format!(
-                "operation name `{}` in {ctx} is reserved (leading underscore)",
-                op.name
-            )));
+            acc.push(err(
+                codes::RESERVED,
+                format!("operation name `{}` in {ctx} is reserved (leading underscore)", op.name),
+                op.span,
+            ));
         }
         if op.ret != Type::Void {
-            check_type(&op.ret, structs, &format!("return of `{}` in {ctx}", op.name))?;
+            check_type(
+                acc,
+                &op.ret,
+                structs,
+                &format!("return of `{}` in {ctx}", op.name),
+                op.span,
+            );
+        }
+        if op.oneway && op.ret != Type::Void {
+            acc.push(err(
+                codes::ONEWAY,
+                format!("oneway operation `{}` in {ctx} must return void", op.name),
+                op.span,
+            ));
+        }
+        if op.oneway && !op.raises.is_empty() {
+            acc.push(err(
+                codes::ONEWAY,
+                format!("oneway operation `{}` in {ctx} may not raise exceptions", op.name),
+                op.span,
+            ));
         }
         for raised in &op.raises {
             if !exceptions.contains(raised.as_str()) {
-                return Err(SemaError::new(format!(
-                    "operation `{}` in {ctx} raises undeclared exception `{raised}`",
-                    op.name
-                )));
+                acc.push(err(
+                    codes::UNRESOLVED,
+                    format!(
+                        "operation `{}` in {ctx} raises undeclared exception `{raised}`",
+                        op.name
+                    ),
+                    op.span,
+                ));
             }
         }
         let mut params = HashSet::new();
         for p in &op.params {
             if !params.insert(p.name.as_str()) {
-                return Err(SemaError::new(format!(
-                    "duplicate parameter `{}` in operation `{}` of {ctx}",
-                    p.name, op.name
-                )));
+                acc.push(err(
+                    codes::DUPLICATE,
+                    format!("duplicate parameter `{}` in operation `{}` of {ctx}", p.name, op.name),
+                    p.span,
+                ));
             }
             if p.ty == Type::Void {
-                return Err(SemaError::new(format!(
-                    "parameter `{}` of `{}` in {ctx} cannot be void",
-                    p.name, op.name
-                )));
+                acc.push(err(
+                    codes::VOID,
+                    format!("parameter `{}` of `{}` in {ctx} cannot be void", p.name, op.name),
+                    p.span,
+                ));
             }
-            check_type(&p.ty, structs, &format!("parameter `{}` of `{}` in {ctx}", p.name, op.name))?;
+            check_type(
+                acc,
+                &p.ty,
+                structs,
+                &format!("parameter `{}` of `{}` in {ctx}", p.name, op.name),
+                p.span,
+            );
             if op.oneway && p.direction != Direction::In {
-                return Err(SemaError::new(format!(
-                    "oneway operation `{}` in {ctx} may only have `in` parameters",
-                    op.name
-                )));
+                acc.push(err(
+                    codes::ONEWAY,
+                    format!(
+                        "oneway operation `{}` in {ctx} may only have `in` parameters",
+                        op.name
+                    ),
+                    p.span,
+                ));
             }
         }
     }
-    Ok(())
 }
 
-fn check_type(ty: &Type, structs: &HashSet<&str>, ctx: &str) -> Result<(), SemaError> {
+fn check_type(acc: &mut Diagnostics, ty: &Type, structs: &HashSet<&str>, ctx: &str, span: Span) {
     match ty {
         Type::Named(n) if !structs.contains(n.as_str()) => {
-            Err(SemaError::new(format!("unknown type `{n}` in {ctx}")))
+            acc.push(err(codes::UNRESOLVED, format!("unknown type `{n}` in {ctx}"), span));
         }
         Type::Sequence(elem) => {
             if **elem == Type::Void {
-                return Err(SemaError::new(format!("sequence of void in {ctx}")));
+                acc.push(err(codes::VOID, format!("sequence of void in {ctx}"), span));
+                return;
             }
-            check_type(elem, structs, ctx)
+            check_type(acc, elem, structs, ctx, span);
         }
-        _ => Ok(()),
+        _ => {}
     }
 }
 
-fn check_default(ty: &Type, lit: &Literal, qos: &str, param: &str) -> Result<(), SemaError> {
+fn check_default(acc: &mut Diagnostics, ty: &Type, lit: &Literal, qos: &str, p: &QosParam) {
     let ok = matches!(
         (ty, lit),
-        (Type::Long | Type::ULong | Type::LongLong | Type::ULongLong | Type::Octet, Literal::Int(_))
-            | (Type::Double, Literal::Float(_))
+        (
+            Type::Long | Type::ULong | Type::LongLong | Type::ULongLong | Type::Octet,
+            Literal::Int(_)
+        ) | (Type::Double, Literal::Float(_))
             | (Type::Double, Literal::Int(_))
             | (Type::Str, Literal::Str(_))
             | (Type::Boolean, Literal::Bool(_))
@@ -271,22 +385,26 @@ fn check_default(ty: &Type, lit: &Literal, qos: &str, param: &str) -> Result<(),
                 _ => true,
             };
             if !in_range {
-                return Err(SemaError::new(format!(
-                    "default {v} out of range for `{ty}` param `{qos}.{param}`"
-                )));
+                acc.push(err(
+                    codes::BAD_DEFAULT,
+                    format!("default {v} out of range for `{ty}` param `{qos}.{}`", p.name),
+                    p.span,
+                ));
             }
         }
-        Ok(())
     } else {
-        Err(SemaError::new(format!(
-            "default value {lit} does not match type `{ty}` of param `{qos}.{param}`"
-        )))
+        acc.push(err(
+            codes::BAD_DEFAULT,
+            format!("default value {lit} does not match type `{ty}` of param `{qos}.{}`", p.name),
+            p.span,
+        ));
     }
 }
 
 fn check_inheritance_cycles(
+    acc: &mut Diagnostics,
     interfaces: &HashMap<&str, Option<&InterfaceDef>>,
-) -> Result<(), SemaError> {
+) {
     // DFS with colouring. External interfaces (`None`) were validated by
     // their own load and cannot participate in a cycle with new names.
     #[derive(Clone, Copy, PartialEq)]
@@ -299,32 +417,36 @@ fn check_inheritance_cycles(
         interfaces.keys().map(|k| (*k, Colour::White)).collect();
 
     fn visit<'a>(
+        acc: &mut Diagnostics,
         name: &'a str,
         interfaces: &HashMap<&'a str, Option<&'a InterfaceDef>>,
         colour: &mut HashMap<&'a str, Colour>,
-    ) -> Result<(), SemaError> {
+    ) {
         match colour.get(name) {
-            Some(Colour::Black) | None => return Ok(()),
+            Some(Colour::Black) | None => return,
             Some(Colour::Grey) => {
-                return Err(SemaError::new(format!("inheritance cycle through `{name}`")))
+                let span =
+                    interfaces.get(name).and_then(|d| *d).map(|d| d.span).unwrap_or_default();
+                acc.push(err(codes::CYCLE, format!("inheritance cycle through `{name}`"), span));
+                return;
             }
             Some(Colour::White) => {}
         }
         colour.insert(name, Colour::Grey);
         if let Some(Some(def)) = interfaces.get(name) {
             for base in &def.inherits {
-                visit(base, interfaces, colour)?;
+                visit(acc, base, interfaces, colour);
             }
         }
         colour.insert(name, Colour::Black);
-        Ok(())
     }
 
-    let names: Vec<&str> = interfaces.keys().copied().collect();
+    // Sorted for deterministic diagnostic order.
+    let mut names: Vec<&str> = interfaces.keys().copied().collect();
+    names.sort_unstable();
     for name in names {
-        visit(name, interfaces, &mut colour)?;
+        visit(acc, name, interfaces, &mut colour);
     }
-    Ok(())
 }
 
 /// Collect an interface's full operation set including inherited ones,
@@ -364,6 +486,10 @@ mod tests {
         check(&parse(&lex(src).unwrap()).unwrap())
     }
 
+    fn analyze_src(src: &str) -> Diagnostics {
+        analyze(&parse(&lex(src).unwrap()).unwrap())
+    }
+
     #[test]
     fn valid_spec_passes() {
         check_src(
@@ -400,10 +526,8 @@ mod tests {
         assert!(e.message.contains("cycle"));
         assert!(check_src("interface A : A {};").is_err());
         // Diamonds are fine.
-        check_src(
-            "interface R {}; interface A : R {}; interface B : R {}; interface D : A, B {};",
-        )
-        .unwrap();
+        check_src("interface R {}; interface A : R {}; interface B : R {}; interface D : A, B {};")
+            .unwrap();
     }
 
     #[test]
@@ -441,11 +565,17 @@ mod tests {
     }
 
     #[test]
+    fn oneway_constraints_are_enforced_here() {
+        let e = check_src("interface I { oneway long f(); };").unwrap_err();
+        assert!(e.message.contains("must return void"));
+        let e =
+            check_src("exception E {}; interface I { oneway void f() raises (E); };").unwrap_err();
+        assert!(e.message.contains("may not raise"));
+    }
+
+    #[test]
     fn raises_must_reference_declared_exceptions() {
-        check_src(
-            "exception E { string why; }; interface I { void f() raises (E); };",
-        )
-        .unwrap();
+        check_src("exception E { string why; }; interface I { void f() raises (E); };").unwrap();
         let e = check_src("interface I { void f() raises (Ghost); };").unwrap_err();
         assert!(e.message.contains("undeclared exception"));
         // Exceptions share the top-level namespace.
@@ -461,14 +591,52 @@ mod tests {
     }
 
     #[test]
+    fn analyze_accumulates_every_violation() {
+        let diags = analyze_src(
+            r#"
+            struct S { Ghost g; Phantom p; };
+            qos Q { param octet o = 300; param boolean b = 1; };
+            interface I {
+                void _hidden();
+                oneway long bad(out long x) raises (Nope);
+            };
+            "#,
+        );
+        // Unknown Ghost + unknown Phantom + two bad defaults + reserved
+        // name + oneway-return + oneway-raises + undeclared exception +
+        // oneway-out-param = 9 distinct findings, all reported at once.
+        assert_eq!(diags.len(), 9, "{:#?}", diags.iter().collect::<Vec<_>>());
+        assert!(diags.has_errors());
+        assert!(diags.iter().all(|d| d.span.is_some()));
+        // First error wins for the legacy API.
+        let first = check_src(
+            r#"
+            struct S { Ghost g; Phantom p; };
+            qos Q { param octet o = 300; };
+            "#,
+        )
+        .unwrap_err();
+        assert!(first.message.contains("Ghost"));
+        assert!(first.span.is_some());
+    }
+
+    #[test]
+    fn diagnostics_carry_stable_codes() {
+        let diags = analyze_src("interface I {}; interface I {};");
+        assert_eq!(diags.iter().next().unwrap().code, codes::DUPLICATE);
+        let diags = analyze_src("interface A : A {};");
+        assert!(diags.iter().any(|d| d.code == codes::CYCLE));
+        let diags = analyze_src("qos Q { param long n = 3000000000; };");
+        assert!(diags.iter().any(|d| d.code == codes::BAD_DEFAULT));
+    }
+
+    #[test]
     fn flattened_operations_dedup_base_first() {
         let spec = parse(
-            &lex(
-                r#"
+            &lex(r#"
                 interface A { void a(); void shared(); };
                 interface B : A { void b(); void shared(); };
-                "#,
-            )
+                "#)
             .unwrap(),
         )
         .unwrap();

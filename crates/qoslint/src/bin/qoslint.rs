@@ -1,0 +1,120 @@
+//! The `qoslint` command-line front-end.
+//!
+//! ```text
+//! qoslint [--deny-warnings] [--format human|json] <spec.qidl>...
+//! ```
+//!
+//! Exit codes: `0` clean, `1` lint findings failed the run, `2` usage or
+//! I/O error. With `--format json` one JSON report object is printed
+//! per input file (line-oriented, machine-readable); the human format
+//! excerpts source lines rustc-style.
+
+use qoslint::render::{render_human, render_json, summary, SourceFile};
+use qoslint::{lint_source, Severity};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: qoslint [--deny-warnings] [--format human|json] <spec.qidl>...";
+
+#[derive(PartialEq)]
+enum Format {
+    Human,
+    Json,
+}
+
+struct Options {
+    deny_warnings: bool,
+    format: Format,
+    files: Vec<String>,
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
+    let mut opts = Options { deny_warnings: false, format: Format::Human, files: Vec::new() };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--format" => match args.next().as_deref() {
+                Some("human") => opts.format = Format::Human,
+                Some("json") => opts.format = Format::Json,
+                Some(other) => return Err(format!("unknown format `{other}`")),
+                None => return Err("--format requires a value".to_string()),
+            },
+            "-h" | "--help" => return Err(String::new()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            file => opts.files.push(file.to_string()),
+        }
+    }
+    if opts.files.is_empty() {
+        return Err("no input files".to_string());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("qoslint: {msg}");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failed = false;
+    for path in &opts.files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("qoslint: cannot read `{path}`: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let diags = lint_source(&text);
+        failed |= diags.has_errors() || (opts.deny_warnings && diags.count(Severity::Warn) > 0);
+        match opts.format {
+            Format::Json => println!("{}", render_json(Some(path), &diags)),
+            Format::Human => {
+                print!("{}", render_human(Some(SourceFile { name: path, text: &text }), &diags));
+                let tally = summary(&diags);
+                if tally.is_empty() {
+                    println!("{path}: clean");
+                } else {
+                    println!("{path}: {tally}");
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argument_parsing() {
+        let opts = parse_args(
+            ["--deny-warnings", "--format", "json", "a.qidl", "b.qidl"]
+                .into_iter()
+                .map(String::from),
+        )
+        .unwrap();
+        assert!(opts.deny_warnings);
+        assert!(opts.format == Format::Json);
+        assert_eq!(opts.files, vec!["a.qidl", "b.qidl"]);
+
+        assert!(parse_args(std::iter::empty()).is_err());
+        assert!(parse_args(["--format"].into_iter().map(String::from)).is_err());
+        assert!(parse_args(["--format", "xml", "a"].into_iter().map(String::from)).is_err());
+        assert!(parse_args(["--wat", "a"].into_iter().map(String::from)).is_err());
+        assert_eq!(parse_args(["--help"].into_iter().map(String::from)).err().as_deref(), Some(""));
+    }
+}

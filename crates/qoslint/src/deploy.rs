@@ -1,0 +1,322 @@
+//! Deployment-level lints, `QL101`–`QL106`.
+//!
+//! A woven deployment can be statically sound yet dynamically broken:
+//! the client binds a characteristic the interface was never assigned,
+//! the server advertises negotiation capacity for an implementation it
+//! never installed, a mediator chain waits for a negotiation the server
+//! cannot conclude. These lints cross-check a snapshot of the runtime
+//! weaving state — a [`DeploymentView`] — against the
+//! [`InterfaceRepository`] the deployment was compiled into.
+//!
+//! The view is plain data so any runtime can populate it; `maqs` builds
+//! one from its woven servants and `weaver`'s binding registry.
+
+use crate::codes;
+use qidl::diag::{Diagnostic, Diagnostics};
+use qidl::InterfaceRepository;
+
+/// One woven servant, as deployed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServantView {
+    /// Object key the servant is activated under.
+    pub key: String,
+    /// QIDL interface it serves.
+    pub interface: String,
+    /// Characteristics with an installed QoS implementation
+    /// (`weaver::QosImplementation`), i.e. the negotiable set.
+    pub installed: Vec<String>,
+    /// Characteristics with bounded negotiation capacity.
+    pub capacities: Vec<String>,
+}
+
+/// One established client-side QoS binding.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BindingView {
+    /// Key of the bound object.
+    pub object_key: String,
+    /// The bound characteristic.
+    pub characteristic: String,
+    /// Names of the parameters the binding fixes.
+    pub params: Vec<String>,
+}
+
+/// One client stub's mediator chain.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StubView {
+    /// Key of the stub's target object.
+    pub object_key: String,
+    /// Characteristics of the installed mediators, outermost first.
+    pub mediators: Vec<String>,
+}
+
+/// A snapshot of the runtime weaving state of one deployment.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeploymentView {
+    /// The woven servants.
+    pub servants: Vec<ServantView>,
+    /// The live QoS bindings.
+    pub bindings: Vec<BindingView>,
+    /// The client stubs with mediators installed.
+    pub stubs: Vec<StubView>,
+}
+
+impl DeploymentView {
+    fn servant(&self, key: &str) -> Option<&ServantView> {
+        self.servants.iter().find(|s| s.key == key)
+    }
+}
+
+/// Cross-check `view` against `repo`, accumulating every finding.
+///
+/// Errors (`QL101`, `QL102`, `QL105`, `QL106`) mean requests or
+/// negotiations *will* fail at runtime; warnings (`QL103`, `QL104`)
+/// mean a declared QoS provision is silently absent.
+pub fn lint_deployment(repo: &InterfaceRepository, view: &DeploymentView) -> Diagnostics {
+    let mut acc = Diagnostics::new();
+
+    for s in &view.servants {
+        let Some(iface) = repo.interface(&s.interface) else {
+            // Serving an undeclared interface is caught (by panic) at
+            // weave time; nothing sensible to cross-check here.
+            continue;
+        };
+        for tag in &iface.qos {
+            if !s.installed.contains(tag) {
+                acc.push(
+                    Diagnostic::warn(
+                        codes::MISSING_QOS_IMPL,
+                        format!(
+                            "servant `{}` serves `{}` but installs no implementation for \
+                             assigned characteristic `{tag}`",
+                            s.key, s.interface
+                        ),
+                    )
+                    .with_note(format!("QoS operations of `{tag}` will raise QosNotNegotiated")),
+                );
+            }
+        }
+        for c in &s.capacities {
+            let assigned = iface.qos.iter().any(|tag| tag == c);
+            let installed = s.installed.contains(c);
+            if !assigned || !installed {
+                let why = if assigned { "never installed" } else { "not assigned" };
+                acc.push(
+                    Diagnostic::error(
+                        codes::CAPACITY_UNUSABLE,
+                        format!(
+                            "servant `{}` advertises negotiation capacity for `{c}`, which is \
+                             {why} on `{}`",
+                            s.key, s.interface
+                        ),
+                    )
+                    .with_note("admitted negotiations for it can never conclude"),
+                );
+            }
+        }
+    }
+
+    for b in &view.bindings {
+        let Some(q) = repo.qos(&b.characteristic) else {
+            acc.push(
+                Diagnostic::error(
+                    codes::BINDING_UNKNOWN,
+                    format!(
+                        "binding on `{}` references unknown characteristic `{}`",
+                        b.object_key, b.characteristic
+                    ),
+                )
+                .with_note("it is not declared in the interface repository"),
+            );
+            continue;
+        };
+        if let Some(s) = view.servant(&b.object_key) {
+            let assigned = repo
+                .interface(&s.interface)
+                .is_some_and(|i| i.qos.iter().any(|tag| tag == &b.characteristic));
+            if !assigned {
+                acc.push(
+                    Diagnostic::error(
+                        codes::BINDING_UNASSIGNED,
+                        format!(
+                            "binding on `{}` uses `{}`, which is not assigned to interface \
+                             `{}`",
+                            b.object_key, b.characteristic, s.interface
+                        ),
+                    )
+                    .with_note("the woven skeleton rejects its QoS operations"),
+                );
+            }
+        }
+        for p in &b.params {
+            if !q.params.iter().any(|qp| &qp.name == p) {
+                acc.push(
+                    Diagnostic::error(
+                        codes::BINDING_PARAM_UNKNOWN,
+                        format!(
+                            "binding on `{}` sets param `{p}`, which `{}` does not declare",
+                            b.object_key, b.characteristic
+                        ),
+                    )
+                    .with_note("the server-side implementation will ignore it"),
+                );
+            }
+        }
+    }
+
+    for stub in &view.stubs {
+        let Some(s) = view.servant(&stub.object_key) else { continue };
+        for m in &stub.mediators {
+            if !s.installed.contains(m) {
+                acc.push(
+                    Diagnostic::warn(
+                        codes::NOT_NEGOTIABLE,
+                        format!(
+                            "stub for `{}` runs a `{m}` mediator, but the server never \
+                             negotiates `{m}`",
+                            stub.object_key
+                        ),
+                    )
+                    .with_note("the mediator's wire context will be refused or ignored"),
+                );
+            }
+        }
+    }
+
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qidl::diag::Severity;
+
+    const SPEC: &str = r#"
+        qos Replication category fault_tolerance {
+            param unsigned long replicas = 3;
+            management { unsigned long replica_count(); };
+        };
+        qos Actuality category timeliness {
+            param unsigned long long validity_ms = 1000;
+            management { void invalidate(); };
+        };
+        interface Kv with qos Replication, Actuality { void put(in string k); };
+        interface Plain { void ping(); };
+    "#;
+
+    fn repo() -> InterfaceRepository {
+        let mut r = InterfaceRepository::new();
+        r.load(&qidl::compile(SPEC).unwrap()).unwrap();
+        r
+    }
+
+    fn kv_servant() -> ServantView {
+        ServantView {
+            key: "kv".into(),
+            interface: "Kv".into(),
+            installed: vec!["Replication".into(), "Actuality".into()],
+            capacities: vec!["Replication".into()],
+        }
+    }
+
+    #[test]
+    fn complete_deployment_is_clean() {
+        let view = DeploymentView {
+            servants: vec![kv_servant()],
+            bindings: vec![BindingView {
+                object_key: "kv".into(),
+                characteristic: "Replication".into(),
+                params: vec!["replicas".into()],
+            }],
+            stubs: vec![StubView {
+                object_key: "kv".into(),
+                mediators: vec!["Replication".into()],
+            }],
+        };
+        let diags = lint_deployment(&repo(), &view);
+        assert!(diags.is_empty(), "{:?}", diags.into_vec());
+    }
+
+    #[test]
+    fn missing_impl_is_warned() {
+        let view = DeploymentView {
+            servants: vec![ServantView {
+                key: "kv".into(),
+                interface: "Kv".into(),
+                installed: vec!["Replication".into()],
+                capacities: vec![],
+            }],
+            ..DeploymentView::default()
+        };
+        let diags = lint_deployment(&repo(), &view);
+        let d = diags.iter().find(|d| d.code == codes::MISSING_QOS_IMPL).unwrap();
+        assert_eq!(d.severity, Severity::Warn);
+        assert!(d.message.contains("Actuality"));
+    }
+
+    #[test]
+    fn unusable_capacity_is_an_error() {
+        let mut s = kv_servant();
+        s.capacities = vec!["Actuality".into(), "Encryption".into()];
+        s.installed = vec!["Replication".into()];
+        let view = DeploymentView { servants: vec![s], ..DeploymentView::default() };
+        let diags = lint_deployment(&repo(), &view);
+        let msgs: Vec<&str> = diags
+            .iter()
+            .filter(|d| d.code == codes::CAPACITY_UNUSABLE)
+            .map(|d| d.message.as_str())
+            .collect();
+        assert_eq!(msgs.len(), 2);
+        assert!(msgs[0].contains("never installed"));
+        assert!(msgs[1].contains("not assigned"));
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn bad_bindings_are_errors() {
+        let view = DeploymentView {
+            servants: vec![
+                kv_servant(),
+                ServantView { key: "p".into(), interface: "Plain".into(), ..Default::default() },
+            ],
+            bindings: vec![
+                BindingView {
+                    object_key: "kv".into(),
+                    characteristic: "Ghost".into(),
+                    params: vec![],
+                },
+                BindingView {
+                    object_key: "p".into(),
+                    characteristic: "Replication".into(),
+                    params: vec![],
+                },
+                BindingView {
+                    object_key: "kv".into(),
+                    characteristic: "Replication".into(),
+                    params: vec!["replicas".into(), "voters".into()],
+                },
+            ],
+            stubs: vec![],
+        };
+        let diags = lint_deployment(&repo(), &view);
+        assert!(diags.iter().any(|d| d.code == codes::BINDING_UNKNOWN));
+        assert!(diags.iter().any(|d| d.code == codes::BINDING_UNASSIGNED));
+        let d = diags.iter().find(|d| d.code == codes::BINDING_PARAM_UNKNOWN).unwrap();
+        assert!(d.message.contains("voters"));
+        assert_eq!(diags.count(Severity::Error), 3);
+    }
+
+    #[test]
+    fn unnegotiable_mediator_is_warned() {
+        let mut s = kv_servant();
+        s.installed = vec!["Replication".into()];
+        let view = DeploymentView {
+            servants: vec![s],
+            bindings: vec![],
+            stubs: vec![StubView { object_key: "kv".into(), mediators: vec!["Actuality".into()] }],
+        };
+        let diags = lint_deployment(&repo(), &view);
+        let d = diags.iter().find(|d| d.code == codes::NOT_NEGOTIABLE).unwrap();
+        assert_eq!(d.severity, Severity::Warn);
+        assert!(d.message.contains("Actuality"));
+    }
+}

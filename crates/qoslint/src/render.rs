@@ -1,0 +1,200 @@
+//! Diagnostic renderers: rustc-style human output and line-oriented
+//! JSON (hand-rolled — the workspace carries no JSON dependency).
+
+use qidl::diag::{Diagnostic, Diagnostics, Severity};
+
+/// A named source file, for excerpting spans in human output.
+#[derive(Debug, Clone, Copy)]
+pub struct SourceFile<'a> {
+    /// Display name (path) of the file.
+    pub name: &'a str,
+    /// Its full text.
+    pub text: &'a str,
+}
+
+/// Render `diags` rustc-style, excerpting the offending line when the
+/// diagnostic has a span and `file` is given.
+pub fn render_human(file: Option<SourceFile<'_>>, diags: &Diagnostics) -> String {
+    let mut out = String::new();
+    for d in diags.iter() {
+        out.push_str(&format!("{}[{}]: {}\n", d.severity, d.code, d.message));
+        if let Some(span) = d.span {
+            let name = file.map_or("<input>", |f| f.name);
+            out.push_str(&format!("  --> {name}:{}:{}\n", span.start.line, span.start.col));
+            if let Some(f) = file {
+                if let Some(line) = f.text.lines().nth(span.start.line.saturating_sub(1) as usize) {
+                    let gutter = span.start.line.to_string();
+                    let pad = " ".repeat(gutter.len());
+                    let caret_at = span.start.col.saturating_sub(1) as usize;
+                    let width = if span.end.line == span.start.line {
+                        span.end.col.saturating_sub(span.start.col).max(1) as usize
+                    } else {
+                        1
+                    };
+                    out.push_str(&format!(" {pad} |\n"));
+                    out.push_str(&format!(" {gutter} | {line}\n"));
+                    out.push_str(&format!(
+                        " {pad} | {}{}\n",
+                        " ".repeat(caret_at),
+                        "^".repeat(width)
+                    ));
+                }
+            }
+        }
+        for note in &d.notes {
+            out.push_str(&format!("  = note: {note}\n"));
+        }
+    }
+    out
+}
+
+/// One-line tally, e.g. `2 errors, 1 warning`; empty string when clean.
+pub fn summary(diags: &Diagnostics) -> String {
+    let mut parts = Vec::new();
+    for (sev, singular) in
+        [(Severity::Error, "error"), (Severity::Warn, "warning"), (Severity::Help, "help")]
+    {
+        let n = diags.count(sev);
+        match n {
+            0 => {}
+            1 => parts.push(format!("1 {singular}")),
+            n if sev == Severity::Help => parts.push(format!("{n} helps")),
+            n => parts.push(format!("{n} {singular}s")),
+        }
+    }
+    parts.join(", ")
+}
+
+/// Render `diags` as a single JSON object:
+///
+/// ```json
+/// {"file":"t.qidl","diagnostics":[{"code":"QL003","severity":"error",
+///  "message":"…","span":{"line":1,"col":2,"end_line":1,"end_col":3},
+///  "notes":[]}],"errors":1,"warnings":0,"helps":0}
+/// ```
+pub fn render_json(file: Option<&str>, diags: &Diagnostics) -> String {
+    let mut out = String::from("{");
+    match file {
+        Some(name) => out.push_str(&format!("\"file\":{},", json_string(name))),
+        None => out.push_str("\"file\":null,"),
+    }
+    out.push_str("\"diagnostics\":[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&diagnostic_json(d));
+    }
+    out.push_str(&format!(
+        "],\"errors\":{},\"warnings\":{},\"helps\":{}}}",
+        diags.count(Severity::Error),
+        diags.count(Severity::Warn),
+        diags.count(Severity::Help)
+    ));
+    out
+}
+
+fn diagnostic_json(d: &Diagnostic) -> String {
+    let span = match d.span {
+        None => "null".to_string(),
+        Some(s) => format!(
+            "{{\"line\":{},\"col\":{},\"end_line\":{},\"end_col\":{}}}",
+            s.start.line, s.start.col, s.end.line, s.end.col
+        ),
+    };
+    let notes: Vec<String> = d.notes.iter().map(|n| json_string(n)).collect();
+    format!(
+        "{{\"code\":{},\"severity\":{},\"message\":{},\"span\":{span},\"notes\":[{}]}}",
+        json_string(d.code.0),
+        json_string(d.severity.as_str()),
+        json_string(&d.message),
+        notes.join(",")
+    )
+}
+
+/// Escape `s` as a JSON string literal (quotes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codes;
+    use qidl::lexer::{Pos, Span};
+
+    fn sample() -> Diagnostics {
+        let mut acc = Diagnostics::new();
+        acc.push(
+            Diagnostic::error(codes::DUPLICATE, "duplicate definition `I`")
+                .with_span(Span::new(Pos { line: 1, col: 28 }, Pos { line: 1, col: 29 }))
+                .with_note("first defined here"),
+        );
+        acc.push(Diagnostic::warn(codes::UNUSED_QOS, "qos `Q` is never assigned"));
+        acc
+    }
+
+    #[test]
+    fn human_output_excerpts_the_line() {
+        let src = "interface I {}; interface I {};";
+        let out = render_human(Some(SourceFile { name: "t.qidl", text: src }), &sample());
+        assert!(out.contains("error[QL003]: duplicate definition `I`"), "{out}");
+        assert!(out.contains("--> t.qidl:1:28"), "{out}");
+        assert!(out.contains("1 | interface I {}; interface I {};"), "{out}");
+        assert!(out.contains("  = note: first defined here"), "{out}");
+        // Caret sits under column 28.
+        let caret_line = out.lines().find(|l| l.contains('^')).unwrap();
+        assert_eq!(caret_line.find('^').unwrap(), " 1 | ".len() + 27);
+        // Spanless warning still renders.
+        assert!(out.contains("warning[QL011]"), "{out}");
+    }
+
+    #[test]
+    fn human_output_without_source_skips_excerpt() {
+        let out = render_human(None, &sample());
+        assert!(out.contains("--> <input>:1:28"), "{out}");
+        assert!(!out.contains(" | "), "{out}");
+    }
+
+    #[test]
+    fn json_output_is_escaped_and_counted() {
+        let mut acc = Diagnostics::new();
+        acc.push(Diagnostic::error(codes::BINDING_UNKNOWN, "bad \"name\"\n"));
+        let out = render_json(Some("a\\b.qidl"), &acc);
+        assert!(out.contains("\"file\":\"a\\\\b.qidl\""), "{out}");
+        assert!(out.contains("\"message\":\"bad \\\"name\\\"\\n\""), "{out}");
+        assert!(out.contains("\"span\":null"), "{out}");
+        assert!(out.ends_with("\"errors\":1,\"warnings\":0,\"helps\":0}"), "{out}");
+    }
+
+    #[test]
+    fn json_output_carries_spans_and_notes() {
+        let out = render_json(None, &sample());
+        assert!(out.contains("\"file\":null"), "{out}");
+        assert!(
+            out.contains("\"span\":{\"line\":1,\"col\":28,\"end_line\":1,\"end_col\":29}"),
+            "{out}"
+        );
+        assert!(out.contains("\"notes\":[\"first defined here\"]"), "{out}");
+    }
+
+    #[test]
+    fn summary_tallies() {
+        assert_eq!(summary(&sample()), "1 error, 1 warning");
+        assert_eq!(summary(&Diagnostics::new()), "");
+    }
+}

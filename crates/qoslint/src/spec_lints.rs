@@ -1,0 +1,269 @@
+//! The spec-level lints, `QL010`–`QL014`.
+//!
+//! These flag QIDL that the front-end accepts but that undermines the
+//! QoS provision at runtime. Findings are emitted in source order,
+//! grouped per definition, so reports (and the golden tests) are stable.
+
+use crate::codes;
+use qidl::ast::{InterfaceDef, QosDef, Spec};
+use qidl::diag::{Diagnostic, Diagnostics};
+
+pub fn run(spec: &Spec) -> Diagnostics {
+    let mut acc = Diagnostics::new();
+    for def in &spec.definitions {
+        match def {
+            qidl::ast::Definition::Qos(q) => lint_qos(&mut acc, spec, q),
+            qidl::ast::Definition::Interface(i) => lint_interface(&mut acc, spec, i),
+            _ => {}
+        }
+    }
+    acc
+}
+
+fn lint_qos(acc: &mut Diagnostics, spec: &Spec, q: &QosDef) {
+    if q.management.is_empty() {
+        acc.push(
+            Diagnostic::warn(
+                codes::EMPTY_MANAGEMENT,
+                format!("qos characteristic `{}` has no management operations", q.name),
+            )
+            .with_span(q.span)
+            .with_note("it cannot be observed or re-tuned once deployed"),
+        );
+    }
+    for p in &q.params {
+        if p.default.is_none() {
+            acc.push(
+                Diagnostic::warn(
+                    codes::NO_DEFAULT,
+                    format!("qos param `{}.{}` has no default value", q.name, p.name),
+                )
+                .with_span(p.span)
+                .with_note("every negotiation must supply it explicitly"),
+            );
+        }
+    }
+    if !spec.interfaces().any(|i| i.qos.iter().any(|tag| tag == &q.name)) {
+        acc.push(
+            Diagnostic::warn(
+                codes::UNUSED_QOS,
+                format!("qos characteristic `{}` is never assigned to an interface", q.name),
+            )
+            .with_span(q.span)
+            .with_note("unassigned characteristics generate no mediators or skeletons"),
+        );
+    }
+}
+
+fn lint_interface(acc: &mut Diagnostics, spec: &Spec, i: &InterfaceDef) {
+    // QL010: two assigned characteristics of the same category provide
+    // the same QoS concern twice; only one can be negotiated at a time.
+    for (bi, b) in i.qos.iter().enumerate() {
+        for (ai, a) in i.qos.iter().enumerate().take(bi) {
+            let (Some(qa), Some(qb)) = (spec.qos(a), spec.qos(b)) else { continue };
+            if let (Some(ca), Some(cb)) = (&qa.category, &qb.category) {
+                if ca == cb {
+                    acc.push(
+                        Diagnostic::error(
+                            codes::CATEGORY_CONFLICT,
+                            format!(
+                                "interface `{}` assigns `{a}` and `{b}`, both of category \
+                                 `{cb}`",
+                                i.name
+                            ),
+                        )
+                        .with_span(i.qos_span(bi))
+                        .with_note(format!("`{a}` was assigned here: {}", i.qos_span(ai)))
+                        .with_note("one characteristic per category: their provisions conflict"),
+                    );
+                }
+            }
+        }
+    }
+
+    // QL012a: an operation redeclared in a derived interface is silently
+    // dropped by woven dispatch (the inherited one wins in the
+    // repository's base-first flattening).
+    for op in &i.operations {
+        if let Some(base) = inherited_from(spec, i, &op.name) {
+            acc.push(
+                Diagnostic::warn(
+                    codes::SHADOWED_OP,
+                    format!(
+                        "operation `{}` in interface `{}` shadows inherited `{base}::{}`",
+                        op.name, i.name, op.name
+                    ),
+                )
+                .with_span(op.span)
+                .with_note("the inherited operation wins during woven dispatch"),
+            );
+        }
+    }
+
+    // QL012b: an application operation with the same name as an assigned
+    // characteristic's QoS operation makes the QoS operation unreachable
+    // (woven lookup prefers application operations).
+    for tag in &i.qos {
+        let Some(q) = spec.qos(tag) else { continue };
+        for qop in q.all_operations() {
+            if let Some(op) = find_app_op(spec, i, &qop.name) {
+                acc.push(
+                    Diagnostic::warn(
+                        codes::SHADOWED_OP,
+                        format!(
+                            "operation `{}` of interface `{}` hides QoS operation \
+                             `{tag}::{}`",
+                            qop.name, i.name, qop.name
+                        ),
+                    )
+                    .with_span(op)
+                    .with_note("woven dispatch resolves application operations first"),
+                );
+            }
+        }
+    }
+}
+
+/// The nearest transitive base of `iface` (within `spec`) declaring an
+/// operation named `op`, if any.
+fn inherited_from<'a>(spec: &'a Spec, iface: &InterfaceDef, op: &str) -> Option<&'a str> {
+    let mut stack: Vec<&str> = iface.inherits.iter().map(String::as_str).collect();
+    let mut seen = std::collections::HashSet::new();
+    while let Some(name) = stack.pop() {
+        if !seen.insert(name) {
+            continue; // diamond (or cycle in a spec that failed sema)
+        }
+        let Some(base) = spec.interface(name) else { continue };
+        if base.operations.iter().any(|o| o.name == op) {
+            return Some(&base.name);
+        }
+        stack.extend(base.inherits.iter().map(String::as_str));
+    }
+    None
+}
+
+/// The span of the application operation named `op` on `iface` (own or
+/// inherited), if one exists.
+fn find_app_op(spec: &Spec, iface: &InterfaceDef, op: &str) -> Option<qidl::lexer::Span> {
+    if let Some(o) = iface.operations.iter().find(|o| o.name == op) {
+        return Some(o.span);
+    }
+    let mut stack: Vec<&str> = iface.inherits.iter().map(String::as_str).collect();
+    let mut seen = std::collections::HashSet::new();
+    while let Some(name) = stack.pop() {
+        if !seen.insert(name) {
+            continue;
+        }
+        let Some(base) = spec.interface(name) else { continue };
+        if base.operations.iter().any(|o| o.name == op) {
+            // Point at the assigning interface, not the distant base.
+            return Some(iface.span);
+        }
+        stack.extend(base.inherits.iter().map(String::as_str));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codes;
+    use qidl::diag::Severity;
+
+    fn lint(src: &str) -> Diagnostics {
+        run(&qidl::compile(src).unwrap())
+    }
+
+    #[test]
+    fn category_conflict_is_an_error() {
+        let diags = lint(
+            r#"
+            qos Fast category performance { management { void go(); }; };
+            qos Cheap category performance { management { void go(); }; };
+            interface I with qos Fast, Cheap { void f(); };
+            "#,
+        );
+        let d = diags.iter().find(|d| d.code == codes::CATEGORY_CONFLICT).unwrap();
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.message.contains("performance"));
+        assert!(d.span.is_some());
+        // Different categories (or none) do not conflict.
+        assert!(lint(
+            r#"
+            qos A category x { management { void a(); }; };
+            qos B category y { management { void b(); }; };
+            qos C { management { void c(); }; };
+            interface I with qos A, B, C { void f(); };
+            "#
+        )
+        .iter()
+        .all(|d| d.code != codes::CATEGORY_CONFLICT));
+    }
+
+    #[test]
+    fn unused_characteristic_is_warned() {
+        let diags = lint("qos Lonely { management { void m(); }; }; interface I { void f(); };");
+        let d = diags.iter().find(|d| d.code == codes::UNUSED_QOS).unwrap();
+        assert_eq!(d.severity, Severity::Warn);
+        assert!(d.message.contains("Lonely"));
+    }
+
+    #[test]
+    fn inherited_shadowing_is_warned() {
+        let diags = lint(
+            r#"
+            interface Base { void f(); };
+            interface Derived : Base { void f(); void g(); };
+            "#,
+        );
+        let d = diags.iter().find(|d| d.code == codes::SHADOWED_OP).unwrap();
+        assert!(d.message.contains("Base::f"), "{}", d.message);
+        // Point at the redeclaration, not the base.
+        assert_eq!(d.span.unwrap().start.line, 3);
+    }
+
+    #[test]
+    fn app_op_hiding_qos_op_is_warned() {
+        let diags = lint(
+            r#"
+            qos Q { management { void stats(); }; };
+            interface I with qos Q { void stats(); };
+            "#,
+        );
+        let d = diags.iter().find(|d| d.code == codes::SHADOWED_OP).unwrap();
+        assert!(d.message.contains("Q::stats"), "{}", d.message);
+        // Inherited application operations hide QoS operations too.
+        let diags = lint(
+            r#"
+            qos Q { management { void stats(); }; };
+            interface Base { void stats(); };
+            interface I : Base with qos Q { void f(); };
+            "#,
+        );
+        assert!(diags.iter().any(|d| d.code == codes::SHADOWED_OP));
+    }
+
+    #[test]
+    fn empty_management_and_missing_defaults_are_warned() {
+        let diags = lint("qos Bare { param long x; }; interface I with qos Bare {};");
+        assert!(diags.iter().any(|d| d.code == codes::EMPTY_MANAGEMENT));
+        let d = diags.iter().find(|d| d.code == codes::NO_DEFAULT).unwrap();
+        assert!(d.message.contains("Bare.x"));
+    }
+
+    #[test]
+    fn findings_come_in_source_order() {
+        let diags = lint(
+            r#"
+            qos First { management { void m(); }; };
+            qos Second { management { void m(); }; };
+            interface I { void f(); };
+            "#,
+        );
+        let names: Vec<&str> = diags
+            .iter()
+            .map(|d| if d.message.contains("First") { "First" } else { "Second" })
+            .collect();
+        assert_eq!(names, vec!["First", "Second"]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Golden-file tests: one fixture per lint code.
+//!
+//! Each `tests/fixtures/qlNNN.qidl` triggers exactly the code it is
+//! named after; the rustc-style report it produces is pinned in the
+//! companion `qlNNN.expected`. Regenerate with
+//! `QOSLINT_BLESS=1 cargo test -p qoslint --test golden`.
+
+use qoslint::render::{render_human, SourceFile};
+use qoslint::{codes, lint_source, Code, Severity};
+use std::path::PathBuf;
+
+/// Every front-end and spec-level lint code, with its fixture stem and
+/// the 1-based (line, col) its primary span must start at.
+const CASES: &[(&str, Code, u32, u32)] = &[
+    ("ql001", codes::LEX, 1, 28),
+    ("ql002", codes::PARSE, 1, 11),
+    ("ql003", codes::DUPLICATE, 2, 11),
+    ("ql004", codes::UNRESOLVED, 1, 15),
+    ("ql005", codes::CYCLE, 1, 11),
+    ("ql006", codes::BAD_DEFAULT, 2, 17),
+    ("ql007", codes::ONEWAY, 2, 17),
+    ("ql008", codes::RESERVED, 2, 10),
+    ("ql009", codes::VOID, 2, 20),
+    ("ql010", codes::CATEGORY_CONFLICT, 9, 31),
+    ("ql011", codes::UNUSED_QOS, 1, 5),
+    ("ql012", codes::SHADOWED_OP, 5, 10),
+    ("ql013", codes::EMPTY_MANAGEMENT, 1, 5),
+    ("ql014", codes::NO_DEFAULT, 2, 16),
+];
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(option_env!("CARGO_MANIFEST_DIR").unwrap_or("crates/qoslint"))
+        .join("tests/fixtures")
+}
+
+fn read(name: &str) -> String {
+    let path = fixture_dir().join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+#[test]
+fn every_fixture_triggers_exactly_its_code_with_a_span() {
+    for (stem, code, line, col) in CASES {
+        let diags = lint_source(&read(&format!("{stem}.qidl")));
+        assert!(!diags.is_empty(), "{stem}: no findings");
+        assert!(
+            diags.iter().all(|d| d.code == *code),
+            "{stem}: expected only {code}, got {:?}",
+            diags.iter().map(|d| d.code).collect::<Vec<_>>()
+        );
+        let d = diags.iter().next().unwrap();
+        let span = d.span.unwrap_or_else(|| panic!("{stem}: finding has no span"));
+        assert_eq!((span.start.line, span.start.col), (*line, *col), "{stem}: span moved");
+        assert!(!span.is_dummy(), "{stem}: dummy span");
+    }
+}
+
+#[test]
+fn rendered_reports_match_golden_files() {
+    let bless = std::env::var_os("QOSLINT_BLESS").is_some();
+    for (stem, _, _, _) in CASES {
+        let qidl = format!("{stem}.qidl");
+        let text = read(&qidl);
+        let rendered =
+            render_human(Some(SourceFile { name: &qidl, text: &text }), &lint_source(&text));
+        let expected_path = fixture_dir().join(format!("{stem}.expected"));
+        if bless {
+            std::fs::write(&expected_path, &rendered).unwrap();
+            continue;
+        }
+        let expected = std::fs::read_to_string(&expected_path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", expected_path.display()));
+        assert_eq!(rendered, expected, "{stem}: report drifted from golden file");
+    }
+}
+
+#[test]
+fn severities_are_stable_per_code() {
+    let errors = [
+        codes::LEX,
+        codes::PARSE,
+        codes::DUPLICATE,
+        codes::UNRESOLVED,
+        codes::CYCLE,
+        codes::BAD_DEFAULT,
+        codes::ONEWAY,
+        codes::RESERVED,
+        codes::VOID,
+        codes::CATEGORY_CONFLICT,
+    ];
+    for (stem, code, _, _) in CASES {
+        let diags = lint_source(&read(&format!("{stem}.qidl")));
+        let want = if errors.contains(code) { Severity::Error } else { Severity::Warn };
+        assert_eq!(diags.iter().next().unwrap().severity, want, "{stem}");
+    }
+}
+
+#[test]
+fn the_demo_spec_is_clean() {
+    // The shipped demo spec must stay lint-clean (ci runs qoslint
+    // --deny-warnings over it).
+    let ticker = PathBuf::from(option_env!("CARGO_MANIFEST_DIR").unwrap_or("crates/qoslint"))
+        .join("../maqs/src/demo/ticker.qidl");
+    let text = std::fs::read_to_string(ticker).unwrap();
+    let diags = lint_source(&text);
+    assert!(diags.is_empty(), "{:?}", diags.into_vec());
+}

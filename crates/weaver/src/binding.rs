@@ -53,9 +53,7 @@ pub struct QosBindingRegistry {
 
 impl fmt::Debug for QosBindingRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("QosBindingRegistry")
-            .field("bindings", &self.bindings.read().len())
-            .finish()
+        f.debug_struct("QosBindingRegistry").field("bindings", &self.bindings.read().len()).finish()
     }
 }
 
@@ -76,8 +74,12 @@ impl QosBindingRegistry {
         let object = object.into();
         let mut map = self.bindings.write();
         let version = map.get(&object).map(|b| b.version + 1).unwrap_or(1);
-        let binding =
-            QosBinding { object: object.clone(), characteristic: characteristic.into(), params, version };
+        let binding = QosBinding {
+            object: object.clone(),
+            characteristic: characteristic.into(),
+            params,
+            version,
+        };
         map.insert(object, binding.clone());
         binding
     }
@@ -90,6 +92,14 @@ impl QosBindingRegistry {
     /// Current binding for `object`.
     pub fn binding(&self, object: &ObjectKey) -> Option<QosBinding> {
         self.bindings.read().get(object).cloned()
+    }
+
+    /// Snapshot of all live bindings, sorted by object key (stable
+    /// order for reporting and deployment linting).
+    pub fn bindings(&self) -> Vec<QosBinding> {
+        let mut v: Vec<QosBinding> = self.bindings.read().values().cloned().collect();
+        v.sort_by(|a, b| a.object.0.cmp(&b.object.0));
+        v
     }
 
     /// Number of live bindings.
@@ -119,6 +129,17 @@ mod tests {
         assert_eq!(removed.version, 1);
         assert!(reg.is_empty());
         assert!(reg.binding(&key).is_none());
+    }
+
+    #[test]
+    fn bindings_snapshot_is_sorted_by_key() {
+        let reg = QosBindingRegistry::new();
+        reg.bind("b", "Encryption", vec![]);
+        reg.bind("a", "Replication", vec![]);
+        reg.bind("c", "Compression", vec![]);
+        let keys: Vec<&str> = reg.bindings().iter().map(|b| b.object.as_str()).collect();
+        assert_eq!(keys, vec!["a", "b", "c"]);
+        assert!(QosBindingRegistry::new().bindings().is_empty());
     }
 
     #[test]
