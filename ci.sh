@@ -17,7 +17,18 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
-echo "==> qoslint (demo spec must be clean, warnings denied)"
-cargo run -q -p qoslint --release -- --deny-warnings crates/maqs/src/demo/ticker.qidl
+echo "==> metrics golden (per-layer metric names must stay stable)"
+cargo test -q -p maqs --test metrics_golden
+
+echo "==> qoslint (committed specs must be clean, warnings denied)"
+# Fixtures under crates/qoslint/tests/fixtures are intentionally broken
+# inputs for the lint golden tests; every other committed spec must lint
+# clean.
+find . -name '*.qidl' -not -path './target/*' -not -path './.git/*' \
+    -not -path './crates/qoslint/tests/fixtures/*' |
+while read -r spec; do
+    echo "    $spec"
+    cargo run -q -p qoslint --release -- --deny-warnings "$spec"
+done
 
 echo "==> OK"

@@ -15,7 +15,6 @@ use qosmech::actuality::FreshnessStampQosImpl;
 use qosmech::loadbalance::LoadReportingQosImpl;
 use qosmech::replication::ReplicationQosImpl;
 use services::contract::synthetic_hierarchy;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 struct Nil;
@@ -42,16 +41,14 @@ fn setup(capacity: usize) -> (MaqsNode, MaqsNode) {
     let server = MaqsNode::builder(&net, "server").spec(SPEC).build().unwrap();
     let client = MaqsNode::builder(&net, "client").build().unwrap();
     server
-        .serve_woven_with(
+        .serve(
             "store",
             Arc::new(Nil),
-            "Store",
-            vec![
-                Arc::new(ReplicationQosImpl::new()),
-                Arc::new(FreshnessStampQosImpl::new()),
-                Arc::new(LoadReportingQosImpl::new()),
-            ],
-            HashMap::from([("Replication".to_string(), capacity)]),
+            ServeOptions::interface("Store")
+                .qos_impl(Arc::new(ReplicationQosImpl::new()))
+                .qos_impl(Arc::new(FreshnessStampQosImpl::new()))
+                .qos_impl(Arc::new(LoadReportingQosImpl::new()))
+                .capacity("Replication", capacity),
         )
         .unwrap();
     (server, client)

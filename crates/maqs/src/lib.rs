@@ -18,7 +18,8 @@
 //! | negotiation, monitoring, trading, accounting | [`services`] |
 //!
 //! [`MaqsNode`] wires one node's worth of that stack together: an ORB, a
-//! frozen interface repository, a negotiation servant and a trader.
+//! frozen interface repository, a negotiation servant, a trader, and a
+//! QoS monitor fed by real request measurements.
 //!
 //! # Quickstart
 //!
@@ -47,10 +48,16 @@
 //! let client = MaqsNode::builder(&net, "client").build().unwrap();
 //!
 //! let ior = server
-//!     .serve_woven("greeter", Arc::new(Greeter), "Greeter")
+//!     .serve("greeter", Arc::new(Greeter), ServeOptions::interface("Greeter"))
 //!     .unwrap();
-//! let reply = client.orb().invoke(&ior, "greet", &[Any::from("world")]).unwrap();
+//! let reply = client.stub(&ior).invoke("greet", &[Any::from("world")]).unwrap();
 //! assert_eq!(reply.as_str(), Some("hello, world"));
+//!
+//! // Every reply carries the request's trace: a per-layer cost
+//! // breakdown of this one call, one trace id end to end.
+//! let trace = maqs::trace_of(&reply).unwrap();
+//! assert!(trace.spans.iter().any(|s| s.layer == "servant"));
+//! println!("{}", maqs::report::render_trace_human(trace));
 //! # server.shutdown(); client.shutdown();
 //! ```
 
@@ -58,19 +65,30 @@
 #![warn(missing_docs)]
 
 pub mod demo;
+pub mod error;
 pub mod lint;
 mod node;
+pub mod report;
 
-pub use node::{MaqsNode, MaqsNodeBuilder};
+pub use error::Error;
+pub use node::{LintPolicy, MaqsNode, MaqsNodeBuilder, ServeOptions};
+
+/// The trace carried by `reply`, if the request path recorded one.
+///
+/// Convenience for `reply.trace.as_ref()`; pairs with
+/// [`report::render_trace_human`] / [`report::render_trace_json`].
+pub fn trace_of(reply: &weaver::Reply) -> Option<&orb::TraceContext> {
+    reply.trace.as_ref()
+}
 
 /// One-stop imports for MAQS applications.
 pub mod prelude {
-    pub use crate::{MaqsNode, MaqsNodeBuilder};
+    pub use crate::{Error, LintPolicy, MaqsNode, MaqsNodeBuilder, ServeOptions};
     pub use netsim::{LinkModel, Network};
-    pub use orb::{Any, Ior, Orb, OrbError, Servant};
+    pub use orb::{Any, Ior, MetricsSnapshot, Orb, OrbError, Servant, TraceContext};
     pub use qidl::InterfaceRepository;
     pub use services::{Agreement, ContractHierarchy, ContractNode, Negotiator, Offer};
-    pub use weaver::{Call, ClientStub, Mediator, Next, QosImplementation, WovenServant};
+    pub use weaver::{Call, ClientStub, Mediator, Next, QosImplementation, Reply, WovenServant};
 }
 
 // Re-export the stack for users who need the full depth.

@@ -1,9 +1,11 @@
 //! [`MaqsNode`]: one node's worth of the MAQS stack, wired together.
 
+use crate::error::Error;
 use netsim::Network;
-use orb::{Ior, Orb, OrbError, Servant};
+use orb::{Ior, MetricsSnapshot, Orb, OrbError, Servant};
 use parking_lot::RwLock;
 use qidl::InterfaceRepository;
+use services::monitoring::Monitor;
 use services::naming::{NamingService, NAMING_KEY};
 use services::negotiation::{NegotiationServant, NEGOTIATOR_KEY};
 use services::trading::{Trader, TRADER_KEY};
@@ -11,6 +13,74 @@ use services::Negotiator;
 use std::collections::HashMap;
 use std::sync::Arc;
 use weaver::{ClientStub, QosImplementation, WovenServant};
+
+/// Whether [`MaqsNode::serve`] refuses deployments the static analysis
+/// can prove broken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintPolicy {
+    /// Run the deployment lints (`QL101`–`QL106`) before activating and
+    /// refuse (with JSON diagnostics in the error) on lint errors.
+    Enforce,
+    /// Activate without gating; lints stay available through
+    /// [`MaqsNode::lint_deployment`].
+    Skip,
+}
+
+impl Default for LintPolicy {
+    /// [`LintPolicy::Enforce`] when the `lint-deployments` feature is
+    /// on (matching the behaviour the feature used to hard-wire),
+    /// [`LintPolicy::Skip`] otherwise.
+    fn default() -> LintPolicy {
+        if cfg!(feature = "lint-deployments") {
+            LintPolicy::Enforce
+        } else {
+            LintPolicy::Skip
+        }
+    }
+}
+
+/// Options for [`MaqsNode::serve`]: which QIDL interface the servant
+/// implements, plus the optional QoS machinery to weave around it.
+pub struct ServeOptions {
+    interface: String,
+    qos_impls: Vec<Arc<dyn QosImplementation>>,
+    capacity: HashMap<String, usize>,
+    lint: LintPolicy,
+}
+
+impl ServeOptions {
+    /// Options for a servant implementing QIDL interface `interface`,
+    /// with no QoS implementations, no negotiation capacities, and the
+    /// default [`LintPolicy`].
+    pub fn interface(interface: impl Into<String>) -> ServeOptions {
+        ServeOptions {
+            interface: interface.into(),
+            qos_impls: Vec::new(),
+            capacity: HashMap::new(),
+            lint: LintPolicy::default(),
+        }
+    }
+
+    /// Install a QoS implementation on the woven servant (may be called
+    /// repeatedly; order is irrelevant).
+    pub fn qos_impl(mut self, qos_impl: Arc<dyn QosImplementation>) -> ServeOptions {
+        self.qos_impls.push(qos_impl);
+        self
+    }
+
+    /// Bound concurrent agreements for `characteristic` to `slots` and
+    /// register the object for negotiation under that bound.
+    pub fn capacity(mut self, characteristic: impl Into<String>, slots: usize) -> ServeOptions {
+        self.capacity.insert(characteristic.into(), slots);
+        self
+    }
+
+    /// Override the deployment-lint gate.
+    pub fn lint_policy(mut self, policy: LintPolicy) -> ServeOptions {
+        self.lint = policy;
+        self
+    }
+}
 
 /// Builder for a [`MaqsNode`].
 pub struct MaqsNodeBuilder<'a> {
@@ -61,6 +131,8 @@ impl<'a> MaqsNodeBuilder<'a> {
         let negotiation = Arc::new(NegotiationServant::new());
         let trader = Arc::new(Trader::new());
         let naming = Arc::new(NamingService::new());
+        let monitor = Arc::new(Monitor::new(64));
+        negotiation.set_monitor(Arc::clone(&monitor));
         orb.adapter().activate(NEGOTIATOR_KEY, Arc::clone(&negotiation) as Arc<dyn Servant>);
         orb.adapter().activate(TRADER_KEY, Arc::clone(&trader) as Arc<dyn Servant>);
         orb.adapter().activate(NAMING_KEY, Arc::clone(&naming) as Arc<dyn Servant>);
@@ -70,6 +142,7 @@ impl<'a> MaqsNodeBuilder<'a> {
             negotiation,
             trader,
             naming,
+            monitor,
             woven: RwLock::new(HashMap::new()),
             capacities: RwLock::new(HashMap::new()),
         })
@@ -84,6 +157,7 @@ pub struct MaqsNode {
     negotiation: Arc<NegotiationServant>,
     trader: Arc<Trader>,
     naming: Arc<NamingService>,
+    monitor: Arc<Monitor>,
     woven: RwLock<HashMap<String, Arc<WovenServant>>>,
     capacities: RwLock<HashMap<String, Vec<String>>>,
 }
@@ -130,39 +204,29 @@ impl MaqsNode {
         Negotiator::new(self.orb.clone())
     }
 
-    /// Weave `servant` (implementing QIDL interface `interface_name`)
-    /// and activate it under `key`. The returned IOR carries the
-    /// interface's assigned characteristics as QoS tags.
+    /// Weave `servant` per `options`, activate it under `key`, and start
+    /// observing it: every application request through the woven
+    /// skeleton feeds `latency_us` and `availability` measurements into
+    /// this node's [`Monitor`], so negotiated bounds (deadline,
+    /// availability, validity) are checked against real traffic.
     ///
-    /// # Errors
-    ///
-    /// [`OrbError::BadParam`] if the interface is not in the repository.
-    pub fn serve_woven(
-        &self,
-        key: &str,
-        servant: Arc<dyn Servant>,
-        interface_name: &str,
-    ) -> Result<Ior, OrbError> {
-        self.serve_woven_with(key, servant, interface_name, Vec::new(), HashMap::new())
-    }
-
-    /// Like [`MaqsNode::serve_woven`], additionally installing QoS
-    /// implementations and registering the object for negotiation with
-    /// the given per-characteristic capacities.
+    /// The returned IOR carries the interface's assigned characteristics
+    /// as QoS tags.
     ///
     /// # Errors
     ///
     /// [`OrbError::BadParam`] for unknown interfaces;
     /// [`OrbError::QosViolation`] if an implementation's characteristic
-    /// is not assigned to the interface.
-    pub fn serve_woven_with(
+    /// is not assigned to the interface, or (under
+    /// [`LintPolicy::Enforce`]) if the deployment lints report errors —
+    /// the violation message is then the JSON diagnostics.
+    pub fn serve(
         &self,
         key: &str,
         servant: Arc<dyn Servant>,
-        interface_name: &str,
-        qos_impls: Vec<Arc<dyn QosImplementation>>,
-        capacity: HashMap<String, usize>,
-    ) -> Result<Ior, OrbError> {
+        options: ServeOptions,
+    ) -> Result<Ior, Error> {
+        let interface_name = options.interface.as_str();
         let iface = self
             .repo
             .interface(interface_name)
@@ -171,13 +235,12 @@ impl MaqsNode {
             })?
             .clone();
         let woven = Arc::new(WovenServant::new(servant, Arc::clone(&self.repo), interface_name));
-        for qi in qos_impls {
+        for qi in options.qos_impls {
             woven.install_qos(qi)?;
         }
-        let mut capacity_tags: Vec<String> = capacity.keys().cloned().collect();
+        let mut capacity_tags: Vec<String> = options.capacity.keys().cloned().collect();
         capacity_tags.sort();
-        #[cfg(feature = "lint-deployments")]
-        {
+        if options.lint == LintPolicy::Enforce {
             // Refuse to serve a deployment the static analysis can prove
             // broken (e.g. negotiation capacity for a characteristic that
             // can never be negotiated).
@@ -192,10 +255,18 @@ impl MaqsNode {
             };
             let diags = qoslint::deploy::lint_deployment(&self.repo, &candidate);
             if diags.has_errors() {
-                return Err(OrbError::QosViolation(qoslint::render::render_json(None, &diags)));
+                return Err(Error::Orb(OrbError::QosViolation(qoslint::render::render_json(
+                    None, &diags,
+                ))));
             }
         }
-        self.negotiation.register_object(key, Arc::clone(&woven), capacity);
+        let monitor = Arc::clone(&self.monitor);
+        let object = key.to_string();
+        woven.set_request_observer(Some(Arc::new(move |_op: &str, us: u64, ok: bool| {
+            monitor.record(&object, "latency_us", us as f64);
+            monitor.record(&object, "availability", if ok { 1.0 } else { 0.0 });
+        })));
+        self.negotiation.register_object(key, Arc::clone(&woven), options.capacity);
         self.orb.adapter().activate(key, Arc::clone(&woven) as Arc<dyn Servant>);
         self.woven.write().insert(key.to_string(), woven);
         self.capacities.write().insert(key.to_string(), capacity_tags);
@@ -204,6 +275,66 @@ impl MaqsNode {
             ior = ior.with_qos_tag(tag.clone());
         }
         Ok(ior)
+    }
+
+    /// Weave `servant` (implementing QIDL interface `interface_name`)
+    /// and activate it under `key`.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::BadParam`] if the interface is not in the repository.
+    #[deprecated(since = "0.1.0", note = "use `serve` with `ServeOptions::interface(..)`")]
+    pub fn serve_woven(
+        &self,
+        key: &str,
+        servant: Arc<dyn Servant>,
+        interface_name: &str,
+    ) -> Result<Ior, OrbError> {
+        self.serve(key, servant, ServeOptions::interface(interface_name))
+            .map_err(Error::into_orb)
+    }
+
+    /// Like `serve_woven`, additionally installing QoS implementations
+    /// and registering the object for negotiation with the given
+    /// per-characteristic capacities.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::BadParam`] for unknown interfaces;
+    /// [`OrbError::QosViolation`] if an implementation's characteristic
+    /// is not assigned to the interface.
+    #[deprecated(since = "0.1.0", note = "use `serve` with `ServeOptions::interface(..)`")]
+    pub fn serve_woven_with(
+        &self,
+        key: &str,
+        servant: Arc<dyn Servant>,
+        interface_name: &str,
+        qos_impls: Vec<Arc<dyn QosImplementation>>,
+        capacity: HashMap<String, usize>,
+    ) -> Result<Ior, OrbError> {
+        let mut options = ServeOptions::interface(interface_name);
+        for qi in qos_impls {
+            options = options.qos_impl(qi);
+        }
+        for (characteristic, slots) in capacity {
+            options = options.capacity(characteristic, slots);
+        }
+        self.serve(key, servant, options).map_err(Error::into_orb)
+    }
+
+    /// The node's QoS monitor: agreement bounds installed by the
+    /// negotiation servant are checked against the measurements
+    /// [`MaqsNode::serve`] feeds in.
+    pub fn monitor(&self) -> &Arc<Monitor> {
+        &self.monitor
+    }
+
+    /// A point-in-time snapshot of the per-layer metrics this node's
+    /// ORB, transports, and QoS mechanisms have recorded. Render it with
+    /// [`crate::report::render_metrics_human`] or
+    /// [`crate::report::render_metrics_json`].
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.orb.metrics().snapshot()
     }
 
     /// The woven servant under `key`, if any.
@@ -308,12 +439,13 @@ mod tests {
         let client = MaqsNode::builder(&net, "client").build().unwrap();
 
         let ior = server
-            .serve_woven_with(
+            .serve(
                 "kv",
                 kv(),
-                "Kv",
-                vec![Arc::new(ReplicationQosImpl::new()), Arc::new(FreshnessStampQosImpl::new())],
-                HashMap::from([("Replication".to_string(), 1)]),
+                ServeOptions::interface("Kv")
+                    .qos_impl(Arc::new(ReplicationQosImpl::new()))
+                    .qos_impl(Arc::new(FreshnessStampQosImpl::new()))
+                    .capacity("Replication", 1),
             )
             .unwrap();
         assert!(ior.offers("Replication") && ior.offers("Actuality"));
@@ -358,7 +490,7 @@ mod tests {
     fn deployment_lint_flags_missing_impls_but_not_as_errors() {
         let net = Network::new(1);
         let node = MaqsNode::builder(&net, "n").spec(SPEC).build().unwrap();
-        node.serve_woven("kv", kv(), "Kv").unwrap();
+        node.serve("kv", kv(), ServeOptions::interface("Kv")).unwrap();
         let diags = node.lint_deployment();
         // Replication and Actuality are assigned but not installed.
         assert_eq!(diags.len(), 2);
@@ -374,12 +506,13 @@ mod tests {
     fn complete_deployment_lints_clean() {
         let net = Network::new(1);
         let node = MaqsNode::builder(&net, "n").spec(SPEC).build().unwrap();
-        node.serve_woven_with(
+        node.serve(
             "kv",
             kv(),
-            "Kv",
-            vec![Arc::new(ReplicationQosImpl::new()), Arc::new(FreshnessStampQosImpl::new())],
-            HashMap::from([("Replication".to_string(), 2)]),
+            ServeOptions::interface("Kv")
+                .qos_impl(Arc::new(ReplicationQosImpl::new()))
+                .qos_impl(Arc::new(FreshnessStampQosImpl::new()))
+                .capacity("Replication", 2),
         )
         .unwrap();
         assert!(node.lint_deployment().is_empty());
@@ -387,7 +520,6 @@ mod tests {
         node.shutdown();
     }
 
-    #[cfg(feature = "lint-deployments")]
     #[test]
     fn lint_gate_refuses_unusable_capacity_with_json_diagnostics() {
         let net = Network::new(1);
@@ -395,16 +527,16 @@ mod tests {
         // Capacity for an assigned-but-uninstalled characteristic:
         // negotiations would be admitted and then always fail.
         let err = node
-            .serve_woven_with(
+            .serve(
                 "kv",
                 kv(),
-                "Kv",
-                Vec::new(),
-                HashMap::from([("Replication".to_string(), 1)]),
+                ServeOptions::interface("Kv")
+                    .capacity("Replication", 1)
+                    .lint_policy(LintPolicy::Enforce),
             )
             .unwrap_err();
         match err {
-            OrbError::QosViolation(json) => {
+            Error::Orb(OrbError::QosViolation(json)) => {
                 assert!(json.contains("\"code\":\"QL106\""), "{json}");
                 assert!(json.contains("never installed"), "{json}");
             }
@@ -412,24 +544,72 @@ mod tests {
         }
         // The refused servant was not activated.
         assert!(node.woven("kv").is_none());
-        // A well-formed deployment still serves.
-        node.serve_woven_with(
+        // The same deployment activates when the gate is skipped...
+        node.serve(
+            "kv-unlinted",
+            kv(),
+            ServeOptions::interface("Kv")
+                .capacity("Replication", 1)
+                .lint_policy(LintPolicy::Skip),
+        )
+        .unwrap();
+        // ...and a well-formed one passes the gate.
+        node.serve(
             "kv",
             kv(),
-            "Kv",
-            vec![Arc::new(ReplicationQosImpl::new()), Arc::new(FreshnessStampQosImpl::new())],
-            HashMap::from([("Replication".to_string(), 1)]),
+            ServeOptions::interface("Kv")
+                .qos_impl(Arc::new(ReplicationQosImpl::new()))
+                .qos_impl(Arc::new(FreshnessStampQosImpl::new()))
+                .capacity("Replication", 1)
+                .lint_policy(LintPolicy::Enforce),
         )
         .unwrap();
         node.shutdown();
     }
 
     #[test]
-    fn serve_woven_unknown_interface_fails() {
+    fn serve_unknown_interface_fails() {
         let net = Network::new(1);
         let node = MaqsNode::builder(&net, "n").build().unwrap();
-        assert!(node.serve_woven("x", kv(), "Ghost").is_err());
+        assert!(node.serve("x", kv(), ServeOptions::interface("Ghost")).is_err());
         node.shutdown();
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_serve() {
+        let net = Network::new(1);
+        let node = MaqsNode::builder(&net, "n").spec(SPEC).build().unwrap();
+        let ior = node.serve_woven("kv", kv(), "Kv").unwrap();
+        assert!(ior.offers("Replication"));
+        assert!(matches!(
+            node.serve_woven("x", kv(), "Ghost").unwrap_err(),
+            OrbError::BadParam(_)
+        ));
+        node.serve_woven_with(
+            "kv2",
+            kv(),
+            "Kv",
+            vec![Arc::new(ReplicationQosImpl::new()), Arc::new(FreshnessStampQosImpl::new())],
+            HashMap::from([("Replication".to_string(), 1)]),
+        )
+        .unwrap();
+        assert!(node.woven("kv2").is_some());
+        node.shutdown();
+    }
+
+    #[test]
+    fn served_requests_feed_the_monitor() {
+        let net = Network::new(1);
+        let server = MaqsNode::builder(&net, "server").spec(SPEC).build().unwrap();
+        let client = MaqsNode::builder(&net, "client").build().unwrap();
+        let ior = server.serve("kv", kv(), ServeOptions::interface("Kv")).unwrap();
+        client.orb().invoke(&ior, "put", &[Any::from("k"), Any::LongLong(1)]).unwrap();
+        client.orb().invoke(&ior, "get", &[Any::from("k")]).unwrap();
+        assert!(server.monitor().mean("kv", "latency_us").is_some());
+        assert_eq!(server.monitor().mean("kv", "availability"), Some(1.0));
+        server.shutdown();
+        client.shutdown();
     }
 
     #[test]
@@ -437,10 +617,27 @@ mod tests {
         let net = Network::new(1);
         let server = MaqsNode::builder(&net, "server").spec(SPEC).build().unwrap();
         let client = MaqsNode::builder(&net, "client").build().unwrap();
-        let ior = server.serve_woven("kv", kv(), "Kv").unwrap();
+        let ior = server.serve("kv", kv(), ServeOptions::interface("Kv")).unwrap();
         let stub = client.stub(&ior);
         stub.invoke("put", &[Any::from("k"), Any::LongLong(9)]).unwrap();
-        assert_eq!(stub.invoke("get", &[Any::from("k")]).unwrap(), Any::LongLong(9));
+        let reply = stub.invoke("get", &[Any::from("k")]).unwrap();
+        assert_eq!(reply, Any::LongLong(9));
+        assert!(reply.trace.is_some(), "stub replies carry a trace");
+        server.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn metrics_snapshot_reflects_traffic() {
+        let net = Network::new(1);
+        let server = MaqsNode::builder(&net, "server").spec(SPEC).build().unwrap();
+        let client = MaqsNode::builder(&net, "client").build().unwrap();
+        let ior = server.serve("kv", kv(), ServeOptions::interface("Kv")).unwrap();
+        let before = client.metrics_snapshot();
+        client.orb().invoke(&ior, "put", &[Any::from("k"), Any::LongLong(3)]).unwrap();
+        let after = client.metrics_snapshot();
+        assert!(after.counter("orb.requests_sent") > before.counter("orb.requests_sent"));
+        assert!(after.dominates(&before));
         server.shutdown();
         client.shutdown();
     }

@@ -109,7 +109,7 @@ impl NetworkInner {
         if let Some(link) = st.links.get_mut(&(src, dst)) {
             link.busy_until = new_busy;
         }
-        st.stats.record_delivered(src, dst, payload.len());
+        st.stats.record_delivered(src, dst, payload.len(), deliver_vt.saturating_since(send_vt));
         let msg = Message { src, dst, seq, send_vt, deliver_vt, payload };
         // Receiver may have dropped its handle; that is equivalent to a
         // crashed node from the sender's perspective.

@@ -14,6 +14,21 @@ pub struct LinkStats {
     pub msgs_lost: u64,
     /// Messages suppressed by crash/partition faults.
     pub msgs_blocked: u64,
+    /// Accumulated modelled transit time of delivered messages, in
+    /// virtual nanoseconds (`deliver_vt - send_vt` summed per message).
+    pub transit_vnanos: u64,
+}
+
+impl LinkStats {
+    /// Mean modelled transit per delivered message, in virtual
+    /// microseconds (0.0 when nothing was delivered).
+    pub fn mean_transit_us(&self) -> f64 {
+        if self.msgs_delivered == 0 {
+            0.0
+        } else {
+            self.transit_vnanos as f64 / 1e3 / self.msgs_delivered as f64
+        }
+    }
 }
 
 /// Aggregated statistics for a [`crate::Network`].
@@ -23,11 +38,18 @@ pub struct NetworkStats {
 }
 
 impl NetworkStats {
-    /// Record a successful delivery.
-    pub(crate) fn record_delivered(&mut self, src: NodeId, dst: NodeId, bytes: usize) {
+    /// Record a successful delivery with its modelled transit time.
+    pub(crate) fn record_delivered(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: usize,
+        transit: crate::VirtualDuration,
+    ) {
         let e = self.links.entry((src, dst)).or_default();
         e.msgs_delivered += 1;
         e.bytes_delivered += bytes as u64;
+        e.transit_vnanos += transit.as_nanos();
     }
 
     /// Record a message dropped by the loss model.
@@ -60,6 +82,11 @@ impl NetworkStats {
         self.links.values().map(|s| s.msgs_lost).sum()
     }
 
+    /// Total modelled transit time over all links, in virtual nanoseconds.
+    pub fn total_transit_vnanos(&self) -> u64 {
+        self.links.values().map(|s| s.transit_vnanos).sum()
+    }
+
     /// Iterate over `((src, dst), stats)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (&(NodeId, NodeId), &LinkStats)> {
         self.links.iter()
@@ -74,8 +101,8 @@ mod tests {
     fn counters_accumulate() {
         let mut s = NetworkStats::default();
         let (a, b) = (NodeId(1), NodeId(2));
-        s.record_delivered(a, b, 100);
-        s.record_delivered(a, b, 50);
+        s.record_delivered(a, b, 100, crate::VirtualDuration::from_micros(30));
+        s.record_delivered(a, b, 50, crate::VirtualDuration::from_micros(10));
         s.record_lost(a, b);
         s.record_blocked(b, a);
         assert_eq!(s.link(a, b).msgs_delivered, 2);
@@ -85,6 +112,9 @@ mod tests {
         assert_eq!(s.total_bytes(), 150);
         assert_eq!(s.total_msgs(), 2);
         assert_eq!(s.total_lost(), 1);
+        assert_eq!(s.total_transit_vnanos(), 40_000);
+        assert_eq!(s.link(a, b).mean_transit_us(), 20.0);
         assert_eq!(s.link(NodeId(9), NodeId(9)), LinkStats::default());
+        assert_eq!(s.link(NodeId(9), NodeId(9)).mean_transit_us(), 0.0);
     }
 }

@@ -69,6 +69,11 @@ impl VirtualDuration {
         self.0
     }
 
+    /// The duration in whole microseconds (truncating).
+    pub fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
     /// The duration in (fractional) milliseconds.
     pub fn as_millis_f64(self) -> f64 {
         self.0 as f64 / 1e6

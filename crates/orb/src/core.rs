@@ -32,7 +32,9 @@ use crate::giop::{
     CommandTarget, GiopMessage, Packet, QosContext, ReplyMessage, RequestKind, RequestMessage,
 };
 use crate::ior::{Ior, ObjectKey};
+use crate::metrics::MetricsRegistry;
 use crate::pseudo::PseudoObjectRegistry;
+use crate::trace::{self, TraceContext, TRACE_CONTEXT_ID};
 use crate::transport::QosTransport;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use netsim::{NetHandle, Network, NodeId};
@@ -97,12 +99,15 @@ struct OrbInner {
     config: OrbConfig,
     shutdown: AtomicBool,
     stats: Mutex<OrbStats>,
+    metrics: MetricsRegistry,
     dispatch_tx: Sender<DispatchWork>,
 }
 
 struct DispatchWork {
     via_module: Option<String>,
     request: RequestMessage,
+    /// Modelled wire transit of the carrying message, virtual µs.
+    transit_vus: u64,
 }
 
 /// An object request broker bound to one simulated network node.
@@ -143,6 +148,7 @@ impl Orb {
             config,
             shutdown: AtomicBool::new(false),
             stats: Mutex::new(OrbStats::default()),
+            metrics: MetricsRegistry::new(),
             dispatch_tx,
         });
         let orb = Orb { inner };
@@ -181,6 +187,11 @@ impl Orb {
     /// A snapshot of the broker counters.
     pub fn stats(&self) -> OrbStats {
         *self.inner.stats.lock()
+    }
+
+    /// The ORB's metrics registry (request-path counters/histograms).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
     }
 
     /// Activate a servant and return a QoS-unaware reference to it.
@@ -228,15 +239,56 @@ impl Orb {
         args: &[Any],
         qos: Option<QosContext>,
     ) -> Result<Any, OrbError> {
+        self.invoke_traced(ior, op, args, qos, None).map(|(value, _)| value)
+    }
+
+    /// Synchronous invocation carrying a [`TraceContext`] in the request's
+    /// service-context slot. The returned context is the one the reply
+    /// carried back — the client-supplied trace plus every span the
+    /// server-side layers appended — with this ORB's own `orb.client`
+    /// span added on top. `None` in means `None` out.
+    ///
+    /// # Errors
+    ///
+    /// As [`Orb::invoke`].
+    pub fn invoke_traced(
+        &self,
+        ior: &Ior,
+        op: &str,
+        args: &[Any],
+        qos: Option<QosContext>,
+        trace: Option<TraceContext>,
+    ) -> Result<(Any, Option<TraceContext>), OrbError> {
         self.check_running()?;
+        let metrics = &self.inner.metrics;
         // Collocated shortcut (only for plain calls: QoS-annotated traffic
         // must take the full path so mediator/module semantics hold).
         if self.inner.config.collocated_shortcut && qos.is_none() && ior.node == self.node() {
             self.inner.stats.lock().collocated_calls += 1;
-            return self.inner.adapter.dispatch(&ior.key, op, args);
+            metrics.incr("orb.collocated_calls");
+            let started = Instant::now();
+            return match trace {
+                None => {
+                    let result = self.inner.adapter.dispatch(&ior.key, op, args);
+                    metrics.observe_us("orb.collocated_us", started.elapsed().as_micros() as u64);
+                    result.map(|v| (v, None))
+                }
+                Some(ctx) => {
+                    // Same thread end to end: install so the skeleton's
+                    // spans land in this trace, then add the adapter span.
+                    let scope = trace::begin(ctx, self.inner.handle.name());
+                    let result = self.inner.adapter.dispatch(&ior.key, op, args);
+                    let us = started.elapsed().as_micros() as u64;
+                    let mut ctx = scope.finish();
+                    ctx.push("adapter", self.inner.handle.name(), us);
+                    metrics.observe_us("orb.collocated_us", us);
+                    result.map(|v| (v, Some(ctx)))
+                }
+            };
         }
+        let trace_id = trace.as_ref().map(|t| t.trace_id);
         let (id, rx) = self.register_pending();
-        let request = RequestMessage {
+        let mut request = RequestMessage {
             request_id: id,
             reply_to: self.node(),
             object_key: ior.key.clone(),
@@ -245,7 +297,12 @@ impl Orb {
             response_expected: true,
             kind: RequestKind::ServiceRequest,
             qos,
+            contexts: Vec::new(),
         };
+        if let Some(ctx) = &trace {
+            request.set_context(TRACE_CONTEXT_ID, ctx.to_bytes());
+        }
+        let started = Instant::now();
         let send_result = self.send_request(ior.node, &request);
         if let Err(e) = send_result {
             self.unregister_pending(id);
@@ -253,7 +310,24 @@ impl Orb {
         }
         let reply = self.await_reply(id, &rx, self.inner.config.request_timeout);
         self.unregister_pending(id);
-        reply?.into_result()
+        let reply = reply?;
+        let roundtrip_us = started.elapsed().as_micros() as u64;
+        metrics.observe_us("orb.roundtrip_us", roundtrip_us);
+        let trace_out = match trace_id {
+            None => None,
+            Some(trace_id) => {
+                // Prefer the server-enriched context from the reply slot;
+                // fall back to a bare continuation of the same trace if the
+                // reply lost it (e.g. an exception path).
+                let mut ctx = reply
+                    .context(TRACE_CONTEXT_ID)
+                    .and_then(|b| TraceContext::from_bytes(b).ok())
+                    .unwrap_or_else(|| TraceContext::with_id(trace_id));
+                ctx.push("orb.client", self.inner.handle.name(), roundtrip_us);
+                Some(ctx)
+            }
+        };
+        reply.into_result().map(|v| (v, trace_out))
     }
 
     /// Invocation that collects replies from multiple responders (replica
@@ -285,6 +359,7 @@ impl Orb {
             response_expected: true,
             kind: RequestKind::ServiceRequest,
             qos,
+            contexts: Vec::new(),
         };
         if let Err(e) = self.send_request(ior.node, &request) {
             self.unregister_pending(id);
@@ -335,6 +410,7 @@ impl Orb {
             response_expected: false,
             kind: RequestKind::ServiceRequest,
             qos,
+            contexts: Vec::new(),
         };
         self.send_request(ior.node, &request)
     }
@@ -364,6 +440,7 @@ impl Orb {
             response_expected: true,
             kind: RequestKind::Command(target),
             qos: None,
+            contexts: Vec::new(),
         };
         let bytes = GiopMessage::Request(request).to_bytes();
         let r = self.send_packet(node, &Packet::Plain(bytes));
@@ -419,11 +496,16 @@ impl Orb {
 
     /// The client half of the Fig. 3 decision tree.
     fn send_request(&self, dst: NodeId, request: &RequestMessage) -> Result<(), OrbError> {
+        let metrics = &self.inner.metrics;
+        metrics.incr("orb.requests_sent");
         let bytes = GiopMessage::Request(request.clone()).to_bytes();
         let qos_aware = request.qos.is_some();
         if qos_aware {
             if let Some(module) = self.inner.transport.bound_module(dst, &request.object_key) {
+                let started = Instant::now();
                 let outs = module.outbound(dst, bytes)?;
+                metrics.observe_us("transport.outbound_us", started.elapsed().as_micros() as u64);
+                metrics.incr("transport.qos_packets_out");
                 for (node, body) in outs {
                     self.send_packet(node, &Packet::Qos { module: module.name().to_string(), body })?;
                 }
@@ -453,7 +535,7 @@ impl Orb {
                         Err(netsim::RecvError::Timeout) => continue,
                         Err(_) => break,
                     };
-                    Orb::handle_packet(&inner, msg.src, &msg.payload);
+                    Orb::handle_packet(&inner, &msg);
                 }
             })
             .expect("spawn orb receive loop")
@@ -476,27 +558,43 @@ impl Orb {
             .expect("spawn orb dispatcher")
     }
 
-    fn handle_packet(inner: &Arc<OrbInner>, src: NodeId, payload: &[u8]) {
-        let packet = match Packet::from_bytes(payload) {
+    fn handle_packet(inner: &Arc<OrbInner>, msg: &netsim::Message) {
+        let src = msg.src;
+        let transit_vus = msg.transit().as_micros();
+        let metrics = &inner.metrics;
+        metrics.incr("wire.msgs_received");
+        metrics.add("wire.bytes_received", msg.payload.len() as u64);
+        metrics.observe_us("wire.transit_vus", transit_vus);
+        let packet = match Packet::from_bytes(&msg.payload) {
             Ok(p) => p,
             Err(_) => {
                 inner.stats.lock().packets_dropped += 1;
+                metrics.incr("orb.packets_dropped");
                 return;
             }
         };
         let (giop_bytes, via_module) = match packet {
             Packet::Plain(body) => (body, None),
             Packet::Qos { module, body } => match inner.transport.module(&module) {
-                Some(m) => match m.inbound(src, body) {
-                    Ok(Some(bytes)) => (bytes, Some(module)),
-                    Ok(None) => return, // module swallowed it (e.g. duplicate)
-                    Err(_) => {
-                        inner.stats.lock().packets_dropped += 1;
-                        return;
+                Some(m) => {
+                    let started = Instant::now();
+                    let transformed = m.inbound(src, body);
+                    metrics
+                        .observe_us("transport.inbound_us", started.elapsed().as_micros() as u64);
+                    metrics.incr("transport.qos_packets_in");
+                    match transformed {
+                        Ok(Some(bytes)) => (bytes, Some(module)),
+                        Ok(None) => return, // module swallowed it (e.g. duplicate)
+                        Err(_) => {
+                            inner.stats.lock().packets_dropped += 1;
+                            metrics.incr("orb.packets_dropped");
+                            return;
+                        }
                     }
-                },
+                }
                 None => {
                     inner.stats.lock().packets_dropped += 1;
+                    metrics.incr("orb.packets_dropped");
                     return;
                 }
             },
@@ -505,23 +603,35 @@ impl Orb {
             Ok(m) => m,
             Err(_) => {
                 inner.stats.lock().packets_dropped += 1;
+                metrics.incr("orb.packets_dropped");
                 return;
             }
         };
         match message {
             GiopMessage::Request(request) => {
-                let _ = inner.dispatch_tx.send(DispatchWork { via_module, request });
+                let _ = inner.dispatch_tx.send(DispatchWork { via_module, request, transit_vus });
             }
-            GiopMessage::Reply(reply) => {
+            GiopMessage::Reply(mut reply) => {
+                // Stamp the reply's wire leg into the trace it carries, so
+                // the client sees both directions of the network cost.
+                if let Some(mut ctx) = reply
+                    .context(TRACE_CONTEXT_ID)
+                    .and_then(|b| TraceContext::from_bytes(b).ok())
+                {
+                    ctx.push("wire.reply", inner.handle.name(), transit_vus);
+                    reply.set_context(TRACE_CONTEXT_ID, ctx.to_bytes());
+                }
                 let pending = inner.pending.lock();
                 match pending.get(&reply.request_id) {
                     Some(p) => {
                         let _ = p.tx.send(reply);
                         let mut stats = inner.stats.lock();
                         stats.replies_matched += 1;
+                        metrics.incr("orb.replies_matched");
                     }
                     None => {
                         inner.stats.lock().replies_orphaned += 1;
+                        metrics.incr("orb.replies_orphaned");
                     }
                 }
             }
@@ -530,7 +640,18 @@ impl Orb {
 
     /// The server half of the Fig. 3 decision tree.
     fn execute_request(inner: &Arc<OrbInner>, work: DispatchWork) {
-        let DispatchWork { via_module, request } = work;
+        let DispatchWork { via_module, request, transit_vus } = work;
+        let metrics = &inner.metrics;
+        // Install the request's trace (if it carries one) on this
+        // dispatcher thread so adapter/skeleton/servant spans land in it.
+        let scope = request
+            .context(TRACE_CONTEXT_ID)
+            .and_then(|b| TraceContext::from_bytes(b).ok())
+            .map(|mut ctx| {
+                ctx.push("wire", inner.handle.name(), transit_vus);
+                trace::begin(ctx, inner.handle.name())
+            });
+        let started = Instant::now();
         let result = match &request.kind {
             RequestKind::Command(CommandTarget::Transport) => {
                 inner.transport.command(&request.operation, &request.args)
@@ -543,27 +664,45 @@ impl Orb {
                 if let Some(name) = request.object_key.0.strip_prefix(PSEUDO_KEY_PREFIX) {
                     inner.pseudo.invoke(name, &request.operation, &request.args)
                 } else {
-                    inner.adapter.dispatch(&request.object_key, &request.operation, &request.args)
+                    trace::time("adapter", || {
+                        inner.adapter.dispatch(&request.object_key, &request.operation, &request.args)
+                    })
                 }
             }
         };
+        let dispatch_us = started.elapsed().as_micros() as u64;
+        metrics.observe_us("orb.dispatch_us", dispatch_us);
+        metrics.incr("orb.requests_handled");
         inner.stats.lock().requests_handled += 1;
+        let trace_out = scope.map(|s| {
+            let mut ctx = s.finish();
+            ctx.push("orb.server", inner.handle.name(), dispatch_us);
+            ctx
+        });
         if !request.response_expected {
             return;
         }
-        let reply = ReplyMessage::from_result(request.request_id, inner.handle.id(), result);
+        let mut reply = ReplyMessage::from_result(request.request_id, inner.handle.id(), result);
+        if let Some(ctx) = trace_out {
+            reply.set_context(TRACE_CONTEXT_ID, ctx.to_bytes());
+        }
         let bytes = GiopMessage::Reply(reply).to_bytes();
         // Route the reply back through the same module the request came
         // in by, so transforms like compression are symmetric.
         let packet = match via_module.and_then(|m| inner.transport.module(&m)) {
-            Some(module) => match module.outbound(request.reply_to, bytes) {
-                Ok(mut outs) if outs.len() == 1 => {
-                    let (node, body) = outs.remove(0);
-                    debug_assert_eq!(node, request.reply_to);
-                    Packet::Qos { module: module.name().to_string(), body }
+            Some(module) => {
+                let started = Instant::now();
+                let outs = module.outbound(request.reply_to, bytes);
+                metrics.observe_us("transport.outbound_us", started.elapsed().as_micros() as u64);
+                match outs {
+                    Ok(mut outs) if outs.len() == 1 => {
+                        let (node, body) = outs.remove(0);
+                        debug_assert_eq!(node, request.reply_to);
+                        Packet::Qos { module: module.name().to_string(), body }
+                    }
+                    _ => return, // fan-out modules answer per-destination themselves
                 }
-                _ => return, // fan-out modules answer per-destination themselves
-            },
+            }
             None => Packet::Plain(bytes),
         };
         let _ = inner.handle.send(request.reply_to, packet.to_bytes());
@@ -765,6 +904,49 @@ mod tests {
         assert_eq!(replies.len(), 1);
         assert_eq!(replies[0].0, server.node());
         assert_eq!(replies[0].1, Ok(Any::Long(5)));
+        server.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn traced_remote_call_carries_one_trace_id_and_layer_spans() {
+        let (_net, server, client, ior) = pair();
+        let ctx = TraceContext::new(client.node());
+        let want_id = ctx.trace_id;
+        let (value, trace) =
+            client.invoke_traced(&ior, "echo", &[Any::from("t")], None, Some(ctx)).unwrap();
+        assert_eq!(value, Any::Str("t".into()));
+        let trace = trace.expect("traced call returns a context");
+        assert_eq!(trace.trace_id, want_id);
+        for layer in ["wire", "adapter", "orb.server", "wire.reply", "orb.client"] {
+            assert!(trace.span(layer).is_some(), "missing span {layer}: {trace:?}");
+        }
+        // Metrics recorded on both sides.
+        assert_eq!(client.metrics().snapshot().counter("orb.requests_sent"), 1);
+        assert_eq!(server.metrics().snapshot().counter("orb.requests_handled"), 1);
+        assert!(server.metrics().snapshot().histogram("orb.dispatch_us").is_some());
+        server.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn traced_collocated_call_records_adapter_span() {
+        let (_net, server, _client, ior) = pair();
+        let ctx = TraceContext::new(server.node());
+        let (_, trace) =
+            server.invoke_traced(&ior, "echo", &[Any::Long(1)], None, Some(ctx)).unwrap();
+        let trace = trace.unwrap();
+        assert!(trace.span("adapter").is_some());
+        assert!(trace.span("wire").is_none(), "no wire leg on the shortcut");
+        assert_eq!(server.metrics().snapshot().counter("orb.collocated_calls"), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn untraced_calls_return_no_context() {
+        let (_net, server, client, ior) = pair();
+        let (_, trace) = client.invoke_traced(&ior, "echo", &[Any::Long(2)], None, None).unwrap();
+        assert!(trace.is_none());
         server.shutdown();
         client.shutdown();
     }

@@ -67,6 +67,49 @@ impl QosContext {
     }
 }
 
+/// One GIOP service-context slot: out-of-band data riding along with a
+/// request or reply (CORBA's `ServiceContext`). MAQS uses slot id
+/// [`crate::trace::TRACE_CONTEXT_ID`] to propagate trace contexts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceContext {
+    /// Slot identifier, e.g. `"maqs.trace"`.
+    pub id: String,
+    /// Opaque slot payload.
+    pub data: Vec<u8>,
+}
+
+/// Find slot `id` in a context list.
+fn find_context<'a>(contexts: &'a [ServiceContext], id: &str) -> Option<&'a [u8]> {
+    contexts.iter().find(|c| c.id == id).map(|c| c.data.as_slice())
+}
+
+/// Insert-or-replace slot `id` in a context list.
+fn set_context(contexts: &mut Vec<ServiceContext>, id: &str, data: Vec<u8>) {
+    match contexts.iter_mut().find(|c| c.id == id) {
+        Some(c) => c.data = data,
+        None => contexts.push(ServiceContext { id: id.to_string(), data }),
+    }
+}
+
+fn encode_contexts(enc: &mut CdrEncoder, contexts: &[ServiceContext]) {
+    enc.put_len(contexts.len());
+    for c in contexts {
+        enc.put_string(&c.id);
+        enc.put_bytes(&c.data);
+    }
+}
+
+fn decode_contexts(dec: &mut CdrDecoder<'_>) -> Result<Vec<ServiceContext>, OrbError> {
+    let n = dec.get_len()?;
+    let mut contexts = Vec::with_capacity(n.min(16));
+    for _ in 0..n {
+        let id = dec.get_string()?;
+        let data = dec.get_bytes()?;
+        contexts.push(ServiceContext { id, data });
+    }
+    Ok(contexts)
+}
+
 /// A request message.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RequestMessage {
@@ -86,6 +129,20 @@ pub struct RequestMessage {
     pub kind: RequestKind,
     /// Negotiated-QoS annotation, if any.
     pub qos: Option<QosContext>,
+    /// Service-context slots (trace propagation etc.).
+    pub contexts: Vec<ServiceContext>,
+}
+
+impl RequestMessage {
+    /// Payload of service-context slot `id`, if present.
+    pub fn context(&self, id: &str) -> Option<&[u8]> {
+        find_context(&self.contexts, id)
+    }
+
+    /// Set (insert or replace) service-context slot `id`.
+    pub fn set_context(&mut self, id: &str, data: Vec<u8>) {
+        set_context(&mut self.contexts, id, data);
+    }
 }
 
 /// Outcome carried by a reply.
@@ -111,9 +168,21 @@ pub struct ReplyMessage {
     pub from: NodeId,
     /// Outcome.
     pub status: ReplyStatus,
+    /// Service-context slots (trace propagation etc.).
+    pub contexts: Vec<ServiceContext>,
 }
 
 impl ReplyMessage {
+    /// Payload of service-context slot `id`, if present.
+    pub fn context(&self, id: &str) -> Option<&[u8]> {
+        find_context(&self.contexts, id)
+    }
+
+    /// Set (insert or replace) service-context slot `id`.
+    pub fn set_context(&mut self, id: &str, data: Vec<u8>) {
+        set_context(&mut self.contexts, id, data);
+    }
+
     /// Convert the wire status into the client-visible `Result`.
     pub fn into_result(self) -> Result<Any, OrbError> {
         match self.status {
@@ -128,7 +197,7 @@ impl ReplyMessage {
             Ok(v) => ReplyStatus::Ok(v),
             Err(e) => ReplyStatus::Exception { kind: e.kind().to_string(), detail: e.detail().to_string() },
         };
-        ReplyMessage { request_id, from, status }
+        ReplyMessage { request_id, from, status, contexts: Vec::new() }
     }
 }
 
@@ -177,6 +246,7 @@ impl GiopMessage {
                 for a in &r.args {
                     a.encode(&mut enc);
                 }
+                encode_contexts(&mut enc, &r.contexts);
             }
             GiopMessage::Reply(r) => {
                 enc.put_u8(1);
@@ -193,6 +263,7 @@ impl GiopMessage {
                         enc.put_string(detail);
                     }
                 }
+                encode_contexts(&mut enc, &r.contexts);
             }
         }
         enc.into_bytes()
@@ -236,6 +307,7 @@ impl GiopMessage {
                 for _ in 0..n {
                     args.push(Any::decode(&mut dec)?);
                 }
+                let contexts = decode_contexts(&mut dec)?;
                 Ok(GiopMessage::Request(RequestMessage {
                     request_id,
                     reply_to,
@@ -245,6 +317,7 @@ impl GiopMessage {
                     response_expected,
                     kind,
                     qos,
+                    contexts,
                 }))
             }
             1 => {
@@ -259,7 +332,8 @@ impl GiopMessage {
                     }
                     s => return Err(OrbError::Marshal(format!("bad reply status {s}"))),
                 };
-                Ok(GiopMessage::Reply(ReplyMessage { request_id, from, status }))
+                let contexts = decode_contexts(&mut dec)?;
+                Ok(GiopMessage::Reply(ReplyMessage { request_id, from, status, contexts }))
             }
             t => Err(OrbError::Marshal(format!("bad GIOP message tag {t}"))),
         }
@@ -348,6 +422,7 @@ mod tests {
             qos: Some(
                 QosContext::new("compression").with_param("level", Any::Octet(3)),
             ),
+            contexts: vec![ServiceContext { id: "maqs.trace".into(), data: vec![9, 8, 7] }],
         }
     }
 
@@ -374,6 +449,7 @@ mod tests {
             request_id: 7,
             from: NodeId(2),
             status: ReplyStatus::Ok(Any::Str("done".into())),
+            contexts: vec![ServiceContext { id: "maqs.trace".into(), data: vec![1] }],
         });
         assert_eq!(GiopMessage::from_bytes(&ok.to_bytes()).unwrap(), ok);
 
@@ -381,13 +457,19 @@ mod tests {
             request_id: 8,
             from: NodeId(2),
             status: ReplyStatus::Exception { kind: "BAD_OPERATION".into(), detail: "nope".into() },
+            contexts: Vec::new(),
         });
         assert_eq!(GiopMessage::from_bytes(&exc.to_bytes()).unwrap(), exc);
     }
 
     #[test]
     fn reply_into_result() {
-        let ok = ReplyMessage { request_id: 1, from: NodeId(0), status: ReplyStatus::Ok(Any::Long(5)) };
+        let ok = ReplyMessage {
+            request_id: 1,
+            from: NodeId(0),
+            status: ReplyStatus::Ok(Any::Long(5)),
+            contexts: Vec::new(),
+        };
         assert_eq!(ok.into_result().unwrap(), Any::Long(5));
         let err = ReplyMessage::from_result(1, NodeId(0), Err(OrbError::BadOperation("f".into())));
         assert_eq!(err.into_result(), Err(OrbError::BadOperation("f".into())));
@@ -414,6 +496,21 @@ mod tests {
         let q = QosContext::new("enc").with_param("key", Any::ULong(9));
         assert_eq!(q.param("key"), Some(&Any::ULong(9)));
         assert_eq!(q.param("nope"), None);
+    }
+
+    #[test]
+    fn service_context_set_and_lookup() {
+        let mut r = sample_request();
+        assert_eq!(r.context("maqs.trace"), Some(&[9u8, 8, 7][..]));
+        assert_eq!(r.context("absent"), None);
+        r.set_context("maqs.trace", vec![1]);
+        r.set_context("other", vec![2]);
+        assert_eq!(r.context("maqs.trace"), Some(&[1u8][..]));
+        assert_eq!(r.contexts.len(), 2);
+        let mut reply = ReplyMessage::from_result(1, NodeId(0), Ok(Any::Void));
+        assert_eq!(reply.context("maqs.trace"), None);
+        reply.set_context("maqs.trace", vec![3]);
+        assert_eq!(reply.context("maqs.trace"), Some(&[3u8][..]));
     }
 
     #[test]

@@ -26,6 +26,10 @@
 //! * **DII** ([`dii`]) — dynamic request construction.
 //! * **Pseudo objects** ([`pseudo`]) — locally implemented objects, used
 //!   for the static interfaces of QoS modules.
+//! * **Tracing** ([`trace`]) — per-request trace contexts carried in a
+//!   GIOP service-context slot, giving a per-layer cost breakdown.
+//! * **Metrics** ([`metrics`]) — counters and latency histograms recorded
+//!   at every layer of the request path.
 //!
 //! The network underneath is [`netsim`]; see that crate for link and fault
 //! models.
@@ -69,8 +73,10 @@ pub mod dii;
 pub mod error;
 pub mod giop;
 pub mod ior;
+pub mod metrics;
 pub mod pseudo;
 pub mod retry;
+pub mod trace;
 pub mod transport;
 
 /// Convenient re-exports of the types used by almost every ORB client.
@@ -87,5 +93,7 @@ pub use crate::any::{Any, TypeCode};
 pub use crate::core::{Orb, OrbConfig};
 pub use crate::error::OrbError;
 pub use crate::ior::{Ior, ObjectKey};
+pub use crate::metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use crate::retry::RetryPolicy;
+pub use crate::trace::{Span, TraceContext};
 pub use crate::transport::{ModuleFactory, QosModule, QosTransport};

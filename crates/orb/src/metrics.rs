@@ -1,0 +1,296 @@
+//! Lock-cheap metrics: counters and fixed-bucket latency histograms.
+//!
+//! Every [`crate::Orb`] owns a [`MetricsRegistry`]; the request path
+//! (core, transport, and the weaving layers above) records into it at
+//! well-known names (see DESIGN.md §Observability for the full list).
+//! The registry is deliberately simple: one `parking_lot` mutex around
+//! two hash maps, histograms with a fixed microsecond bucket ladder, and
+//! [`MetricsRegistry::snapshot`] producing plain, sorted data that
+//! renderers and monitors can consume without holding any lock.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Upper bounds (inclusive, in µs) of the histogram buckets. Values above
+/// the last bound land in an overflow bucket.
+pub const BUCKET_BOUNDS_US: [u64; 12] =
+    [1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000];
+
+#[derive(Debug, Clone, Default)]
+struct Histogram {
+    buckets: [u64; BUCKET_BOUNDS_US.len() + 1],
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+impl Histogram {
+    fn observe(&mut self, us: u64) {
+        let idx = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(BUCKET_BOUNDS_US.len());
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_us += us;
+        self.max_us = self.max_us.max(us);
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: HashMap<String, u64>,
+    histograms: HashMap<String, Histogram>,
+}
+
+/// A registry of named counters and latency histograms.
+///
+/// Cloning shares the same underlying registry.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("MetricsRegistry")
+            .field("counters", &inner.counters.len())
+            .field("histograms", &inner.histograms.len())
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Increment counter `name` by one.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Increment counter `name` by `delta`.
+    pub fn add(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.lock();
+        match inner.counters.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                inner.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Record one duration observation (µs) into histogram `name`.
+    pub fn observe_us(&self, name: &str, us: u64) {
+        let mut inner = self.inner.lock();
+        match inner.histograms.get_mut(name) {
+            Some(h) => h.observe(us),
+            None => {
+                let mut h = Histogram::default();
+                h.observe(us);
+                inner.histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// Run `f`, recording its wall-clock duration into histogram `name`.
+    pub fn time<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        let started = Instant::now();
+        let out = f();
+        self.observe_us(name, started.elapsed().as_micros() as u64);
+        out
+    }
+
+    /// A point-in-time copy of every counter and histogram, sorted by
+    /// name. Plain data: safe to render, diff, or ship anywhere.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock();
+        let mut counters: Vec<(String, u64)> =
+            inner.counters.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        counters.sort();
+        let mut histograms: Vec<(String, HistogramSnapshot)> = inner
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    HistogramSnapshot {
+                        count: h.count,
+                        sum_us: h.sum_us,
+                        max_us: h.max_us,
+                        buckets: BUCKET_BOUNDS_US
+                            .iter()
+                            .copied()
+                            .zip(h.buckets.iter().copied())
+                            .collect(),
+                        overflow: h.buckets[BUCKET_BOUNDS_US.len()],
+                    },
+                )
+            })
+            .collect();
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        MetricsSnapshot { counters, histograms }
+    }
+}
+
+/// Plain-data copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations, µs.
+    pub sum_us: u64,
+    /// Largest observation, µs.
+    pub max_us: u64,
+    /// `(upper_bound_us, count)` per bucket, ladder order.
+    pub buckets: Vec<(u64, u64)>,
+    /// Observations above the last bound.
+    pub overflow: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation in (fractional) µs; 0.0 when empty.
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+}
+
+/// Plain-data copy of a whole registry, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` counters.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, histogram)` latency histograms.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Value of counter `name` (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Histogram `name`, if it has recorded anything.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Whether `self` is a monotone successor of `earlier`: every counter
+    /// and every histogram count in `earlier` is ≤ its value here. Used
+    /// to assert snapshot consistency under concurrency.
+    pub fn dominates(&self, earlier: &MetricsSnapshot) -> bool {
+        earlier.counters.iter().all(|(n, v)| self.counter(n) >= *v)
+            && earlier.histograms.iter().all(|(n, h)| {
+                self.histogram(n).is_some_and(|mine| {
+                    mine.count >= h.count && mine.sum_us >= h.sum_us && mine.max_us >= h.max_us
+                })
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_histograms_accumulate() {
+        let m = MetricsRegistry::new();
+        m.incr("a");
+        m.add("a", 4);
+        m.observe_us("lat", 3);
+        m.observe_us("lat", 7_000);
+        let s = m.snapshot();
+        assert_eq!(s.counter("a"), 5);
+        assert_eq!(s.counter("missing"), 0);
+        let h = s.histogram("lat").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum_us, 7_003);
+        assert_eq!(h.max_us, 7_000);
+        assert_eq!(h.mean_us(), 3_501.5);
+        // 3µs lands in the ≤5 bucket, 7000µs overflows the ladder.
+        assert_eq!(h.buckets.iter().find(|(b, _)| *b == 5).unwrap().1, 1);
+        assert_eq!(h.overflow, 1);
+    }
+
+    #[test]
+    fn time_records_into_histogram() {
+        let m = MetricsRegistry::new();
+        let out = m.time("op", || 9);
+        assert_eq!(out, 9);
+        assert_eq!(m.snapshot().histogram("op").unwrap().count, 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_plain_data() {
+        let m = MetricsRegistry::new();
+        m.incr("z");
+        m.incr("a");
+        m.observe_us("zz", 1);
+        m.observe_us("aa", 1);
+        let s = m.snapshot();
+        assert_eq!(s.counters[0].0, "a");
+        assert_eq!(s.counters[1].0, "z");
+        assert_eq!(s.histograms[0].0, "aa");
+    }
+
+    #[test]
+    fn dominates_orders_snapshots() {
+        let m = MetricsRegistry::new();
+        m.incr("c");
+        m.observe_us("h", 10);
+        let early = m.snapshot();
+        assert!(early.dominates(&early));
+        m.incr("c");
+        m.observe_us("h", 20);
+        let late = m.snapshot();
+        assert!(late.dominates(&early));
+        assert!(!early.dominates(&late));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let m = MetricsRegistry::new();
+        let m2 = m.clone();
+        m2.incr("shared");
+        assert_eq!(m.snapshot().counter("shared"), 1);
+    }
+
+    #[test]
+    fn concurrent_recording_is_monotone() {
+        let m = MetricsRegistry::new();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let m = m.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500 {
+                    m.incr("n");
+                    m.observe_us("l", i % 100);
+                }
+            }));
+        }
+        let mut prev = m.snapshot();
+        for _ in 0..50 {
+            let next = m.snapshot();
+            assert!(next.dominates(&prev), "snapshot went backwards");
+            prev = next;
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let fin = m.snapshot();
+        assert_eq!(fin.counter("n"), 2_000);
+        assert_eq!(fin.histogram("l").unwrap().count, 2_000);
+    }
+}

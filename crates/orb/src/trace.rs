@@ -1,0 +1,269 @@
+//! Request-path tracing: the observability half of Fig. 1.
+//!
+//! A [`TraceContext`] is a trace id plus a stack of per-layer [`Span`]s.
+//! It travels in a GIOP *service context* slot (id
+//! [`TRACE_CONTEXT_ID`]): the client stub creates it, the ORB carries it
+//! with the request, every layer that does measurable work appends a
+//! span, and the server ORB sends the accumulated context back in the
+//! reply's service-context slot. The result is a per-layer cost
+//! breakdown of a single invocation — the executable version of the
+//! paper's Fig. 1 picture (client → stub → ORB → network → ORB →
+//! adapter → skeleton → servant).
+//!
+//! Server-side layers (object adapter, woven skeleton prolog/epilog,
+//! servant) run deep inside dispatch where no `&mut TraceContext` can
+//! reach them without changing the [`crate::adapter::Servant`] trait.
+//! Instead the dispatching thread *installs* the request's context in a
+//! thread-local ([`begin`]); layers call [`record`] / [`time`] to append
+//! spans; the dispatcher takes the context back ([`TraceScope::finish`])
+//! and attaches it to the reply. Installation nests, so a servant that
+//! makes its own outbound calls does not corrupt the outer trace.
+//!
+//! Span durations are microseconds. Layers measured on the wall clock
+//! (stub, mediators, ORB, adapter, skeleton, servant) report wall-clock
+//! µs; the two `wire*` spans report *virtual* µs from the netsim link
+//! model (`deliver_vt - send_vt`), since simulated wire time does not
+//! pass on the wall clock.
+
+use crate::cdr::{CdrDecoder, CdrEncoder};
+use crate::error::OrbError;
+use netsim::NodeId;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Service-context slot id under which the trace travels.
+pub const TRACE_CONTEXT_ID: &str = "maqs.trace";
+
+/// One layer's contribution to a traced invocation.
+///
+/// Durations are *inclusive*: a `stub` span covers the mediator chain,
+/// the ORB round trip and everything below it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Layer name, e.g. `"stub"`, `"mediator:compression"`, `"servant"`.
+    pub layer: String,
+    /// Name of the node that measured this span.
+    pub node: String,
+    /// Duration in microseconds (wall µs, or virtual µs for `wire*`).
+    pub dur_us: u64,
+}
+
+/// A trace id plus the spans accumulated so far, in recording order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceContext {
+    /// Id shared by every hop of one logical invocation.
+    pub trace_id: u64,
+    /// Spans appended by each instrumented layer.
+    pub spans: Vec<Span>,
+}
+
+static NEXT_TRACE: AtomicU64 = AtomicU64::new(1);
+
+/// A process-unique trace id, namespaced by the originating node so two
+/// nodes in one simulation never collide.
+pub fn next_trace_id(node: NodeId) -> u64 {
+    ((node.0 as u64) << 40) | NEXT_TRACE.fetch_add(1, Ordering::Relaxed)
+}
+
+impl TraceContext {
+    /// A fresh context originating at `node`, with no spans yet.
+    pub fn new(node: NodeId) -> TraceContext {
+        TraceContext::with_id(next_trace_id(node))
+    }
+
+    /// A context continuing an existing trace id.
+    pub fn with_id(trace_id: u64) -> TraceContext {
+        TraceContext { trace_id, spans: Vec::new() }
+    }
+
+    /// Append a span.
+    pub fn push(&mut self, layer: impl Into<String>, node: impl Into<String>, dur_us: u64) {
+        self.spans.push(Span { layer: layer.into(), node: node.into(), dur_us });
+    }
+
+    /// The first span recorded for `layer`, if any.
+    pub fn span(&self, layer: &str) -> Option<&Span> {
+        self.spans.iter().find(|s| s.layer == layer)
+    }
+
+    /// Encode for the service-context slot.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = CdrEncoder::with_capacity(16 + self.spans.len() * 24);
+        enc.put_u64(self.trace_id);
+        enc.put_len(self.spans.len());
+        for s in &self.spans {
+            enc.put_string(&s.layer);
+            enc.put_string(&s.node);
+            enc.put_u64(s.dur_us);
+        }
+        enc.into_bytes()
+    }
+
+    /// Decode from a service-context slot.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::Marshal`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<TraceContext, OrbError> {
+        let mut dec = CdrDecoder::new(bytes);
+        let trace_id = dec.get_u64()?;
+        let n = dec.get_len()?;
+        let mut spans = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            let layer = dec.get_string()?;
+            let node = dec.get_string()?;
+            let dur_us = dec.get_u64()?;
+            spans.push(Span { layer, node, dur_us });
+        }
+        Ok(TraceContext { trace_id, spans })
+    }
+}
+
+// ---- thread-local propagation on the dispatching thread ----------------
+
+struct Active {
+    ctx: TraceContext,
+    node: String,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Active>> = const { RefCell::new(None) };
+}
+
+/// Guard for a trace installed on the current thread; see [`begin`].
+#[must_use = "finish() returns the accumulated trace"]
+pub struct TraceScope {
+    prev: Option<Active>,
+    done: bool,
+}
+
+/// Install `ctx` as the current thread's trace for the duration of a
+/// dispatch. The previous installation (if any — nested calls) is saved
+/// and restored by [`TraceScope::finish`].
+pub fn begin(ctx: TraceContext, node: impl Into<String>) -> TraceScope {
+    let prev = CURRENT.with(|c| c.replace(Some(Active { ctx, node: node.into() })));
+    TraceScope { prev, done: false }
+}
+
+impl TraceScope {
+    /// Take the accumulated context back and restore the previous one.
+    pub fn finish(mut self) -> TraceContext {
+        self.done = true;
+        let active = CURRENT.with(|c| c.replace(self.prev.take()));
+        active.map(|a| a.ctx).unwrap_or_default()
+    }
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        if !self.done {
+            // Finish was skipped (panic unwinding): still restore nesting.
+            CURRENT.with(|c| c.replace(self.prev.take()));
+        }
+    }
+}
+
+/// Append a span to the current thread's trace, if one is installed.
+/// Layers below the dispatcher (adapter, skeleton, servant wrappers) use
+/// this; it is a no-op on untraced requests.
+pub fn record(layer: &str, dur_us: u64) {
+    CURRENT.with(|c| {
+        if let Some(active) = c.borrow_mut().as_mut() {
+            let node = active.node.clone();
+            active.ctx.push(layer, node, dur_us);
+        }
+    });
+}
+
+/// Run `f`, recording its wall-clock duration as a `layer` span on the
+/// current trace (if any).
+pub fn time<R>(layer: &str, f: impl FnOnce() -> R) -> R {
+    let started = Instant::now();
+    let out = f();
+    record(layer, started.elapsed().as_micros() as u64);
+    out
+}
+
+/// Whether a trace is installed on the current thread.
+pub fn is_active() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_roundtrip() {
+        let mut ctx = TraceContext::with_id(77);
+        ctx.push("stub", "client", 120);
+        ctx.push("wire", "server", 30_000);
+        let back = TraceContext::from_bytes(&ctx.to_bytes()).unwrap();
+        assert_eq!(back, ctx);
+        assert_eq!(back.span("wire").unwrap().dur_us, 30_000);
+        assert!(back.span("nope").is_none());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(TraceContext::from_bytes(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn trace_ids_are_unique_and_node_scoped() {
+        let a = next_trace_id(NodeId(1));
+        let b = next_trace_id(NodeId(1));
+        assert_ne!(a, b);
+        assert_eq!(a >> 40, 1);
+        assert_eq!(next_trace_id(NodeId(2)) >> 40, 2);
+    }
+
+    #[test]
+    fn thread_local_install_record_finish() {
+        assert!(!is_active());
+        record("ignored", 1); // no-op without an installation
+        let scope = begin(TraceContext::with_id(5), "srv");
+        assert!(is_active());
+        record("adapter", 10);
+        let v = time("servant", || 42);
+        assert_eq!(v, 42);
+        let ctx = scope.finish();
+        assert!(!is_active());
+        assert_eq!(ctx.trace_id, 5);
+        assert_eq!(ctx.spans.len(), 2);
+        assert_eq!(ctx.spans[0].layer, "adapter");
+        assert_eq!(ctx.spans[0].node, "srv");
+        assert_eq!(ctx.spans[1].layer, "servant");
+    }
+
+    #[test]
+    fn nested_installs_restore_outer() {
+        let outer = begin(TraceContext::with_id(1), "a");
+        record("outer-span", 1);
+        {
+            let inner = begin(TraceContext::with_id(2), "b");
+            record("inner-span", 2);
+            let got = inner.finish();
+            assert_eq!(got.trace_id, 2);
+            assert_eq!(got.spans.len(), 1);
+        }
+        record("outer-span-2", 3);
+        let got = outer.finish();
+        assert_eq!(got.trace_id, 1);
+        assert_eq!(got.spans.len(), 2);
+    }
+
+    #[test]
+    fn dropped_scope_restores_previous() {
+        let outer = begin(TraceContext::with_id(1), "a");
+        {
+            let _inner = begin(TraceContext::with_id(2), "b");
+            // dropped without finish(), as during a panic unwind
+        }
+        record("after", 4);
+        let got = outer.finish();
+        assert_eq!(got.trace_id, 1);
+        assert_eq!(got.spans.len(), 1);
+    }
+}

@@ -8,7 +8,7 @@
 //! stamps every reply with its production time so staleness is
 //! measurable end to end.
 
-use orb::{Any, OrbError, Servant};
+use orb::{Any, MetricsRegistry, OrbError, Servant};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -45,6 +45,7 @@ pub struct ActualityMediator {
     cache: Mutex<HashMap<String, CacheEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    metrics: RwLock<Option<MetricsRegistry>>,
 }
 
 impl ActualityMediator {
@@ -56,7 +57,17 @@ impl ActualityMediator {
             cache: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            metrics: RwLock::new(None),
         }
+    }
+
+    /// Mirror cache activity into `registry`: counters
+    /// `qos.actuality.hits` / `qos.actuality.misses` and histogram
+    /// `qos.actuality.staleness_us` — the age of each cached answer at
+    /// the moment it was served, i.e. the staleness the client actually
+    /// experienced under the agreed validity bound.
+    pub fn set_metrics(&self, registry: Option<MetricsRegistry>) {
+        *self.metrics.write() = registry;
     }
 
     /// Change the validity interval (renegotiation).
@@ -120,12 +131,22 @@ impl Mediator for ActualityMediator {
         let key = Self::cache_key(&call);
         let validity = self.validity();
         if let Some(entry) = self.cache.lock().get(&key) {
-            if entry.fetched.elapsed() <= validity {
+            let age = entry.fetched.elapsed();
+            if age <= validity {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = self.metrics.read().as_ref() {
+                    m.incr("qos.actuality.hits");
+                    m.observe_us("qos.actuality.staleness_us", age.as_micros() as u64);
+                }
                 return Ok(entry.value.clone());
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.metrics.read().as_ref() {
+            m.incr("qos.actuality.misses");
+            // A fresh fetch has zero staleness by construction.
+            m.observe_us("qos.actuality.staleness_us", 0);
+        }
         let value = next(call)?;
         self.cache
             .lock()
@@ -250,8 +271,8 @@ mod tests {
     #[test]
     fn fresh_cache_answers_without_server() {
         let (server, client, stub, mediator) = setup(Duration::from_secs(10));
-        let v1 = stub.invoke("read", &[]).unwrap();
-        let v2 = stub.invoke("read", &[]).unwrap();
+        let v1 = stub.invoke("read", &[]).unwrap().into_value();
+        let v2 = stub.invoke("read", &[]).unwrap().into_value();
         assert_eq!(v1, v2); // second call served from cache
         assert_eq!(mediator.stats(), ActualityStats { hits: 1, misses: 1 });
         assert_eq!(server.stats().requests_handled, 1);
@@ -263,9 +284,9 @@ mod tests {
     #[test]
     fn stale_cache_refetches() {
         let (server, client, stub, mediator) = setup(Duration::from_millis(30));
-        let v1 = stub.invoke("read", &[]).unwrap();
+        let v1 = stub.invoke("read", &[]).unwrap().into_value();
         std::thread::sleep(Duration::from_millis(60));
-        let v2 = stub.invoke("read", &[]).unwrap();
+        let v2 = stub.invoke("read", &[]).unwrap().into_value();
         assert_ne!(v1, v2);
         assert_eq!(mediator.stats().misses, 2);
         server.shutdown();
@@ -286,9 +307,9 @@ mod tests {
     #[test]
     fn writes_pass_through_and_invalidate() {
         let (server, client, stub, mediator) = setup(Duration::from_secs(10));
-        let v1 = stub.invoke("read", &[]).unwrap();
+        let v1 = stub.invoke("read", &[]).unwrap().into_value();
         stub.invoke("write", &[]).unwrap();
-        let v2 = stub.invoke("read", &[]).unwrap();
+        let v2 = stub.invoke("read", &[]).unwrap().into_value();
         assert_ne!(v1, v2);
         assert_eq!(mediator.stats().misses, 2);
         server.shutdown();
@@ -308,6 +329,22 @@ mod tests {
             .qos_op(ACTUALITY_CHARACTERISTIC, "set_validity_ms", &[Any::LongLong(-1)])
             .is_err());
         assert!(stub.qos_op(ACTUALITY_CHARACTERISTIC, "nope", &[]).is_err());
+        server.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn cache_activity_mirrors_into_metrics() {
+        let (server, client, stub, mediator) = setup(Duration::from_secs(10));
+        let registry = MetricsRegistry::new();
+        mediator.set_metrics(Some(registry.clone()));
+        stub.invoke("read", &[]).unwrap();
+        stub.invoke("read", &[]).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("qos.actuality.misses"), 1);
+        assert_eq!(snap.counter("qos.actuality.hits"), 1);
+        let staleness = snap.histogram("qos.actuality.staleness_us").unwrap();
+        assert_eq!(staleness.count, 2); // one fresh fetch, one cache hit
         server.shutdown();
         client.shutdown();
     }

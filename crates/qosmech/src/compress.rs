@@ -7,8 +7,9 @@
 //! experiment, not codec strength.
 
 use orb::transport::{Outbound, QosModule};
-use orb::{Any, OrbError};
+use orb::{Any, MetricsRegistry, OrbError};
 use netsim::NodeId;
+use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The LZ77-style codec.
@@ -207,6 +208,7 @@ pub mod codec {
 pub struct CompressionModule {
     bytes_in: AtomicU64,
     bytes_out: AtomicU64,
+    metrics: RwLock<Option<MetricsRegistry>>,
 }
 
 /// The module name compression binds under.
@@ -216,6 +218,14 @@ impl CompressionModule {
     /// A fresh module with zeroed statistics.
     pub fn new() -> CompressionModule {
         CompressionModule::default()
+    }
+
+    /// Mirror byte counts into `registry` as counters
+    /// `qos.compression.bytes_in` (uncompressed) and
+    /// `qos.compression.bytes_out` (on the wire), so the wire savings
+    /// show up next to the request-path metrics.
+    pub fn set_metrics(&self, registry: Option<MetricsRegistry>) {
+        *self.metrics.write() = registry;
     }
 
     /// Uncompressed bytes seen on the outbound path.
@@ -263,6 +273,10 @@ impl QosModule for CompressionModule {
         self.bytes_in.fetch_add(bytes.len() as u64, Ordering::Relaxed);
         let compressed = codec::compress(&bytes);
         self.bytes_out.fetch_add(compressed.len() as u64, Ordering::Relaxed);
+        if let Some(m) = self.metrics.read().as_ref() {
+            m.add("qos.compression.bytes_in", bytes.len() as u64);
+            m.add("qos.compression.bytes_out", compressed.len() as u64);
+        }
         Ok(vec![(dst, compressed)])
     }
 
@@ -306,6 +320,21 @@ mod tests {
         assert_eq!(back, data);
         assert!(m.bytes_out() < m.bytes_in());
         assert!(m.ratio() < 1.0);
+    }
+
+    #[test]
+    fn byte_counters_mirror_into_metrics() {
+        let m = CompressionModule::new();
+        let registry = MetricsRegistry::new();
+        m.set_metrics(Some(registry.clone()));
+        m.outbound(NodeId(1), b"data ".repeat(100)).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("qos.compression.bytes_in"), 500);
+        let out = snap.counter("qos.compression.bytes_out");
+        assert!(out > 0 && out < 500);
+        m.set_metrics(None);
+        m.outbound(NodeId(1), vec![7; 64]).unwrap();
+        assert_eq!(registry.snapshot().counter("qos.compression.bytes_in"), 500);
     }
 
     #[test]

@@ -122,6 +122,15 @@ impl Monitor {
         s.rules.push(Rule { statistic, bound, threshold });
     }
 
+    /// Remove all rules for `(object, metric)`, keeping the sample
+    /// window. Renegotiation replaces agreed bounds wholesale: the old
+    /// agreement's rules must not keep firing against the new terms.
+    pub fn clear_rules(&self, object: &str, metric: &str) {
+        if let Some(s) = self.series.lock().get_mut(&(object.to_string(), metric.to_string())) {
+            s.rules.clear();
+        }
+    }
+
     /// Record a sample and evaluate the rules. Returns the violations
     /// raised by this sample.
     pub fn record(&self, object: &str, metric: &str, value: f64) -> Vec<ViolationEvent> {
@@ -293,6 +302,19 @@ mod tests {
         assert_eq!(m.record("o", "x", 20.0).len(), 1); // above max
         assert_eq!(m.record("o", "x", 5.0).len(), 0);
         assert_eq!(m.violations("o", "x"), 2);
+    }
+
+    #[test]
+    fn clear_rules_stops_violations_but_keeps_window() {
+        let m = Monitor::new(3);
+        m.add_rule("o", "latency_us", Statistic::Last, Bound::Max, 10.0);
+        assert_eq!(m.record("o", "latency_us", 50.0).len(), 1);
+        m.clear_rules("o", "latency_us");
+        assert!(m.record("o", "latency_us", 50.0).is_empty());
+        // The sample window survives rule replacement.
+        assert_eq!(m.mean("o", "latency_us"), Some(50.0));
+        // Clearing an unknown series is a no-op.
+        m.clear_rules("ghost", "x");
     }
 
     #[test]

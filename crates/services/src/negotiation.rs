@@ -13,6 +13,7 @@
 //! fallback path), no QoS machinery is needed to bootstrap QoS.
 
 use crate::contract::{ContractHierarchy, Offer};
+use crate::monitoring::{Bound, Monitor, Statistic};
 use orb::giop::QosContext;
 use orb::{Any, Orb, OrbError, Servant};
 use netsim::NodeId;
@@ -113,7 +114,16 @@ pub struct NegotiationServant {
     objects: RwLock<HashMap<String, ObjectEntry>>,
     agreements: RwLock<HashMap<u64, Agreement>>,
     next_id: AtomicU64,
+    monitor: RwLock<Option<Arc<Monitor>>>,
 }
+
+/// The metrics an agreement's parameters can put under observation,
+/// and the parameter that governs each.
+const MONITORED_METRICS: &[(&str, &str)] = &[
+    ("deadline_ms", "latency_us"),
+    ("availability", "availability"),
+    ("validity_ms", "staleness_us"),
+];
 
 impl NegotiationServant {
     /// An empty negotiator.
@@ -147,6 +157,61 @@ impl NegotiationServant {
     /// Number of live agreements.
     pub fn live_agreements(&self) -> usize {
         self.agreements.read().len()
+    }
+
+    /// Attach a [`Monitor`]: from now on every concluded (or
+    /// renegotiated) agreement automatically installs violation rules
+    /// derived from its parameters — `deadline_ms` bounds the last
+    /// observed `latency_us`, `availability` puts a floor under the mean
+    /// `availability`, and `validity_ms` bounds the last `staleness_us`.
+    /// Releasing the agreement removes its rules.
+    pub fn set_monitor(&self, monitor: Arc<Monitor>) {
+        *self.monitor.write() = Some(monitor);
+    }
+
+    /// Replace the monitored bounds for `agreement`'s object with those
+    /// its parameters imply.
+    fn install_monitor_rules(&self, agreement: &Agreement) {
+        let Some(monitor) = self.monitor.read().clone() else { return };
+        for (_param, metric) in MONITORED_METRICS {
+            monitor.clear_rules(&agreement.object, metric);
+        }
+        for (name, value) in &agreement.params {
+            let number = value.as_double().or_else(|| value.as_i64().map(|v| v as f64));
+            let Some(number) = number else { continue };
+            match name.as_str() {
+                "deadline_ms" => monitor.add_rule(
+                    &agreement.object,
+                    "latency_us",
+                    Statistic::Last,
+                    Bound::Max,
+                    number * 1_000.0,
+                ),
+                "availability" => monitor.add_rule(
+                    &agreement.object,
+                    "availability",
+                    Statistic::Mean,
+                    Bound::Min,
+                    number,
+                ),
+                "validity_ms" => monitor.add_rule(
+                    &agreement.object,
+                    "staleness_us",
+                    Statistic::Last,
+                    Bound::Max,
+                    number * 1_000.0,
+                ),
+                _ => {}
+            }
+        }
+    }
+
+    fn clear_monitor_rules(&self, object: &str) {
+        if let Some(monitor) = self.monitor.read().clone() {
+            for (_param, metric) in MONITORED_METRICS {
+                monitor.clear_rules(object, metric);
+            }
+        }
     }
 
     fn offers_for(&self, object: &str) -> Result<Vec<String>, OrbError> {
@@ -206,17 +271,22 @@ impl NegotiationServant {
             version: 1,
         };
         self.agreements.write().insert(agreement.id, agreement.clone());
+        self.install_monitor_rules(&agreement);
         Ok(agreement)
     }
 
     fn renegotiate(&self, id: u64, params: Vec<(String, Any)>) -> Result<Agreement, OrbError> {
-        let mut agreements = self.agreements.write();
-        let agreement = agreements
-            .get_mut(&id)
-            .ok_or_else(|| OrbError::ObjectNotExist(format!("agreement {id}")))?;
-        agreement.params = params;
-        agreement.version += 1;
-        Ok(agreement.clone())
+        let updated = {
+            let mut agreements = self.agreements.write();
+            let agreement = agreements
+                .get_mut(&id)
+                .ok_or_else(|| OrbError::ObjectNotExist(format!("agreement {id}")))?;
+            agreement.params = params;
+            agreement.version += 1;
+            agreement.clone()
+        };
+        self.install_monitor_rules(&updated);
+        Ok(updated)
     }
 
     fn release(&self, id: u64) -> Result<(), OrbError> {
@@ -234,6 +304,7 @@ impl NegotiationServant {
                 entry.woven.release();
             }
         }
+        self.clear_monitor_rules(&agreement.object);
         Ok(())
     }
 }
@@ -618,6 +689,47 @@ mod tests {
         assert_eq!(ctx.characteristic, "Actuality");
         assert_eq!(ctx.param("validity_ms"), Some(&Any::ULongLong(100)));
         assert_eq!(ctx.param("_agreement_id"), Some(&Any::ULongLong(9)));
+    }
+
+    #[test]
+    fn agreement_params_drive_monitor_rules() {
+        let (_net, server, client, _w, negotiator) = setup(2);
+        let monitor = Arc::new(Monitor::new(8));
+        negotiator.set_monitor(Arc::clone(&monitor));
+        let n = Negotiator::new(client.clone());
+        let a = n
+            .negotiate_offer(
+                server.node(),
+                "store",
+                &Offer::new("Replication", 1.0)
+                    .with_param("deadline_ms", Any::ULongLong(2))
+                    .with_param("availability", Any::Double(0.9)),
+            )
+            .unwrap();
+        // Measured latency above the agreed 2 ms deadline violates.
+        assert!(monitor.record("store", "latency_us", 1_500.0).is_empty());
+        assert_eq!(monitor.record("store", "latency_us", 5_000.0).len(), 1);
+        // Availability floor: three failures drag the mean below 0.9.
+        monitor.record("store", "availability", 1.0);
+        assert!(!monitor.record("store", "availability", 0.0).is_empty());
+
+        // Renegotiating replaces the bounds: a looser deadline silences
+        // the previous rule.
+        n.renegotiate(
+            server.node(),
+            &a,
+            vec![("deadline_ms".to_string(), Any::ULongLong(100))],
+        )
+        .unwrap();
+        assert!(monitor.record("store", "latency_us", 5_000.0).is_empty());
+        // ...and the availability rule is gone (not part of the new terms).
+        assert!(monitor.record("store", "availability", 0.0).is_empty());
+
+        // Release removes all agreed bounds.
+        n.release(server.node(), &a).unwrap();
+        assert!(monitor.record("store", "latency_us", 1_000_000.0).is_empty());
+        server.shutdown();
+        client.shutdown();
     }
 
     #[test]

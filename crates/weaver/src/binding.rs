@@ -137,7 +137,7 @@ mod tests {
         reg.bind("b", "Encryption", vec![]);
         reg.bind("a", "Replication", vec![]);
         reg.bind("c", "Compression", vec![]);
-        let keys: Vec<&str> = reg.bindings().iter().map(|b| b.object.as_str()).collect();
+        let keys: Vec<String> = reg.bindings().into_iter().map(|b| b.object.0).collect();
         assert_eq!(keys, vec!["a", "b", "c"]);
         assert!(QosBindingRegistry::new().bindings().is_empty());
     }

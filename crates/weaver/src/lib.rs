@@ -25,6 +25,13 @@
 //!   relationship is currently bound to, with the paper's granularity
 //!   rule (interfaces only) enforced by construction.
 //!
+//! * **Observability** — every stub invocation returns a typed
+//!   [`Reply`] carrying the propagated trace context (one span per
+//!   layer crossed) and the active QoS tag; the woven skeleton records
+//!   `qos.prolog`/`servant`/`qos.epilog` spans and can feed a
+//!   [`RequestObserver`] with measured per-request latency and success,
+//!   which the deployment layer wires into QoS monitoring.
+//!
 //! # Example
 //!
 //! ```
@@ -73,9 +80,11 @@
 pub mod binding;
 pub mod mediator;
 pub mod registry;
+pub mod reply;
 pub mod skeleton;
 
 pub use binding::{QosBinding, QosBindingRegistry};
 pub use mediator::{Call, ClientStub, Mediator, Next};
 pub use registry::{MediatorFactory, MediatorRegistry};
-pub use skeleton::{QosImplementation, WovenServant};
+pub use reply::Reply;
+pub use skeleton::{QosImplementation, RequestObserver, WovenServant};

@@ -1,10 +1,12 @@
 //! Client-side weaving: stubs with mediator delegation.
 
+use crate::reply::Reply;
 use orb::giop::QosContext;
-use orb::{Any, Ior, Orb, OrbError};
-use parking_lot::RwLock;
+use orb::{Any, Ior, Orb, OrbError, TraceContext};
+use parking_lot::{Mutex, RwLock};
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// One intercepted invocation travelling down the mediator chain.
 ///
@@ -64,6 +66,14 @@ pub trait Mediator: Send + Sync {
 struct StubState {
     mediators: Vec<Arc<dyn Mediator>>,
     qos: Option<QosContext>,
+}
+
+/// Per-invocation observability state threaded down the mediator chain.
+/// Mediator spans are *inclusive* (each covers its whole `around` call,
+/// downstream included), matching the nesting the chain actually has.
+struct ChainObs {
+    trace: Mutex<Option<TraceContext>>,
+    timings: Mutex<Vec<(String, u64)>>,
 }
 
 /// A client stub extended with a mediator delegate (the client half of
@@ -146,21 +156,45 @@ impl ClientStub {
 
     /// Invoke `op(args)` through the mediator chain.
     ///
+    /// Every call is traced: a fresh [`TraceContext`] is minted at the
+    /// stub, travels with the request through every layer it crosses
+    /// (mediators, ORB, wire, adapter, woven skeleton, servant) and comes
+    /// back in the [`Reply`], together with the QoS characteristic the
+    /// call was made under. The reply derefs to its [`Any`] value, so
+    /// value-only callers are unaffected.
+    ///
     /// # Errors
     ///
     /// Whatever the mediators or the underlying ORB invocation produce.
-    pub fn invoke(&self, op: &str, args: &[Any]) -> Result<Any, OrbError> {
+    pub fn invoke(&self, op: &str, args: &[Any]) -> Result<Reply, OrbError> {
         let (mediators, qos) = {
             let st = self.state.read();
             (st.mediators.clone(), st.qos.clone())
         };
+        let qos_tag = qos.as_ref().map(|q| q.characteristic.clone());
         let call = Call {
             target: self.target.clone(),
             operation: op.to_string(),
             args: args.to_vec(),
             qos,
         };
-        self.run_chain(&mediators, 0, call)
+        // The innermost chain link stashes the round-tripped trace here;
+        // mediator timings accumulate innermost-first as the chain unwinds.
+        let obs = ChainObs { trace: Mutex::new(None), timings: Mutex::new(Vec::new()) };
+        let started = Instant::now();
+        let value = self.run_chain(&mediators, 0, call, Some(&obs))?;
+        let stub_us = started.elapsed().as_micros() as u64;
+
+        let node = self.orb.net_handle().name().to_string();
+        let mut trace = obs
+            .trace
+            .into_inner()
+            .unwrap_or_else(|| TraceContext::new(self.orb.node()));
+        for (characteristic, dur_us) in obs.timings.into_inner().into_iter().rev() {
+            trace.push(format!("mediator:{characteristic}"), node.clone(), dur_us);
+        }
+        trace.push("stub", node, stub_us);
+        Ok(Reply { value, trace: Some(trace), qos_tag })
     }
 
     fn run_chain(
@@ -168,12 +202,33 @@ impl ClientStub {
         mediators: &[Arc<dyn Mediator>],
         index: usize,
         call: Call,
+        obs: Option<&ChainObs>,
     ) -> Result<Any, OrbError> {
-        match mediators.get(index) {
-            None => self.orb.invoke_qos(&call.target, &call.operation, &call.args, call.qos),
-            Some(m) => {
-                let next = |c: Call| self.run_chain(mediators, index + 1, c);
-                m.around(call, &next)
+        match (mediators.get(index), obs) {
+            (None, None) => {
+                self.orb.invoke_qos(&call.target, &call.operation, &call.args, call.qos)
+            }
+            (None, Some(o)) => {
+                let ctx = TraceContext::new(self.orb.node());
+                let (value, trace) = self.orb.invoke_traced(
+                    &call.target,
+                    &call.operation,
+                    &call.args,
+                    call.qos,
+                    Some(ctx),
+                )?;
+                *o.trace.lock() = trace;
+                Ok(value)
+            }
+            (Some(m), _) => {
+                let started = Instant::now();
+                let next = |c: Call| self.run_chain(mediators, index + 1, c, obs);
+                let result = m.around(call, &next);
+                if let Some(o) = obs {
+                    let dur_us = started.elapsed().as_micros() as u64;
+                    o.timings.lock().push((m.characteristic().to_string(), dur_us));
+                }
+                result
             }
         }
     }
@@ -352,6 +407,69 @@ mod tests {
             }
         }
         assert!(matches!(Plain.qos_op("x", &[]), Err(OrbError::BadOperation(_))));
+    }
+
+    #[test]
+    fn invoke_returns_traced_reply_with_mediator_spans() {
+        let (server, client, stub) = setup();
+        stub.push_mediator(Arc::new(Tag("outer")));
+        stub.push_mediator(Arc::new(Tag("inner")));
+        let reply = stub.invoke("echo", &[Any::from("x")]).unwrap();
+        assert_eq!(reply, Any::Str("outer(inner(x))".into()));
+        let trace = reply.trace.as_ref().expect("stub calls are traced");
+        // Client-side spans minted by the stub.
+        assert!(trace.span("stub").is_some());
+        assert!(trace.span("mediator:outer").is_some());
+        assert!(trace.span("mediator:inner").is_some());
+        // Remote layers round-tripped through the wire context slot.
+        for layer in ["orb.client", "wire", "orb.server", "adapter", "wire.reply"] {
+            assert!(trace.span(layer).is_some(), "missing `{layer}` span: {trace:?}");
+        }
+        // Mediator spans come back outermost-first, before the stub span.
+        let names: Vec<&str> = trace.spans.iter().map(|s| s.layer.as_str()).collect();
+        let outer_at = names.iter().position(|n| *n == "mediator:outer").unwrap();
+        let inner_at = names.iter().position(|n| *n == "mediator:inner").unwrap();
+        let stub_at = names.iter().position(|n| *n == "stub").unwrap();
+        assert!(outer_at < inner_at || outer_at < stub_at);
+        assert!(stub_at > inner_at);
+        server.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn reply_carries_qos_tag_from_context() {
+        let (server, client, stub) = setup();
+        stub.set_qos_context(Some(QosContext::new("Compression")));
+        let reply = stub.invoke("echo", &[Any::from("x")]).unwrap();
+        assert_eq!(reply.qos_tag.as_deref(), Some("Compression"));
+        stub.set_qos_context(None);
+        let reply = stub.invoke("echo", &[Any::from("x")]).unwrap();
+        assert_eq!(reply.qos_tag, None);
+        server.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn short_circuited_call_still_yields_a_trace() {
+        let (server, client, stub) = setup();
+        struct Cache;
+        impl Mediator for Cache {
+            fn characteristic(&self) -> &str {
+                "cache"
+            }
+            fn around(&self, _call: Call, _next: Next<'_>) -> Result<Any, OrbError> {
+                Ok(Any::Str("cached".into()))
+            }
+        }
+        stub.set_mediator(Arc::new(Cache));
+        let reply = stub.invoke("echo", &[Any::from("x")]).unwrap();
+        let trace = reply.trace.as_ref().unwrap();
+        // The ORB was never reached, so only client-side spans exist.
+        assert!(trace.span("mediator:cache").is_some());
+        assert!(trace.span("stub").is_some());
+        assert!(trace.span("wire").is_none());
+        server.shutdown();
+        client.shutdown();
     }
 
     #[test]

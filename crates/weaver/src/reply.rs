@@ -1,0 +1,121 @@
+//! Typed client-side invocation results.
+//!
+//! [`ClientStub::invoke`](crate::ClientStub::invoke) used to hand back a
+//! bare [`Any`], losing everything the request path learned about itself
+//! along the way. [`Reply`] keeps the value *and* the observability
+//! sidecar: the propagated [`TraceContext`] (one span per Fig. 1 layer
+//! the call crossed) and the QoS characteristic the call was made under.
+//!
+//! `Reply` derefs to its [`Any`] value and compares equal to one, so the
+//! common call sites — `reply.as_str()`, `assert_eq!(reply, Any::…)`,
+//! passing `&reply` to an `&Any` parameter — keep working unchanged.
+//! Deliberately there is **no** `Reply == Reply`: comparing two replies
+//! span-for-span is almost never what a caller means; compare `.value`.
+
+use orb::{Any, TraceContext};
+use std::fmt;
+use std::ops::Deref;
+
+/// The result of a stub invocation: the returned value plus the
+/// request-path observability data that travelled with it.
+#[derive(Clone)]
+pub struct Reply {
+    /// The operation's return value.
+    pub value: Any,
+    /// The propagated trace, if the call was traced end to end. `None`
+    /// only when a mediator short-circuited before the ORB was reached
+    /// and tracing was not re-rooted, or the peer stripped the context.
+    pub trace: Option<TraceContext>,
+    /// The QoS characteristic the call was made under (from the stub's
+    /// applied binding), if any.
+    pub qos_tag: Option<String>,
+}
+
+impl Reply {
+    /// A reply carrying only a value (no trace, no QoS tag).
+    pub fn untraced(value: Any) -> Reply {
+        Reply { value, trace: None, qos_tag: None }
+    }
+
+    /// Consume the reply, keeping only the value.
+    pub fn into_value(self) -> Any {
+        self.value
+    }
+
+    /// The trace id this call travelled under, if traced.
+    pub fn trace_id(&self) -> Option<u64> {
+        self.trace.as_ref().map(|t| t.trace_id)
+    }
+}
+
+impl Deref for Reply {
+    type Target = Any;
+
+    fn deref(&self) -> &Any {
+        &self.value
+    }
+}
+
+impl PartialEq<Any> for Reply {
+    fn eq(&self, other: &Any) -> bool {
+        self.value == *other
+    }
+}
+
+impl PartialEq<Reply> for Any {
+    fn eq(&self, other: &Reply) -> bool {
+        *self == other.value
+    }
+}
+
+/// Displays as the value alone (the observability sidecar is metadata,
+/// not payload).
+impl fmt::Display for Reply {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.value.fmt(f)
+    }
+}
+
+impl fmt::Debug for Reply {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Reply")
+            .field("value", &self.value)
+            .field("trace_id", &self.trace_id())
+            .field("spans", &self.trace.as_ref().map(|t| t.spans.len()).unwrap_or(0))
+            .field("qos_tag", &self.qos_tag)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derefs_to_value() {
+        let r = Reply::untraced(Any::Str("hi".into()));
+        assert_eq!(r.as_str(), Some("hi"));
+        fn wants_any(a: &Any) -> bool {
+            matches!(a, Any::Str(_))
+        }
+        assert!(wants_any(&r));
+    }
+
+    #[test]
+    fn compares_with_any_both_ways() {
+        let r = Reply::untraced(Any::Long(7));
+        assert_eq!(r, Any::Long(7));
+        assert_eq!(Any::Long(7), r);
+        assert!(r != Any::Long(8));
+    }
+
+    #[test]
+    fn exposes_trace_id() {
+        let mut t = TraceContext::with_id(42);
+        t.push("stub", "client", 3);
+        let r = Reply { value: Any::Void, trace: Some(t), qos_tag: Some("Compression".into()) };
+        assert_eq!(r.trace_id(), Some(42));
+        assert_eq!(r.qos_tag.as_deref(), Some("Compression"));
+        assert_eq!(Reply::untraced(Any::Void).trace_id(), None);
+    }
+}

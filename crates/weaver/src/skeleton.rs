@@ -11,12 +11,19 @@
 //! brackets application operations with the active implementation's
 //! prolog and epilog.
 
-use orb::{Any, OrbError, Servant};
+use orb::{trace, Any, OrbError, Servant};
 use parking_lot::RwLock;
 use qidl::repo::{InterfaceRepository, OpOrigin};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Callback invoked after every *application* request the woven skeleton
+/// handles: `(operation, total_duration_us, succeeded)`. The duration
+/// covers prolog + servant + epilog. Installed by the deployment layer
+/// to feed QoS monitoring without this crate depending on it.
+pub type RequestObserver = Arc<dyn Fn(&str, u64, bool) + Send + Sync>;
 
 /// A server-side QoS implementation (the "QoS-Impl." box of Fig. 2).
 ///
@@ -55,6 +62,7 @@ pub trait QosImplementation: Send + Sync {
 struct WovenState {
     active: Option<Arc<dyn QosImplementation>>,
     installed: HashMap<String, Arc<dyn QosImplementation>>,
+    observer: Option<RequestObserver>,
 }
 
 /// The woven server skeleton of Fig. 2.
@@ -101,7 +109,11 @@ impl WovenServant {
             inner,
             repo,
             interface: interface.to_string(),
-            state: RwLock::new(WovenState { active: None, installed: HashMap::new() }),
+            state: RwLock::new(WovenState {
+                active: None,
+                installed: HashMap::new(),
+                observer: None,
+            }),
         }
     }
 
@@ -159,6 +171,13 @@ impl WovenServant {
         }
     }
 
+    /// Install (or clear) the per-request observer. The deployment layer
+    /// uses this to feed measured latencies and availability into QoS
+    /// monitoring (§4) from real request traffic.
+    pub fn set_request_observer(&self, observer: Option<RequestObserver>) {
+        self.state.write().observer = observer;
+    }
+
     /// Drop back to QoS-less operation.
     pub fn release(&self) {
         self.state.write().active = None;
@@ -189,16 +208,27 @@ impl Servant for WovenServant {
                 self.interface
             ))),
             Some((OpOrigin::Application, _)) => {
-                let active = self.state.read().active.clone();
-                match active {
-                    None => self.inner.dispatch(op, args),
-                    Some(qi) => {
-                        qi.prolog(op, args)?;
-                        let mut result = self.inner.dispatch(op, args);
-                        qi.epilog(op, args, &mut result);
-                        result
-                    }
+                let (active, observer) = {
+                    let st = self.state.read();
+                    (st.active.clone(), st.observer.clone())
+                };
+                let started = Instant::now();
+                let result = match active {
+                    None => trace::time("servant", || self.inner.dispatch(op, args)),
+                    Some(qi) => match trace::time("qos.prolog", || qi.prolog(op, args)) {
+                        Err(veto) => Err(veto),
+                        Ok(()) => {
+                            let mut result =
+                                trace::time("servant", || self.inner.dispatch(op, args));
+                            trace::time("qos.epilog", || qi.epilog(op, args, &mut result));
+                            result
+                        }
+                    },
+                };
+                if let Some(obs) = observer {
+                    obs(op, started.elapsed().as_micros() as u64, result.is_ok());
                 }
+                result
             }
             Some((OpOrigin::Qos(characteristic), _)) => {
                 let active = self.state.read().active.clone();
@@ -426,6 +456,70 @@ mod tests {
         w.install_qos(Arc::new(Veto)).unwrap();
         w.negotiate("Encryption").unwrap();
         assert!(matches!(w.dispatch("add", &[Any::Long(1)]), Err(OrbError::NoPermission(_))));
+    }
+
+    #[test]
+    fn observer_sees_latency_and_outcome() {
+        let w = woven();
+        w.install_qos(Arc::new(ReplImpl::default())).unwrap();
+        w.negotiate("Replication").unwrap();
+        let seen: Arc<Mutex<Vec<(String, bool)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        w.set_request_observer(Some(Arc::new(move |op, _us, ok| {
+            sink.lock().push((op.to_string(), ok));
+        })));
+        w.dispatch("add", &[Any::Long(1)]).unwrap();
+        // QoS operations are not application requests: not observed.
+        w.dispatch("start", &[]).unwrap();
+        let got = seen.lock().clone();
+        assert_eq!(got, vec![("add".to_string(), true)]);
+        w.set_request_observer(None);
+        w.dispatch("add", &[Any::Long(1)]).unwrap();
+        assert_eq!(seen.lock().len(), 1);
+    }
+
+    #[test]
+    fn observer_reports_failures_including_prolog_veto() {
+        struct Veto;
+        impl QosImplementation for Veto {
+            fn characteristic(&self) -> &str {
+                "Encryption"
+            }
+            fn prolog(&self, _op: &str, _args: &[Any]) -> Result<(), OrbError> {
+                Err(OrbError::NoPermission("sealed".to_string()))
+            }
+            fn qos_op(&self, op: &str, _a: &[Any], _s: &dyn Servant) -> Result<Any, OrbError> {
+                Err(OrbError::BadOperation(op.to_string()))
+            }
+        }
+        let w = woven();
+        w.install_qos(Arc::new(Veto)).unwrap();
+        w.negotiate("Encryption").unwrap();
+        let outcomes: Arc<Mutex<Vec<bool>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&outcomes);
+        w.set_request_observer(Some(Arc::new(move |_op, _us, ok| sink.lock().push(ok))));
+        assert!(w.dispatch("add", &[Any::Long(1)]).is_err());
+        assert_eq!(*outcomes.lock(), vec![false]);
+    }
+
+    #[test]
+    fn traced_dispatch_records_prolog_servant_epilog_spans() {
+        let w = woven();
+        w.install_qos(Arc::new(ReplImpl::default())).unwrap();
+        w.negotiate("Replication").unwrap();
+        let scope = orb::trace::begin(orb::TraceContext::with_id(9), "server");
+        w.dispatch("add", &[Any::Long(1)]).unwrap();
+        let ctx = scope.finish();
+        for layer in ["qos.prolog", "servant", "qos.epilog"] {
+            assert!(ctx.span(layer).is_some(), "missing `{layer}` span: {ctx:?}");
+        }
+        // Without negotiation only the servant span appears.
+        let w2 = woven();
+        let scope = orb::trace::begin(orb::TraceContext::with_id(10), "server");
+        w2.dispatch("add", &[Any::Long(1)]).unwrap();
+        let ctx = scope.finish();
+        assert!(ctx.span("servant").is_some());
+        assert!(ctx.span("qos.prolog").is_none());
     }
 
     #[test]

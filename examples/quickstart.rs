@@ -9,7 +9,6 @@
 
 use maqs::prelude::*;
 use qosmech::actuality::FreshnessStampQosImpl;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Pure application logic: a greeter. Note there is no QoS code here —
@@ -54,12 +53,10 @@ fn main() {
     // Weave the servant: the woven skeleton accepts the Actuality QoS
     // operations and brackets application calls with prolog/epilog.
     let ior = server
-        .serve_woven_with(
+        .serve(
             "greeter",
             Arc::new(Greeter),
-            "Greeter",
-            vec![Arc::new(FreshnessStampQosImpl::new())],
-            HashMap::new(),
+            ServeOptions::interface("Greeter").qos_impl(Arc::new(FreshnessStampQosImpl::new())),
         )
         .expect("weave greeter");
     println!("server activated: {ior}");
@@ -68,7 +65,15 @@ fn main() {
     // 1. A plain, QoS-unaware call (no mediator, no negotiated QoS).
     let stub = client.stub(&ior);
     let reply = stub.invoke("greet", &[Any::from("world")]).expect("greet");
-    println!("plain call reply  : {reply}");
+    println!("plain call reply  : {}", reply.value);
+
+    // Every reply carries its request's trace: one trace id, one span
+    // per Fig. 1 layer the call crossed, client and server side.
+    if let Some(trace) = maqs::trace_of(&reply) {
+        println!("\nper-layer cost of that one call (spans include the layers beneath):");
+        print!("{}", maqs::report::render_trace_human(trace));
+        println!();
+    }
 
     // 2. QoS operations are visible but locked until negotiation
     //    (the Fig. 2 "not negotiated" exception).
@@ -101,20 +106,34 @@ fn main() {
         vec!["greet".to_string()],
     ));
     stub.set_mediator(mediator.clone());
+    stub.set_qos_context(Some(orb::giop::QosContext::new("Actuality")));
 
     // 5. Woven traffic: the epilog stamps replies, the mediator caches.
     let first = stub.invoke("greet", &[Any::from("maqs")]).expect("woven call");
     let stamp = qosmech::actuality::stamp_of(&first);
-    println!("woven call reply  : {first}");
+    println!("woven call reply  : {}", first.value);
     println!("freshness stamp   : {stamp:?} µs (added by the server-side epilog)");
+    println!("qos tag           : {:?}", first.qos_tag);
+    if let Some(trace) = maqs::trace_of(&first) {
+        println!("\nper-layer cost of the woven call (note the mediator and qos spans):");
+        print!("{}", maqs::report::render_trace_human(trace));
+        println!();
+    }
     let again = stub.invoke("greet", &[Any::from("maqs")]).expect("cached call");
-    assert_eq!(first, again);
+    assert_eq!(first.value, again.value);
     println!(
         "repeat call       : served from mediator cache (hit ratio {:.2})",
         mediator.hit_ratio()
     );
 
-    // 6. What the network saw.
+    // 6. What the layers measured: every counter and latency histogram
+    //    the client-side ORB, transport, and mechanisms recorded.
+    println!("\nclient metrics:");
+    print!("{}", maqs::report::render_metrics_human(&client.metrics_snapshot()));
+    println!("\nserver metrics:");
+    print!("{}", maqs::report::render_metrics_human(&server.metrics_snapshot()));
+
+    // 7. What the network saw.
     let stats = net.stats();
     println!(
         "\nnetwork           : {} messages, {} bytes total",

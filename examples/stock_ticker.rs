@@ -67,12 +67,10 @@ fn main() {
 
     let stamper = Arc::new(FreshnessStampQosImpl::new());
     let ior = server
-        .serve_woven_with(
+        .serve(
             "ticker",
             Arc::new(Ticker { prices: Mutex::new(HashMap::new()) }),
-            "Ticker",
-            vec![stamper.clone()],
-            HashMap::new(),
+            ServeOptions::interface("Ticker").qos_impl(stamper.clone()),
         )
         .unwrap();
 

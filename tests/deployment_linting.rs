@@ -11,7 +11,6 @@ use maqs::prelude::*;
 use maqs::qoslint::deploy::lint_deployment;
 use maqs::qoslint::render::render_json;
 use maqs::qoslint::{codes, Severity};
-use std::collections::HashMap;
 use std::sync::Arc;
 use weaver::QosBindingRegistry;
 
@@ -64,15 +63,13 @@ fn healthy_deployment_lints_clean() {
     let client = MaqsNode::builder(&net, "client").build().unwrap();
 
     let ior = server
-        .serve_woven_with(
+        .serve(
             "counter",
             counter(),
-            "Counter",
-            vec![
-                Arc::new(qosmech::replication::ReplicationQosImpl::new()),
-                Arc::new(qosmech::actuality::FreshnessStampQosImpl::new()),
-            ],
-            HashMap::from([("Replication".to_string(), 2)]),
+            ServeOptions::interface("Counter")
+                .qos_impl(Arc::new(qosmech::replication::ReplicationQosImpl::new()))
+                .qos_impl(Arc::new(qosmech::actuality::FreshnessStampQosImpl::new()))
+                .capacity("Replication", 2),
         )
         .unwrap();
 
@@ -106,12 +103,11 @@ fn broken_client_state_is_caught() {
 
     // Server installs only Replication; Actuality stays un-negotiable.
     let ior = server
-        .serve_woven_with(
+        .serve(
             "counter",
             counter(),
-            "Counter",
-            vec![Arc::new(qosmech::replication::ReplicationQosImpl::new())],
-            HashMap::new(),
+            ServeOptions::interface("Counter")
+                .qos_impl(Arc::new(qosmech::replication::ReplicationQosImpl::new())),
         )
         .unwrap();
 
@@ -154,7 +150,7 @@ fn node_level_lint_tracks_serving_state() {
     let server = MaqsNode::builder(&net, "server").spec(SPEC).build().unwrap();
     assert!(server.lint_deployment().is_empty(), "nothing served, nothing to lint");
 
-    server.serve_woven("counter", counter(), "Counter").unwrap();
+    server.serve("counter", counter(), ServeOptions::interface("Counter")).unwrap();
     let diags = server.lint_deployment();
     assert_eq!(diags.len(), 2, "both assigned characteristics lack implementations");
     assert!(diags.iter().all(|d| d.code == codes::MISSING_QOS_IMPL));

@@ -98,12 +98,12 @@ fn setup() -> (Network, MaqsNode, MaqsNode, Ior) {
     let server = MaqsNode::builder(&net, "server").spec(SPEC).build().unwrap();
     let client = MaqsNode::builder(&net, "client").build().unwrap();
     let ior = server
-        .serve_woven_with(
+        .serve(
             "inv",
             Inventory::new(),
-            "Inventory",
-            vec![Arc::new(ReplicationQosImpl::new()), Arc::new(FreshnessStampQosImpl::new())],
-            HashMap::new(),
+            ServeOptions::interface("Inventory")
+                .qos_impl(Arc::new(ReplicationQosImpl::new()))
+                .qos_impl(Arc::new(FreshnessStampQosImpl::new())),
         )
         .unwrap();
     (net, server, client, ior)
@@ -217,7 +217,7 @@ fn mediator_chain_composes_over_the_woven_service() {
     stub.invoke("add", &[item("x", 1)]).unwrap();
     let c1 = stub.invoke("count", &[Any::from("x")]).unwrap();
     let c2 = stub.invoke("count", &[Any::from("x")]).unwrap();
-    assert_eq!(c1, c2);
+    assert_eq!(c1.value, c2.value);
     assert_eq!(mediator.stats().hits, 1);
     // A write invalidates; next read refetches.
     stub.invoke("add", &[item("x", 1)]).unwrap();
@@ -270,7 +270,7 @@ fn state_transfer_round_trips_complex_state() {
     assert_eq!(state.as_sequence().unwrap().len(), 2);
 
     // A second woven inventory on the server node, initialized from it.
-    let ior2 = server.serve_woven("inv2", Inventory::new(), "Inventory").unwrap();
+    let ior2 = server.serve("inv2", Inventory::new(), ServeOptions::interface("Inventory")).unwrap();
     groupcomm::transfer_state(orb, &ior, &ior2).unwrap();
     assert_eq!(orb.invoke(&ior2, "count", &[Any::from("b")]).unwrap(), Any::LongLong(2));
     server.shutdown();

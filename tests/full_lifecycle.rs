@@ -53,12 +53,12 @@ fn full_qos_lifecycle() {
 
     // --- deploy: weave, register for negotiation, advertise ------------
     let ior = server
-        .serve_woven_with(
+        .serve(
             "quotes",
             Arc::new(Quotes(Mutex::new(HashMap::new()))),
-            "Quotes",
-            vec![Arc::new(FreshnessStampQosImpl::new())],
-            HashMap::from([("Actuality".to_string(), 4)]),
+            ServeOptions::interface("Quotes")
+                .qos_impl(Arc::new(FreshnessStampQosImpl::new()))
+                .capacity("Actuality", 4),
         )
         .unwrap();
     bind_name(server.orb(), server.orb().node(), "markets/quotes", &ior).unwrap();
@@ -176,12 +176,12 @@ fn capacity_full_lifecycle_with_queueing_clients() {
     let server = MaqsNode::builder(&net, "exchange").spec(SPEC).build().unwrap();
     let client = MaqsNode::builder(&net, "desk").build().unwrap();
     server
-        .serve_woven_with(
+        .serve(
             "quotes",
             Arc::new(Quotes(Mutex::new(HashMap::new()))),
-            "Quotes",
-            vec![Arc::new(FreshnessStampQosImpl::new())],
-            HashMap::from([("Actuality".to_string(), 2)]),
+            ServeOptions::interface("Quotes")
+                .qos_impl(Arc::new(FreshnessStampQosImpl::new()))
+                .capacity("Actuality", 2),
         )
         .unwrap();
     let offer = Offer::new("Actuality", 1.0);

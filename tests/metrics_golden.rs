@@ -1,0 +1,87 @@
+//! Golden test: the set of per-layer metric names a plain request emits.
+//!
+//! The observability plane is an interface: dashboards and the
+//! monitoring wiring key on metric *names*. This test freezes the names
+//! a canonical client/server exchange produces on both planes. If you
+//! add or rename instrumentation, regenerate with:
+//!
+//! ```sh
+//! BLESS=1 cargo test --test metrics_golden
+//! ```
+
+use maqs::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+struct Echo;
+impl Servant for Echo {
+    fn interface_id(&self) -> &str {
+        "IDL:Echo:1.0"
+    }
+    fn dispatch(&self, op: &str, args: &[Any]) -> Result<Any, OrbError> {
+        match op {
+            "echo" => Ok(args.first().cloned().unwrap_or(Any::Void)),
+            _ => Err(OrbError::BadOperation(op.to_string())),
+        }
+    }
+}
+
+/// The golden file lives at `tests/golden/` relative to the workspace
+/// root; resolve it whether the test runs from the root or from the
+/// `maqs` crate directory.
+fn golden_path() -> PathBuf {
+    for base in ["tests/golden", "../../tests/golden"] {
+        let dir = PathBuf::from(base);
+        if dir.is_dir() {
+            return dir.join("metrics_names.txt");
+        }
+    }
+    PathBuf::from("tests/golden/metrics_names.txt")
+}
+
+fn names_of(snapshot: &MetricsSnapshot, plane: &str, out: &mut String) {
+    out.push_str(&format!("[{plane} counters]\n"));
+    for (name, _) in &snapshot.counters {
+        out.push_str(name);
+        out.push('\n');
+    }
+    out.push_str(&format!("[{plane} histograms]\n"));
+    for (name, _) in &snapshot.histograms {
+        out.push_str(name);
+        out.push('\n');
+    }
+}
+
+#[test]
+fn request_path_metric_names_are_stable() {
+    let net = Network::new(80);
+    let server = MaqsNode::builder(&net, "server")
+        .spec("interface Echo { long long echo(in long long v); };")
+        .build()
+        .unwrap();
+    let client = MaqsNode::builder(&net, "client").build().unwrap();
+    let ior = server.serve("echo", Arc::new(Echo), ServeOptions::interface("Echo")).unwrap();
+    let stub = client.stub(&ior);
+    for i in 0..3 {
+        assert_eq!(stub.invoke("echo", &[Any::LongLong(i)]).unwrap(), Any::LongLong(i));
+    }
+
+    let mut actual = String::new();
+    names_of(&client.metrics_snapshot(), "client", &mut actual);
+    names_of(&server.metrics_snapshot(), "server", &mut actual);
+    server.shutdown();
+    client.shutdown();
+
+    let path = golden_path();
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {} ({e}); run with BLESS=1", path.display()));
+    assert_eq!(
+        actual, expected,
+        "metric names changed; if intentional, regenerate with BLESS=1"
+    );
+}

@@ -50,16 +50,14 @@ fn setup(replication_capacity: usize) -> (Network, MaqsNode, MaqsNode, Ior) {
     let server = MaqsNode::builder(&net, "server").spec(SPEC).build().unwrap();
     let client = MaqsNode::builder(&net, "client").build().unwrap();
     let ior = server
-        .serve_woven_with(
+        .serve(
             "store",
             Store::new(),
-            "Store",
-            vec![
-                Arc::new(ReplicationQosImpl::new()),
-                Arc::new(FreshnessStampQosImpl::new()),
-                Arc::new(LoadReportingQosImpl::new()),
-            ],
-            HashMap::from([("Replication".to_string(), replication_capacity)]),
+            ServeOptions::interface("Store")
+                .qos_impl(Arc::new(ReplicationQosImpl::new()))
+                .qos_impl(Arc::new(FreshnessStampQosImpl::new()))
+                .qos_impl(Arc::new(LoadReportingQosImpl::new()))
+                .capacity("Replication", replication_capacity),
         )
         .unwrap();
     (net, server, client, ior)
@@ -196,21 +194,17 @@ fn all_contract_combines_characteristics_across_objects() {
     let server = MaqsNode::builder(&net, "server").spec(SPEC).build().unwrap();
     let client = MaqsNode::builder(&net, "client").build().unwrap();
     let _a = server
-        .serve_woven_with(
+        .serve(
             "store-a",
             Store::new(),
-            "Store",
-            vec![Arc::new(ReplicationQosImpl::new())],
-            HashMap::new(),
+            ServeOptions::interface("Store").qos_impl(Arc::new(ReplicationQosImpl::new())),
         )
         .unwrap();
     let _b = server
-        .serve_woven_with(
+        .serve(
             "store-b",
             Store::new(),
-            "Store",
-            vec![Arc::new(FreshnessStampQosImpl::new())],
-            HashMap::new(),
+            ServeOptions::interface("Store").qos_impl(Arc::new(FreshnessStampQosImpl::new())),
         )
         .unwrap();
     let node = server.orb().node();
@@ -231,12 +225,10 @@ fn offers_reflect_installed_implementations_only() {
     let client = MaqsNode::builder(&net, "client").build().unwrap();
     // Only Actuality installed, although three are assigned in QIDL.
     server
-        .serve_woven_with(
+        .serve(
             "store",
             Store::new(),
-            "Store",
-            vec![Arc::new(FreshnessStampQosImpl::new())],
-            HashMap::new(),
+            ServeOptions::interface("Store").qos_impl(Arc::new(FreshnessStampQosImpl::new())),
         )
         .unwrap();
     let offers = client.negotiator().offers(server.orb().node(), "store").unwrap();

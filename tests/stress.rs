@@ -201,3 +201,46 @@ fn collect_with_short_timeout_under_load() {
     server.shutdown();
     client.shutdown();
 }
+
+#[test]
+fn metrics_snapshots_are_monotone_under_concurrency() {
+    // Snapshots taken while traffic is in flight must never go
+    // backwards: counters and histogram counts only grow.
+    let net = Network::new(68);
+    let server = Orb::start(&net, "server");
+    let client = Orb::start(&net, "client");
+    let ior = server.activate("echo", Box::new(Echo));
+
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            let client = client.clone();
+            let ior = ior.clone();
+            std::thread::spawn(move || {
+                for j in 0..50i64 {
+                    client.invoke(&ior, "echo", &[Any::LongLong(i * 100 + j)]).unwrap();
+                }
+            })
+        })
+        .collect();
+
+    let mut prev_client = client.metrics().snapshot();
+    let mut prev_server = server.metrics().snapshot();
+    for _ in 0..20 {
+        let next_client = client.metrics().snapshot();
+        let next_server = server.metrics().snapshot();
+        assert!(next_client.dominates(&prev_client), "client snapshot regressed");
+        assert!(next_server.dominates(&prev_server), "server snapshot regressed");
+        prev_client = next_client;
+        prev_server = next_server;
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let final_client = client.metrics().snapshot();
+    assert!(final_client.dominates(&prev_client));
+    assert_eq!(final_client.counter("orb.requests_sent"), 200);
+    assert_eq!(server.metrics().snapshot().counter("orb.requests_handled"), 200);
+    server.shutdown();
+    client.shutdown();
+}
