@@ -20,6 +20,12 @@ cargo test -q --workspace
 echo "==> metrics golden (per-layer metric names must stay stable)"
 cargo test -q -p maqs --test metrics_golden
 
+echo "==> chaos (scripted faults vs self-healing client, fixed seed)"
+# Reproducible by default; override MAQS_CHAOS_SEED to explore other
+# fault interleavings. The test's assertions hold under any seed.
+MAQS_CHAOS_SEED="${MAQS_CHAOS_SEED:-7}" \
+    cargo test -q -p maqs --test fault_injection chaos_script_heals_binding
+
 echo "==> qoslint (committed specs must be clean, warnings denied)"
 # Fixtures under crates/qoslint/tests/fixtures are intentionally broken
 # inputs for the lint golden tests; every other committed spec must lint

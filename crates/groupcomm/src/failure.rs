@@ -29,9 +29,10 @@ impl FailureDetector {
 
     /// Whether the object behind `ior` currently answers.
     pub fn is_alive(&self, ior: &Ior) -> bool {
-        // A dedicated short-timeout probe ORB call: reuse the orb but
-        // bound the wait ourselves via invoke_collect's timeout.
-        match self.orb.invoke_collect(ior, "_non_existent", &[], None, 1, self.timeout) {
+        // A probe-tagged `_non_existent` call: bounded by our own timeout
+        // and counted under `orb.probe.*`, so detector chatter never
+        // pollutes the request-path metrics availability is derived from.
+        match self.orb.probe_collect(ior, self.timeout) {
             Ok(replies) => replies.iter().any(|(_, r)| r.is_ok()),
             Err(_) => false,
         }
@@ -86,6 +87,24 @@ mod tests {
         assert!(!fd.is_alive(&ior));
         net.revive(server.node());
         assert!(fd.is_alive(&ior));
+        server.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn probes_stay_out_of_request_metrics() {
+        let net = Network::new(1);
+        let server = Orb::start(&net, "server");
+        let client = Orb::start(&net, "client");
+        let ior = server.activate("x", Box::new(Noop));
+        let fd = FailureDetector::new(client.clone(), Duration::from_millis(300));
+        for _ in 0..3 {
+            assert!(fd.is_alive(&ior));
+        }
+        assert_eq!(client.metrics().snapshot().counter("orb.requests_sent"), 0);
+        assert_eq!(server.metrics().snapshot().counter("orb.requests_handled"), 0);
+        assert_eq!(client.metrics().snapshot().counter("orb.probe.requests_sent"), 3);
+        assert_eq!(server.metrics().snapshot().counter("orb.probe.requests_handled"), 3);
         server.shutdown();
         client.shutdown();
     }

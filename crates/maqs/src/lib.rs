@@ -66,11 +66,13 @@
 
 pub mod demo;
 pub mod error;
+pub mod heal;
 pub mod lint;
 mod node;
 pub mod report;
 
 pub use error::Error;
+pub use heal::{AdaptationEngine, SelfHealingPolicy};
 pub use node::{LintPolicy, MaqsNode, MaqsNodeBuilder, ServeOptions};
 
 /// The trace carried by `reply`, if the request path recorded one.
@@ -83,12 +85,21 @@ pub fn trace_of(reply: &weaver::Reply) -> Option<&orb::TraceContext> {
 
 /// One-stop imports for MAQS applications.
 pub mod prelude {
-    pub use crate::{Error, LintPolicy, MaqsNode, MaqsNodeBuilder, ServeOptions};
-    pub use netsim::{LinkModel, Network};
+    pub use crate::{
+        AdaptationEngine, Error, LintPolicy, MaqsNode, MaqsNodeBuilder, SelfHealingPolicy,
+        ServeOptions,
+    };
+    pub use netsim::{FaultScript, LinkModel, Network};
     pub use orb::{Any, Ior, MetricsSnapshot, Orb, OrbError, Servant, TraceContext};
     pub use qidl::InterfaceRepository;
-    pub use services::{Agreement, ContractHierarchy, ContractNode, Negotiator, Offer};
-    pub use weaver::{Call, ClientStub, Mediator, Next, QosImplementation, Reply, WovenServant};
+    pub use services::{
+        AdaptationEvent, Agreement, ContractHierarchy, ContractNode, DegradationLadder,
+        LadderStep, Negotiator, Offer, StepOutcome,
+    };
+    pub use weaver::{
+        BreakerConfig, Call, CircuitState, ClientStub, Mediator, Next, QosImplementation, Reply,
+        ResilienceMediator, ResiliencePolicy, WovenServant,
+    };
 }
 
 // Re-export the stack for users who need the full depth.

@@ -1,6 +1,7 @@
 //! [`MaqsNode`]: one node's worth of the MAQS stack, wired together.
 
 use crate::error::Error;
+use crate::heal::{AdaptationEngine, SelfHealingPolicy};
 use netsim::Network;
 use orb::{Ior, MetricsSnapshot, Orb, OrbError, Servant};
 use parking_lot::RwLock;
@@ -18,7 +19,7 @@ use weaver::{ClientStub, QosImplementation, WovenServant};
 /// can prove broken.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LintPolicy {
-    /// Run the deployment lints (`QL101`–`QL106`) before activating and
+    /// Run the deployment lints (`QL101`–`QL107`) before activating and
     /// refuse (with JSON diagnostics in the error) on lint errors.
     Enforce,
     /// Activate without gating; lints stay available through
@@ -145,6 +146,7 @@ impl<'a> MaqsNodeBuilder<'a> {
             monitor,
             woven: RwLock::new(HashMap::new()),
             capacities: RwLock::new(HashMap::new()),
+            healing: RwLock::new(None),
         })
     }
 }
@@ -160,6 +162,7 @@ pub struct MaqsNode {
     monitor: Arc<Monitor>,
     woven: RwLock<HashMap<String, Arc<WovenServant>>>,
     capacities: RwLock<HashMap<String, Vec<String>>>,
+    healing: RwLock<Option<Arc<AdaptationEngine>>>,
 }
 
 impl MaqsNode {
@@ -358,10 +361,19 @@ impl MaqsNode {
             })
             .collect();
         servants.sort_by(|a, b| a.key.cmp(&b.key));
-        qoslint::deploy::DeploymentView { servants, ..qoslint::deploy::DeploymentView::default() }
+        // A node with self-healing enabled reports its resilience
+        // coverage, turning on the QL107 unguarded-binding check.
+        let resilience = self.healing.read().as_ref().map(|engine| {
+            qoslint::deploy::ResilienceView { guarded: engine.guarded_objects() }
+        });
+        qoslint::deploy::DeploymentView {
+            servants,
+            resilience,
+            ..qoslint::deploy::DeploymentView::default()
+        }
     }
 
-    /// Run the deployment-level lints (`QL101`–`QL106`) over this
+    /// Run the deployment-level lints (`QL101`–`QL107`) over this
     /// node's current weaving state.
     pub fn lint_deployment(&self) -> qidl::Diagnostics {
         qoslint::deploy::lint_deployment(&self.repo, &self.deployment_view())
@@ -370,6 +382,25 @@ impl MaqsNode {
     /// A dynamic client stub for `target`, invoking through this node.
     pub fn stub(&self, target: &Ior) -> ClientStub {
         ClientStub::new(self.orb.clone(), target.clone())
+    }
+
+    /// Turn on self-healing: an [`AdaptationEngine`] subscribes to this
+    /// node's [`Monitor`] and, for every binding later put under
+    /// [`AdaptationEngine::guard`], walks `policy`'s degradation ladder
+    /// when an agreement violation fires. Calling it again replaces the
+    /// stored engine (existing guards keep their old engine alive).
+    pub fn enable_self_healing(&self, policy: SelfHealingPolicy) -> Arc<AdaptationEngine> {
+        let engine =
+            AdaptationEngine::install(self.orb.clone(), Arc::clone(&self.monitor), policy);
+        *self.healing.write() = Some(Arc::clone(&engine));
+        engine
+    }
+
+    /// The self-healing engine, if [`enable_self_healing`] was called.
+    ///
+    /// [`enable_self_healing`]: MaqsNode::enable_self_healing
+    pub fn self_healing(&self) -> Option<Arc<AdaptationEngine>> {
+        self.healing.read().clone()
     }
 
     /// Shut the node's ORB down.

@@ -4,6 +4,7 @@
 //! carries no JSON dependency).
 
 use orb::{MetricsSnapshot, TraceContext};
+use services::adaptation::{AdaptationEvent, StepOutcome};
 
 /// Render a metrics snapshot as aligned plain text: a `counters`
 /// section, then a `histograms (us)` section with count/mean/max per
@@ -107,6 +108,51 @@ pub fn render_trace_json(trace: &TraceContext) -> String {
     format!("{{\"trace_id\":{},\"spans\":[{}]}}", trace.trace_id, spans.join(","))
 }
 
+/// Render an adaptation log as one line per event: sequence, object,
+/// ladder step, outcome, detail, and the violation that triggered it.
+pub fn render_adaptation_human(events: &[AdaptationEvent]) -> String {
+    if events.is_empty() {
+        return "(no adaptation events)\n".to_string();
+    }
+    let mut out = String::from("adaptation events:\n");
+    for e in events {
+        out.push_str(&format!("  {e}\n"));
+    }
+    out
+}
+
+/// Render an adaptation log as a JSON array:
+///
+/// ```json
+/// [{"seq":0,"object":"kv","step":"rebind","outcome":"ok",
+///   "detail":"rebound to node 3 (`kv`)",
+///   "trigger":{"metric":"availability","observed":0.4,"threshold":0.9}}]
+/// ```
+pub fn render_adaptation_json(events: &[AdaptationEvent]) -> String {
+    let rendered: Vec<String> = events
+        .iter()
+        .map(|e| {
+            let outcome = match &e.outcome {
+                StepOutcome::Succeeded => "\"ok\"".to_string(),
+                StepOutcome::Failed(why) => json_string(&format!("failed: {why}")),
+            };
+            format!(
+                "{{\"seq\":{},\"object\":{},\"step\":{},\"outcome\":{},\"detail\":{},\
+                 \"trigger\":{{\"metric\":{},\"observed\":{},\"threshold\":{}}}}}",
+                e.seq,
+                json_string(&e.object),
+                json_string(&e.step),
+                outcome,
+                json_string(&e.detail),
+                json_string(&e.trigger.metric),
+                e.trigger.observed,
+                e.trigger.threshold
+            )
+        })
+        .collect();
+    format!("[{}]", rendered.join(","))
+}
+
 /// Escape `s` as a JSON string literal (quotes included).
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -130,6 +176,7 @@ fn json_string(s: &str) -> String {
 mod tests {
     use super::*;
     use orb::MetricsRegistry;
+    use services::monitoring::ViolationEvent;
 
     fn sample_snapshot() -> MetricsSnapshot {
         let m = MetricsRegistry::new();
@@ -159,6 +206,45 @@ mod tests {
         assert!(out.contains("\"orb.roundtrip_us\":{\"count\":2,\"sum_us\":200"), "{out}");
         assert!(out.contains("\"buckets\":[[1,0]"), "{out}");
         assert!(out.ends_with("}}"), "{out}");
+    }
+
+    #[test]
+    fn adaptation_renderers_cover_outcomes() {
+        let trigger = ViolationEvent {
+            object: "kv".to_string(),
+            metric: "availability".to_string(),
+            observed: 0.4,
+            threshold: 0.9,
+        };
+        let events = vec![
+            AdaptationEvent {
+                seq: 0,
+                object: "kv".to_string(),
+                trigger: trigger.clone(),
+                step: "renegotiate".to_string(),
+                detail: String::new(),
+                outcome: StepOutcome::Failed("server unreachable".to_string()),
+            },
+            AdaptationEvent {
+                seq: 1,
+                object: "kv".to_string(),
+                trigger,
+                step: "rebind".to_string(),
+                detail: "rebound to node 3 (`kv`)".to_string(),
+                outcome: StepOutcome::Succeeded,
+            },
+        ];
+        let human = render_adaptation_human(&events);
+        assert!(human.contains("renegotiate"), "{human}");
+        assert!(human.contains("failed: server unreachable"), "{human}");
+        assert!(human.contains("rebind"), "{human}");
+        assert_eq!(render_adaptation_human(&[]), "(no adaptation events)\n");
+        let json = render_adaptation_json(&events);
+        assert!(json.starts_with("[{\"seq\":0"), "{json}");
+        assert!(json.contains("\"step\":\"rebind\""), "{json}");
+        assert!(json.contains("\"outcome\":\"ok\""), "{json}");
+        assert!(json.contains("\"threshold\":0.9"), "{json}");
+        assert_eq!(render_adaptation_json(&[]), "[]");
     }
 
     #[test]

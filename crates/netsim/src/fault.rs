@@ -1,6 +1,8 @@
-//! Failure injection: crashes and partitions.
+//! Failure injection: crashes, partitions, and scheduled fault scripts.
 
+use crate::link::LinkModel;
 use crate::message::NodeId;
+use crate::time::{VirtualDuration, VirtualInstant};
 use std::collections::HashSet;
 
 /// A network partition: nodes in different groups cannot communicate.
@@ -35,11 +37,144 @@ impl Partition {
     }
 }
 
+/// One scheduled fault transition, applied when the network's fault clock
+/// reaches the instant it was scheduled at.
+#[derive(Debug, Clone)]
+pub enum FaultAction {
+    /// Crash a node: it neither sends nor receives afterwards.
+    Crash(NodeId),
+    /// Revive a crashed node.
+    Revive(NodeId),
+    /// Install a partition (replacing any existing one).
+    Partition(Partition),
+    /// Remove any partition.
+    Heal,
+    /// Replace the link model in both directions between two nodes.
+    SetLink(NodeId, NodeId, LinkModel),
+    /// Replace the link model for one directed link only.
+    SetLinkDirected(NodeId, NodeId, LinkModel),
+}
+
+/// A deterministic, pre-scheduled fault script.
+///
+/// Times are offsets on the network's *fault clock*, which starts at zero
+/// and advances with the virtual send times passing through the fabric
+/// (and explicitly via [`crate::Network::tick`]). Because the clock is
+/// virtual, scripted chaos runs are reproducible and need no wall-clock
+/// sleeps: the same seed and the same tick sequence replay the same faults.
+///
+/// ```
+/// use netsim::{FaultScript, NodeId, VirtualDuration};
+/// let ms = VirtualDuration::from_millis;
+/// let script = FaultScript::new()
+///     .restart_after(ms(100), ms(400), NodeId(1)) // crash at 100ms, back at 500ms
+///     .flap(NodeId(2), ms(50), ms(20), 3);        // three 10ms-down blips
+/// assert_eq!(script.len(), 8);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultScript {
+    entries: Vec<(VirtualInstant, FaultAction)>,
+}
+
+impl FaultScript {
+    /// An empty script.
+    pub fn new() -> FaultScript {
+        FaultScript::default()
+    }
+
+    /// Schedule `action` at fault-clock offset `at`.
+    pub fn at(mut self, at: VirtualDuration, action: FaultAction) -> FaultScript {
+        self.entries.push((VirtualInstant::ZERO + at, action));
+        self
+    }
+
+    /// Crash `node` at offset `at`.
+    pub fn crash_at(self, at: VirtualDuration, node: NodeId) -> FaultScript {
+        self.at(at, FaultAction::Crash(node))
+    }
+
+    /// Crash `node` at `crash_at` and revive it `down_for` later.
+    pub fn restart_after(
+        self,
+        crash_at: VirtualDuration,
+        down_for: VirtualDuration,
+        node: NodeId,
+    ) -> FaultScript {
+        self.at(crash_at, FaultAction::Crash(node))
+            .at(crash_at + down_for, FaultAction::Revive(node))
+    }
+
+    /// Degrade the `a <-> b` link to `spike` during `[from, until)` and
+    /// restore `normal` afterwards.
+    pub fn latency_spike(
+        self,
+        from: VirtualDuration,
+        until: VirtualDuration,
+        a: NodeId,
+        b: NodeId,
+        spike: LinkModel,
+        normal: LinkModel,
+    ) -> FaultScript {
+        self.at(from, FaultAction::SetLink(a, b, spike))
+            .at(until, FaultAction::SetLink(a, b, normal))
+    }
+
+    /// Partition the network during `[from, until)`, healing at `until`.
+    pub fn partition_window(
+        self,
+        from: VirtualDuration,
+        until: VirtualDuration,
+        partition: Partition,
+    ) -> FaultScript {
+        self.at(from, FaultAction::Partition(partition)).at(until, FaultAction::Heal)
+    }
+
+    /// Flap `node`: starting at `first`, crash it every `period` and revive
+    /// it half a period later, `cycles` times over.
+    pub fn flap(
+        mut self,
+        node: NodeId,
+        first: VirtualDuration,
+        period: VirtualDuration,
+        cycles: u32,
+    ) -> FaultScript {
+        let half = VirtualDuration::from_nanos(period.as_nanos() / 2);
+        for k in 0..cycles as u64 {
+            let down = first + VirtualDuration::from_nanos(period.as_nanos().saturating_mul(k));
+            self = self
+                .at(down, FaultAction::Crash(node))
+                .at(down + half, FaultAction::Revive(node));
+        }
+        self
+    }
+
+    /// Number of scheduled actions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the script holds no actions.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entries sorted by time (stable, so same-instant actions keep
+    /// their scheduling order).
+    pub(crate) fn into_sorted(mut self) -> Vec<(VirtualInstant, FaultAction)> {
+        self.entries.sort_by_key(|(t, _)| *t);
+        self.entries
+    }
+}
+
 /// The mutable fault state of a [`crate::Network`].
 #[derive(Debug, Default)]
 pub struct FaultPlan {
     crashed: HashSet<NodeId>,
     partition: Option<Partition>,
+    /// Scheduled actions, sorted ascending by instant; `cursor` marks the
+    /// next one not yet applied.
+    scheduled: Vec<(VirtualInstant, FaultAction)>,
+    cursor: usize,
 }
 
 impl FaultPlan {
@@ -71,6 +206,32 @@ impl FaultPlan {
     /// Remove any partition.
     pub fn heal(&mut self) {
         self.partition = None;
+    }
+
+    /// Merge a script into the schedule. Entries already due fire on the
+    /// next [`take_due`](FaultPlan::take_due).
+    pub fn schedule(&mut self, script: FaultScript) {
+        self.scheduled.drain(..self.cursor);
+        self.cursor = 0;
+        self.scheduled.extend(script.into_sorted());
+        self.scheduled.sort_by_key(|(t, _)| *t);
+    }
+
+    /// Number of scheduled actions not yet applied.
+    pub fn pending(&self) -> usize {
+        self.scheduled.len() - self.cursor
+    }
+
+    /// Remove and return every scheduled action due at or before `now`,
+    /// in schedule order. The caller applies them (link-model actions need
+    /// network state a `FaultPlan` does not hold).
+    pub fn take_due(&mut self, now: VirtualInstant) -> Vec<FaultAction> {
+        let mut due = Vec::new();
+        while self.cursor < self.scheduled.len() && self.scheduled[self.cursor].0 <= now {
+            due.push(self.scheduled[self.cursor].1.clone());
+            self.cursor += 1;
+        }
+        due
     }
 
     /// Whether a message from `src` to `dst` is currently deliverable.
@@ -114,6 +275,68 @@ mod tests {
         // Unlisted nodes share the implicit rest-group.
         assert!(p.connected(n(8), n(9)));
         assert!(!p.connected(n(8), n(1)));
+    }
+
+    #[test]
+    fn script_take_due_fires_in_order_and_once() {
+        let ms = VirtualDuration::from_millis;
+        let mut f = FaultPlan::new();
+        f.schedule(
+            FaultScript::new()
+                .crash_at(ms(20), n(1))
+                .at(ms(10), FaultAction::Heal)
+                .at(ms(20), FaultAction::Revive(n(1))),
+        );
+        assert_eq!(f.pending(), 3);
+        assert!(f.take_due(VirtualInstant::ZERO + ms(5)).is_empty());
+        let due = f.take_due(VirtualInstant::ZERO + ms(20));
+        assert_eq!(due.len(), 3);
+        assert!(matches!(due[0], FaultAction::Heal));
+        assert!(matches!(due[1], FaultAction::Crash(x) if x == n(1)));
+        assert!(matches!(due[2], FaultAction::Revive(x) if x == n(1)));
+        assert_eq!(f.pending(), 0);
+        assert!(f.take_due(VirtualInstant::ZERO + ms(100)).is_empty());
+    }
+
+    #[test]
+    fn script_builders_expand_to_expected_actions() {
+        let ms = VirtualDuration::from_millis;
+        let restart = FaultScript::new().restart_after(ms(100), ms(400), n(3));
+        assert_eq!(restart.len(), 2);
+        let spike = FaultScript::new().latency_spike(
+            ms(10),
+            ms(30),
+            n(1),
+            n(2),
+            LinkModel::wan(),
+            LinkModel::lan(),
+        );
+        assert_eq!(spike.len(), 2);
+        let window =
+            FaultScript::new().partition_window(ms(5), ms(9), Partition::new([vec![n(1)]]));
+        assert_eq!(window.len(), 2);
+        let flapping = FaultScript::new().flap(n(4), ms(50), ms(20), 3);
+        assert_eq!(flapping.len(), 6);
+        let sorted = flapping.into_sorted();
+        // Alternating crash/revive pairs at 50/60, 70/80, 90/100 ms.
+        assert_eq!(sorted[0].0, VirtualInstant::ZERO + ms(50));
+        assert!(matches!(sorted[0].1, FaultAction::Crash(_)));
+        assert_eq!(sorted[1].0, VirtualInstant::ZERO + ms(60));
+        assert!(matches!(sorted[1].1, FaultAction::Revive(_)));
+        assert_eq!(sorted[5].0, VirtualInstant::ZERO + ms(100));
+    }
+
+    #[test]
+    fn rescheduling_merges_with_unapplied_entries() {
+        let ms = VirtualDuration::from_millis;
+        let mut f = FaultPlan::new();
+        f.schedule(FaultScript::new().crash_at(ms(10), n(1)).crash_at(ms(50), n(2)));
+        assert_eq!(f.take_due(VirtualInstant::ZERO + ms(10)).len(), 1);
+        f.schedule(FaultScript::new().crash_at(ms(30), n(3)));
+        assert_eq!(f.pending(), 2);
+        let due = f.take_due(VirtualInstant::ZERO + ms(60));
+        assert!(matches!(due[0], FaultAction::Crash(x) if x == n(3)));
+        assert!(matches!(due[1], FaultAction::Crash(x) if x == n(2)));
     }
 
     #[test]

@@ -47,7 +47,7 @@ mod node;
 mod stats;
 mod time;
 
-pub use fault::{FaultPlan, Partition};
+pub use fault::{FaultAction, FaultPlan, FaultScript, Partition};
 pub use link::LinkModel;
 pub use message::{Message, NodeId};
 pub use network::{Network, SendError};

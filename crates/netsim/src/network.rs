@@ -1,11 +1,11 @@
 //! The network fabric: node registry, link table, fault plan, statistics.
 
-use crate::fault::{FaultPlan, Partition};
+use crate::fault::{FaultAction, FaultPlan, FaultScript, Partition};
 use crate::link::LinkModel;
 use crate::message::{Message, NodeId};
 use crate::node::NetHandle;
 use crate::stats::NetworkStats;
-use crate::time::{VirtualClock, VirtualInstant};
+use crate::time::{VirtualClock, VirtualDuration, VirtualInstant};
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -52,6 +52,38 @@ struct State {
     stats: NetworkStats,
     rng: StdRng,
     next_id: u32,
+    /// The fault clock: the high-water mark of virtual send times seen on
+    /// the fabric, plus explicit [`Network::tick`] advances. Scheduled
+    /// [`FaultScript`] entries fire against this clock.
+    fault_clock: VirtualInstant,
+}
+
+impl State {
+    /// Advance the fault clock to at least `now` and apply every scheduled
+    /// fault action that has become due.
+    fn run_faults_until(&mut self, now: VirtualInstant) {
+        self.fault_clock = self.fault_clock.max(now);
+        for action in self.faults.take_due(self.fault_clock) {
+            match action {
+                FaultAction::Crash(n) => self.faults.crash(n),
+                FaultAction::Revive(n) => self.faults.revive(n),
+                FaultAction::Partition(p) => self.faults.partition(p),
+                FaultAction::Heal => self.faults.heal(),
+                FaultAction::SetLink(a, b, model) => {
+                    self.set_link_directed(a, b, model.clone());
+                    self.set_link_directed(b, a, model);
+                }
+                FaultAction::SetLinkDirected(src, dst, model) => {
+                    self.set_link_directed(src, dst, model);
+                }
+            }
+        }
+    }
+
+    fn set_link_directed(&mut self, src: NodeId, dst: NodeId, model: LinkModel) {
+        self.links
+            .insert((src, dst), LinkState { model, busy_until: VirtualInstant::ZERO, next_seq: 0 });
+    }
 }
 
 /// Shared interior of a [`Network`]; not part of the public API.
@@ -68,6 +100,8 @@ impl NetworkInner {
         clock: &VirtualClock,
     ) -> Result<(), SendError> {
         let mut st = self.state.lock();
+        let now = clock.now();
+        st.run_faults_until(now);
         if st.faults.is_crashed(src) {
             return Err(SendError::SenderCrashed(src));
         }
@@ -151,6 +185,7 @@ impl Network {
                     stats: NetworkStats::default(),
                     rng: StdRng::seed_from_u64(seed),
                     next_id: 0,
+                    fault_clock: VirtualInstant::ZERO,
                 }),
             }),
         }
@@ -180,9 +215,7 @@ impl Network {
 
     /// Set the link model for the directed link `src -> dst` only.
     pub fn set_link_directed(&self, src: NodeId, dst: NodeId, model: LinkModel) {
-        let mut st = self.inner.state.lock();
-        st.links
-            .insert((src, dst), LinkState { model, busy_until: VirtualInstant::ZERO, next_seq: 0 });
+        self.inner.state.lock().set_link_directed(src, dst, model);
     }
 
     /// Set the model used for node pairs without an explicit link.
@@ -218,6 +251,40 @@ impl Network {
     /// A snapshot of the traffic statistics.
     pub fn stats(&self) -> NetworkStats {
         self.inner.state.lock().stats.clone()
+    }
+
+    /// Schedule a deterministic [`FaultScript`] against the fault clock.
+    ///
+    /// Entries fire as the clock passes their instants — implicitly, as
+    /// virtual send times flow through the fabric, or explicitly via
+    /// [`tick`](Network::tick). Entries already due fire immediately.
+    pub fn schedule(&self, script: FaultScript) {
+        let mut st = self.inner.state.lock();
+        st.faults.schedule(script);
+        let now = st.fault_clock;
+        st.run_faults_until(now);
+    }
+
+    /// Advance the fault clock by `d` and apply every scheduled fault that
+    /// becomes due, returning the new fault-clock time.
+    ///
+    /// This is the deterministic driver for chaos tests: no wall-clock
+    /// sleeps, just explicit virtual-time ticks.
+    pub fn tick(&self, d: VirtualDuration) -> VirtualInstant {
+        let mut st = self.inner.state.lock();
+        let target = st.fault_clock + d;
+        st.run_faults_until(target);
+        st.fault_clock
+    }
+
+    /// The current fault-clock time.
+    pub fn fault_now(&self) -> VirtualInstant {
+        self.inner.state.lock().fault_clock
+    }
+
+    /// Number of scheduled fault actions not yet applied.
+    pub fn pending_faults(&self) -> usize {
+        self.inner.state.lock().faults.pending()
     }
 }
 
@@ -341,6 +408,78 @@ mod tests {
         a.send(b.id(), vec![0; 36]).unwrap();
         assert_eq!(net.stats().link(a.id(), b.id()).bytes_delivered, 100);
         assert_eq!(net.stats().total_bytes(), 100);
+    }
+
+    #[test]
+    fn scheduled_script_fires_on_tick_without_sleeps() {
+        let ms = VirtualDuration::from_millis;
+        let net = Network::new(1);
+        let a = net.attach("a");
+        let b = net.attach("b");
+        net.schedule(crate::FaultScript::new().restart_after(ms(100), ms(400), b.id()));
+        assert_eq!(net.pending_faults(), 2);
+        // Before the crash instant the node is up.
+        net.tick(ms(50));
+        assert!(!net.is_crashed(b.id()));
+        // Crossing 100ms crashes it; messages are silently dropped.
+        net.tick(ms(100));
+        assert!(net.is_crashed(b.id()));
+        a.send(b.id(), vec![1]).unwrap();
+        assert_eq!(b.try_recv(), Err(crate::RecvError::Empty));
+        // Crossing 500ms revives it.
+        net.tick(ms(400));
+        assert!(!net.is_crashed(b.id()));
+        a.send(b.id(), vec![2]).unwrap();
+        assert_eq!(b.recv_timeout(T).unwrap().payload, vec![2]);
+        assert_eq!(net.pending_faults(), 0);
+    }
+
+    #[test]
+    fn send_virtual_time_drives_the_fault_clock() {
+        let ms = VirtualDuration::from_millis;
+        let net = Network::new(1);
+        let a = net.attach("a");
+        let b = net.attach("b");
+        let c = net.attach("c");
+        net.set_link(a.id(), b.id(), LinkModel::perfect().with_latency(ms(10)));
+        net.schedule(crate::FaultScript::new().crash_at(ms(25), c.id()));
+        // Round-trip hops between a and b advance virtual time past 25ms;
+        // the scheduled crash of c fires from the send path alone, with no
+        // explicit tick.
+        for _ in 0..3 {
+            a.send(b.id(), vec![0]).unwrap();
+            let m = b.recv_timeout(T).unwrap();
+            b.send(a.id(), m.payload).unwrap();
+            let m = a.recv_timeout(T).unwrap();
+            a.clock().advance_to(m.deliver_vt);
+        }
+        assert!(a.now() >= VirtualInstant::ZERO + ms(25));
+        assert!(net.is_crashed(c.id()));
+        assert!(net.fault_now() >= VirtualInstant::ZERO + ms(25));
+    }
+
+    #[test]
+    fn scheduled_latency_spike_window_applies_and_restores() {
+        let ms = VirtualDuration::from_millis;
+        let net = Network::new(1);
+        let a = net.attach("a");
+        let b = net.attach("b");
+        let normal = LinkModel::perfect().with_latency(ms(1));
+        net.set_link(a.id(), b.id(), normal.clone());
+        net.schedule(crate::FaultScript::new().latency_spike(
+            ms(10),
+            ms(30),
+            a.id(),
+            b.id(),
+            LinkModel::perfect().with_latency(ms(150)),
+            normal,
+        ));
+        net.tick(ms(10));
+        a.send(b.id(), vec![1]).unwrap();
+        assert_eq!(b.recv_timeout(T).unwrap().transit(), ms(150));
+        net.tick(ms(30));
+        a.send(b.id(), vec![2]).unwrap();
+        assert_eq!(b.recv_timeout(T).unwrap().transit(), ms(1));
     }
 
     #[test]

@@ -348,6 +348,36 @@ impl Orb {
         min_replies: usize,
         timeout: Duration,
     ) -> Result<Vec<(NodeId, Result<Any, OrbError>)>, OrbError> {
+        self.invoke_collect_kind(ior, op, args, qos, min_replies, timeout, RequestKind::ServiceRequest)
+    }
+
+    /// Liveness probe: a collecting `_non_existent` ping tagged
+    /// [`RequestKind::Probe`], so both ends count it under the
+    /// `orb.probe.*` metric family instead of the request-path
+    /// `orb.requests_*` counters availability math is computed from.
+    ///
+    /// # Errors
+    ///
+    /// As [`Orb::invoke_collect`].
+    pub fn probe_collect(
+        &self,
+        ior: &Ior,
+        timeout: Duration,
+    ) -> Result<Vec<(NodeId, Result<Any, OrbError>)>, OrbError> {
+        self.invoke_collect_kind(ior, "_non_existent", &[], None, 1, timeout, RequestKind::Probe)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn invoke_collect_kind(
+        &self,
+        ior: &Ior,
+        op: &str,
+        args: &[Any],
+        qos: Option<QosContext>,
+        min_replies: usize,
+        timeout: Duration,
+        kind: RequestKind,
+    ) -> Result<Vec<(NodeId, Result<Any, OrbError>)>, OrbError> {
         self.check_running()?;
         let (id, rx) = self.register_pending();
         let request = RequestMessage {
@@ -357,7 +387,7 @@ impl Orb {
             operation: op.to_string(),
             args: args.to_vec(),
             response_expected: true,
-            kind: RequestKind::ServiceRequest,
+            kind,
             qos,
             contexts: Vec::new(),
         };
@@ -497,7 +527,11 @@ impl Orb {
     /// The client half of the Fig. 3 decision tree.
     fn send_request(&self, dst: NodeId, request: &RequestMessage) -> Result<(), OrbError> {
         let metrics = &self.inner.metrics;
-        metrics.incr("orb.requests_sent");
+        if matches!(request.kind, RequestKind::Probe) {
+            metrics.incr("orb.probe.requests_sent");
+        } else {
+            metrics.incr("orb.requests_sent");
+        }
         let bytes = GiopMessage::Request(request.clone()).to_bytes();
         let qos_aware = request.qos.is_some();
         if qos_aware {
@@ -660,7 +694,7 @@ impl Orb {
                 Some(m) => m.command(&request.operation, &request.args),
                 None => Err(OrbError::ModuleNotFound(name.clone())),
             },
-            RequestKind::ServiceRequest => {
+            RequestKind::ServiceRequest | RequestKind::Probe => {
                 if let Some(name) = request.object_key.0.strip_prefix(PSEUDO_KEY_PREFIX) {
                     inner.pseudo.invoke(name, &request.operation, &request.args)
                 } else {
@@ -671,9 +705,17 @@ impl Orb {
             }
         };
         let dispatch_us = started.elapsed().as_micros() as u64;
-        metrics.observe_us("orb.dispatch_us", dispatch_us);
-        metrics.incr("orb.requests_handled");
-        inner.stats.lock().requests_handled += 1;
+        if matches!(request.kind, RequestKind::Probe) {
+            // Keep failure-detector traffic out of the request-path
+            // counters so availability math over `orb.requests_*` only
+            // sees application calls.
+            metrics.observe_us("orb.probe.dispatch_us", dispatch_us);
+            metrics.incr("orb.probe.requests_handled");
+        } else {
+            metrics.observe_us("orb.dispatch_us", dispatch_us);
+            metrics.incr("orb.requests_handled");
+            inner.stats.lock().requests_handled += 1;
+        }
         let trace_out = scope.map(|s| {
             let mut ctx = s.finish();
             ctx.push("orb.server", inner.handle.name(), dispatch_us);
@@ -904,6 +946,28 @@ mod tests {
         assert_eq!(replies.len(), 1);
         assert_eq!(replies[0].0, server.node());
         assert_eq!(replies[0].1, Ok(Any::Long(5)));
+        server.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn probes_do_not_move_request_counters() {
+        let (_net, server, client, ior) = pair();
+        let replies = client.probe_collect(&ior, Duration::from_secs(1)).unwrap();
+        assert_eq!(replies[0].1, Ok(Any::Bool(false)), "_non_existent answers false");
+        // Probe traffic lands in its own counter family on both ends...
+        assert_eq!(client.metrics().snapshot().counter("orb.probe.requests_sent"), 1);
+        assert_eq!(server.metrics().snapshot().counter("orb.probe.requests_handled"), 1);
+        // ...and the request-path counters availability is computed from
+        // stay untouched.
+        assert_eq!(client.metrics().snapshot().counter("orb.requests_sent"), 0);
+        assert_eq!(server.metrics().snapshot().counter("orb.requests_handled"), 0);
+        assert!(server.metrics().snapshot().histogram("orb.dispatch_us").is_none());
+        assert_eq!(server.stats().requests_handled, 0);
+        // A real call afterwards moves only the request-path family.
+        client.invoke(&ior, "echo", &[Any::Long(1)]).unwrap();
+        assert_eq!(client.metrics().snapshot().counter("orb.requests_sent"), 1);
+        assert_eq!(client.metrics().snapshot().counter("orb.probe.requests_sent"), 1);
         server.shutdown();
         client.shutdown();
     }

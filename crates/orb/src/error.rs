@@ -36,6 +36,10 @@ pub enum OrbError {
     QosViolation(String),
     /// A named QoS transport module is not loaded (Fig. 3 dispatch).
     ModuleNotFound(String),
+    /// The resilience layer's circuit breaker for this binding is open:
+    /// the call was rejected locally without going on the wire
+    /// (MAQS-specific).
+    CircuitOpen(String),
     /// The ORB has been shut down.
     Shutdown,
 }
@@ -56,6 +60,7 @@ impl OrbError {
             OrbError::QosNotNegotiated(_) => "QOS_NOT_NEGOTIATED",
             OrbError::QosViolation(_) => "QOS_VIOLATION",
             OrbError::ModuleNotFound(_) => "MODULE_NOT_FOUND",
+            OrbError::CircuitOpen(_) => "CIRCUIT_OPEN",
             OrbError::Shutdown => "SHUTDOWN",
         }
     }
@@ -74,7 +79,8 @@ impl OrbError {
             | OrbError::UserException(s)
             | OrbError::QosNotNegotiated(s)
             | OrbError::QosViolation(s)
-            | OrbError::ModuleNotFound(s) => s,
+            | OrbError::ModuleNotFound(s)
+            | OrbError::CircuitOpen(s) => s,
             OrbError::Shutdown => "orb shut down",
         }
     }
@@ -94,6 +100,7 @@ impl OrbError {
             "QOS_NOT_NEGOTIATED" => OrbError::QosNotNegotiated(detail),
             "QOS_VIOLATION" => OrbError::QosViolation(detail),
             "MODULE_NOT_FOUND" => OrbError::ModuleNotFound(detail),
+            "CIRCUIT_OPEN" => OrbError::CircuitOpen(detail),
             "SHUTDOWN" => OrbError::Shutdown,
             other => OrbError::Marshal(format!("unknown exception kind {other}: {detail}")),
         }
@@ -132,6 +139,7 @@ mod tests {
             OrbError::QosNotNegotiated("q".into()),
             OrbError::QosViolation("qv".into()),
             OrbError::ModuleNotFound("mod".into()),
+            OrbError::CircuitOpen("breaker".into()),
             OrbError::Shutdown,
         ];
         for e in all {
@@ -151,6 +159,9 @@ mod tests {
         assert!(OrbError::Transient("".into()).is_retryable());
         assert!(OrbError::Timeout("".into()).is_retryable());
         assert!(!OrbError::BadOperation("".into()).is_retryable());
+        // A locally-open breaker must not be retried into: the point is
+        // to shed load until the cooldown elapses.
+        assert!(!OrbError::CircuitOpen("".into()).is_retryable());
     }
 
     #[test]

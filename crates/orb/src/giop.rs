@@ -38,6 +38,10 @@ pub enum RequestKind {
     ServiceRequest,
     /// A command interpreted by the QoS transport or one of its modules.
     Command(CommandTarget),
+    /// A liveness probe (failure detection). Dispatched like a service
+    /// request, but counted under the `orb.probe.*` metric family so
+    /// availability math over `orb.requests_*` excludes detector traffic.
+    Probe,
 }
 
 /// The negotiated-QoS annotation a request may carry.
@@ -229,6 +233,7 @@ impl GiopMessage {
                         enc.put_u8(2);
                         enc.put_string(m);
                     }
+                    RequestKind::Probe => enc.put_u8(3),
                 }
                 match &r.qos {
                     None => enc.put_bool(false),
@@ -287,6 +292,7 @@ impl GiopMessage {
                     0 => RequestKind::ServiceRequest,
                     1 => RequestKind::Command(CommandTarget::Transport),
                     2 => RequestKind::Command(CommandTarget::Module(dec.get_string()?)),
+                    3 => RequestKind::Probe,
                     k => return Err(OrbError::Marshal(format!("bad request kind {k}"))),
                 };
                 let qos = if dec.get_bool()? {
@@ -441,6 +447,15 @@ mod tests {
             let m = GiopMessage::Request(r);
             assert_eq!(GiopMessage::from_bytes(&m.to_bytes()).unwrap(), m);
         }
+    }
+
+    #[test]
+    fn probe_roundtrip() {
+        let mut r = sample_request();
+        r.kind = RequestKind::Probe;
+        r.qos = None;
+        let m = GiopMessage::Request(r);
+        assert_eq!(GiopMessage::from_bytes(&m.to_bytes()).unwrap(), m);
     }
 
     #[test]

@@ -51,12 +51,17 @@ impl RetryPolicy {
     }
 
     /// The backoff to sleep before retry number `retry` (1-based).
+    ///
+    /// Computed as `initial_backoff * backoff_factor^(retry-1)`, saturating
+    /// instead of wrapping or panicking for large retry counts, then capped
+    /// at `max_backoff`.
     pub fn backoff(&self, retry: u32) -> Duration {
-        let mut b = self.initial_backoff;
-        for _ in 1..retry {
-            b = b.saturating_mul(self.backoff_factor.max(1)).min(self.max_backoff);
-        }
-        b.min(self.max_backoff)
+        let exponent = retry.saturating_sub(1);
+        let factor = u128::from(self.backoff_factor.max(1));
+        let scale = factor.checked_pow(exponent).unwrap_or(u128::MAX);
+        let nanos = self.initial_backoff.as_nanos().saturating_mul(scale);
+        let grown = u64::try_from(nanos).map(Duration::from_nanos).unwrap_or(Duration::MAX);
+        grown.min(self.max_backoff)
     }
 
     /// Run `op` under this policy, retrying retryable [`OrbError`]s.
@@ -76,6 +81,47 @@ impl RetryPolicy {
                 Ok(v) => return Ok(v),
                 Err(e) if e.is_retryable() && attempt < attempts => {
                     let backoff = self.backoff(attempt);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                    last = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| OrbError::Transient("retries exhausted".to_string())))
+    }
+
+    /// Run `op` under this policy, but never let retries (attempts plus
+    /// backoff sleeps) exceed the wall-clock `budget`.
+    ///
+    /// The first attempt always runs. A retry is only started if the
+    /// budget has time left, and a backoff sleep that would cross the
+    /// budget boundary is skipped together with its retry. Used by the
+    /// resilience layer to keep retry storms inside a negotiated
+    /// per-call deadline.
+    ///
+    /// # Errors
+    ///
+    /// The last error once attempts or budget are exhausted, or
+    /// immediately for non-retryable errors.
+    pub fn run_within<T>(
+        &self,
+        budget: Duration,
+        mut op: impl FnMut() -> Result<T, OrbError>,
+    ) -> Result<T, OrbError> {
+        let attempts = self.max_attempts.max(1);
+        let started = std::time::Instant::now();
+        let mut last = None;
+        for attempt in 1..=attempts {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_retryable() && attempt < attempts => {
+                    let backoff = self.backoff(attempt);
+                    let spent = started.elapsed();
+                    if spent.saturating_add(backoff) >= budget {
+                        return Err(e);
+                    }
                     if !backoff.is_zero() {
                         std::thread::sleep(backoff);
                     }
@@ -124,6 +170,67 @@ mod tests {
         assert_eq!(p.backoff(2), Duration::from_millis(20));
         assert_eq!(p.backoff(3), Duration::from_millis(35)); // capped
         assert_eq!(p.backoff(4), Duration::from_millis(35));
+    }
+
+    #[test]
+    fn backoff_saturates_for_large_retry_counts() {
+        // 64 attempts: 10ms * 2^63 overflows u64 nanoseconds by orders of
+        // magnitude; the schedule must clamp, not panic or wrap.
+        let p = RetryPolicy {
+            max_attempts: 64,
+            initial_backoff: Duration::from_millis(10),
+            backoff_factor: 2,
+            max_backoff: Duration::from_secs(1),
+        };
+        for retry in 1..=64 {
+            assert!(p.backoff(retry) <= Duration::from_secs(1), "retry {retry}");
+        }
+        assert_eq!(p.backoff(64), Duration::from_secs(1));
+        // Even an uncapped policy saturates instead of wrapping to zero.
+        let uncapped = RetryPolicy {
+            max_attempts: 64,
+            initial_backoff: Duration::from_millis(10),
+            backoff_factor: u32::MAX,
+            max_backoff: Duration::MAX,
+        };
+        assert_eq!(uncapped.backoff(64), Duration::MAX);
+        assert_eq!(uncapped.backoff(u32::MAX), Duration::MAX);
+    }
+
+    #[test]
+    fn run_within_budget_stops_before_crossing_it() {
+        // Backoff of 50ms per retry against a 10ms budget: the first
+        // attempt runs, the first retry would cross the budget, so run
+        // returns after exactly one attempt.
+        let p = RetryPolicy {
+            max_attempts: 10,
+            initial_backoff: Duration::from_millis(50),
+            backoff_factor: 1,
+            max_backoff: Duration::from_millis(50),
+        };
+        let calls = AtomicU32::new(0);
+        let started = std::time::Instant::now();
+        let result: Result<(), _> = p.run_within(Duration::from_millis(10), || {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Err(OrbError::Transient("flaky".to_string()))
+        });
+        assert!(result.is_err());
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert!(started.elapsed() < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn run_within_generous_budget_behaves_like_run() {
+        let calls = AtomicU32::new(0);
+        let result = RetryPolicy::immediate(5).run_within(Duration::from_secs(5), || {
+            if calls.fetch_add(1, Ordering::Relaxed) < 2 {
+                Err(OrbError::Transient("flaky".to_string()))
+            } else {
+                Ok(7)
+            }
+        });
+        assert_eq!(result.unwrap(), 7);
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
     }
 
     #[test]

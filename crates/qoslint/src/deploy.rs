@@ -1,4 +1,4 @@
-//! Deployment-level lints, `QL101`–`QL106`.
+//! Deployment-level lints, `QL101`–`QL107`.
 //!
 //! A woven deployment can be statically sound yet dynamically broken:
 //! the client binds a characteristic the interface was never assigned,
@@ -49,6 +49,14 @@ pub struct StubView {
     pub mediators: Vec<String>,
 }
 
+/// Client-side resilience coverage, as deployed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResilienceView {
+    /// Object keys guarded by a resilience policy (deadline budget,
+    /// circuit breaker, degradation ladder).
+    pub guarded: Vec<String>,
+}
+
 /// A snapshot of the runtime weaving state of one deployment.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DeploymentView {
@@ -58,6 +66,10 @@ pub struct DeploymentView {
     pub bindings: Vec<BindingView>,
     /// The client stubs with mediators installed.
     pub stubs: Vec<StubView>,
+    /// Resilience coverage, when the runtime reports it. `None` means
+    /// the snapshot carries no resilience information and `QL107` stays
+    /// silent; `Some` turns the coverage check on.
+    pub resilience: Option<ResilienceView>,
 }
 
 impl DeploymentView {
@@ -69,8 +81,8 @@ impl DeploymentView {
 /// Cross-check `view` against `repo`, accumulating every finding.
 ///
 /// Errors (`QL101`, `QL102`, `QL105`, `QL106`) mean requests or
-/// negotiations *will* fail at runtime; warnings (`QL103`, `QL104`)
-/// mean a declared QoS provision is silently absent.
+/// negotiations *will* fail at runtime; warnings (`QL103`, `QL104`,
+/// `QL107`) mean a declared QoS provision is silently absent.
 pub fn lint_deployment(repo: &InterfaceRepository, view: &DeploymentView) -> Diagnostics {
     let mut acc = Diagnostics::new();
 
@@ -163,6 +175,31 @@ pub fn lint_deployment(repo: &InterfaceRepository, view: &DeploymentView) -> Dia
         }
     }
 
+    if let Some(res) = &view.resilience {
+        let mut flagged: Vec<&str> = Vec::new();
+        let depended = view
+            .bindings
+            .iter()
+            .map(|b| b.object_key.as_str())
+            .chain(view.stubs.iter().map(|s| s.object_key.as_str()));
+        for key in depended {
+            if res.guarded.iter().any(|g| g == key) || flagged.contains(&key) {
+                continue;
+            }
+            flagged.push(key);
+            acc.push(
+                Diagnostic::warn(
+                    codes::NO_RESILIENCE,
+                    format!("QoS binding on `{key}` has no resilience policy configured"),
+                )
+                .with_note(
+                    "agreement violations will pass unhandled: no deadline budget, \
+                     circuit breaker, or degradation ladder guards this object",
+                ),
+            );
+        }
+    }
+
     for stub in &view.stubs {
         let Some(s) = view.servant(&stub.object_key) else { continue };
         for m in &stub.mediators {
@@ -231,6 +268,7 @@ mod tests {
                 object_key: "kv".into(),
                 mediators: vec!["Replication".into()],
             }],
+            resilience: None,
         };
         let diags = lint_deployment(&repo(), &view);
         assert!(diags.is_empty(), "{:?}", diags.into_vec());
@@ -296,6 +334,7 @@ mod tests {
                 },
             ],
             stubs: vec![],
+            resilience: None,
         };
         let diags = lint_deployment(&repo(), &view);
         assert!(diags.iter().any(|d| d.code == codes::BINDING_UNKNOWN));
@@ -306,6 +345,40 @@ mod tests {
     }
 
     #[test]
+    fn unguarded_binding_is_warned_only_with_resilience_info() {
+        let base = DeploymentView {
+            servants: vec![kv_servant()],
+            bindings: vec![BindingView {
+                object_key: "kv".into(),
+                characteristic: "Replication".into(),
+                params: vec![],
+            }],
+            stubs: vec![StubView {
+                object_key: "kv".into(),
+                mediators: vec!["Replication".into()],
+            }],
+            resilience: None,
+        };
+        // No resilience info: the coverage check stays silent.
+        assert!(lint_deployment(&repo(), &base).is_empty());
+
+        // Coverage reported, binding unguarded: one QL107 per object,
+        // even though `kv` shows up as both a binding and a stub.
+        let mut bare = base.clone();
+        bare.resilience = Some(ResilienceView::default());
+        let diags = lint_deployment(&repo(), &bare);
+        let hits: Vec<_> = diags.iter().filter(|d| d.code == codes::NO_RESILIENCE).collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].severity, Severity::Warn);
+        assert!(hits[0].message.contains("`kv`"), "{}", hits[0].message);
+
+        // Guarded: clean again.
+        let mut guarded = base;
+        guarded.resilience = Some(ResilienceView { guarded: vec!["kv".into()] });
+        assert!(lint_deployment(&repo(), &guarded).is_empty());
+    }
+
+    #[test]
     fn unnegotiable_mediator_is_warned() {
         let mut s = kv_servant();
         s.installed = vec!["Replication".into()];
@@ -313,6 +386,7 @@ mod tests {
             servants: vec![s],
             bindings: vec![],
             stubs: vec![StubView { object_key: "kv".into(), mediators: vec!["Actuality".into()] }],
+            resilience: None,
         };
         let diags = lint_deployment(&repo(), &view);
         let d = diags.iter().find(|d| d.code == codes::NOT_NEGOTIABLE).unwrap();

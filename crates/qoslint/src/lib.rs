@@ -11,7 +11,7 @@
 //!   characteristics of the same QoS *category* to one interface, or
 //!   declaring a characteristic nobody assigns.
 //! * **Deployment-level lints** ([`deploy::lint_deployment`], codes
-//!   `QL101`–`QL106`): cross-checks of the static [`InterfaceRepository`]
+//!   `QL101`–`QL107`): cross-checks of the static [`InterfaceRepository`]
 //!   against a snapshot of the *runtime* weaving state — client bindings
 //!   and mediator chains versus the implementations a server actually
 //!   installed.
@@ -64,6 +64,9 @@ pub mod codes {
     /// Negotiation capacity advertised for a characteristic that is
     /// unassigned or uninstalled.
     pub const CAPACITY_UNUSABLE: Code = Code("QL106");
+    /// QoS binding or mediated stub with no resilience policy guarding
+    /// it (only checked when the view reports resilience coverage).
+    pub const NO_RESILIENCE: Code = Code("QL107");
 }
 
 /// Run the spec-level lints (`QL010`–`QL014`) over a parsed [`Spec`].

@@ -88,7 +88,7 @@ pub struct ReplicationStats {
 pub struct ReplicationMediator {
     orb: Orb,
     replicas: RwLock<Vec<Ior>>,
-    strategy: ReplicationStrategy,
+    strategy: RwLock<ReplicationStrategy>,
     vote_timeout: Duration,
     first_try: AtomicU64,
     failovers: AtomicU64,
@@ -103,7 +103,7 @@ impl ReplicationMediator {
         ReplicationMediator {
             orb,
             replicas: RwLock::new(replicas),
-            strategy,
+            strategy: RwLock::new(strategy),
             vote_timeout: Duration::from_secs(2),
             first_try: AtomicU64::new(0),
             failovers: AtomicU64::new(0),
@@ -115,6 +115,18 @@ impl ReplicationMediator {
     /// Replace the replica list (after view changes).
     pub fn set_replicas(&self, replicas: Vec<Ior>) {
         *self.replicas.write() = replicas;
+    }
+
+    /// Switch the replication strategy at runtime. The adaptation engine
+    /// uses this to degrade quorum voting to primary-only failover when
+    /// the group can no longer reach a majority.
+    pub fn set_strategy(&self, strategy: ReplicationStrategy) {
+        *self.strategy.write() = strategy;
+    }
+
+    /// The strategy currently in effect.
+    pub fn strategy(&self) -> ReplicationStrategy {
+        *self.strategy.read()
     }
 
     /// The current replica list.
@@ -239,7 +251,7 @@ impl Mediator for ReplicationMediator {
     }
 
     fn around(&self, call: Call, next: Next<'_>) -> Result<Any, OrbError> {
-        match self.strategy {
+        match self.strategy() {
             ReplicationStrategy::Failover => self.failover(call, next),
             ReplicationStrategy::MajorityVote => self.vote(call),
         }
@@ -248,6 +260,13 @@ impl Mediator for ReplicationMediator {
     fn qos_op(&self, op: &str, _args: &[Any]) -> Result<Any, OrbError> {
         match op {
             "replica_count" => Ok(Any::ULong(self.replicas().len() as u32)),
+            "strategy" => Ok(Any::Str(
+                match self.strategy() {
+                    ReplicationStrategy::Failover => "failover",
+                    ReplicationStrategy::MajorityVote => "majority_vote",
+                }
+                .to_string(),
+            )),
             "stats" => {
                 let s = self.stats();
                 Ok(Any::Struct(
@@ -588,6 +607,32 @@ mod tests {
             o.shutdown();
         }
         new_orb.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn strategy_degrades_at_runtime() {
+        let net = Network::new(1);
+        let (orbs, iors) = deploy_replicas(&net, 3, "ctr", |i| Counter::boxed(i as i64));
+        let client = fast_client(&net);
+        let mediator = Arc::new(ReplicationMediator::new(
+            client.clone(),
+            iors.clone(),
+            ReplicationStrategy::MajorityVote,
+        ));
+        let stub = ClientStub::new(client.clone(), iors[0].clone());
+        stub.set_mediator(mediator.clone());
+        // Divergent replies: quorum voting cannot answer "whoami".
+        assert!(stub.invoke("whoami", &[]).is_err());
+        assert_eq!(mediator.qos_op("strategy", &[]).unwrap(), Any::Str("majority_vote".into()));
+        // Degrade to primary-only failover: the first replica answers.
+        mediator.set_strategy(ReplicationStrategy::Failover);
+        assert_eq!(mediator.strategy(), ReplicationStrategy::Failover);
+        assert_eq!(stub.invoke("whoami", &[]).unwrap(), Any::LongLong(0));
+        assert_eq!(mediator.qos_op("strategy", &[]).unwrap(), Any::Str("failover".into()));
+        for o in &orbs {
+            o.shutdown();
+        }
         client.shutdown();
     }
 

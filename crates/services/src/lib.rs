@@ -14,6 +14,10 @@
 //!   capacity model so rejections and adaptation actually happen;
 //! * [`monitoring`] — sliding-window observation of agreed QoS
 //!   (latency, availability, staleness) and violation detection;
+//! * [`adaptation`] — degradation ladders: the ordered reactions
+//!   (renegotiate → fallback → rebind → fail static) a self-healing
+//!   binding walks when an agreement is violated, with an append-only
+//!   event log;
 //! * [`accounting`] — per-agreement usage metering and invoicing;
 //! * [`trading`] — a trader matching service offers by interface type
 //!   and required QoS characteristics;
@@ -26,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod accounting;
+pub mod adaptation;
 pub mod catalog;
 pub mod contract;
 pub mod monitoring;
@@ -34,6 +39,9 @@ pub mod negotiation;
 pub mod trading;
 
 pub use accounting::{Accountant, Invoice, PriceModel};
+pub use adaptation::{
+    relax_params, AdaptationEvent, AdaptationLog, DegradationLadder, LadderStep, StepOutcome,
+};
 pub use catalog::{standard_catalog, CatalogEntry, Mechanism, QosCatalog};
 pub use contract::{ContractHierarchy, ContractNode, Offer};
 pub use monitoring::{Monitor, Observation, ViolationEvent};

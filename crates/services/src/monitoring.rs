@@ -131,6 +131,17 @@ impl Monitor {
         }
     }
 
+    /// Drop the accumulated samples for `(object, metric)`, keeping the
+    /// rules. Adaptation uses this after healing a binding: samples
+    /// measured before the repair describe a binding that no longer
+    /// exists, and letting them linger would re-trigger the ladder on
+    /// every healthy call.
+    pub fn clear_window(&self, object: &str, metric: &str) {
+        if let Some(s) = self.series.lock().get_mut(&(object.to_string(), metric.to_string())) {
+            s.window.clear();
+        }
+    }
+
     /// Record a sample and evaluate the rules. Returns the violations
     /// raised by this sample.
     pub fn record(&self, object: &str, metric: &str, value: f64) -> Vec<ViolationEvent> {
@@ -315,6 +326,23 @@ mod tests {
         assert_eq!(m.mean("o", "latency_us"), Some(50.0));
         // Clearing an unknown series is a no-op.
         m.clear_rules("ghost", "x");
+    }
+
+    #[test]
+    fn clear_window_drops_samples_but_keeps_rules() {
+        let m = Monitor::new(4);
+        m.add_rule("o", "availability", Statistic::Mean, Bound::Min, 0.9);
+        m.record("o", "availability", 0.0);
+        m.record("o", "availability", 0.0);
+        // The poisoned window violates even on a healthy sample.
+        assert!(!m.record("o", "availability", 1.0).is_empty());
+        m.clear_window("o", "availability");
+        assert_eq!(m.mean("o", "availability"), None);
+        // Rules survive: fresh healthy samples pass, bad ones still trip.
+        assert!(m.record("o", "availability", 1.0).is_empty());
+        assert!(!m.record("o", "availability", 0.0).is_empty());
+        // Clearing an unknown series is a no-op.
+        m.clear_window("ghost", "x");
     }
 
     #[test]

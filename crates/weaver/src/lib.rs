@@ -81,10 +81,15 @@ pub mod binding;
 pub mod mediator;
 pub mod registry;
 pub mod reply;
+pub mod resilience;
 pub mod skeleton;
 
 pub use binding::{QosBinding, QosBindingRegistry};
-pub use mediator::{Call, ClientStub, Mediator, Next};
+pub use mediator::{annotate_span, Call, ClientStub, Mediator, Next};
 pub use registry::{MediatorFactory, MediatorRegistry};
 pub use reply::Reply;
+pub use resilience::{
+    BreakerConfig, CircuitBreaker, CircuitState, FailStaticMode, ResilienceMediator,
+    ResiliencePolicy,
+};
 pub use skeleton::{QosImplementation, RequestObserver, WovenServant};

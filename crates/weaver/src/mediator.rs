@@ -4,9 +4,25 @@ use crate::reply::Reply;
 use orb::giop::QosContext;
 use orb::{Any, Ior, Orb, OrbError, TraceContext};
 use parking_lot::{Mutex, RwLock};
+use std::cell::RefCell;
 use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
+
+thread_local! {
+    /// Extra spans mediators want on the *current* invocation's trace
+    /// (e.g. the resilience mediator marking a circuit transition).
+    /// Drained by the chain after each mediator returns.
+    static ANNOTATIONS: RefCell<Vec<(String, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Record an extra span on the trace of the mediator-chain invocation
+/// currently running on this thread. Outside a chain this is a no-op
+/// buffer that the next invocation drains, so only call it from inside
+/// [`Mediator::around`].
+pub fn annotate_span(layer: impl Into<String>, dur_us: u64) {
+    ANNOTATIONS.with(|a| a.borrow_mut().push((layer.into(), dur_us)));
+}
 
 /// One intercepted invocation travelling down the mediator chain.
 ///
@@ -74,6 +90,7 @@ struct StubState {
 struct ChainObs {
     trace: Mutex<Option<TraceContext>>,
     timings: Mutex<Vec<(String, u64)>>,
+    annotations: Mutex<Vec<(String, u64)>>,
 }
 
 /// A client stub extended with a mediator delegate (the client half of
@@ -133,6 +150,13 @@ impl ClientStub {
         self.state.write().mediators.push(mediator);
     }
 
+    /// Install `mediator` as the new *outermost* link of the chain; used
+    /// by the resilience layer so its deadline budget and circuit breaker
+    /// wrap every mediator beneath (replication retries included).
+    pub fn push_mediator_front(&self, mediator: Arc<dyn Mediator>) {
+        self.state.write().mediators.insert(0, mediator);
+    }
+
     /// Remove all mediators (back to a plain CORBA stub).
     pub fn clear_mediators(&self) {
         self.state.write().mediators.clear();
@@ -180,7 +204,11 @@ impl ClientStub {
         };
         // The innermost chain link stashes the round-tripped trace here;
         // mediator timings accumulate innermost-first as the chain unwinds.
-        let obs = ChainObs { trace: Mutex::new(None), timings: Mutex::new(Vec::new()) };
+        let obs = ChainObs {
+            trace: Mutex::new(None),
+            timings: Mutex::new(Vec::new()),
+            annotations: Mutex::new(Vec::new()),
+        };
         let started = Instant::now();
         let value = self.run_chain(&mediators, 0, call, Some(&obs))?;
         let stub_us = started.elapsed().as_micros() as u64;
@@ -192,6 +220,9 @@ impl ClientStub {
             .unwrap_or_else(|| TraceContext::new(self.orb.node()));
         for (characteristic, dur_us) in obs.timings.into_inner().into_iter().rev() {
             trace.push(format!("mediator:{characteristic}"), node.clone(), dur_us);
+        }
+        for (layer, dur_us) in obs.annotations.into_inner() {
+            trace.push(layer, node.clone(), dur_us);
         }
         trace.push("stub", node, stub_us);
         Ok(Reply { value, trace: Some(trace), qos_tag })
@@ -227,6 +258,10 @@ impl ClientStub {
                 if let Some(o) = obs {
                     let dur_us = started.elapsed().as_micros() as u64;
                     o.timings.lock().push((m.characteristic().to_string(), dur_us));
+                    let mut extra = ANNOTATIONS.with(|a| std::mem::take(&mut *a.borrow_mut()));
+                    if !extra.is_empty() {
+                        o.annotations.lock().append(&mut extra);
+                    }
                 }
                 result
             }

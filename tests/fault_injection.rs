@@ -241,6 +241,157 @@ fn transport_multicast_fans_out_under_crash() {
     client.shutdown();
 }
 
+/// The chaos scenario from experiment E4's robustness side: a scripted
+/// fault plan — a 150 ms latency spike, a 20 % lossy window, then a hard
+/// crash of the bound replica — against a self-healing client.
+///
+/// The seed is fixed (override with `MAQS_CHAOS_SEED`) so the run is
+/// reproducible; the assertions are written to hold under *any* seed:
+/// no panics, every reply Ok or a typed error, the circuit breaker
+/// opened at least once, at least one adaptation event, ladder steps
+/// taken strictly in declared order, and post-heal calls succeeding.
+#[test]
+fn chaos_script_heals_binding_through_degradation_ladder() {
+    let seed = std::env::var("MAQS_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7u64);
+    let ms = netsim::VirtualDuration::from_millis;
+    let net = Network::new(seed);
+
+    const SPEC: &str = r#"
+        interface Register with qos Replication, Actuality {
+            long long get();
+            void set(in long long v);
+        };
+    "#;
+    let serve = |node: &MaqsNode| {
+        node.serve(
+            "reg",
+            Arc::new(Register(Mutex::new(40))),
+            ServeOptions::interface("Register")
+                .qos_impl(Arc::new(qosmech::replication::ReplicationQosImpl::new()))
+                .qos_impl(Arc::new(qosmech::actuality::FreshnessStampQosImpl::new()))
+                .capacity("Replication", 4),
+        )
+        .unwrap()
+    };
+    let s1 = MaqsNode::builder(&net, "s1").spec(SPEC).build().unwrap();
+    let s2 = MaqsNode::builder(&net, "s2").spec(SPEC).build().unwrap();
+    let client = MaqsNode::builder(&net, "client")
+        .orb_config(orb::OrbConfig {
+            request_timeout: Duration::from_millis(250),
+            ..Default::default()
+        })
+        .build()
+        .unwrap();
+    let ior1 = serve(&s1);
+    let ior2 = serve(&s2);
+
+    // An agreement strict enough that the first failed call violates it
+    // (one failure in a 64-sample window pulls the mean under 0.99).
+    let offer = Offer::new("Replication", 1.0).with_param("availability", Any::Double(0.99));
+    let agreement =
+        client.negotiator().negotiate_offer(s1.orb().node(), "reg", &offer).unwrap();
+
+    let engine = client.enable_self_healing(
+        SelfHealingPolicy::new(
+            DegradationLadder::new()
+                .then(LadderStep::Renegotiate { relax_factor: 1.2 })
+                .then(LadderStep::Rebind)
+                .then(LadderStep::FailStatic { read_ops: vec!["get".to_string()] }),
+        )
+        .with_replicas(vec![ior1.clone(), ior2.clone()])
+        .with_probe_timeout(Duration::from_millis(200))
+        .with_retry(orb::retry::RetryPolicy::immediate(1))
+        .with_breaker(BreakerConfig { consecutive_failures: 1, ..Default::default() }),
+    );
+    let stub = client.stub(&ior1);
+    let _mediator = engine.guard(&stub, s1.orb().node(), &agreement);
+
+    // The scripted plan, all on the virtual fault clock: spike the
+    // client<->s1 link to 150 ms for 30 ms, leave it 20% lossy for the
+    // next 30 ms, then crash s1 outright.
+    net.schedule(
+        FaultScript::new()
+            .latency_spike(
+                ms(30),
+                ms(60),
+                client.orb().node(),
+                s1.orb().node(),
+                LinkModel::perfect().with_latency(ms(150)),
+                LinkModel::perfect().with_loss(0.2),
+            )
+            .crash_at(ms(90), s1.orb().node()),
+    );
+
+    // Drive the fault clock and keep calling through the chaos. Every
+    // reply must be Ok or a *typed* error; a panic fails the test.
+    let (mut ok, mut failed) = (0u32, 0u32);
+    for round in 0..14i64 {
+        net.tick(ms(10));
+        match stub.invoke("set", &[Any::LongLong(round)]) {
+            Ok(_) => ok += 1,
+            Err(e) => {
+                assert!(!e.to_string().is_empty());
+                failed += 1;
+            }
+        }
+        match stub.invoke("get", &[]) {
+            Ok(v) => {
+                assert!(v.as_i64().is_some(), "typed reply expected, got {v:?}");
+                ok += 1;
+            }
+            Err(e) => {
+                assert!(!e.to_string().is_empty());
+                failed += 1;
+            }
+        }
+    }
+    assert_eq!(net.pending_faults(), 0, "the whole script ran");
+    assert!(ok > 0, "some calls must survive the chaos");
+    assert!(failed > 0, "the crash must cost at least one call");
+
+    // The breaker opened (metrics count every transition) ...
+    let snapshot = client.metrics_snapshot();
+    let opened = snapshot
+        .counters
+        .iter()
+        .find(|(name, _)| name == "resilience.circuit.open")
+        .map(|(_, n)| *n)
+        .unwrap_or(0);
+    assert!(opened >= 1, "circuit never opened: {:?}", snapshot.counters);
+
+    // ... the ladder ran, in declared order, and ended in a live rung.
+    let events = engine.events();
+    assert!(!events.is_empty(), "healing must have produced events");
+    let rung = |step: &str| match step {
+        "renegotiate" => 0,
+        "rebind" => 1,
+        "fail_static" => 2,
+        other => panic!("unexpected ladder step `{other}`"),
+    };
+    for pair in events.windows(2) {
+        assert!(pair[0].seq < pair[1].seq);
+        assert!(
+            rung(&pair[0].step) <= rung(&pair[1].step),
+            "ladder steps out of order: {events:?}"
+        );
+    }
+    assert!(
+        events.iter().any(|e| e.outcome.is_success()),
+        "at least one rung must heal the binding: {events:?}"
+    );
+
+    // Post-heal, the binding serves again (from the surviving replica).
+    for _ in 0..3 {
+        assert!(stub.invoke("get", &[]).unwrap().as_i64().is_some());
+    }
+    s1.shutdown();
+    s2.shutdown();
+    client.shutdown();
+}
+
 #[test]
 fn crashed_node_recovers_and_catches_up_via_state_transfer() {
     let net = Network::new(27);
