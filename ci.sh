@@ -26,6 +26,32 @@ echo "==> chaos (scripted faults vs self-healing client, fixed seed)"
 MAQS_CHAOS_SEED="${MAQS_CHAOS_SEED:-7}" \
     cargo test -q -p maqs --test fault_injection chaos_script_heals_binding
 
+echo "==> e11 hot-path smoke (--quick) + regression gate"
+# Quick closed-loop sweep; writes BENCH_hotpath.json at the repo root.
+cargo bench -q -p maqs-bench --bench e11_hotpath -- --quick
+# Artifact must be well-formed JSON with all 12 sweep cases, and the
+# null-call plain-path p50 must stay within 3x of the committed
+# baseline (generous: CI boxes are noisy, a real regression is 10x).
+python3 - <<'EOF'
+import json, sys
+
+cur = json.load(open("BENCH_hotpath.json"))
+base = json.load(open("BENCH_hotpath.baseline.json"))
+if len(cur["cases"]) != 12:
+    sys.exit(f"BENCH_hotpath.json: expected 12 cases, got {len(cur['cases'])}")
+
+def null_plain_p50(doc):
+    for c in doc["cases"]:
+        if c["payload"] == "null" and not c["qos"] and c["dispatch_threads"] == 1:
+            return c["p50_us"]
+    sys.exit("missing null/plain/1-thread case")
+
+got, want = null_plain_p50(cur), null_plain_p50(base)
+if got > want * 3:
+    sys.exit(f"hot-path regression: null-call p50 {got:.1f}us vs baseline {want:.1f}us (>3x)")
+print(f"    null-call p50 {got:.1f}us (baseline {want:.1f}us) -- ok")
+EOF
+
 echo "==> qoslint (committed specs must be clean, warnings denied)"
 # Fixtures under crates/qoslint/tests/fixtures are intentionally broken
 # inputs for the lint golden tests; every other committed spec must lint

@@ -1,0 +1,224 @@
+//! E11: closed-loop hot-path throughput/latency sweep.
+//!
+//! Multi-client closed-loop null-call and 1KiB-payload sweeps against one
+//! servant, for `dispatch_threads` ∈ {1, 2, 4} and plain vs QoS-tagged
+//! (identity-module-bound) traffic. Reports throughput plus p50/p99
+//! latency and emits `BENCH_hotpath.json` at the repo root so the perf
+//! trajectory stays machine-readable across PRs.
+//!
+//! Unlike the Criterion benches this is a hand-rolled harness
+//! (`harness = false`, no criterion dependency): the closed-loop
+//! multi-thread shape does not fit `b.iter`, and the JSON artifact must
+//! come out byte-stable. `--quick` runs a fixed low iteration count for
+//! CI smoke; `BENCH_OUT=<path>` overrides the artifact location.
+
+use netsim::Network;
+use orb::giop::QosContext;
+use orb::transport::BindingKey;
+use orb::{Any, Ior, Orb, OrbConfig, OrbError, QosModule, Servant};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Servant answering `echo` with its argument.
+struct Echo;
+impl Servant for Echo {
+    fn interface_id(&self) -> &str {
+        "IDL:Echo:1.0"
+    }
+    fn dispatch(&self, op: &str, args: &[Any]) -> Result<Any, OrbError> {
+        match op {
+            "echo" => Ok(args.first().cloned().unwrap_or(Any::Void)),
+            _ => Err(OrbError::BadOperation(op.to_string())),
+        }
+    }
+}
+
+/// Identity transform module: measures pure QoS-dispatch-path cost.
+struct Identity;
+impl QosModule for Identity {
+    fn name(&self) -> &str {
+        "identity"
+    }
+    fn command(&self, op: &str, _args: &[Any]) -> Result<Any, OrbError> {
+        Err(OrbError::BadOperation(op.to_string()))
+    }
+}
+
+const CLIENT_THREADS: usize = 4;
+
+struct CaseResult {
+    payload: &'static str,
+    qos: bool,
+    dispatch_threads: usize,
+    clients: usize,
+    calls: u64,
+    throughput_rps: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn percentile_us(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
+    sorted_ns[idx] as f64 / 1_000.0
+}
+
+fn run_case(
+    payload: &'static str,
+    qos: bool,
+    dispatch_threads: usize,
+    iters_per_client: u64,
+) -> CaseResult {
+    let net = Network::new(1);
+    let server = Orb::start_with(
+        &net,
+        "server",
+        OrbConfig { dispatch_threads, ..OrbConfig::default() },
+    );
+    let client = Orb::start(&net, "client");
+    let ior = server.activate("echo", Box::new(Echo));
+    let qos_ctx = if qos {
+        client.qos_transport().install(Arc::new(Identity));
+        server.qos_transport().install(Arc::new(Identity));
+        client
+            .qos_transport()
+            .bind(BindingKey { peer: None, key: ior.key.clone() }, "identity")
+            .unwrap();
+        Some(QosContext::new("identity"))
+    } else {
+        None
+    };
+    let args: Vec<Any> = match payload {
+        "null" => Vec::new(),
+        "1KiB" => vec![Any::Bytes(vec![0xA5u8; 1024])],
+        other => panic!("unknown payload shape {other}"),
+    };
+
+    // Warm-up outside the measured window.
+    for _ in 0..16 {
+        client.invoke_qos(&ior, "echo", &args, qos_ctx.clone()).unwrap();
+    }
+
+    let start = Instant::now();
+    let workers: Vec<_> = (0..CLIENT_THREADS)
+        .map(|_| {
+            let client = client.clone();
+            let ior: Ior = ior.clone();
+            let qos_ctx = qos_ctx.clone();
+            let args = args.clone();
+            std::thread::spawn(move || {
+                let mut lat_ns = Vec::with_capacity(iters_per_client as usize);
+                for _ in 0..iters_per_client {
+                    let t0 = Instant::now();
+                    client.invoke_qos(&ior, "echo", &args, qos_ctx.clone()).unwrap();
+                    lat_ns.push(t0.elapsed().as_nanos() as u64);
+                }
+                lat_ns
+            })
+        })
+        .collect();
+    let mut all_ns: Vec<u64> = Vec::new();
+    for w in workers {
+        all_ns.extend(w.join().expect("client worker panicked"));
+    }
+    let wall = start.elapsed().as_secs_f64();
+    all_ns.sort_unstable();
+
+    let calls = all_ns.len() as u64;
+    let result = CaseResult {
+        payload,
+        qos,
+        dispatch_threads,
+        clients: CLIENT_THREADS,
+        calls,
+        throughput_rps: calls as f64 / wall,
+        p50_us: percentile_us(&all_ns, 0.50),
+        p99_us: percentile_us(&all_ns, 0.99),
+    };
+    server.shutdown();
+    client.shutdown();
+    result
+}
+
+/// Repo root = nearest ancestor containing ROADMAP.md (cargo bench runs
+/// with the package directory as CWD, bare rustc runs from the root).
+fn artifact_path() -> PathBuf {
+    if let Ok(p) = std::env::var("BENCH_OUT") {
+        return PathBuf::from(p);
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("ROADMAP.md").is_file() {
+            return dir.join("BENCH_hotpath.json");
+        }
+        if !dir.pop() {
+            return PathBuf::from("BENCH_hotpath.json");
+        }
+    }
+}
+
+fn json_escape_free(s: &str) -> &str {
+    debug_assert!(!s.contains('"') && !s.contains('\\'));
+    s
+}
+
+fn render_json(mode: &str, cases: &[CaseResult]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"experiment\": \"e11_hotpath\",\n");
+    out.push_str(&format!("  \"mode\": \"{}\",\n", json_escape_free(mode)));
+    out.push_str(&format!("  \"client_threads\": {CLIENT_THREADS},\n"));
+    out.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"payload\": \"{}\", \"qos\": {}, \"dispatch_threads\": {}, \
+             \"clients\": {}, \"calls\": {}, \"throughput_rps\": {:.1}, \
+             \"p50_us\": {:.3}, \"p99_us\": {:.3}}}{}\n",
+            json_escape_free(c.payload),
+            c.qos,
+            c.dispatch_threads,
+            c.clients,
+            c.calls,
+            c.throughput_rps,
+            c.p50_us,
+            c.p99_us,
+            if i + 1 == cases.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    // Tolerate harness flags cargo bench passes (`--bench`, filters).
+    let quick = std::env::args().any(|a| a == "--quick");
+    let iters_per_client: u64 = if quick { 200 } else { 2000 };
+    let mode = if quick { "quick" } else { "full" };
+
+    println!("\n=== E11: closed-loop hot path ({CLIENT_THREADS} clients × {iters_per_client} calls each, {mode}) ===");
+    println!(
+        "  {:<8} {:<6} {:>9} {:>12} {:>10} {:>10}",
+        "payload", "qos", "disp_thr", "rps", "p50_us", "p99_us"
+    );
+
+    let mut cases = Vec::new();
+    for payload in ["null", "1KiB"] {
+        for qos in [false, true] {
+            for dispatch_threads in [1usize, 2, 4] {
+                let c = run_case(payload, qos, dispatch_threads, iters_per_client);
+                println!(
+                    "  {:<8} {:<6} {:>9} {:>12.0} {:>10.1} {:>10.1}",
+                    c.payload, c.qos, c.dispatch_threads, c.throughput_rps, c.p50_us, c.p99_us
+                );
+                cases.push(c);
+            }
+        }
+    }
+
+    let path = artifact_path();
+    std::fs::write(&path, render_json(mode, &cases)).expect("write BENCH_hotpath.json");
+    println!("\n  wrote {}", path.display());
+}

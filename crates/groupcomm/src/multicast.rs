@@ -118,8 +118,8 @@ impl QosModule for MulticastModule {
         Ok(members.iter().map(|n| (*n, bytes.clone())).collect())
     }
 
-    fn inbound(&self, _src: NodeId, bytes: Vec<u8>) -> Result<Option<Vec<u8>>, OrbError> {
-        Ok(Some(bytes))
+    fn inbound(&self, _src: NodeId, bytes: &[u8]) -> Result<Option<Vec<u8>>, OrbError> {
+        Ok(Some(bytes.to_vec()))
     }
 }
 
@@ -178,7 +178,7 @@ mod tests {
     #[test]
     fn inbound_is_identity() {
         let m = MulticastModule::new("mc", [n(1)]);
-        assert_eq!(m.inbound(n(1), vec![9]).unwrap(), Some(vec![9]));
+        assert_eq!(m.inbound(n(1), &[9]).unwrap(), Some(vec![9]));
     }
 
     #[test]

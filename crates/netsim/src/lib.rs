@@ -31,7 +31,7 @@
 //!
 //! a.send(b.id(), b"hello".to_vec()).unwrap();
 //! let msg = b.recv_timeout(std::time::Duration::from_secs(1)).unwrap();
-//! assert_eq!(msg.payload, b"hello");
+//! assert_eq!(&msg.payload[..], b"hello");
 //! // Virtual delivery time reflects the LAN latency model.
 //! assert!(msg.deliver_vt > msg.send_vt);
 //! ```

@@ -1,6 +1,7 @@
 //! Node identity and the simulated wire message.
 
 use crate::time::VirtualInstant;
+use bytes::Bytes;
 use std::fmt;
 
 /// Identifies a node attached to a [`crate::Network`].
@@ -30,8 +31,9 @@ pub struct Message {
     pub send_vt: VirtualInstant,
     /// Virtual time at which the message arrives at the destination.
     pub deliver_vt: VirtualInstant,
-    /// The message body.
-    pub payload: Vec<u8>,
+    /// The message body. Shared, cheaply cloneable bytes: the fabric
+    /// never copies a payload after the sender hands it over.
+    pub payload: Bytes,
 }
 
 impl Message {
@@ -63,7 +65,7 @@ mod tests {
             seq: 0,
             send_vt: VirtualInstant(100),
             deliver_vt: VirtualInstant(350),
-            payload: vec![1, 2, 3],
+            payload: vec![1, 2, 3].into(),
         };
         assert_eq!(m.transit().as_nanos(), 250);
         assert_eq!(m.len(), 3);

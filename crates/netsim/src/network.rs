@@ -6,6 +6,7 @@ use crate::message::{Message, NodeId};
 use crate::node::NetHandle;
 use crate::stats::NetworkStats;
 use crate::time::{VirtualClock, VirtualDuration, VirtualInstant};
+use bytes::Bytes;
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -96,7 +97,7 @@ impl NetworkInner {
         &self,
         src: NodeId,
         dst: NodeId,
-        payload: Vec<u8>,
+        payload: Bytes,
         clock: &VirtualClock,
     ) -> Result<(), SendError> {
         let mut st = self.state.lock();
@@ -149,6 +150,23 @@ impl NetworkInner {
         // crashed node from the sender's perspective.
         let _ = st.nodes[&dst].sender.send(msg);
         Ok(())
+    }
+
+    /// Deliver an empty wakeup message to `dst`'s own inbox, bypassing
+    /// faults, loss, and link scheduling (see [`NetHandle::poke`]).
+    pub(crate) fn poke(&self, dst: NodeId, clock: &VirtualClock) {
+        let st = self.state.lock();
+        if let Some(node) = st.nodes.get(&dst) {
+            let now = clock.now();
+            let _ = node.sender.send(Message {
+                src: dst,
+                dst,
+                seq: 0,
+                send_vt: now,
+                deliver_vt: now,
+                payload: Bytes::new(),
+            });
+        }
     }
 }
 
@@ -498,6 +516,21 @@ mod tests {
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6)); // jitter differs across seeds
+    }
+
+    #[test]
+    fn poke_wakes_even_crashed_and_lossy_nodes() {
+        let net = Network::new(1);
+        let a = net.attach("a");
+        // Loss and crash must not eat wakeups: poke bypasses both.
+        net.set_link(a.id(), a.id(), LinkModel::perfect().with_loss(1.0));
+        net.crash(a.id());
+        a.poke();
+        let m = a.recv_timeout(T).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(m.src, a.id());
+        assert_eq!(m.dst, a.id());
+        assert_eq!(net.stats().total_bytes(), 0, "pokes are not traffic");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::message::{Message, NodeId};
 use crate::network::{NetworkInner, SendError};
 use crate::time::{VirtualClock, VirtualInstant};
+use bytes::Bytes;
 use crossbeam::channel::{Receiver, RecvTimeoutError, TryRecvError};
 use std::fmt;
 use std::sync::Arc;
@@ -86,8 +87,18 @@ impl NetHandle {
     ///
     /// Returns an error if `dst` was never attached or if this node has
     /// been crashed by fault injection.
-    pub fn send(&self, dst: NodeId, payload: Vec<u8>) -> Result<(), SendError> {
-        self.net.send(self.id, dst, payload, &self.clock)
+    pub fn send(&self, dst: NodeId, payload: impl Into<Bytes>) -> Result<(), SendError> {
+        self.net.send(self.id, dst, payload.into(), &self.clock)
+    }
+
+    /// Wake this node's receive loop: enqueue an **empty** local message
+    /// that bypasses link models, loss, and fault injection (it works
+    /// even while the node is crashed). Receivers blocked in
+    /// [`NetHandle::recv`] observe it like any other message; protocol
+    /// layers treat an empty payload as a pure wakeup. This is the
+    /// event-driven alternative to polling `recv_timeout` in a loop.
+    pub fn poke(&self) {
+        self.net.poke(self.id, &self.clock);
     }
 
     /// Block until a message arrives. Advances the virtual clock to the

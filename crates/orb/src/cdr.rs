@@ -66,6 +66,38 @@ impl CdrEncoder {
         self.buf.extend(std::iter::repeat(0u8).take(pad));
     }
 
+    /// Pad with zero octets so the next write starts on an `n`-byte
+    /// boundary. Useful for framing layers that embed independently
+    /// aligned sub-encodings in one buffer.
+    pub fn align_to(&mut self, n: usize) {
+        self.align(n);
+    }
+
+    /// Append raw octets verbatim: no length prefix, no alignment.
+    pub fn put_raw(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Reserve a 4-aligned `u32` slot (written as zero) and return its
+    /// offset, to be filled in later with [`CdrEncoder::patch_u32`] once
+    /// the value (typically a trailing-body length) is known.
+    pub fn reserve_u32(&mut self) -> usize {
+        self.align(4);
+        let at = self.buf.len();
+        self.buf.extend_from_slice(&[0u8; 4]);
+        at
+    }
+
+    /// Overwrite the `u32` slot previously returned by
+    /// [`CdrEncoder::reserve_u32`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` does not address 4 reserved bytes in the buffer.
+    pub fn patch_u32(&mut self, at: usize, v: u32) {
+        self.buf[at..at + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
     /// Append a `bool` (one octet, 0 or 1).
     pub fn put_bool(&mut self, v: bool) {
         self.buf.push(v as u8);
@@ -200,6 +232,25 @@ impl<'a> CdrDecoder<'a> {
     fn align(&mut self, n: usize) {
         let pad = (n - self.pos % n) % n;
         self.pos += pad;
+    }
+
+    /// Skip padding so the next read starts on an `n`-byte boundary
+    /// (the decoder mirror of [`CdrEncoder::align_to`]).
+    pub fn align_to(&mut self, n: usize) {
+        self.align(n);
+    }
+
+    /// Read `n` raw octets with no length prefix, returning the
+    /// underlying slice (no copy).
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::Marshal`] on exhaustion.
+    pub fn get_raw(&mut self, n: usize) -> Result<&'a [u8], OrbError> {
+        let end = self.pos.checked_add(n).ok_or_else(overflow)?;
+        let slice = self.buf.get(self.pos..end).ok_or_else(|| eof("raw bytes"))?;
+        self.pos = end;
+        Ok(slice)
     }
 
     /// Decode a `bool`.
@@ -397,6 +448,38 @@ mod tests {
         let mut b = e.into_bytes();
         b.extend_from_slice(&[0xFF, 0xFE, 0x00]);
         assert!(CdrDecoder::new(&b).get_string().is_err());
+    }
+
+    #[test]
+    fn reserve_patch_and_raw_roundtrip() {
+        let mut e = CdrEncoder::new();
+        e.put_raw(b"MAQ1");
+        e.put_u8(0);
+        let at = e.reserve_u32(); // 4-aligned: offset 8
+        assert_eq!(at, 8);
+        e.align_to(8);
+        let body_start = e.len();
+        assert_eq!(body_start % 8, 0);
+        e.put_raw(b"body");
+        e.patch_u32(at, 4);
+        let b = e.into_bytes();
+
+        let mut d = CdrDecoder::new(&b);
+        assert_eq!(d.get_raw(4).unwrap(), b"MAQ1");
+        assert_eq!(d.get_u8().unwrap(), 0);
+        let len = d.get_u32().unwrap() as usize;
+        d.align_to(8);
+        assert_eq!(d.position(), body_start);
+        assert_eq!(d.get_raw(len).unwrap(), b"body");
+        assert!(d.is_at_end());
+    }
+
+    #[test]
+    fn get_raw_past_end_is_marshal_error() {
+        let b = [1u8, 2];
+        let mut d = CdrDecoder::new(&b);
+        assert!(matches!(d.get_raw(3), Err(OrbError::Marshal(_))));
+        assert_eq!(d.get_raw(2).unwrap(), &[1, 2]);
     }
 
     #[test]

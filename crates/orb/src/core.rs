@@ -29,20 +29,22 @@ use crate::adapter::{ObjectAdapter, Servant};
 use crate::any::Any;
 use crate::error::OrbError;
 use crate::giop::{
-    CommandTarget, GiopMessage, Packet, QosContext, ReplyMessage, RequestKind, RequestMessage,
+    frame_plain_reply, frame_plain_request, frame_qos, CommandTarget, GiopMessage, Packet,
+    QosContext, ReplyMessage, RequestKind, RequestMessage,
 };
 use crate::ior::{Ior, ObjectKey};
 use crate::metrics::MetricsRegistry;
 use crate::pseudo::PseudoObjectRegistry;
 use crate::trace::{self, TraceContext, TRACE_CONTEXT_ID};
 use crate::transport::QosTransport;
+use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use netsim::{NetHandle, Network, NodeId};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -58,6 +60,12 @@ pub struct OrbConfig {
     pub collocated_shortcut: bool,
     /// Number of dispatcher threads executing incoming requests.
     pub dispatch_threads: usize,
+    /// Trace-sampling period consulted by [`Orb::trace_sampled`]: attach
+    /// a [`TraceContext`] to every `n`-th request. `1` (the default)
+    /// traces everything, `0` traces nothing. Metrics are unconditional
+    /// either way; only the per-request trace decode/encode and span
+    /// pushes are skipped on unsampled requests.
+    pub trace_sample_every: u32,
 }
 
 impl Default for OrbConfig {
@@ -66,6 +74,7 @@ impl Default for OrbConfig {
             request_timeout: Duration::from_secs(5),
             collocated_shortcut: true,
             dispatch_threads: 1,
+            trace_sample_every: 1,
         }
     }
 }
@@ -85,8 +94,139 @@ pub struct OrbStats {
     pub collocated_calls: u64,
 }
 
+/// Number of independent locks striping the pending-reply table. Reply
+/// matching is lookup-dominated; striping keeps concurrent callers with
+/// unrelated request ids from serializing on one mutex.
+pub(crate) const PENDING_SHARDS: usize = 16;
+
+/// One rendezvous between a waiting caller and the receive loop.
+///
+/// A slot belongs to exactly one caller thread (see [`current_slot`])
+/// and is reused across calls instead of allocating a channel per
+/// request. `armed` records the request id the slot currently serves,
+/// so a late reply to a *previous* request on the same thread is
+/// recognised as stale and counted orphaned rather than delivered to
+/// the wrong caller.
+struct ReplySlot {
+    state: StdMutex<SlotState>,
+    cvar: Condvar,
+}
+
+struct SlotState {
+    /// Request id currently armed on this slot; `0` = disarmed.
+    armed: u64,
+    queue: VecDeque<ReplyMessage>,
+}
+
+impl ReplySlot {
+    fn new() -> ReplySlot {
+        ReplySlot {
+            state: StdMutex::new(SlotState { armed: 0, queue: VecDeque::new() }),
+            cvar: Condvar::new(),
+        }
+    }
+
+    fn arm(&self, id: u64) {
+        let mut s = self.state.lock().expect("reply slot poisoned");
+        s.armed = id;
+        s.queue.clear();
+    }
+
+    fn disarm(&self) {
+        let mut s = self.state.lock().expect("reply slot poisoned");
+        s.armed = 0;
+        s.queue.clear();
+    }
+
+    /// Deliver `reply` if the slot is still armed for `id`; a refusal
+    /// means the caller gave up (timeout) and the reply is an orphan.
+    fn push(&self, id: u64, reply: ReplyMessage) -> bool {
+        let mut s = self.state.lock().expect("reply slot poisoned");
+        if s.armed != id {
+            return false;
+        }
+        s.queue.push_back(reply);
+        self.cvar.notify_all();
+        true
+    }
+
+    /// Take one queued reply for `id` without blocking.
+    fn try_pop(&self, id: u64) -> Option<ReplyMessage> {
+        let mut s = self.state.lock().expect("reply slot poisoned");
+        if s.armed != id {
+            return None;
+        }
+        s.queue.pop_front()
+    }
+
+    /// Block until a reply for `id` arrives or `deadline` passes.
+    fn wait_until(&self, id: u64, deadline: Instant) -> Option<ReplyMessage> {
+        let mut s = self.state.lock().expect("reply slot poisoned");
+        loop {
+            if s.armed != id {
+                return None;
+            }
+            if let Some(r) = s.queue.pop_front() {
+                return Some(r);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) =
+                self.cvar.wait_timeout(s, deadline - now).expect("reply slot poisoned");
+            s = guard;
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread rendezvous slot. A thread has at most one synchronous
+    /// invocation outstanding at a time (nested calls made *by a
+    /// servant* run on dispatcher threads, which carry their own slot),
+    /// so one reusable slot per thread replaces a per-call channel.
+    static REPLY_SLOT: Arc<ReplySlot> = Arc::new(ReplySlot::new());
+}
+
+fn current_slot() -> Arc<ReplySlot> {
+    REPLY_SLOT.with(Arc::clone)
+}
+
 struct Pending {
-    tx: Sender<ReplyMessage>,
+    slot: Arc<ReplySlot>,
+    /// Fan-out collectors peek the entry and leave it registered so
+    /// several replies can accumulate; point-to-point calls are *taken*
+    /// out of the shard so the lock drops before delivery.
+    collect: bool,
+}
+
+/// Lock-free counters behind [`Orb::stats`]. Each counter is
+/// independently monotone and `stats()` reads a relaxed snapshot,
+/// which is all the cross-counter invariants rely on.
+#[derive(Default)]
+struct StatCells {
+    requests_handled: AtomicU64,
+    replies_matched: AtomicU64,
+    replies_orphaned: AtomicU64,
+    packets_dropped: AtomicU64,
+    collocated_calls: AtomicU64,
+}
+
+impl StatCells {
+    fn snapshot(&self) -> OrbStats {
+        OrbStats {
+            requests_handled: self.requests_handled.load(Ordering::Relaxed),
+            replies_matched: self.replies_matched.load(Ordering::Relaxed),
+            replies_orphaned: self.replies_orphaned.load(Ordering::Relaxed),
+            packets_dropped: self.packets_dropped.load(Ordering::Relaxed),
+            collocated_calls: self.collocated_calls.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[inline]
+fn bump(cell: &AtomicU64) {
+    cell.fetch_add(1, Ordering::Relaxed);
 }
 
 struct OrbInner {
@@ -94,13 +234,30 @@ struct OrbInner {
     adapter: ObjectAdapter,
     transport: QosTransport,
     pseudo: PseudoObjectRegistry,
-    pending: Mutex<HashMap<u64, Pending>>,
+    /// Pending-reply table, striped over [`PENDING_SHARDS`] locks keyed
+    /// by request id.
+    pending: [Mutex<HashMap<u64, Pending>>; PENDING_SHARDS],
     next_request: AtomicU64,
     config: OrbConfig,
     shutdown: AtomicBool,
-    stats: Mutex<OrbStats>,
+    stats: StatCells,
+    trace_counter: AtomicU64,
     metrics: MetricsRegistry,
-    dispatch_tx: Sender<DispatchWork>,
+    dispatch_tx: Sender<DispatchCmd>,
+}
+
+impl OrbInner {
+    #[inline]
+    fn shard(&self, id: u64) -> &Mutex<HashMap<u64, Pending>> {
+        &self.pending[(id as usize) % PENDING_SHARDS]
+    }
+}
+
+enum DispatchCmd {
+    Work(DispatchWork),
+    /// Wake-and-exit sentinel; [`Orb::shutdown`] queues one per
+    /// dispatcher thread so every blocked `recv()` returns.
+    Shutdown,
 }
 
 struct DispatchWork {
@@ -137,17 +294,18 @@ impl Orb {
     /// Start an ORB with explicit configuration.
     pub fn start_with(net: &Network, name: &str, config: OrbConfig) -> Orb {
         let handle = net.attach(name);
-        let (dispatch_tx, dispatch_rx) = unbounded::<DispatchWork>();
+        let (dispatch_tx, dispatch_rx) = unbounded::<DispatchCmd>();
         let inner = Arc::new(OrbInner {
             handle,
             adapter: ObjectAdapter::new(),
             transport: QosTransport::new(),
             pseudo: PseudoObjectRegistry::new(),
-            pending: Mutex::new(HashMap::new()),
+            pending: std::array::from_fn(|_| Mutex::new(HashMap::new())),
             next_request: AtomicU64::new(1),
             config,
             shutdown: AtomicBool::new(false),
-            stats: Mutex::new(OrbStats::default()),
+            stats: StatCells::default(),
+            trace_counter: AtomicU64::new(0),
             metrics: MetricsRegistry::new(),
             dispatch_tx,
         });
@@ -186,7 +344,21 @@ impl Orb {
 
     /// A snapshot of the broker counters.
     pub fn stats(&self) -> OrbStats {
-        *self.inner.stats.lock()
+        self.inner.stats.snapshot()
+    }
+
+    /// Client-side trace-sampling decision
+    /// ([`OrbConfig::trace_sample_every`]): `true` when the next
+    /// outgoing request should carry a [`TraceContext`]. Stubs consult
+    /// this *before* building a context, so unsampled requests skip the
+    /// trace encode on the way out and every decode/span push
+    /// downstream; metrics are recorded unconditionally either way.
+    pub fn trace_sampled(&self) -> bool {
+        match self.inner.config.trace_sample_every {
+            0 => false,
+            1 => true,
+            n => self.inner.trace_counter.fetch_add(1, Ordering::Relaxed) % u64::from(n) == 0,
+        }
     }
 
     /// The ORB's metrics registry (request-path counters/histograms).
@@ -264,7 +436,7 @@ impl Orb {
         // Collocated shortcut (only for plain calls: QoS-annotated traffic
         // must take the full path so mediator/module semantics hold).
         if self.inner.config.collocated_shortcut && qos.is_none() && ior.node == self.node() {
-            self.inner.stats.lock().collocated_calls += 1;
+            bump(&self.inner.stats.collocated_calls);
             metrics.incr("orb.collocated_calls");
             let started = Instant::now();
             return match trace {
@@ -287,7 +459,7 @@ impl Orb {
             };
         }
         let trace_id = trace.as_ref().map(|t| t.trace_id);
-        let (id, rx) = self.register_pending();
+        let (id, slot) = self.register_pending(false);
         let mut request = RequestMessage {
             request_id: id,
             reply_to: self.node(),
@@ -305,11 +477,11 @@ impl Orb {
         let started = Instant::now();
         let send_result = self.send_request(ior.node, &request);
         if let Err(e) = send_result {
-            self.unregister_pending(id);
+            self.unregister_pending(id, &slot);
             return Err(e);
         }
-        let reply = self.await_reply(id, &rx, self.inner.config.request_timeout);
-        self.unregister_pending(id);
+        let reply = self.await_reply(id, &slot, self.inner.config.request_timeout);
+        self.unregister_pending(id, &slot);
         let reply = reply?;
         let roundtrip_us = started.elapsed().as_micros() as u64;
         metrics.observe_us("orb.roundtrip_us", roundtrip_us);
@@ -379,7 +551,7 @@ impl Orb {
         kind: RequestKind,
     ) -> Result<Vec<(NodeId, Result<Any, OrbError>)>, OrbError> {
         self.check_running()?;
-        let (id, rx) = self.register_pending();
+        let (id, slot) = self.register_pending(true);
         let request = RequestMessage {
             request_id: id,
             reply_to: self.node(),
@@ -392,26 +564,22 @@ impl Orb {
             contexts: Vec::new(),
         };
         if let Err(e) = self.send_request(ior.node, &request) {
-            self.unregister_pending(id);
+            self.unregister_pending(id, &slot);
             return Err(e);
         }
         let deadline = Instant::now() + timeout;
         let mut replies = Vec::new();
         while replies.len() < min_replies {
-            let now = Instant::now();
-            if now >= deadline {
-                break;
-            }
-            match rx.recv_timeout(deadline - now) {
-                Ok(reply) => replies.push((reply.from, reply.into_result())),
-                Err(_) => break,
+            match slot.wait_until(id, deadline) {
+                Some(reply) => replies.push((reply.from, reply.into_result())),
+                None => break,
             }
         }
         // Drain any extras that arrived while we were counting.
-        while let Ok(reply) = rx.try_recv() {
+        while let Some(reply) = slot.try_pop(id) {
             replies.push((reply.from, reply.into_result()));
         }
-        self.unregister_pending(id);
+        self.unregister_pending(id, &slot);
         if replies.is_empty() {
             return Err(OrbError::Timeout(format!("{op}: no replies within {timeout:?}")));
         }
@@ -460,7 +628,7 @@ impl Orb {
         args: &[Any],
     ) -> Result<Any, OrbError> {
         self.check_running()?;
-        let (id, rx) = self.register_pending();
+        let (id, slot) = self.register_pending(false);
         let request = RequestMessage {
             request_id: id,
             reply_to: self.node(),
@@ -472,20 +640,28 @@ impl Orb {
             qos: None,
             contexts: Vec::new(),
         };
-        let bytes = GiopMessage::Request(request).to_bytes();
-        let r = self.send_packet(node, &Packet::Plain(bytes));
-        if let Err(e) = r {
-            self.unregister_pending(id);
+        if let Err(e) = self.send_wire(node, frame_plain_request(&request)) {
+            self.unregister_pending(id, &slot);
             return Err(e);
         }
-        let reply = self.await_reply(id, &rx, self.inner.config.request_timeout);
-        self.unregister_pending(id);
+        let reply = self.await_reply(id, &slot, self.inner.config.request_timeout);
+        self.unregister_pending(id, &slot);
         reply?.into_result()
     }
 
     /// Stop the receive loop and dispatchers. Idempotent.
+    ///
+    /// Both loops block on their queues rather than polling: shutdown
+    /// queues one [`DispatchCmd::Shutdown`] sentinel per dispatcher and
+    /// pokes the network handle so the blocking receive wakes at once.
     pub fn shutdown(&self) {
-        self.inner.shutdown.store(true, Ordering::SeqCst);
+        if self.inner.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for _ in 0..self.inner.config.dispatch_threads.max(1) {
+            let _ = self.inner.dispatch_tx.send(DispatchCmd::Shutdown);
+        }
+        self.inner.handle.poke();
     }
 
     /// Whether [`Orb::shutdown`] has been called.
@@ -503,28 +679,35 @@ impl Orb {
         }
     }
 
-    fn register_pending(&self) -> (u64, Receiver<ReplyMessage>) {
+    fn register_pending(&self, collect: bool) -> (u64, Arc<ReplySlot>) {
         let id = self.inner.next_request.fetch_add(1, Ordering::Relaxed);
-        let (tx, rx) = unbounded();
-        self.inner.pending.lock().insert(id, Pending { tx });
-        (id, rx)
+        let slot = current_slot();
+        slot.arm(id);
+        self.inner.shard(id).lock().insert(id, Pending { slot: Arc::clone(&slot), collect });
+        (id, slot)
     }
 
-    fn unregister_pending(&self, id: u64) {
-        self.inner.pending.lock().remove(&id);
+    fn unregister_pending(&self, id: u64, slot: &ReplySlot) {
+        self.inner.shard(id).lock().remove(&id);
+        slot.disarm();
     }
 
     fn await_reply(
         &self,
         id: u64,
-        rx: &Receiver<ReplyMessage>,
+        slot: &ReplySlot,
         timeout: Duration,
     ) -> Result<ReplyMessage, OrbError> {
-        rx.recv_timeout(timeout)
-            .map_err(|_| OrbError::Timeout(format!("request {id}: no reply within {timeout:?}")))
+        slot.wait_until(id, Instant::now() + timeout)
+            .ok_or_else(|| OrbError::Timeout(format!("request {id}: no reply within {timeout:?}")))
     }
 
     /// The client half of the Fig. 3 decision tree.
+    ///
+    /// The request is encoded exactly once: the plain path writes
+    /// envelope and GIOP body into a single wire buffer, the QoS path
+    /// hands the module the bare GIOP body and frames each transformed
+    /// output. No `RequestMessage` clone, no intermediate `Packet`.
     fn send_request(&self, dst: NodeId, request: &RequestMessage) -> Result<(), OrbError> {
         let metrics = &self.inner.metrics;
         if matches!(request.kind, RequestKind::Probe) {
@@ -532,30 +715,26 @@ impl Orb {
         } else {
             metrics.incr("orb.requests_sent");
         }
-        let bytes = GiopMessage::Request(request.clone()).to_bytes();
-        let qos_aware = request.qos.is_some();
-        if qos_aware {
+        if request.qos.is_some() {
             if let Some(module) = self.inner.transport.bound_module(dst, &request.object_key) {
+                let bytes = GiopMessage::encode_request(request);
                 let started = Instant::now();
                 let outs = module.outbound(dst, bytes)?;
                 metrics.observe_us("transport.outbound_us", started.elapsed().as_micros() as u64);
                 metrics.incr("transport.qos_packets_out");
                 for (node, body) in outs {
-                    self.send_packet(node, &Packet::Qos { module: module.name().to_string(), body })?;
+                    self.send_wire(node, frame_qos(module.name(), &body))?;
                 }
                 return Ok(());
             }
             // QoS-aware but unbound: fall back to GIOP/IIOP (Fig. 3) —
             // this is the path negotiation itself travels on.
         }
-        self.send_packet(dst, &Packet::Plain(bytes))
+        self.send_wire(dst, frame_plain_request(request))
     }
 
-    fn send_packet(&self, dst: NodeId, packet: &Packet) -> Result<(), OrbError> {
-        self.inner
-            .handle
-            .send(dst, packet.to_bytes())
-            .map_err(|e| OrbError::CommFailure(e.to_string()))
+    fn send_wire(&self, dst: NodeId, frame: Vec<u8>) -> Result<(), OrbError> {
+        self.inner.handle.send(dst, frame).map_err(|e| OrbError::CommFailure(e.to_string()))
     }
 
     fn spawn_receive_loop(&self) -> JoinHandle<()> {
@@ -563,30 +742,38 @@ impl Orb {
         std::thread::Builder::new()
             .name(format!("orb-recv-{}", inner.handle.name()))
             .spawn(move || {
-                while !inner.shutdown.load(Ordering::SeqCst) {
-                    let msg = match inner.handle.recv_timeout(Duration::from_millis(25)) {
+                // Event-driven: block on the inbox instead of polling.
+                // `shutdown()` pokes the handle (an empty payload that
+                // bypasses fault/link models) so the blocked recv wakes.
+                loop {
+                    let msg = match inner.handle.recv() {
                         Ok(m) => m,
-                        Err(netsim::RecvError::Timeout) => continue,
                         Err(_) => break,
                     };
+                    if inner.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if msg.payload.is_empty() {
+                        continue; // wakeup poke, not traffic
+                    }
                     Orb::handle_packet(&inner, &msg);
                 }
             })
             .expect("spawn orb receive loop")
     }
 
-    fn spawn_dispatcher(&self, rx: Receiver<DispatchWork>) -> JoinHandle<()> {
+    fn spawn_dispatcher(&self, rx: Receiver<DispatchCmd>) -> JoinHandle<()> {
         let inner = Arc::clone(&self.inner);
         std::thread::Builder::new()
             .name(format!("orb-dispatch-{}", inner.handle.name()))
             .spawn(move || {
-                while !inner.shutdown.load(Ordering::SeqCst) {
-                    let work = match rx.recv_timeout(Duration::from_millis(25)) {
-                        Ok(w) => w,
-                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
-                        Err(_) => break,
-                    };
-                    Orb::execute_request(&inner, work);
+                // Event-driven: block on the work queue; `shutdown()`
+                // enqueues one Shutdown sentinel per dispatcher.
+                loop {
+                    match rx.recv() {
+                        Ok(DispatchCmd::Work(work)) => Orb::execute_request(&inner, work),
+                        Ok(DispatchCmd::Shutdown) | Err(_) => break,
+                    }
                 }
             })
             .expect("spawn orb dispatcher")
@@ -599,35 +786,35 @@ impl Orb {
         metrics.incr("wire.msgs_received");
         metrics.add("wire.bytes_received", msg.payload.len() as u64);
         metrics.observe_us("wire.transit_vus", transit_vus);
-        let packet = match Packet::from_bytes(&msg.payload) {
+        let packet = match Packet::decode(&msg.payload) {
             Ok(p) => p,
             Err(_) => {
-                inner.stats.lock().packets_dropped += 1;
+                bump(&inner.stats.packets_dropped);
                 metrics.incr("orb.packets_dropped");
                 return;
             }
         };
-        let (giop_bytes, via_module) = match packet {
+        let (giop_bytes, via_module): (Bytes, Option<String>) = match packet {
             Packet::Plain(body) => (body, None),
             Packet::Qos { module, body } => match inner.transport.module(&module) {
                 Some(m) => {
                     let started = Instant::now();
-                    let transformed = m.inbound(src, body);
+                    let transformed = m.inbound(src, &body);
                     metrics
                         .observe_us("transport.inbound_us", started.elapsed().as_micros() as u64);
                     metrics.incr("transport.qos_packets_in");
                     match transformed {
-                        Ok(Some(bytes)) => (bytes, Some(module)),
+                        Ok(Some(bytes)) => (Bytes::from(bytes), Some(module)),
                         Ok(None) => return, // module swallowed it (e.g. duplicate)
                         Err(_) => {
-                            inner.stats.lock().packets_dropped += 1;
+                            bump(&inner.stats.packets_dropped);
                             metrics.incr("orb.packets_dropped");
                             return;
                         }
                     }
                 }
                 None => {
-                    inner.stats.lock().packets_dropped += 1;
+                    bump(&inner.stats.packets_dropped);
                     metrics.incr("orb.packets_dropped");
                     return;
                 }
@@ -636,14 +823,16 @@ impl Orb {
         let message = match GiopMessage::from_bytes(&giop_bytes) {
             Ok(m) => m,
             Err(_) => {
-                inner.stats.lock().packets_dropped += 1;
+                bump(&inner.stats.packets_dropped);
                 metrics.incr("orb.packets_dropped");
                 return;
             }
         };
         match message {
             GiopMessage::Request(request) => {
-                let _ = inner.dispatch_tx.send(DispatchWork { via_module, request, transit_vus });
+                let _ = inner
+                    .dispatch_tx
+                    .send(DispatchCmd::Work(DispatchWork { via_module, request, transit_vus }));
             }
             GiopMessage::Reply(mut reply) => {
                 // Stamp the reply's wire leg into the trace it carries, so
@@ -655,18 +844,29 @@ impl Orb {
                     ctx.push("wire.reply", inner.handle.name(), transit_vus);
                     reply.set_context(TRACE_CONTEXT_ID, ctx.to_bytes());
                 }
-                let pending = inner.pending.lock();
-                match pending.get(&reply.request_id) {
-                    Some(p) => {
-                        let _ = p.tx.send(reply);
-                        let mut stats = inner.stats.lock();
-                        stats.replies_matched += 1;
-                        metrics.incr("orb.replies_matched");
+                let id = reply.request_id;
+                // Take the entry out of its shard (fan-out collectors
+                // are peeked and left registered) and drop the lock
+                // *before* delivering, so a slow consumer never holds up
+                // unrelated reply matching on the same shard.
+                let slot = {
+                    let mut shard = inner.shard(id).lock();
+                    match shard.get(&id) {
+                        None => None,
+                        Some(p) if p.collect => Some(Arc::clone(&p.slot)),
+                        Some(_) => shard.remove(&id).map(|p| p.slot),
                     }
-                    None => {
-                        inner.stats.lock().replies_orphaned += 1;
-                        metrics.incr("orb.replies_orphaned");
-                    }
+                };
+                let delivered = match slot {
+                    Some(slot) => slot.push(id, reply),
+                    None => false,
+                };
+                if delivered {
+                    bump(&inner.stats.replies_matched);
+                    metrics.incr("orb.replies_matched");
+                } else {
+                    bump(&inner.stats.replies_orphaned);
+                    metrics.incr("orb.replies_orphaned");
                 }
             }
         }
@@ -714,7 +914,7 @@ impl Orb {
         } else {
             metrics.observe_us("orb.dispatch_us", dispatch_us);
             metrics.incr("orb.requests_handled");
-            inner.stats.lock().requests_handled += 1;
+            bump(&inner.stats.requests_handled);
         }
         let trace_out = scope.map(|s| {
             let mut ctx = s.finish();
@@ -728,11 +928,13 @@ impl Orb {
         if let Some(ctx) = trace_out {
             reply.set_context(TRACE_CONTEXT_ID, ctx.to_bytes());
         }
-        let bytes = GiopMessage::Reply(reply).to_bytes();
         // Route the reply back through the same module the request came
-        // in by, so transforms like compression are symmetric.
-        let packet = match via_module.and_then(|m| inner.transport.module(&m)) {
+        // in by, so transforms like compression are symmetric. Either
+        // way the reply is encoded exactly once, straight into the
+        // frame that goes on the wire.
+        let frame = match via_module.and_then(|m| inner.transport.module(&m)) {
             Some(module) => {
+                let bytes = GiopMessage::encode_reply(&reply);
                 let started = Instant::now();
                 let outs = module.outbound(request.reply_to, bytes);
                 metrics.observe_us("transport.outbound_us", started.elapsed().as_micros() as u64);
@@ -740,14 +942,14 @@ impl Orb {
                     Ok(mut outs) if outs.len() == 1 => {
                         let (node, body) = outs.remove(0);
                         debug_assert_eq!(node, request.reply_to);
-                        Packet::Qos { module: module.name().to_string(), body }
+                        frame_qos(module.name(), &body)
                     }
                     _ => return, // fan-out modules answer per-destination themselves
                 }
             }
-            None => Packet::Plain(bytes),
+            None => frame_plain_reply(&reply),
         };
-        let _ = inner.handle.send(request.reply_to, packet.to_bytes());
+        let _ = inner.handle.send(request.reply_to, frame);
     }
 }
 
@@ -905,7 +1107,8 @@ mod tests {
             bytes.reverse();
             Ok(vec![(dst, bytes)])
         }
-        fn inbound(&self, _src: NodeId, mut bytes: Vec<u8>) -> Result<Option<Vec<u8>>, OrbError> {
+        fn inbound(&self, _src: NodeId, bytes: &[u8]) -> Result<Option<Vec<u8>>, OrbError> {
+            let mut bytes = bytes.to_vec();
             bytes.reverse();
             Ok(Some(bytes))
         }
@@ -1034,6 +1237,92 @@ mod tests {
         assert_eq!(client.invoke(&ior, "echo", &[Any::Long(1)]).unwrap(), Any::Long(1));
         server.shutdown();
         client.shutdown();
+    }
+
+    #[test]
+    fn pending_table_is_sharded_enough() {
+        // The contention-relief claim in DESIGN §6d rests on this floor.
+        assert!(PENDING_SHARDS >= 8, "pending table must keep at least 8 shards");
+    }
+
+    /// A servant whose `slow` op outlives the client timeout, so the
+    /// reply arrives after the caller gave up and unregistered.
+    struct Sluggish;
+    impl Servant for Sluggish {
+        fn interface_id(&self) -> &str {
+            "IDL:Sluggish:1.0"
+        }
+        fn dispatch(&self, op: &str, _args: &[Any]) -> Result<Any, OrbError> {
+            match op {
+                "slow" => {
+                    std::thread::sleep(Duration::from_millis(150));
+                    Ok(Any::Long(9))
+                }
+                "fast" => Ok(Any::Long(1)),
+                other => Err(OrbError::BadOperation(other.to_string())),
+            }
+        }
+    }
+
+    #[test]
+    fn late_reply_is_orphaned_never_misdelivered() {
+        let net = Network::new(1);
+        // Two dispatchers so the follow-up call is served *while* the
+        // slow one is still sleeping — the stale reply then lands after
+        // the caller's slot has been re-armed for a newer request.
+        let server = Orb::start_with(
+            &net,
+            "server",
+            OrbConfig { dispatch_threads: 2, ..OrbConfig::default() },
+        );
+        let client = Orb::start_with(
+            &net,
+            "client",
+            OrbConfig { request_timeout: Duration::from_millis(50), ..OrbConfig::default() },
+        );
+        let ior = server.activate("slug", Box::new(Sluggish));
+        // Times out while the servant is still sleeping…
+        let err = client.invoke(&ior, "slow", &[]).unwrap_err();
+        assert!(matches!(err, OrbError::Timeout(_)));
+        // …and the very next call reuses the same thread's reply slot.
+        // If the armed-id guard or the shard unregister were broken, the
+        // late Long(9) reply could leak into this call's rendezvous.
+        let r = client.invoke(&ior, "fast", &[]).unwrap();
+        assert_eq!(r, Any::Long(1));
+        // Wait for the stale reply to land, then check the invariant:
+        // every reply received is either matched or orphaned.
+        std::thread::sleep(Duration::from_millis(300));
+        let s = client.stats();
+        assert_eq!(s.replies_matched, 1, "only the fast call was delivered");
+        assert_eq!(s.replies_orphaned, 1, "the late slow reply was orphaned");
+        let snap = client.metrics().snapshot();
+        assert_eq!(snap.counter("orb.replies_matched"), s.replies_matched);
+        assert_eq!(snap.counter("orb.replies_orphaned"), s.replies_orphaned);
+        server.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn trace_sampling_period_gates_trace_sampled() {
+        let net = Network::new(1);
+        let every4 = Orb::start_with(
+            &net,
+            "every4",
+            OrbConfig { trace_sample_every: 4, ..OrbConfig::default() },
+        );
+        let hits = (0..8).filter(|_| every4.trace_sampled()).count();
+        assert_eq!(hits, 2, "period 4 samples 2 of 8");
+        let never = Orb::start_with(
+            &net,
+            "never",
+            OrbConfig { trace_sample_every: 0, ..OrbConfig::default() },
+        );
+        assert!(!never.trace_sampled());
+        let always = Orb::start(&net, "always");
+        assert!((0..5).all(|_| always.trace_sampled()), "default samples everything");
+        every4.shutdown();
+        never.shutdown();
+        always.shutdown();
     }
 
     #[test]

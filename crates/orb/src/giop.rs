@@ -17,7 +17,9 @@ use crate::any::Any;
 use crate::cdr::{CdrDecoder, CdrEncoder};
 use crate::error::OrbError;
 use crate::ior::ObjectKey;
+use bytes::Bytes;
 use netsim::NodeId;
+use std::cell::Cell;
 
 /// Protocol magic, first four octets of every packet.
 pub const MAGIC: &[u8; 4] = b"MAQ1";
@@ -214,64 +216,104 @@ pub enum GiopMessage {
     Reply(ReplyMessage),
 }
 
+/// Encode a request into `enc` at its current position.
+///
+/// The caller must ensure the position is 8-aligned (offset 0 of a fresh
+/// buffer, or an [`CdrEncoder::align_to`]`(8)` boundary inside a framing
+/// buffer) so embedded and standalone encodings are byte-identical.
+fn encode_request_into(enc: &mut CdrEncoder, r: &RequestMessage) {
+    enc.put_u8(0);
+    enc.put_u64(r.request_id);
+    enc.put_u32(r.reply_to.0);
+    enc.put_string(&r.object_key.0);
+    enc.put_string(&r.operation);
+    enc.put_bool(r.response_expected);
+    match &r.kind {
+        RequestKind::ServiceRequest => enc.put_u8(0),
+        RequestKind::Command(CommandTarget::Transport) => enc.put_u8(1),
+        RequestKind::Command(CommandTarget::Module(m)) => {
+            enc.put_u8(2);
+            enc.put_string(m);
+        }
+        RequestKind::Probe => enc.put_u8(3),
+    }
+    match &r.qos {
+        None => enc.put_bool(false),
+        Some(q) => {
+            enc.put_bool(true);
+            enc.put_string(&q.characteristic);
+            enc.put_len(q.params.len());
+            for (n, v) in &q.params {
+                enc.put_string(n);
+                v.encode(enc);
+            }
+        }
+    }
+    enc.put_len(r.args.len());
+    for a in &r.args {
+        a.encode(enc);
+    }
+    encode_contexts(enc, &r.contexts);
+}
+
+/// Encode a reply into `enc` at its current (8-aligned) position; see
+/// [`encode_request_into`].
+fn encode_reply_into(enc: &mut CdrEncoder, r: &ReplyMessage) {
+    enc.put_u8(1);
+    enc.put_u64(r.request_id);
+    enc.put_u32(r.from.0);
+    match &r.status {
+        ReplyStatus::Ok(v) => {
+            enc.put_u8(0);
+            v.encode(enc);
+        }
+        ReplyStatus::Exception { kind, detail } => {
+            enc.put_u8(1);
+            enc.put_string(kind);
+            enc.put_string(detail);
+        }
+    }
+    encode_contexts(enc, &r.contexts);
+}
+
+// Per-thread capacity hints so steady-state encodes allocate their final
+// buffer once. A hint only grows (to the next power of two above the
+// largest message this thread has seen), so a burst of big messages can
+// never flip later small ones back into reallocating.
+thread_local! {
+    static GIOP_CAP: Cell<usize> = const { Cell::new(128) };
+    static FRAME_CAP: Cell<usize> = const { Cell::new(160) };
+}
+
+fn encode_with_hint(hint: &'static std::thread::LocalKey<Cell<usize>>, f: impl FnOnce(&mut CdrEncoder)) -> Vec<u8> {
+    let cap = hint.with(Cell::get);
+    let mut enc = CdrEncoder::with_capacity(cap);
+    f(&mut enc);
+    let out = enc.into_bytes();
+    if out.len() > cap {
+        hint.with(|h| h.set(out.len().next_power_of_two()));
+    }
+    out
+}
+
 impl GiopMessage {
     /// Encode to wire bytes (without the outer [`Packet`] envelope).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut enc = CdrEncoder::with_capacity(64);
         match self {
-            GiopMessage::Request(r) => {
-                enc.put_u8(0);
-                enc.put_u64(r.request_id);
-                enc.put_u32(r.reply_to.0);
-                enc.put_string(&r.object_key.0);
-                enc.put_string(&r.operation);
-                enc.put_bool(r.response_expected);
-                match &r.kind {
-                    RequestKind::ServiceRequest => enc.put_u8(0),
-                    RequestKind::Command(CommandTarget::Transport) => enc.put_u8(1),
-                    RequestKind::Command(CommandTarget::Module(m)) => {
-                        enc.put_u8(2);
-                        enc.put_string(m);
-                    }
-                    RequestKind::Probe => enc.put_u8(3),
-                }
-                match &r.qos {
-                    None => enc.put_bool(false),
-                    Some(q) => {
-                        enc.put_bool(true);
-                        enc.put_string(&q.characteristic);
-                        enc.put_len(q.params.len());
-                        for (n, v) in &q.params {
-                            enc.put_string(n);
-                            v.encode(&mut enc);
-                        }
-                    }
-                }
-                enc.put_len(r.args.len());
-                for a in &r.args {
-                    a.encode(&mut enc);
-                }
-                encode_contexts(&mut enc, &r.contexts);
-            }
-            GiopMessage::Reply(r) => {
-                enc.put_u8(1);
-                enc.put_u64(r.request_id);
-                enc.put_u32(r.from.0);
-                match &r.status {
-                    ReplyStatus::Ok(v) => {
-                        enc.put_u8(0);
-                        v.encode(&mut enc);
-                    }
-                    ReplyStatus::Exception { kind, detail } => {
-                        enc.put_u8(1);
-                        enc.put_string(kind);
-                        enc.put_string(detail);
-                    }
-                }
-                encode_contexts(&mut enc, &r.contexts);
-            }
+            GiopMessage::Request(r) => GiopMessage::encode_request(r),
+            GiopMessage::Reply(r) => GiopMessage::encode_reply(r),
         }
-        enc.into_bytes()
+    }
+
+    /// Borrowing request encoder: wire bytes without cloning the message
+    /// or wrapping it in a [`GiopMessage`].
+    pub fn encode_request(r: &RequestMessage) -> Vec<u8> {
+        encode_with_hint(&GIOP_CAP, |enc| encode_request_into(enc, r))
+    }
+
+    /// Borrowing reply encoder; see [`GiopMessage::encode_request`].
+    pub fn encode_reply(r: &ReplyMessage) -> Vec<u8> {
+        encode_with_hint(&GIOP_CAP, |enc| encode_reply_into(enc, r))
     }
 
     /// Decode from wire bytes.
@@ -352,63 +394,134 @@ impl GiopMessage {
 /// or through a transport-level QoS module; in the latter case the body
 /// bytes are whatever the module's outbound transform produced, and the
 /// receiving ORB applies the module's inverse transform before dispatch.
+///
+/// Bodies are [`Bytes`]: decoding slices them out of the received wire
+/// buffer without copying, and clones share the same backing storage.
+///
+/// # Wire layout
+///
+/// The envelope is written *around* the body in one buffer (the
+/// reserve-header trick — see [`frame_plain_request`]), with the body
+/// placed on an 8-byte boundary so an embedded CDR encoding is
+/// byte-identical to a standalone one:
+///
+/// ```text
+/// Plain: MAGIC(4) kind=0(1) pad(3) body_len:u32 pad(4) body @16
+/// Qos:   MAGIC(4) kind=1(1) pad(3) module:string body_len:u32 pad* body
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Packet {
     /// Untransformed GIOP bytes, the GIOP/IIOP path of Fig. 3.
-    Plain(Vec<u8>),
+    Plain(Bytes),
     /// GIOP bytes transformed by the named QoS module.
     Qos {
         /// Name of the module whose inverse transform must be applied.
         module: String,
         /// Transformed bytes.
-        body: Vec<u8>,
+        body: Bytes,
     },
 }
 
+/// Write the shared packet prologue and the reserved body-length slot,
+/// leaving the encoder 8-aligned at the body start.
+fn frame_prologue(enc: &mut CdrEncoder, kind: u8, module: Option<&str>) -> usize {
+    enc.put_raw(MAGIC);
+    enc.put_u8(kind);
+    if let Some(m) = module {
+        enc.put_string(m);
+    }
+    let len_at = enc.reserve_u32();
+    enc.align_to(8);
+    len_at
+}
+
+/// Frame a request as a [`Packet::Plain`] wire buffer in **one**
+/// encode: the envelope is written first with a reserved length slot,
+/// the GIOP body is encoded directly behind it, and the slot is patched
+/// — no intermediate body buffer, no copy. With a warm per-thread
+/// capacity hint this is exactly one owned-buffer allocation.
+pub fn frame_plain_request(r: &RequestMessage) -> Vec<u8> {
+    frame_plain_with(|enc| encode_request_into(enc, r))
+}
+
+/// Frame a reply as a [`Packet::Plain`] wire buffer in one encode; see
+/// [`frame_plain_request`].
+pub fn frame_plain_reply(r: &ReplyMessage) -> Vec<u8> {
+    frame_plain_with(|enc| encode_reply_into(enc, r))
+}
+
+fn frame_plain_with(encode_body: impl FnOnce(&mut CdrEncoder)) -> Vec<u8> {
+    encode_with_hint(&FRAME_CAP, |enc| {
+        let len_at = frame_prologue(enc, 0, None);
+        let body_start = enc.len();
+        encode_body(enc);
+        enc.patch_u32(len_at, (enc.len() - body_start) as u32);
+    })
+}
+
+/// Frame an already-transformed module body as a [`Packet::Qos`] wire
+/// buffer. The capacity is computed exactly, so this is always one
+/// allocation.
+pub fn frame_qos(module: &str, body: &[u8]) -> Vec<u8> {
+    // MAGIC + kind, 4-align, string (len + bytes + NUL), 4-align,
+    // body_len, 8-align, body.
+    let mut cap = 5usize;
+    cap += 3 + 4 + module.len() + 1;
+    cap = (cap + 3) & !3;
+    cap += 4;
+    cap = (cap + 7) & !7;
+    cap += body.len();
+    let mut enc = CdrEncoder::with_capacity(cap);
+    let len_at = frame_prologue(&mut enc, 1, Some(module));
+    enc.put_raw(body);
+    enc.patch_u32(len_at, body.len() as u32);
+    enc.into_bytes()
+}
+
 impl Packet {
-    /// Encode with magic and kind byte.
+    /// Encode with magic and kind byte (single-buffer framing).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut enc = CdrEncoder::with_capacity(32);
-        for b in MAGIC {
-            enc.put_u8(*b);
-        }
         match self {
-            Packet::Plain(body) => {
-                enc.put_u8(0);
-                enc.put_bytes(body);
-            }
-            Packet::Qos { module, body } => {
-                enc.put_u8(1);
-                enc.put_string(module);
-                enc.put_bytes(body);
-            }
+            Packet::Plain(body) => frame_plain_with(|enc| enc.put_raw(body)),
+            Packet::Qos { module, body } => frame_qos(module, body),
         }
-        enc.into_bytes()
     }
 
-    /// Decode a packet.
+    /// Decode a packet, slicing the body out of `payload` zero-copy.
     ///
     /// # Errors
     ///
     /// [`OrbError::Marshal`] on bad magic or malformed framing.
+    pub fn decode(payload: &Bytes) -> Result<Packet, OrbError> {
+        let mut dec = CdrDecoder::new(payload);
+        if dec.get_raw(4)? != MAGIC {
+            return Err(OrbError::Marshal("bad packet magic".to_string()));
+        }
+        let kind = dec.get_u8()?;
+        let module = match kind {
+            0 => None,
+            1 => Some(dec.get_string()?),
+            k => return Err(OrbError::Marshal(format!("bad packet kind {k}"))),
+        };
+        let len = dec.get_len()?;
+        dec.align_to(8);
+        let start = dec.position();
+        dec.get_raw(len)?; // bounds check against the real buffer
+        let body = payload.slice(start..start + len);
+        Ok(match module {
+            None => Packet::Plain(body),
+            Some(module) => Packet::Qos { module, body },
+        })
+    }
+
+    /// Decode a packet from a plain slice (copies the body; the hot
+    /// receive path uses [`Packet::decode`] instead).
+    ///
+    /// # Errors
+    ///
+    /// As [`Packet::decode`].
     pub fn from_bytes(bytes: &[u8]) -> Result<Packet, OrbError> {
-        let mut dec = CdrDecoder::new(bytes);
-        let mut magic = [0u8; 4];
-        for m in &mut magic {
-            *m = dec.get_u8()?;
-        }
-        if &magic != MAGIC {
-            return Err(OrbError::Marshal(format!("bad packet magic {magic:?}")));
-        }
-        match dec.get_u8()? {
-            0 => Ok(Packet::Plain(dec.get_bytes()?)),
-            1 => {
-                let module = dec.get_string()?;
-                let body = dec.get_bytes()?;
-                Ok(Packet::Qos { module, body })
-            }
-            k => Err(OrbError::Marshal(format!("bad packet kind {k}"))),
-        }
+        Packet::decode(&Bytes::copy_from_slice(bytes))
     }
 }
 
@@ -493,17 +606,75 @@ mod tests {
     #[test]
     fn packet_roundtrip() {
         let giop = GiopMessage::Request(sample_request()).to_bytes();
-        let plain = Packet::Plain(giop.clone());
+        let plain = Packet::Plain(giop.clone().into());
         assert_eq!(Packet::from_bytes(&plain.to_bytes()).unwrap(), plain);
-        let qos = Packet::Qos { module: "compress".into(), body: giop };
+        let qos = Packet::Qos { module: "compress".into(), body: giop.into() };
         assert_eq!(Packet::from_bytes(&qos.to_bytes()).unwrap(), qos);
     }
 
     #[test]
     fn bad_magic_rejected() {
-        let mut bytes = Packet::Plain(vec![1]).to_bytes();
+        let mut bytes = Packet::Plain(vec![1].into()).to_bytes();
         bytes[0] = b'X';
         assert!(Packet::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn borrowing_encoders_match_to_bytes() {
+        let req = sample_request();
+        assert_eq!(GiopMessage::encode_request(&req), GiopMessage::Request(req.clone()).to_bytes());
+        let reply = ReplyMessage {
+            request_id: 9,
+            from: NodeId(3),
+            status: ReplyStatus::Ok(Any::Long(1)),
+            contexts: vec![ServiceContext { id: "maqs.trace".into(), data: vec![4, 5] }],
+        };
+        assert_eq!(GiopMessage::encode_reply(&reply), GiopMessage::Reply(reply.clone()).to_bytes());
+    }
+
+    #[test]
+    fn single_buffer_framing_matches_two_step_encoding() {
+        // The reserve-header frame must be byte-identical to wrapping a
+        // standalone GIOP encode in a Packet, for every message shape.
+        let req = sample_request();
+        let two_step = Packet::Plain(GiopMessage::encode_request(&req).into()).to_bytes();
+        assert_eq!(frame_plain_request(&req), two_step);
+
+        let reply = ReplyMessage::from_result(7, NodeId(2), Ok(Any::Str("x".into())));
+        let two_step = Packet::Plain(GiopMessage::encode_reply(&reply).into()).to_bytes();
+        assert_eq!(frame_plain_reply(&reply), two_step);
+    }
+
+    #[test]
+    fn framed_request_decodes_back() {
+        let req = sample_request();
+        let wire: Bytes = frame_plain_request(&req).into();
+        let Packet::Plain(body) = Packet::decode(&wire).unwrap() else {
+            panic!("expected plain packet");
+        };
+        assert_eq!(GiopMessage::from_bytes(&body).unwrap(), GiopMessage::Request(req));
+    }
+
+    #[test]
+    fn qos_frame_roundtrips_arbitrary_bodies() {
+        for body in [&b""[..], &b"z"[..], &[0xFFu8; 37][..]] {
+            let wire: Bytes = frame_qos("compress", body).into();
+            let got = Packet::decode(&wire).unwrap();
+            assert_eq!(got, Packet::Qos { module: "compress".into(), body: Bytes::copy_from_slice(body) });
+        }
+    }
+
+    #[test]
+    fn decode_slices_body_zero_copy() {
+        let wire: Bytes = frame_plain_request(&sample_request()).into();
+        let Packet::Plain(body) = Packet::decode(&wire).unwrap() else {
+            panic!("expected plain packet");
+        };
+        let wire_range = wire.as_ptr() as usize..wire.as_ptr() as usize + wire.len();
+        assert!(
+            wire_range.contains(&(body.as_ptr() as usize)),
+            "decoded body must alias the wire buffer, not copy it"
+        );
     }
 
     #[test]

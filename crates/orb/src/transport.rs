@@ -24,6 +24,7 @@ use netsim::NodeId;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Destinations and payloads produced by a module's outbound transform.
@@ -62,12 +63,16 @@ pub trait QosModule: Send + Sync {
     /// bytes. Returning `Ok(None)` swallows the message (e.g. duplicate
     /// suppression after a fan-out).
     ///
+    /// The input borrows straight out of the wire frame (zero-copy on
+    /// the receive path); a module only pays for a copy when it
+    /// actually produces output.
+    ///
     /// # Errors
     ///
     /// Module-specific; errors drop the message.
-    fn inbound(&self, src: NodeId, bytes: Vec<u8>) -> Result<Option<Vec<u8>>, OrbError> {
+    fn inbound(&self, src: NodeId, bytes: &[u8]) -> Result<Option<Vec<u8>>, OrbError> {
         let _ = src;
-        Ok(Some(bytes))
+        Ok(Some(bytes.to_vec()))
     }
 }
 
@@ -94,10 +99,28 @@ struct TransportState {
     bindings: HashMap<BindingKey, String>,
 }
 
+/// Memoized results of [`QosTransport::bound_module`], including
+/// negative ones (plain-path traffic probes the table on every send).
+/// The nested map keys by peer then object-key string so lookups borrow
+/// — no `ObjectKey` clone on the hot path.
+#[derive(Default)]
+struct ResolveCache {
+    /// Value of [`QosTransport::epoch`] the entries were computed at;
+    /// a mismatch means an admin mutation happened and the cache is
+    /// stale wholesale.
+    epoch: u64,
+    map: HashMap<NodeId, HashMap<String, Option<Arc<dyn QosModule>>>>,
+}
+
 /// Administers loaded QoS modules and their bindings (Fig. 3).
 #[derive(Clone)]
 pub struct QosTransport {
     state: Arc<RwLock<TransportState>>,
+    /// Bumped on every module/binding mutation; readers compare it to
+    /// [`ResolveCache::epoch`] to detect staleness without walking the
+    /// admin tables.
+    epoch: Arc<AtomicU64>,
+    cache: Arc<RwLock<ResolveCache>>,
 }
 
 impl fmt::Debug for QosTransport {
@@ -126,7 +149,14 @@ impl QosTransport {
                 modules: HashMap::new(),
                 bindings: HashMap::new(),
             })),
+            epoch: Arc::new(AtomicU64::new(0)),
+            cache: Arc::new(RwLock::new(ResolveCache::default())),
         }
+    }
+
+    /// Invalidate memoized binding resolutions after an admin mutation.
+    fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::Release);
     }
 
     /// Register a factory for a loadable module type.
@@ -151,12 +181,14 @@ impl QosTransport {
         let module = factory(config)?;
         let name = module.name().to_string();
         self.state.write().modules.insert(name.clone(), module);
+        self.bump_epoch();
         Ok(name)
     }
 
     /// Install an already constructed module.
     pub fn install(&self, module: Arc<dyn QosModule>) {
         self.state.write().modules.insert(module.name().to_string(), module);
+        self.bump_epoch();
     }
 
     /// Remove a module and all bindings that point at it.
@@ -170,6 +202,8 @@ impl QosTransport {
             return Err(OrbError::ModuleNotFound(name.to_string()));
         }
         st.bindings.retain(|_, m| m != name);
+        drop(st);
+        self.bump_epoch();
         Ok(())
     }
 
@@ -196,18 +230,51 @@ impl QosTransport {
             return Err(OrbError::ModuleNotFound(module.to_string()));
         }
         st.bindings.insert(binding, module.to_string());
+        drop(st);
+        self.bump_epoch();
         Ok(())
     }
 
     /// Remove a binding, returning the module it pointed at.
     pub fn unbind(&self, binding: &BindingKey) -> Option<String> {
-        self.state.write().bindings.remove(binding)
+        let removed = self.state.write().bindings.remove(binding);
+        self.bump_epoch();
+        removed
     }
 
     /// The module bound to a relationship, trying the exact
     /// `(peer, key)` binding first and falling back to a wildcard
     /// `(None, key)` binding. `None` means: use plain GIOP/IIOP.
+    ///
+    /// Every send probes this, so resolutions (including misses) are
+    /// memoized per `(peer, key)` and invalidated wholesale whenever a
+    /// module or binding changes.
     pub fn bound_module(&self, peer: NodeId, key: &ObjectKey) -> Option<Arc<dyn QosModule>> {
+        let epoch = self.epoch.load(Ordering::Acquire);
+        {
+            let cache = self.cache.read();
+            if cache.epoch == epoch {
+                if let Some(hit) = cache.map.get(&peer).and_then(|m| m.get(key.0.as_str())) {
+                    return hit.clone();
+                }
+            }
+        }
+        let resolved = self.resolve(peer, key);
+        // Only memoize if no admin mutation raced with the resolution;
+        // a stale entry written under an old epoch is never served (the
+        // epoch check above fails) and is cleared on the next miss.
+        if self.epoch.load(Ordering::Acquire) == epoch {
+            let mut cache = self.cache.write();
+            if cache.epoch != epoch {
+                cache.map.clear();
+                cache.epoch = epoch;
+            }
+            cache.map.entry(peer).or_default().insert(key.0.clone(), resolved.clone());
+        }
+        resolved
+    }
+
+    fn resolve(&self, peer: NodeId, key: &ObjectKey) -> Option<Arc<dyn QosModule>> {
         let st = self.state.read();
         let name = st
             .bindings
@@ -296,7 +363,7 @@ mod tests {
         fn outbound(&self, dst: NodeId, bytes: Vec<u8>) -> Result<Outbound, OrbError> {
             Ok(vec![(dst, bytes.iter().map(|b| b ^ self.key).collect())])
         }
-        fn inbound(&self, _src: NodeId, bytes: Vec<u8>) -> Result<Option<Vec<u8>>, OrbError> {
+        fn inbound(&self, _src: NodeId, bytes: &[u8]) -> Result<Option<Vec<u8>>, OrbError> {
             Ok(Some(bytes.iter().map(|b| b ^ self.key).collect()))
         }
     }
@@ -321,8 +388,36 @@ mod tests {
         let m = t.bound_module(NodeId(9), &key).expect("wildcard binding matches any peer");
         let out = m.outbound(NodeId(1), vec![0x00, 0xFF]).unwrap();
         assert_eq!(out, vec![(NodeId(1), vec![0x55, 0xAA])]);
-        let back = m.inbound(NodeId(1), out[0].1.clone()).unwrap().unwrap();
+        let back = m.inbound(NodeId(1), &out[0].1).unwrap().unwrap();
         assert_eq!(back, vec![0x00, 0xFF]);
+    }
+
+    #[test]
+    fn bound_module_cache_tracks_admin_mutations() {
+        let t = QosTransport::new();
+        t.install(Arc::new(XorModule { name: "a".into(), key: 1 }));
+        t.install(Arc::new(XorModule { name: "b".into(), key: 2 }));
+        let key = ObjectKey("o".into());
+        // A negative resolution is memoized…
+        assert!(t.bound_module(NodeId(3), &key).is_none());
+        assert!(t.bound_module(NodeId(3), &key).is_none());
+        // …but a later bind must invalidate it.
+        t.bind(BindingKey { peer: None, key: key.clone() }, "a").unwrap();
+        assert_eq!(t.bound_module(NodeId(3), &key).unwrap().name(), "a");
+        // Repeated hits come from the cache and still agree.
+        for _ in 0..3 {
+            assert_eq!(t.bound_module(NodeId(3), &key).unwrap().name(), "a");
+        }
+        // Rebinding and unbinding are observed immediately.
+        t.bind(BindingKey { peer: None, key: key.clone() }, "b").unwrap();
+        assert_eq!(t.bound_module(NodeId(3), &key).unwrap().name(), "b");
+        t.unbind(&BindingKey { peer: None, key: key.clone() });
+        assert!(t.bound_module(NodeId(3), &key).is_none());
+        // Unloading a module kills resolutions that pointed at it.
+        t.bind(BindingKey { peer: Some(NodeId(7)), key: key.clone() }, "a").unwrap();
+        assert_eq!(t.bound_module(NodeId(7), &key).unwrap().name(), "a");
+        t.unload_module("a").unwrap();
+        assert!(t.bound_module(NodeId(7), &key).is_none());
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Allocation accounting for the zero-copy wire path.
+//!
+//! The tentpole claim of the hot-path rework: a null request costs
+//! exactly **one** owned buffer allocation between GIOP encoding and
+//! netsim delivery. The single-buffer framing functions write the wire
+//! envelope and the CDR body into one `Vec` (sized by a warm
+//! thread-local capacity hint), and `NetHandle::send` moves — never
+//! copies — that buffer into the shared [`bytes::Bytes`] payload.
+//!
+//! This file holds exactly one test so no concurrent test pollutes the
+//! global allocation counters.
+
+use netsim::{Network, NodeId};
+use orb::giop::{frame_plain_request, GiopMessage, Packet, RequestKind, RequestMessage};
+use orb::ior::ObjectKey;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Counts heap allocations while `ENABLED`, delegating to the system
+/// allocator. `realloc` counts too: a growing frame buffer would be a
+/// hidden second allocation.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ENABLED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ENABLED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn null_request_frame_is_one_allocation_to_delivery() {
+    let request = RequestMessage {
+        request_id: 7,
+        reply_to: NodeId(1),
+        object_key: ObjectKey("echo".to_string()),
+        operation: "ping".to_string(),
+        args: Vec::new(),
+        response_expected: true,
+        kind: RequestKind::ServiceRequest,
+        qos: None,
+        contexts: Vec::new(),
+    };
+
+    // Warm the thread-local frame-capacity hint so we measure steady
+    // state, not the first-call growth.
+    for _ in 0..4 {
+        let _ = frame_plain_request(&request);
+    }
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    ENABLED.store(true, Ordering::SeqCst);
+    let frame = frame_plain_request(&request);
+    ENABLED.store(false, Ordering::SeqCst);
+    assert_eq!(
+        ALLOCS.load(Ordering::SeqCst),
+        1,
+        "null request must cost exactly one buffer: envelope + GIOP body in one Vec"
+    );
+
+    // The single-buffer frame still decodes to the same request.
+    match Packet::from_bytes(&frame).expect("frame decodes") {
+        Packet::Plain(body) => match GiopMessage::from_bytes(&body).expect("GIOP decodes") {
+            GiopMessage::Request(r) => {
+                assert_eq!(r.request_id, 7);
+                assert_eq!(r.operation, "ping");
+                assert!(r.args.is_empty());
+            }
+            GiopMessage::Reply(_) => panic!("framed a request, decoded a reply"),
+        },
+        Packet::Qos { .. } => panic!("plain frame decoded as qos"),
+    }
+
+    // …and rides to netsim delivery without being copied: the delivered
+    // payload aliases the very buffer the framing layer produced.
+    let net = Network::new(1);
+    let a = net.attach("a");
+    let b = net.attach("b");
+    let frame_ptr = frame.as_ptr() as usize;
+    a.send(b.id(), frame).unwrap();
+    let msg = b.recv_timeout(Duration::from_secs(1)).unwrap();
+    assert_eq!(
+        msg.payload.as_ptr() as usize,
+        frame_ptr,
+        "send must move the frame into the shared payload, not copy it"
+    );
+}

@@ -168,8 +168,8 @@ impl QosModule for BandwidthReservationModule {
         Ok(vec![(dst, bytes)])
     }
 
-    fn inbound(&self, _src: NodeId, bytes: Vec<u8>) -> Result<Option<Vec<u8>>, OrbError> {
-        Ok(Some(bytes))
+    fn inbound(&self, _src: NodeId, bytes: &[u8]) -> Result<Option<Vec<u8>>, OrbError> {
+        Ok(Some(bytes.to_vec()))
     }
 }
 

@@ -280,8 +280,8 @@ impl QosModule for CompressionModule {
         Ok(vec![(dst, compressed)])
     }
 
-    fn inbound(&self, _src: NodeId, bytes: Vec<u8>) -> Result<Option<Vec<u8>>, OrbError> {
-        codec::decompress(&bytes)
+    fn inbound(&self, _src: NodeId, bytes: &[u8]) -> Result<Option<Vec<u8>>, OrbError> {
+        codec::decompress(bytes)
             .map(Some)
             .map_err(|e| OrbError::Marshal(format!("decompression failed: {e}")))
     }
@@ -316,7 +316,7 @@ mod tests {
         let out = m.outbound(NodeId(1), data.clone()).unwrap();
         assert_eq!(out.len(), 1);
         assert_ne!(out[0].1, data);
-        let back = m.inbound(NodeId(1), out[0].1.clone()).unwrap().unwrap();
+        let back = m.inbound(NodeId(1), &out[0].1).unwrap().unwrap();
         assert_eq!(back, data);
         assert!(m.bytes_out() < m.bytes_in());
         assert!(m.ratio() < 1.0);
@@ -341,7 +341,7 @@ mod tests {
     fn corrupt_inbound_is_marshal_error() {
         let m = CompressionModule::new();
         assert!(matches!(
-            m.inbound(NodeId(1), vec![1, 2, 3]),
+            m.inbound(NodeId(1), &[1, 2, 3]),
             Err(OrbError::Marshal(_))
         ));
     }

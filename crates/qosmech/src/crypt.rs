@@ -195,9 +195,9 @@ impl QosModule for EncryptionModule {
         Ok(vec![(dst, seal(*self.key.read(), nonce, &bytes))])
     }
 
-    fn inbound(&self, _src: NodeId, bytes: Vec<u8>) -> Result<Option<Vec<u8>>, OrbError> {
+    fn inbound(&self, _src: NodeId, bytes: &[u8]) -> Result<Option<Vec<u8>>, OrbError> {
         self.frames.fetch_add(1, Ordering::Relaxed);
-        open(*self.key.read(), &bytes)
+        open(*self.key.read(), bytes)
             .map(Some)
             .map_err(|e| OrbError::NoPermission(format!("decryption failed: {e}")))
     }
@@ -260,14 +260,14 @@ mod tests {
         let tx = EncryptionModule::new(5);
         let rx = EncryptionModule::new(5);
         let out = tx.outbound(NodeId(1), b"payload".to_vec()).unwrap();
-        assert_eq!(rx.inbound(NodeId(0), out[0].1.clone()).unwrap().unwrap(), b"payload");
+        assert_eq!(rx.inbound(NodeId(0), &out[0].1).unwrap().unwrap(), b"payload");
         // Rekey only one side: traffic fails until the other side follows.
         tx.rekey(6);
         let out = tx.outbound(NodeId(1), b"payload".to_vec()).unwrap();
-        assert!(rx.inbound(NodeId(0), out[0].1.clone()).is_err());
+        assert!(rx.inbound(NodeId(0), &out[0].1).is_err());
         rx.command("rekey", &[Any::ULongLong(6)]).unwrap();
         let out = tx.outbound(NodeId(1), b"payload".to_vec()).unwrap();
-        assert_eq!(rx.inbound(NodeId(0), out[0].1.clone()).unwrap().unwrap(), b"payload");
+        assert_eq!(rx.inbound(NodeId(0), &out[0].1).unwrap().unwrap(), b"payload");
         assert!(tx.frames() >= 3);
     }
 

@@ -180,12 +180,16 @@ impl ClientStub {
 
     /// Invoke `op(args)` through the mediator chain.
     ///
-    /// Every call is traced: a fresh [`TraceContext`] is minted at the
-    /// stub, travels with the request through every layer it crosses
+    /// Sampled calls are traced: a fresh [`TraceContext`] is minted at
+    /// the stub, travels with the request through every layer it crosses
     /// (mediators, ORB, wire, adapter, woven skeleton, servant) and comes
     /// back in the [`Reply`], together with the QoS characteristic the
-    /// call was made under. The reply derefs to its [`Any`] value, so
-    /// value-only callers are unaffected.
+    /// call was made under. Whether a call is sampled is the ORB's
+    /// decision ([`orb::OrbConfig::trace_sample_every`], default: every
+    /// call); unsampled calls run the same chain with no observer — no
+    /// context is minted or decoded anywhere downstream — and return
+    /// `Reply.trace = None`. Metrics are recorded either way. The reply
+    /// derefs to its [`Any`] value, so value-only callers are unaffected.
     ///
     /// # Errors
     ///
@@ -202,6 +206,10 @@ impl ClientStub {
             args: args.to_vec(),
             qos,
         };
+        if !self.orb.trace_sampled() {
+            let value = self.run_chain(&mediators, 0, call, None)?;
+            return Ok(Reply { value, trace: None, qos_tag });
+        }
         // The innermost chain link stashes the round-tripped trace here;
         // mediator timings accumulate innermost-first as the chain unwinds.
         let obs = ChainObs {
@@ -467,6 +475,33 @@ mod tests {
         let stub_at = names.iter().position(|n| *n == "stub").unwrap();
         assert!(outer_at < inner_at || outer_at < stub_at);
         assert!(stub_at > inner_at);
+        server.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn unsampled_calls_skip_tracing_but_not_metrics() {
+        let net = Network::new(1);
+        let server = Orb::start(&net, "server");
+        let client = Orb::start_with(
+            &net,
+            "client",
+            orb::OrbConfig { trace_sample_every: 2, ..orb::OrbConfig::default() },
+        );
+        let ior = server.activate("echo", Box::new(Echo));
+        let stub = ClientStub::new(client.clone(), ior);
+        let traced = (0..6)
+            .map(|i| {
+                let reply = stub.invoke("echo", &[Any::Long(i)]).unwrap();
+                assert_eq!(*reply, Any::Long(i), "value is identical either way");
+                reply.trace.is_some()
+            })
+            .filter(|t| *t)
+            .count();
+        assert_eq!(traced, 3, "period 2 traces half the calls");
+        // Metrics are unconditional: every call counted.
+        assert_eq!(client.metrics().snapshot().counter("orb.requests_sent"), 6);
+        assert_eq!(server.metrics().snapshot().counter("orb.requests_handled"), 6);
         server.shutdown();
         client.shutdown();
     }
