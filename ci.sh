@@ -20,6 +20,12 @@ cargo test -q --workspace
 echo "==> metrics golden (per-layer metric names must stay stable)"
 cargo test -q -p maqs --test metrics_golden
 
+echo "==> export golden (Prometheus exposition + Chrome trace schema)"
+cargo test -q -p maqs --test export_golden
+
+echo "==> introspection (remote metrics/flight/health/bindings over GIOP)"
+cargo test -q -p maqs --test introspection
+
 echo "==> chaos (scripted faults vs self-healing client, fixed seed)"
 # Reproducible by default; override MAQS_CHAOS_SEED to explore other
 # fault interleavings. The test's assertions hold under any seed.

@@ -178,7 +178,8 @@ impl AdaptationEngine {
         let object = agreement.object.clone();
         let mediator = Arc::new(
             ResilienceMediator::new(self.resilience_policy(&agreement.params))
-                .with_metrics(stub.orb().metrics().clone()),
+                .with_metrics(stub.orb().metrics().clone())
+                .with_flight(stub.orb().flight().clone()),
         );
         let monitor = Arc::clone(&self.monitor);
         let observed = object.clone();
@@ -314,6 +315,21 @@ impl AdaptationEngine {
                 Err(why) => (String::new(), StepOutcome::Failed(why)),
             };
             let healed = outcome.is_success();
+            // The rung lands in the black box alongside the lifecycle
+            // events that triggered it, so a dump reads as a story:
+            // fault → violations → ladder → (healed | fail-static).
+            self.orb.flight().record_detail(
+                orb::FlightEventKind::AdaptationRung,
+                "adaptation",
+                None,
+                format!(
+                    "{}: {} {}{}",
+                    guard.object,
+                    step.name(),
+                    if healed { "healed" } else { "failed" },
+                    if detail.is_empty() { String::new() } else { format!(" ({detail})") }
+                ),
+            );
             self.log.push(guard.object.clone(), trigger.clone(), step, detail, outcome);
             if healed {
                 self.reset_windows(&guard.object);

@@ -6,6 +6,7 @@ use netsim::Network;
 use orb::{Ior, MetricsSnapshot, Orb, OrbError, Servant};
 use parking_lot::RwLock;
 use qidl::InterfaceRepository;
+use services::introspection::{BindingInfo, IntrospectionServant, Introspector, INTROSPECTION_KEY};
 use services::monitoring::Monitor;
 use services::naming::{NamingService, NAMING_KEY};
 use services::negotiation::{NegotiationServant, NEGOTIATOR_KEY};
@@ -137,6 +138,24 @@ impl<'a> MaqsNodeBuilder<'a> {
         orb.adapter().activate(NEGOTIATOR_KEY, Arc::clone(&negotiation) as Arc<dyn Servant>);
         orb.adapter().activate(TRADER_KEY, Arc::clone(&trader) as Arc<dyn Servant>);
         orb.adapter().activate(NAMING_KEY, Arc::clone(&naming) as Arc<dyn Servant>);
+        let woven: Arc<RwLock<HashMap<String, Arc<WovenServant>>>> =
+            Arc::new(RwLock::new(HashMap::new()));
+        let introspection = Arc::new(IntrospectionServant::new(orb.clone()));
+        let bindings_view = Arc::clone(&woven);
+        introspection.set_bindings_provider(Arc::new(move || {
+            let mut infos: Vec<BindingInfo> = bindings_view
+                .read()
+                .iter()
+                .map(|(key, w)| BindingInfo {
+                    object: key.clone(),
+                    interface: w.interface_id().to_string(),
+                    characteristics: w.installed_characteristics(),
+                })
+                .collect();
+            infos.sort_by(|a, b| a.object.cmp(&b.object));
+            infos
+        }));
+        orb.adapter().activate(INTROSPECTION_KEY, Arc::clone(&introspection) as Arc<dyn Servant>);
         Ok(MaqsNode {
             orb,
             repo: Arc::new(repo),
@@ -144,7 +163,7 @@ impl<'a> MaqsNodeBuilder<'a> {
             trader,
             naming,
             monitor,
-            woven: RwLock::new(HashMap::new()),
+            woven,
             capacities: RwLock::new(HashMap::new()),
             healing: RwLock::new(None),
         })
@@ -160,7 +179,7 @@ pub struct MaqsNode {
     trader: Arc<Trader>,
     naming: Arc<NamingService>,
     monitor: Arc<Monitor>,
-    woven: RwLock<HashMap<String, Arc<WovenServant>>>,
+    woven: Arc<RwLock<HashMap<String, Arc<WovenServant>>>>,
     capacities: RwLock<HashMap<String, Vec<String>>>,
     healing: RwLock<Option<Arc<AdaptationEngine>>>,
 }
@@ -205,6 +224,13 @@ impl MaqsNode {
     /// A client-side [`Negotiator`] speaking through this node's ORB.
     pub fn negotiator(&self) -> Negotiator {
         Negotiator::new(self.orb.clone())
+    }
+
+    /// A client-side [`Introspector`] speaking through this node's ORB:
+    /// pulls metrics snapshots, flight-recorder tails, health counters
+    /// and the woven-deployment shape from any peer node.
+    pub fn introspector(&self) -> Introspector {
+        Introspector::new(self.orb.clone())
     }
 
     /// Weave `servant` per `options`, activate it under `key`, and start

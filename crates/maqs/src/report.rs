@@ -3,12 +3,14 @@
 //! humans, hand-rolled single-object JSON for tools (the workspace
 //! carries no JSON dependency).
 
-use orb::{MetricsSnapshot, TraceContext};
+use orb::export::{chrome_trace_json, flight_jsonl, prometheus_text, quantile_line};
+use orb::{FlightEvent, MetricsSnapshot, TraceContext};
 use services::adaptation::{AdaptationEvent, StepOutcome};
 
 /// Render a metrics snapshot as aligned plain text: a `counters`
-/// section, then a `histograms (us)` section with count/mean/max per
-/// name.
+/// section, then a `histograms (us)` section with
+/// count/mean/max/p50/p95/p99 per name (quantiles bucket-interpolated;
+/// see [`orb::HistogramSnapshot::quantile`]).
 pub fn render_metrics_human(snapshot: &MetricsSnapshot) -> String {
     let mut out = String::new();
     if !snapshot.counters.is_empty() {
@@ -23,15 +25,59 @@ pub fn render_metrics_human(snapshot: &MetricsSnapshot) -> String {
         let width = snapshot.histograms.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
         for (name, h) in &snapshot.histograms {
             out.push_str(&format!(
-                "  {name:<width$}  count={} mean={:.1} max={}\n",
+                "  {name:<width$}  count={} mean={:.1} max={} {}\n",
                 h.count,
                 h.mean_us(),
-                h.max_us
+                h.max_us,
+                quantile_line(h)
             ));
         }
     }
     if out.is_empty() {
         out.push_str("(no metrics recorded)\n");
+    }
+    out
+}
+
+/// Render a metrics snapshot in the Prometheus text exposition format
+/// (delegates to [`orb::export::prometheus_text`]).
+pub fn render_metrics_prometheus(snapshot: &MetricsSnapshot) -> String {
+    prometheus_text(snapshot)
+}
+
+/// Render traces plus flight instants as a Chrome `trace_event` JSON
+/// document, loadable in Perfetto / `chrome://tracing` (delegates to
+/// [`orb::export::chrome_trace_json`]).
+pub fn render_chrome_trace(traces: &[TraceContext], flight: &[FlightEvent]) -> String {
+    chrome_trace_json(traces, flight)
+}
+
+/// Render flight events as JSON Lines, one event per line (delegates to
+/// [`orb::export::flight_jsonl`]).
+pub fn render_flight_jsonl(events: &[FlightEvent]) -> String {
+    flight_jsonl(events)
+}
+
+/// Render flight events as an aligned plain-text timeline: sequence,
+/// timestamp, node, layer, kind, trace id (`-` when unsampled), detail.
+pub fn render_flight_human(events: &[FlightEvent]) -> String {
+    if events.is_empty() {
+        return "(no flight events)\n".to_string();
+    }
+    let mut out = String::from("flight events:\n");
+    let node_w = events.iter().map(|e| e.node.len()).max().unwrap_or(4).max("node".len());
+    let layer_w = events.iter().map(|e| e.layer.len()).max().unwrap_or(5).max("layer".len());
+    let kind_w = events.iter().map(|e| e.kind.name().len()).max().unwrap_or(4);
+    for e in events {
+        let trace = e.trace_id.map_or_else(|| "-".to_string(), |t| format!("{t:#x}"));
+        out.push_str(&format!(
+            "  #{:<6} {:>10}us  {:<node_w$}  {:<layer_w$}  {:<kind_w$}  {trace}",
+            e.seq, e.ts_us, e.node, e.layer, e.kind.name(),
+        ));
+        if let Some(detail) = e.detail.as_deref().filter(|d| !d.is_empty()) {
+            out.push_str(&format!("  {detail}"));
+        }
+        out.push('\n');
     }
     out
 }
@@ -194,7 +240,40 @@ mod tests {
         assert!(out.contains("orb.requests_sent"), "{out}");
         assert!(out.contains("histograms (us):"), "{out}");
         assert!(out.contains("count=2 mean=100.0 max=110"), "{out}");
+        assert!(out.contains("p50="), "{out}");
+        assert!(out.contains("p99="), "{out}");
         assert_eq!(render_metrics_human(&MetricsSnapshot::default()), "(no metrics recorded)\n");
+    }
+
+    #[test]
+    fn prometheus_wrapper_delegates_to_the_exporter() {
+        let out = render_metrics_prometheus(&sample_snapshot());
+        assert!(out.contains("# TYPE maqs_orb_requests_sent counter"), "{out}");
+        assert!(out.contains("maqs_orb_roundtrip_us_count 2"), "{out}");
+    }
+
+    #[test]
+    fn flight_renderers_cover_traced_and_unsampled_events() {
+        use orb::{FlightEventKind, FlightRecorder};
+        let rec = FlightRecorder::new("n1", 16);
+        rec.record(FlightEventKind::RequestSent, "orb.client", Some(0xbeef));
+        rec.record_detail(
+            FlightEventKind::CircuitTransition,
+            "resilience",
+            None,
+            "closed->open".to_string(),
+        );
+        let events = rec.snapshot();
+        let human = render_flight_human(&events);
+        assert!(human.contains("request_sent"), "{human}");
+        assert!(human.contains("0xbeef"), "{human}");
+        assert!(human.contains("circuit_transition"), "{human}");
+        assert!(human.contains("closed->open"), "{human}");
+        assert_eq!(render_flight_human(&[]), "(no flight events)\n");
+        let jsonl = render_flight_jsonl(&events);
+        assert_eq!(jsonl.lines().count(), 2, "{jsonl}");
+        let chrome = render_chrome_trace(&[], &events);
+        assert!(chrome.contains("\"traceEvents\""), "{chrome}");
     }
 
     #[test]

@@ -55,6 +55,22 @@ pub enum FaultAction {
     SetLinkDirected(NodeId, NodeId, LinkModel),
 }
 
+impl FaultAction {
+    /// A short human-readable form (`crash(3)`, `heal`, …), used by fault
+    /// observers ([`crate::Network::add_fault_observer`]) to describe the
+    /// applied action without exposing the action type itself.
+    pub fn describe(&self) -> String {
+        match self {
+            FaultAction::Crash(n) => format!("crash({})", n.0),
+            FaultAction::Revive(n) => format!("revive({})", n.0),
+            FaultAction::Partition(_) => "partition".to_string(),
+            FaultAction::Heal => "heal".to_string(),
+            FaultAction::SetLink(a, b, _) => format!("set-link({}<->{})", a.0, b.0),
+            FaultAction::SetLinkDirected(a, b, _) => format!("set-link({}->{})", a.0, b.0),
+        }
+    }
+}
+
 /// A deterministic, pre-scheduled fault script.
 ///
 /// Times are offsets on the network's *fault clock*, which starts at zero

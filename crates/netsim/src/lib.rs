@@ -50,7 +50,7 @@ mod time;
 pub use fault::{FaultAction, FaultPlan, FaultScript, Partition};
 pub use link::LinkModel;
 pub use message::{Message, NodeId};
-pub use network::{Network, SendError};
+pub use network::{FaultObserver, Network, SendError};
 pub use node::{NetHandle, RecvError};
 pub use stats::{LinkStats, NetworkStats};
 pub use time::{VirtualClock, VirtualDuration, VirtualInstant};

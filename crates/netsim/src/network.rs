@@ -45,6 +45,12 @@ struct LinkState {
     next_seq: u64,
 }
 
+/// Callback invoked after each applied fault action with the fault-clock
+/// time (µs) and a short description ([`FaultAction::describe`]). Runs
+/// with the network state locked: observers must record and return, never
+/// call back into the network.
+pub type FaultObserver = Arc<dyn Fn(u64, &str) + Send + Sync>;
+
 struct State {
     nodes: HashMap<NodeId, NodeEntry>,
     links: HashMap<(NodeId, NodeId), LinkState>,
@@ -57,6 +63,8 @@ struct State {
     /// the fabric, plus explicit [`Network::tick`] advances. Scheduled
     /// [`FaultScript`] entries fire against this clock.
     fault_clock: VirtualInstant,
+    /// Fault observers, notified per applied action (flight recorders).
+    observers: Vec<FaultObserver>,
 }
 
 impl State {
@@ -65,6 +73,12 @@ impl State {
     fn run_faults_until(&mut self, now: VirtualInstant) {
         self.fault_clock = self.fault_clock.max(now);
         for action in self.faults.take_due(self.fault_clock) {
+            if !self.observers.is_empty() {
+                let desc = action.describe();
+                for obs in &self.observers {
+                    obs(self.fault_clock.0, &desc);
+                }
+            }
             match action {
                 FaultAction::Crash(n) => self.faults.crash(n),
                 FaultAction::Revive(n) => self.faults.revive(n),
@@ -204,6 +218,7 @@ impl Network {
                     rng: StdRng::seed_from_u64(seed),
                     next_id: 0,
                     fault_clock: VirtualInstant::ZERO,
+                    observers: Vec::new(),
                 }),
             }),
         }
@@ -303,6 +318,15 @@ impl Network {
     /// Number of scheduled fault actions not yet applied.
     pub fn pending_faults(&self) -> usize {
         self.inner.state.lock().faults.pending()
+    }
+
+    /// Register an observer notified for every applied fault action with
+    /// the fault-clock time (µs) and [`FaultAction::describe`]'s text.
+    /// Observers run with the network locked; they must not call back
+    /// into the network. Used by ORBs to land fault-script ticks in their
+    /// flight recorders.
+    pub fn add_fault_observer(&self, observer: FaultObserver) {
+        self.inner.state.lock().observers.push(observer);
     }
 }
 

@@ -28,6 +28,7 @@
 use crate::adapter::{ObjectAdapter, Servant};
 use crate::any::Any;
 use crate::error::OrbError;
+use crate::flight::{FlightEventKind, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 use crate::giop::{
     frame_plain_reply, frame_plain_request, frame_qos, CommandTarget, GiopMessage, Packet,
     QosContext, ReplyMessage, RequestKind, RequestMessage,
@@ -66,6 +67,9 @@ pub struct OrbConfig {
     /// either way; only the per-request trace decode/encode and span
     /// pushes are skipped on unsampled requests.
     pub trace_sample_every: u32,
+    /// Capacity of the ORB's [`FlightRecorder`] ring (events retained).
+    /// `0` disables retention; cumulative event counts still accrue.
+    pub flight_capacity: usize,
 }
 
 impl Default for OrbConfig {
@@ -75,6 +79,7 @@ impl Default for OrbConfig {
             collocated_shortcut: true,
             dispatch_threads: 1,
             trace_sample_every: 1,
+            flight_capacity: DEFAULT_FLIGHT_CAPACITY,
         }
     }
 }
@@ -243,6 +248,7 @@ struct OrbInner {
     stats: StatCells,
     trace_counter: AtomicU64,
     metrics: MetricsRegistry,
+    flight: FlightRecorder,
     dispatch_tx: Sender<DispatchCmd>,
 }
 
@@ -294,6 +300,21 @@ impl Orb {
     /// Start an ORB with explicit configuration.
     pub fn start_with(net: &Network, name: &str, config: OrbConfig) -> Orb {
         let handle = net.attach(name);
+        let flight = FlightRecorder::new(handle.name(), config.flight_capacity);
+        // Land fault-script ticks in this node's black box, so a chaos
+        // dump shows the injected faults interleaved with the lifecycle
+        // events they caused.
+        {
+            let flight = flight.clone();
+            net.add_fault_observer(Arc::new(move |at_us, desc| {
+                flight.record_detail(
+                    FlightEventKind::FaultTick,
+                    "netsim",
+                    None,
+                    format!("t={at_us}us {desc}"),
+                );
+            }));
+        }
         let (dispatch_tx, dispatch_rx) = unbounded::<DispatchCmd>();
         let inner = Arc::new(OrbInner {
             handle,
@@ -307,6 +328,7 @@ impl Orb {
             stats: StatCells::default(),
             trace_counter: AtomicU64::new(0),
             metrics: MetricsRegistry::new(),
+            flight,
             dispatch_tx,
         });
         let orb = Orb { inner };
@@ -364,6 +386,12 @@ impl Orb {
     /// The ORB's metrics registry (request-path counters/histograms).
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.inner.metrics
+    }
+
+    /// The ORB's flight recorder (the always-on black box of lifecycle
+    /// events; see [`crate::flight`]).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.inner.flight
     }
 
     /// Activate a servant and return a QoS-unaware reference to it.
@@ -438,6 +466,11 @@ impl Orb {
         if self.inner.config.collocated_shortcut && qos.is_none() && ior.node == self.node() {
             bump(&self.inner.stats.collocated_calls);
             metrics.incr("orb.collocated_calls");
+            self.inner.flight.record(
+                FlightEventKind::CollocatedCall,
+                "orb.client",
+                trace.as_ref().map(|t| t.trace_id),
+            );
             let started = Instant::now();
             return match trace {
                 None => {
@@ -475,7 +508,7 @@ impl Orb {
             request.set_context(TRACE_CONTEXT_ID, ctx.to_bytes());
         }
         let started = Instant::now();
-        let send_result = self.send_request(ior.node, &request);
+        let send_result = self.send_request(ior.node, &request, trace_id);
         if let Err(e) = send_result {
             self.unregister_pending(id, &slot);
             return Err(e);
@@ -563,7 +596,7 @@ impl Orb {
             qos,
             contexts: Vec::new(),
         };
-        if let Err(e) = self.send_request(ior.node, &request) {
+        if let Err(e) = self.send_request(ior.node, &request, None) {
             self.unregister_pending(id, &slot);
             return Err(e);
         }
@@ -610,7 +643,7 @@ impl Orb {
             qos,
             contexts: Vec::new(),
         };
-        self.send_request(ior.node, &request)
+        self.send_request(ior.node, &request, None)
     }
 
     /// Send a *command* (Fig. 3) to the QoS transport or a module on
@@ -708,12 +741,19 @@ impl Orb {
     /// envelope and GIOP body into a single wire buffer, the QoS path
     /// hands the module the bare GIOP body and frames each transformed
     /// output. No `RequestMessage` clone, no intermediate `Packet`.
-    fn send_request(&self, dst: NodeId, request: &RequestMessage) -> Result<(), OrbError> {
+    fn send_request(
+        &self,
+        dst: NodeId,
+        request: &RequestMessage,
+        trace_id: Option<u64>,
+    ) -> Result<(), OrbError> {
         let metrics = &self.inner.metrics;
         if matches!(request.kind, RequestKind::Probe) {
             metrics.incr("orb.probe.requests_sent");
+            self.inner.flight.record(FlightEventKind::ProbeSent, "orb.client", trace_id);
         } else {
             metrics.incr("orb.requests_sent");
+            self.inner.flight.record(FlightEventKind::RequestSent, "orb.client", trace_id);
         }
         if request.qos.is_some() {
             if let Some(module) = self.inner.transport.bound_module(dst, &request.object_key) {
@@ -786,11 +826,15 @@ impl Orb {
         metrics.incr("wire.msgs_received");
         metrics.add("wire.bytes_received", msg.payload.len() as u64);
         metrics.observe_us("wire.transit_vus", transit_vus);
+        let drop_packet = || {
+            bump(&inner.stats.packets_dropped);
+            metrics.incr("orb.packets_dropped");
+            inner.flight.record(FlightEventKind::PacketDropped, "wire", None);
+        };
         let packet = match Packet::decode(&msg.payload) {
             Ok(p) => p,
             Err(_) => {
-                bump(&inner.stats.packets_dropped);
-                metrics.incr("orb.packets_dropped");
+                drop_packet();
                 return;
             }
         };
@@ -807,15 +851,13 @@ impl Orb {
                         Ok(Some(bytes)) => (Bytes::from(bytes), Some(module)),
                         Ok(None) => return, // module swallowed it (e.g. duplicate)
                         Err(_) => {
-                            bump(&inner.stats.packets_dropped);
-                            metrics.incr("orb.packets_dropped");
+                            drop_packet();
                             return;
                         }
                     }
                 }
                 None => {
-                    bump(&inner.stats.packets_dropped);
-                    metrics.incr("orb.packets_dropped");
+                    drop_packet();
                     return;
                 }
             },
@@ -823,8 +865,7 @@ impl Orb {
         let message = match GiopMessage::from_bytes(&giop_bytes) {
             Ok(m) => m,
             Err(_) => {
-                bump(&inner.stats.packets_dropped);
-                metrics.incr("orb.packets_dropped");
+                drop_packet();
                 return;
             }
         };
@@ -837,10 +878,12 @@ impl Orb {
             GiopMessage::Reply(mut reply) => {
                 // Stamp the reply's wire leg into the trace it carries, so
                 // the client sees both directions of the network cost.
+                let mut reply_trace_id = None;
                 if let Some(mut ctx) = reply
                     .context(TRACE_CONTEXT_ID)
                     .and_then(|b| TraceContext::from_bytes(b).ok())
                 {
+                    reply_trace_id = Some(ctx.trace_id);
                     ctx.push("wire.reply", inner.handle.name(), transit_vus);
                     reply.set_context(TRACE_CONTEXT_ID, ctx.to_bytes());
                 }
@@ -864,9 +907,19 @@ impl Orb {
                 if delivered {
                     bump(&inner.stats.replies_matched);
                     metrics.incr("orb.replies_matched");
+                    inner.flight.record(
+                        FlightEventKind::ReplyMatched,
+                        "orb.client",
+                        reply_trace_id,
+                    );
                 } else {
                     bump(&inner.stats.replies_orphaned);
                     metrics.incr("orb.replies_orphaned");
+                    inner.flight.record(
+                        FlightEventKind::ReplyOrphaned,
+                        "orb.client",
+                        reply_trace_id,
+                    );
                 }
             }
         }
@@ -878,13 +931,14 @@ impl Orb {
         let metrics = &inner.metrics;
         // Install the request's trace (if it carries one) on this
         // dispatcher thread so adapter/skeleton/servant spans land in it.
-        let scope = request
+        let ctx_in = request
             .context(TRACE_CONTEXT_ID)
-            .and_then(|b| TraceContext::from_bytes(b).ok())
-            .map(|mut ctx| {
-                ctx.push("wire", inner.handle.name(), transit_vus);
-                trace::begin(ctx, inner.handle.name())
-            });
+            .and_then(|b| TraceContext::from_bytes(b).ok());
+        let trace_id = ctx_in.as_ref().map(|c| c.trace_id);
+        let scope = ctx_in.map(|mut ctx| {
+            ctx.push("wire", inner.handle.name(), transit_vus);
+            trace::begin(ctx, inner.handle.name())
+        });
         let started = Instant::now();
         let result = match &request.kind {
             RequestKind::Command(CommandTarget::Transport) => {
@@ -911,10 +965,12 @@ impl Orb {
             // sees application calls.
             metrics.observe_us("orb.probe.dispatch_us", dispatch_us);
             metrics.incr("orb.probe.requests_handled");
+            inner.flight.record(FlightEventKind::ProbeHandled, "orb.server", trace_id);
         } else {
             metrics.observe_us("orb.dispatch_us", dispatch_us);
             metrics.incr("orb.requests_handled");
             bump(&inner.stats.requests_handled);
+            inner.flight.record(FlightEventKind::RequestDispatched, "orb.server", trace_id);
         }
         let trace_out = scope.map(|s| {
             let mut ctx = s.finish();
@@ -1323,6 +1379,48 @@ mod tests {
         every4.shutdown();
         never.shutdown();
         always.shutdown();
+    }
+
+    #[test]
+    fn flight_recorder_logs_unsampled_calls_matching_metrics() {
+        use crate::flight::FlightEventKind as K;
+        let net = Network::new(1);
+        let server = Orb::start(&net, "server");
+        let client = Orb::start_with(
+            &net,
+            "client",
+            OrbConfig { trace_sample_every: 3, ..OrbConfig::default() },
+        );
+        let ior = server.activate("echo", Box::new(Echo));
+        for i in 0..9 {
+            // The stub-side sampling protocol: mint a context only when
+            // the ORB says this call is sampled.
+            let trace = client.trace_sampled().then(|| TraceContext::new(client.node()));
+            client.invoke_traced(&ior, "echo", &[Any::Long(i)], None, trace).unwrap();
+        }
+        // Recorder counts match the metrics counters exactly: sampling
+        // gates tracing, never recording.
+        let snap = client.metrics().snapshot();
+        assert_eq!(client.flight().count(K::RequestSent), snap.counter("orb.requests_sent"));
+        assert_eq!(client.flight().count(K::RequestSent), 9);
+        assert_eq!(server.flight().count(K::RequestDispatched), 9);
+        // Reply matching is recorded on the receive loop; give it a beat.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while client.flight().count(K::ReplyMatched) < 9 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(client.flight().count(K::ReplyMatched), 9);
+        // Period 3 over 9 calls: 3 sampled (with trace ids), 6 without.
+        let sent: Vec<_> = client
+            .flight()
+            .snapshot()
+            .into_iter()
+            .filter(|e| e.kind == K::RequestSent)
+            .collect();
+        assert_eq!(sent.iter().filter(|e| e.trace_id.is_some()).count(), 3);
+        assert_eq!(sent.iter().filter(|e| e.trace_id.is_none()).count(), 6);
+        server.shutdown();
+        client.shutdown();
     }
 
     #[test]

@@ -30,6 +30,10 @@
 //!   GIOP service-context slot, giving a per-layer cost breakdown.
 //! * **Metrics** ([`metrics`]) — counters and latency histograms recorded
 //!   at every layer of the request path.
+//! * **Flight recorder** ([`flight`]) — an always-on, bounded ring buffer
+//!   of structured lifecycle events, the middleware's black box.
+//! * **Exporters** ([`export`]) — Prometheus text exposition, Chrome
+//!   `trace_event` JSON, and JSONL egress for the observability plane.
 //!
 //! The network underneath is [`netsim`]; see that crate for link and fault
 //! models.
@@ -71,6 +75,8 @@ pub mod cdr;
 pub mod core;
 pub mod dii;
 pub mod error;
+pub mod export;
+pub mod flight;
 pub mod giop;
 pub mod ior;
 pub mod metrics;
@@ -92,8 +98,9 @@ pub use crate::adapter::{ObjectAdapter, Servant};
 pub use crate::any::{Any, TypeCode};
 pub use crate::core::{Orb, OrbConfig};
 pub use crate::error::OrbError;
+pub use crate::flight::{FlightDump, FlightEvent, FlightEventKind, FlightRecorder};
 pub use crate::ior::{Ior, ObjectKey};
-pub use crate::metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use crate::metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot, QuantileEstimate};
 pub use crate::retry::RetryPolicy;
 pub use crate::trace::{Span, TraceContext};
 pub use crate::transport::{ModuleFactory, QosModule, QosTransport};

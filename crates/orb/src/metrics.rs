@@ -162,6 +162,54 @@ impl HistogramSnapshot {
             self.sum_us as f64 / self.count as f64
         }
     }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
+    /// within the bucket the quantile rank falls into.
+    ///
+    /// The estimate is honest about the ladder's limits: when the rank
+    /// lands in the overflow bucket, the exact value is unknowable from
+    /// bucketed data, so [`QuantileEstimate::AboveBuckets`] reports
+    /// "≥ last bound" instead of inventing a number. `None` when the
+    /// histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<QuantileEstimate> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        let mut prev_bound = 0u64;
+        for &(bound, count) in &self.buckets {
+            cum += count;
+            if count > 0 && cum as f64 >= target {
+                let into = (target - (cum - count) as f64).max(0.0);
+                let frac = into / count as f64;
+                let width = (bound - prev_bound) as f64;
+                return Some(QuantileEstimate::Interpolated(prev_bound as f64 + frac * width));
+            }
+            prev_bound = bound;
+        }
+        Some(QuantileEstimate::AboveBuckets(prev_bound))
+    }
+}
+
+/// A bucket-interpolated quantile ([`HistogramSnapshot::quantile`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QuantileEstimate {
+    /// The quantile rank fell inside the bucket ladder; the value is the
+    /// linear interpolation within that bucket, in µs.
+    Interpolated(f64),
+    /// The rank fell into the overflow bucket: all that is known is that
+    /// the quantile is at least the ladder's last bound (µs).
+    AboveBuckets(u64),
+}
+
+impl std::fmt::Display for QuantileEstimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuantileEstimate::Interpolated(v) => write!(f, "{v:.0}"),
+            QuantileEstimate::AboveBuckets(bound) => write!(f, ">={bound}"),
+        }
+    }
 }
 
 /// Plain-data copy of a whole registry, sorted by name.
@@ -243,6 +291,38 @@ mod tests {
         assert_eq!(s.counters[0].0, "a");
         assert_eq!(s.counters[1].0, "z");
         assert_eq!(s.histograms[0].0, "aa");
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let m = MetricsRegistry::new();
+        m.observe_us("lat", 90);
+        m.observe_us("lat", 110);
+        let h = m.snapshot().histogram("lat").unwrap().clone();
+        // p50 rank = 1.0 → exhausts the (50,100] bucket: 100µs exactly.
+        assert_eq!(h.quantile(0.5), Some(QuantileEstimate::Interpolated(100.0)));
+        // p95 rank = 1.9 → 90% into the (100,250] bucket.
+        match h.quantile(0.95) {
+            Some(QuantileEstimate::Interpolated(v)) => assert!((v - 235.0).abs() < 1e-9, "{v}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(h.quantile(0.5).unwrap().to_string(), "100");
+    }
+
+    #[test]
+    fn quantile_overflow_is_reported_honestly() {
+        let m = MetricsRegistry::new();
+        m.observe_us("lat", 3);
+        m.observe_us("lat", 9_000);
+        m.observe_us("lat", 10_000);
+        let h = m.snapshot().histogram("lat").unwrap().clone();
+        // p99 lands in the overflow bucket: only ">= 5000" is knowable.
+        assert_eq!(h.quantile(0.99), Some(QuantileEstimate::AboveBuckets(5_000)));
+        assert_eq!(h.quantile(0.99).unwrap().to_string(), ">=5000");
+        // An empty histogram has no quantiles.
+        let empty =
+            HistogramSnapshot { count: 0, sum_us: 0, max_us: 0, buckets: Vec::new(), overflow: 0 };
+        assert_eq!(empty.quantile(0.5), None);
     }
 
     #[test]

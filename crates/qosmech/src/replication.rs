@@ -21,7 +21,7 @@
 use groupcomm::FailureDetector;
 use netsim::NodeId;
 use orb::giop::QosContext;
-use orb::{Any, Ior, Orb, OrbError, Servant};
+use orb::{Any, FlightEventKind, Ior, Orb, OrbError, Servant};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -38,6 +38,16 @@ pub enum ReplicationStrategy {
     Failover,
     /// Fan out to all replicas and majority-vote on the results.
     MajorityVote,
+}
+
+impl ReplicationStrategy {
+    /// Stable export name (`failover` / `majority_vote`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplicationStrategy::Failover => "failover",
+            ReplicationStrategy::MajorityVote => "majority_vote",
+        }
+    }
 }
 
 /// Majority-vote over gathered replies: the value returned by at least
@@ -121,7 +131,11 @@ impl ReplicationMediator {
     /// uses this to degrade quorum voting to primary-only failover when
     /// the group can no longer reach a majority.
     pub fn set_strategy(&self, strategy: ReplicationStrategy) {
+        let from = *self.strategy.read();
         *self.strategy.write() = strategy;
+        if from != strategy {
+            self.note(format!("strategy {}->{}", from.name(), strategy.name()));
+        }
     }
 
     /// The strategy currently in effect.
@@ -142,9 +156,16 @@ impl ReplicationMediator {
         let removed = dead.len();
         if removed > 0 {
             let alive: Vec<Ior> = alive.into_iter().cloned().collect();
+            self.note(format!("evicted {removed} dead replica(s), {} alive", alive.len()));
             *self.replicas.write() = alive;
         }
         removed
+    }
+
+    /// Off-hot-path replication events (strategy switches, evictions,
+    /// failovers, exhausted groups) land in the client ORB's black box.
+    fn note(&self, detail: String) {
+        self.orb.flight().record_detail(FlightEventKind::Replication, "replication", None, detail);
     }
 
     /// A snapshot of the mediator counters.
@@ -172,6 +193,7 @@ impl ReplicationMediator {
                         self.first_try.fetch_add(1, Ordering::Relaxed);
                     } else {
                         self.failovers.fetch_add(i as u64, Ordering::Relaxed);
+                        self.note(format!("failover to replica {i} for `{}`", call.operation));
                     }
                     return Ok(value);
                 }
@@ -182,6 +204,7 @@ impl ReplicationMediator {
             }
         }
         self.exhausted.fetch_add(1, Ordering::Relaxed);
+        self.note(format!("all {} replicas failed for `{}`", replicas.len(), call.operation));
         Err(last_err.unwrap_or_else(|| OrbError::QosViolation("all replicas failed".to_string())))
     }
 

@@ -1,0 +1,365 @@
+//! Remote introspection: the node's telemetry plane served over the ORB.
+//!
+//! Every [`crate::negotiation`]-era service exposes *control* over QoS;
+//! this one exposes *visibility*. An [`IntrospectionServant`] activated
+//! under the well-known [`INTROSPECTION_KEY`] answers four operations —
+//! `metrics_snapshot`, `flight_tail`, `health`, and `bindings` — so any
+//! peer can pull a node's request-path metrics, the recent flight
+//! recorder timeline, liveness counters, and the woven-deployment shape
+//! through plain GIOP requests, with no side channel. The client half
+//! ([`Introspector`]) mirrors [`crate::negotiation::Negotiator`]: a thin
+//! helper that builds the well-known IOR and decodes the Any replies.
+//!
+//! The snapshots travel in the self-describing [`Any`] forms defined by
+//! [`orb::export::snapshot_to_any`] and [`orb::FlightEvent::to_any`], so
+//! the wire format is versioned with the ORB, not with this service.
+
+use std::sync::Arc;
+
+use netsim::NodeId;
+use orb::export::{snapshot_from_any, snapshot_to_any};
+use orb::{Any, FlightEvent, MetricsSnapshot, Orb, OrbError, Servant};
+use parking_lot::RwLock;
+
+/// Well-known object key the introspection servant is activated under.
+pub const INTROSPECTION_KEY: &str = "introspection";
+
+/// Repository id of the introspection interface.
+pub const INTROSPECTION_INTERFACE: &str = "IDL:maqs/Introspection:1.0";
+
+/// One woven binding as reported by the `bindings` operation: which
+/// object is served, under which interface, with which QoS
+/// characteristics installed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BindingInfo {
+    /// Object key the servant is activated under.
+    pub object: String,
+    /// Repository id of the interface it implements.
+    pub interface: String,
+    /// Installed QoS characteristics (sorted).
+    pub characteristics: Vec<String>,
+}
+
+impl BindingInfo {
+    /// Wire form: `Struct("BindingInfo", ...)`.
+    pub fn to_any(&self) -> Any {
+        Any::Struct(
+            "BindingInfo".to_string(),
+            vec![
+                ("object".to_string(), Any::from(self.object.as_str())),
+                ("interface".to_string(), Any::from(self.interface.as_str())),
+                (
+                    "characteristics".to_string(),
+                    Any::Sequence(
+                        self.characteristics.iter().map(|c| Any::from(c.as_str())).collect(),
+                    ),
+                ),
+            ],
+        )
+    }
+
+    /// Decode the [`BindingInfo::to_any`] wire form.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::BadParam`] if a field is missing or mistyped.
+    pub fn from_any(v: &Any) -> Result<BindingInfo, OrbError> {
+        let get = |name: &str| {
+            v.field(name)
+                .and_then(Any::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| OrbError::BadParam(format!("BindingInfo missing `{name}`")))
+        };
+        Ok(BindingInfo {
+            object: get("object")?,
+            interface: get("interface")?,
+            characteristics: v
+                .field("characteristics")
+                .and_then(Any::as_sequence)
+                .unwrap_or(&[])
+                .iter()
+                .filter_map(|c| c.as_str().map(str::to_string))
+                .collect(),
+        })
+    }
+}
+
+/// Liveness counters returned by the `health` operation: the ORB's wire
+/// statistics plus the flight recorder's cumulative totals.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Health {
+    /// Node name (the server's view of itself).
+    pub node: String,
+    /// Requests dispatched by the server ORB.
+    pub requests_handled: u64,
+    /// Replies delivered to local callers.
+    pub replies_matched: u64,
+    /// Replies that arrived for no waiting caller.
+    pub replies_orphaned: u64,
+    /// Undecodable / un-unwrappable packets dropped at the wire.
+    pub packets_dropped: u64,
+    /// Requests answered via the collocated shortcut.
+    pub collocated_calls: u64,
+    /// Lifecycle events ever recorded (counting survives ring overwrite).
+    pub flight_events: u64,
+    /// Flight dumps retained (circuit-open, deadline-exceeded, chaos).
+    pub flight_dumps: u64,
+}
+
+impl Health {
+    /// Wire form: `Struct("Health", ...)`.
+    pub fn to_any(&self) -> Any {
+        Any::Struct(
+            "Health".to_string(),
+            vec![
+                ("node".to_string(), Any::from(self.node.as_str())),
+                ("requests_handled".to_string(), Any::ULongLong(self.requests_handled)),
+                ("replies_matched".to_string(), Any::ULongLong(self.replies_matched)),
+                ("replies_orphaned".to_string(), Any::ULongLong(self.replies_orphaned)),
+                ("packets_dropped".to_string(), Any::ULongLong(self.packets_dropped)),
+                ("collocated_calls".to_string(), Any::ULongLong(self.collocated_calls)),
+                ("flight_events".to_string(), Any::ULongLong(self.flight_events)),
+                ("flight_dumps".to_string(), Any::ULongLong(self.flight_dumps)),
+            ],
+        )
+    }
+
+    /// Decode the [`Health::to_any`] wire form.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::BadParam`] if a field is missing or mistyped.
+    pub fn from_any(v: &Any) -> Result<Health, OrbError> {
+        let get = |name: &str| {
+            v.field(name)
+                .and_then(Any::as_i64)
+                .map(|n| n as u64)
+                .ok_or_else(|| OrbError::BadParam(format!("Health missing `{name}`")))
+        };
+        Ok(Health {
+            node: v
+                .field("node")
+                .and_then(Any::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| OrbError::BadParam("Health missing `node`".to_string()))?,
+            requests_handled: get("requests_handled")?,
+            replies_matched: get("replies_matched")?,
+            replies_orphaned: get("replies_orphaned")?,
+            packets_dropped: get("packets_dropped")?,
+            collocated_calls: get("collocated_calls")?,
+            flight_events: get("flight_events")?,
+            flight_dumps: get("flight_dumps")?,
+        })
+    }
+}
+
+/// Supplies the `bindings` reply: the deployment layer (which knows the
+/// woven servants) closes over its registry so this service stays
+/// decoupled from the weaver.
+pub type BindingsProvider = Arc<dyn Fn() -> Vec<BindingInfo> + Send + Sync>;
+
+/// The server half: answers introspection requests from the node's own
+/// ORB state. Activate under [`INTROSPECTION_KEY`].
+pub struct IntrospectionServant {
+    orb: Orb,
+    bindings: RwLock<Option<BindingsProvider>>,
+}
+
+impl IntrospectionServant {
+    /// A servant reporting on `orb`.
+    pub fn new(orb: Orb) -> IntrospectionServant {
+        IntrospectionServant { orb, bindings: RwLock::new(None) }
+    }
+
+    /// Install (or replace) the `bindings` provider. Without one, the
+    /// `bindings` operation reports an empty deployment.
+    pub fn set_bindings_provider(&self, provider: BindingsProvider) {
+        *self.bindings.write() = Some(provider);
+    }
+
+    fn health(&self) -> Health {
+        let stats = self.orb.stats();
+        let flight = self.orb.flight();
+        Health {
+            node: flight.node().to_string(),
+            requests_handled: stats.requests_handled,
+            replies_matched: stats.replies_matched,
+            replies_orphaned: stats.replies_orphaned,
+            packets_dropped: stats.packets_dropped,
+            collocated_calls: stats.collocated_calls,
+            flight_events: flight.total(),
+            flight_dumps: flight.dumps().len() as u64,
+        }
+    }
+}
+
+impl Servant for IntrospectionServant {
+    fn interface_id(&self) -> &str {
+        INTROSPECTION_INTERFACE
+    }
+
+    fn dispatch(&self, op: &str, args: &[Any]) -> Result<Any, OrbError> {
+        match op {
+            "metrics_snapshot" => Ok(snapshot_to_any(&self.orb.metrics().snapshot())),
+            "flight_tail" => {
+                let n = args
+                    .first()
+                    .and_then(Any::as_i64)
+                    .ok_or_else(|| OrbError::BadParam("flight_tail(n) needs a count".to_string()))?;
+                let n = usize::try_from(n)
+                    .map_err(|_| OrbError::BadParam(format!("flight_tail({n}): negative count")))?;
+                Ok(Any::Sequence(
+                    self.orb.flight().tail(n).iter().map(FlightEvent::to_any).collect(),
+                ))
+            }
+            "health" => Ok(self.health().to_any()),
+            "bindings" => {
+                let provider = self.bindings.read().clone();
+                let infos = provider.map(|p| p()).unwrap_or_default();
+                Ok(Any::Sequence(infos.iter().map(BindingInfo::to_any).collect()))
+            }
+            other => Err(OrbError::BadOperation(other.to_string())),
+        }
+    }
+}
+
+/// The client half: a thin helper that targets a remote node's
+/// introspection servant through this process's ORB.
+#[derive(Debug, Clone)]
+pub struct Introspector {
+    orb: Orb,
+}
+
+impl Introspector {
+    /// An introspector invoking through `orb`.
+    pub fn new(orb: Orb) -> Introspector {
+        Introspector { orb }
+    }
+
+    fn ior(server: NodeId) -> orb::Ior {
+        orb::Ior::new(INTROSPECTION_INTERFACE, server, INTROSPECTION_KEY)
+    }
+
+    /// Pull `server`'s full metrics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates remote failures and decode errors.
+    pub fn metrics_snapshot(&self, server: NodeId) -> Result<MetricsSnapshot, OrbError> {
+        let reply = self.orb.invoke(&Self::ior(server), "metrics_snapshot", &[])?;
+        snapshot_from_any(&reply)
+    }
+
+    /// The `n` most recent flight-recorder events on `server` (oldest of
+    /// those first).
+    ///
+    /// # Errors
+    ///
+    /// Propagates remote failures and decode errors.
+    pub fn flight_tail(&self, server: NodeId, n: usize) -> Result<Vec<FlightEvent>, OrbError> {
+        let reply =
+            self.orb.invoke(&Self::ior(server), "flight_tail", &[Any::ULongLong(n as u64)])?;
+        reply
+            .as_sequence()
+            .ok_or_else(|| OrbError::BadParam("flight_tail: non-sequence reply".to_string()))?
+            .iter()
+            .map(FlightEvent::from_any)
+            .collect()
+    }
+
+    /// `server`'s liveness counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates remote failures and decode errors.
+    pub fn health(&self, server: NodeId) -> Result<Health, OrbError> {
+        let reply = self.orb.invoke(&Self::ior(server), "health", &[])?;
+        Health::from_any(&reply)
+    }
+
+    /// The woven deployment served by `server`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates remote failures and decode errors.
+    pub fn bindings(&self, server: NodeId) -> Result<Vec<BindingInfo>, OrbError> {
+        let reply = self.orb.invoke(&Self::ior(server), "bindings", &[])?;
+        reply
+            .as_sequence()
+            .ok_or_else(|| OrbError::BadParam("bindings: non-sequence reply".to_string()))?
+            .iter()
+            .map(BindingInfo::from_any)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::Network;
+
+    #[test]
+    fn health_and_binding_round_trip_the_any_form() {
+        let h = Health {
+            node: "n1".to_string(),
+            requests_handled: 7,
+            replies_matched: 6,
+            replies_orphaned: 1,
+            packets_dropped: 2,
+            collocated_calls: 3,
+            flight_events: 42,
+            flight_dumps: 1,
+        };
+        assert_eq!(Health::from_any(&h.to_any()).unwrap(), h);
+
+        let b = BindingInfo {
+            object: "bank".to_string(),
+            interface: "IDL:Bank:1.0".to_string(),
+            characteristics: vec!["Encryption".to_string(), "Replication".to_string()],
+        };
+        assert_eq!(BindingInfo::from_any(&b.to_any()).unwrap(), b);
+    }
+
+    #[test]
+    fn servant_answers_all_four_operations_locally() {
+        let net = Network::new(1);
+        let orb = Orb::start(&net, "solo");
+        let servant = IntrospectionServant::new(orb.clone());
+        servant.set_bindings_provider(Arc::new(|| {
+            vec![BindingInfo {
+                object: "bank".to_string(),
+                interface: "IDL:Bank:1.0".to_string(),
+                characteristics: vec!["Encryption".to_string()],
+            }]
+        }));
+
+        let snap = servant.dispatch("metrics_snapshot", &[]).unwrap();
+        assert!(snapshot_from_any(&snap).is_ok());
+
+        orb.flight().record_detail(
+            orb::FlightEventKind::Negotiation,
+            "negotiation",
+            None,
+            "probe".to_string(),
+        );
+        let tail = servant.dispatch("flight_tail", &[Any::ULongLong(8)]).unwrap();
+        assert!(!tail.as_sequence().unwrap().is_empty());
+
+        let health = Health::from_any(&servant.dispatch("health", &[]).unwrap()).unwrap();
+        assert_eq!(health.node, "solo");
+        assert!(health.flight_events >= 1);
+
+        let bindings = servant.dispatch("bindings", &[]).unwrap();
+        let infos: Vec<BindingInfo> = bindings
+            .as_sequence()
+            .unwrap()
+            .iter()
+            .map(|v| BindingInfo::from_any(v).unwrap())
+            .collect();
+        assert_eq!(infos.len(), 1);
+        assert_eq!(infos[0].object, "bank");
+
+        assert!(servant.dispatch("bogus", &[]).is_err());
+        orb.shutdown();
+    }
+}

@@ -22,6 +22,9 @@
 //! * [`trading`] — a trader matching service offers by interface type
 //!   and required QoS characteristics;
 //! * [`naming`] — a naming service for reference bootstrap;
+//! * [`introspection`] — the telemetry plane served over the ORB:
+//!   metrics snapshots, flight-recorder tails, health counters and the
+//!   woven-deployment shape, answerable from any peer via GIOP;
 //! * [`catalog`] — the §6 pattern-style catalog documenting QoS
 //!   characteristics for application developers and QoS implementors,
 //!   with reusable-mechanism cross references.
@@ -33,6 +36,7 @@ pub mod accounting;
 pub mod adaptation;
 pub mod catalog;
 pub mod contract;
+pub mod introspection;
 pub mod monitoring;
 pub mod naming;
 pub mod negotiation;
@@ -44,6 +48,9 @@ pub use adaptation::{
 };
 pub use catalog::{standard_catalog, CatalogEntry, Mechanism, QosCatalog};
 pub use contract::{ContractHierarchy, ContractNode, Offer};
+pub use introspection::{
+    BindingInfo, Health, IntrospectionServant, Introspector, INTROSPECTION_KEY,
+};
 pub use monitoring::{Monitor, Observation, ViolationEvent};
 pub use naming::{bind_name, resolve_name, NamingService, NAMING_KEY};
 pub use negotiation::{Agreement, NegotiationServant, Negotiator, NEGOTIATOR_KEY};

@@ -15,7 +15,7 @@
 use crate::contract::{ContractHierarchy, Offer};
 use crate::monitoring::{Bound, Monitor, Statistic};
 use orb::giop::QosContext;
-use orb::{Any, Orb, OrbError, Servant};
+use orb::{Any, FlightEventKind, Orb, OrbError, Servant};
 use netsim::NodeId;
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -432,8 +432,9 @@ impl Negotiator {
             &Self::negotiator_ior(server),
             "negotiate",
             &[Any::from(object), Any::from(offer.characteristic.as_str()), params],
-        )?;
-        Agreement::from_any(&reply)
+        );
+        self.note_outcome("negotiate", object, &offer.characteristic, reply.is_ok());
+        Agreement::from_any(&reply?)
     }
 
     /// Negotiate the best satisfiable alternative of a client preference
@@ -504,8 +505,9 @@ impl Negotiator {
             &Self::negotiator_ior(server),
             "renegotiate",
             &[Any::ULongLong(agreement.id), Any::Struct("Params".to_string(), params)],
-        )?;
-        Agreement::from_any(&reply)
+        );
+        self.note_outcome("renegotiate", &agreement.object, &agreement.characteristic, reply.is_ok());
+        Agreement::from_any(&reply?)
     }
 
     /// Release an agreement.
@@ -514,9 +516,24 @@ impl Negotiator {
     ///
     /// Propagates remote failures.
     pub fn release(&self, server: NodeId, agreement: &Agreement) -> Result<(), OrbError> {
-        self.orb
-            .invoke(&Self::negotiator_ior(server), "release", &[Any::ULongLong(agreement.id)])?;
+        let reply = self
+            .orb
+            .invoke(&Self::negotiator_ior(server), "release", &[Any::ULongLong(agreement.id)]);
+        self.note_outcome("release", &agreement.object, &agreement.characteristic, reply.is_ok());
+        reply?;
         Ok(())
+    }
+
+    /// Land the negotiation outcome in the client ORB's flight recorder,
+    /// so black-box dumps show which agreements were in force when a
+    /// failure hit.
+    fn note_outcome(&self, verb: &str, object: &str, characteristic: &str, ok: bool) {
+        self.orb.flight().record_detail(
+            FlightEventKind::Negotiation,
+            "negotiation",
+            None,
+            format!("{verb} {characteristic}@{object}: {}", if ok { "ok" } else { "rejected" }),
+        );
     }
 }
 

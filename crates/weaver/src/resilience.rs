@@ -23,7 +23,7 @@
 use crate::mediator::{annotate_span, Call, Mediator, Next};
 use crate::skeleton::RequestObserver;
 use orb::retry::RetryPolicy;
-use orb::{Any, Ior, MetricsRegistry, OrbError};
+use orb::{Any, FlightEventKind, FlightRecorder, Ior, MetricsRegistry, OrbError};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::{Duration, Instant};
@@ -316,6 +316,7 @@ pub struct ResilienceMediator {
     policy: RwLock<ResiliencePolicy>,
     breaker: CircuitBreaker,
     metrics: Option<MetricsRegistry>,
+    flight: Option<FlightRecorder>,
     observer: RwLock<Option<RequestObserver>>,
     target_override: RwLock<Option<Ior>>,
     fail_static: RwLock<Option<FailStaticMode>>,
@@ -341,6 +342,7 @@ impl ResilienceMediator {
             policy: RwLock::new(policy),
             breaker,
             metrics: None,
+            flight: None,
             observer: RwLock::new(None),
             target_override: RwLock::new(None),
             fail_static: RwLock::new(None),
@@ -352,6 +354,15 @@ impl ResilienceMediator {
     /// (`resilience.*` counter family).
     pub fn with_metrics(mut self, metrics: MetricsRegistry) -> ResilienceMediator {
         self.metrics = Some(metrics);
+        self
+    }
+
+    /// Record circuit transitions and deadline breaches into `flight`
+    /// (the client ORB's black box). Opening the circuit and exceeding a
+    /// deadline are dump triggers: each freezes the ring into a retained
+    /// [`orb::FlightDump`] so the evidence survives further traffic.
+    pub fn with_flight(mut self, flight: FlightRecorder) -> ResilienceMediator {
+        self.flight = Some(flight);
         self
     }
 
@@ -419,6 +430,17 @@ impl ResilienceMediator {
     fn note_transition(&self, (from, to): Transition) {
         self.incr(&format!("resilience.circuit.{}", to.name()));
         annotate_span(format!("resilience.circuit:{}->{}", from.name(), to.name()), 0);
+        if let Some(f) = &self.flight {
+            f.record_detail(
+                FlightEventKind::CircuitTransition,
+                "resilience",
+                None,
+                format!("{}->{}", from.name(), to.name()),
+            );
+            if to == CircuitState::Open {
+                f.dump("circuit-open");
+            }
+        }
     }
 
     fn observe(&self, op: &str, us: u64, ok: bool) {
@@ -489,6 +511,15 @@ impl Mediator for ResilienceMediator {
             if started.elapsed() >= budget {
                 self.incr("resilience.deadline.exceeded");
                 annotate_span("resilience.deadline_exceeded", us);
+                if let Some(f) = &self.flight {
+                    f.record_detail(
+                        FlightEventKind::DeadlineExceeded,
+                        "resilience",
+                        None,
+                        format!("{operation}: {us}us > {budget:?}"),
+                    );
+                    f.dump("deadline-exceeded");
+                }
             }
         }
 

@@ -133,7 +133,21 @@ fn main() {
     println!("\nserver metrics:");
     print!("{}", maqs::report::render_metrics_human(&server.metrics_snapshot()));
 
-    // 7. What the network saw.
+    // 7. Remote introspection: the same telemetry, pulled from the
+    //    *server* over the ORB. Every node serves its metrics, flight
+    //    recorder and deployment under the well-known `introspection`
+    //    key, so operators observe peers through GIOP, not side doors.
+    let introspector = client.introspector();
+    let health = introspector.health(server.orb().node()).expect("health");
+    println!(
+        "\nremote health     : node={} handled={} dropped={} flight_events={}",
+        health.node, health.requests_handled, health.packets_dropped, health.flight_events
+    );
+    let tail = introspector.flight_tail(server.orb().node(), 3).expect("flight tail");
+    println!("server flight tail (fetched over GIOP):");
+    print!("{}", maqs::report::render_flight_human(&tail));
+
+    // 8. What the network saw.
     let stats = net.stats();
     println!(
         "\nnetwork           : {} messages, {} bytes total",

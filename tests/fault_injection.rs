@@ -362,6 +362,21 @@ fn chaos_script_heals_binding_through_degradation_ladder() {
         .unwrap_or(0);
     assert!(opened >= 1, "circuit never opened: {:?}", snapshot.counters);
 
+    // ... and the flight recorder black-boxed the incident: opening the
+    // circuit freezes the ring into a dump whose timeline carries the
+    // open transition, so the failed run is debuggable after the fact.
+    let dumps = client.orb().flight().dumps();
+    assert!(
+        dumps.iter().any(|d| d.reason == "circuit-open"
+            && d.contains(orb::FlightEventKind::CircuitTransition, "->open")),
+        "no circuit-open flight dump with the transition: {:?}",
+        dumps.iter().map(|d| &d.reason).collect::<Vec<_>>()
+    );
+    assert!(
+        client.orb().flight().count(orb::FlightEventKind::AdaptationRung) >= 1,
+        "ladder rungs must reach the flight timeline"
+    );
+
     // ... the ladder ran, in declared order, and ended in a live rung.
     let events = engine.events();
     assert!(!events.is_empty(), "healing must have produced events");

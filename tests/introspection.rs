@@ -1,0 +1,126 @@
+//! Integration: remote introspection over the ORB.
+//!
+//! The acceptance path for the telemetry plane: a client node pulls a
+//! *remote* server's metrics snapshot, flight-recorder tail, health
+//! counters and woven-deployment shape through plain GIOP requests to
+//! the well-known `introspection` servant — no side channel, no shared
+//! memory. The same snapshots then feed the exporters, so what a
+//! dashboard renders is exactly what travelled the wire.
+
+use maqs::prelude::*;
+use maqs::services::introspection::INTROSPECTION_KEY;
+use orb::export::prometheus_text;
+use orb::FlightEventKind;
+use std::sync::Arc;
+
+const SPEC: &str = r#"
+    interface Counter with qos Replication {
+        void bump();
+        long long total();
+    };
+"#;
+
+struct Counter(parking_lot::Mutex<i64>);
+
+impl Servant for Counter {
+    fn interface_id(&self) -> &str {
+        "IDL:Counter:1.0"
+    }
+    fn dispatch(&self, op: &str, _args: &[Any]) -> Result<Any, OrbError> {
+        match op {
+            "bump" => {
+                *self.0.lock() += 1;
+                Ok(Any::Void)
+            }
+            "total" => Ok(Any::LongLong(*self.0.lock())),
+            _ => Err(OrbError::BadOperation(op.to_string())),
+        }
+    }
+}
+
+#[test]
+fn remote_client_pulls_metrics_flight_health_and_bindings_over_giop() {
+    let net = Network::new(7);
+    let server = MaqsNode::builder(&net, "server").spec(SPEC).build().unwrap();
+    let client = MaqsNode::builder(&net, "client").build().unwrap();
+
+    let ior = server
+        .serve(
+            "counter",
+            Arc::new(Counter(parking_lot::Mutex::new(0))),
+            ServeOptions::interface("Counter")
+                .qos_impl(Arc::new(maqs::qosmech::replication::ReplicationQosImpl::new())),
+        )
+        .unwrap();
+    let stub = client.stub(&ior);
+    for _ in 0..3 {
+        stub.invoke("bump", &[]).unwrap();
+    }
+    assert_eq!(stub.invoke("total", &[]).unwrap(), Any::LongLong(3));
+
+    let introspector = client.introspector();
+    let server_node = server.orb().node();
+
+    // Health: the server's own view of its wire counters, fetched remotely.
+    let health = introspector.health(server_node).unwrap();
+    assert_eq!(health.node, "server");
+    assert!(health.requests_handled >= 4, "{health:?}");
+    assert!(health.flight_events >= 4, "{health:?}");
+
+    // Metrics: the full snapshot crosses the wire in Any form, ordered.
+    let snapshot = introspector.metrics_snapshot(server_node).unwrap();
+    let handled = snapshot
+        .counters
+        .iter()
+        .find(|(name, _)| name == "orb.requests_handled")
+        .map(|(_, v)| *v)
+        .expect("orb.requests_handled in remote snapshot");
+    assert!(handled >= 4, "{handled}");
+    assert!(snapshot.histograms.iter().any(|(name, _)| name == "orb.dispatch_us"));
+    let mut sorted = snapshot.counters.clone();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    assert_eq!(snapshot.counters, sorted, "remote snapshot arrives sorted");
+
+    // The remote snapshot feeds the exporter directly.
+    let exposition = prometheus_text(&snapshot);
+    assert!(exposition.contains("# TYPE maqs_orb_requests_handled counter"), "{exposition}");
+    assert!(exposition.contains("maqs_orb_dispatch_us_count"), "{exposition}");
+
+    // Flight tail: recent lifecycle events, dispatches included.
+    let tail = introspector.flight_tail(server_node, 64).unwrap();
+    assert!(!tail.is_empty());
+    assert!(
+        tail.iter().any(|e| e.kind == FlightEventKind::RequestDispatched && &*e.node == "server"),
+        "{tail:?}"
+    );
+    assert!(tail.windows(2).all(|w| w[0].seq < w[1].seq), "tail ordered by seq");
+    let short = introspector.flight_tail(server_node, 2).unwrap();
+    assert!(short.len() <= 2);
+
+    // Bindings: the woven deployment as served, with installed QoS.
+    let bindings = introspector.bindings(server_node).unwrap();
+    assert_eq!(bindings.len(), 1, "{bindings:?}");
+    assert_eq!(bindings[0].object, "counter");
+    assert_eq!(bindings[0].interface, "IDL:Counter:1.0");
+    assert!(bindings[0].characteristics.iter().any(|c| c == "Replication"), "{bindings:?}");
+
+    server.shutdown();
+    client.shutdown();
+}
+
+#[test]
+fn introspection_works_collocated_and_rejects_unknown_operations() {
+    let net = Network::new(8);
+    let node = MaqsNode::builder(&net, "solo").build().unwrap();
+
+    // A node can introspect itself through its own ORB (collocated path).
+    let health = node.introspector().health(node.orb().node()).unwrap();
+    assert_eq!(health.node, "solo");
+
+    // Unknown operations surface as remote BadOperation, not a hang.
+    let ior = orb::Ior::new("IDL:maqs/Introspection:1.0", node.orb().node(), INTROSPECTION_KEY);
+    let err = node.orb().invoke(&ior, "not_an_op", &[]).unwrap_err();
+    assert!(matches!(err, OrbError::BadOperation(_)), "{err:?}");
+
+    node.shutdown();
+}
