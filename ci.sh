@@ -1,6 +1,11 @@
 #!/usr/bin/env sh
 # CI gate: formatting, lints, build, tests, and the demo spec staying
 # clean under qoslint. Mirrors what reviewers run locally.
+#
+# Opt-in: MAQS_SANITIZE=1 adds the sanitizer lane (miri over the
+# orb::sync wrappers, ThreadSanitizer over the hot-path stress test);
+# each tool is skipped with a notice when the toolchain lacks it. The
+# conccheck interleaving models always run — they need only stable rust.
 set -eu
 
 cd "$(dirname "$0")"
@@ -10,6 +15,15 @@ cargo fmt --all -- --check || echo "    (formatting drift, not fatal)"
 
 echo "==> cargo clippy"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> forbid(unsafe_code) (every crate root must carry it)"
+for root in crates/*/src/lib.rs; do
+    if ! grep -q '#!\[forbid(unsafe_code)\]' "$root"; then
+        echo "    $root: missing #![forbid(unsafe_code)]" >&2
+        exit 1
+    fi
+done
+echo "    $(ls -d crates/*/src/lib.rs | wc -l | tr -d ' ') crate roots checked"
 
 echo "==> cargo build --release"
 cargo build --release --workspace
@@ -57,6 +71,37 @@ if got > want * 3:
     sys.exit(f"hot-path regression: null-call p50 {got:.1f}us vs baseline {want:.1f}us (>3x)")
 print(f"    null-call p50 {got:.1f}us (baseline {want:.1f}us) -- ok")
 EOF
+
+echo "==> conccheck interleaving models (bounded-preemption exhaustive)"
+# The checker's own self-tests, then the four ORB models: pending-table
+# accounting, ReplySlot armed-guard (plus the seeded mutation that
+# proves the model can fail), breaker probe races, flight-ring flush.
+cargo test -q -p conccheck
+cargo test -q -p orb --features loom-models --test loom_models
+
+if [ "${MAQS_SANITIZE:-0}" = "1" ]; then
+    echo "==> sanitizers (MAQS_SANITIZE=1)"
+    # Miri: UB check over the lock-discipline wrappers. The rank checks
+    # are pure safe Rust, but miri also validates the thread-local
+    # held-stack bookkeeping under its aliasing model.
+    if rustup component list --installed 2>/dev/null | grep -q '^miri'; then
+        echo "    miri: orb::sync unit tests"
+        cargo miri test -p orb --lib sync::
+    else
+        echo "    miri not installed; skipping (rustup component add miri)"
+    fi
+    # ThreadSanitizer needs -Z flags, i.e. a nightly toolchain.
+    if rustup run nightly rustc --version >/dev/null 2>&1; then
+        echo "    tsan: hotpath_stress under ThreadSanitizer"
+        RUSTFLAGS="-Zsanitizer=thread" RUSTDOCFLAGS="-Zsanitizer=thread" \
+            rustup run nightly cargo test -p maqs --test hotpath_stress \
+            --target "$(rustc -vV | sed -n 's/^host: //p')" -Zbuild-std
+    else
+        echo "    nightly toolchain unavailable; skipping TSan lane"
+    fi
+else
+    echo "==> sanitizers skipped (set MAQS_SANITIZE=1 to enable)"
+fi
 
 echo "==> qoslint (committed specs must be clean, warnings denied)"
 # Fixtures under crates/qoslint/tests/fixtures are intentionally broken

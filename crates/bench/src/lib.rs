@@ -5,6 +5,8 @@
 //! virtual-time or count based results), then runs Criterion timing
 //! groups for the latency-shaped rows.
 
+#![forbid(unsafe_code)]
+
 use orb::{Any, OrbError, Servant};
 
 /// A servant answering `echo` with its argument — the standard workload

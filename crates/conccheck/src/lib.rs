@@ -1,0 +1,525 @@
+//! Exhaustive interleaving exploration for small concurrency models.
+//!
+//! `conccheck` is a loom-style model checker built from scratch so the
+//! workspace can verify its lock-free and lock-based algorithms without
+//! external dependencies. A *model* is a closure that spawns a handful of
+//! controlled threads ([`thread::spawn`]) operating on shared state built
+//! from the shim primitives in [`sync`]. The checker runs the model under
+//! **every** thread interleaving (up to a preemption bound), restarting it
+//! once per schedule, and reports the first schedule on which the model
+//! panics, asserts, or deadlocks.
+//!
+//! # How it works
+//!
+//! Only one model thread runs at a time. Every shim operation (mutex
+//! acquire, atomic access, [`thread::yield_now`]) is a *decision point*:
+//! the running thread hands control to a central scheduler, which picks
+//! the next thread to run. Scheduling is deterministic given a *path* — a
+//! sequence of choices — so the checker performs a depth-first search
+//! over paths: run to completion, back up to the deepest decision point
+//! with an untried alternative, and re-run with that alternative forced.
+//!
+//! A *preemption* is choosing a different thread while the current one is
+//! still runnable. Exploration is exhaustive within
+//! [`Builder::preemption_bound`] context switches of that kind; bounding
+//! preemptions keeps the state space tractable and is known to find the
+//! vast majority of real schedule bugs at small bounds (2–3).
+//!
+//! Deadlocks (every live thread blocked) and model panics are reported
+//! with the offending schedule so a failure is replayable by eye.
+//!
+//! # Scope
+//!
+//! The shims cover what the MAQS models need: [`sync::Mutex`],
+//! [`sync::atomic::AtomicU64`], [`sync::atomic::AtomicBool`],
+//! [`thread::spawn`]/[`thread::JoinHandle`], [`thread::yield_now`].
+//! Everything is sequentially consistent — this checker explores
+//! *scheduling* nondeterminism, not weak-memory reordering. Condition
+//! variables are deliberately absent: model waiters as polling loops,
+//! which explores strictly more wake-up orders than a condvar would
+//! allow.
+//!
+//! # Example
+//!
+//! ```
+//! use conccheck::sync::Mutex;
+//! use std::sync::Arc;
+//!
+//! conccheck::model(|| {
+//!     let counter = Arc::new(Mutex::new(0u32));
+//!     let handles: Vec<_> = (0..2)
+//!         .map(|_| {
+//!             let counter = Arc::clone(&counter);
+//!             conccheck::thread::spawn(move || *counter.lock() += 1)
+//!         })
+//!         .collect();
+//!     for h in handles {
+//!         h.join();
+//!     }
+//!     assert_eq!(*counter.lock(), 2);
+//! });
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
+
+pub mod sync;
+pub mod thread;
+
+/// Why a model failed, plus the schedule that got it there.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Human-readable reason: the panic payload or `"deadlock"`.
+    pub reason: String,
+    /// The thread chosen at each decision point of the failing run.
+    pub schedule: Vec<usize>,
+    /// Number of complete executions before the failure.
+    pub executions: u64,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "model failed after {} execution(s): {}\nschedule: {:?}",
+            self.executions, self.reason, self.schedule
+        )
+    }
+}
+
+/// Summary of a completed exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Interleavings executed.
+    pub executions: u64,
+    /// True if the search space was exhausted, false if the execution
+    /// budget ran out first.
+    pub complete: bool,
+}
+
+/// Exploration configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Builder {
+    preemption_bound: usize,
+    max_executions: u64,
+}
+
+impl Default for Builder {
+    fn default() -> Builder {
+        Builder { preemption_bound: 3, max_executions: 500_000 }
+    }
+}
+
+/// Check `f` under every interleaving with the default bounds, panicking
+/// on the first failing schedule.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().check(f);
+}
+
+impl Builder {
+    /// Default configuration: preemption bound 3, 500 000 executions.
+    pub fn new() -> Builder {
+        Builder::default()
+    }
+
+    /// Maximum number of forced context switches away from a runnable
+    /// thread per execution. Exploration is exhaustive within the bound.
+    pub fn preemption_bound(mut self, bound: usize) -> Builder {
+        self.preemption_bound = bound;
+        self
+    }
+
+    /// Upper bound on executed interleavings (a runaway-model backstop).
+    pub fn max_executions(mut self, max: u64) -> Builder {
+        self.max_executions = max;
+        self
+    }
+
+    /// Explore `f`, panicking with the failing schedule if any
+    /// interleaving panics or deadlocks.
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        match self.check_result(f) {
+            Ok(report) => report,
+            Err(failure) => panic!("{failure}"),
+        }
+    }
+
+    /// Explore `f`, returning the first failure instead of panicking.
+    /// This is how mutation tests assert that a *buggy* model is caught.
+    pub fn check_result<F>(&self, f: F) -> Result<Report, Failure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let mut path: Vec<PathEntry> = Vec::new();
+        let mut executions: u64 = 0;
+        loop {
+            if executions >= self.max_executions {
+                return Ok(Report { executions, complete: false });
+            }
+            executions += 1;
+            let sched = Arc::new(Scheduler::new(path.clone(), self.preemption_bound));
+            let outcome = run_once(&sched, Arc::clone(&f));
+            let trace = sched.take_trace();
+            if let Some(reason) = outcome {
+                return Err(Failure {
+                    reason,
+                    schedule: trace.iter().map(|e| e.candidates[e.index]).collect(),
+                    executions,
+                });
+            }
+            // Depth-first backtracking: advance the deepest decision
+            // point that still has an untried, bound-respecting
+            // alternative; drop everything beneath it.
+            path = trace;
+            loop {
+                match path.last_mut() {
+                    None => return Ok(Report { executions, complete: true }),
+                    Some(last) => {
+                        if last.next_alternative() {
+                            break;
+                        }
+                        path.pop();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One decision point on the exploration path.
+#[derive(Debug, Clone)]
+struct PathEntry {
+    /// Runnable threads at this point. `candidates[0]` is the previously
+    /// running thread when it is still runnable, so index > 0 with a
+    /// runnable predecessor is a preemption.
+    candidates: Vec<usize>,
+    /// Which candidate this execution takes.
+    index: usize,
+    /// True when `candidates[0]` is the thread that was already running
+    /// (i.e. alternatives cost a preemption).
+    voluntary: bool,
+    /// Preemptions consumed on the path *before* this point.
+    preemptions_before: usize,
+    /// Preemption budget (copied from the builder for `next_alternative`).
+    budget: usize,
+}
+
+impl PathEntry {
+    /// Advance to the next untried alternative within the preemption
+    /// budget. Returns false when exhausted.
+    fn next_alternative(&mut self) -> bool {
+        let next = self.index + 1;
+        if next >= self.candidates.len() {
+            return false;
+        }
+        // Any alternative beyond index 0 of a voluntary point preempts
+        // the running thread; respect the budget.
+        if self.voluntary && self.preemptions_before >= self.budget {
+            return false;
+        }
+        self.index = next;
+        true
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ThreadState {
+    Runnable,
+    /// Waiting on a mutex (by resource id).
+    BlockedOnMutex(usize),
+    /// Waiting for another thread to finish.
+    BlockedOnJoin(usize),
+    Finished,
+}
+
+struct SchedInner {
+    threads: Vec<ThreadState>,
+    /// Thread whose turn it is to run.
+    current: usize,
+    /// Replay-then-record decision path for this execution.
+    trace: Vec<PathEntry>,
+    /// Decision points consumed so far.
+    pos: usize,
+    /// Replay prefix length (entries `< replay_len` reuse the recorded
+    /// index; entries beyond it are fresh decisions).
+    replay_len: usize,
+    preemptions: usize,
+    /// Set when the model panicked or deadlocked; all threads unwind.
+    failed: Option<String>,
+    /// Next mutex / resource id.
+    next_resource: usize,
+}
+
+/// The per-execution scheduler: one turn token, handed between controlled
+/// threads at decision points.
+pub(crate) struct Scheduler {
+    inner: StdMutex<SchedInner>,
+    cv: Condvar,
+    preemption_bound: usize,
+}
+
+thread_local! {
+    pub(crate) static CURRENT: RefCell<Option<(Arc<Scheduler>, usize)>> =
+        const { RefCell::new(None) };
+}
+
+/// Panic payload used to unwind controlled threads when the execution is
+/// being abandoned (another thread failed); not itself a model failure.
+pub(crate) const ABANDONED: &str = "__conccheck_abandoned__";
+
+pub(crate) fn with_scheduler<R>(f: impl FnOnce(&Arc<Scheduler>, usize) -> R) -> R {
+    CURRENT.with(|cur| {
+        let cur = cur.borrow();
+        let (sched, tid) = cur
+            .as_ref()
+            .expect("conccheck primitives may only be used inside conccheck::model");
+        f(sched, *tid)
+    })
+}
+
+impl Scheduler {
+    fn new(path: Vec<PathEntry>, preemption_bound: usize) -> Scheduler {
+        let replay_len = path.len();
+        Scheduler {
+            inner: StdMutex::new(SchedInner {
+                threads: vec![ThreadState::Runnable],
+                current: 0,
+                trace: path,
+                pos: 0,
+                replay_len,
+                preemptions: 0,
+                failed: None,
+                next_resource: 0,
+            }),
+            cv: Condvar::new(),
+            preemption_bound,
+        }
+    }
+
+    pub(crate) fn lock_inner(&self) -> std::sync::MutexGuard<'_, SchedInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Wait until it is `tid`'s turn, without making a scheduling
+    /// decision (used by freshly spawned threads: the *spawner* keeps the
+    /// turn, and some later decision point hands it over).
+    pub(crate) fn wait_for_turn(&self, tid: usize) {
+        let mut inner = self.lock_inner();
+        self.check_abandoned(&inner);
+        while inner.current != tid {
+            inner = self.cv.wait(inner).unwrap_or_else(PoisonError::into_inner);
+            self.check_abandoned(&inner);
+        }
+    }
+
+    /// Wake everyone after this thread unwound from an abandoned
+    /// execution (the failure is already recorded).
+    pub(crate) fn fail_abandoned_cleanup(&self) {
+        self.cv.notify_all();
+    }
+
+    fn take_trace(&self) -> Vec<PathEntry> {
+        std::mem::take(&mut self.lock_inner().trace)
+    }
+
+    pub(crate) fn new_resource(&self) -> usize {
+        let mut inner = self.lock_inner();
+        inner.next_resource += 1;
+        inner.next_resource
+    }
+
+    /// Register a new controlled thread; returns its tid. The spawner
+    /// keeps running — the new thread waits for its first turn.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut inner = self.lock_inner();
+        inner.threads.push(ThreadState::Runnable);
+        inner.threads.len() - 1
+    }
+
+    /// The running thread offers a decision point: pick who runs next
+    /// (possibly the caller again) and block until it is the caller's
+    /// turn once more.
+    pub(crate) fn schedule(&self, tid: usize) {
+        let mut inner = self.lock_inner();
+        self.check_abandoned(&inner);
+        self.decide(&mut inner, tid);
+        while inner.current != tid {
+            inner = self.cv.wait(inner).unwrap_or_else(PoisonError::into_inner);
+            self.check_abandoned(&inner);
+        }
+    }
+
+    /// Block the calling thread on `state` until woken, handing the turn
+    /// to some runnable thread.
+    pub(crate) fn block_current(&self, tid: usize, state: ThreadState) {
+        let mut inner = self.lock_inner();
+        self.check_abandoned(&inner);
+        inner.threads[tid] = state;
+        self.decide(&mut inner, tid);
+        while inner.current != tid || inner.threads[tid] != ThreadState::Runnable {
+            inner = self.cv.wait(inner).unwrap_or_else(PoisonError::into_inner);
+            self.check_abandoned(&inner);
+        }
+    }
+
+    /// Wake every thread blocked on mutex `id` (they re-contend).
+    pub(crate) fn wake_mutex_waiters(&self, id: usize) {
+        let mut inner = self.lock_inner();
+        for t in inner.threads.iter_mut() {
+            if *t == ThreadState::BlockedOnMutex(id) {
+                *t = ThreadState::Runnable;
+            }
+        }
+    }
+
+    /// Mark `tid` finished, wake joiners, hand the turn on.
+    pub(crate) fn finish_thread(&self, tid: usize) {
+        let mut inner = self.lock_inner();
+        if inner.failed.is_some() {
+            self.cv.notify_all();
+            return;
+        }
+        inner.threads[tid] = ThreadState::Finished;
+        for t in inner.threads.iter_mut() {
+            if *t == ThreadState::BlockedOnJoin(tid) {
+                *t = ThreadState::Runnable;
+            }
+        }
+        self.decide(&mut inner, tid);
+    }
+
+    /// Record a model failure and wake everyone so the execution unwinds.
+    pub(crate) fn fail(&self, reason: String) {
+        let mut inner = self.lock_inner();
+        if inner.failed.is_none() {
+            inner.failed = Some(reason);
+        }
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn failure(&self) -> Option<String> {
+        self.lock_inner().failed.clone()
+    }
+
+    fn check_abandoned(&self, inner: &SchedInner) {
+        if inner.failed.is_some() {
+            // Unwind this thread; run_once reports the recorded failure.
+            panic!("{ABANDONED}");
+        }
+    }
+
+    /// Core decision logic: replay the path prefix, or record a fresh
+    /// choice using the default policy (keep running the current thread).
+    fn decide(&self, inner: &mut SchedInner, prev: usize) {
+        let prev_runnable = inner.threads[prev] == ThreadState::Runnable;
+        let mut candidates: Vec<usize> = Vec::new();
+        if prev_runnable {
+            candidates.push(prev);
+        }
+        for (tid, state) in inner.threads.iter().enumerate() {
+            if *state == ThreadState::Runnable && tid != prev {
+                candidates.push(tid);
+            }
+        }
+        if candidates.is_empty() {
+            let live = inner
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| **s != ThreadState::Finished)
+                .map(|(t, s)| format!("thread {t}: {s:?}"))
+                .collect::<Vec<_>>();
+            if live.is_empty() {
+                // Everything finished; nothing left to schedule.
+                self.cv.notify_all();
+                return;
+            }
+            inner.failed = Some(format!("deadlock: {}", live.join(", ")));
+            self.cv.notify_all();
+            panic!("{ABANDONED}");
+        }
+        let pos = inner.pos;
+        let chosen = if pos < inner.replay_len {
+            let entry = &mut inner.trace[pos];
+            // The enabled set must be identical on replay — scheduling
+            // is deterministic — but recompute defensively.
+            entry.candidates = candidates;
+            entry.voluntary = prev_runnable;
+            let idx = entry.index.min(entry.candidates.len() - 1);
+            entry.index = idx;
+            entry.candidates[idx]
+        } else {
+            let entry = PathEntry {
+                candidates,
+                index: 0,
+                voluntary: prev_runnable,
+                preemptions_before: inner.preemptions,
+                budget: self.preemption_bound,
+            };
+            let chosen = entry.candidates[0];
+            inner.trace.push(entry);
+            chosen
+        };
+        if prev_runnable && chosen != prev {
+            inner.preemptions += 1;
+        }
+        inner.pos += 1;
+        inner.current = chosen;
+        self.cv.notify_all();
+    }
+}
+
+/// Run the model once under `sched`; returns the failure reason, if any.
+fn run_once<F>(sched: &Arc<Scheduler>, f: Arc<F>) -> Option<String>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let root_sched = Arc::clone(sched);
+    let root = std::thread::Builder::new()
+        .name("conccheck-0".into())
+        .spawn(move || {
+            CURRENT.with(|cur| *cur.borrow_mut() = Some((Arc::clone(&root_sched), 0)));
+            let result = catch_unwind(AssertUnwindSafe(|| f()));
+            match result {
+                Ok(()) => root_sched.finish_thread(0),
+                Err(payload) => {
+                    let reason = payload_to_string(payload);
+                    if reason == ABANDONED {
+                        root_sched.fail_abandoned_cleanup();
+                    } else {
+                        root_sched.fail(reason);
+                    }
+                }
+            }
+            // Reap children after handing the turn on, so threads the
+            // model never joined can still finish their work.
+            for child in thread::take_children() {
+                let _ = child.join();
+            }
+        })
+        .expect("spawn model root thread");
+    let _ = root.join();
+    sched.failure().filter(|r| r != ABANDONED)
+}
+
+pub(crate) fn payload_to_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model panicked".to_string()
+    }
+}

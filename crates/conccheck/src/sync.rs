@@ -1,0 +1,208 @@
+//! Shim synchronization primitives whose every operation is a
+//! [`conccheck`](crate) scheduling point.
+//!
+//! All primitives are sequentially consistent: the checker explores
+//! scheduling nondeterminism, not weak-memory reordering, so `Ordering`
+//! arguments on the atomics are accepted and ignored.
+
+use crate::{with_scheduler, Scheduler, ThreadState};
+use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+
+/// A model mutex. Acquisition is a scheduling point; contended
+/// acquisition blocks the model thread until the holder releases.
+///
+/// The protected value is *moved into the guard* while held (and moved
+/// back on release), which lets the guard hand out plain references with
+/// no unsafe code even though other model threads run in between.
+pub struct Mutex<T> {
+    id: usize,
+    inner: StdMutex<Slot<T>>,
+}
+
+struct Slot<T> {
+    held: bool,
+    value: Option<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a mutex owned by the current model execution.
+    pub fn new(value: T) -> Mutex<T> {
+        let id = with_scheduler(|sched, _| sched.new_resource());
+        Mutex { id, inner: StdMutex::new(Slot { held: false, value: Some(value) }) }
+    }
+
+    fn slot(&self) -> std::sync::MutexGuard<'_, Slot<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquire the mutex, yielding to the scheduler first.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let (sched, tid) = with_scheduler(|sched, tid| (Arc::clone(sched), tid));
+        loop {
+            sched.schedule(tid);
+            {
+                let mut slot = self.slot();
+                if !slot.held {
+                    slot.held = true;
+                    let value = slot.value.take().expect("unheld mutex must hold its value");
+                    return MutexGuard { lock: self, sched, value: Some(value) };
+                }
+            }
+            sched.block_current(tid, ThreadState::BlockedOnMutex(self.id));
+        }
+    }
+
+    /// Attempt to acquire without blocking; still a scheduling point.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let (sched, tid) = with_scheduler(|sched, tid| (Arc::clone(sched), tid));
+        sched.schedule(tid);
+        let mut slot = self.slot();
+        if slot.held {
+            return None;
+        }
+        slot.held = true;
+        let value = slot.value.take().expect("unheld mutex must hold its value");
+        drop(slot);
+        Some(MutexGuard { lock: self, sched, value: Some(value) })
+    }
+}
+
+/// Guard for a model [`Mutex`]; releasing it wakes blocked threads.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    sched: Arc<Scheduler>,
+    value: Option<T>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.value.as_ref().expect("guard value present")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.value.as_mut().expect("guard value present")
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let mut slot = self.lock.slot();
+        slot.value = self.value.take();
+        slot.held = false;
+        drop(slot);
+        self.sched.wake_mutex_waiters(self.lock.id);
+    }
+}
+
+/// Model atomics. Every access is a scheduling point.
+pub mod atomic {
+    use super::StdMutex;
+    use crate::with_scheduler;
+    use std::sync::PoisonError;
+
+    /// Re-exported for API familiarity; the checker is sequentially
+    /// consistent, so the ordering argument is ignored.
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! model_atomic {
+        ($(#[$doc:meta])* $name:ident, $ty:ty) => {
+            $(#[$doc])*
+            pub struct $name {
+                cell: StdMutex<$ty>,
+            }
+
+            impl $name {
+                /// Create the atomic with `value`.
+                pub fn new(value: $ty) -> $name {
+                    $name { cell: StdMutex::new(value) }
+                }
+
+                fn with<R>(&self, f: impl FnOnce(&mut $ty) -> R) -> R {
+                    with_scheduler(|sched, tid| sched.schedule(tid));
+                    let mut cell = self.cell.lock().unwrap_or_else(PoisonError::into_inner);
+                    f(&mut cell)
+                }
+
+                /// Sequentially consistent load.
+                pub fn load(&self, _order: Ordering) -> $ty {
+                    self.with(|v| *v)
+                }
+
+                /// Sequentially consistent store.
+                pub fn store(&self, value: $ty, _order: Ordering) {
+                    self.with(|v| *v = value)
+                }
+
+                /// Atomic swap, returning the previous value.
+                pub fn swap(&self, value: $ty, _order: Ordering) -> $ty {
+                    self.with(|v| std::mem::replace(v, value))
+                }
+
+                /// Atomic compare-exchange.
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    self.with(|v| {
+                        if *v == current {
+                            *v = new;
+                            Ok(current)
+                        } else {
+                            Err(*v)
+                        }
+                    })
+                }
+            }
+        };
+    }
+
+    model_atomic!(
+        /// Model `AtomicU64`.
+        AtomicU64,
+        u64
+    );
+    model_atomic!(
+        /// Model `AtomicUsize`.
+        AtomicUsize,
+        usize
+    );
+    model_atomic!(
+        /// Model `AtomicBool`.
+        AtomicBool,
+        bool
+    );
+
+    impl AtomicU64 {
+        /// Atomic add, returning the previous value.
+        pub fn fetch_add(&self, delta: u64, _order: Ordering) -> u64 {
+            self.with(|v| {
+                let prev = *v;
+                *v = v.wrapping_add(delta);
+                prev
+            })
+        }
+    }
+
+    impl AtomicUsize {
+        /// Atomic add, returning the previous value.
+        pub fn fetch_add(&self, delta: usize, _order: Ordering) -> usize {
+            self.with(|v| {
+                let prev = *v;
+                *v = v.wrapping_add(delta);
+                prev
+            })
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Controlled threads for [`conccheck`](crate) models.
+
+use crate::{with_scheduler, ThreadState, CURRENT};
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+thread_local! {
+    /// Real join handles of children spawned by this controlled thread;
+    /// collected by the execution driver so every OS thread is reaped.
+    static CHILDREN: RefCell<Vec<std::thread::JoinHandle<()>>> = const { RefCell::new(Vec::new()) };
+}
+
+pub(crate) fn take_children() -> Vec<std::thread::JoinHandle<()>> {
+    CHILDREN.with(|c| std::mem::take(&mut *c.borrow_mut()))
+}
+
+/// Handle to a controlled thread; [`join`](JoinHandle::join) blocks the
+/// caller (as a model-visible event) until the thread finishes.
+pub struct JoinHandle {
+    tid: usize,
+    real: Option<std::thread::JoinHandle<()>>,
+}
+
+impl JoinHandle {
+    /// Wait for the thread to finish. Panics raised inside the child are
+    /// reported as model failures by the checker, not rethrown here.
+    pub fn join(mut self) {
+        let (sched, my_tid, target) =
+            with_scheduler(|sched, tid| (Arc::clone(sched), tid, self.tid));
+        let finished = {
+            let inner = sched.lock_inner();
+            inner.threads[target] == ThreadState::Finished
+        };
+        if !finished {
+            sched.block_current(my_tid, ThreadState::BlockedOnJoin(target));
+        }
+        if let Some(real) = self.real.take() {
+            let _ = real.join();
+        }
+    }
+}
+
+impl Drop for JoinHandle {
+    fn drop(&mut self) {
+        // An unjoined handle: hand the real handle to the driver so the
+        // OS thread is still reaped at the end of the execution.
+        if let Some(real) = self.real.take() {
+            CHILDREN.with(|c| c.borrow_mut().push(real));
+        }
+    }
+}
+
+/// Spawn a controlled thread running `f`. The spawn itself is a
+/// scheduling event: the child starts runnable but only executes when the
+/// scheduler hands it the turn.
+pub fn spawn<F>(f: F) -> JoinHandle
+where
+    F: FnOnce() + Send + 'static,
+{
+    let (sched, tid) = with_scheduler(|sched, _| (Arc::clone(sched), sched.register_thread()));
+    let child_sched = Arc::clone(&sched);
+    let real = std::thread::Builder::new()
+        .name(format!("conccheck-{tid}"))
+        .spawn(move || {
+            CURRENT.with(|cur| *cur.borrow_mut() = Some((Arc::clone(&child_sched), tid)));
+            // Wait for the first turn before touching shared state; the
+            // spawner keeps running until its next decision point.
+            let first_turn = catch_unwind(AssertUnwindSafe(|| child_sched.wait_for_turn(tid)));
+            if first_turn.is_err() {
+                child_sched.fail_abandoned_cleanup();
+                return;
+            }
+            let result = catch_unwind(AssertUnwindSafe(f));
+            let children = take_children();
+            match result {
+                Ok(()) => child_sched.finish_thread(tid),
+                Err(payload) => {
+                    let reason = crate::payload_to_string(payload);
+                    if reason != crate::ABANDONED {
+                        child_sched.fail(reason);
+                    } else {
+                        child_sched.fail_abandoned_cleanup();
+                    }
+                }
+            }
+            for child in children {
+                let _ = child.join();
+            }
+        })
+        .expect("spawn controlled thread");
+    JoinHandle { tid, real: Some(real) }
+}
+
+/// Voluntarily offer a scheduling point.
+pub fn yield_now() {
+    with_scheduler(|sched, tid| sched.schedule(tid));
+}

@@ -1,0 +1,210 @@
+//! Self-tests: the checker must catch known-bad models and pass known-good
+//! ones. These pin the checker's semantics before the ORB models rely on it.
+
+use conccheck::sync::atomic::{AtomicU64, Ordering};
+use conccheck::sync::Mutex;
+use conccheck::{thread, Builder};
+use std::sync::Arc;
+
+/// A classic lost update: two threads do a non-atomic read-modify-write.
+/// The checker must find the interleaving where both read the same value.
+#[test]
+fn racy_increment_is_caught() {
+    let failure = Builder::new()
+        .check_result(|| {
+            let counter = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let counter = Arc::clone(&counter);
+                    thread::spawn(move || {
+                        let v = counter.load(Ordering::SeqCst);
+                        counter.store(v + 1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+            assert_eq!(counter.load(Ordering::SeqCst), 2, "lost update");
+        })
+        .expect_err("the checker must find the lost-update interleaving");
+    assert!(
+        failure.reason.contains("lost update"),
+        "unexpected failure reason: {}",
+        failure.reason
+    );
+    assert!(!failure.schedule.is_empty());
+}
+
+/// The same counter guarded by a mutex must pass under every interleaving.
+#[test]
+fn mutexed_increment_passes() {
+    let report = Builder::new()
+        .check_result(|| {
+            let counter = Arc::new(Mutex::new(0u64));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let counter = Arc::clone(&counter);
+                    thread::spawn(move || *counter.lock() += 1)
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+            assert_eq!(*counter.lock(), 2);
+        })
+        .expect("mutexed counter must be correct");
+    assert!(report.complete, "search space should be exhausted");
+    assert!(report.executions > 1, "more than one interleaving must exist");
+}
+
+/// Compare-exchange retry loops are also race-free.
+#[test]
+fn cas_increment_passes() {
+    Builder::new()
+        .check(|| {
+            let counter = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let counter = Arc::clone(&counter);
+                    thread::spawn(move || loop {
+                        let v = counter.load(Ordering::SeqCst);
+                        if counter
+                            .compare_exchange(v, v + 1, Ordering::SeqCst, Ordering::SeqCst)
+                            .is_ok()
+                        {
+                            break;
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+            assert_eq!(counter.load(Ordering::SeqCst), 2);
+        });
+}
+
+/// AB/BA lock ordering: the checker must find the deadlocking interleaving
+/// and report it as a deadlock (not a hang).
+#[test]
+fn ab_ba_deadlock_is_caught() {
+    let failure = Builder::new()
+        .check_result(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t1 = thread::spawn(move || {
+                let _ga = a.lock();
+                let _gb = b.lock();
+            });
+            let t2 = thread::spawn(move || {
+                let _gb = b2.lock();
+                let _ga = a2.lock();
+            });
+            t1.join();
+            t2.join();
+        })
+        .expect_err("the checker must find the AB/BA deadlock");
+    assert!(
+        failure.reason.contains("deadlock"),
+        "unexpected failure reason: {}",
+        failure.reason
+    );
+}
+
+/// try_lock never blocks, so the AB/BA shape with try_lock on the second
+/// acquisition cannot deadlock.
+#[test]
+fn try_lock_avoids_ab_ba_deadlock() {
+    Builder::new()
+        .check(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t1 = thread::spawn(move || {
+                let _ga = a.lock();
+                let _gb = b.try_lock();
+            });
+            let t2 = thread::spawn(move || {
+                let _gb = b2.lock();
+                let _ga = a2.try_lock();
+            });
+            t1.join();
+            t2.join();
+        });
+}
+
+/// Preemption bound 0 means threads run to completion in schedule order;
+/// the lost-update race needs one preemption, so it must NOT be found.
+/// This pins the meaning of the bound (and why the default is above zero).
+#[test]
+fn preemption_bound_zero_misses_the_race() {
+    let report = Builder::new()
+        .preemption_bound(0)
+        .check_result(|| {
+            let counter = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let counter = Arc::clone(&counter);
+                    thread::spawn(move || {
+                        let v = counter.load(Ordering::SeqCst);
+                        counter.store(v + 1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+            assert_eq!(counter.load(Ordering::SeqCst), 2);
+        })
+        .expect("without preemptions each thread's RMW is atomic");
+    assert!(report.complete);
+}
+
+/// yield_now is a pure decision point: it widens the explored schedule set
+/// without touching state, and a correct model stays correct.
+#[test]
+fn yield_points_do_not_change_outcomes() {
+    Builder::new()
+        .check(|| {
+            let counter = Arc::new(Mutex::new(0u64));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let counter = Arc::clone(&counter);
+                    thread::spawn(move || {
+                        thread::yield_now();
+                        *counter.lock() += 1;
+                        thread::yield_now();
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+            assert_eq!(*counter.lock(), 2);
+        });
+}
+
+/// The execution cap stops runaway models and reports an incomplete search
+/// instead of spinning forever.
+#[test]
+fn max_executions_caps_the_search() {
+    let report = Builder::new()
+        .max_executions(3)
+        .check_result(|| {
+            let counter = Arc::new(Mutex::new(0u64));
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let counter = Arc::clone(&counter);
+                    thread::spawn(move || *counter.lock() += 1)
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+        })
+        .expect("capped search should not fail a correct model");
+    assert_eq!(report.executions, 3);
+    assert!(!report.complete);
+}

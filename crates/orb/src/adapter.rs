@@ -1,9 +1,9 @@
 //! The object adapter: servant registry and request dispatch.
 
+use crate::sync::{LockRank, OrderedRwLock};
 use crate::any::Any;
 use crate::error::OrbError;
 use crate::ior::ObjectKey;
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -52,9 +52,17 @@ pub trait Servant: Send + Sync {
 }
 
 /// Maps object keys to active servants and dispatches requests to them.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct ObjectAdapter {
-    servants: Arc<RwLock<HashMap<ObjectKey, Arc<dyn Servant>>>>,
+    servants: Arc<OrderedRwLock<HashMap<ObjectKey, Arc<dyn Servant>>>>,
+}
+
+impl Default for ObjectAdapter {
+    fn default() -> ObjectAdapter {
+        ObjectAdapter {
+            servants: Arc::new(OrderedRwLock::new(LockRank::AdapterServants, HashMap::new())),
+        }
+    }
 }
 
 impl fmt::Debug for ObjectAdapter {

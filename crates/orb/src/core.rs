@@ -38,14 +38,14 @@ use crate::metrics::MetricsRegistry;
 use crate::pseudo::PseudoObjectRegistry;
 use crate::trace::{self, TraceContext, TRACE_CONTEXT_ID};
 use crate::transport::QosTransport;
+use crate::sync::{LockRank, OrderedCondvar, OrderedMutex};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use netsim::{NetHandle, Network, NodeId};
-use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -113,8 +113,8 @@ pub(crate) const PENDING_SHARDS: usize = 16;
 /// recognised as stale and counted orphaned rather than delivered to
 /// the wrong caller.
 struct ReplySlot {
-    state: StdMutex<SlotState>,
-    cvar: Condvar,
+    state: OrderedMutex<SlotState>,
+    cvar: OrderedCondvar,
 }
 
 struct SlotState {
@@ -126,19 +126,22 @@ struct SlotState {
 impl ReplySlot {
     fn new() -> ReplySlot {
         ReplySlot {
-            state: StdMutex::new(SlotState { armed: 0, queue: VecDeque::new() }),
-            cvar: Condvar::new(),
+            state: OrderedMutex::new(
+                LockRank::ReplySlot,
+                SlotState { armed: 0, queue: VecDeque::new() },
+            ),
+            cvar: OrderedCondvar::new(),
         }
     }
 
     fn arm(&self, id: u64) {
-        let mut s = self.state.lock().expect("reply slot poisoned");
+        let mut s = self.state.lock();
         s.armed = id;
         s.queue.clear();
     }
 
     fn disarm(&self) {
-        let mut s = self.state.lock().expect("reply slot poisoned");
+        let mut s = self.state.lock();
         s.armed = 0;
         s.queue.clear();
     }
@@ -146,7 +149,7 @@ impl ReplySlot {
     /// Deliver `reply` if the slot is still armed for `id`; a refusal
     /// means the caller gave up (timeout) and the reply is an orphan.
     fn push(&self, id: u64, reply: ReplyMessage) -> bool {
-        let mut s = self.state.lock().expect("reply slot poisoned");
+        let mut s = self.state.lock();
         if s.armed != id {
             return false;
         }
@@ -157,7 +160,7 @@ impl ReplySlot {
 
     /// Take one queued reply for `id` without blocking.
     fn try_pop(&self, id: u64) -> Option<ReplyMessage> {
-        let mut s = self.state.lock().expect("reply slot poisoned");
+        let mut s = self.state.lock();
         if s.armed != id {
             return None;
         }
@@ -166,7 +169,7 @@ impl ReplySlot {
 
     /// Block until a reply for `id` arrives or `deadline` passes.
     fn wait_until(&self, id: u64, deadline: Instant) -> Option<ReplyMessage> {
-        let mut s = self.state.lock().expect("reply slot poisoned");
+        let mut s = self.state.lock();
         loop {
             if s.armed != id {
                 return None;
@@ -174,13 +177,10 @@ impl ReplySlot {
             if let Some(r) = s.queue.pop_front() {
                 return Some(r);
             }
-            let now = Instant::now();
-            if now >= deadline {
+            if Instant::now() >= deadline {
                 return None;
             }
-            let (guard, _) =
-                self.cvar.wait_timeout(s, deadline - now).expect("reply slot poisoned");
-            s = guard;
+            self.cvar.wait_until(&mut s, deadline);
         }
     }
 }
@@ -203,6 +203,20 @@ struct Pending {
     /// several replies can accumulate; point-to-point calls are *taken*
     /// out of the shard so the lock drops before delivery.
     collect: bool,
+}
+
+/// Parameters of one collecting invocation — the shared core of
+/// [`Orb::invoke_collect`] and [`Orb::probe_collect`], bundled so the
+/// call site names what each value is.
+struct CollectCall<'a> {
+    ior: &'a Ior,
+    op: &'a str,
+    args: &'a [Any],
+    qos: Option<QosContext>,
+    /// Return as soon as this many replies arrived (or the deadline hit).
+    min_replies: usize,
+    timeout: Duration,
+    kind: RequestKind,
 }
 
 /// Lock-free counters behind [`Orb::stats`]. Each counter is
@@ -241,7 +255,7 @@ struct OrbInner {
     pseudo: PseudoObjectRegistry,
     /// Pending-reply table, striped over [`PENDING_SHARDS`] locks keyed
     /// by request id.
-    pending: [Mutex<HashMap<u64, Pending>>; PENDING_SHARDS],
+    pending: [OrderedMutex<HashMap<u64, Pending>>; PENDING_SHARDS],
     next_request: AtomicU64,
     config: OrbConfig,
     shutdown: AtomicBool,
@@ -254,7 +268,7 @@ struct OrbInner {
 
 impl OrbInner {
     #[inline]
-    fn shard(&self, id: u64) -> &Mutex<HashMap<u64, Pending>> {
+    fn shard(&self, id: u64) -> &OrderedMutex<HashMap<u64, Pending>> {
         &self.pending[(id as usize) % PENDING_SHARDS]
     }
 }
@@ -321,7 +335,9 @@ impl Orb {
             adapter: ObjectAdapter::new(),
             transport: QosTransport::new(),
             pseudo: PseudoObjectRegistry::new(),
-            pending: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            pending: std::array::from_fn(|_| {
+                OrderedMutex::new(LockRank::PendingShard, HashMap::new())
+            }),
             next_request: AtomicU64::new(1),
             config,
             shutdown: AtomicBool::new(false),
@@ -553,7 +569,15 @@ impl Orb {
         min_replies: usize,
         timeout: Duration,
     ) -> Result<Vec<(NodeId, Result<Any, OrbError>)>, OrbError> {
-        self.invoke_collect_kind(ior, op, args, qos, min_replies, timeout, RequestKind::ServiceRequest)
+        self.invoke_collect_kind(CollectCall {
+            ior,
+            op,
+            args,
+            qos,
+            min_replies,
+            timeout,
+            kind: RequestKind::ServiceRequest,
+        })
     }
 
     /// Liveness probe: a collecting `_non_existent` ping tagged
@@ -569,20 +593,22 @@ impl Orb {
         ior: &Ior,
         timeout: Duration,
     ) -> Result<Vec<(NodeId, Result<Any, OrbError>)>, OrbError> {
-        self.invoke_collect_kind(ior, "_non_existent", &[], None, 1, timeout, RequestKind::Probe)
+        self.invoke_collect_kind(CollectCall {
+            ior,
+            op: "_non_existent",
+            args: &[],
+            qos: None,
+            min_replies: 1,
+            timeout,
+            kind: RequestKind::Probe,
+        })
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn invoke_collect_kind(
         &self,
-        ior: &Ior,
-        op: &str,
-        args: &[Any],
-        qos: Option<QosContext>,
-        min_replies: usize,
-        timeout: Duration,
-        kind: RequestKind,
+        call: CollectCall<'_>,
     ) -> Result<Vec<(NodeId, Result<Any, OrbError>)>, OrbError> {
+        let CollectCall { ior, op, args, qos, min_replies, timeout, kind } = call;
         self.check_running()?;
         let (id, slot) = self.register_pending(true);
         let request = RequestMessage {

@@ -15,9 +15,9 @@
 //! [`FlightRecorder::dump`], freezing the current ring contents into a
 //! retained [`FlightDump`] so the evidence survives further traffic.
 
+use crate::sync::{LockRank, OrderedMutex};
 use crate::any::Any;
 use crate::error::OrbError;
-use parking_lot::Mutex;
 use std::borrow::Cow;
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
@@ -205,7 +205,7 @@ impl FlightDump {
 
 /// One thread's staging buffer for one recorder.
 struct Slot {
-    buf: Mutex<Vec<FlightEvent>>,
+    buf: OrderedMutex<Vec<FlightEvent>>,
 }
 
 struct Inner {
@@ -215,9 +215,9 @@ struct Inner {
     capacity: usize,
     seq: AtomicU64,
     counts: [AtomicU64; KIND_COUNT],
-    ring: Mutex<VecDeque<FlightEvent>>,
-    slots: Mutex<Vec<Arc<Slot>>>,
-    dumps: Mutex<VecDeque<FlightDump>>,
+    ring: OrderedMutex<VecDeque<FlightEvent>>,
+    slots: OrderedMutex<Vec<Arc<Slot>>>,
+    dumps: OrderedMutex<VecDeque<FlightDump>>,
 }
 
 impl Inner {
@@ -275,9 +275,9 @@ impl FlightRecorder {
                 capacity,
                 seq: AtomicU64::new(0),
                 counts: std::array::from_fn(|_| AtomicU64::new(0)),
-                ring: Mutex::new(VecDeque::with_capacity(capacity)),
-                slots: Mutex::new(Vec::new()),
-                dumps: Mutex::new(VecDeque::new()),
+                ring: OrderedMutex::new(LockRank::FlightRing, VecDeque::with_capacity(capacity)),
+                slots: OrderedMutex::new(LockRank::FlightSlots, Vec::new()),
+                dumps: OrderedMutex::new(LockRank::FlightDumps, VecDeque::new()),
             }),
         }
     }
@@ -338,7 +338,7 @@ impl FlightRecorder {
                     // readers can flush it, and drop map entries whose
                     // recorder is gone.
                     map.retain(|_, (weak, _)| weak.strong_count() > 0);
-                    let slot = Arc::new(Slot { buf: Mutex::new(Vec::with_capacity(STAGE_BATCH)) });
+                    let slot = Arc::new(Slot { buf: OrderedMutex::new(LockRank::FlightBuf, Vec::with_capacity(STAGE_BATCH)) });
                     self.inner.slots.lock().push(Arc::clone(&slot));
                     map.insert(self.inner.id, (Arc::downgrade(&self.inner), Arc::clone(&slot)));
                     slot

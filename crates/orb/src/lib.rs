@@ -82,6 +82,7 @@ pub mod ior;
 pub mod metrics;
 pub mod pseudo;
 pub mod retry;
+pub mod sync;
 pub mod trace;
 pub mod transport;
 
@@ -102,5 +103,6 @@ pub use crate::flight::{FlightDump, FlightEvent, FlightEventKind, FlightRecorder
 pub use crate::ior::{Ior, ObjectKey};
 pub use crate::metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot, QuantileEstimate};
 pub use crate::retry::RetryPolicy;
+pub use crate::sync::{LockRank, OrderedCondvar, OrderedMutex, OrderedRwLock};
 pub use crate::trace::{Span, TraceContext};
 pub use crate::transport::{ModuleFactory, QosModule, QosTransport};

@@ -8,7 +8,7 @@
 //! [`MetricsRegistry::snapshot`] producing plain, sorted data that
 //! renderers and monitors can consume without holding any lock.
 
-use parking_lot::Mutex;
+use crate::sync::{LockRank, OrderedMutex};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -48,9 +48,17 @@ struct Inner {
 /// A registry of named counters and latency histograms.
 ///
 /// Cloning shares the same underlying registry.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct MetricsRegistry {
-    inner: Arc<Mutex<Inner>>,
+    inner: Arc<OrderedMutex<Inner>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> MetricsRegistry {
+        MetricsRegistry {
+            inner: Arc::new(OrderedMutex::new(LockRank::MetricsInner, Inner::default())),
+        }
+    }
 }
 
 impl std::fmt::Debug for MetricsRegistry {

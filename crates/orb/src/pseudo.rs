@@ -7,10 +7,10 @@
 //! can be accessed like any other object" (§4). This registry is the
 //! MAQS-RS analogue of `resolve_initial_references`.
 
+use crate::sync::{LockRank, OrderedRwLock};
 use crate::adapter::Servant;
 use crate::any::Any;
 use crate::error::OrbError;
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -19,9 +19,17 @@ use std::sync::Arc;
 pub const QOS_TRANSPORT_NAME: &str = "QoSTransport";
 
 /// Registry of named pseudo objects local to one ORB.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct PseudoObjectRegistry {
-    objects: Arc<RwLock<HashMap<String, Arc<dyn Servant>>>>,
+    objects: Arc<OrderedRwLock<HashMap<String, Arc<dyn Servant>>>>,
+}
+
+impl Default for PseudoObjectRegistry {
+    fn default() -> PseudoObjectRegistry {
+        PseudoObjectRegistry {
+            objects: Arc::new(OrderedRwLock::new(LockRank::PseudoObjects, HashMap::new())),
+        }
+    }
 }
 
 impl fmt::Debug for PseudoObjectRegistry {

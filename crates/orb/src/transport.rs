@@ -17,11 +17,11 @@
 //! *bound* to a module; unbound QoS-aware traffic falls back to plain
 //! GIOP/IIOP, which is how initial negotiation travels (Fig. 3).
 
+use crate::sync::{LockRank, OrderedRwLock};
 use crate::any::Any;
 use crate::error::OrbError;
 use crate::ior::ObjectKey;
 use netsim::NodeId;
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -115,12 +115,12 @@ struct ResolveCache {
 /// Administers loaded QoS modules and their bindings (Fig. 3).
 #[derive(Clone)]
 pub struct QosTransport {
-    state: Arc<RwLock<TransportState>>,
+    state: Arc<OrderedRwLock<TransportState>>,
     /// Bumped on every module/binding mutation; readers compare it to
     /// [`ResolveCache::epoch`] to detect staleness without walking the
     /// admin tables.
     epoch: Arc<AtomicU64>,
-    cache: Arc<RwLock<ResolveCache>>,
+    cache: Arc<OrderedRwLock<ResolveCache>>,
 }
 
 impl fmt::Debug for QosTransport {
@@ -144,13 +144,13 @@ impl QosTransport {
     /// An empty transport: no factories, no modules, no bindings.
     pub fn new() -> QosTransport {
         QosTransport {
-            state: Arc::new(RwLock::new(TransportState {
+            state: Arc::new(OrderedRwLock::new(LockRank::TransportState, TransportState {
                 factories: HashMap::new(),
                 modules: HashMap::new(),
                 bindings: HashMap::new(),
             })),
             epoch: Arc::new(AtomicU64::new(0)),
-            cache: Arc::new(RwLock::new(ResolveCache::default())),
+            cache: Arc::new(OrderedRwLock::new(LockRank::ResolveCache, ResolveCache::default())),
         }
     }
 

@@ -1,0 +1,169 @@
+//! Golden-file tests for the concurrency lints (`QL201`–`QL203`), plus
+//! the clean-state check over the workspace's real rank table.
+//!
+//! Each `tests/fixtures/qlNNN.conc` declares a [`ConcurrencyView`] in a
+//! line-oriented format and triggers exactly the code it is named
+//! after; the rendered report is pinned in the companion
+//! `qlNNN.expected`. Regenerate with
+//! `QOSLINT_BLESS=1 cargo test -p qoslint --test conc_golden`.
+//!
+//! Format, one directive per line (`#` comments):
+//!
+//! ```text
+//! rank  <u16> <RankName> <module>
+//! site  <module> <lock> <RankName|->
+//! edge  <HolderRank> <AcquiredRank> <site>
+//! chain <key> mediators=<a,b> reentrant=<a,b> holding=<RankName|->
+//! ```
+
+use qoslint::conc::{
+    lint_concurrency, ChainConcurrencyView, ConcurrencyView, LockSiteView, OrderEdgeView,
+    RankedLockView,
+};
+use qoslint::render::render_human;
+use qoslint::{codes, Code};
+use std::path::PathBuf;
+
+const CASES: &[(&str, Code)] = &[
+    ("ql201", codes::UNRANKED_LOCK),
+    ("ql202", codes::RANK_CYCLE),
+    ("ql203", codes::REENTRANT_CHAIN),
+];
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(option_env!("CARGO_MANIFEST_DIR").unwrap_or("crates/qoslint"))
+        .join("tests/fixtures")
+}
+
+fn read(name: &str) -> String {
+    let path = fixture_dir().join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn opt(v: &str) -> Option<String> {
+    (v != "-").then(|| v.to_string())
+}
+
+fn list(v: &str) -> Vec<String> {
+    if v.is_empty() || v == "-" {
+        Vec::new()
+    } else {
+        v.split(',').map(str::to_string).collect()
+    }
+}
+
+fn bad(no: usize, line: &str, why: &str) -> ! {
+    panic!("fixture line {}: {why}: `{line}`", no + 1)
+}
+
+/// Parse the `.conc` fixture format into a [`ConcurrencyView`].
+fn parse_view(text: &str) -> ConcurrencyView {
+    let mut view = ConcurrencyView::default();
+    for (no, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match fields.as_slice() {
+            ["rank", rank, name, module] => view.ranks.push(RankedLockView {
+                rank: rank.parse().unwrap_or_else(|_| bad(no, line, "bad rank")),
+                name: name.to_string(),
+                module: module.to_string(),
+            }),
+            ["site", module, lock, rank] => view.sites.push(LockSiteView {
+                module: module.to_string(),
+                lock: lock.to_string(),
+                rank: opt(rank),
+            }),
+            ["edge", holder, acquires, site] => view.edges.push(OrderEdgeView {
+                holder: holder.to_string(),
+                acquires: acquires.to_string(),
+                site: site.to_string(),
+            }),
+            ["chain", key, rest @ ..] => {
+                let mut chain =
+                    ChainConcurrencyView { object_key: key.to_string(), ..Default::default() };
+                for kv in rest {
+                    match kv.split_once('=') {
+                        Some(("mediators", v)) => chain.mediators = list(v),
+                        Some(("reentrant", v)) => chain.registry_reentrant = list(v),
+                        Some(("holding", v)) => chain.invoked_holding = opt(v),
+                        _ => bad(no, line, "bad chain field"),
+                    }
+                }
+                view.chains.push(chain);
+            }
+            _ => bad(no, line, "unknown directive"),
+        }
+    }
+    view
+}
+
+#[test]
+fn every_fixture_triggers_exactly_its_code() {
+    for (stem, code) in CASES {
+        let diags = lint_concurrency(&parse_view(&read(&format!("{stem}.conc"))));
+        assert!(!diags.is_empty(), "{stem}: no findings");
+        assert!(
+            diags.iter().all(|d| d.code == *code),
+            "{stem}: expected only {code}, got {:?}",
+            diags.iter().map(|d| d.code).collect::<Vec<_>>()
+        );
+        assert!(diags.has_errors(), "{stem}: concurrency findings are errors");
+    }
+}
+
+#[test]
+fn rendered_reports_match_golden_files() {
+    let bless = std::env::var_os("QOSLINT_BLESS").is_some();
+    for (stem, _) in CASES {
+        let rendered =
+            render_human(None, &lint_concurrency(&parse_view(&read(&format!("{stem}.conc")))));
+        let expected_path = fixture_dir().join(format!("{stem}.expected"));
+        if bless {
+            std::fs::write(&expected_path, &rendered).unwrap();
+            continue;
+        }
+        let expected = std::fs::read_to_string(&expected_path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", expected_path.display()));
+        assert_eq!(rendered, expected, "{stem}: report drifted from golden file");
+    }
+}
+
+/// The committed workspace must lint clean: the real rank table from
+/// `orb::sync`, every held-while-acquiring nesting the codebase
+/// actually performs, and the demo's mediator chain. A new lock or a
+/// new nesting that breaks the hierarchy fails this test (and ci.sh
+/// runs it under `--deny-warnings` semantics: any finding is fatal).
+#[test]
+fn committed_state_lints_clean() {
+    let mut view = ConcurrencyView::from_rank_rows(orb::LockRank::TABLE);
+    // The nestings the production code performs while holding a lock
+    // (kept in sync with DESIGN.md §6f "observed nestings").
+    for (holder, acquires, site) in [
+        ("AccountingUsage", "AccountingTariffs", "services::accounting::invoice"),
+        ("QosMechState", "QosMechStats", "qosmech::bandwidth::acquire"),
+        ("QosMechState", "QosMechMetrics", "qosmech::actuality::lookup"),
+        ("FlightBuf", "FlightRing", "orb::flight::push_batch_flush"),
+    ] {
+        view.edges.push(OrderEdgeView {
+            holder: holder.into(),
+            acquires: acquires.into(),
+            site: site.into(),
+        });
+    }
+    // The demo ticker's chain: no mediator re-enters the registry.
+    view.chains.push(ChainConcurrencyView {
+        object_key: "ticker".into(),
+        mediators: vec!["Replication".into(), "Actuality".into(), "Compression".into()],
+        registry_reentrant: Vec::new(),
+        invoked_holding: None,
+    });
+    let diags = lint_concurrency(&view);
+    assert!(
+        diags.is_empty(),
+        "committed concurrency state must lint clean:\n{}",
+        render_human(None, &diags)
+    );
+}

@@ -8,8 +8,8 @@
 //! stamps every reply with its production time so staleness is
 //! measurable end to end.
 
+use orb::sync::{LockRank, OrderedMutex, OrderedRwLock};
 use orb::{Any, MetricsRegistry, OrbError, Servant};
-use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -40,24 +40,24 @@ pub struct ActualityStats {
 /// Only operations named in the read set are cached; writes always pass
 /// through and invalidate the whole cache (conservative but correct).
 pub struct ActualityMediator {
-    validity: RwLock<Duration>,
+    validity: OrderedRwLock<Duration>,
     read_ops: Vec<String>,
-    cache: Mutex<HashMap<String, CacheEntry>>,
+    cache: OrderedMutex<HashMap<String, CacheEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
-    metrics: RwLock<Option<MetricsRegistry>>,
+    metrics: OrderedRwLock<Option<MetricsRegistry>>,
 }
 
 impl ActualityMediator {
     /// A mediator caching `read_ops` results for up to `validity`.
     pub fn new(validity: Duration, read_ops: impl IntoIterator<Item = String>) -> ActualityMediator {
         ActualityMediator {
-            validity: RwLock::new(validity),
+            validity: OrderedRwLock::new(LockRank::QosMechConfig, validity),
             read_ops: read_ops.into_iter().collect(),
-            cache: Mutex::new(HashMap::new()),
+            cache: OrderedMutex::new(LockRank::QosMechState, HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
-            metrics: RwLock::new(None),
+            metrics: OrderedRwLock::new(LockRank::QosMechMetrics, None),
         }
     }
 

@@ -9,10 +9,10 @@
 //! The budget refills continuously at the reserved rate, with a burst
 //! allowance of one second's worth of tokens.
 
+use orb::sync::{LockRank, OrderedMutex};
 use netsim::NodeId;
 use orb::transport::{Outbound, QosModule};
 use orb::{Any, OrbError};
-use parking_lot::Mutex;
 use std::time::Instant;
 
 /// The module name bandwidth reservation binds under.
@@ -48,8 +48,8 @@ pub struct BandwidthStats {
 /// * `reservation()` → `ulonglong` bits per second (0 = none)
 /// * `stats()` → `[admitted, rejected, bytes]`
 pub struct BandwidthReservationModule {
-    bucket: Mutex<Bucket>,
-    stats: Mutex<BandwidthStats>,
+    bucket: OrderedMutex<Bucket>,
+    stats: OrderedMutex<BandwidthStats>,
 }
 
 impl Default for BandwidthReservationModule {
@@ -62,8 +62,11 @@ impl BandwidthReservationModule {
     /// A module with no reservation installed.
     pub fn new() -> BandwidthReservationModule {
         BandwidthReservationModule {
-            bucket: Mutex::new(Bucket { rate_bps: None, tokens: 0.0, refilled: Instant::now() }),
-            stats: Mutex::new(BandwidthStats::default()),
+            bucket: OrderedMutex::new(
+                LockRank::QosMechState,
+                Bucket { rate_bps: None, tokens: 0.0, refilled: Instant::now() },
+            ),
+            stats: OrderedMutex::new(LockRank::QosMechStats, BandwidthStats::default()),
         }
     }
 

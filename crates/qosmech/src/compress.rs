@@ -6,10 +6,10 @@
 //! crate); only the bytes-on-the-wire reduction matters for the
 //! experiment, not codec strength.
 
+use orb::sync::{LockRank, OrderedRwLock};
 use orb::transport::{Outbound, QosModule};
 use orb::{Any, MetricsRegistry, OrbError};
 use netsim::NodeId;
-use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The LZ77-style codec.
@@ -204,11 +204,21 @@ pub mod codec {
 /// Compresses every outbound GIOP body and decompresses inbound ones.
 /// Dynamic interface: `stats()` → `[bytes_in, bytes_out]` (as
 /// `ulonglong`s), `reset_stats()`.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct CompressionModule {
     bytes_in: AtomicU64,
     bytes_out: AtomicU64,
-    metrics: RwLock<Option<MetricsRegistry>>,
+    metrics: OrderedRwLock<Option<MetricsRegistry>>,
+}
+
+impl Default for CompressionModule {
+    fn default() -> CompressionModule {
+        CompressionModule {
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            metrics: OrderedRwLock::new(LockRank::QosMechMetrics, None),
+        }
+    }
 }
 
 /// The module name compression binds under.

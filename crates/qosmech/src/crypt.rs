@@ -11,10 +11,10 @@
 //! key agreement over the middleware) with realistic per-byte cost; do
 //! not use it to protect anything.
 
+use orb::sync::{LockRank, OrderedRwLock};
 use netsim::NodeId;
 use orb::transport::{Outbound, QosModule};
 use orb::{Any, OrbError};
-use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The module name encryption binds under.
@@ -141,7 +141,7 @@ pub mod keyex {
 /// QoS-to-QoS rekeying path), `key_id()` → checksum of the current key,
 /// `frames()` → frames processed.
 pub struct EncryptionModule {
-    key: RwLock<u64>,
+    key: OrderedRwLock<u64>,
     nonce: AtomicU64,
     frames: AtomicU64,
 }
@@ -149,7 +149,11 @@ pub struct EncryptionModule {
 impl EncryptionModule {
     /// A module using `key` until rekeyed.
     pub fn new(key: u64) -> EncryptionModule {
-        EncryptionModule { key: RwLock::new(key), nonce: AtomicU64::new(1), frames: AtomicU64::new(0) }
+        EncryptionModule {
+            key: OrderedRwLock::new(LockRank::QosMechConfig, key),
+            nonce: AtomicU64::new(1),
+            frames: AtomicU64::new(0),
+        }
     }
 
     /// Install a new key (affects subsequent frames only).

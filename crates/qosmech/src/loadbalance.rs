@@ -6,9 +6,9 @@
 //! them; the server-side QoS implementation reports its current load
 //! through QoS operations (management responsibility).
 
+use orb::sync::{LockRank, OrderedMutex, OrderedRwLock};
 use netsim::NodeId;
 use orb::{Any, Ior, Orb, OrbError, Servant};
-use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -40,10 +40,10 @@ struct ServerSlot {
 
 /// The client-side load-balancing mediator.
 pub struct LoadBalancingMediator {
-    servers: RwLock<Vec<ServerSlot>>,
+    servers: OrderedRwLock<Vec<ServerSlot>>,
     strategy: Strategy,
     cursor: AtomicU64,
-    rng: Mutex<StdRng>,
+    rng: OrderedMutex<StdRng>,
 }
 
 impl LoadBalancingMediator {
@@ -51,7 +51,8 @@ impl LoadBalancingMediator {
     /// makes the [`Strategy::Random`] choice reproducible.
     pub fn new(servers: Vec<Ior>, strategy: Strategy, seed: u64) -> LoadBalancingMediator {
         LoadBalancingMediator {
-            servers: RwLock::new(
+            servers: OrderedRwLock::new(
+                LockRank::QosMechConfig,
                 servers
                     .into_iter()
                     .map(|ior| ServerSlot { ior, ewma_us: 0.0, routed: 0 })
@@ -59,7 +60,7 @@ impl LoadBalancingMediator {
             ),
             strategy,
             cursor: AtomicU64::new(0),
-            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            rng: OrderedMutex::new(LockRank::QosMechState, StdRng::seed_from_u64(seed)),
         }
     }
 

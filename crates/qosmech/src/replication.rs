@@ -18,11 +18,11 @@
 //! why QoS is an aspect (replicas must be initializable from each other's
 //! encapsulated state).
 
+use orb::sync::{LockRank, OrderedRwLock};
 use groupcomm::FailureDetector;
 use netsim::NodeId;
 use orb::giop::QosContext;
 use orb::{Any, FlightEventKind, Ior, Orb, OrbError, Servant};
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -97,8 +97,8 @@ pub struct ReplicationStats {
 /// The client-side replication mediator.
 pub struct ReplicationMediator {
     orb: Orb,
-    replicas: RwLock<Vec<Ior>>,
-    strategy: RwLock<ReplicationStrategy>,
+    replicas: OrderedRwLock<Vec<Ior>>,
+    strategy: OrderedRwLock<ReplicationStrategy>,
     vote_timeout: Duration,
     first_try: AtomicU64,
     failovers: AtomicU64,
@@ -112,8 +112,8 @@ impl ReplicationMediator {
     pub fn new(orb: Orb, replicas: Vec<Ior>, strategy: ReplicationStrategy) -> ReplicationMediator {
         ReplicationMediator {
             orb,
-            replicas: RwLock::new(replicas),
-            strategy: RwLock::new(strategy),
+            replicas: OrderedRwLock::new(LockRank::QosMechConfig, replicas),
+            strategy: OrderedRwLock::new(LockRank::QosMechState, strategy),
             vote_timeout: Duration::from_secs(2),
             first_try: AtomicU64::new(0),
             failovers: AtomicU64::new(0),
@@ -312,15 +312,21 @@ impl Mediator for ReplicationMediator {
 /// QoS operations: `export_state()`, `import_state(state)` (the §3.2
 /// "aspect integration" interface into the encapsulated object state),
 /// `replica_role()` / `set_replica_role(role)`.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ReplicationQosImpl {
-    role: RwLock<String>,
+    role: OrderedRwLock<String>,
 }
 
 impl ReplicationQosImpl {
     /// A replica starting in the `"follower"` role.
     pub fn new() -> ReplicationQosImpl {
-        ReplicationQosImpl { role: RwLock::new("follower".to_string()) }
+        ReplicationQosImpl { role: OrderedRwLock::new(LockRank::QosMechConfig, "follower".to_string()) }
+    }
+}
+
+impl Default for ReplicationQosImpl {
+    fn default() -> ReplicationQosImpl {
+        ReplicationQosImpl::new()
     }
 }
 

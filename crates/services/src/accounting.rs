@@ -6,7 +6,7 @@
 //! agreement and prices it with a per-characteristic tariff, producing
 //! invoices a client can compare against its preference utilities.
 
-use parking_lot::RwLock;
+use orb::sync::{LockRank, OrderedRwLock};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -69,10 +69,18 @@ impl fmt::Display for Invoice {
 }
 
 /// Meters usage per agreement and prices it per characteristic.
-#[derive(Default)]
 pub struct Accountant {
-    tariffs: RwLock<HashMap<String, PriceModel>>,
-    usage: RwLock<HashMap<u64, Usage>>,
+    tariffs: OrderedRwLock<HashMap<String, PriceModel>>,
+    usage: OrderedRwLock<HashMap<u64, Usage>>,
+}
+
+impl Default for Accountant {
+    fn default() -> Accountant {
+        Accountant {
+            tariffs: OrderedRwLock::new(LockRank::AccountingTariffs, HashMap::new()),
+            usage: OrderedRwLock::new(LockRank::AccountingUsage, HashMap::new()),
+        }
+    }
 }
 
 impl Accountant {

@@ -23,9 +23,9 @@
 //! recorded as an [`AdaptationEvent`] so operators can replay exactly
 //! how a binding healed — or why it could not.
 
+use orb::sync::{LockRank, OrderedMutex};
 use crate::monitoring::ViolationEvent;
 use orb::Any;
-use parking_lot::Mutex;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -215,10 +215,19 @@ impl fmt::Display for AdaptationEvent {
 
 /// A thread-safe, append-only log of [`AdaptationEvent`]s shared between
 /// the adaptation engine and report renderers.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct AdaptationLog {
-    events: Mutex<Vec<AdaptationEvent>>,
+    events: OrderedMutex<Vec<AdaptationEvent>>,
     next_seq: AtomicU64,
+}
+
+impl Default for AdaptationLog {
+    fn default() -> AdaptationLog {
+        AdaptationLog {
+            events: OrderedMutex::new(LockRank::AdaptationEvents, Vec::new()),
+            next_seq: AtomicU64::new(0),
+        }
+    }
 }
 
 impl AdaptationLog {

@@ -14,12 +14,12 @@
 //! [`orb::export::snapshot_to_any`] and [`orb::FlightEvent::to_any`], so
 //! the wire format is versioned with the ORB, not with this service.
 
+use orb::sync::{LockRank, OrderedRwLock};
 use std::sync::Arc;
 
 use netsim::NodeId;
 use orb::export::{snapshot_from_any, snapshot_to_any};
 use orb::{Any, FlightEvent, MetricsSnapshot, Orb, OrbError, Servant};
-use parking_lot::RwLock;
 
 /// Well-known object key the introspection servant is activated under.
 pub const INTROSPECTION_KEY: &str = "introspection";
@@ -162,13 +162,13 @@ pub type BindingsProvider = Arc<dyn Fn() -> Vec<BindingInfo> + Send + Sync>;
 /// ORB state. Activate under [`INTROSPECTION_KEY`].
 pub struct IntrospectionServant {
     orb: Orb,
-    bindings: RwLock<Option<BindingsProvider>>,
+    bindings: OrderedRwLock<Option<BindingsProvider>>,
 }
 
 impl IntrospectionServant {
     /// A servant reporting on `orb`.
     pub fn new(orb: Orb) -> IntrospectionServant {
-        IntrospectionServant { orb, bindings: RwLock::new(None) }
+        IntrospectionServant { orb, bindings: OrderedRwLock::new(LockRank::IntrospectionBindings, None) }
     }
 
     /// Install (or replace) the `bindings` provider. Without one, the

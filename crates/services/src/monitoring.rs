@@ -7,7 +7,7 @@
 //! when a window statistic crosses the agreed bound. Violations are the
 //! trigger for renegotiation (adaptation).
 
-use parking_lot::Mutex;
+use orb::sync::{LockRank, OrderedMutex};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
@@ -80,9 +80,9 @@ struct Series {
 
 /// A sliding-window QoS monitor.
 pub struct Monitor {
-    series: Mutex<HashMap<(String, String), Series>>,
+    series: OrderedMutex<HashMap<(String, String), Series>>,
     window: usize,
-    handlers: Mutex<Vec<ViolationHandler>>,
+    handlers: OrderedMutex<Vec<ViolationHandler>>,
 }
 
 impl Monitor {
@@ -93,7 +93,11 @@ impl Monitor {
     /// Panics if `window` is zero.
     pub fn new(window: usize) -> Monitor {
         assert!(window > 0, "window must be positive");
-        Monitor { series: Mutex::new(HashMap::new()), window, handlers: Mutex::new(Vec::new()) }
+        Monitor {
+            series: OrderedMutex::new(LockRank::MonitoringSeries, HashMap::new()),
+            window,
+            handlers: OrderedMutex::new(LockRank::MonitoringHandlers, Vec::new()),
+        }
     }
 
     /// Register a violation handler (all handlers see all violations).

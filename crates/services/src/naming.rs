@@ -7,9 +7,9 @@
 //! passing IOR strings out of band. Names are `/`-separated paths
 //! (`finance/bank/frankfurt`); contexts are created implicitly on bind.
 
+use orb::sync::{LockRank, OrderedRwLock};
 use orb::{Any, Ior, Orb, OrbError, Servant};
 use netsim::NodeId;
-use parking_lot::RwLock;
 use std::collections::BTreeMap;
 
 /// Conventional object key the naming service is activated under.
@@ -27,9 +27,14 @@ pub const NAMING_INTERFACE: &str = "IDL:maqs/Naming:1.0";
 /// * `resolve(path)` → `string` IOR URI
 /// * `unbind(path)` → `boolean` (was it bound?)
 /// * `list(prefix)` → `sequence<string>` of bound paths under `prefix`
-#[derive(Default)]
 pub struct NamingService {
-    bindings: RwLock<BTreeMap<String, String>>,
+    bindings: OrderedRwLock<BTreeMap<String, String>>,
+}
+
+impl Default for NamingService {
+    fn default() -> NamingService {
+        NamingService { bindings: OrderedRwLock::new(LockRank::NamingBindings, BTreeMap::new()) }
+    }
 }
 
 fn normalize(path: &str) -> Result<String, OrbError> {

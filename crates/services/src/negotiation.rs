@@ -12,12 +12,12 @@
 //! Because negotiation requests travel as plain GIOP (Fig. 3's unbound
 //! fallback path), no QoS machinery is needed to bootstrap QoS.
 
+use orb::sync::{LockRank, OrderedRwLock};
 use crate::contract::{ContractHierarchy, Offer};
 use crate::monitoring::{Bound, Monitor, Statistic};
 use orb::giop::QosContext;
 use orb::{Any, FlightEventKind, Orb, OrbError, Servant};
 use netsim::NodeId;
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -109,12 +109,22 @@ struct ObjectEntry {
 /// * `renegotiate(agreement_id, params-struct)` → `Agreement` (version+1)
 /// * `release(agreement_id)` → `void`
 /// * `capacity(object, characteristic)` → remaining slots
-#[derive(Default)]
 pub struct NegotiationServant {
-    objects: RwLock<HashMap<String, ObjectEntry>>,
-    agreements: RwLock<HashMap<u64, Agreement>>,
+    objects: OrderedRwLock<HashMap<String, ObjectEntry>>,
+    agreements: OrderedRwLock<HashMap<u64, Agreement>>,
     next_id: AtomicU64,
-    monitor: RwLock<Option<Arc<Monitor>>>,
+    monitor: OrderedRwLock<Option<Arc<Monitor>>>,
+}
+
+impl Default for NegotiationServant {
+    fn default() -> NegotiationServant {
+        NegotiationServant {
+            objects: OrderedRwLock::new(LockRank::NegotiationObjects, HashMap::new()),
+            agreements: OrderedRwLock::new(LockRank::NegotiationAgreements, HashMap::new()),
+            next_id: AtomicU64::new(0),
+            monitor: OrderedRwLock::new(LockRank::NegotiationMonitor, None),
+        }
+    }
 }
 
 /// The metrics an agreement's parameters can put under observation,

@@ -7,9 +7,9 @@
 //! carry the QoS tags, a client can discover not just *a* service but a
 //! service able to enter the agreement it wants.
 
+use orb::sync::{LockRank, OrderedRwLock};
 use orb::{Any, Ior, Orb, OrbError, Servant};
 use netsim::NodeId;
-use parking_lot::RwLock;
 
 /// Conventional object key the trader is activated under.
 pub const TRADER_KEY: &str = "trader";
@@ -38,9 +38,14 @@ pub struct ServiceOffer {
 ///   `sequence<string>` of IOR URIs whose offers support *all* required
 ///   characteristics
 /// * `count()` → number of live offers
-#[derive(Default)]
 pub struct Trader {
-    offers: RwLock<Vec<Option<ServiceOffer>>>,
+    offers: OrderedRwLock<Vec<Option<ServiceOffer>>>,
+}
+
+impl Default for Trader {
+    fn default() -> Trader {
+        Trader { offers: OrderedRwLock::new(LockRank::TradingOffers, Vec::new()) }
+    }
 }
 
 impl Trader {

@@ -8,10 +8,10 @@
 //! the time dimension: bindings are created, looked up and replaced
 //! (renegotiated) at runtime.
 
+use orb::sync::{LockRank, OrderedRwLock};
 use orb::giop::QosContext;
 use orb::ior::ObjectKey;
 use orb::Any;
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -46,9 +46,17 @@ impl QosBinding {
 }
 
 /// Tracks the current QoS binding per object relationship.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct QosBindingRegistry {
-    bindings: Arc<RwLock<HashMap<ObjectKey, QosBinding>>>,
+    bindings: Arc<OrderedRwLock<HashMap<ObjectKey, QosBinding>>>,
+}
+
+impl Default for QosBindingRegistry {
+    fn default() -> QosBindingRegistry {
+        QosBindingRegistry {
+            bindings: Arc::new(OrderedRwLock::new(LockRank::BindingRegistry, HashMap::new())),
+        }
+    }
 }
 
 impl fmt::Debug for QosBindingRegistry {

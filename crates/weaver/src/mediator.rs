@@ -1,9 +1,9 @@
 //! Client-side weaving: stubs with mediator delegation.
 
+use orb::sync::{LockRank, OrderedMutex, OrderedRwLock};
 use crate::reply::Reply;
 use orb::giop::QosContext;
 use orb::{Any, Ior, Orb, OrbError, TraceContext};
-use parking_lot::{Mutex, RwLock};
 use std::cell::RefCell;
 use std::fmt;
 use std::sync::Arc;
@@ -88,9 +88,9 @@ struct StubState {
 /// Mediator spans are *inclusive* (each covers its whole `around` call,
 /// downstream included), matching the nesting the chain actually has.
 struct ChainObs {
-    trace: Mutex<Option<TraceContext>>,
-    timings: Mutex<Vec<(String, u64)>>,
-    annotations: Mutex<Vec<(String, u64)>>,
+    trace: OrderedMutex<Option<TraceContext>>,
+    timings: OrderedMutex<Vec<(String, u64)>>,
+    annotations: OrderedMutex<Vec<(String, u64)>>,
 }
 
 /// A client stub extended with a mediator delegate (the client half of
@@ -102,7 +102,7 @@ struct ChainObs {
 pub struct ClientStub {
     orb: Orb,
     target: Ior,
-    state: Arc<RwLock<StubState>>,
+    state: Arc<OrderedRwLock<StubState>>,
 }
 
 impl fmt::Debug for ClientStub {
@@ -124,7 +124,10 @@ impl ClientStub {
         ClientStub {
             orb,
             target,
-            state: Arc::new(RwLock::new(StubState { mediators: Vec::new(), qos: None })),
+            state: Arc::new(OrderedRwLock::new(
+                LockRank::StubState,
+                StubState { mediators: Vec::new(), qos: None },
+            )),
         }
     }
 
@@ -213,9 +216,9 @@ impl ClientStub {
         // The innermost chain link stashes the round-tripped trace here;
         // mediator timings accumulate innermost-first as the chain unwinds.
         let obs = ChainObs {
-            trace: Mutex::new(None),
-            timings: Mutex::new(Vec::new()),
-            annotations: Mutex::new(Vec::new()),
+            trace: OrderedMutex::new(LockRank::ChainObs, None),
+            timings: OrderedMutex::new(LockRank::ChainObs, Vec::new()),
+            annotations: OrderedMutex::new(LockRank::ChainObs, Vec::new()),
         };
         let started = Instant::now();
         let value = self.run_chain(&mediators, 0, call, Some(&obs))?;

@@ -7,9 +7,9 @@
 //! agreement's characteristic and parameters, get the mediator, install
 //! it.
 
+use orb::sync::{LockRank, OrderedRwLock};
 use crate::mediator::{ClientStub, Mediator};
 use orb::{Any, OrbError};
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -19,9 +19,17 @@ pub type MediatorFactory =
     Arc<dyn Fn(&[(String, Any)]) -> Result<Arc<dyn Mediator>, OrbError> + Send + Sync>;
 
 /// Maps characteristic names to mediator factories.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct MediatorRegistry {
-    factories: Arc<RwLock<HashMap<String, MediatorFactory>>>,
+    factories: Arc<OrderedRwLock<HashMap<String, MediatorFactory>>>,
+}
+
+impl Default for MediatorRegistry {
+    fn default() -> MediatorRegistry {
+        MediatorRegistry {
+            factories: Arc::new(OrderedRwLock::new(LockRank::MediatorFactories, HashMap::new())),
+        }
+    }
 }
 
 impl fmt::Debug for MediatorRegistry {

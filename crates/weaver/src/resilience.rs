@@ -20,11 +20,11 @@
 //! `resilience.circuit.*` family) and annotated as spans on the call's
 //! trace via [`annotate_span`](crate::mediator::annotate_span).
 
+use orb::sync::{LockRank, OrderedMutex, OrderedRwLock};
 use crate::mediator::{annotate_span, Call, Mediator, Next};
 use crate::skeleton::RequestObserver;
 use orb::retry::RetryPolicy;
 use orb::{Any, FlightEventKind, FlightRecorder, Ior, MetricsRegistry, OrbError};
-use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::{Duration, Instant};
 
@@ -101,7 +101,7 @@ struct BreakerInner {
 /// tests) can reuse the same semantics.
 pub struct CircuitBreaker {
     config: BreakerConfig,
-    inner: Mutex<BreakerInner>,
+    inner: OrderedMutex<BreakerInner>,
 }
 
 impl std::fmt::Debug for CircuitBreaker {
@@ -118,7 +118,7 @@ impl CircuitBreaker {
     pub fn new(config: BreakerConfig) -> CircuitBreaker {
         CircuitBreaker {
             config,
-            inner: Mutex::new(BreakerInner {
+            inner: OrderedMutex::new(LockRank::BreakerInner, BreakerInner {
                 state: CircuitState::Closed,
                 consecutive: 0,
                 outcomes: VecDeque::new(),
@@ -313,14 +313,14 @@ impl FailStaticMode {
 /// [`set_policy`]: ResilienceMediator::set_policy
 /// [`enter_fail_static`]: ResilienceMediator::enter_fail_static
 pub struct ResilienceMediator {
-    policy: RwLock<ResiliencePolicy>,
+    policy: OrderedRwLock<ResiliencePolicy>,
     breaker: CircuitBreaker,
     metrics: Option<MetricsRegistry>,
     flight: Option<FlightRecorder>,
-    observer: RwLock<Option<RequestObserver>>,
-    target_override: RwLock<Option<Ior>>,
-    fail_static: RwLock<Option<FailStaticMode>>,
-    last_good: Mutex<HashMap<String, Any>>,
+    observer: OrderedRwLock<Option<RequestObserver>>,
+    target_override: OrderedRwLock<Option<Ior>>,
+    fail_static: OrderedRwLock<Option<FailStaticMode>>,
+    last_good: OrderedMutex<HashMap<String, Any>>,
 }
 
 impl std::fmt::Debug for ResilienceMediator {
@@ -339,14 +339,14 @@ impl ResilienceMediator {
     pub fn new(policy: ResiliencePolicy) -> ResilienceMediator {
         let breaker = CircuitBreaker::new(policy.breaker.clone());
         ResilienceMediator {
-            policy: RwLock::new(policy),
+            policy: OrderedRwLock::new(LockRank::ResiliencePolicy, policy),
             breaker,
             metrics: None,
             flight: None,
-            observer: RwLock::new(None),
-            target_override: RwLock::new(None),
-            fail_static: RwLock::new(None),
-            last_good: Mutex::new(HashMap::new()),
+            observer: OrderedRwLock::new(LockRank::ResilienceObserver, None),
+            target_override: OrderedRwLock::new(LockRank::ResilienceTarget, None),
+            fail_static: OrderedRwLock::new(LockRank::ResilienceFailStatic, None),
+            last_good: OrderedMutex::new(LockRank::ResilienceLastGood, HashMap::new()),
         }
     }
 
@@ -444,7 +444,11 @@ impl ResilienceMediator {
     }
 
     fn observe(&self, op: &str, us: u64, ok: bool) {
-        if let Some(obs) = self.observer.read().clone() {
+        // Clone the hook out in its own statement: an `if let` scrutinee
+        // would keep the read guard alive across the callback, which
+        // re-enters the monitoring layer (lower lock rank).
+        let obs = self.observer.read().clone();
+        if let Some(obs) = obs {
             obs(op, us, ok);
         }
     }
@@ -558,6 +562,7 @@ mod tests {
     use crate::mediator::ClientStub;
     use netsim::Network;
     use orb::{Orb, Servant};
+    use parking_lot::Mutex;
     use std::sync::atomic::{AtomicU32, Ordering};
     use std::sync::Arc;
 
@@ -577,6 +582,79 @@ mod tests {
         assert_eq!(b.admit(), Ok(Some((CircuitState::Open, CircuitState::HalfOpen))));
         assert_eq!(b.on_success(), Some((CircuitState::HalfOpen, CircuitState::Closed)));
         assert_eq!(b.state(), CircuitState::Closed);
+    }
+
+    /// Half-open edge case, stressed with real threads: probes racing a
+    /// failure settle in exactly one of {open, closed} — the breaker
+    /// must never be left half-open once every admitted probe has
+    /// recorded its outcome, and every emitted transition chain must be
+    /// contiguous. (The exhaustive-schedule version of this property is
+    /// the conccheck model in `orb/tests/loom_models.rs`.)
+    #[test]
+    fn half_open_probe_race_settles_in_open_or_closed() {
+        for round in 0..50 {
+            let b = Arc::new(CircuitBreaker::new(BreakerConfig {
+                consecutive_failures: 1,
+                cooldown: Duration::ZERO,
+                half_open_successes: 1,
+                ..Default::default()
+            }));
+            assert_eq!(b.on_failure(), Some((CircuitState::Closed, CircuitState::Open)));
+            let transitions: Arc<Mutex<Vec<Transition>>> = Arc::new(Mutex::new(Vec::new()));
+            let barrier = Arc::new(std::sync::Barrier::new(8));
+            let handles: Vec<_> = (0..8)
+                .map(|i| {
+                    let (b, transitions, barrier) =
+                        (Arc::clone(&b), Arc::clone(&transitions), Arc::clone(&barrier));
+                    std::thread::spawn(move || {
+                        barrier.wait();
+                        let mut log = Vec::new();
+                        if let Ok(t) = b.admit() {
+                            log.extend(t);
+                            // Even probes succeed, odd probes fail.
+                            let t = if i % 2 == 0 { b.on_success() } else { b.on_failure() };
+                            log.extend(t);
+                        }
+                        transitions.lock().extend(log);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            let settled = b.state();
+            assert!(
+                matches!(settled, CircuitState::Open | CircuitState::Closed),
+                "round {round}: breaker left {settled:?} after all probes settled"
+            );
+            // Threads log transitions after the fact, so their *order*
+            // is not trustworthy here (the exhaustive chain check is the
+            // conccheck model) — but the multiset must flow-balance: the
+            // breaker walked some path from Open to `settled`, so every
+            // entry into HalfOpen/Closed is matched by an exit or by the
+            // path ending there.
+            let log: Vec<Transition> = transitions.lock().clone();
+            let count = |from: CircuitState, to: CircuitState| {
+                log.iter().filter(|t| **t == (from, to)).count()
+            };
+            let flips = count(CircuitState::Open, CircuitState::HalfOpen);
+            let reopens = count(CircuitState::HalfOpen, CircuitState::Open);
+            let closes = count(CircuitState::HalfOpen, CircuitState::Closed);
+            let retrips = count(CircuitState::Closed, CircuitState::Open);
+            assert_eq!(log.len(), flips + reopens + closes + retrips, "round {round}: {log:?}");
+            assert_eq!(flips, reopens + closes, "round {round}: {log:?}");
+            assert_eq!(
+                closes,
+                retrips + usize::from(settled == CircuitState::Closed),
+                "round {round}: {log:?}"
+            );
+            // Whatever the race produced, one clean probe closes it.
+            if settled == CircuitState::Open {
+                assert_eq!(b.admit(), Ok(Some((CircuitState::Open, CircuitState::HalfOpen))));
+                assert_eq!(b.on_success(), Some((CircuitState::HalfOpen, CircuitState::Closed)));
+            }
+            assert_eq!(b.state(), CircuitState::Closed);
+        }
     }
 
     #[test]

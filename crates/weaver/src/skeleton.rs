@@ -11,8 +11,8 @@
 //! brackets application operations with the active implementation's
 //! prolog and epilog.
 
+use orb::sync::{LockRank, OrderedRwLock};
 use orb::{trace, Any, OrbError, Servant};
-use parking_lot::RwLock;
 use qidl::repo::{InterfaceRepository, OpOrigin};
 use std::collections::HashMap;
 use std::fmt;
@@ -73,7 +73,7 @@ pub struct WovenServant {
     inner: Arc<dyn Servant>,
     repo: Arc<InterfaceRepository>,
     interface: String,
-    state: RwLock<WovenState>,
+    state: OrderedRwLock<WovenState>,
 }
 
 impl fmt::Debug for WovenServant {
@@ -109,7 +109,7 @@ impl WovenServant {
             inner,
             repo,
             interface: interface.to_string(),
-            state: RwLock::new(WovenState {
+            state: OrderedRwLock::new(LockRank::WovenState, WovenState {
                 active: None,
                 installed: HashMap::new(),
                 observer: None,

@@ -1,0 +1,5 @@
+//! Offline stand-in for `proptest` that exists only so cargo can resolve
+//! the dev-dependency without network access. It implements nothing: the
+//! offline check (`tools/offline-check.sh`) removes the proptest-based
+//! test files from its shadow workspace before building, so nothing links
+//! against this crate.
