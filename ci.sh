@@ -72,6 +72,27 @@ if got > want * 3:
 print(f"    null-call p50 {got:.1f}us (baseline {want:.1f}us) -- ok")
 EOF
 
+echo "==> wire-transport conformance (netsim + TCP + UDS, loopback sockets)"
+# Real sockets can hang; a wall-clock bound keeps the gate un-wedgeable.
+timeout 120 cargo test -q -p orb --test wire_conformance
+
+echo "==> two-process smoke (tcp_server serves, maqs_top attaches over TCP)"
+cargo build -q --release -p maqs --example tcp_server --example maqs_top
+SMOKE_IOR="/tmp/maqs-ci-kv.$$.ior"
+rm -f "$SMOKE_IOR"
+timeout 90 target/release/examples/tcp_server --ior-file "$SMOKE_IOR" --ttl 60 &
+SMOKE_SRV=$!
+if timeout 60 target/release/examples/maqs_top --attach "@$SMOKE_IOR"; then
+    echo "    two-process attach over loopback TCP -- ok"
+else
+    kill "$SMOKE_SRV" 2>/dev/null || true
+    echo "    two-process smoke failed" >&2
+    exit 1
+fi
+kill "$SMOKE_SRV" 2>/dev/null || true
+wait "$SMOKE_SRV" 2>/dev/null || true
+rm -f "$SMOKE_IOR"
+
 echo "==> conccheck interleaving models (bounded-preemption exhaustive)"
 # The checker's own self-tests, then the four ORB models: pending-table
 # accounting, ReplySlot armed-guard (plus the seeded mutation that

@@ -12,9 +12,10 @@
 //! come out byte-stable. `--quick` runs a fixed low iteration count for
 //! CI smoke; `BENCH_OUT=<path>` overrides the artifact location.
 
-use netsim::Network;
+use netsim::{Network, NodeId};
 use orb::giop::QosContext;
-use orb::transport::BindingKey;
+use orb::qos_binding::BindingKey;
+use orb::wire::{TcpTransport, WireTransport};
 use orb::{Any, Ior, Orb, OrbConfig, OrbError, QosModule, Servant};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -48,6 +49,7 @@ impl QosModule for Identity {
 const CLIENT_THREADS: usize = 4;
 
 struct CaseResult {
+    transport: &'static str,
     payload: &'static str,
     qos: bool,
     dispatch_threads: usize,
@@ -67,18 +69,43 @@ fn percentile_us(sorted_ns: &[u64], q: f64) -> f64 {
 }
 
 fn run_case(
+    transport: &'static str,
     payload: &'static str,
     qos: bool,
     dispatch_threads: usize,
     iters_per_client: u64,
 ) -> CaseResult {
-    let net = Network::new(1);
-    let server = Orb::start_with(
-        &net,
-        "server",
-        OrbConfig { dispatch_threads, ..OrbConfig::default() },
-    );
-    let client = Orb::start(&net, "client");
+    // The simulator must outlive netsim-backed ORBs.
+    let mut _net = None;
+    let (server, client) = match transport {
+        "netsim" => {
+            let net = Network::new(1);
+            let server = Orb::start_with(
+                &net,
+                "server",
+                OrbConfig { dispatch_threads, ..OrbConfig::default() },
+            );
+            let client = Orb::start(&net, "client");
+            _net = Some(net);
+            (server, client)
+        }
+        "tcp" => {
+            let ws: Arc<dyn WireTransport> =
+                Arc::new(TcpTransport::bind(NodeId(1), "127.0.0.1:0").expect("bind server"));
+            let wc: Arc<dyn WireTransport> =
+                Arc::new(TcpTransport::bind(NodeId(2), "127.0.0.1:0").expect("bind client"));
+            let server = Orb::start_wire(
+                ws,
+                "server",
+                OrbConfig { dispatch_threads, ..OrbConfig::default() },
+            );
+            let client = Orb::start_wire(wc, "client", OrbConfig::default());
+            (server, client)
+        }
+        other => panic!("unknown transport {other}"),
+    };
+    // Over TCP the IOR carries the listener endpoint; the client's
+    // first invoke registers and dials it, exactly as across processes.
     let ior = server.activate("echo", Box::new(Echo));
     let qos_ctx = if qos {
         client.qos_transport().install(Arc::new(Identity));
@@ -129,6 +156,7 @@ fn run_case(
 
     let calls = all_ns.len() as u64;
     let result = CaseResult {
+        transport,
         payload,
         qos,
         dispatch_threads,
@@ -145,17 +173,21 @@ fn run_case(
 
 /// Repo root = nearest ancestor containing ROADMAP.md (cargo bench runs
 /// with the package directory as CWD, bare rustc runs from the root).
-fn artifact_path() -> PathBuf {
+/// TCP sweeps land in their own artifact so the committed netsim
+/// trajectory (exactly 12 deterministic cases) stays comparable.
+fn artifact_path(transport: &str) -> PathBuf {
     if let Ok(p) = std::env::var("BENCH_OUT") {
         return PathBuf::from(p);
     }
+    let name =
+        if transport == "tcp" { "BENCH_hotpath.tcp.json" } else { "BENCH_hotpath.json" };
     let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
     loop {
         if dir.join("ROADMAP.md").is_file() {
-            return dir.join("BENCH_hotpath.json");
+            return dir.join(name);
         }
         if !dir.pop() {
-            return PathBuf::from("BENCH_hotpath.json");
+            return PathBuf::from(name);
         }
     }
 }
@@ -174,9 +206,11 @@ fn render_json(mode: &str, cases: &[CaseResult]) -> String {
     out.push_str("  \"cases\": [\n");
     for (i, c) in cases.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"payload\": \"{}\", \"qos\": {}, \"dispatch_threads\": {}, \
+            "    {{\"transport\": \"{}\", \"payload\": \"{}\", \"qos\": {}, \
+             \"dispatch_threads\": {}, \
              \"clients\": {}, \"calls\": {}, \"throughput_rps\": {:.1}, \
              \"p50_us\": {:.3}, \"p99_us\": {:.3}}}{}\n",
+            json_escape_free(c.transport),
             json_escape_free(c.payload),
             c.qos,
             c.dispatch_threads,
@@ -195,30 +229,38 @@ fn render_json(mode: &str, cases: &[CaseResult]) -> String {
 fn main() {
     // Tolerate harness flags cargo bench passes (`--bench`, filters).
     let quick = std::env::args().any(|a| a == "--quick");
+    let transport: &'static str =
+        if std::env::args().any(|a| a == "--tcp") { "tcp" } else { "netsim" };
     let iters_per_client: u64 = if quick { 200 } else { 2000 };
     let mode = if quick { "quick" } else { "full" };
 
-    println!("\n=== E11: closed-loop hot path ({CLIENT_THREADS} clients × {iters_per_client} calls each, {mode}) ===");
+    println!("\n=== E11: closed-loop hot path ({CLIENT_THREADS} clients × {iters_per_client} calls each, {mode}, {transport}) ===");
     println!(
-        "  {:<8} {:<6} {:>9} {:>12} {:>10} {:>10}",
-        "payload", "qos", "disp_thr", "rps", "p50_us", "p99_us"
+        "  {:<8} {:<8} {:<6} {:>9} {:>12} {:>10} {:>10}",
+        "wire", "payload", "qos", "disp_thr", "rps", "p50_us", "p99_us"
     );
 
     let mut cases = Vec::new();
     for payload in ["null", "1KiB"] {
         for qos in [false, true] {
             for dispatch_threads in [1usize, 2, 4] {
-                let c = run_case(payload, qos, dispatch_threads, iters_per_client);
+                let c = run_case(transport, payload, qos, dispatch_threads, iters_per_client);
                 println!(
-                    "  {:<8} {:<6} {:>9} {:>12.0} {:>10.1} {:>10.1}",
-                    c.payload, c.qos, c.dispatch_threads, c.throughput_rps, c.p50_us, c.p99_us
+                    "  {:<8} {:<8} {:<6} {:>9} {:>12.0} {:>10.1} {:>10.1}",
+                    c.transport,
+                    c.payload,
+                    c.qos,
+                    c.dispatch_threads,
+                    c.throughput_rps,
+                    c.p50_us,
+                    c.p99_us
                 );
                 cases.push(c);
             }
         }
     }
 
-    let path = artifact_path();
-    std::fs::write(&path, render_json(mode, &cases)).expect("write BENCH_hotpath.json");
+    let path = artifact_path(transport);
+    std::fs::write(&path, render_json(mode, &cases)).expect("write bench artifact");
     println!("\n  wrote {}", path.display());
 }

@@ -13,7 +13,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use maqs_bench::{banner, payload, row, Echo};
 use netsim::{LinkModel, Network};
 use orb::giop::QosContext;
-use orb::transport::BindingKey;
+use orb::qos_binding::BindingKey;
 use orb::{Any, Orb};
 use qosmech::compress::{codec, CompressionModule, COMPRESSION_MODULE};
 use std::sync::Arc;

@@ -11,7 +11,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use maqs_bench::{banner, payload, row, Echo};
 use netsim::Network;
 use orb::giop::QosContext;
-use orb::transport::BindingKey;
+use orb::qos_binding::BindingKey;
 use orb::{Any, Orb};
 use qosmech::crypt::{keyex, open, seal, EncryptionModule, ENCRYPTION_MODULE};
 use std::sync::Arc;

@@ -13,7 +13,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use maqs_bench::{banner, row, Echo};
 use netsim::Network;
 use orb::giop::{CommandTarget, QosContext};
-use orb::transport::{BindingKey, Outbound, QosModule};
+use orb::qos_binding::{BindingKey, Outbound, QosModule};
 use orb::{Any, Orb, OrbError};
 use std::sync::Arc;
 

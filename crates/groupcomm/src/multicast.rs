@@ -2,7 +2,7 @@
 //! on the network layer").
 
 use netsim::NodeId;
-use orb::transport::{Outbound, QosModule};
+use orb::qos_binding::{Outbound, QosModule};
 use orb::{Any, OrbError};
 use parking_lot::RwLock;
 

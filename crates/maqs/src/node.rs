@@ -3,7 +3,7 @@
 use crate::error::Error;
 use crate::heal::{AdaptationEngine, SelfHealingPolicy};
 use netsim::Network;
-use orb::{Ior, MetricsSnapshot, Orb, OrbError, Servant};
+use orb::{Ior, MetricsSnapshot, Orb, OrbError, Servant, WireTransport};
 use parking_lot::RwLock;
 use qidl::InterfaceRepository;
 use services::introspection::{BindingInfo, IntrospectionServant, Introspector, INTROSPECTION_KEY};
@@ -84,9 +84,17 @@ impl ServeOptions {
     }
 }
 
+/// Where a node's ORB gets its bytes moved: the deterministic
+/// simulator (the default for tests and benches) or a real
+/// socket-backed [`WireTransport`] (TCP / Unix sockets).
+enum NetSource<'a> {
+    Sim(&'a Network),
+    Wire(Arc<dyn WireTransport>),
+}
+
 /// Builder for a [`MaqsNode`].
 pub struct MaqsNodeBuilder<'a> {
-    net: &'a Network,
+    source: NetSource<'a>,
     name: String,
     config: orb::OrbConfig,
     specs: Vec<String>,
@@ -129,7 +137,10 @@ impl<'a> MaqsNodeBuilder<'a> {
             let spec = qidl::parser::parse(&tokens)?;
             repo.load(&spec)?;
         }
-        let orb = Orb::start_with(self.net, &self.name, self.config);
+        let orb = match self.source {
+            NetSource::Sim(net) => Orb::start_with(net, &self.name, self.config),
+            NetSource::Wire(wire) => Orb::start_wire(wire, &self.name, self.config),
+        };
         let negotiation = Arc::new(NegotiationServant::new());
         let trader = Arc::new(Trader::new());
         let naming = Arc::new(NamingService::new());
@@ -188,7 +199,21 @@ impl MaqsNode {
     /// Start building a node attached to `net`.
     pub fn builder<'a>(net: &'a Network, name: &str) -> MaqsNodeBuilder<'a> {
         MaqsNodeBuilder {
-            net,
+            source: NetSource::Sim(net),
+            name: name.to_string(),
+            config: orb::OrbConfig::default(),
+            specs: Vec::new(),
+            standard_qos: true,
+        }
+    }
+
+    /// Start building a node whose ORB runs over an already-bound wire
+    /// transport (e.g. [`orb::TcpTransport`] or [`orb::UdsTransport`])
+    /// instead of the simulator — the entry point for real two-process
+    /// deployments.
+    pub fn builder_wire(wire: Arc<dyn WireTransport>, name: &str) -> MaqsNodeBuilder<'static> {
+        MaqsNodeBuilder {
+            source: NetSource::Wire(wire),
             name: name.to_string(),
             config: orb::OrbConfig::default(),
             specs: Vec::new(),
@@ -303,52 +328,9 @@ impl MaqsNode {
         for tag in &iface.qos {
             ior = ior.with_qos_tag(tag.clone());
         }
-        Ok(ior)
-    }
-
-    /// Weave `servant` (implementing QIDL interface `interface_name`)
-    /// and activate it under `key`.
-    ///
-    /// # Errors
-    ///
-    /// [`OrbError::BadParam`] if the interface is not in the repository.
-    #[deprecated(since = "0.1.0", note = "use `serve` with `ServeOptions::interface(..)`")]
-    pub fn serve_woven(
-        &self,
-        key: &str,
-        servant: Arc<dyn Servant>,
-        interface_name: &str,
-    ) -> Result<Ior, OrbError> {
-        self.serve(key, servant, ServeOptions::interface(interface_name))
-            .map_err(Error::into_orb)
-    }
-
-    /// Like `serve_woven`, additionally installing QoS implementations
-    /// and registering the object for negotiation with the given
-    /// per-characteristic capacities.
-    ///
-    /// # Errors
-    ///
-    /// [`OrbError::BadParam`] for unknown interfaces;
-    /// [`OrbError::QosViolation`] if an implementation's characteristic
-    /// is not assigned to the interface.
-    #[deprecated(since = "0.1.0", note = "use `serve` with `ServeOptions::interface(..)`")]
-    pub fn serve_woven_with(
-        &self,
-        key: &str,
-        servant: Arc<dyn Servant>,
-        interface_name: &str,
-        qos_impls: Vec<Arc<dyn QosImplementation>>,
-        capacity: HashMap<String, usize>,
-    ) -> Result<Ior, OrbError> {
-        let mut options = ServeOptions::interface(interface_name);
-        for qi in qos_impls {
-            options = options.qos_impl(qi);
-        }
-        for (characteristic, slots) in capacity {
-            options = options.capacity(characteristic, slots);
-        }
-        self.serve(key, servant, options).map_err(Error::into_orb)
+        // Socket-backed nodes need the listener in the reference so it
+        // survives a trip to another process.
+        Ok(self.orb.attach_endpoint(ior))
     }
 
     /// The node's QoS monitor: agreement bounds installed by the
@@ -629,29 +611,6 @@ mod tests {
         let net = Network::new(1);
         let node = MaqsNode::builder(&net, "n").build().unwrap();
         assert!(node.serve("x", kv(), ServeOptions::interface("Ghost")).is_err());
-        node.shutdown();
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_serve() {
-        let net = Network::new(1);
-        let node = MaqsNode::builder(&net, "n").spec(SPEC).build().unwrap();
-        let ior = node.serve_woven("kv", kv(), "Kv").unwrap();
-        assert!(ior.offers("Replication"));
-        assert!(matches!(
-            node.serve_woven("x", kv(), "Ghost").unwrap_err(),
-            OrbError::BadParam(_)
-        ));
-        node.serve_woven_with(
-            "kv2",
-            kv(),
-            "Kv",
-            vec![Arc::new(ReplicationQosImpl::new()), Arc::new(FreshnessStampQosImpl::new())],
-            HashMap::from([("Replication".to_string(), 1)]),
-        )
-        .unwrap();
-        assert!(node.woven("kv2").is_some());
         node.shutdown();
     }
 

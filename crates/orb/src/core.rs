@@ -1,8 +1,10 @@
 //! The ORB core: request brokering and the Fig. 3 invocation interface.
 //!
-//! Each [`Orb`] owns one [`netsim::NetHandle`] (its "host"), an object
-//! adapter, a QoS transport, and a pseudo-object registry. A background
-//! **receive loop** reads packets off the network; requests are queued to
+//! Each [`Orb`] owns one [`WireTransport`] (its "host" — the
+//! deterministic simulator by default, real sockets via
+//! [`Orb::start_wire`]), an object adapter, a QoS binding layer, and a
+//! pseudo-object registry. A background **receive loop** reads framed
+//! packets off the wire; requests are queued to
 //! a small dispatcher pool (so a servant may itself make outbound calls
 //! without deadlocking the loop), replies are correlated back to waiting
 //! callers.
@@ -37,8 +39,9 @@ use crate::ior::{Ior, ObjectKey};
 use crate::metrics::MetricsRegistry;
 use crate::pseudo::PseudoObjectRegistry;
 use crate::trace::{self, TraceContext, TRACE_CONTEXT_ID};
-use crate::transport::QosTransport;
+use crate::qos_binding::QosTransport;
 use crate::sync::{LockRank, OrderedCondvar, OrderedMutex};
+use crate::wire::{Endpoint, NetSimTransport, WireFrame, WireTransport};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use netsim::{NetHandle, Network, NodeId};
@@ -148,12 +151,20 @@ impl ReplySlot {
 
     /// Deliver `reply` if the slot is still armed for `id`; a refusal
     /// means the caller gave up (timeout) and the reply is an orphan.
-    fn push(&self, id: u64, reply: ReplyMessage) -> bool {
+    ///
+    /// `counted` runs under the slot lock, after the armed guard accepts
+    /// the reply and before the waiter can pop it. Stats bumped there are
+    /// visible by the time the caller's `invoke` returns — bumping after
+    /// `push` instead lets a caller observe its own completed call as
+    /// uncounted (Metrics 600 and Flight 700s rank above ReplySlot 510,
+    /// so acquiring them here respects the lock order).
+    fn push(&self, id: u64, reply: ReplyMessage, counted: impl FnOnce()) -> bool {
         let mut s = self.state.lock();
         if s.armed != id {
             return false;
         }
         s.queue.push_back(reply);
+        counted();
         self.cvar.notify_all();
         true
     }
@@ -249,7 +260,12 @@ fn bump(cell: &AtomicU64) {
 }
 
 struct OrbInner {
-    handle: NetHandle,
+    wire: Arc<dyn WireTransport>,
+    /// The simulator handle when the wire is netsim-backed (virtual
+    /// clock access, chaos hooks); `None` for socket-backed ORBs.
+    sim: Option<NetHandle>,
+    node: NodeId,
+    name: String,
     adapter: ObjectAdapter,
     transport: QosTransport,
     pseudo: PseudoObjectRegistry,
@@ -299,8 +315,8 @@ pub struct Orb {
 impl fmt::Debug for Orb {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Orb")
-            .field("node", &self.inner.handle.id())
-            .field("name", &self.inner.handle.name())
+            .field("node", &self.inner.node)
+            .field("name", &self.inner.name)
             .finish()
     }
 }
@@ -329,9 +345,37 @@ impl Orb {
                 );
             }));
         }
+        let sim = handle.clone();
+        let wire: Arc<dyn WireTransport> = Arc::new(NetSimTransport::new(handle));
+        Orb::start_inner(wire, Some(sim), flight, name, config)
+    }
+
+    /// Start an ORB on an arbitrary wire transport — real TCP or
+    /// Unix-domain sockets ([`crate::wire`]) instead of the simulator.
+    ///
+    /// The transport supplies the node identity; references the ORB
+    /// activates carry the transport's [`Endpoint`] as an IOR profile so
+    /// peers in other processes can dial in. Simulator conveniences
+    /// ([`Orb::net_handle`], chaos fault observers) are unavailable.
+    pub fn start_wire(wire: Arc<dyn WireTransport>, name: &str, config: OrbConfig) -> Orb {
+        let flight = FlightRecorder::new(name, config.flight_capacity);
+        Orb::start_inner(wire, None, flight, name, config)
+    }
+
+    fn start_inner(
+        wire: Arc<dyn WireTransport>,
+        sim: Option<NetHandle>,
+        flight: FlightRecorder,
+        name: &str,
+        config: OrbConfig,
+    ) -> Orb {
         let (dispatch_tx, dispatch_rx) = unbounded::<DispatchCmd>();
+        let node = wire.node();
         let inner = Arc::new(OrbInner {
-            handle,
+            wire,
+            sim,
+            node,
+            name: name.to_string(),
             adapter: ObjectAdapter::new(),
             transport: QosTransport::new(),
             pseudo: PseudoObjectRegistry::new(),
@@ -357,12 +401,52 @@ impl Orb {
 
     /// The network node this ORB runs on.
     pub fn node(&self) -> NodeId {
-        self.inner.handle.id()
+        self.inner.node
     }
 
-    /// The underlying network handle (virtual clock, name, …).
+    /// The name this ORB was started with.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// The wire transport moving this ORB's frames.
+    pub fn wire(&self) -> &Arc<dyn WireTransport> {
+        &self.inner.wire
+    }
+
+    /// The underlying simulator handle (virtual clock, name, …).
+    ///
+    /// # Panics
+    ///
+    /// Panics for ORBs started on a non-simulator wire transport
+    /// ([`Orb::start_wire`]); gate on [`Orb::is_sim_backed`] first.
     pub fn net_handle(&self) -> &NetHandle {
-        &self.inner.handle
+        self.inner
+            .sim
+            .as_ref()
+            .expect("net_handle(): this ORB runs on a socket wire transport, not netsim")
+    }
+
+    /// Whether this ORB runs on the deterministic simulator.
+    pub fn is_sim_backed(&self) -> bool {
+        self.inner.sim.is_some()
+    }
+
+    /// Teach the wire transport how to reach the node hosting `ior`
+    /// (no-op for references without endpoint profiles, e.g. on the
+    /// simulator). Invocations do this automatically; it is public for
+    /// callers that address peers by [`NodeId`] directly, such as
+    /// command/introspection clients attaching across processes.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::CommFailure`] if the transport supports none of the
+    /// listed endpoints.
+    pub fn register_endpoints(&self, ior: &Ior) -> Result<(), OrbError> {
+        if ior.endpoints.is_empty() {
+            return Ok(());
+        }
+        self.inner.wire.register_peer(ior.node, &ior.endpoints).map_err(OrbError::from)
     }
 
     /// The ORB's object adapter.
@@ -425,7 +509,21 @@ impl Orb {
         for t in tags {
             ior = ior.with_qos_tag(*t);
         }
-        ior
+        self.attach_endpoint(ior)
+    }
+
+    /// Attach this ORB's dialable listener to `ior` as a tagged profile.
+    ///
+    /// Socket-backed ORBs publish their listener so the reference works
+    /// across process boundaries; simulator references stay profile-free
+    /// (identity routing, byte-stable encodings for every existing
+    /// test). `activate` does this automatically — call it yourself only
+    /// for references built outside the ORB (e.g. `MaqsNode::serve`).
+    pub fn attach_endpoint(&self, ior: Ior) -> Ior {
+        match self.inner.wire.local_endpoint() {
+            Endpoint::Sim(_) => ior,
+            ep => ior.with_endpoint(ep),
+        }
     }
 
     /// Deactivate an object.
@@ -497,16 +595,17 @@ impl Orb {
                 Some(ctx) => {
                     // Same thread end to end: install so the skeleton's
                     // spans land in this trace, then add the adapter span.
-                    let scope = trace::begin(ctx, self.inner.handle.name());
+                    let scope = trace::begin(ctx, &self.inner.name);
                     let result = self.inner.adapter.dispatch(&ior.key, op, args);
                     let us = started.elapsed().as_micros() as u64;
                     let mut ctx = scope.finish();
-                    ctx.push("adapter", self.inner.handle.name(), us);
+                    ctx.push("adapter", &self.inner.name, us);
                     metrics.observe_us("orb.collocated_us", us);
                     result.map(|v| (v, Some(ctx)))
                 }
             };
         }
+        let _ = self.register_endpoints(ior);
         let trace_id = trace.as_ref().map(|t| t.trace_id);
         let (id, slot) = self.register_pending(false);
         let mut request = RequestMessage {
@@ -544,7 +643,7 @@ impl Orb {
                     .context(TRACE_CONTEXT_ID)
                     .and_then(|b| TraceContext::from_bytes(b).ok())
                     .unwrap_or_else(|| TraceContext::with_id(trace_id));
-                ctx.push("orb.client", self.inner.handle.name(), roundtrip_us);
+                ctx.push("orb.client", &self.inner.name, roundtrip_us);
                 Some(ctx)
             }
         };
@@ -610,6 +709,7 @@ impl Orb {
     ) -> Result<Vec<(NodeId, Result<Any, OrbError>)>, OrbError> {
         let CollectCall { ior, op, args, qos, min_replies, timeout, kind } = call;
         self.check_running()?;
+        let _ = self.register_endpoints(ior);
         let (id, slot) = self.register_pending(true);
         let request = RequestMessage {
             request_id: id,
@@ -658,6 +758,7 @@ impl Orb {
         qos: Option<QosContext>,
     ) -> Result<(), OrbError> {
         self.check_running()?;
+        let _ = self.register_endpoints(ior);
         let request = RequestMessage {
             request_id: self.inner.next_request.fetch_add(1, Ordering::Relaxed),
             reply_to: self.node(),
@@ -720,7 +821,10 @@ impl Orb {
         for _ in 0..self.inner.config.dispatch_threads.max(1) {
             let _ = self.inner.dispatch_tx.send(DispatchCmd::Shutdown);
         }
-        self.inner.handle.poke();
+        // Wake the blocked receive loop, then stop the transport itself
+        // (closes sockets and listeners on socket backends).
+        self.inner.wire.poke();
+        self.inner.wire.shutdown();
     }
 
     /// Whether [`Orb::shutdown`] has been called.
@@ -800,29 +904,29 @@ impl Orb {
     }
 
     fn send_wire(&self, dst: NodeId, frame: Vec<u8>) -> Result<(), OrbError> {
-        self.inner.handle.send(dst, frame).map_err(|e| OrbError::CommFailure(e.to_string()))
+        self.inner.wire.send(dst, frame).map_err(OrbError::from)
     }
 
     fn spawn_receive_loop(&self) -> JoinHandle<()> {
         let inner = Arc::clone(&self.inner);
         std::thread::Builder::new()
-            .name(format!("orb-recv-{}", inner.handle.name()))
+            .name(format!("orb-recv-{}", inner.name))
             .spawn(move || {
-                // Event-driven: block on the inbox instead of polling.
-                // `shutdown()` pokes the handle (an empty payload that
-                // bypasses fault/link models) so the blocked recv wakes.
+                // Event-driven: block on the wire instead of polling.
+                // `shutdown()` pokes the transport (an empty frame, the
+                // backend-independent wakeup) so the blocked recv wakes.
                 loop {
-                    let msg = match inner.handle.recv() {
-                        Ok(m) => m,
+                    let frame = match inner.wire.recv() {
+                        Ok(f) => f,
                         Err(_) => break,
                     };
                     if inner.shutdown.load(Ordering::SeqCst) {
                         break;
                     }
-                    if msg.payload.is_empty() {
+                    if frame.payload.is_empty() {
                         continue; // wakeup poke, not traffic
                     }
-                    Orb::handle_packet(&inner, &msg);
+                    Orb::handle_frame(&inner, &frame);
                 }
             })
             .expect("spawn orb receive loop")
@@ -831,7 +935,7 @@ impl Orb {
     fn spawn_dispatcher(&self, rx: Receiver<DispatchCmd>) -> JoinHandle<()> {
         let inner = Arc::clone(&self.inner);
         std::thread::Builder::new()
-            .name(format!("orb-dispatch-{}", inner.handle.name()))
+            .name(format!("orb-dispatch-{}", inner.name))
             .spawn(move || {
                 // Event-driven: block on the work queue; `shutdown()`
                 // enqueues one Shutdown sentinel per dispatcher.
@@ -845,19 +949,19 @@ impl Orb {
             .expect("spawn orb dispatcher")
     }
 
-    fn handle_packet(inner: &Arc<OrbInner>, msg: &netsim::Message) {
-        let src = msg.src;
-        let transit_vus = msg.transit().as_micros();
+    fn handle_frame(inner: &Arc<OrbInner>, frame: &WireFrame) {
+        let src = frame.src;
+        let transit_vus = frame.transit_us;
         let metrics = &inner.metrics;
         metrics.incr("wire.msgs_received");
-        metrics.add("wire.bytes_received", msg.payload.len() as u64);
+        metrics.add("wire.bytes_received", frame.payload.len() as u64);
         metrics.observe_us("wire.transit_vus", transit_vus);
         let drop_packet = || {
             bump(&inner.stats.packets_dropped);
             metrics.incr("orb.packets_dropped");
             inner.flight.record(FlightEventKind::PacketDropped, "wire", None);
         };
-        let packet = match Packet::decode(&msg.payload) {
+        let packet = match Packet::decode(&frame.payload) {
             Ok(p) => p,
             Err(_) => {
                 drop_packet();
@@ -910,7 +1014,7 @@ impl Orb {
                     .and_then(|b| TraceContext::from_bytes(b).ok())
                 {
                     reply_trace_id = Some(ctx.trace_id);
-                    ctx.push("wire.reply", inner.handle.name(), transit_vus);
+                    ctx.push("wire.reply", &inner.name, transit_vus);
                     reply.set_context(TRACE_CONTEXT_ID, ctx.to_bytes());
                 }
                 let id = reply.request_id;
@@ -927,18 +1031,18 @@ impl Orb {
                     }
                 };
                 let delivered = match slot {
-                    Some(slot) => slot.push(id, reply),
+                    Some(slot) => slot.push(id, reply, || {
+                        bump(&inner.stats.replies_matched);
+                        metrics.incr("orb.replies_matched");
+                        inner.flight.record(
+                            FlightEventKind::ReplyMatched,
+                            "orb.client",
+                            reply_trace_id,
+                        );
+                    }),
                     None => false,
                 };
-                if delivered {
-                    bump(&inner.stats.replies_matched);
-                    metrics.incr("orb.replies_matched");
-                    inner.flight.record(
-                        FlightEventKind::ReplyMatched,
-                        "orb.client",
-                        reply_trace_id,
-                    );
-                } else {
+                if !delivered {
                     bump(&inner.stats.replies_orphaned);
                     metrics.incr("orb.replies_orphaned");
                     inner.flight.record(
@@ -962,8 +1066,8 @@ impl Orb {
             .and_then(|b| TraceContext::from_bytes(b).ok());
         let trace_id = ctx_in.as_ref().map(|c| c.trace_id);
         let scope = ctx_in.map(|mut ctx| {
-            ctx.push("wire", inner.handle.name(), transit_vus);
-            trace::begin(ctx, inner.handle.name())
+            ctx.push("wire", &inner.name, transit_vus);
+            trace::begin(ctx, &inner.name)
         });
         let started = Instant::now();
         let result = match &request.kind {
@@ -1000,13 +1104,13 @@ impl Orb {
         }
         let trace_out = scope.map(|s| {
             let mut ctx = s.finish();
-            ctx.push("orb.server", inner.handle.name(), dispatch_us);
+            ctx.push("orb.server", &inner.name, dispatch_us);
             ctx
         });
         if !request.response_expected {
             return;
         }
-        let mut reply = ReplyMessage::from_result(request.request_id, inner.handle.id(), result);
+        let mut reply = ReplyMessage::from_result(request.request_id, inner.node, result);
         if let Some(ctx) = trace_out {
             reply.set_context(TRACE_CONTEXT_ID, ctx.to_bytes());
         }
@@ -1031,14 +1135,14 @@ impl Orb {
             }
             None => frame_plain_reply(&reply),
         };
-        let _ = inner.handle.send(request.reply_to, frame);
+        let _ = inner.wire.send(request.reply_to, frame);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::transport::{Outbound, QosModule};
+    use crate::qos_binding::{Outbound, QosModule};
 
     struct Echo;
     impl Servant for Echo {
@@ -1203,7 +1307,7 @@ mod tests {
         server.qos_transport().install(Arc::new(Mirror));
         client
             .qos_transport()
-            .bind(crate::transport::BindingKey { peer: None, key: ior.key.clone() }, "mirror")
+            .bind(crate::qos_binding::BindingKey { peer: None, key: ior.key.clone() }, "mirror")
             .unwrap();
         let qos = Some(QosContext::new("mirror"));
         let r = client.invoke_qos(&ior, "echo", &[Any::from("qos!")], qos).unwrap();

@@ -10,6 +10,7 @@
 
 use crate::cdr::{CdrDecoder, CdrEncoder};
 use crate::error::OrbError;
+use crate::wire::Endpoint;
 use netsim::NodeId;
 use std::fmt;
 
@@ -53,12 +54,24 @@ pub struct Ior {
     pub key: ObjectKey,
     /// QoS characteristics offered for this object (empty = QoS-unaware).
     pub qos_tags: Vec<String>,
+    /// Tagged endpoint profiles: how the hosting node's wire transport
+    /// can be reached. Empty for simulator-backed references (the
+    /// simulator routes by [`NodeId`] alone); socket-backed ORBs attach
+    /// their listener endpoint on `activate`, which is what lets a
+    /// reference cross a process boundary.
+    pub endpoints: Vec<Endpoint>,
 }
 
 impl Ior {
     /// A QoS-unaware reference.
     pub fn new(type_id: impl Into<String>, node: NodeId, key: impl Into<ObjectKey>) -> Ior {
-        Ior { type_id: type_id.into(), node, key: key.into(), qos_tags: Vec::new() }
+        Ior {
+            type_id: type_id.into(),
+            node,
+            key: key.into(),
+            qos_tags: Vec::new(),
+            endpoints: Vec::new(),
+        }
     }
 
     /// Builder-style: add a QoS tag (idempotent).
@@ -68,6 +81,19 @@ impl Ior {
             self.qos_tags.push(tag);
         }
         self
+    }
+
+    /// Builder-style: attach an endpoint profile (idempotent).
+    pub fn with_endpoint(mut self, endpoint: Endpoint) -> Ior {
+        if !self.endpoints.contains(&endpoint) {
+            self.endpoints.push(endpoint);
+        }
+        self
+    }
+
+    /// The first endpoint profile, if any.
+    pub fn endpoint(&self) -> Option<&Endpoint> {
+        self.endpoints.first()
     }
 
     /// Whether this reference is QoS-aware (Fig. 3's "With QoS?" test).
@@ -89,6 +115,10 @@ impl Ior {
         for t in &self.qos_tags {
             enc.put_string(t);
         }
+        enc.put_len(self.endpoints.len());
+        for e in &self.endpoints {
+            e.encode(enc);
+        }
     }
 
     /// Decode from a CDR stream.
@@ -105,7 +135,18 @@ impl Ior {
         for _ in 0..n {
             qos_tags.push(dec.get_string()?);
         }
-        Ok(Ior { type_id, node, key, qos_tags })
+        // Endpoint profiles were added after the original encoding; a
+        // reference encoded without them still decodes (empty profile
+        // list) so pre-profile URIs keep working.
+        let mut endpoints = Vec::new();
+        if !dec.is_at_end() {
+            let n = dec.get_len()?;
+            endpoints.reserve(n.min(8));
+            for _ in 0..n {
+                endpoints.push(Endpoint::decode(dec)?);
+            }
+        }
+        Ok(Ior { type_id, node, key, qos_tags, endpoints })
     }
 
     /// Stringified form, `maqs-ior:<hex of CDR encoding>`, the analogue of
@@ -205,6 +246,37 @@ mod tests {
         assert!(Ior::from_uri("maqs-ior:abc").is_err()); // odd length
         assert!(Ior::from_uri("maqs-ior:zz").is_err()); // bad hex
         assert!(Ior::from_uri("maqs-ior:00").is_err()); // truncated payload
+    }
+
+    #[test]
+    fn endpoint_profiles_roundtrip_cdr_and_uri() {
+        let ior = sample()
+            .with_endpoint(Endpoint::Tcp("127.0.0.1:9443".to_string()))
+            .with_endpoint(Endpoint::Uds("/tmp/maqs.sock".to_string()))
+            .with_endpoint(Endpoint::Tcp("127.0.0.1:9443".to_string())); // idempotent
+        assert_eq!(ior.endpoints.len(), 2);
+        assert_eq!(ior.endpoint(), Some(&Endpoint::Tcp("127.0.0.1:9443".to_string())));
+        let uri = ior.to_uri();
+        assert_eq!(Ior::from_uri(&uri).unwrap(), ior);
+    }
+
+    #[test]
+    fn pre_profile_encoding_still_decodes() {
+        // An IOR encoded without the trailing endpoint-profile list (the
+        // pre-wire-boundary format) must still parse, with no profiles.
+        let ior = sample();
+        let mut enc = CdrEncoder::new();
+        enc.put_string(&ior.type_id);
+        enc.put_u32(ior.node.0);
+        enc.put_string(&ior.key.0);
+        enc.put_len(ior.qos_tags.len());
+        for t in &ior.qos_tags {
+            enc.put_string(t);
+        }
+        let bytes = enc.into_bytes();
+        let decoded = Ior::decode(&mut CdrDecoder::new(&bytes)).unwrap();
+        assert_eq!(decoded, ior);
+        assert!(decoded.endpoints.is_empty());
     }
 
     #[test]

@@ -20,9 +20,13 @@
 //!   Fig. 3 decision tree: untagged requests take the plain GIOP path,
 //!   QoS-aware requests go through the QoS transport, commands are routed
 //!   to the QoS transport or a named module.
-//! * **QoS transport and modules** ([`transport`]) — dynamically loadable
-//!   transport-level QoS modules with a common static (pseudo-object)
-//!   interface and a module-specific dynamic interface (via DII).
+//! * **QoS binding layer** ([`qos_binding`]) — dynamically loadable QoS
+//!   modules with a common static (pseudo-object) interface and a
+//!   module-specific dynamic interface (via DII), plus the binding table
+//!   routing traffic through them.
+//! * **Wire transports** ([`wire`]) — the pluggable byte-moving layer:
+//!   the deterministic simulator wrapper, real TCP, and Unix-domain
+//!   sockets behind one [`wire::WireTransport`] trait.
 //! * **DII** ([`dii`]) — dynamic request construction.
 //! * **Pseudo objects** ([`pseudo`]) — locally implemented objects, used
 //!   for the static interfaces of QoS modules.
@@ -81,10 +85,22 @@ pub mod giop;
 pub mod ior;
 pub mod metrics;
 pub mod pseudo;
+pub mod qos_binding;
 pub mod retry;
 pub mod sync;
 pub mod trace;
-pub mod transport;
+pub mod wire;
+
+/// Deprecated alias of [`qos_binding`].
+///
+/// Historically this module was called `transport`, but it is the QoS
+/// module registry/binding table of §4, not a transport: the layer that
+/// actually moves bytes is [`wire`]. The alias keeps old paths
+/// compiling; new code should say what it means.
+#[deprecated(since = "0.7.0", note = "renamed to `orb::qos_binding`; the wire layer is `orb::wire`")]
+pub mod transport {
+    pub use crate::qos_binding::*;
+}
 
 /// Convenient re-exports of the types used by almost every ORB client.
 pub mod prelude {
@@ -104,5 +120,6 @@ pub use crate::ior::{Ior, ObjectKey};
 pub use crate::metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot, QuantileEstimate};
 pub use crate::retry::RetryPolicy;
 pub use crate::sync::{LockRank, OrderedCondvar, OrderedMutex, OrderedRwLock};
+pub use crate::qos_binding::{ModuleFactory, QosModule, QosTransport};
 pub use crate::trace::{Span, TraceContext};
-pub use crate::transport::{ModuleFactory, QosModule, QosTransport};
+pub use crate::wire::{Endpoint, NetSimTransport, TcpTransport, UdsTransport, WireError, WireFrame, WireTransport};

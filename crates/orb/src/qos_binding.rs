@@ -1,6 +1,11 @@
-//! The QoS transport: reflective, dynamically loadable transport modules.
+//! The QoS binding layer: reflective, dynamically loadable QoS modules
+//! and the binding table routing traffic through them.
 //!
-//! This is the §4 half of the paper. The ORB's invocation interface hands
+//! This is the §4 half of the paper — what it calls the "QoS transport".
+//! (The *wire* transport — sockets vs the simulator — lives in
+//! [`crate::wire`]; this module is the registry/binding machinery that
+//! sits **above** the wire and transforms GIOP bodies.) The ORB's
+//! invocation interface hands
 //! QoS-aware traffic to the **QoS transport**, "an entity which
 //! administrates all QoS transport modules". Each module offers:
 //!
@@ -93,7 +98,7 @@ pub struct BindingKey {
     pub key: ObjectKey,
 }
 
-struct TransportState {
+struct QosBindingState {
     factories: HashMap<String, ModuleFactory>,
     modules: HashMap<String, Arc<dyn QosModule>>,
     bindings: HashMap<BindingKey, String>,
@@ -115,7 +120,7 @@ struct ResolveCache {
 /// Administers loaded QoS modules and their bindings (Fig. 3).
 #[derive(Clone)]
 pub struct QosTransport {
-    state: Arc<OrderedRwLock<TransportState>>,
+    state: Arc<OrderedRwLock<QosBindingState>>,
     /// Bumped on every module/binding mutation; readers compare it to
     /// [`ResolveCache::epoch`] to detect staleness without walking the
     /// admin tables.
@@ -144,7 +149,7 @@ impl QosTransport {
     /// An empty transport: no factories, no modules, no bindings.
     pub fn new() -> QosTransport {
         QosTransport {
-            state: Arc::new(OrderedRwLock::new(LockRank::TransportState, TransportState {
+            state: Arc::new(OrderedRwLock::new(LockRank::QosBindingState, QosBindingState {
                 factories: HashMap::new(),
                 modules: HashMap::new(),
                 bindings: HashMap::new(),

@@ -55,10 +55,12 @@
 //! | 310 | `QosMechState` | mechanism mutable state (caches, buckets, rng) | `qosmech::*` |
 //! | 320 | `QosMechStats` | mechanism counters, updated while state is held | `qosmech::*` |
 //! | 330 | `QosMechMetrics` | mechanism metrics-registry hooks | `qosmech::*` |
-//! | 400 | `TransportState` | QoS transport module table | `orb::transport` |
-//! | 410 | `ResolveCache` | transport resolve cache | `orb::transport` |
+//! | 400 | `QosBindingState` | QoS module/binding table | `orb::qos_binding` |
+//! | 410 | `ResolveCache` | binding resolve cache | `orb::qos_binding` |
 //! | 420 | `AdapterServants` | object-adapter servant map | `orb::adapter` |
 //! | 430 | `PseudoObjects` | pseudo-object registry | `orb::pseudo` |
+//! | 440 | `WireState` | wire-transport peer/connection registry | `orb::wire` |
+//! | 444 | `WireConn` | one pooled connection's write stream | `orb::wire` |
 //! | 500 | `PendingShard` | one shard of the pending-request table | `orb::core` |
 //! | 510 | `ReplySlot` | per-thread reply rendezvous slot | `orb::core` |
 //! | 600 | `MetricsInner` | metrics registry interior | `orb::metrics` |
@@ -124,10 +126,12 @@ pub enum LockRank {
     QosMechState = 310,
     QosMechStats = 320,
     QosMechMetrics = 330,
-    TransportState = 400,
+    QosBindingState = 400,
     ResolveCache = 410,
     AdapterServants = 420,
     PseudoObjects = 430,
+    WireState = 440,
+    WireConn = 444,
     PendingShard = 500,
     ReplySlot = 510,
     MetricsInner = 600,
@@ -173,10 +177,12 @@ impl LockRank {
         (310, "QosMechState", "qosmech"),
         (320, "QosMechStats", "qosmech"),
         (330, "QosMechMetrics", "qosmech"),
-        (400, "TransportState", "orb::transport"),
-        (410, "ResolveCache", "orb::transport"),
+        (400, "QosBindingState", "orb::qos_binding"),
+        (410, "ResolveCache", "orb::qos_binding"),
         (420, "AdapterServants", "orb::adapter"),
         (430, "PseudoObjects", "orb::pseudo"),
+        (440, "WireState", "orb::wire"),
+        (444, "WireConn", "orb::wire"),
         (500, "PendingShard", "orb::core"),
         (510, "ReplySlot", "orb::core"),
         (600, "MetricsInner", "orb::metrics"),

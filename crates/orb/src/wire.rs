@@ -1,0 +1,937 @@
+//! Wire transports — the ORB's pluggable network boundary.
+//!
+//! The paper's separation argument (§3, Fig. 3) only holds if the layer
+//! that moves framed bytes between nodes is swappable behind a stable
+//! boundary: QoS modules transform GIOP bodies, the ORB core correlates
+//! requests and replies, and *neither* may care whether the bytes travel
+//! over the deterministic simulator or a real socket. [`WireTransport`]
+//! is that boundary.
+//!
+//! Three backends ship with the crate:
+//!
+//! * [`NetSimTransport`] — wraps a [`netsim::NetHandle`]; the
+//!   deterministic default every test and bench runs on.
+//! * [`TcpTransport`] — real loopback/LAN TCP with a listener thread,
+//!   per-peer pooled connections and reconnect-on-failure.
+//! * [`UdsTransport`] — the same engine over Unix-domain sockets.
+//!
+//! A transport moves opaque *frames* (the single-allocation buffers the
+//! `giop::frame_*` path produces) and addresses peers by [`NodeId`]. How
+//! a `NodeId` maps onto a dialable address is the job of [`Endpoint`]:
+//! socket backends carry endpoints in IOR tagged profiles and learn the
+//! reverse mapping from a 9-byte hello each dialer sends, so replies can
+//! travel back over the pooled connection the request arrived on.
+//!
+//! # Contract
+//!
+//! * `send` delivers one frame, whole or not at all; per-peer order is
+//!   preserved while a connection lasts.
+//! * `recv` blocks; an **empty payload is a wakeup**, not traffic
+//!   (the netsim `poke()` convention, kept backend-independent).
+//! * `shutdown` is idempotent and wakes every blocked `recv`, which
+//!   then returns [`WireError::Closed`].
+//!
+//! The conformance suite in `crates/orb/tests/wire_conformance.rs`
+//! checks these properties against every backend.
+
+use crate::cdr::{CdrDecoder, CdrEncoder};
+use crate::error::OrbError;
+use crate::sync::{LockRank, OrderedMutex, OrderedRwLock};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use netsim::{NetHandle, NodeId};
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Magic prefix of the socket-backend hello (`b"MAQW"`).
+pub const WIRE_MAGIC: [u8; 4] = *b"MAQW";
+/// Version byte of the socket-backend hello.
+pub const WIRE_VERSION: u8 = 1;
+/// Upper bound accepted for one length-prefixed frame, a defence
+/// against corrupt or hostile prefixes (matches [`crate::cdr::MAX_LEN`]).
+pub const MAX_WIRE_FRAME: usize = 64 * 1024 * 1024;
+
+/// How a peer can be reached, carried in IOR tagged profiles.
+///
+/// `NodeId` stays the ORB's *identity* and correlation key; an
+/// `Endpoint` is the *address* a wire backend dials to reach that
+/// identity. The simulator needs no address beyond the identity itself
+/// ([`Endpoint::Sim`]); socket backends publish the listener they bound.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// A node on the deterministic simulator (no dialable address).
+    Sim(NodeId),
+    /// A TCP listener, `host:port`.
+    Tcp(String),
+    /// A Unix-domain-socket listener, filesystem path.
+    Uds(String),
+}
+
+impl Endpoint {
+    /// Parse the `Display` form (`sim:3`, `tcp:127.0.0.1:9443`,
+    /// `uds:/tmp/maqs.sock`).
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::BadParam`] on an unknown scheme or malformed address.
+    pub fn parse(s: &str) -> Result<Endpoint, OrbError> {
+        if let Some(rest) = s.strip_prefix("sim:") {
+            let id = rest
+                .parse::<u32>()
+                .map_err(|e| OrbError::BadParam(format!("bad sim endpoint {s:?}: {e}")))?;
+            return Ok(Endpoint::Sim(NodeId(id)));
+        }
+        if let Some(rest) = s.strip_prefix("tcp:") {
+            if rest.is_empty() {
+                return Err(OrbError::BadParam("empty tcp endpoint".to_string()));
+            }
+            return Ok(Endpoint::Tcp(rest.to_string()));
+        }
+        if let Some(rest) = s.strip_prefix("uds:") {
+            if rest.is_empty() {
+                return Err(OrbError::BadParam("empty uds endpoint".to_string()));
+            }
+            return Ok(Endpoint::Uds(rest.to_string()));
+        }
+        Err(OrbError::BadParam(format!("unknown endpoint scheme in {s:?}")))
+    }
+
+    /// Encode onto a CDR stream (tag octet + address).
+    pub fn encode(&self, enc: &mut CdrEncoder) {
+        match self {
+            Endpoint::Sim(node) => {
+                enc.put_u8(0);
+                enc.put_u32(node.0);
+            }
+            Endpoint::Tcp(addr) => {
+                enc.put_u8(1);
+                enc.put_string(addr);
+            }
+            Endpoint::Uds(path) => {
+                enc.put_u8(2);
+                enc.put_string(path);
+            }
+        }
+    }
+
+    /// Decode from a CDR stream.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::Marshal`] on a truncated stream or unknown tag.
+    pub fn decode(dec: &mut CdrDecoder<'_>) -> Result<Endpoint, OrbError> {
+        match dec.get_u8()? {
+            0 => Ok(Endpoint::Sim(NodeId(dec.get_u32()?))),
+            1 => Ok(Endpoint::Tcp(dec.get_string()?)),
+            2 => Ok(Endpoint::Uds(dec.get_string()?)),
+            tag => Err(OrbError::Marshal(format!("unknown endpoint tag {tag}"))),
+        }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Sim(node) => write!(f, "sim:{}", node.0),
+            Endpoint::Tcp(addr) => write!(f, "tcp:{addr}"),
+            Endpoint::Uds(path) => write!(f, "uds:{path}"),
+        }
+    }
+}
+
+/// One framed message delivered by [`WireTransport::recv`].
+#[derive(Debug, Clone)]
+pub struct WireFrame {
+    /// The sending node.
+    pub src: NodeId,
+    /// The frame body; **empty means wakeup poke**, not traffic.
+    pub payload: Bytes,
+    /// Modelled wire transit in virtual µs (simulator backends only;
+    /// socket backends report `0` — wall-clock cost shows up in the
+    /// roundtrip histograms instead).
+    pub transit_us: u64,
+}
+
+/// Errors surfaced by a wire transport.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// No route to the destination node (never registered, or the
+    /// backend cannot dial any of its endpoints).
+    Unreachable(String),
+    /// The transport has been shut down.
+    Closed,
+    /// A socket-level failure that persisted across a reconnect attempt.
+    Io(String),
+    /// The endpoint kind is not supported by this backend.
+    Unsupported(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Unreachable(s) => write!(f, "peer unreachable: {s}"),
+            WireError::Closed => write!(f, "wire transport closed"),
+            WireError::Io(s) => write!(f, "wire i/o error: {s}"),
+            WireError::Unsupported(s) => write!(f, "unsupported endpoint: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<WireError> for OrbError {
+    fn from(e: WireError) -> OrbError {
+        match e {
+            WireError::Closed => OrbError::Shutdown,
+            other => OrbError::CommFailure(other.to_string()),
+        }
+    }
+}
+
+/// The ORB's pluggable network boundary; see the [module docs](self).
+pub trait WireTransport: Send + Sync {
+    /// This transport's node identity.
+    fn node(&self) -> NodeId;
+
+    /// The endpoint remote peers can dial to reach this transport
+    /// (published in IOR tagged profiles by `Orb::activate`).
+    fn local_endpoint(&self) -> Endpoint;
+
+    /// Teach the transport how to reach `node`. Backends pick the first
+    /// endpoint kind they support; re-registering with a *different*
+    /// address drops any pooled connection so the next send re-dials
+    /// (how a restarted peer at a new address is re-bound).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Unsupported`] if no listed endpoint kind is dialable
+    /// by this backend.
+    fn register_peer(&self, node: NodeId, endpoints: &[Endpoint]) -> Result<(), WireError>;
+
+    /// Send one frame to `dst`, whole or not at all.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Unreachable`] without a route, [`WireError::Io`] on
+    /// a persistent socket failure, [`WireError::Closed`] after
+    /// shutdown.
+    fn send(&self, dst: NodeId, frame: Vec<u8>) -> Result<(), WireError>;
+
+    /// Block until a frame arrives. An empty payload is a wakeup poke.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Closed`] once the transport is shut down.
+    fn recv(&self) -> Result<WireFrame, WireError>;
+
+    /// Wake one blocked [`WireTransport::recv`] with an empty frame.
+    fn poke(&self);
+
+    /// Stop the transport: close connections and listeners, wake every
+    /// blocked `recv`. Idempotent.
+    fn shutdown(&self);
+}
+
+// ---------------------------------------------------------------------
+// netsim backend
+// ---------------------------------------------------------------------
+
+/// The deterministic default backend: a [`netsim::NetHandle`] behind the
+/// [`WireTransport`] boundary. Frames ride simulator messages unchanged,
+/// so link models, loss, fault injection and the virtual clock all apply
+/// exactly as before the wire boundary existed.
+pub struct NetSimTransport {
+    handle: NetHandle,
+    closed: AtomicBool,
+}
+
+impl NetSimTransport {
+    /// Wrap an attached simulator handle.
+    pub fn new(handle: NetHandle) -> NetSimTransport {
+        NetSimTransport { handle, closed: AtomicBool::new(false) }
+    }
+
+    /// The wrapped handle (virtual clock, name, …).
+    pub fn handle(&self) -> &NetHandle {
+        &self.handle
+    }
+}
+
+impl WireTransport for NetSimTransport {
+    fn node(&self) -> NodeId {
+        self.handle.id()
+    }
+
+    fn local_endpoint(&self) -> Endpoint {
+        Endpoint::Sim(self.handle.id())
+    }
+
+    fn register_peer(&self, _node: NodeId, _endpoints: &[Endpoint]) -> Result<(), WireError> {
+        // The simulator routes by NodeId; every attached node is
+        // reachable by identity alone.
+        Ok(())
+    }
+
+    fn send(&self, dst: NodeId, frame: Vec<u8>) -> Result<(), WireError> {
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(WireError::Closed);
+        }
+        self.handle.send(dst, frame).map_err(|e| WireError::Unreachable(e.to_string()))
+    }
+
+    fn recv(&self) -> Result<WireFrame, WireError> {
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(WireError::Closed);
+        }
+        let msg = self.handle.recv().map_err(|_| WireError::Closed)?;
+        if self.closed.load(Ordering::SeqCst) {
+            // Chain the wakeup: another receiver may still be blocked on
+            // the one poke shutdown() sent.
+            self.handle.poke();
+            return Err(WireError::Closed);
+        }
+        Ok(WireFrame {
+            src: msg.src,
+            transit_us: msg.transit().as_micros(),
+            payload: msg.payload,
+        })
+    }
+
+    fn poke(&self) {
+        self.handle.poke();
+    }
+
+    fn shutdown(&self) {
+        if !self.closed.swap(true, Ordering::SeqCst) {
+            self.handle.poke();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// socket backends (TCP + Unix-domain)
+// ---------------------------------------------------------------------
+
+/// A connected stream of either address family.
+enum SocketStream {
+    Tcp(TcpStream),
+    Uds(UnixStream),
+}
+
+impl SocketStream {
+    fn try_clone(&self) -> std::io::Result<SocketStream> {
+        match self {
+            SocketStream::Tcp(s) => s.try_clone().map(SocketStream::Tcp),
+            SocketStream::Uds(s) => s.try_clone().map(SocketStream::Uds),
+        }
+    }
+
+    fn shutdown_both(&self) {
+        match self {
+            SocketStream::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            SocketStream::Uds(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+impl Read for SocketStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            SocketStream::Tcp(s) => s.read(buf),
+            SocketStream::Uds(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for SocketStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            SocketStream::Tcp(s) => s.write(buf),
+            SocketStream::Uds(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            SocketStream::Tcp(s) => s.flush(),
+            SocketStream::Uds(s) => s.flush(),
+        }
+    }
+}
+
+enum SocketListener {
+    Tcp(TcpListener),
+    Uds(UnixListener),
+}
+
+impl SocketListener {
+    fn accept(&self) -> std::io::Result<SocketStream> {
+        match self {
+            SocketListener::Tcp(l) => l.accept().map(|(s, _)| {
+                // Replies ride back over accepted streams; without
+                // NODELAY they stall ~40ms on Nagle + delayed ACK.
+                let _ = s.set_nodelay(true);
+                SocketStream::Tcp(s)
+            }),
+            SocketListener::Uds(l) => l.accept().map(|(s, _)| SocketStream::Uds(s)),
+        }
+    }
+}
+
+/// One pooled connection's write half. The read half lives on a reader
+/// thread holding its own stream clone; both halves share the OS socket,
+/// so shutting one down unblocks the other.
+struct Conn {
+    writer: OrderedMutex<SocketStream>,
+}
+
+impl Conn {
+    fn new(stream: SocketStream) -> Conn {
+        Conn { writer: OrderedMutex::new(LockRank::WireConn, stream) }
+    }
+
+    fn close(&self) {
+        self.writer.lock().shutdown_both();
+    }
+}
+
+/// Peer registry + connection pool, under [`LockRank::WireState`].
+struct WireState {
+    peers: HashMap<NodeId, Endpoint>,
+    conns: HashMap<NodeId, Arc<Conn>>,
+}
+
+struct SocketInner {
+    node: NodeId,
+    local: Endpoint,
+    state: OrderedRwLock<WireState>,
+    inbox_tx: Sender<WireFrame>,
+    inbox_rx: Receiver<WireFrame>,
+    closed: AtomicBool,
+}
+
+impl SocketInner {
+    /// Drop `conn` from the pool — but only if the slot still holds this
+    /// very connection (a racing redial may already have replaced it).
+    fn drop_conn(&self, node: NodeId, conn: &Arc<Conn>) {
+        let mut state = self.state.write();
+        if let Some(current) = state.conns.get(&node) {
+            if Arc::ptr_eq(current, conn) {
+                state.conns.remove(&node);
+            }
+        }
+        conn.close();
+    }
+}
+
+/// The engine shared by [`TcpTransport`] and [`UdsTransport`]: a
+/// listener ("reactor") thread accepting peers, one reader thread per
+/// connection feeding a common inbox, and a per-peer pool of write
+/// streams with one reconnect attempt on failure.
+///
+/// Framing on the stream is a `u32` little-endian length prefix followed
+/// by exactly the bytes the ORB's `giop::frame_*` path produced — the
+/// single-allocation frame *is* the wire payload, no re-encode. A new
+/// connection opens with a 9-byte hello (`MAQW`, version, dialer's
+/// `NodeId`) so the acceptor learns which identity the stream speaks
+/// for and can route replies back over it.
+pub struct SocketTransport {
+    inner: Arc<SocketInner>,
+}
+
+impl SocketTransport {
+    /// Bind a TCP listener on `addr` (e.g. `127.0.0.1:0`) and start the
+    /// accept thread.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] if the bind fails.
+    pub fn tcp(node: NodeId, addr: &str) -> Result<SocketTransport, WireError> {
+        let listener = TcpListener::bind(addr).map_err(|e| WireError::Io(format!("bind {addr}: {e}")))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| WireError::Io(e.to_string()))?
+            .to_string();
+        SocketTransport::start(node, Endpoint::Tcp(local), SocketListener::Tcp(listener))
+    }
+
+    /// Bind a Unix-domain listener on `path` and start the accept
+    /// thread. A stale socket file from a previous run is removed first,
+    /// which is what lets a restarted peer rebind the same endpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] if the bind fails.
+    pub fn uds(node: NodeId, path: &str) -> Result<SocketTransport, WireError> {
+        if std::fs::metadata(path).is_ok() {
+            let _ = std::fs::remove_file(path);
+        }
+        let listener =
+            UnixListener::bind(path).map_err(|e| WireError::Io(format!("bind {path}: {e}")))?;
+        SocketTransport::start(node, Endpoint::Uds(path.to_string()), SocketListener::Uds(listener))
+    }
+
+    fn start(
+        node: NodeId,
+        local: Endpoint,
+        listener: SocketListener,
+    ) -> Result<SocketTransport, WireError> {
+        let (inbox_tx, inbox_rx) = unbounded::<WireFrame>();
+        let inner = Arc::new(SocketInner {
+            node,
+            local,
+            state: OrderedRwLock::new(
+                LockRank::WireState,
+                WireState { peers: HashMap::new(), conns: HashMap::new() },
+            ),
+            inbox_tx,
+            inbox_rx,
+            closed: AtomicBool::new(false),
+        });
+        {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name(format!("wire-accept-{}", inner.node.0))
+                .spawn(move || SocketTransport::accept_loop(&inner, listener))
+                .map_err(|e| WireError::Io(format!("spawn accept thread: {e}")))?;
+        }
+        Ok(SocketTransport { inner })
+    }
+
+    /// The endpoint actually bound (with the OS-assigned port resolved).
+    pub fn local_endpoint(&self) -> Endpoint {
+        self.inner.local.clone()
+    }
+
+    fn accept_loop(inner: &Arc<SocketInner>, listener: SocketListener) {
+        loop {
+            let stream = match listener.accept() {
+                Ok(s) => s,
+                Err(_) => {
+                    if inner.closed.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    continue;
+                }
+            };
+            if inner.closed.load(Ordering::SeqCst) {
+                break;
+            }
+            let inner = Arc::clone(inner);
+            let _ = std::thread::Builder::new()
+                .name(format!("wire-read-{}", inner.node.0))
+                .spawn(move || SocketTransport::serve_accepted(&inner, stream));
+        }
+        // Listener dropped here. The UDS socket file is reaped by
+        // shutdown(), not here: this thread wakes asynchronously, and a
+        // restarted peer may already have rebound the same path — reaping
+        // late would unlink the *new* incarnation's file.
+    }
+
+    /// Read the dialer's hello, pool the stream for the reply direction,
+    /// then pump frames into the inbox until the peer hangs up.
+    fn serve_accepted(inner: &Arc<SocketInner>, mut stream: SocketStream) {
+        let mut hello = [0u8; 9];
+        if stream.read_exact(&mut hello).is_err()
+            || hello[0..4] != WIRE_MAGIC
+            || hello[4] != WIRE_VERSION
+        {
+            stream.shutdown_both();
+            return;
+        }
+        let peer = NodeId(u32::from_le_bytes([hello[5], hello[6], hello[7], hello[8]]));
+        let conn = match stream.try_clone() {
+            Ok(writer) => Arc::new(Conn::new(writer)),
+            Err(_) => {
+                stream.shutdown_both();
+                return;
+            }
+        };
+        {
+            // Keep an existing (dialed) connection if one raced in; the
+            // accepted stream stays readable either way.
+            let mut state = inner.state.write();
+            state.conns.entry(peer).or_insert_with(|| Arc::clone(&conn));
+        }
+        SocketTransport::read_frames(inner, stream, peer, &conn);
+    }
+
+    /// Pump length-prefixed frames off `stream` into the inbox.
+    fn read_frames(inner: &Arc<SocketInner>, mut stream: SocketStream, peer: NodeId, conn: &Arc<Conn>) {
+        let mut len_buf = [0u8; 4];
+        loop {
+            if stream.read_exact(&mut len_buf).is_err() {
+                break;
+            }
+            let len = u32::from_le_bytes(len_buf) as usize;
+            if len == 0 || len > MAX_WIRE_FRAME {
+                break;
+            }
+            let mut body = vec![0u8; len];
+            if stream.read_exact(&mut body).is_err() {
+                break;
+            }
+            let frame = WireFrame { src: peer, payload: Bytes::from(body), transit_us: 0 };
+            if inner.inbox_tx.send(frame).is_err() {
+                break;
+            }
+        }
+        inner.drop_conn(peer, conn);
+    }
+
+    /// Dial `endpoint`, send the hello, spawn the reader for the reply
+    /// direction, and return the pooled write half.
+    fn dial(inner: &Arc<SocketInner>, dst: NodeId, endpoint: &Endpoint) -> Result<Arc<Conn>, WireError> {
+        let mut stream = match endpoint {
+            Endpoint::Tcp(addr) => {
+                let s = TcpStream::connect(addr)
+                    .map_err(|e| WireError::Unreachable(format!("dial {addr}: {e}")))?;
+                let _ = s.set_nodelay(true);
+                SocketStream::Tcp(s)
+            }
+            Endpoint::Uds(path) => SocketStream::Uds(
+                UnixStream::connect(path)
+                    .map_err(|e| WireError::Unreachable(format!("dial {path}: {e}")))?,
+            ),
+            Endpoint::Sim(_) => {
+                return Err(WireError::Unsupported(format!(
+                    "socket transport cannot dial {endpoint}"
+                )))
+            }
+        };
+        let mut hello = [0u8; 9];
+        hello[0..4].copy_from_slice(&WIRE_MAGIC);
+        hello[4] = WIRE_VERSION;
+        hello[5..9].copy_from_slice(&inner.node.0.to_le_bytes());
+        stream.write_all(&hello).map_err(|e| WireError::Io(format!("hello: {e}")))?;
+        let reader = stream.try_clone().map_err(|e| WireError::Io(e.to_string()))?;
+        let conn = Arc::new(Conn::new(stream));
+        {
+            let inner = Arc::clone(inner);
+            let conn = Arc::clone(&conn);
+            let _ = std::thread::Builder::new()
+                .name(format!("wire-read-{}", inner.node.0))
+                .spawn(move || SocketTransport::read_frames(&inner, reader, dst, &conn));
+        }
+        Ok(conn)
+    }
+
+    /// The pooled connection to `dst`, dialing one if none exists.
+    fn get_or_dial(&self, dst: NodeId) -> Result<Arc<Conn>, WireError> {
+        let endpoint = {
+            let state = self.inner.state.read();
+            if let Some(conn) = state.conns.get(&dst) {
+                return Ok(Arc::clone(conn));
+            }
+            state.peers.get(&dst).cloned().ok_or_else(|| {
+                WireError::Unreachable(format!("no endpoint registered for node {}", dst.0))
+            })?
+        };
+        // Dial outside the state lock — connects can block.
+        let dialed = SocketTransport::dial(&self.inner, dst, &endpoint)?;
+        let mut state = self.inner.state.write();
+        if let Some(existing) = state.conns.get(&dst) {
+            // Lost the race; keep the established one and retire ours.
+            let existing = Arc::clone(existing);
+            drop(state);
+            dialed.close();
+            return Ok(existing);
+        }
+        state.conns.insert(dst, Arc::clone(&dialed));
+        Ok(dialed)
+    }
+
+    fn write_frame(conn: &Conn, frame: &[u8]) -> std::io::Result<()> {
+        let len = frame.len() as u32;
+        let mut writer = conn.writer.lock();
+        writer.write_all(&len.to_le_bytes())?;
+        writer.write_all(frame)?;
+        writer.flush()
+    }
+}
+
+impl WireTransport for SocketTransport {
+    fn node(&self) -> NodeId {
+        self.inner.node
+    }
+
+    fn local_endpoint(&self) -> Endpoint {
+        self.inner.local.clone()
+    }
+
+    fn register_peer(&self, node: NodeId, endpoints: &[Endpoint]) -> Result<(), WireError> {
+        let chosen = endpoints
+            .iter()
+            .find(|e| matches!(e, Endpoint::Tcp(_) | Endpoint::Uds(_)))
+            .cloned()
+            .ok_or_else(|| {
+                WireError::Unsupported(format!("no dialable endpoint for node {} in {endpoints:?}", node.0))
+            })?;
+        let stale = {
+            let mut state = self.inner.state.write();
+            let replaced = state.peers.insert(node, chosen.clone());
+            match replaced {
+                Some(old) if old != chosen => state.conns.remove(&node),
+                _ => None,
+            }
+        };
+        if let Some(conn) = stale {
+            conn.close();
+        }
+        Ok(())
+    }
+
+    fn send(&self, dst: NodeId, frame: Vec<u8>) -> Result<(), WireError> {
+        if self.inner.closed.load(Ordering::SeqCst) {
+            return Err(WireError::Closed);
+        }
+        let conn = self.get_or_dial(dst)?;
+        match SocketTransport::write_frame(&conn, &frame) {
+            Ok(()) => Ok(()),
+            Err(first) => {
+                // The pooled connection went bad (peer restarted, RST in
+                // flight): drop it and redial the registered endpoint
+                // once before giving up.
+                self.inner.drop_conn(dst, &conn);
+                let conn = self.get_or_dial(dst)?;
+                SocketTransport::write_frame(&conn, &frame).map_err(|e| {
+                    self.inner.drop_conn(dst, &conn);
+                    WireError::Io(format!("send to node {} failed twice: {first}; retry: {e}", dst.0))
+                })
+            }
+        }
+    }
+
+    fn recv(&self) -> Result<WireFrame, WireError> {
+        if self.inner.closed.load(Ordering::SeqCst) {
+            return Err(WireError::Closed);
+        }
+        let frame = self.inner.inbox_rx.recv().map_err(|_| WireError::Closed)?;
+        if self.inner.closed.load(Ordering::SeqCst) {
+            // Chain the wakeup: another receiver may still be blocked on
+            // the one poke shutdown() sent.
+            self.poke();
+            return Err(WireError::Closed);
+        }
+        Ok(frame)
+    }
+
+    fn poke(&self) {
+        let _ = self.inner.inbox_tx.send(WireFrame {
+            src: self.inner.node,
+            payload: Bytes::new(),
+            transit_us: 0,
+        });
+    }
+
+    fn shutdown(&self) {
+        if self.inner.closed.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake blocked receivers first, then tear connections down.
+        self.poke();
+        let conns: Vec<Arc<Conn>> = {
+            let mut state = self.inner.state.write();
+            state.conns.drain().map(|(_, c)| c).collect()
+        };
+        for conn in conns {
+            conn.close();
+        }
+        // Unblock the accept loop with a throwaway self-connection; it
+        // re-checks the closed flag and exits.
+        match &self.inner.local {
+            Endpoint::Tcp(addr) => {
+                if let Ok(s) = TcpStream::connect(addr) {
+                    let _ = s.shutdown(std::net::Shutdown::Both);
+                }
+            }
+            Endpoint::Uds(path) => {
+                if let Ok(s) = UnixStream::connect(path) {
+                    let _ = s.shutdown(std::net::Shutdown::Both);
+                }
+                // Reap the socket file now, synchronously: once shutdown
+                // returns the path must be free for a fresh bind, and the
+                // accept thread (which used to reap on exit) wakes too
+                // late — it could unlink a rebound incarnation's file.
+                let _ = std::fs::remove_file(path);
+            }
+            Endpoint::Sim(_) => {}
+        }
+    }
+}
+
+impl Drop for SocketTransport {
+    fn drop(&mut self) {
+        // Only the last owner tears the engine down (clones of the
+        // public wrappers share `inner` via Arc in Orb).
+        if Arc::strong_count(&self.inner) == 1 {
+            self.shutdown();
+        }
+    }
+}
+
+/// Real TCP: the [`SocketTransport`] engine bound to a TCP listener.
+pub struct TcpTransport {
+    core: SocketTransport,
+}
+
+impl TcpTransport {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an OS-assigned port).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] if the bind fails.
+    pub fn bind(node: NodeId, addr: &str) -> Result<TcpTransport, WireError> {
+        Ok(TcpTransport { core: SocketTransport::tcp(node, addr)? })
+    }
+
+    /// The `host:port` actually bound.
+    pub fn local_addr(&self) -> String {
+        match self.core.local_endpoint() {
+            Endpoint::Tcp(addr) => addr,
+            other => other.to_string(),
+        }
+    }
+}
+
+/// Unix-domain sockets: the [`SocketTransport`] engine bound to a
+/// filesystem path.
+pub struct UdsTransport {
+    core: SocketTransport,
+}
+
+impl UdsTransport {
+    /// Bind the socket file at `path` (stale files are removed first).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] if the bind fails.
+    pub fn bind(node: NodeId, path: &str) -> Result<UdsTransport, WireError> {
+        Ok(UdsTransport { core: SocketTransport::uds(node, path)? })
+    }
+}
+
+macro_rules! delegate_wire {
+    ($ty:ty) => {
+        impl WireTransport for $ty {
+            fn node(&self) -> NodeId {
+                self.core.node()
+            }
+            fn local_endpoint(&self) -> Endpoint {
+                WireTransport::local_endpoint(&self.core)
+            }
+            fn register_peer(&self, node: NodeId, endpoints: &[Endpoint]) -> Result<(), WireError> {
+                self.core.register_peer(node, endpoints)
+            }
+            fn send(&self, dst: NodeId, frame: Vec<u8>) -> Result<(), WireError> {
+                self.core.send(dst, frame)
+            }
+            fn recv(&self) -> Result<WireFrame, WireError> {
+                self.core.recv()
+            }
+            fn poke(&self) {
+                self.core.poke()
+            }
+            fn shutdown(&self) {
+                self.core.shutdown()
+            }
+        }
+    };
+}
+
+delegate_wire!(TcpTransport);
+delegate_wire!(UdsTransport);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_display_parse_roundtrip() {
+        for ep in [
+            Endpoint::Sim(NodeId(3)),
+            Endpoint::Tcp("127.0.0.1:9443".to_string()),
+            Endpoint::Uds("/tmp/maqs.sock".to_string()),
+        ] {
+            assert_eq!(Endpoint::parse(&ep.to_string()).unwrap(), ep);
+        }
+        assert!(Endpoint::parse("ftp:nope").is_err());
+        assert!(Endpoint::parse("sim:notanum").is_err());
+        assert!(Endpoint::parse("tcp:").is_err());
+    }
+
+    #[test]
+    fn endpoint_cdr_roundtrip() {
+        let eps = vec![
+            Endpoint::Sim(NodeId(7)),
+            Endpoint::Tcp("localhost:1".to_string()),
+            Endpoint::Uds("/x".to_string()),
+        ];
+        let mut enc = CdrEncoder::new();
+        for e in &eps {
+            e.encode(&mut enc);
+        }
+        let bytes = enc.into_bytes();
+        let mut dec = CdrDecoder::new(&bytes);
+        for e in &eps {
+            assert_eq!(&Endpoint::decode(&mut dec).unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn wire_error_maps_to_orb_error() {
+        assert_eq!(OrbError::from(WireError::Closed), OrbError::Shutdown);
+        assert!(matches!(
+            OrbError::from(WireError::Unreachable("x".into())),
+            OrbError::CommFailure(_)
+        ));
+    }
+
+    #[test]
+    fn netsim_transport_roundtrip_and_poke() {
+        let net = netsim::Network::new(1);
+        let a = NetSimTransport::new(net.attach("a"));
+        let b = NetSimTransport::new(net.attach("b"));
+        a.send(b.node(), vec![1, 2, 3]).unwrap();
+        let f = b.recv().unwrap();
+        assert_eq!(f.src, a.node());
+        assert_eq!(&f.payload[..], &[1, 2, 3]);
+        b.poke();
+        assert!(b.recv().unwrap().payload.is_empty());
+        b.shutdown();
+        assert_eq!(b.recv().unwrap_err(), WireError::Closed);
+    }
+
+    #[test]
+    fn tcp_transport_roundtrip() {
+        let a = TcpTransport::bind(NodeId(1), "127.0.0.1:0").unwrap();
+        let b = TcpTransport::bind(NodeId(2), "127.0.0.1:0").unwrap();
+        a.register_peer(NodeId(2), &[b.local_endpoint()]).unwrap();
+        a.send(NodeId(2), vec![9, 9, 9]).unwrap();
+        let f = b.recv().unwrap();
+        assert_eq!(f.src, NodeId(1));
+        assert_eq!(&f.payload[..], &[9, 9, 9]);
+        // The reply direction reuses the pooled hello'd connection —
+        // b never registered a for this to work.
+        b.send(NodeId(1), vec![7]).unwrap();
+        assert_eq!(&a.recv().unwrap().payload[..], &[7]);
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn send_to_unregistered_peer_is_unreachable() {
+        let a = TcpTransport::bind(NodeId(1), "127.0.0.1:0").unwrap();
+        assert!(matches!(a.send(NodeId(99), vec![1]), Err(WireError::Unreachable(_))));
+        a.shutdown();
+    }
+}

@@ -1,0 +1,268 @@
+//! Backend-agnostic conformance suite for the [`WireTransport`]
+//! contract (see `orb::wire` module docs):
+//!
+//! * per-peer frame ordering while a connection lasts,
+//! * `poke()` wakes a blocked `recv()` with an empty frame,
+//! * `shutdown()` is idempotent and wakes *every* blocked `recv()`,
+//! * multi-megabyte frames round-trip whole,
+//! * socket backends reconnect after a peer restart.
+//!
+//! Every property runs against the netsim wrapper and both socket
+//! backends (TCP, Unix-domain), so a new backend can be dropped into
+//! `run_contract_suite` and inherit the whole battery.
+
+use netsim::{Network, NodeId};
+use orb::wire::{Endpoint, NetSimTransport, TcpTransport, UdsTransport, WireError, WireTransport};
+use orb::{Any, Orb, OrbConfig, OrbError, Servant};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A connected pair of transports: `a` can reach `b` by node id (and,
+/// over sockets, `b` learns the way back from `a`'s hello).
+struct Pair {
+    a: Arc<dyn WireTransport>,
+    b: Arc<dyn WireTransport>,
+    // The simulator must outlive netsim-backed handles.
+    _net: Option<Network>,
+}
+
+fn netsim_pair() -> Pair {
+    let net = Network::new(1);
+    let a = Arc::new(NetSimTransport::new(net.attach("a")));
+    let b = Arc::new(NetSimTransport::new(net.attach("b")));
+    Pair { a, b, _net: Some(net) }
+}
+
+fn tcp_pair() -> Pair {
+    let a = Arc::new(TcpTransport::bind(NodeId(1), "127.0.0.1:0").unwrap());
+    let b = Arc::new(TcpTransport::bind(NodeId(2), "127.0.0.1:0").unwrap());
+    a.register_peer(b.node(), &[b.local_endpoint()]).unwrap();
+    b.register_peer(a.node(), &[WireTransport::local_endpoint(&*a)]).unwrap();
+    Pair { a, b, _net: None }
+}
+
+fn uds_path(tag: &str) -> String {
+    format!("/tmp/maqs-wireconf-{}-{tag}.sock", std::process::id())
+}
+
+fn uds_pair(tag: &str) -> Pair {
+    let a = Arc::new(UdsTransport::bind(NodeId(1), &uds_path(&format!("{tag}-a"))).unwrap());
+    let b = Arc::new(UdsTransport::bind(NodeId(2), &uds_path(&format!("{tag}-b"))).unwrap());
+    a.register_peer(b.node(), &[b.local_endpoint()]).unwrap();
+    b.register_peer(a.node(), &[WireTransport::local_endpoint(&*a)]).unwrap();
+    Pair { a, b, _net: None }
+}
+
+// ---------------------------------------------------------------------
+// the contract checks, written once
+// ---------------------------------------------------------------------
+
+/// 100 numbered frames arrive in send order (pokes filtered out — an
+/// empty payload is a wakeup, not traffic).
+fn check_ordering(pair: &Pair) {
+    for i in 0..100u32 {
+        pair.a.send(pair.b.node(), i.to_le_bytes().to_vec()).unwrap();
+    }
+    let mut got = Vec::with_capacity(100);
+    while got.len() < 100 {
+        let frame = pair.b.recv().unwrap();
+        if frame.payload.is_empty() {
+            continue;
+        }
+        assert_eq!(frame.src, pair.a.node());
+        got.push(u32::from_le_bytes(frame.payload[..4].try_into().unwrap()));
+    }
+    assert_eq!(got, (0..100).collect::<Vec<u32>>());
+}
+
+/// `poke()` wakes a blocked `recv()` with an empty frame.
+fn check_poke_wakes_blocked_recv(pair: &Pair) {
+    let b = Arc::clone(&pair.b);
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(b.recv());
+    });
+    // Give the receiver a moment to block, then wake it.
+    std::thread::sleep(Duration::from_millis(30));
+    pair.b.poke();
+    let frame = rx
+        .recv_timeout(Duration::from_secs(5))
+        .expect("poke must wake a blocked recv")
+        .unwrap();
+    assert!(frame.payload.is_empty(), "a poke is an empty frame");
+}
+
+/// `shutdown()` wakes every blocked `recv()` with `Closed`, later
+/// `recv()` calls keep failing, and calling it again is harmless.
+fn check_shutdown_wakes_all(pair: &Pair) {
+    let (tx, rx) = mpsc::channel();
+    for _ in 0..3 {
+        let b = Arc::clone(&pair.b);
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            let _ = tx.send(b.recv());
+        });
+    }
+    std::thread::sleep(Duration::from_millis(30));
+    pair.b.shutdown();
+    for _ in 0..3 {
+        let res = rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("shutdown must wake every blocked recv");
+        assert_eq!(res.unwrap_err(), WireError::Closed);
+    }
+    assert_eq!(pair.b.recv().unwrap_err(), WireError::Closed);
+    assert!(matches!(pair.b.send(pair.a.node(), vec![1]), Err(_) | Ok(_)));
+    pair.b.shutdown(); // idempotent
+    pair.a.shutdown();
+}
+
+/// A multi-megabyte frame arrives whole and byte-identical, both ways.
+fn check_large_frame_roundtrip(pair: &Pair) {
+    let big: Vec<u8> = (0..4 * 1024 * 1024u32).map(|i| (i % 251) as u8).collect();
+    pair.a.send(pair.b.node(), big.clone()).unwrap();
+    let frame = pair.b.recv().unwrap();
+    assert_eq!(frame.payload.len(), big.len());
+    assert_eq!(&frame.payload[..], &big[..]);
+    // And back over the reply direction.
+    pair.b.send(pair.a.node(), big.clone()).unwrap();
+    assert_eq!(&pair.a.recv().unwrap().payload[..], &big[..]);
+}
+
+// ---------------------------------------------------------------------
+// the battery, per backend
+// ---------------------------------------------------------------------
+
+#[test]
+fn netsim_backend_meets_contract() {
+    check_ordering(&netsim_pair());
+    check_poke_wakes_blocked_recv(&netsim_pair());
+    check_shutdown_wakes_all(&netsim_pair());
+    check_large_frame_roundtrip(&netsim_pair());
+}
+
+#[test]
+fn tcp_backend_meets_contract() {
+    check_ordering(&tcp_pair());
+    check_poke_wakes_blocked_recv(&tcp_pair());
+    check_shutdown_wakes_all(&tcp_pair());
+    check_large_frame_roundtrip(&tcp_pair());
+}
+
+#[test]
+fn uds_backend_meets_contract() {
+    check_ordering(&uds_pair("order"));
+    check_poke_wakes_blocked_recv(&uds_pair("poke"));
+    check_shutdown_wakes_all(&uds_pair("shut"));
+    check_large_frame_roundtrip(&uds_pair("large"));
+}
+
+// ---------------------------------------------------------------------
+// reconnect after a peer restart (socket backends)
+// ---------------------------------------------------------------------
+
+/// Wait (bounded) until one non-poke frame lands on `t`, retrying the
+/// send: right after a peer restart the sender may still hold a pooled
+/// connection to the dead incarnation, and the first write's failure is
+/// what triggers the redial.
+fn pump_until_delivered(sender: &Arc<dyn WireTransport>, receiver: &Arc<dyn WireTransport>) -> Vec<u8> {
+    let (tx, rx) = mpsc::channel();
+    let receiver = Arc::clone(receiver);
+    std::thread::spawn(move || loop {
+        match receiver.recv() {
+            Ok(f) if f.payload.is_empty() => continue,
+            other => {
+                let _ = tx.send(other);
+                break;
+            }
+        }
+    });
+    for _ in 0..100 {
+        let _ = sender.send(NodeId(2), b"after-restart".to_vec());
+        if let Ok(res) = rx.recv_timeout(Duration::from_millis(50)) {
+            return res.unwrap().payload.to_vec();
+        }
+    }
+    panic!("frame never delivered after peer restart");
+}
+
+#[test]
+fn tcp_reconnects_after_peer_restart() {
+    // A restarted TCP peer comes back on a fresh port (no SO_REUSEADDR
+    // in std); re-registering the new endpoint drops the stale pooled
+    // connection, so the next send redials.
+    let pair = tcp_pair();
+    pair.a.send(pair.b.node(), vec![1]).unwrap();
+    assert_eq!(&pair.b.recv().unwrap().payload[..], &[1]);
+    pair.b.shutdown();
+    let b2: Arc<dyn WireTransport> =
+        Arc::new(TcpTransport::bind(NodeId(2), "127.0.0.1:0").unwrap());
+    pair.a.register_peer(NodeId(2), &[b2.local_endpoint()]).unwrap();
+    assert_eq!(pump_until_delivered(&pair.a, &b2), b"after-restart");
+    pair.a.shutdown();
+    b2.shutdown();
+}
+
+#[test]
+fn uds_reconnects_after_peer_restart_same_path() {
+    // A Unix-socket peer restarts on the *same* path (bind reaps the
+    // stale file); no re-registration needed — the failed write on the
+    // dead pooled connection triggers the redial to the new listener.
+    let path_b = uds_path("restart-b");
+    let a: Arc<dyn WireTransport> =
+        Arc::new(UdsTransport::bind(NodeId(1), &uds_path("restart-a")).unwrap());
+    let b: Arc<dyn WireTransport> = Arc::new(UdsTransport::bind(NodeId(2), &path_b).unwrap());
+    a.register_peer(NodeId(2), &[b.local_endpoint()]).unwrap();
+    a.send(NodeId(2), vec![1]).unwrap();
+    assert_eq!(&b.recv().unwrap().payload[..], &[1]);
+    b.shutdown();
+    let b2: Arc<dyn WireTransport> = Arc::new(UdsTransport::bind(NodeId(2), &path_b).unwrap());
+    assert_eq!(pump_until_delivered(&a, &b2), b"after-restart");
+    a.shutdown();
+    b2.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// a full ORB invocation over real sockets
+// ---------------------------------------------------------------------
+
+struct Echo;
+impl Servant for Echo {
+    fn interface_id(&self) -> &str {
+        "IDL:Echo:1.0"
+    }
+    fn dispatch(&self, op: &str, args: &[Any]) -> Result<Any, OrbError> {
+        match op {
+            "echo" => Ok(args[0].clone()),
+            _ => Err(OrbError::BadOperation(op.to_string())),
+        }
+    }
+}
+
+#[test]
+fn socket_backed_orbs_invoke_end_to_end() {
+    let wire_s: Arc<dyn WireTransport> =
+        Arc::new(TcpTransport::bind(NodeId(10), "127.0.0.1:0").unwrap());
+    let wire_c: Arc<dyn WireTransport> =
+        Arc::new(TcpTransport::bind(NodeId(11), "127.0.0.1:0").unwrap());
+    let server = Orb::start_wire(wire_s, "tcp-server", OrbConfig::default());
+    let client = Orb::start_wire(wire_c, "tcp-client", OrbConfig::default());
+    assert!(!server.is_sim_backed());
+
+    // The IOR carries the server's listener as a tagged profile; the
+    // client's invoke registers it automatically, so no out-of-band
+    // address book is needed.
+    let ior = server.activate("echo", Box::new(Echo));
+    assert!(matches!(ior.endpoint(), Some(Endpoint::Tcp(_))));
+
+    let reply = client.invoke(&ior, "echo", &[Any::from("over real tcp")]).unwrap();
+    assert_eq!(reply.as_str(), Some("over real tcp"));
+
+    // A second call reuses the pooled connection.
+    let reply = client.invoke(&ior, "echo", &[Any::LongLong(7)]).unwrap();
+    assert_eq!(reply.as_i64(), Some(7));
+
+    server.shutdown();
+    client.shutdown();
+}

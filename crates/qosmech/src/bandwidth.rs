@@ -11,7 +11,7 @@
 
 use orb::sync::{LockRank, OrderedMutex};
 use netsim::NodeId;
-use orb::transport::{Outbound, QosModule};
+use orb::qos_binding::{Outbound, QosModule};
 use orb::{Any, OrbError};
 use std::time::Instant;
 
@@ -181,7 +181,7 @@ mod tests {
     use super::*;
     use netsim::Network;
     use orb::giop::QosContext;
-    use orb::transport::BindingKey;
+    use orb::qos_binding::BindingKey;
     use orb::{Orb, Servant};
     use std::sync::Arc;
 

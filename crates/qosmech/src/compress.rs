@@ -7,7 +7,7 @@
 //! experiment, not codec strength.
 
 use orb::sync::{LockRank, OrderedRwLock};
-use orb::transport::{Outbound, QosModule};
+use orb::qos_binding::{Outbound, QosModule};
 use orb::{Any, MetricsRegistry, OrbError};
 use netsim::NodeId;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -301,7 +301,7 @@ impl QosModule for CompressionModule {
 mod tests {
     use super::*;
     use netsim::{LinkModel, Network};
-    use orb::transport::BindingKey;
+    use orb::qos_binding::BindingKey;
     use orb::giop::QosContext;
     use orb::{Orb, Servant};
     use std::sync::Arc;

@@ -13,7 +13,7 @@
 
 use orb::sync::{LockRank, OrderedRwLock};
 use netsim::NodeId;
-use orb::transport::{Outbound, QosModule};
+use orb::qos_binding::{Outbound, QosModule};
 use orb::{Any, OrbError};
 use std::sync::atomic::{AtomicU64, Ordering};
 

@@ -587,7 +587,7 @@ mod tests {
         client
             .qos_transport()
             .bind(
-                orb::transport::BindingKey { peer: None, key: iors[0].key.clone() },
+                orb::qos_binding::BindingKey { peer: None, key: iors[0].key.clone() },
                 "multicast",
             )
             .unwrap();

@@ -224,7 +224,7 @@ impl ClientStub {
         let value = self.run_chain(&mediators, 0, call, Some(&obs))?;
         let stub_us = started.elapsed().as_micros() as u64;
 
-        let node = self.orb.net_handle().name().to_string();
+        let node = self.orb.name().to_string();
         let mut trace = obs
             .trace
             .into_inner()

@@ -11,10 +11,18 @@
 //! flight timeline.
 //!
 //! Run with: `cargo run --example maqs_top`
+//!
+//! With `--attach <ior|@file>` the dashboard skips the simulated
+//! cluster and attaches to a *live server in another process* over the
+//! IOR's endpoint profile (see `examples/tcp_server.rs`): it drives a
+//! little load at the served object, then renders the same panes from
+//! introspection pulled over real loopback TCP.
 
 use maqs::prelude::*;
 use maqs::report::render_flight_human;
+use netsim::NodeId;
 use orb::export::{prometheus_text, quantile_line};
+use orb::TcpTransport;
 use std::sync::Arc;
 
 struct Kv(parking_lot::Mutex<i64>);
@@ -57,7 +65,84 @@ const KV_SPEC: &str = r#"
 "#;
 const ECHO_SPEC: &str = "interface Echo { long long echo(in long long v); };";
 
+/// Resolve `--attach`'s argument: a literal `maqs-ior:` URI, or
+/// `@path` to poll a file the server publishes (tcp_server writes it
+/// atomically, so a complete URI or nothing).
+fn resolve_ior(target: &str) -> Ior {
+    let uri = if let Some(path) = target.strip_prefix('@') {
+        let mut tries = 0;
+        loop {
+            match std::fs::read_to_string(path) {
+                Ok(s) if !s.trim().is_empty() => break s.trim().to_string(),
+                _ if tries < 100 => {
+                    tries += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                }
+                _ => panic!("no IOR appeared at {path}"),
+            }
+        }
+    } else {
+        target.to_string()
+    };
+    Ior::from_uri(&uri).expect("parse IOR URI")
+}
+
+/// The `--attach` mode: a real client of a server in another process.
+fn attach(target: &str) {
+    let ior = resolve_ior(target);
+    let endpoint = ior.endpoint().expect("IOR carries no endpoint profile").clone();
+    println!("== maqs-top: attaching to {} at {endpoint} ==", ior.key);
+
+    let wire = TcpTransport::bind(NodeId(1000), "127.0.0.1:0").expect("bind client socket");
+    let ops = MaqsNode::builder_wire(Arc::new(wire), "ops").build().expect("ops node");
+    // Invocations register endpoint profiles on their own; doing it up
+    // front just surfaces a bad address before any traffic.
+    ops.orb().register_endpoints(&ior).expect("register server endpoint");
+
+    // Drive some load so the panes have something to show.
+    let kv = ops.stub(&ior);
+    for i in 0..16i64 {
+        kv.invoke("put", &[Any::LongLong(i)]).expect("put");
+        kv.invoke("get", &[]).expect("get");
+    }
+
+    // Every pane below crosses the process boundary over loopback TCP.
+    let introspector = ops.introspector();
+    let health = introspector.health(ior.node).expect("health");
+    let snapshot = introspector.metrics_snapshot(ior.node).expect("snapshot");
+    let latency = snapshot
+        .histograms
+        .iter()
+        .find(|(n, _)| n == "orb.dispatch_us")
+        .map_or_else(|| "n/a".to_string(), |(_, h)| quantile_line(h));
+    println!(
+        "{:<8} {:>9} {:>8} {:>7}  {}",
+        "node", "handled", "dropped", "events", "dispatch latency"
+    );
+    println!(
+        "{:<8} {:>9} {:>8} {:>7}  {}",
+        "remote", health.requests_handled, health.packets_dropped, health.flight_events, latency
+    );
+    for b in introspector.bindings(ior.node).expect("bindings") {
+        println!("  {} ({}) qos=[{}]", b.object, b.interface, b.characteristics.join(", "));
+    }
+    let tail = introspector.flight_tail(ior.node, 4).expect("flight tail");
+    println!("remote flight tail (last {} events):", tail.len());
+    print!("{}", render_flight_human(&tail));
+
+    assert!(health.requests_handled >= 32, "server must have seen our traffic");
+    ops.shutdown();
+    println!("\nok.");
+}
+
 fn main() {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--attach" {
+            return attach(&args.next().expect("--attach needs <maqs-ior:..|@file>"));
+        }
+    }
+
     let net = Network::new(13);
     let alpha = MaqsNode::builder(&net, "alpha").spec(KV_SPEC).build().expect("alpha");
     let beta = MaqsNode::builder(&net, "beta").spec(ECHO_SPEC).build().expect("beta");

@@ -1,0 +1,93 @@
+//! tcp-server: the server half of the two-process quickstart.
+//!
+//! Binds a real loopback TCP listener, runs a full [`MaqsNode`] on it
+//! (so negotiation, introspection and the woven Kv servant are all
+//! served over actual sockets), and writes the Kv object's IOR URI —
+//! endpoint profile included — to a file where the other process can
+//! pick it up:
+//!
+//! ```text
+//! cargo run --example tcp_server -- --ior-file /tmp/maqs-kv.ior --ttl 30 &
+//! cargo run --example maqs_top  -- --attach @/tmp/maqs-kv.ior
+//! ```
+//!
+//! The server needs no knowledge of its clients: dialers identify
+//! themselves in the wire hello, and replies travel back over the
+//! pooled connection the request arrived on.
+
+use maqs::prelude::*;
+use netsim::NodeId;
+use orb::TcpTransport;
+use std::sync::Arc;
+
+struct Kv(parking_lot::Mutex<i64>);
+
+impl Servant for Kv {
+    fn interface_id(&self) -> &str {
+        "IDL:Kv:1.0"
+    }
+    fn dispatch(&self, op: &str, args: &[Any]) -> Result<Any, OrbError> {
+        match op {
+            "put" => {
+                *self.0.lock() = args.first().and_then(Any::as_i64).unwrap_or(0);
+                Ok(Any::Void)
+            }
+            "get" => Ok(Any::LongLong(*self.0.lock())),
+            _ => Err(OrbError::BadOperation(op.to_string())),
+        }
+    }
+}
+
+const KV_SPEC: &str = r#"
+    interface Kv with qos Replication {
+        void put(in long long v);
+        long long get();
+    };
+"#;
+
+fn main() {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut ior_file = "/tmp/maqs-kv.ior".to_string();
+    let mut ttl_secs = 30u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--addr" => addr = args.next().expect("--addr needs host:port"),
+            "--ior-file" => ior_file = args.next().expect("--ior-file needs a path"),
+            "--ttl" => {
+                ttl_secs = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--ttl needs seconds")
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let wire = TcpTransport::bind(NodeId(1), &addr).expect("bind listener");
+    println!("tcp-server: listening on {}", wire.local_addr());
+
+    let node = MaqsNode::builder_wire(Arc::new(wire), "tcp-server")
+        .spec(KV_SPEC)
+        .build()
+        .expect("start node");
+    let ior = node
+        .serve(
+            "kv",
+            Arc::new(Kv(parking_lot::Mutex::new(0))),
+            ServeOptions::interface("Kv")
+                .qos_impl(Arc::new(qosmech::replication::ReplicationQosImpl::new())),
+        )
+        .expect("serve kv");
+
+    // Write-then-rename so a polling client never reads half a URI.
+    let tmp = format!("{ior_file}.tmp");
+    std::fs::write(&tmp, ior.to_uri()).expect("write ior");
+    std::fs::rename(&tmp, &ior_file).expect("publish ior");
+    println!("tcp-server: ior written to {ior_file}");
+    println!("tcp-server: serving for {ttl_secs}s ({ior})");
+
+    std::thread::sleep(std::time::Duration::from_secs(ttl_secs));
+    node.shutdown();
+    println!("ok.");
+}

@@ -12,7 +12,7 @@
 use maqs::prelude::*;
 use orb::dii::DynamicCommand;
 use orb::giop::QosContext;
-use orb::transport::BindingKey;
+use orb::qos_binding::BindingKey;
 use qosmech::compress::{CompressionModule, COMPRESSION_MODULE};
 use qosmech::crypt::{keyex, EncryptionModule, ENCRYPTION_MODULE};
 use std::sync::Arc;

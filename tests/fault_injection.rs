@@ -217,7 +217,7 @@ fn transport_multicast_fans_out_under_crash() {
     client
         .qos_transport()
         .bind(
-            orb::transport::BindingKey { peer: None, key: iors[0].key.clone() },
+            orb::qos_binding::BindingKey { peer: None, key: iors[0].key.clone() },
             "multicast",
         )
         .unwrap();

@@ -2,7 +2,7 @@
 
 use maqs::prelude::*;
 use orb::giop::QosContext;
-use orb::transport::BindingKey;
+use orb::qos_binding::BindingKey;
 use qosmech::compress::{CompressionModule, COMPRESSION_MODULE};
 use std::sync::Arc;
 use std::time::Duration;
