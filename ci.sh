@@ -76,6 +76,13 @@ echo "==> wire-transport conformance (netsim + TCP + UDS, loopback sockets)"
 # Real sockets can hang; a wall-clock bound keeps the gate un-wedgeable.
 timeout 120 cargo test -q -p orb --test wire_conformance
 
+echo "==> wire chaos (fault matrix + failover + stalled reader, fixed seed)"
+# Every scripted socket fault x every backend x both backpressure
+# policies, plus the mid-load failover and garbage-frame cases. Seeded
+# for reproducibility; the assertions hold under any seed.
+MAQS_CHAOS_SEED="${MAQS_CHAOS_SEED:-7}" \
+    timeout 180 cargo test -q -p orb --test wire_conformance fault_
+
 echo "==> two-process smoke (tcp_server serves, maqs_top attaches over TCP)"
 cargo build -q --release -p maqs --example tcp_server --example maqs_top
 SMOKE_IOR="/tmp/maqs-ci-kv.$$.ior"

@@ -110,7 +110,7 @@ impl LinkModel {
     pub fn serialization_time(&self, bytes: usize) -> VirtualDuration {
         match self.bandwidth_bps {
             None => VirtualDuration::ZERO,
-            Some(bps) if bps == 0 => VirtualDuration::from_secs(u64::MAX / 2),
+            Some(0) => VirtualDuration::from_secs(u64::MAX / 2),
             Some(bps) => {
                 let bits = bytes as u128 * 8;
                 let nanos = bits * 1_000_000_000 / bps as u128;

@@ -371,6 +371,10 @@ impl Orb {
     ) -> Orb {
         let (dispatch_tx, dispatch_rx) = unbounded::<DispatchCmd>();
         let node = wire.node();
+        // Wire lifecycle events (dial, redial, failover, backpressure,
+        // resets) land in the same flight ring as request events, so a
+        // flight_tail around an incident shows both layers interleaved.
+        wire.attach_flight(&flight);
         let inner = Arc::new(OrbInner {
             wire,
             sim,

@@ -54,10 +54,15 @@ pub enum FlightEventKind {
     FaultTick,
     Negotiation,
     Replication,
+    WireDial,
+    WireRedial,
+    WireFailover,
+    WireBackpressureShed,
+    WireConnReset,
 }
 
 /// Number of [`FlightEventKind`] variants (size of the counter table).
-const KIND_COUNT: usize = 14;
+const KIND_COUNT: usize = 19;
 
 /// All kinds, index-aligned with [`FlightEventKind::index`].
 const ALL_KINDS: [FlightEventKind; KIND_COUNT] = [
@@ -75,6 +80,11 @@ const ALL_KINDS: [FlightEventKind; KIND_COUNT] = [
     FlightEventKind::FaultTick,
     FlightEventKind::Negotiation,
     FlightEventKind::Replication,
+    FlightEventKind::WireDial,
+    FlightEventKind::WireRedial,
+    FlightEventKind::WireFailover,
+    FlightEventKind::WireBackpressureShed,
+    FlightEventKind::WireConnReset,
 ];
 
 impl FlightEventKind {
@@ -95,6 +105,11 @@ impl FlightEventKind {
             FlightEventKind::FaultTick => "fault_tick",
             FlightEventKind::Negotiation => "negotiation",
             FlightEventKind::Replication => "replication",
+            FlightEventKind::WireDial => "wire_dial",
+            FlightEventKind::WireRedial => "wire_redial",
+            FlightEventKind::WireFailover => "wire_failover",
+            FlightEventKind::WireBackpressureShed => "wire_backpressure_shed",
+            FlightEventKind::WireConnReset => "wire_conn_reset",
         }
     }
 

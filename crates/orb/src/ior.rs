@@ -91,6 +91,18 @@ impl Ior {
         self
     }
 
+    /// Builder-style: attach several endpoint profiles in order
+    /// (idempotent per endpoint). Order matters: socket transports
+    /// prefer earlier endpoints and fail over down the list.
+    pub fn with_endpoints(mut self, endpoints: impl IntoIterator<Item = Endpoint>) -> Ior {
+        for endpoint in endpoints {
+            if !self.endpoints.contains(&endpoint) {
+                self.endpoints.push(endpoint);
+            }
+        }
+        self
+    }
+
     /// The first endpoint profile, if any.
     pub fn endpoint(&self) -> Option<&Endpoint> {
         self.endpoints.first()

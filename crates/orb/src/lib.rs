@@ -122,4 +122,8 @@ pub use crate::retry::RetryPolicy;
 pub use crate::sync::{LockRank, OrderedCondvar, OrderedMutex, OrderedRwLock};
 pub use crate::qos_binding::{ModuleFactory, QosModule, QosTransport};
 pub use crate::trace::{Span, TraceContext};
-pub use crate::wire::{Endpoint, NetSimTransport, TcpTransport, UdsTransport, WireError, WireFrame, WireTransport};
+pub use crate::wire::fault::{FaultyTransport, WireFault, WireFaultScript};
+pub use crate::wire::{
+    BackpressurePolicy, ConnHealth, Endpoint, NetSimTransport, TcpTransport, UdsTransport,
+    WireConfig, WireError, WireEvent, WireFrame, WireObserver, WireTransport,
+};

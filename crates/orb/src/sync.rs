@@ -59,8 +59,11 @@
 //! | 410 | `ResolveCache` | binding resolve cache | `orb::qos_binding` |
 //! | 420 | `AdapterServants` | object-adapter servant map | `orb::adapter` |
 //! | 430 | `PseudoObjects` | pseudo-object registry | `orb::pseudo` |
+//! | 436 | `WireFaultState` | fault-injection script/held-frame state | `orb::wire::fault` |
+//! | 438 | `WireObservers` | wire lifecycle-observer list | `orb::wire` |
 //! | 440 | `WireState` | wire-transport peer/connection registry | `orb::wire` |
-//! | 444 | `WireConn` | one pooled connection's write stream | `orb::wire` |
+//! | 442 | `WireOutbox` | one connection's bounded outbox queue | `orb::wire` |
+//! | 444 | `WireConn` | one pooled connection's control stream | `orb::wire` |
 //! | 500 | `PendingShard` | one shard of the pending-request table | `orb::core` |
 //! | 510 | `ReplySlot` | per-thread reply rendezvous slot | `orb::core` |
 //! | 600 | `MetricsInner` | metrics registry interior | `orb::metrics` |
@@ -130,7 +133,10 @@ pub enum LockRank {
     ResolveCache = 410,
     AdapterServants = 420,
     PseudoObjects = 430,
+    WireFaultState = 436,
+    WireObservers = 438,
     WireState = 440,
+    WireOutbox = 442,
     WireConn = 444,
     PendingShard = 500,
     ReplySlot = 510,
@@ -181,7 +187,10 @@ impl LockRank {
         (410, "ResolveCache", "orb::qos_binding"),
         (420, "AdapterServants", "orb::adapter"),
         (430, "PseudoObjects", "orb::pseudo"),
+        (436, "WireFaultState", "orb::wire::fault"),
+        (438, "WireObservers", "orb::wire"),
         (440, "WireState", "orb::wire"),
+        (442, "WireOutbox", "orb::wire"),
         (444, "WireConn", "orb::wire"),
         (500, "PendingShard", "orb::core"),
         (510, "ReplySlot", "orb::core"),

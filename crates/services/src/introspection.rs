@@ -213,6 +213,22 @@ impl Servant for IntrospectionServant {
                 ))
             }
             "health" => Ok(self.health().to_any()),
+            "wire_health" => Ok(Any::Sequence(
+                self.orb
+                    .wire()
+                    .peer_health()
+                    .into_iter()
+                    .map(|(node, health)| {
+                        Any::Struct(
+                            "WireHealth".to_string(),
+                            vec![
+                                ("peer".to_string(), Any::ULongLong(u64::from(node.0))),
+                                ("health".to_string(), Any::from(health.name())),
+                            ],
+                        )
+                    })
+                    .collect(),
+            )),
             "bindings" => {
                 let provider = self.bindings.read().clone();
                 let infos = provider.map(|p| p()).unwrap_or_default();
@@ -275,6 +291,34 @@ impl Introspector {
     pub fn health(&self, server: NodeId) -> Result<Health, OrbError> {
         let reply = self.orb.invoke(&Self::ior(server), "health", &[])?;
         Health::from_any(&reply)
+    }
+
+    /// Per-peer wire connection health on `server` (`(peer, state)`
+    /// pairs, where state is `up`, `draining` or `down`), sorted by
+    /// peer id. Empty for backends without pooled connections (netsim).
+    ///
+    /// # Errors
+    ///
+    /// Propagates remote failures and decode errors.
+    pub fn wire_health(&self, server: NodeId) -> Result<Vec<(NodeId, String)>, OrbError> {
+        let reply = self.orb.invoke(&Self::ior(server), "wire_health", &[])?;
+        reply
+            .as_sequence()
+            .ok_or_else(|| OrbError::BadParam("wire_health: non-sequence reply".to_string()))?
+            .iter()
+            .map(|entry| {
+                let peer = entry
+                    .field("peer")
+                    .and_then(Any::as_i64)
+                    .ok_or_else(|| OrbError::BadParam("WireHealth missing `peer`".to_string()))?;
+                let health = entry
+                    .field("health")
+                    .and_then(Any::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| OrbError::BadParam("WireHealth missing `health`".to_string()))?;
+                Ok((NodeId(peer as u32), health))
+            })
+            .collect()
     }
 
     /// The woven deployment served by `server`.

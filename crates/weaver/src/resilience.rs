@@ -24,8 +24,9 @@ use orb::sync::{LockRank, OrderedMutex, OrderedRwLock};
 use crate::mediator::{annotate_span, Call, Mediator, Next};
 use crate::skeleton::RequestObserver;
 use orb::retry::RetryPolicy;
-use orb::{Any, FlightEventKind, FlightRecorder, Ior, MetricsRegistry, OrbError};
+use orb::{Any, FlightEventKind, FlightRecorder, Ior, MetricsRegistry, OrbError, WireEvent};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The three circuit-breaker states.
@@ -419,6 +420,28 @@ impl ResilienceMediator {
     /// Whether fail-static mode is active.
     pub fn is_fail_static(&self) -> bool {
         self.fail_static.read().is_some()
+    }
+
+    /// Note a wire lifecycle event (dial, redial, failover,
+    /// backpressure-shed, conn-reset) delivered by a transport this
+    /// mediator's binding rides on. Counted into the
+    /// `resilience.wire.*` metric family so circuit/ladder decisions —
+    /// and anyone reading a metrics snapshot — see *wire-level causes*
+    /// next to request-level symptoms. The transport records the event
+    /// in the flight ring itself; this only attributes it.
+    pub fn note_wire_event(&self, event: &WireEvent) {
+        self.incr(&format!("resilience.wire.{}", event.kind.name()));
+    }
+
+    /// An [`orb::WireObserver`] forwarding wire lifecycle events into
+    /// this mediator, for [`orb::WireTransport::add_wire_observer`]:
+    ///
+    /// ```ignore
+    /// orb.wire().add_wire_observer(mediator.wire_observer());
+    /// ```
+    pub fn wire_observer(self: &Arc<Self>) -> orb::WireObserver {
+        let mediator = Arc::clone(self);
+        Arc::new(move |event: &WireEvent| mediator.note_wire_event(event))
     }
 
     fn incr(&self, name: &str) {
