@@ -1,10 +1,25 @@
 //! E11: closed-loop hot-path throughput/latency sweep.
 //!
-//! Multi-client closed-loop null-call and 1KiB-payload sweeps against one
-//! servant, for `dispatch_threads` ∈ {1, 2, 4} and plain vs QoS-tagged
-//! (identity-module-bound) traffic. Reports throughput plus p50/p99
-//! latency and emits `BENCH_hotpath.json` at the repo root so the perf
-//! trajectory stays machine-readable across PRs.
+//! Multi-client closed-loop null-call and 1KiB-payload sweeps against a
+//! bank of servants, for `dispatch_threads` ∈ {1, 2, 4} and plain vs
+//! QoS-tagged (identity-module-bound) traffic. Reports throughput plus
+//! p50/p99 latency and emits `BENCH_hotpath.json` at the repo root so
+//! the perf trajectory stays machine-readable across PRs.
+//!
+//! The workload spreads calls over [`KEYS`] object keys (round-robin per
+//! client thread): under the default `DispatchRouting::KeyAffinity` a
+//! single-key workload would pin every request to one dispatcher and the
+//! sweep over `dispatch_threads` would measure nothing.
+//!
+//! Extra modes (neither touches the committed artifact):
+//! * `--open-loop` — fixed offered load through `invoke_async` with a
+//!   bounded in-flight window; latency is measured from each call's
+//!   *scheduled* send time, so queueing delay under overload is visible
+//!   instead of silently throttling the load like closed loops do.
+//!   Writes `BENCH_hotpath.openloop.json` (gitignored).
+//! * `--profile` — one case per dispatch-thread count, then a per-stage
+//!   µs breakdown (recv, route, queue-wait, dispatch, reply-match) from
+//!   the server's and client's metric histograms.
 //!
 //! Unlike the Criterion benches this is a hand-rolled harness
 //! (`harness = false`, no criterion dependency): the closed-loop
@@ -19,7 +34,7 @@ use orb::wire::{TcpTransport, WireTransport};
 use orb::{Any, Ior, Orb, OrbConfig, OrbError, QosModule, Servant};
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Servant answering `echo` with its argument.
 struct Echo;
@@ -47,6 +62,19 @@ impl QosModule for Identity {
 }
 
 const CLIENT_THREADS: usize = 4;
+/// Distinct object keys the workload cycles over, so key-affinity
+/// routing has something to shard.
+const KEYS: usize = 32;
+/// In-flight pipelining window per client thread in the closed-loop
+/// sweep. The loop stays closed (self-clocked, bounded in-flight =
+/// `CLIENT_THREADS × PIPELINE`), but a deep window keeps the server-side
+/// queues warm enough that dispatcher wakeups amortize over batches —
+/// with strictly serial clients every sharded dispatcher parks between
+/// items and the park/unpark cost, not dispatch, dominates the sweep.
+/// Per Little's law the per-call latency is then queue-dominated
+/// (p50 ≈ in-flight / throughput), which is why the absolute p50 in the
+/// artifact is far above the pre-pipelining trajectory.
+const PIPELINE: usize = 8;
 
 struct CaseResult {
     transport: &'static str,
@@ -60,6 +88,15 @@ struct CaseResult {
     p99_us: f64,
 }
 
+/// One row of the `--profile` per-stage breakdown.
+struct StageRow {
+    stage: &'static str,
+    count: u64,
+    mean_us: f64,
+    p50: String,
+    p99: String,
+}
+
 fn percentile_us(sorted_ns: &[u64], q: f64) -> f64 {
     if sorted_ns.is_empty() {
         return 0.0;
@@ -68,16 +105,14 @@ fn percentile_us(sorted_ns: &[u64], q: f64) -> f64 {
     sorted_ns[idx] as f64 / 1_000.0
 }
 
-fn run_case(
+/// Start a (server, client) pair on the requested wire; `_net` keeps a
+/// netsim alive for the ORBs' lifetime.
+fn start_pair(
     transport: &'static str,
-    payload: &'static str,
-    qos: bool,
     dispatch_threads: usize,
-    iters_per_client: u64,
-) -> CaseResult {
-    // The simulator must outlive netsim-backed ORBs.
-    let mut _net = None;
-    let (server, client) = match transport {
+    net_slot: &mut Option<Network>,
+) -> (Orb, Orb) {
+    match transport {
         "netsim" => {
             let net = Network::new(1);
             let server = Orb::start_with(
@@ -86,7 +121,7 @@ fn run_case(
                 OrbConfig { dispatch_threads, ..OrbConfig::default() },
             );
             let client = Orb::start(&net, "client");
-            _net = Some(net);
+            *net_slot = Some(net);
             (server, client)
         }
         "tcp" => {
@@ -103,44 +138,110 @@ fn run_case(
             (server, client)
         }
         other => panic!("unknown transport {other}"),
-    };
+    }
+}
+
+/// Activate the servant bank and (optionally) bind every key to the
+/// identity module on the client side.
+fn setup_objects(server: &Orb, client: &Orb, qos: bool) -> (Vec<Ior>, Option<QosContext>) {
     // Over TCP the IOR carries the listener endpoint; the client's
     // first invoke registers and dials it, exactly as across processes.
-    let ior = server.activate("echo", Box::new(Echo));
+    let iors: Vec<Ior> =
+        (0..KEYS).map(|i| server.activate(&format!("echo{i:02}"), Box::new(Echo))).collect();
     let qos_ctx = if qos {
         client.qos_transport().install(Arc::new(Identity));
         server.qos_transport().install(Arc::new(Identity));
-        client
-            .qos_transport()
-            .bind(BindingKey { peer: None, key: ior.key.clone() }, "identity")
-            .unwrap();
+        for ior in &iors {
+            client
+                .qos_transport()
+                .bind(BindingKey { peer: None, key: ior.key.clone() }, "identity")
+                .unwrap();
+        }
         Some(QosContext::new("identity"))
     } else {
         None
     };
-    let args: Vec<Any> = match payload {
+    (iors, qos_ctx)
+}
+
+fn payload_args(payload: &str) -> Vec<Any> {
+    match payload {
         "null" => Vec::new(),
         "1KiB" => vec![Any::Bytes(vec![0xA5u8; 1024])],
         other => panic!("unknown payload shape {other}"),
-    };
+    }
+}
 
-    // Warm-up outside the measured window.
-    for _ in 0..16 {
-        client.invoke_qos(&ior, "echo", &args, qos_ctx.clone()).unwrap();
+fn stage_rows(server: &Orb, client: &Orb) -> Vec<StageRow> {
+    let srv = server.metrics().snapshot();
+    let cli = client.metrics().snapshot();
+    let mut rows = Vec::new();
+    for (stage, snap, name) in [
+        ("recv (wire transit)", &srv, "wire.transit_vus"),
+        ("route (peek+shard)", &srv, "orb.recv_route_us"),
+        ("queue-wait", &srv, "orb.queue_wait_us"),
+        ("dispatch (decode+servant+reply)", &srv, "orb.dispatch_us"),
+        ("reply-match (client)", &cli, "orb.reply_match_us"),
+        ("roundtrip (client)", &cli, "orb.roundtrip_us"),
+    ] {
+        if let Some(h) = snap.histogram(name) {
+            rows.push(StageRow {
+                stage,
+                count: h.count,
+                mean_us: h.mean_us(),
+                p50: h.quantile(0.50).map_or_else(|| "-".into(), |q| q.to_string()),
+                p99: h.quantile(0.99).map_or_else(|| "-".into(), |q| q.to_string()),
+            });
+        }
+    }
+    rows
+}
+
+fn run_case(
+    transport: &'static str,
+    payload: &'static str,
+    qos: bool,
+    dispatch_threads: usize,
+    iters_per_client: u64,
+    profile: bool,
+) -> (CaseResult, Vec<StageRow>) {
+    // The simulator must outlive netsim-backed ORBs.
+    let mut _net = None;
+    let (server, client) = start_pair(transport, dispatch_threads, &mut _net);
+    let (iors, qos_ctx) = setup_objects(&server, &client, qos);
+    let args = payload_args(payload);
+
+    // Warm-up outside the measured window, touching every key.
+    for ior in &iors {
+        client.invoke_qos(ior, "echo", &args, qos_ctx.clone()).unwrap();
     }
 
     let start = Instant::now();
     let workers: Vec<_> = (0..CLIENT_THREADS)
-        .map(|_| {
+        .map(|t| {
             let client = client.clone();
-            let ior: Ior = ior.clone();
+            let iors: Vec<Ior> = iors.clone();
             let qos_ctx = qos_ctx.clone();
             let args = args.clone();
             std::thread::spawn(move || {
                 let mut lat_ns = Vec::with_capacity(iters_per_client as usize);
-                for _ in 0..iters_per_client {
+                let mut window: std::collections::VecDeque<(orb::PendingCall, Instant)> =
+                    std::collections::VecDeque::with_capacity(PIPELINE);
+                for n in 0..iters_per_client {
+                    if window.len() == PIPELINE {
+                        let (call, t0) = window.pop_front().unwrap();
+                        call.wait().unwrap();
+                        lat_ns.push(t0.elapsed().as_nanos() as u64);
+                    }
+                    // Stagger threads so they are not all hammering the
+                    // same key (and hence dispatcher) in lockstep.
+                    let ior = &iors[(t + n as usize) % KEYS];
                     let t0 = Instant::now();
-                    client.invoke_qos(&ior, "echo", &args, qos_ctx.clone()).unwrap();
+                    let call = client.invoke_async(ior, "echo", &args, qos_ctx.clone()).unwrap();
+                    window.push_back((call, t0));
+                }
+                for (call, t0) in window {
+                    call.wait().unwrap();
                     lat_ns.push(t0.elapsed().as_nanos() as u64);
                 }
                 lat_ns
@@ -166,6 +267,74 @@ fn run_case(
         p50_us: percentile_us(&all_ns, 0.50),
         p99_us: percentile_us(&all_ns, 0.99),
     };
+    let rows = if profile { stage_rows(&server, &client) } else { Vec::new() };
+    server.shutdown();
+    client.shutdown();
+    (result, rows)
+}
+
+/// One open-loop measurement: issue `calls` pipelined requests at a
+/// fixed offered rate from a single thread, harvesting through a
+/// bounded in-flight window so memory stays flat under overload.
+struct OpenLoopResult {
+    offered_rps: u64,
+    achieved_rps: f64,
+    calls: u64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+}
+
+fn run_open_loop(
+    transport: &'static str,
+    dispatch_threads: usize,
+    offered_rps: u64,
+    calls: u64,
+) -> OpenLoopResult {
+    const WINDOW: usize = 64;
+    let mut _net = None;
+    let (server, client) = start_pair(transport, dispatch_threads, &mut _net);
+    let (iors, _) = setup_objects(&server, &client, false);
+
+    for ior in &iors {
+        client.invoke_qos(ior, "echo", &[], None).unwrap();
+    }
+
+    let interval = Duration::from_nanos(1_000_000_000 / offered_rps.max(1));
+    let mut window: std::collections::VecDeque<(orb::PendingCall, Instant)> =
+        std::collections::VecDeque::with_capacity(WINDOW);
+    let mut lat_ns: Vec<u64> = Vec::with_capacity(calls as usize);
+    let start = Instant::now();
+    for n in 0..calls {
+        // Open loop: call n is *due* at start + n·interval regardless of
+        // how the system is coping; latency runs from that due time.
+        let due = start + interval * n as u32;
+        while Instant::now() < due {
+            std::hint::spin_loop();
+        }
+        if window.len() == WINDOW {
+            let (call, sched) = window.pop_front().unwrap();
+            call.wait().unwrap();
+            lat_ns.push(sched.elapsed().as_nanos() as u64);
+        }
+        let ior = &iors[n as usize % KEYS];
+        let call = client.invoke_async(ior, "echo", &[], None).unwrap();
+        window.push_back((call, due));
+    }
+    for (call, sched) in window {
+        call.wait().unwrap();
+        lat_ns.push(sched.elapsed().as_nanos() as u64);
+    }
+    let wall = start.elapsed().as_secs_f64();
+    lat_ns.sort_unstable();
+    let result = OpenLoopResult {
+        offered_rps,
+        achieved_rps: calls as f64 / wall,
+        calls,
+        p50_us: percentile_us(&lat_ns, 0.50),
+        p95_us: percentile_us(&lat_ns, 0.95),
+        p99_us: percentile_us(&lat_ns, 0.99),
+    };
     server.shutdown();
     client.shutdown();
     result
@@ -173,14 +342,12 @@ fn run_case(
 
 /// Repo root = nearest ancestor containing ROADMAP.md (cargo bench runs
 /// with the package directory as CWD, bare rustc runs from the root).
-/// TCP sweeps land in their own artifact so the committed netsim
-/// trajectory (exactly 12 deterministic cases) stays comparable.
-fn artifact_path(transport: &str) -> PathBuf {
+/// TCP and open-loop sweeps land in their own artifacts so the committed
+/// netsim trajectory (exactly 12 deterministic cases) stays comparable.
+fn artifact_path(name: &str) -> PathBuf {
     if let Ok(p) = std::env::var("BENCH_OUT") {
         return PathBuf::from(p);
     }
-    let name =
-        if transport == "tcp" { "BENCH_hotpath.tcp.json" } else { "BENCH_hotpath.json" };
     let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
     loop {
         if dir.join("ROADMAP.md").is_file() {
@@ -190,6 +357,10 @@ fn artifact_path(transport: &str) -> PathBuf {
             return PathBuf::from(name);
         }
     }
+}
+
+fn closed_loop_artifact(transport: &str) -> PathBuf {
+    artifact_path(if transport == "tcp" { "BENCH_hotpath.tcp.json" } else { "BENCH_hotpath.json" })
 }
 
 fn json_escape_free(s: &str) -> &str {
@@ -203,6 +374,7 @@ fn render_json(mode: &str, cases: &[CaseResult]) -> String {
     out.push_str("  \"experiment\": \"e11_hotpath\",\n");
     out.push_str(&format!("  \"mode\": \"{}\",\n", json_escape_free(mode)));
     out.push_str(&format!("  \"client_threads\": {CLIENT_THREADS},\n"));
+    out.push_str(&format!("  \"keys\": {KEYS},\n"));
     out.push_str("  \"cases\": [\n");
     for (i, c) in cases.iter().enumerate() {
         out.push_str(&format!(
@@ -226,15 +398,89 @@ fn render_json(mode: &str, cases: &[CaseResult]) -> String {
     out
 }
 
+fn render_open_loop_json(mode: &str, dispatch_threads: usize, rows: &[OpenLoopResult]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"experiment\": \"e11_hotpath_open_loop\",\n");
+    out.push_str(&format!("  \"mode\": \"{}\",\n", json_escape_free(mode)));
+    out.push_str(&format!("  \"dispatch_threads\": {dispatch_threads},\n"));
+    out.push_str(&format!("  \"keys\": {KEYS},\n"));
+    out.push_str("  \"cases\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"offered_rps\": {}, \"achieved_rps\": {:.1}, \"calls\": {}, \
+             \"p50_us\": {:.3}, \"p95_us\": {:.3}, \"p99_us\": {:.3}}}{}\n",
+            r.offered_rps,
+            r.achieved_rps,
+            r.calls,
+            r.p50_us,
+            r.p95_us,
+            r.p99_us,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 fn main() {
     // Tolerate harness flags cargo bench passes (`--bench`, filters).
     let quick = std::env::args().any(|a| a == "--quick");
+    let profile = std::env::args().any(|a| a == "--profile");
+    let open_loop = std::env::args().any(|a| a == "--open-loop");
     let transport: &'static str =
         if std::env::args().any(|a| a == "--tcp") { "tcp" } else { "netsim" };
     let iters_per_client: u64 = if quick { 200 } else { 2000 };
     let mode = if quick { "quick" } else { "full" };
 
-    println!("\n=== E11: closed-loop hot path ({CLIENT_THREADS} clients × {iters_per_client} calls each, {mode}, {transport}) ===");
+    if open_loop {
+        let dispatch_threads = 4;
+        let calls: u64 = if quick { 5_000 } else { 50_000 };
+        println!("\n=== E11 open loop: fixed offered load, 1 client thread, window 64 ({mode}, {transport}, {dispatch_threads} dispatchers) ===");
+        println!(
+            "  {:>12} {:>12} {:>8} {:>10} {:>10} {:>10}",
+            "offered_rps", "achieved", "calls", "p50_us", "p95_us", "p99_us"
+        );
+        let mut rows = Vec::new();
+        for offered in [50_000u64, 100_000, 200_000, 300_000] {
+            let r = run_open_loop(transport, dispatch_threads, offered, calls);
+            println!(
+                "  {:>12} {:>12.0} {:>8} {:>10.1} {:>10.1} {:>10.1}",
+                r.offered_rps, r.achieved_rps, r.calls, r.p50_us, r.p95_us, r.p99_us
+            );
+            rows.push(r);
+        }
+        let path = artifact_path("BENCH_hotpath.openloop.json");
+        std::fs::write(&path, render_open_loop_json(mode, dispatch_threads, &rows))
+            .expect("write open-loop artifact");
+        println!("\n  wrote {}", path.display());
+        return;
+    }
+
+    if profile {
+        println!("\n=== E11 --profile: per-stage breakdown, null/plain ({mode}, {transport}) ===");
+        for dispatch_threads in [1usize, 4] {
+            let (c, rows) =
+                run_case(transport, "null", false, dispatch_threads, iters_per_client, true);
+            println!(
+                "\n  {} dispatcher(s): {:.0} rps, p50 {:.1} µs, p99 {:.1} µs",
+                dispatch_threads, c.throughput_rps, c.p50_us, c.p99_us
+            );
+            println!(
+                "  {:<32} {:>9} {:>9} {:>8} {:>8}",
+                "stage", "count", "mean_us", "p50", "p99"
+            );
+            for r in rows {
+                println!(
+                    "  {:<32} {:>9} {:>9.2} {:>8} {:>8}",
+                    r.stage, r.count, r.mean_us, r.p50, r.p99
+                );
+            }
+        }
+        return;
+    }
+
+    println!("\n=== E11: closed-loop hot path ({CLIENT_THREADS} clients × {iters_per_client} calls each over {KEYS} keys, {mode}, {transport}) ===");
     println!(
         "  {:<8} {:<8} {:<6} {:>9} {:>12} {:>10} {:>10}",
         "wire", "payload", "qos", "disp_thr", "rps", "p50_us", "p99_us"
@@ -244,7 +490,8 @@ fn main() {
     for payload in ["null", "1KiB"] {
         for qos in [false, true] {
             for dispatch_threads in [1usize, 2, 4] {
-                let c = run_case(transport, payload, qos, dispatch_threads, iters_per_client);
+                let (c, _) =
+                    run_case(transport, payload, qos, dispatch_threads, iters_per_client, false);
                 println!(
                     "  {:<8} {:<8} {:<6} {:>9} {:>12.0} {:>10.1} {:>10.1}",
                     c.transport,
@@ -260,7 +507,7 @@ fn main() {
         }
     }
 
-    let path = artifact_path(transport);
+    let path = closed_loop_artifact(transport);
     std::fs::write(&path, render_json(mode, &cases)).expect("write bench artifact");
     println!("\n  wrote {}", path.display());
 }

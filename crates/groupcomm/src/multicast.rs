@@ -118,9 +118,8 @@ impl QosModule for MulticastModule {
         Ok(members.iter().map(|n| (*n, bytes.clone())).collect())
     }
 
-    fn inbound(&self, _src: NodeId, bytes: &[u8]) -> Result<Option<Vec<u8>>, OrbError> {
-        Ok(Some(bytes.to_vec()))
-    }
+    // `inbound` is the trait default: identity, zero-copy. Fan-out is
+    // an outbound-only concern; receivers see ordinary GIOP bodies.
 }
 
 #[cfg(test)]
@@ -178,7 +177,12 @@ mod tests {
     #[test]
     fn inbound_is_identity() {
         let m = MulticastModule::new("mc", [n(1)]);
-        assert_eq!(m.inbound(n(1), &[9]).unwrap(), Some(vec![9]));
+        let got = m.inbound(n(1), &[9]).unwrap().unwrap();
+        assert!(
+            matches!(got, std::borrow::Cow::Borrowed(_)),
+            "identity inbound must not copy"
+        );
+        assert_eq!(got, vec![9]);
     }
 
     #[test]

@@ -286,13 +286,16 @@ impl<'a> CdrDecoder<'a> {
     get_prim!(get_f32, f32, 4);
     get_prim!(get_f64, f64, 8);
 
-    /// Decode a string (length-prefixed, NUL-terminated, UTF-8).
+    /// Decode a string (length-prefixed, NUL-terminated, UTF-8),
+    /// borrowing it straight out of the buffer — no allocation. The hot
+    /// receive path uses this to read the QoS-envelope module name
+    /// without an owned `String` per packet.
     ///
     /// # Errors
     ///
     /// [`OrbError::Marshal`] on exhaustion, missing NUL, oversized length
     /// or invalid UTF-8.
-    pub fn get_string(&mut self) -> Result<String, OrbError> {
+    pub fn get_str(&mut self) -> Result<&'a str, OrbError> {
         let len = self.get_u32()?;
         if len == 0 || len > MAX_LEN {
             return Err(OrbError::Marshal(format!("bad string length {len}")));
@@ -305,8 +308,17 @@ impl<'a> CdrDecoder<'a> {
         if nul != [0] {
             return Err(OrbError::Marshal("string missing NUL terminator".to_string()));
         }
-        String::from_utf8(body.to_vec())
+        std::str::from_utf8(body)
             .map_err(|e| OrbError::Marshal(format!("invalid UTF-8 in string: {e}")))
+    }
+
+    /// Decode a string into an owned `String`; see [`CdrDecoder::get_str`].
+    ///
+    /// # Errors
+    ///
+    /// As [`CdrDecoder::get_str`].
+    pub fn get_string(&mut self) -> Result<String, OrbError> {
+        self.get_str().map(str::to_owned)
     }
 
     /// Decode a byte sequence.

@@ -32,8 +32,8 @@ use crate::any::Any;
 use crate::error::OrbError;
 use crate::flight::{FlightEventKind, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 use crate::giop::{
-    frame_plain_reply, frame_plain_request, frame_qos, CommandTarget, GiopMessage, Packet,
-    QosContext, ReplyMessage, RequestKind, RequestMessage,
+    self, frame_plain_reply, frame_plain_request, frame_qos, CommandTarget, GiopMessage, GiopPeek,
+    Packet, PacketView, QosContext, ReplyMessage, RequestKind, RequestMessage,
 };
 use crate::ior::{Ior, ObjectKey};
 use crate::metrics::MetricsRegistry;
@@ -55,6 +55,20 @@ use std::time::{Duration, Instant};
 /// Prefix marking object keys that resolve in the pseudo-object registry.
 pub const PSEUDO_KEY_PREFIX: &str = "pseudo:";
 
+/// How the receive loop spreads incoming requests across the
+/// per-dispatcher queues ([`OrbConfig::dispatch_routing`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchRouting {
+    /// Route by a stable hash of the object key: all calls on one key
+    /// stay ordered on one dispatcher while distinct keys spread across
+    /// the pool. The default — it preserves the per-servant FIFO a
+    /// single dispatcher used to give.
+    KeyAffinity,
+    /// Spray requests round-robin for maximum spread. Use when servants
+    /// are stateless and cross-call ordering per key does not matter.
+    RoundRobin,
+}
+
 /// Tuning knobs for an [`Orb`].
 #[derive(Debug, Clone)]
 pub struct OrbConfig {
@@ -62,8 +76,19 @@ pub struct OrbConfig {
     pub request_timeout: Duration,
     /// Short-circuit collocated QoS-unaware calls into the local adapter.
     pub collocated_shortcut: bool,
-    /// Number of dispatcher threads executing incoming requests.
+    /// Number of dispatcher threads executing incoming requests. Each
+    /// dispatcher owns a private queue; the receive loop routes into
+    /// them per [`OrbConfig::dispatch_routing`], so dispatchers never
+    /// contend on a shared work channel.
     pub dispatch_threads: usize,
+    /// Request-to-dispatcher routing policy (default
+    /// [`DispatchRouting::KeyAffinity`]).
+    pub dispatch_routing: DispatchRouting,
+    /// Maximum frames the receive loop drains from the transport inbox
+    /// per wakeup (≥ 1) before flushing per-dispatcher batches. Larger
+    /// values amortize queue wakeups under load; light-load latency is
+    /// unaffected because draining stops the moment the inbox is empty.
+    pub recv_batch: usize,
     /// Trace-sampling period consulted by [`Orb::trace_sampled`]: attach
     /// a [`TraceContext`] to every `n`-th request. `1` (the default)
     /// traces everything, `0` traces nothing. Metrics are unconditional
@@ -81,6 +106,8 @@ impl Default for OrbConfig {
             request_timeout: Duration::from_secs(5),
             collocated_shortcut: true,
             dispatch_threads: 1,
+            dispatch_routing: DispatchRouting::KeyAffinity,
+            recv_batch: 32,
             trace_sample_every: 1,
             flight_capacity: DEFAULT_FLIGHT_CAPACITY,
         }
@@ -202,6 +229,10 @@ thread_local! {
     /// servant* run on dispatcher threads, which carry their own slot),
     /// so one reusable slot per thread replaces a per-call channel.
     static REPLY_SLOT: Arc<ReplySlot> = Arc::new(ReplySlot::new());
+
+    /// Receive-loop sampling counter for `transport.inbound_us` (each
+    /// ORB's receive loop is one thread, so a plain `Cell` suffices).
+    static INBOUND_SAMPLE: std::cell::Cell<u32> = std::cell::Cell::new(0);
 }
 
 fn current_slot() -> Arc<ReplySlot> {
@@ -279,7 +310,10 @@ struct OrbInner {
     trace_counter: AtomicU64,
     metrics: MetricsRegistry,
     flight: FlightRecorder,
-    dispatch_tx: Sender<DispatchCmd>,
+    /// One private queue per dispatcher thread (sharded delivery): the
+    /// receive loop is the only sender, so each channel is effectively
+    /// SPSC and dispatchers never contend with each other for work.
+    dispatch_tx: Vec<Sender<DispatchCmd>>,
 }
 
 impl OrbInner {
@@ -290,7 +324,12 @@ impl OrbInner {
 }
 
 enum DispatchCmd {
-    Work(DispatchWork),
+    /// A single request — the common case under light load, kept
+    /// separate from [`DispatchCmd::Batch`] so it costs no `Vec`.
+    One(DispatchWork),
+    /// A burst of requests drained from the wire in one receive-loop
+    /// pass; one queue wakeup covers them all.
+    Batch(Vec<DispatchWork>),
     /// Wake-and-exit sentinel; [`Orb::shutdown`] queues one per
     /// dispatcher thread so every blocked `recv()` returns.
     Shutdown,
@@ -298,9 +337,67 @@ enum DispatchCmd {
 
 struct DispatchWork {
     via_module: Option<String>,
-    request: RequestMessage,
+    /// The raw GIOP request body. The receive loop only peeks the
+    /// routing prefix ([`giop::peek`]); the full decode — args, QoS
+    /// params, contexts — runs on the dispatcher thread so the single
+    /// receive loop never becomes the decode bottleneck.
+    body: Bytes,
     /// Modelled wire transit of the carrying message, virtual µs.
     transit_vus: u64,
+    /// When the receive loop picked the frame up; the dispatcher
+    /// observes the gap as `orb.queue_wait_us`.
+    received: Instant,
+}
+
+/// A reply handle for one in-flight [`Orb::invoke_async`] request.
+///
+/// Futures-free GIOP pipelining: each handle owns a *private*
+/// [`ReplySlot`] (not the caller thread's pooled one), so a single
+/// client thread can keep any number of calls in flight through the
+/// sharded pending table and harvest them in any order with
+/// [`PendingCall::wait`]. Dropping an unharvested handle unregisters
+/// the request; its late reply is counted orphaned, never misdelivered
+/// (the armed-request-id guard applies to private slots exactly as to
+/// pooled ones).
+pub struct PendingCall {
+    orb: Orb,
+    id: u64,
+    slot: Arc<ReplySlot>,
+    started: Instant,
+    deadline: Instant,
+}
+
+impl PendingCall {
+    /// The GIOP request id this handle is waiting on.
+    pub fn request_id(&self) -> u64 {
+        self.id
+    }
+
+    /// Park until the reply arrives or the ORB's request timeout
+    /// (counted from issue time) expires, then decode the result.
+    ///
+    /// # Errors
+    ///
+    /// Remote exceptions, [`OrbError::Timeout`], as [`Orb::invoke`].
+    pub fn wait(self) -> Result<Any, OrbError> {
+        let reply = self.slot.wait_until(self.id, self.deadline).ok_or_else(|| {
+            OrbError::Timeout(format!("request {}: no reply before pipeline deadline", self.id))
+        });
+        // Dropping `self` (on both paths) unregisters the pending entry
+        // and disarms the slot — the same order as the synchronous path.
+        let reply = reply?;
+        self.orb
+            .inner
+            .metrics
+            .observe_us("orb.roundtrip_us", self.started.elapsed().as_micros() as u64);
+        reply.into_result()
+    }
+}
+
+impl Drop for PendingCall {
+    fn drop(&mut self) {
+        self.orb.unregister_pending(self.id, &self.slot);
+    }
 }
 
 /// An object request broker bound to one simulated network node.
@@ -369,7 +466,14 @@ impl Orb {
         name: &str,
         config: OrbConfig,
     ) -> Orb {
-        let (dispatch_tx, dispatch_rx) = unbounded::<DispatchCmd>();
+        let n_dispatchers = config.dispatch_threads.max(1);
+        let mut dispatch_tx = Vec::with_capacity(n_dispatchers);
+        let mut dispatch_rx = Vec::with_capacity(n_dispatchers);
+        for _ in 0..n_dispatchers {
+            let (tx, rx) = unbounded::<DispatchCmd>();
+            dispatch_tx.push(tx);
+            dispatch_rx.push(rx);
+        }
         let node = wire.node();
         // Wire lifecycle events (dial, redial, failover, backpressure,
         // resets) land in the same flight ring as request events, so a
@@ -397,8 +501,8 @@ impl Orb {
         });
         let orb = Orb { inner };
         orb.spawn_receive_loop();
-        for _ in 0..orb.inner.config.dispatch_threads.max(1) {
-            orb.spawn_dispatcher(dispatch_rx.clone());
+        for rx in dispatch_rx {
+            orb.spawn_dispatcher(rx);
         }
         orb
     }
@@ -654,6 +758,61 @@ impl Orb {
         reply.into_result().map(|v| (v, trace_out))
     }
 
+    /// Issue a request without blocking for the reply: GIOP pipelining.
+    ///
+    /// Returns a [`PendingCall`] to harvest later; one thread may hold
+    /// any number in flight (each handle carries its own private reply
+    /// slot, so the per-thread pooled slot is not involved). Unlike
+    /// [`Orb::invoke_qos`] there is no collocated shortcut — the call
+    /// always travels the wire so in-flight semantics are uniform — and
+    /// no trace context (pipelined callers that need spans should use
+    /// [`Orb::invoke_traced`] synchronously).
+    ///
+    /// # Errors
+    ///
+    /// Local send errors only; remote failures and timeouts surface at
+    /// [`PendingCall::wait`].
+    pub fn invoke_async(
+        &self,
+        ior: &Ior,
+        op: &str,
+        args: &[Any],
+        qos: Option<QosContext>,
+    ) -> Result<PendingCall, OrbError> {
+        self.check_running()?;
+        let _ = self.register_endpoints(ior);
+        let slot = Arc::new(ReplySlot::new());
+        let id = self.inner.next_request.fetch_add(1, Ordering::Relaxed);
+        slot.arm(id);
+        self.inner
+            .shard(id)
+            .lock()
+            .insert(id, Pending { slot: Arc::clone(&slot), collect: false });
+        let request = RequestMessage {
+            request_id: id,
+            reply_to: self.node(),
+            object_key: ior.key.clone(),
+            operation: op.to_string(),
+            args: args.to_vec(),
+            response_expected: true,
+            kind: RequestKind::ServiceRequest,
+            qos,
+            contexts: Vec::new(),
+        };
+        let started = Instant::now();
+        if let Err(e) = self.send_request(ior.node, &request, None) {
+            self.unregister_pending(id, &slot);
+            return Err(e);
+        }
+        Ok(PendingCall {
+            orb: self.clone(),
+            id,
+            slot,
+            started,
+            deadline: started + self.inner.config.request_timeout,
+        })
+    }
+
     /// Invocation that collects replies from multiple responders (replica
     /// fan-out). Waits until `min_replies` have arrived or `timeout`
     /// elapses, and returns everything received (possibly more than
@@ -822,8 +981,8 @@ impl Orb {
         if self.inner.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        for _ in 0..self.inner.config.dispatch_threads.max(1) {
-            let _ = self.inner.dispatch_tx.send(DispatchCmd::Shutdown);
+        for tx in &self.inner.dispatch_tx {
+            let _ = tx.send(DispatchCmd::Shutdown);
         }
         // Wake the blocked receive loop, then stop the transport itself
         // (closes sockets and listeners on socket backends).
@@ -916,9 +1075,19 @@ impl Orb {
         std::thread::Builder::new()
             .name(format!("orb-recv-{}", inner.name))
             .spawn(move || {
-                // Event-driven: block on the wire instead of polling.
-                // `shutdown()` pokes the transport (an empty frame, the
-                // backend-independent wakeup) so the blocked recv wakes.
+                // Event-driven: block on the wire for the first frame of
+                // a burst (`shutdown()` pokes the transport — an empty
+                // frame, the backend-independent wakeup — so the blocked
+                // recv wakes), then opportunistically drain up to
+                // `recv_batch` more frames without blocking. Requests
+                // accumulate in per-dispatcher buckets and flush as one
+                // command per dispatcher per burst; replies are matched
+                // inline.
+                let n_queues = inner.dispatch_tx.len();
+                let mut buckets: Vec<Vec<DispatchWork>> =
+                    (0..n_queues).map(|_| Vec::new()).collect();
+                let mut rr_next = 0usize;
+                let burst = inner.config.recv_batch.max(1);
                 loop {
                     let frame = match inner.wire.recv() {
                         Ok(f) => f,
@@ -927,10 +1096,54 @@ impl Orb {
                     if inner.shutdown.load(Ordering::SeqCst) {
                         break;
                     }
-                    if frame.payload.is_empty() {
-                        continue; // wakeup poke, not traffic
+                    if !frame.payload.is_empty() {
+                        Orb::handle_frame(&inner, &frame, &mut buckets, &mut rr_next);
                     }
-                    Orb::handle_frame(&inner, &frame);
+                    let mut drained = 1;
+                    // Bounded gather: when the inbox runs dry mid-burst,
+                    // yield once or twice before flushing. Under load the
+                    // senders use the donated timeslice to refill the
+                    // inbox (on single-core hosts they *cannot* send
+                    // while this loop runs), so batches grow and each
+                    // dispatcher wakeup amortizes over more requests;
+                    // idle connections never reach this path (the outer
+                    // blocking recv got a frame first), so it adds no
+                    // latency to quiet traffic.
+                    let mut gather = 2u32;
+                    while drained < burst {
+                        match inner.wire.try_recv() {
+                            Ok(Some(f)) => {
+                                if !f.payload.is_empty() {
+                                    Orb::handle_frame(&inner, &f, &mut buckets, &mut rr_next);
+                                }
+                                drained += 1;
+                            }
+                            Ok(None) => {
+                                if gather == 0 {
+                                    break;
+                                }
+                                gather -= 1;
+                                std::thread::yield_now();
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    if inner.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    for (idx, bucket) in buckets.iter_mut().enumerate() {
+                        match bucket.len() {
+                            0 => {}
+                            1 => {
+                                let work = bucket.pop().expect("bucket length checked");
+                                let _ = inner.dispatch_tx[idx].send(DispatchCmd::One(work));
+                            }
+                            _ => {
+                                let batch = std::mem::take(bucket);
+                                let _ = inner.dispatch_tx[idx].send(DispatchCmd::Batch(batch));
+                            }
+                        }
+                    }
                 }
             })
             .expect("spawn orb receive loop")
@@ -941,11 +1154,22 @@ impl Orb {
         std::thread::Builder::new()
             .name(format!("orb-dispatch-{}", inner.name))
             .spawn(move || {
-                // Event-driven: block on the work queue; `shutdown()`
-                // enqueues one Shutdown sentinel per dispatcher.
+                // Event-driven: block on this dispatcher's private
+                // queue; `shutdown()` enqueues one Shutdown sentinel per
+                // dispatcher. (Spin-before-park was tried here and
+                // rejected: on a single-core host the sender cannot run
+                // while the receiver spins, so polling burns exactly the
+                // timeslices the producer needs and throughput drops
+                // ~35%. Blocking immediately is strictly better; park
+                // amortization comes from batching, not spinning.)
                 loop {
                     match rx.recv() {
-                        Ok(DispatchCmd::Work(work)) => Orb::execute_request(&inner, work),
+                        Ok(DispatchCmd::One(work)) => Orb::run_work(&inner, work),
+                        Ok(DispatchCmd::Batch(batch)) => {
+                            for work in batch {
+                                Orb::run_work(&inner, work);
+                            }
+                        }
                         Ok(DispatchCmd::Shutdown) | Err(_) => break,
                     }
                 }
@@ -953,36 +1177,99 @@ impl Orb {
             .expect("spawn orb dispatcher")
     }
 
-    fn handle_frame(inner: &Arc<OrbInner>, frame: &WireFrame) {
+    /// Dispatcher-side entry: account queue wait, run the full GIOP
+    /// decode the receive loop skipped, then execute.
+    fn run_work(inner: &Arc<OrbInner>, work: DispatchWork) {
+        let DispatchWork { via_module, body, transit_vus, received } = work;
+        inner
+            .metrics
+            .observe_us("orb.queue_wait_us", received.elapsed().as_micros() as u64);
+        let request = match GiopMessage::from_bytes(&body) {
+            Ok(GiopMessage::Request(r)) => r,
+            // The routing peek accepted the prefix but the full decode
+            // failed (torn or malicious body): account it like any other
+            // undecodable packet.
+            _ => {
+                bump(&inner.stats.packets_dropped);
+                inner.metrics.incr("orb.packets_dropped");
+                inner.flight.record(FlightEventKind::PacketDropped, "wire", None);
+                return;
+            }
+        };
+        Orb::execute_request(inner, via_module, request, transit_vus);
+    }
+
+    /// Receive-loop frame handler. Requests are *routed*, not decoded:
+    /// [`giop::peek`] reads only the tag and object key, the body ships
+    /// raw to the dispatcher picked by `dispatch_routing`, and the full
+    /// decode happens there. Replies are decoded and matched inline —
+    /// the pending caller is parked on its slot and nothing else can
+    /// deliver to it.
+    fn handle_frame(
+        inner: &Arc<OrbInner>,
+        frame: &WireFrame,
+        buckets: &mut [Vec<DispatchWork>],
+        rr_next: &mut usize,
+    ) {
         let src = frame.src;
         let transit_vus = frame.transit_us;
         let metrics = &inner.metrics;
         metrics.incr("wire.msgs_received");
         metrics.add("wire.bytes_received", frame.payload.len() as u64);
         metrics.observe_us("wire.transit_vus", transit_vus);
+        let received = Instant::now();
         let drop_packet = || {
             bump(&inner.stats.packets_dropped);
             metrics.incr("orb.packets_dropped");
             inner.flight.record(FlightEventKind::PacketDropped, "wire", None);
         };
-        let packet = match Packet::decode(&frame.payload) {
-            Ok(p) => p,
+        // The view decode allocates nothing: the body is a refcounted
+        // slice of the frame and the module name borrows from it. An
+        // owned name is only materialized when a *request* crosses to a
+        // dispatcher; the reply path never needs one.
+        let (giop_bytes, via_module): (Bytes, Option<&str>) = match Packet::decode_view(
+            &frame.payload,
+        ) {
             Err(_) => {
                 drop_packet();
                 return;
             }
-        };
-        let (giop_bytes, via_module): (Bytes, Option<String>) = match packet {
-            Packet::Plain(body) => (body, None),
-            Packet::Qos { module, body } => match inner.transport.module(&module) {
+            Ok(PacketView::Plain(body)) => (body, None),
+            Ok(PacketView::Qos { module, body }) => match inner.transport.module(module) {
                 Some(m) => {
-                    let started = Instant::now();
+                    // Timing every inverse transform puts two clock
+                    // reads on the QoS hot path; sampling 1-in-32 keeps
+                    // the histogram live at a fraction of the cost.
+                    let sampled = INBOUND_SAMPLE.with(|c| {
+                        let n = c.get();
+                        c.set(n.wrapping_add(1));
+                        n & 31 == 0
+                    });
+                    let started = sampled.then(Instant::now);
                     let transformed = m.inbound(src, &body);
-                    metrics
-                        .observe_us("transport.inbound_us", started.elapsed().as_micros() as u64);
+                    if let Some(started) = started {
+                        metrics.observe_us(
+                            "transport.inbound_us",
+                            started.elapsed().as_micros() as u64,
+                        );
+                    }
                     metrics.incr("transport.qos_packets_in");
                     match transformed {
-                        Ok(Some(bytes)) => (Bytes::from(bytes), Some(module)),
+                        Ok(Some(out)) => {
+                            let bytes = match out {
+                                // Identity transforms hand the input slice
+                                // straight back; re-share the refcounted
+                                // frame instead of copying the body.
+                                std::borrow::Cow::Borrowed(b)
+                                    if b.len() == body.len() && b.as_ptr() == body.as_ptr() =>
+                                {
+                                    body.clone()
+                                }
+                                std::borrow::Cow::Borrowed(b) => Bytes::copy_from_slice(b),
+                                std::borrow::Cow::Owned(v) => Bytes::from(v),
+                            };
+                            (bytes, Some(module))
+                        }
                         Ok(None) => return, // module swallowed it (e.g. duplicate)
                         Err(_) => {
                             drop_packet();
@@ -996,20 +1283,33 @@ impl Orb {
                 }
             },
         };
-        let message = match GiopMessage::from_bytes(&giop_bytes) {
-            Ok(m) => m,
-            Err(_) => {
-                drop_packet();
-                return;
+        match giop::peek(&giop_bytes) {
+            Err(_) => drop_packet(),
+            Ok(GiopPeek::Request { key_hash }) => {
+                let idx = match inner.config.dispatch_routing {
+                    DispatchRouting::KeyAffinity => (key_hash % buckets.len() as u64) as usize,
+                    DispatchRouting::RoundRobin => {
+                        let idx = *rr_next % buckets.len();
+                        *rr_next = rr_next.wrapping_add(1);
+                        idx
+                    }
+                };
+                buckets[idx].push(DispatchWork {
+                    via_module: via_module.map(str::to_owned),
+                    body: giop_bytes,
+                    transit_vus,
+                    received,
+                });
+                metrics.observe_us("orb.recv_route_us", received.elapsed().as_micros() as u64);
             }
-        };
-        match message {
-            GiopMessage::Request(request) => {
-                let _ = inner
-                    .dispatch_tx
-                    .send(DispatchCmd::Work(DispatchWork { via_module, request, transit_vus }));
-            }
-            GiopMessage::Reply(mut reply) => {
+            Ok(GiopPeek::Reply) => {
+                let mut reply = match GiopMessage::from_bytes(&giop_bytes) {
+                    Ok(GiopMessage::Reply(r)) => r,
+                    _ => {
+                        drop_packet();
+                        return;
+                    }
+                };
                 // Stamp the reply's wire leg into the trace it carries, so
                 // the client sees both directions of the network cost.
                 let mut reply_trace_id = None;
@@ -1055,13 +1355,18 @@ impl Orb {
                         reply_trace_id,
                     );
                 }
+                metrics.observe_us("orb.reply_match_us", received.elapsed().as_micros() as u64);
             }
         }
     }
 
     /// The server half of the Fig. 3 decision tree.
-    fn execute_request(inner: &Arc<OrbInner>, work: DispatchWork) {
-        let DispatchWork { via_module, request, transit_vus } = work;
+    fn execute_request(
+        inner: &Arc<OrbInner>,
+        via_module: Option<String>,
+        request: RequestMessage,
+        transit_vus: u64,
+    ) {
         let metrics = &inner.metrics;
         // Install the request's trace (if it carries one) on this
         // dispatcher thread so adapter/skeleton/servant spans land in it.
@@ -1297,10 +1602,14 @@ mod tests {
             bytes.reverse();
             Ok(vec![(dst, bytes)])
         }
-        fn inbound(&self, _src: NodeId, bytes: &[u8]) -> Result<Option<Vec<u8>>, OrbError> {
+        fn inbound<'a>(
+            &self,
+            _src: NodeId,
+            bytes: &'a [u8],
+        ) -> Result<Option<std::borrow::Cow<'a, [u8]>>, OrbError> {
             let mut bytes = bytes.to_vec();
             bytes.reverse();
-            Ok(Some(bytes))
+            Ok(Some(std::borrow::Cow::Owned(bytes)))
         }
     }
 
@@ -1460,10 +1769,17 @@ mod tests {
         // Two dispatchers so the follow-up call is served *while* the
         // slow one is still sleeping — the stale reply then lands after
         // the caller's slot has been re-armed for a newer request.
+        // RoundRobin routing: both calls target the same key, and the
+        // default KeyAffinity would (correctly) serialize them on one
+        // dispatcher, which is exactly what this test must avoid.
         let server = Orb::start_with(
             &net,
             "server",
-            OrbConfig { dispatch_threads: 2, ..OrbConfig::default() },
+            OrbConfig {
+                dispatch_threads: 2,
+                dispatch_routing: DispatchRouting::RoundRobin,
+                ..OrbConfig::default()
+            },
         );
         let client = Orb::start_with(
             &net,
@@ -1488,6 +1804,56 @@ mod tests {
         let snap = client.metrics().snapshot();
         assert_eq!(snap.counter("orb.replies_matched"), s.replies_matched);
         assert_eq!(snap.counter("orb.replies_orphaned"), s.replies_orphaned);
+        server.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn invoke_async_pipelines_many_calls_from_one_thread() {
+        let net = Network::new(1);
+        let server = Orb::start_with(
+            &net,
+            "server",
+            OrbConfig { dispatch_threads: 4, ..OrbConfig::default() },
+        );
+        let client = Orb::start(&net, "client");
+        let ior = server.activate("echo", Box::new(Echo));
+        // One thread, 40 calls in flight at once through the pending
+        // table, harvested in issue order.
+        let pending: Vec<PendingCall> = (0..40)
+            .map(|i| client.invoke_async(&ior, "echo", &[Any::Long(i)], None).unwrap())
+            .collect();
+        let ids: Vec<u64> = pending.iter().map(PendingCall::request_id).collect();
+        assert_eq!(ids.len(), 40);
+        for (i, call) in pending.into_iter().enumerate() {
+            assert_eq!(call.wait().unwrap(), Any::Long(i as i32));
+        }
+        let s = client.stats();
+        assert_eq!(s.replies_matched, 40);
+        assert_eq!(s.replies_orphaned, 0);
+        assert_eq!(server.stats().requests_handled, 40);
+        server.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn dropped_pending_call_orphans_its_reply() {
+        let (_net, server, client, ior) = pair();
+        // Issue and abandon: the handle's Drop unregisters the request,
+        // so the reply must be orphaned — and the *next* call on this
+        // thread must be unaffected (private slots never alias the
+        // pooled per-thread slot).
+        let call = client.invoke_async(&ior, "echo", &[Any::Long(1)], None).unwrap();
+        drop(call);
+        let r = client.invoke(&ior, "echo", &[Any::Long(2)]).unwrap();
+        assert_eq!(r, Any::Long(2));
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while client.stats().replies_orphaned < 1 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let s = client.stats();
+        assert_eq!(s.replies_orphaned, 1, "abandoned call's reply is orphaned");
+        assert_eq!(s.replies_matched, 1, "only the live call was delivered");
         server.shutdown();
         client.shutdown();
     }

@@ -388,6 +388,65 @@ impl GiopMessage {
     }
 }
 
+/// Just enough of a GIOP body to route it — see [`peek`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GiopPeek {
+    /// A request, routed by object key.
+    Request {
+        /// Stable FNV-1a hash of the object-key bytes; the receive loop
+        /// picks the dispatcher shard from it.
+        key_hash: u64,
+    },
+    /// A reply; the receive loop decodes it in full for matching.
+    Reply,
+}
+
+/// Decode only the routing prefix of a GIOP body: the message tag
+/// (request vs reply) and, for requests, a hash of the object key.
+///
+/// The ORB's receive loop calls this instead of
+/// [`GiopMessage::from_bytes`] so the expensive part of request
+/// decoding (args, QoS params, service contexts) happens on a
+/// dispatcher thread, off the single receive loop. No allocation: the
+/// key bytes are hashed straight out of the borrowed buffer. The
+/// prefix mirrored here — tag `u8`, request id `u64`, reply-to `u32`,
+/// object-key string — must stay in lockstep with `from_bytes`;
+/// `peek_agrees_with_full_decode` pins that.
+///
+/// # Errors
+///
+/// [`OrbError::Marshal`] on a truncated prefix or unknown tag.
+pub fn peek(bytes: &[u8]) -> Result<GiopPeek, OrbError> {
+    let mut dec = CdrDecoder::new(bytes);
+    match dec.get_u8()? {
+        0 => {
+            dec.get_u64()?; // request_id
+            dec.get_u32()?; // reply_to
+            let len = dec.get_u32()? as usize; // object_key string header
+            if len == 0 {
+                return Err(OrbError::Marshal("bad string length 0".to_string()));
+            }
+            let raw = dec.get_raw(len)?; // key bytes + NUL
+            Ok(GiopPeek::Request { key_hash: fnv1a(&raw[..len - 1]) })
+        }
+        1 => Ok(GiopPeek::Reply),
+        t => Err(OrbError::Marshal(format!("bad GIOP message tag {t}"))),
+    }
+}
+
+/// FNV-1a over `bytes`: allocation-free and stable across processes and
+/// runs — dispatch routing must not depend on `DefaultHasher`'s
+/// per-process random seed, or a key's dispatcher would move between
+/// restarts and per-key ordering claims would be untestable.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
 /// The outer transport envelope.
 ///
 /// Records whether the GIOP body travelled over the plain GIOP/IIOP path
@@ -478,6 +537,24 @@ pub fn frame_qos(module: &str, body: &[u8]) -> Vec<u8> {
     enc.into_bytes()
 }
 
+/// A decoded packet whose module name borrows straight out of the
+/// payload: the hot receive path sees one of these per frame and must
+/// not allocate. The body is still a zero-copy [`Bytes`] slice; only
+/// callers that need to *keep* the name (the server dispatch queue)
+/// pay for an owned `String`.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PacketView<'a> {
+    /// Untransformed GIOP bytes, the GIOP/IIOP path of Fig. 3.
+    Plain(Bytes),
+    /// GIOP bytes transformed by the named QoS module.
+    Qos {
+        /// Name of the module whose inverse transform must be applied.
+        module: &'a str,
+        /// Transformed bytes.
+        body: Bytes,
+    },
+}
+
 impl Packet {
     /// Encode with magic and kind byte (single-buffer framing).
     pub fn to_bytes(&self) -> Vec<u8> {
@@ -487,12 +564,13 @@ impl Packet {
         }
     }
 
-    /// Decode a packet, slicing the body out of `payload` zero-copy.
+    /// Decode a packet without allocating: the body is sliced out of
+    /// `payload` zero-copy and the module name borrows from it.
     ///
     /// # Errors
     ///
     /// [`OrbError::Marshal`] on bad magic or malformed framing.
-    pub fn decode(payload: &Bytes) -> Result<Packet, OrbError> {
+    pub fn decode_view(payload: &Bytes) -> Result<PacketView<'_>, OrbError> {
         let mut dec = CdrDecoder::new(payload);
         if dec.get_raw(4)? != MAGIC {
             return Err(OrbError::Marshal("bad packet magic".to_string()));
@@ -500,7 +578,7 @@ impl Packet {
         let kind = dec.get_u8()?;
         let module = match kind {
             0 => None,
-            1 => Some(dec.get_string()?),
+            1 => Some(dec.get_str()?),
             k => return Err(OrbError::Marshal(format!("bad packet kind {k}"))),
         };
         let len = dec.get_len()?;
@@ -509,8 +587,24 @@ impl Packet {
         dec.get_raw(len)?; // bounds check against the real buffer
         let body = payload.slice(start..start + len);
         Ok(match module {
-            None => Packet::Plain(body),
-            Some(module) => Packet::Qos { module, body },
+            None => PacketView::Plain(body),
+            Some(module) => PacketView::Qos { module, body },
+        })
+    }
+
+    /// Decode a packet, slicing the body out of `payload` zero-copy
+    /// (the module name, if any, is owned; the hot receive path uses
+    /// [`Packet::decode_view`] instead).
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::Marshal`] on bad magic or malformed framing.
+    pub fn decode(payload: &Bytes) -> Result<Packet, OrbError> {
+        Ok(match Packet::decode_view(payload)? {
+            PacketView::Plain(body) => Packet::Plain(body),
+            PacketView::Qos { module, body } => {
+                Packet::Qos { module: module.to_owned(), body }
+            }
         })
     }
 
@@ -703,5 +797,39 @@ mod tests {
     fn truncated_message_rejected() {
         let bytes = GiopMessage::Request(sample_request()).to_bytes();
         assert!(GiopMessage::from_bytes(&bytes[..bytes.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn peek_agrees_with_full_decode() {
+        // Requests peek as Request, with a key hash that depends only on
+        // the object key — the routing contract.
+        let r1 = sample_request();
+        let h1 = match peek(&GiopMessage::Request(r1.clone()).to_bytes()).unwrap() {
+            GiopPeek::Request { key_hash } => key_hash,
+            other => panic!("request peeked as {other:?}"),
+        };
+        let mut r2 = sample_request();
+        r2.request_id = 999;
+        r2.operation = "withdraw".into();
+        r2.args.clear();
+        match peek(&GiopMessage::Request(r2).to_bytes()).unwrap() {
+            GiopPeek::Request { key_hash } => {
+                assert_eq!(key_hash, h1, "hash must depend only on the object key");
+            }
+            other => panic!("request peeked as {other:?}"),
+        }
+        let mut r3 = sample_request();
+        r3.object_key = ObjectKey("bank-2".into());
+        match peek(&GiopMessage::Request(r3).to_bytes()).unwrap() {
+            GiopPeek::Request { key_hash } => {
+                assert_ne!(key_hash, h1, "distinct keys must (here) hash apart");
+            }
+            other => panic!("request peeked as {other:?}"),
+        }
+        // Replies peek as Reply; garbage and truncation are errors.
+        let reply = GiopMessage::Reply(ReplyMessage::from_result(7, NodeId(2), Ok(Any::Void)));
+        assert_eq!(peek(&reply.to_bytes()).unwrap(), GiopPeek::Reply);
+        assert!(peek(&[9, 9, 9]).is_err());
+        assert!(peek(&GiopMessage::Request(sample_request()).to_bytes()[..6]).is_err());
     }
 }

@@ -27,6 +27,7 @@ use crate::any::Any;
 use crate::error::OrbError;
 use crate::ior::ObjectKey;
 use netsim::NodeId;
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -68,16 +69,17 @@ pub trait QosModule: Send + Sync {
     /// bytes. Returning `Ok(None)` swallows the message (e.g. duplicate
     /// suppression after a fan-out).
     ///
-    /// The input borrows straight out of the wire frame (zero-copy on
-    /// the receive path); a module only pays for a copy when it
-    /// actually produces output.
+    /// The input borrows straight out of the wire frame and the default
+    /// hands the same slice back as `Cow::Borrowed` — identity modules
+    /// (bandwidth policing, multicast receive) never copy the body. A
+    /// module that rewrites the payload returns `Cow::Owned`.
     ///
     /// # Errors
     ///
     /// Module-specific; errors drop the message.
-    fn inbound(&self, src: NodeId, bytes: &[u8]) -> Result<Option<Vec<u8>>, OrbError> {
+    fn inbound<'a>(&self, src: NodeId, bytes: &'a [u8]) -> Result<Option<Cow<'a, [u8]>>, OrbError> {
         let _ = src;
-        Ok(Some(bytes.to_vec()))
+        Ok(Some(Cow::Borrowed(bytes)))
     }
 }
 
@@ -117,6 +119,42 @@ struct ResolveCache {
     map: HashMap<NodeId, HashMap<String, Option<Arc<dyn QosModule>>>>,
 }
 
+/// Monotonic id generator for [`QosTransport::instance`].
+static NEXT_TRANSPORT_INSTANCE: AtomicU64 = AtomicU64::new(0);
+
+/// How many `(transport, peer)` pairs a thread's L1 resolve cache may
+/// hold before it is wholesale cleared. Bounds memory in test suites
+/// that start and drop many ORBs on one thread; real deployments have
+/// a handful of transports and peers and never hit the cap.
+const L1_PAIR_CAP: usize = 64;
+
+thread_local! {
+    /// Per-thread L1 over the shared [`ResolveCache`] (the L2). Keyed by
+    /// `(transport instance, peer)`, then object-key string; each entry
+    /// remembers the epoch it was computed at so a stale hit is
+    /// impossible — an admin mutation bumps the transport epoch and the
+    /// comparison below fails. A hit costs two `HashMap` lookups and an
+    /// atomic load: no allocation, no rank-ordered lock. This is what
+    /// keeps the QoS-over-plain delta flat when several dispatchers
+    /// probe the binding table concurrently — the L2 `RwLock` read is
+    /// uncontended only in the read-mostly steady state, but its guard
+    /// still costs an atomic RMW per call; the L1 costs none.
+    #[allow(clippy::type_complexity)]
+    static L1_RESOLVE: std::cell::RefCell<
+        HashMap<(u64, NodeId), HashMap<String, (u64, Option<Arc<dyn QosModule>>)>>,
+    > = std::cell::RefCell::new(HashMap::new());
+
+    /// Per-thread L1 over the `modules` table, keyed by transport
+    /// instance then module name, with the same epoch-tagging discipline
+    /// as [`L1_RESOLVE`]. The receive loop resolves the module named in
+    /// every QoS envelope; without this cache each received QoS packet
+    /// pays the rank-ordered admin read lock.
+    #[allow(clippy::type_complexity)]
+    static L1_MODULES: std::cell::RefCell<
+        HashMap<u64, HashMap<String, (u64, Option<Arc<dyn QosModule>>)>>,
+    > = std::cell::RefCell::new(HashMap::new());
+}
+
 /// Administers loaded QoS modules and their bindings (Fig. 3).
 #[derive(Clone)]
 pub struct QosTransport {
@@ -126,6 +164,10 @@ pub struct QosTransport {
     /// admin tables.
     epoch: Arc<AtomicU64>,
     cache: Arc<OrderedRwLock<ResolveCache>>,
+    /// Process-unique id distinguishing this transport's entries in the
+    /// thread-local L1 resolve cache. Clones share it (they share the
+    /// same state, so cached resolutions are interchangeable).
+    instance: u64,
 }
 
 impl fmt::Debug for QosTransport {
@@ -156,6 +198,7 @@ impl QosTransport {
             })),
             epoch: Arc::new(AtomicU64::new(0)),
             cache: Arc::new(OrderedRwLock::new(LockRank::ResolveCache, ResolveCache::default())),
+            instance: NEXT_TRANSPORT_INSTANCE.fetch_add(1, Ordering::Relaxed),
         }
     }
 
@@ -213,8 +256,35 @@ impl QosTransport {
     }
 
     /// Look up a loaded module by name.
+    ///
+    /// Called per received QoS packet, so resolutions (including
+    /// negative ones) go through an epoch-tagged thread-local cache: a
+    /// hit costs two map probes and an atomic load — no allocation, no
+    /// rank-ordered lock.
     pub fn module(&self, name: &str) -> Option<Arc<dyn QosModule>> {
-        self.state.read().modules.get(name).cloned()
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let l1_hit = L1_MODULES.with(|l1| {
+            let l1 = l1.borrow();
+            l1.get(&self.instance)
+                .and_then(|m| m.get(name))
+                .and_then(|(e, hit)| (*e == epoch).then(|| hit.clone()))
+        });
+        if let Some(hit) = l1_hit {
+            return hit;
+        }
+        let resolved = self.state.read().modules.get(name).cloned();
+        // Tagged with the pre-lookup epoch: if a mutation raced in
+        // between, the tag is already stale and the entry can never hit.
+        L1_MODULES.with(|l1| {
+            let mut l1 = l1.borrow_mut();
+            if l1.len() >= L1_PAIR_CAP && !l1.contains_key(&self.instance) {
+                l1.clear();
+            }
+            l1.entry(self.instance)
+                .or_default()
+                .insert(name.to_string(), (epoch, resolved.clone()));
+        });
+        resolved
     }
 
     /// Names of all loaded modules, sorted.
@@ -256,26 +326,58 @@ impl QosTransport {
     /// module or binding changes.
     pub fn bound_module(&self, peer: NodeId, key: &ObjectKey) -> Option<Arc<dyn QosModule>> {
         let epoch = self.epoch.load(Ordering::Acquire);
-        {
+        // L1: thread-local, epoch-tagged. A hit touches no lock and
+        // allocates nothing (the inner map is probed by `&str`).
+        let l1_hit = L1_RESOLVE.with(|l1| {
+            let l1 = l1.borrow();
+            l1.get(&(self.instance, peer))
+                .and_then(|m| m.get(key.0.as_str()))
+                .and_then(|(e, hit)| (*e == epoch).then(|| hit.clone()))
+        });
+        if let Some(hit) = l1_hit {
+            return hit;
+        }
+        // L2: shared, rank-ordered. Serves warm-up on threads that have
+        // not resolved this pair yet without re-walking the admin tables.
+        let l2_hit = {
             let cache = self.cache.read();
             if cache.epoch == epoch {
-                if let Some(hit) = cache.map.get(&peer).and_then(|m| m.get(key.0.as_str())) {
-                    return hit.clone();
+                cache.map.get(&peer).and_then(|m| m.get(key.0.as_str())).cloned()
+            } else {
+                None
+            }
+        };
+        let resolved = match l2_hit {
+            Some(hit) => hit,
+            None => {
+                let resolved = self.resolve(peer, key);
+                // Only memoize if no admin mutation raced with the
+                // resolution; a stale entry written under an old epoch is
+                // never served (the epoch check above fails) and is
+                // cleared on the next miss.
+                if self.epoch.load(Ordering::Acquire) == epoch {
+                    let mut cache = self.cache.write();
+                    if cache.epoch != epoch {
+                        cache.map.clear();
+                        cache.epoch = epoch;
+                    }
+                    cache.map.entry(peer).or_default().insert(key.0.clone(), resolved.clone());
                 }
+                resolved
             }
-        }
-        let resolved = self.resolve(peer, key);
-        // Only memoize if no admin mutation raced with the resolution;
-        // a stale entry written under an old epoch is never served (the
-        // epoch check above fails) and is cleared on the next miss.
-        if self.epoch.load(Ordering::Acquire) == epoch {
-            let mut cache = self.cache.write();
-            if cache.epoch != epoch {
-                cache.map.clear();
-                cache.epoch = epoch;
+        };
+        // Refill the L1 tagged with the epoch loaded *before* the lookup:
+        // if an admin mutation raced in, the entry's tag is already stale
+        // and the comparison above will never serve it.
+        L1_RESOLVE.with(|l1| {
+            let mut l1 = l1.borrow_mut();
+            if l1.len() >= L1_PAIR_CAP && !l1.contains_key(&(self.instance, peer)) {
+                l1.clear();
             }
-            cache.map.entry(peer).or_default().insert(key.0.clone(), resolved.clone());
-        }
+            l1.entry((self.instance, peer))
+                .or_default()
+                .insert(key.0.clone(), (epoch, resolved.clone()));
+        });
         resolved
     }
 
@@ -368,8 +470,12 @@ mod tests {
         fn outbound(&self, dst: NodeId, bytes: Vec<u8>) -> Result<Outbound, OrbError> {
             Ok(vec![(dst, bytes.iter().map(|b| b ^ self.key).collect())])
         }
-        fn inbound(&self, _src: NodeId, bytes: &[u8]) -> Result<Option<Vec<u8>>, OrbError> {
-            Ok(Some(bytes.iter().map(|b| b ^ self.key).collect()))
+        fn inbound<'a>(
+            &self,
+            _src: NodeId,
+            bytes: &'a [u8],
+        ) -> Result<Option<Cow<'a, [u8]>>, OrbError> {
+            Ok(Some(Cow::Owned(bytes.iter().map(|b| b ^ self.key).collect())))
         }
     }
 
@@ -423,6 +529,32 @@ mod tests {
         assert_eq!(t.bound_module(NodeId(7), &key).unwrap().name(), "a");
         t.unload_module("a").unwrap();
         assert!(t.bound_module(NodeId(7), &key).is_none());
+    }
+
+    #[test]
+    fn thread_local_cache_isolates_transport_instances() {
+        // Two transports, same peer and key, different bindings: the
+        // thread-local L1 must key on the transport instance, not just
+        // (peer, key), or the second lookup here would serve the first
+        // transport's memoized answer.
+        let t1 = QosTransport::new();
+        let t2 = QosTransport::new();
+        t1.install(Arc::new(XorModule { name: "a".into(), key: 1 }));
+        t2.install(Arc::new(XorModule { name: "b".into(), key: 2 }));
+        let key = ObjectKey("o".into());
+        t1.bind(BindingKey { peer: None, key: key.clone() }, "a").unwrap();
+        t2.bind(BindingKey { peer: None, key: key.clone() }, "b").unwrap();
+        for _ in 0..3 {
+            assert_eq!(t1.bound_module(NodeId(1), &key).unwrap().name(), "a");
+            assert_eq!(t2.bound_module(NodeId(1), &key).unwrap().name(), "b");
+        }
+        // A clone shares the instance id — its hits are interchangeable,
+        // and a mutation through the clone invalidates the original's L1.
+        let t1b = t1.clone();
+        assert_eq!(t1b.bound_module(NodeId(1), &key).unwrap().name(), "a");
+        t1b.install(Arc::new(XorModule { name: "b".into(), key: 2 }));
+        t1b.bind(BindingKey { peer: None, key: key.clone() }, "b").unwrap();
+        assert_eq!(t1.bound_module(NodeId(1), &key).unwrap().name(), "b");
     }
 
     #[test]

@@ -310,6 +310,27 @@ impl WireTransport for FaultyTransport {
         }
     }
 
+    fn try_recv(&self) -> Result<Option<WireFrame>, WireError> {
+        if !self.stalled.load(Ordering::SeqCst) {
+            if let Some(frame) = self.held.lock().pop_front() {
+                return Ok(Some(frame));
+            }
+        }
+        loop {
+            let frame = match self.inner.try_recv()? {
+                Some(f) => f,
+                None => return Ok(None),
+            };
+            if self.stalled.load(Ordering::SeqCst) && !frame.payload.is_empty() {
+                // Same stalled-reader semantics as `recv`: accept but
+                // hold the frame, then keep draining.
+                self.held.lock().push_back(frame);
+                continue;
+            }
+            return Ok(Some(frame));
+        }
+    }
+
     fn poke(&self) {
         self.inner.poke();
     }

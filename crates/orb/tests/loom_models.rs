@@ -19,6 +19,10 @@
 //!    probes settle into a single consistent transition chain.
 //! 4. [`flight`] — flight-recorder staging flush vs. inline batch
 //!    flush: every event reaches the ring exactly once.
+//! 5. [`dispatch_queues`] — sharded dispatch handoff: the receive loop
+//!    routes batched work into per-dispatcher queues by key hash; every
+//!    item is consumed exactly once, on the right dispatcher, in per-key
+//!    order, and every dispatcher terminates (no lost shutdown).
 //!
 //! Run with `cargo test -p orb --features loom-models` (the conccheck CI
 //! lane); without the feature this file compiles to nothing.
@@ -443,5 +447,151 @@ fn flight_staging_flush_delivers_every_event_exactly_once() {
             assert!(ring.lock().len() <= CAPACITY, "ring must never exceed capacity");
         })
         .expect("staging flush must deliver every event exactly once under every schedule");
+    assert!(report.complete, "search space must be exhausted");
+}
+
+// ---------------------------------------------------------------------
+// Model 5: sharded dispatch queues — batched handoff, exactly-once.
+// ---------------------------------------------------------------------
+
+/// One work item or the end-of-stream sentinel, mirroring
+/// `core::DispatchCmd` (the model folds `One`/`Batch` into how the
+/// producer *flushes* — a batch is several items pushed under one lock
+/// hold, exactly like `DispatchCmd::Batch` travels as one send).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Cmd {
+    Work { key: u64, seq: u64 },
+    Shutdown,
+}
+
+/// Mirror of the receive loop → per-dispatcher queue handoff added for
+/// sharded delivery: the receive loop stages a burst of decoded frames
+/// into per-queue buckets (routing each by key hash), flushes every
+/// non-empty bucket as one batch — several items entering the queue
+/// under one lock hold, exactly how `DispatchCmd::Batch` travels as one
+/// send — and finishes with one sentinel per queue. Each dispatcher
+/// drains its own queue only. Dispatchers poll a *bounded* number of
+/// times (the idiom from model 2: polling models the channel wait while
+/// keeping the search space finite); whatever a dispatcher did not get
+/// to is drained afterwards from its queue, so the accounting below
+/// still covers every item under every schedule.
+///
+/// Invariants, under every interleaving of the producer's flush and two
+/// concurrently draining dispatchers:
+/// * every item is consumed exactly once — the sum over both drain logs
+///   is exactly the burst, no duplicate, no loss;
+/// * an item is only ever drained by the dispatcher its key hashes to
+///   (`key % queues`, mirroring `DispatchRouting::KeyAffinity`);
+/// * items sharing a key are drained in production order (the per-key
+///   FIFO guarantee that makes key affinity a semantic feature);
+/// * a dispatcher that observes the sentinel has already drained every
+///   work item of its queue — the sentinel can never overtake work.
+#[test]
+fn dispatch_queue_handoff_is_exactly_once_in_key_order() {
+    const QUEUES: usize = 2;
+    const POLLS: usize = 4;
+    let report = Builder::new()
+        .preemption_bound(3)
+        .check_result(|| {
+            let queues: Arc<Vec<Mutex<VecDeque<Cmd>>>> =
+                Arc::new((0..QUEUES).map(|_| Mutex::new(VecDeque::new())).collect());
+            // Per-dispatcher drain logs plus a saw-the-sentinel flag.
+            let logs: Arc<Vec<Mutex<(Vec<(u64, u64)>, bool)>>> =
+                Arc::new((0..QUEUES).map(|_| Mutex::new((Vec::new(), false))).collect());
+
+            let drain = |i: usize, queues: &[Mutex<VecDeque<Cmd>>], logs: &[Mutex<(Vec<(u64, u64)>, bool)>]| {
+                for _ in 0..POLLS {
+                    let cmd = queues[i].lock().pop_front();
+                    match cmd {
+                        Some(Cmd::Work { key, seq }) => logs[i].lock().0.push((key, seq)),
+                        Some(Cmd::Shutdown) => {
+                            logs[i].lock().1 = true;
+                            break;
+                        }
+                        None => thread::yield_now(),
+                    }
+                }
+            };
+
+            // Producer (the receive loop): one burst of four frames on
+            // two keys, staged into buckets then flushed per queue as a
+            // batch, then one sentinel per queue.
+            let producer = {
+                let queues = Arc::clone(&queues);
+                thread::spawn(move || {
+                    let burst = [(0u64, 0u64), (1, 1), (0, 2), (1, 3)]
+                        .map(|(key, seq)| Cmd::Work { key, seq });
+                    let mut buckets: Vec<Vec<Cmd>> = (0..QUEUES).map(|_| Vec::new()).collect();
+                    for cmd in burst {
+                        let Cmd::Work { key, .. } = cmd else { unreachable!() };
+                        buckets[(key % QUEUES as u64) as usize].push(cmd);
+                    }
+                    for (i, bucket) in buckets.into_iter().enumerate() {
+                        if !bucket.is_empty() {
+                            queues[i].lock().extend(bucket);
+                        }
+                    }
+                    for q in queues.iter() {
+                        q.lock().push_back(Cmd::Shutdown);
+                    }
+                })
+            };
+
+            // Dispatcher 0 on its own thread; this thread doubles as
+            // dispatcher 1 (their queues are disjoint, so only the
+            // producer↔dispatcher race matters, and two spawned threads
+            // would only inflate the search space).
+            let d0 = {
+                let queues = Arc::clone(&queues);
+                let logs = Arc::clone(&logs);
+                thread::spawn(move || drain(0, &queues, &logs))
+            };
+            drain(1, &queues, &logs);
+            producer.join();
+            d0.join();
+
+            // Post-run: finish what the bounded polls left behind, then
+            // account for everything.
+            let mut consumed: Vec<(u64, u64)> = Vec::new();
+            for (i, log) in logs.iter().enumerate() {
+                let mut log = log.lock();
+                let mut q = queues[i].lock();
+                if log.1 {
+                    // The producer enqueues the sentinel after all of the
+                    // queue's work; FIFO means popping it implies the
+                    // queue is already fully drained.
+                    assert!(q.is_empty(), "sentinel overtook work on queue {i}: {q:?}");
+                }
+                while let Some(cmd) = q.pop_front() {
+                    if let Cmd::Work { key, seq } = cmd {
+                        log.0.push((key, seq));
+                    }
+                }
+                for &(key, seq) in log.0.iter() {
+                    assert_eq!(
+                        (key % QUEUES as u64) as usize,
+                        i,
+                        "item (key={key}, seq={seq}) landed on the wrong dispatcher {i}"
+                    );
+                    consumed.push((key, seq));
+                }
+                // Per-key order within one dispatcher's drain log.
+                for key in 0..2u64 {
+                    let seqs: Vec<u64> =
+                        log.0.iter().filter(|(k, _)| *k == key).map(|&(_, s)| s).collect();
+                    assert!(
+                        seqs.windows(2).all(|w| w[0] < w[1]),
+                        "key {key} drained out of order: {seqs:?}"
+                    );
+                }
+            }
+            consumed.sort_unstable();
+            assert_eq!(
+                consumed,
+                vec![(0, 0), (0, 2), (1, 1), (1, 3)],
+                "every item must be consumed exactly once"
+            );
+        })
+        .expect("sharded dispatch handoff must be exactly-once under every schedule");
     assert!(report.complete, "search space must be exhausted");
 }

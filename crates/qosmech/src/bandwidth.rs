@@ -171,9 +171,8 @@ impl QosModule for BandwidthReservationModule {
         Ok(vec![(dst, bytes)])
     }
 
-    fn inbound(&self, _src: NodeId, bytes: &[u8]) -> Result<Option<Vec<u8>>, OrbError> {
-        Ok(Some(bytes.to_vec()))
-    }
+    // `inbound` is the trait default: identity, zero-copy. Policing
+    // happens on the sending side only.
 }
 
 #[cfg(test)]

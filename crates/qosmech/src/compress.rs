@@ -10,6 +10,7 @@ use orb::sync::{LockRank, OrderedRwLock};
 use orb::qos_binding::{Outbound, QosModule};
 use orb::{Any, MetricsRegistry, OrbError};
 use netsim::NodeId;
+use std::borrow::Cow;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The LZ77-style codec.
@@ -290,9 +291,13 @@ impl QosModule for CompressionModule {
         Ok(vec![(dst, compressed)])
     }
 
-    fn inbound(&self, _src: NodeId, bytes: &[u8]) -> Result<Option<Vec<u8>>, OrbError> {
+    fn inbound<'a>(
+        &self,
+        _src: NodeId,
+        bytes: &'a [u8],
+    ) -> Result<Option<Cow<'a, [u8]>>, OrbError> {
         codec::decompress(bytes)
-            .map(Some)
+            .map(|v| Some(Cow::Owned(v)))
             .map_err(|e| OrbError::Marshal(format!("decompression failed: {e}")))
     }
 }

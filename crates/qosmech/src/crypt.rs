@@ -15,6 +15,7 @@ use orb::sync::{LockRank, OrderedRwLock};
 use netsim::NodeId;
 use orb::qos_binding::{Outbound, QosModule};
 use orb::{Any, OrbError};
+use std::borrow::Cow;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The module name encryption binds under.
@@ -199,10 +200,14 @@ impl QosModule for EncryptionModule {
         Ok(vec![(dst, seal(*self.key.read(), nonce, &bytes))])
     }
 
-    fn inbound(&self, _src: NodeId, bytes: &[u8]) -> Result<Option<Vec<u8>>, OrbError> {
+    fn inbound<'a>(
+        &self,
+        _src: NodeId,
+        bytes: &'a [u8],
+    ) -> Result<Option<Cow<'a, [u8]>>, OrbError> {
         self.frames.fetch_add(1, Ordering::Relaxed);
         open(*self.key.read(), bytes)
-            .map(Some)
+            .map(|v| Some(Cow::Owned(v)))
             .map_err(|e| OrbError::NoPermission(format!("decryption failed: {e}")))
     }
 }
@@ -264,14 +269,14 @@ mod tests {
         let tx = EncryptionModule::new(5);
         let rx = EncryptionModule::new(5);
         let out = tx.outbound(NodeId(1), b"payload".to_vec()).unwrap();
-        assert_eq!(rx.inbound(NodeId(0), &out[0].1).unwrap().unwrap(), b"payload");
+        assert_eq!(rx.inbound(NodeId(0), &out[0].1).unwrap().unwrap(), &b"payload"[..]);
         // Rekey only one side: traffic fails until the other side follows.
         tx.rekey(6);
         let out = tx.outbound(NodeId(1), b"payload".to_vec()).unwrap();
         assert!(rx.inbound(NodeId(0), &out[0].1).is_err());
         rx.command("rekey", &[Any::ULongLong(6)]).unwrap();
         let out = tx.outbound(NodeId(1), b"payload".to_vec()).unwrap();
-        assert_eq!(rx.inbound(NodeId(0), &out[0].1).unwrap().unwrap(), b"payload");
+        assert_eq!(rx.inbound(NodeId(0), &out[0].1).unwrap().unwrap(), &b"payload"[..]);
         assert!(tx.frames() >= 3);
     }
 

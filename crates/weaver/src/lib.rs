@@ -86,6 +86,7 @@ pub mod skeleton;
 
 pub use binding::{QosBinding, QosBindingRegistry};
 pub use mediator::{annotate_span, Call, ClientStub, Mediator, Next};
+pub use orb::PendingCall;
 pub use registry::{MediatorFactory, MediatorRegistry};
 pub use reply::Reply;
 pub use resilience::{

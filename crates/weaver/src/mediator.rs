@@ -239,6 +239,28 @@ impl ClientStub {
         Ok(Reply { value, trace: Some(trace), qos_tag })
     }
 
+    /// Issue `op(args)` without blocking for the reply: GIOP pipelining
+    /// through the stub.
+    ///
+    /// The call carries the stub's negotiated QoS context (so it travels
+    /// the same QoS-module path as [`ClientStub::invoke`]) but *skips the
+    /// mediator chain*: mediators are synchronous around-advice — they
+    /// expect to observe the reply on the way out — and cannot wrap a
+    /// call whose reply is harvested later on whichever thread calls
+    /// [`orb::PendingCall::wait`]. Callers that need per-call mediation
+    /// (retry budgets, circuit breakers, replication) should keep using
+    /// the synchronous path; pipelining is for saturating the wire with
+    /// independent calls from one thread.
+    ///
+    /// # Errors
+    ///
+    /// Local send errors only; remote failures and timeouts surface at
+    /// [`orb::PendingCall::wait`].
+    pub fn invoke_async(&self, op: &str, args: &[Any]) -> Result<orb::PendingCall, OrbError> {
+        let qos = self.state.read().qos.clone();
+        self.orb.invoke_async(&self.target, op, args, qos)
+    }
+
     fn run_chain(
         &self,
         mediators: &[Arc<dyn Mediator>],
@@ -354,6 +376,19 @@ mod tests {
     fn plain_stub_passes_through() {
         let (server, client, stub) = setup();
         assert_eq!(stub.invoke("echo", &[Any::from("x")]).unwrap(), Any::Str("x".into()));
+        server.shutdown();
+        client.shutdown();
+    }
+
+    #[test]
+    fn stub_pipelines_calls() {
+        let (server, client, stub) = setup();
+        let pending: Vec<_> = (0..8)
+            .map(|i| stub.invoke_async("echo", &[Any::Long(i)]).unwrap())
+            .collect();
+        for (i, call) in pending.into_iter().enumerate() {
+            assert_eq!(call.wait().unwrap(), Any::Long(i as i32));
+        }
         server.shutdown();
         client.shutdown();
     }

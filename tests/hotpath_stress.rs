@@ -121,6 +121,71 @@ fn run_workload(
     (total, stats.0, stats.1)
 }
 
+/// One client thread keeps ≥32 calls in flight via [`Orb::invoke_async`]
+/// (GIOP reply pipelining). Every reply must match the request it
+/// answers — the sharded pending table may not misdeliver or orphan
+/// under a deep window — and the folded result must equal a serial
+/// one-at-a-time run of the identical workload.
+#[test]
+fn pipelined_client_holds_32_in_flight_without_orphans() {
+    const IN_FLIGHT: usize = 32;
+    const CALLS: u64 = 256;
+
+    let net = Network::new(7);
+    let server =
+        Orb::start_with(&net, "server", OrbConfig { dispatch_threads: 4, ..OrbConfig::default() });
+    let client = Orb::start(&net, "client");
+    let ior = server.activate("echo", Box::new(Echo));
+
+    let fold = |r: Any, v: u64| -> u64 {
+        match r {
+            Any::Long(x) => {
+                assert_eq!(x as u32 as u64, v, "reply answered a different request");
+                v.wrapping_mul(31).wrapping_add(x as u32 as u64)
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    };
+
+    // Serial reference: the same workload one call at a time.
+    let mut serial_sum = 0u64;
+    for i in 0..CALLS {
+        let r = client.invoke(&ior, "echo", &[Any::Long(i as i32)]).expect("serial echo");
+        serial_sum = serial_sum.wrapping_add(fold(r, i));
+    }
+
+    // Pipelined run: issue ahead through a window of 32 pending calls,
+    // harvesting the oldest once the window is full.
+    let mut window: std::collections::VecDeque<(u64, orb::PendingCall)> =
+        std::collections::VecDeque::new();
+    let mut pipelined_sum = 0u64;
+    let harvest = |(v, pending): (u64, orb::PendingCall)| -> u64 {
+        fold(pending.wait().expect("pipelined echo"), v)
+    };
+    for i in 0..CALLS {
+        if window.len() == IN_FLIGHT {
+            let oldest = window.pop_front().unwrap();
+            pipelined_sum = pipelined_sum.wrapping_add(harvest(oldest));
+        }
+        let pending =
+            client.invoke_async(&ior, "echo", &[Any::Long(i as i32)], None).expect("issue");
+        window.push_back((i, pending));
+    }
+    assert_eq!(window.len(), IN_FLIGHT, "window must be saturated at the end");
+    for entry in window.drain(..) {
+        pipelined_sum = pipelined_sum.wrapping_add(harvest(entry));
+    }
+
+    assert_eq!(pipelined_sum, serial_sum, "pipelined result must equal serial result");
+    let stats = client.stats();
+    assert_eq!(stats.replies_orphaned, 0, "no reply may be orphaned");
+    assert_eq!(stats.packets_dropped, 0, "no packet may be dropped");
+    assert_eq!(stats.replies_matched, 2 * CALLS, "every call (both runs) got its reply");
+    assert_eq!(server.stats().requests_handled, 2 * CALLS);
+    server.shutdown();
+    client.shutdown();
+}
+
 #[test]
 fn contended_hot_path_loses_nothing_and_matches_single_threaded() {
     let calls = LANES * CALLS_PER_LANE;
