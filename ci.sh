@@ -40,6 +40,11 @@ cargo test -q -p maqs --test export_golden
 echo "==> introspection (remote metrics/flight/health/bindings over GIOP)"
 cargo test -q -p maqs --test introspection
 
+echo "==> cluster telemetry (fleet scrape, histogram merge, SLO burn-rate alerts)"
+# The 8-node scenario sleeps real milliseconds on the victim servant; a
+# wall-clock bound keeps the lane un-wedgeable if a scrape ever hangs.
+timeout 180 cargo test -q -p maqs --test cluster_telemetry
+
 echo "==> chaos (scripted faults vs self-healing client, fixed seed)"
 # Reproducible by default; override MAQS_CHAOS_SEED to explore other
 # fault interleavings. The test's assertions hold under any seed.

@@ -197,6 +197,43 @@ fn stage_rows(server: &Orb, client: &Orb) -> Vec<StageRow> {
     rows
 }
 
+/// Put a live telemetry aggregator behind the measured window: the
+/// server answers introspection scrapes while the sweep hammers it, so
+/// the committed trajectory carries the telemetry plane's steady-state
+/// cost. `MAQS_SCRAPE_INTERVAL_MS` overrides the default period; `0`
+/// disables the aggregator entirely (the pre-telemetry baseline).
+fn start_scraper(
+    server: &Orb,
+    client: &Orb,
+) -> Option<(Arc<services::TelemetryAggregator>, services::ScrapeDriver)> {
+    let interval_ms = std::env::var("MAQS_SCRAPE_INTERVAL_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(services::telemetry::DEFAULT_SCRAPE_INTERVAL_MS);
+    if interval_ms == 0 {
+        return None;
+    }
+    server.adapter().activate(
+        services::INTROSPECTION_KEY,
+        Arc::new(services::IntrospectionServant::new(server.clone())) as Arc<dyn Servant>,
+    );
+    // Over TCP the client must learn the server's listener up front —
+    // the scrape Ior is built from a bare node id, not an IOR exchange.
+    let intro_ior = server.attach_endpoint(Ior::new(
+        services::introspection::INTROSPECTION_INTERFACE,
+        server.node(),
+        services::INTROSPECTION_KEY,
+    ));
+    client.register_endpoints(&intro_ior).expect("register introspection endpoint");
+    let agg = Arc::new(services::TelemetryAggregator::new(
+        client.clone(),
+        services::TelemetryConfig { scrape_interval_ms: interval_ms, ..Default::default() },
+    ));
+    agg.watch(server.node());
+    let driver = agg.start();
+    Some((agg, driver))
+}
+
 fn run_case(
     transport: &'static str,
     payload: &'static str,
@@ -209,6 +246,7 @@ fn run_case(
     let mut _net = None;
     let (server, client) = start_pair(transport, dispatch_threads, &mut _net);
     let (iors, qos_ctx) = setup_objects(&server, &client, qos);
+    let scraper = start_scraper(&server, &client);
     let args = payload_args(payload);
 
     // Warm-up outside the measured window, touching every key.
@@ -268,6 +306,9 @@ fn run_case(
         p99_us: percentile_us(&all_ns, 0.99),
     };
     let rows = if profile { stage_rows(&server, &client) } else { Vec::new() };
+    // Join the scrape driver before tearing the pair down so no scrape
+    // races the shutdown.
+    drop(scraper);
     server.shutdown();
     client.shutdown();
     (result, rows)

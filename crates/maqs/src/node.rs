@@ -166,6 +166,10 @@ impl<'a> MaqsNodeBuilder<'a> {
             infos.sort_by(|a, b| a.object.cmp(&b.object));
             infos
         }));
+        // Expose the live agreement set over introspection so a cluster
+        // telemetry aggregator can derive SLO objectives from it.
+        let agreements_view = Arc::clone(&negotiation);
+        introspection.set_agreements_provider(Arc::new(move || agreements_view.agreements()));
         orb.adapter().activate(INTROSPECTION_KEY, Arc::clone(&introspection) as Arc<dyn Servant>);
         Ok(MaqsNode {
             orb,
@@ -316,9 +320,20 @@ impl MaqsNode {
         }
         let monitor = Arc::clone(&self.monitor);
         let object = key.to_string();
+        // Per-object series for the telemetry plane, names prebuilt so
+        // the hot path never formats strings.
+        let metrics = self.orb.metrics().clone();
+        let requests_series = format!("object.{key}.requests");
+        let errors_series = format!("object.{key}.errors");
+        let latency_series = format!("object.{key}.latency_us");
         woven.set_request_observer(Some(Arc::new(move |_op: &str, us: u64, ok: bool| {
             monitor.record(&object, "latency_us", us as f64);
             monitor.record(&object, "availability", if ok { 1.0 } else { 0.0 });
+            metrics.incr(&requests_series);
+            if !ok {
+                metrics.incr(&errors_series);
+            }
+            metrics.observe_us(&latency_series, us);
         })));
         self.negotiation.register_object(key, Arc::clone(&woven), options.capacity);
         self.orb.adapter().activate(key, Arc::clone(&woven) as Arc<dyn Servant>);
@@ -624,6 +639,11 @@ mod tests {
         client.orb().invoke(&ior, "get", &[Any::from("k")]).unwrap();
         assert!(server.monitor().mean("kv", "latency_us").is_some());
         assert_eq!(server.monitor().mean("kv", "availability"), Some(1.0));
+        // The same observer feeds the per-object telemetry series.
+        let snap = server.metrics_snapshot();
+        assert_eq!(snap.counter("object.kv.requests"), 2);
+        assert_eq!(snap.counter("object.kv.errors"), 0);
+        assert_eq!(snap.histogram("object.kv.latency_us").unwrap().count, 2);
         server.shutdown();
         client.shutdown();
     }

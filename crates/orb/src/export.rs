@@ -57,11 +57,43 @@ fn prometheus_name(name: &str) -> String {
 /// [`HistogramSnapshot::quantile`]); quantiles whose rank falls in the
 /// overflow bucket render honestly as `>=<last bound>`.
 pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
+    prometheus_text_labeled(snapshot, &[])
+}
+
+/// [`prometheus_text`] with a fixed label set attached to every series.
+///
+/// This is the fleet-exposition form: the telemetry aggregator renders
+/// each node's scrape with `[("node", name)]` (and per-object planes
+/// with an extra `object` label) so one exposition document carries the
+/// whole cluster, distinguishable per Prometheus data-model semantics.
+/// Label *values* are escaped (`\`, `"`, newline); label names must
+/// already be valid Prometheus names. With an empty label set the
+/// output is byte-identical to [`prometheus_text`].
+pub fn prometheus_text_labeled(snapshot: &MetricsSnapshot, labels: &[(&str, &str)]) -> String {
+    let escaped: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| {
+            let escaped_v =
+                v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n");
+            (prometheus_name(k), escaped_v)
+        })
+        .collect();
+    // The `{...}` suffix for plain series, and the prefix joined onto
+    // the `le` label for bucket series.
+    let plain = if escaped.is_empty() {
+        String::new()
+    } else {
+        let body: Vec<String> =
+            escaped.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+        format!("{{{}}}", body.join(","))
+    };
+    let bucket_prefix: String =
+        escaped.iter().map(|(k, v)| format!("{k}=\"{v}\",")).collect();
     let mut out = String::new();
     for (name, value) in &snapshot.counters {
         let m = prometheus_name(name);
         let _ = writeln!(out, "# TYPE maqs_{m} counter");
-        let _ = writeln!(out, "maqs_{m} {value}");
+        let _ = writeln!(out, "maqs_{m}{plain} {value}");
     }
     for (name, h) in &snapshot.histograms {
         let m = prometheus_name(name);
@@ -69,11 +101,11 @@ pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
         let mut cumulative = 0u64;
         for (bound, count) in &h.buckets {
             cumulative += count;
-            let _ = writeln!(out, "maqs_{m}_bucket{{le=\"{bound}\"}} {cumulative}");
+            let _ = writeln!(out, "maqs_{m}_bucket{{{bucket_prefix}le=\"{bound}\"}} {cumulative}");
         }
-        let _ = writeln!(out, "maqs_{m}_bucket{{le=\"+Inf\"}} {}", h.count);
-        let _ = writeln!(out, "maqs_{m}_sum {}", h.sum_us);
-        let _ = writeln!(out, "maqs_{m}_count {}", h.count);
+        let _ = writeln!(out, "maqs_{m}_bucket{{{bucket_prefix}le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "maqs_{m}_sum{plain} {}", h.sum_us);
+        let _ = writeln!(out, "maqs_{m}_count{plain} {}", h.count);
         let _ = writeln!(out, "# maqs_{m} quantiles: {}", quantile_line(h));
     }
     out
@@ -443,6 +475,32 @@ mod tests {
         assert!(text.contains("maqs_orb_roundtrip_us_count 3"));
         // p99 rank lands in overflow: reported honestly.
         assert!(text.contains("p99=>=5000"), "{text}");
+    }
+
+    #[test]
+    fn labeled_exposition_carries_labels_on_every_series() {
+        let text = prometheus_text_labeled(
+            &seeded_snapshot(),
+            &[("node", "w3"), ("object", "kv")],
+        );
+        assert!(text.contains("maqs_orb_requests_sent{node=\"w3\",object=\"kv\"} 4"));
+        assert!(text.contains(
+            "maqs_orb_roundtrip_us_bucket{node=\"w3\",object=\"kv\",le=\"100\"} 1"
+        ));
+        assert!(text.contains(
+            "maqs_orb_roundtrip_us_bucket{node=\"w3\",object=\"kv\",le=\"+Inf\"} 3"
+        ));
+        assert!(text.contains("maqs_orb_roundtrip_us_sum{node=\"w3\",object=\"kv\"} 9200"));
+        assert!(text.contains("maqs_orb_roundtrip_us_count{node=\"w3\",object=\"kv\"} 3"));
+        // Label values are escaped; names are sanitized.
+        let tricky = prometheus_text_labeled(&seeded_snapshot(), &[("no.de", "a\"b")]);
+        assert!(tricky.contains("maqs_orb_requests_sent{no_de=\"a\\\"b\"} 4"));
+    }
+
+    #[test]
+    fn empty_label_set_is_byte_identical_to_unlabeled() {
+        let s = seeded_snapshot();
+        assert_eq!(prometheus_text(&s), prometheus_text_labeled(&s, &[]));
     }
 
     #[test]

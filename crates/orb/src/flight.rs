@@ -15,6 +15,7 @@
 //! [`FlightRecorder::dump`], freezing the current ring contents into a
 //! retained [`FlightDump`] so the evidence survives further traffic.
 
+use crate::clock;
 use crate::sync::{LockRank, OrderedMutex};
 use crate::any::Any;
 use crate::error::OrbError;
@@ -23,7 +24,6 @@ use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
-use std::time::Instant;
 
 /// Default ring capacity ([`crate::core::OrbConfig::flight_capacity`]).
 pub const DEFAULT_FLIGHT_CAPACITY: usize = 1024;
@@ -59,10 +59,12 @@ pub enum FlightEventKind {
     WireFailover,
     WireBackpressureShed,
     WireConnReset,
+    TelemetryScrape,
+    SloAlert,
 }
 
 /// Number of [`FlightEventKind`] variants (size of the counter table).
-const KIND_COUNT: usize = 19;
+const KIND_COUNT: usize = 21;
 
 /// All kinds, index-aligned with [`FlightEventKind::index`].
 const ALL_KINDS: [FlightEventKind; KIND_COUNT] = [
@@ -85,6 +87,8 @@ const ALL_KINDS: [FlightEventKind; KIND_COUNT] = [
     FlightEventKind::WireFailover,
     FlightEventKind::WireBackpressureShed,
     FlightEventKind::WireConnReset,
+    FlightEventKind::TelemetryScrape,
+    FlightEventKind::SloAlert,
 ];
 
 impl FlightEventKind {
@@ -110,6 +114,8 @@ impl FlightEventKind {
             FlightEventKind::WireFailover => "wire_failover",
             FlightEventKind::WireBackpressureShed => "wire_backpressure_shed",
             FlightEventKind::WireConnReset => "wire_conn_reset",
+            FlightEventKind::TelemetryScrape => "telemetry_scrape",
+            FlightEventKind::SloAlert => "slo_alert",
         }
     }
 
@@ -226,7 +232,11 @@ struct Slot {
 struct Inner {
     id: u64,
     node: Arc<str>,
-    epoch: Instant,
+    /// Coarse-clock reading at recorder creation; event `ts_us` values
+    /// are coarse readings relative to this, so timestamping costs one
+    /// atomic load instead of a `clock_gettime` per event. Sub-tick
+    /// ordering is carried by `seq`, not `ts_us`.
+    epoch_us: u64,
     capacity: usize,
     seq: AtomicU64,
     counts: [AtomicU64; KIND_COUNT],
@@ -286,7 +296,7 @@ impl FlightRecorder {
             inner: Arc::new(Inner {
                 id: NEXT_RECORDER_ID.fetch_add(1, Ordering::Relaxed),
                 node: node.into(),
-                epoch: Instant::now(),
+                epoch_us: clock::coarse_refresh_us(),
                 capacity,
                 seq: AtomicU64::new(0),
                 counts: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -337,7 +347,7 @@ impl FlightRecorder {
         self.inner.counts[kind.index()].fetch_add(1, Ordering::Relaxed);
         let event = FlightEvent {
             seq: 0, // assigned when the batch lands in the ring
-            ts_us: self.inner.epoch.elapsed().as_micros() as u64,
+            ts_us: clock::coarse_now_us().saturating_sub(self.inner.epoch_us),
             kind,
             trace_id,
             node: Arc::clone(&self.inner.node),
@@ -397,6 +407,30 @@ impl FlightRecorder {
         ring.iter().skip(skip).cloned().collect()
     }
 
+    /// Every ring event with sequence number ≥ `seq` (oldest first),
+    /// after flushing staged events.
+    ///
+    /// This is the poller's cursor primitive: start the cursor at 0,
+    /// and after each poll advance it to `last.seq + 1`. Consecutive
+    /// polls then return exactly the events recorded in between —
+    /// nothing re-shipped, and nothing missed unless the ring
+    /// overwrote it first (detectable: the first returned event's `seq`
+    /// jumps past the cursor).
+    pub fn since(&self, seq: u64) -> Vec<FlightEvent> {
+        self.flush();
+        let ring = self.inner.ring.lock();
+        let start = ring.partition_point(|e| e.seq < seq);
+        ring.iter().skip(start).cloned().collect()
+    }
+
+    /// The sequence number the next recorded event will receive. A
+    /// cursor initialised here observes everything from this moment on
+    /// and none of the backlog; a cursor initialised to 0 replays
+    /// whatever backlog the ring still holds first.
+    pub fn next_seq(&self) -> u64 {
+        self.inner.seq.load(Ordering::Relaxed)
+    }
+
     /// Cumulative number of events of `kind` ever recorded (not bounded
     /// by the ring: counting survives overwrites).
     pub fn count(&self, kind: FlightEventKind) -> u64 {
@@ -418,7 +452,7 @@ impl FlightRecorder {
         let dump = FlightDump {
             reason: reason.to_string(),
             node: Arc::clone(&self.inner.node),
-            at_us: self.inner.epoch.elapsed().as_micros() as u64,
+            at_us: clock::coarse_refresh_us().saturating_sub(self.inner.epoch_us),
             events,
         };
         let mut dumps = self.inner.dumps.lock();
@@ -507,6 +541,39 @@ mod tests {
             r.record(FlightEventKind::RequestSent, "orb.client", None);
         }
         assert_eq!(r.dumps()[0].events.len(), 1);
+    }
+
+    #[test]
+    fn since_cursor_neither_reships_nor_misses() {
+        let r = rec(64);
+        for i in 0..5 {
+            r.record(FlightEventKind::RequestSent, "orb.client", Some(i));
+        }
+        let first = r.since(0);
+        assert_eq!(first.len(), 5, "cursor 0 replays the backlog");
+        let mut cursor = first.last().unwrap().seq + 1;
+        assert!(r.since(cursor).is_empty(), "nothing new, nothing re-shipped");
+        for i in 5..8 {
+            r.record(FlightEventKind::ReplyMatched, "orb.client", Some(i));
+        }
+        let next = r.since(cursor);
+        assert_eq!(next.len(), 3, "exactly the events recorded since");
+        assert!(next.iter().all(|e| e.kind == FlightEventKind::ReplyMatched));
+        cursor = next.last().unwrap().seq + 1;
+        assert_eq!(cursor, r.next_seq());
+    }
+
+    #[test]
+    fn since_detects_ring_overwrite_as_a_seq_gap() {
+        let r = rec(4);
+        r.record(FlightEventKind::RequestSent, "orb.client", None);
+        let cursor = r.since(0).last().unwrap().seq + 1;
+        for _ in 0..10 {
+            r.record(FlightEventKind::RequestSent, "orb.client", None);
+        }
+        let got = r.since(cursor);
+        assert_eq!(got.len(), 4, "only what the ring still holds");
+        assert!(got[0].seq > cursor, "the gap is visible to the poller");
     }
 
     #[test]

@@ -171,6 +171,63 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Fold `other` into `self`, bucket by bucket.
+    ///
+    /// This is the fleet-merge primitive: histograms recorded on
+    /// different nodes share the fixed [`BUCKET_BOUNDS_US`] ladder, so
+    /// merging is exact at bucket granularity — counts add, `sum_us`
+    /// adds, `max_us` takes the max — and quantiles computed over the
+    /// merged histogram are within one bucket boundary of what a single
+    /// registry observing every sample would report. Buckets are aligned
+    /// by bound, so snapshots from older ladders (missing or extra
+    /// bounds) still merge: unmatched bounds are appended in order.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for &(bound, count) in &other.buckets {
+            match self.buckets.iter_mut().find(|(b, _)| *b == bound) {
+                Some((_, mine)) => *mine += count,
+                None => {
+                    self.buckets.push((bound, count));
+                    self.buckets.sort_by_key(|&(b, _)| b);
+                }
+            }
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// The observations recorded since `earlier`, assuming `earlier` is a
+    /// prior snapshot of the same (cumulative) histogram.
+    ///
+    /// Per-bucket counts, `count`, `sum_us` and `overflow` subtract with
+    /// saturation, so a reset or restarted peer (counts went *down*)
+    /// degrades to treating the current snapshot as the delta rather
+    /// than panicking or producing garbage negatives. `max_us` is kept
+    /// from `self`: a cumulative max cannot be windowed, and callers of
+    /// delta data should treat it as "max seen so far".
+    pub fn saturating_delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .map(|&(bound, count)| {
+                let prior = earlier
+                    .buckets
+                    .iter()
+                    .find(|(b, _)| *b == bound)
+                    .map_or(0, |(_, c)| *c);
+                (bound, count.saturating_sub(prior))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum_us: self.sum_us.saturating_sub(earlier.sum_us),
+            max_us: self.max_us,
+            buckets,
+            overflow: self.overflow.saturating_sub(earlier.overflow),
+        }
+    }
+
     /// Estimate the `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
     /// within the bucket the quantile rank falls into.
     ///
@@ -241,6 +298,63 @@ impl MetricsSnapshot {
     /// Histogram `name`, if it has recorded anything.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Fold `other` into `self`: counters with the same name add, and
+    /// histograms with the same name merge via
+    /// [`HistogramSnapshot::merge`]. Names unique to `other` are
+    /// inserted. Sort order is preserved, so merged snapshots remain
+    /// valid inputs for the exporters and for further merging — this is
+    /// how the telemetry aggregator builds a fleet-level snapshot out of
+    /// per-node scrapes.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, value) in &other.counters {
+            match self.counters.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => *mine += value,
+                None => {
+                    self.counters.push((name.clone(), *value));
+                    self.counters.sort();
+                }
+            }
+        }
+        for (name, hist) in &other.histograms {
+            match self.histograms.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => mine.merge(hist),
+                None => {
+                    self.histograms.push((name.clone(), hist.clone()));
+                    self.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+                }
+            }
+        }
+    }
+
+    /// What was recorded between `earlier` and `self`, assuming both are
+    /// snapshots of the same cumulative registry (`earlier` first).
+    ///
+    /// Counters subtract with saturation and histograms use
+    /// [`HistogramSnapshot::saturating_delta`], so a peer that restarted
+    /// (values went backwards) yields its full current snapshot as the
+    /// window rather than nonsense. Names absent from `earlier` appear
+    /// with their full value; names absent from `self` (a registry never
+    /// shrinks, but a restarted peer's might) are dropped.
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(n, v)| (n.clone(), v.saturating_sub(earlier.counter(n))))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(n, h)| {
+                let windowed = match earlier.histogram(n) {
+                    Some(prior) => h.saturating_delta(prior),
+                    None => h.clone(),
+                };
+                (n.clone(), windowed)
+            })
+            .collect();
+        MetricsSnapshot { counters, histograms }
     }
 
     /// Whether `self` is a monotone successor of `earlier`: every counter
@@ -345,6 +459,88 @@ mod tests {
         let late = m.snapshot();
         assert!(late.dominates(&early));
         assert!(!early.dominates(&late));
+    }
+
+    #[test]
+    fn histograms_merge_bucket_exact() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        let reference = MetricsRegistry::new();
+        for us in [3, 40, 90, 700] {
+            a.observe_us("lat", us);
+            reference.observe_us("lat", us);
+        }
+        for us in [7, 90, 4_000, 9_999] {
+            b.observe_us("lat", us);
+            reference.observe_us("lat", us);
+        }
+        let mut merged = a.snapshot().histogram("lat").unwrap().clone();
+        merged.merge(b.snapshot().histogram("lat").unwrap());
+        // Same fixed ladder on both sides: the merge is exactly the
+        // histogram a single registry would have produced.
+        assert_eq!(&merged, reference.snapshot().histogram("lat").unwrap());
+    }
+
+    #[test]
+    fn snapshots_merge_counters_and_new_names() {
+        let a = MetricsRegistry::new();
+        a.add("shared", 3);
+        a.incr("only_a");
+        a.observe_us("h_a", 10);
+        let b = MetricsRegistry::new();
+        b.add("shared", 4);
+        b.incr("only_b");
+        b.observe_us("h_a", 20);
+        b.observe_us("h_b", 30);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counter("shared"), 7);
+        assert_eq!(merged.counter("only_a"), 1);
+        assert_eq!(merged.counter("only_b"), 1);
+        assert_eq!(merged.histogram("h_a").unwrap().count, 2);
+        assert_eq!(merged.histogram("h_b").unwrap().count, 1);
+        // Still sorted: merged output must stay exporter-valid.
+        assert!(merged.counters.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(merged.histograms.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn delta_since_windows_a_cumulative_registry() {
+        let m = MetricsRegistry::new();
+        m.add("c", 5);
+        m.observe_us("h", 40);
+        let early = m.snapshot();
+        m.add("c", 2);
+        m.observe_us("h", 90);
+        m.observe_us("h", 90);
+        let late = m.snapshot();
+        let delta = late.delta_since(&early);
+        assert_eq!(delta.counter("c"), 2);
+        let h = delta.histogram("h").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum_us, 180);
+        assert_eq!(h.buckets.iter().find(|(b, _)| *b == 100).unwrap().1, 2);
+        assert_eq!(h.buckets.iter().find(|(b, _)| *b == 50).unwrap().1, 0);
+    }
+
+    #[test]
+    fn delta_since_survives_a_peer_reset() {
+        let before = MetricsRegistry::new();
+        before.add("c", 100);
+        before.observe_us("h", 10);
+        before.observe_us("h", 10);
+        // The peer restarted: its registry begins again from zero.
+        let after = MetricsRegistry::new();
+        after.add("c", 3);
+        after.observe_us("h", 20);
+        let delta = after.snapshot().delta_since(&before.snapshot());
+        // Saturation degrades to "the full current value", never a
+        // wrapped negative.
+        assert_eq!(delta.counter("c"), 0); // 3.saturating_sub(100)
+        assert_eq!(delta.histogram("h").unwrap().count, 0);
+        let fresh = after.snapshot().delta_since(&MetricsSnapshot::default());
+        assert_eq!(fresh.counter("c"), 3);
+        assert_eq!(fresh.histogram("h").unwrap().count, 1);
     }
 
     #[test]

@@ -40,6 +40,8 @@
 //! | 144 | `AccountingTariffs` | tariff table (read while usage is held) | `services::accounting` |
 //! | 150 | `AdaptationEvents` | adaptation event log | `services::adaptation` |
 //! | 160 | `IntrospectionBindings` | introspection bindings provider | `services::introspection` |
+//! | 164 | `TelemetryState` | aggregator node/ring/SLO state | `services::telemetry` |
+//! | 168 | `SloHandlers` | SLO alert-handler list | `services::telemetry` |
 //! | 200 | `BindingRegistry` | object-key → QoS binding map | `weaver::binding` |
 //! | 210 | `MediatorFactories` | mediator factory registry | `weaver::registry` |
 //! | 220 | `WovenState` | woven-skeleton server chain | `weaver::skeleton` |
@@ -114,6 +116,8 @@ pub enum LockRank {
     AccountingTariffs = 144,
     AdaptationEvents = 150,
     IntrospectionBindings = 160,
+    TelemetryState = 164,
+    SloHandlers = 168,
     BindingRegistry = 200,
     MediatorFactories = 210,
     WovenState = 220,
@@ -168,6 +172,8 @@ impl LockRank {
         (144, "AccountingTariffs", "services::accounting"),
         (150, "AdaptationEvents", "services::adaptation"),
         (160, "IntrospectionBindings", "services::introspection"),
+        (164, "TelemetryState", "services::telemetry"),
+        (168, "SloHandlers", "services::telemetry"),
         (200, "BindingRegistry", "weaver::binding"),
         (210, "MediatorFactories", "weaver::registry"),
         (220, "WovenState", "weaver::skeleton"),

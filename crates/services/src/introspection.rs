@@ -2,11 +2,13 @@
 //!
 //! Every [`crate::negotiation`]-era service exposes *control* over QoS;
 //! this one exposes *visibility*. An [`IntrospectionServant`] activated
-//! under the well-known [`INTROSPECTION_KEY`] answers four operations —
-//! `metrics_snapshot`, `flight_tail`, `health`, and `bindings` — so any
-//! peer can pull a node's request-path metrics, the recent flight
-//! recorder timeline, liveness counters, and the woven-deployment shape
-//! through plain GIOP requests, with no side channel. The client half
+//! under the well-known [`INTROSPECTION_KEY`] answers `metrics_snapshot`,
+//! `flight_tail`, `flight_since`, `health`, `wire_health`, `bindings`,
+//! and `agreements` — so any peer can pull a node's request-path
+//! metrics, the flight-recorder timeline (tail or cursor-windowed),
+//! liveness counters, wire connection states, the woven-deployment
+//! shape, and the live negotiated agreements through plain GIOP
+//! requests, with no side channel. The client half
 //! ([`Introspector`]) mirrors [`crate::negotiation::Negotiator`]: a thin
 //! helper that builds the well-known IOR and decodes the Any replies.
 //!
@@ -20,6 +22,8 @@ use std::sync::Arc;
 use netsim::NodeId;
 use orb::export::{snapshot_from_any, snapshot_to_any};
 use orb::{Any, FlightEvent, MetricsSnapshot, Orb, OrbError, Servant};
+
+use crate::negotiation::Agreement;
 
 /// Well-known object key the introspection servant is activated under.
 pub const INTROSPECTION_KEY: &str = "introspection";
@@ -158,23 +162,41 @@ impl Health {
 /// decoupled from the weaver.
 pub type BindingsProvider = Arc<dyn Fn() -> Vec<BindingInfo> + Send + Sync>;
 
+/// Supplies the `agreements` reply: the deployment layer closes over its
+/// [`crate::negotiation::NegotiationServant`] so this service stays
+/// decoupled from negotiation the same way it is from the weaver.
+pub type AgreementsProvider = Arc<dyn Fn() -> Vec<Agreement> + Send + Sync>;
+
 /// The server half: answers introspection requests from the node's own
 /// ORB state. Activate under [`INTROSPECTION_KEY`].
 pub struct IntrospectionServant {
     orb: Orb,
     bindings: OrderedRwLock<Option<BindingsProvider>>,
+    // Same rank as `bindings`: the two provider cells are independent
+    // leaves, never held together.
+    agreements: OrderedRwLock<Option<AgreementsProvider>>,
 }
 
 impl IntrospectionServant {
     /// A servant reporting on `orb`.
     pub fn new(orb: Orb) -> IntrospectionServant {
-        IntrospectionServant { orb, bindings: OrderedRwLock::new(LockRank::IntrospectionBindings, None) }
+        IntrospectionServant {
+            orb,
+            bindings: OrderedRwLock::new(LockRank::IntrospectionBindings, None),
+            agreements: OrderedRwLock::new(LockRank::IntrospectionBindings, None),
+        }
     }
 
     /// Install (or replace) the `bindings` provider. Without one, the
     /// `bindings` operation reports an empty deployment.
     pub fn set_bindings_provider(&self, provider: BindingsProvider) {
         *self.bindings.write() = Some(provider);
+    }
+
+    /// Install (or replace) the `agreements` provider. Without one, the
+    /// `agreements` operation reports no live agreements.
+    pub fn set_agreements_provider(&self, provider: AgreementsProvider) {
+        *self.agreements.write() = Some(provider);
     }
 
     fn health(&self) -> Health {
@@ -212,6 +234,17 @@ impl Servant for IntrospectionServant {
                     self.orb.flight().tail(n).iter().map(FlightEvent::to_any).collect(),
                 ))
             }
+            "flight_since" => {
+                let seq = args.first().and_then(Any::as_i64).ok_or_else(|| {
+                    OrbError::BadParam("flight_since(seq) needs a cursor".to_string())
+                })?;
+                let seq = u64::try_from(seq).map_err(|_| {
+                    OrbError::BadParam(format!("flight_since({seq}): negative cursor"))
+                })?;
+                Ok(Any::Sequence(
+                    self.orb.flight().since(seq).iter().map(FlightEvent::to_any).collect(),
+                ))
+            }
             "health" => Ok(self.health().to_any()),
             "wire_health" => Ok(Any::Sequence(
                 self.orb
@@ -233,6 +266,11 @@ impl Servant for IntrospectionServant {
                 let provider = self.bindings.read().clone();
                 let infos = provider.map(|p| p()).unwrap_or_default();
                 Ok(Any::Sequence(infos.iter().map(BindingInfo::to_any).collect()))
+            }
+            "agreements" => {
+                let provider = self.agreements.read().clone();
+                let live = provider.map(|p| p()).unwrap_or_default();
+                Ok(Any::Sequence(live.iter().map(Agreement::to_any).collect()))
             }
             other => Err(OrbError::BadOperation(other.to_string())),
         }
@@ -278,6 +316,26 @@ impl Introspector {
         reply
             .as_sequence()
             .ok_or_else(|| OrbError::BadParam("flight_tail: non-sequence reply".to_string()))?
+            .iter()
+            .map(FlightEvent::from_any)
+            .collect()
+    }
+
+    /// Every flight event on `server` with sequence number ≥ `seq`
+    /// (oldest first) — the cursor-based poll primitive. Start the
+    /// cursor at 0, then advance it to `last.seq + 1` after each poll:
+    /// consecutive polls neither re-ship nor miss events (a ring
+    /// overwrite shows up as a gap in the first returned `seq`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates remote failures and decode errors.
+    pub fn flight_since(&self, server: NodeId, seq: u64) -> Result<Vec<FlightEvent>, OrbError> {
+        let reply =
+            self.orb.invoke(&Self::ior(server), "flight_since", &[Any::ULongLong(seq)])?;
+        reply
+            .as_sequence()
+            .ok_or_else(|| OrbError::BadParam("flight_since: non-sequence reply".to_string()))?
             .iter()
             .map(FlightEvent::from_any)
             .collect()
@@ -335,6 +393,22 @@ impl Introspector {
             .map(BindingInfo::from_any)
             .collect()
     }
+
+    /// The live negotiated agreements on `server`, sorted by id — what
+    /// the telemetry plane turns into SLO objectives.
+    ///
+    /// # Errors
+    ///
+    /// Propagates remote failures and decode errors.
+    pub fn agreements(&self, server: NodeId) -> Result<Vec<Agreement>, OrbError> {
+        let reply = self.orb.invoke(&Self::ior(server), "agreements", &[])?;
+        reply
+            .as_sequence()
+            .ok_or_else(|| OrbError::BadParam("agreements: non-sequence reply".to_string()))?
+            .iter()
+            .map(Agreement::from_any)
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -365,7 +439,7 @@ mod tests {
     }
 
     #[test]
-    fn servant_answers_all_four_operations_locally() {
+    fn servant_answers_every_operation_locally() {
         let net = Network::new(1);
         let orb = Orb::start(&net, "solo");
         let servant = IntrospectionServant::new(orb.clone());
@@ -388,6 +462,38 @@ mod tests {
         );
         let tail = servant.dispatch("flight_tail", &[Any::ULongLong(8)]).unwrap();
         assert!(!tail.as_sequence().unwrap().is_empty());
+
+        let all = servant.dispatch("flight_since", &[Any::ULongLong(0)]).unwrap();
+        let events: Vec<FlightEvent> = all
+            .as_sequence()
+            .unwrap()
+            .iter()
+            .map(|v| FlightEvent::from_any(v).unwrap())
+            .collect();
+        assert!(!events.is_empty());
+        let cursor = events.last().unwrap().seq + 1;
+        let none = servant.dispatch("flight_since", &[Any::ULongLong(cursor)]).unwrap();
+        assert!(none.as_sequence().unwrap().is_empty(), "cursor past the end is empty");
+
+        servant.set_agreements_provider(Arc::new(|| {
+            vec![Agreement {
+                id: 9,
+                object: "bank".to_string(),
+                characteristic: "Replication".to_string(),
+                params: vec![("deadline_ms".to_string(), Any::ULongLong(5))],
+                version: 1,
+            }]
+        }));
+        let live = servant.dispatch("agreements", &[]).unwrap();
+        let decoded: Vec<Agreement> = live
+            .as_sequence()
+            .unwrap()
+            .iter()
+            .map(|v| Agreement::from_any(v).unwrap())
+            .collect();
+        assert_eq!(decoded.len(), 1);
+        assert_eq!(decoded[0].id, 9);
+        assert_eq!(decoded[0].params[0].0, "deadline_ms");
 
         let health = Health::from_any(&servant.dispatch("health", &[]).unwrap()).unwrap();
         assert_eq!(health.node, "solo");

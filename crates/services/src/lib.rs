@@ -25,6 +25,9 @@
 //! * [`introspection`] — the telemetry plane served over the ORB:
 //!   metrics snapshots, flight-recorder tails, health counters and the
 //!   woven-deployment shape, answerable from any peer via GIOP;
+//! * [`telemetry`] — the cluster aggregator on top of introspection:
+//!   fleet-wide scrape, histogram merge, time-series retention, and
+//!   agreement-derived SLO burn-rate alerting;
 //! * [`catalog`] — the §6 pattern-style catalog documenting QoS
 //!   characteristics for application developers and QoS implementors,
 //!   with reusable-mechanism cross references.
@@ -40,6 +43,7 @@ pub mod introspection;
 pub mod monitoring;
 pub mod naming;
 pub mod negotiation;
+pub mod telemetry;
 pub mod trading;
 
 pub use accounting::{Accountant, Invoice, PriceModel};
@@ -54,4 +58,8 @@ pub use introspection::{
 pub use monitoring::{Monitor, Observation, ViolationEvent};
 pub use naming::{bind_name, resolve_name, NamingService, NAMING_KEY};
 pub use negotiation::{Agreement, NegotiationServant, Negotiator, NEGOTIATOR_KEY};
+pub use telemetry::{
+    FleetSample, NodeSample, ScrapeDriver, SloAlert, SloAlertHandler, SloConfig, SloKind,
+    SloObjective, SloStatus, TelemetryAggregator, TelemetryConfig,
+};
 pub use trading::{ServiceOffer, Trader, TRADER_KEY};

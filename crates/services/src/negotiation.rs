@@ -55,7 +55,9 @@ impl Agreement {
         ctx.with_param("_agreement_id", Any::ULongLong(self.id))
     }
 
-    fn to_any(&self) -> Any {
+    /// Encode as a self-describing [`Any`] — the wire form returned by
+    /// the negotiation and introspection servants.
+    pub fn to_any(&self) -> Any {
         Any::Struct(
             "Agreement".to_string(),
             vec![
@@ -71,7 +73,13 @@ impl Agreement {
         )
     }
 
-    fn from_any(v: &Any) -> Result<Agreement, OrbError> {
+    /// Decode the [`Agreement::to_any`] wire form.
+    ///
+    /// # Errors
+    ///
+    /// [`OrbError::Marshal`] on missing fields or a malformed params
+    /// struct.
+    pub fn from_any(v: &Any) -> Result<Agreement, OrbError> {
         let field = |name: &str| {
             v.field(name)
                 .cloned()
@@ -167,6 +175,16 @@ impl NegotiationServant {
     /// Number of live agreements.
     pub fn live_agreements(&self) -> usize {
         self.agreements.read().len()
+    }
+
+    /// Every live agreement, sorted by id. This is what the
+    /// introspection servant's `agreements` operation ships to the
+    /// telemetry plane, where each agreement's parameters become SLO
+    /// objectives.
+    pub fn agreements(&self) -> Vec<Agreement> {
+        let mut out: Vec<Agreement> = self.agreements.read().values().cloned().collect();
+        out.sort_by_key(|a| a.id);
+        out
     }
 
     /// Attach a [`Monitor`]: from now on every concluded (or

@@ -17,6 +17,13 @@
 //! IOR's endpoint profile (see `examples/tcp_server.rs`): it drives a
 //! little load at the served object, then renders the same panes from
 //! introspection pulled over real loopback TCP.
+//!
+//! With `--cluster` it renders the fleet view instead: a
+//! [`services::TelemetryAggregator`] scrapes a simulated 4-worker
+//! cluster, merges per-node histograms into fleet distributions, and
+//! evaluates SLO burn rates derived from the negotiated deadline
+//! agreements — one worker is deliberately slow, so the alert pane has
+//! something to fire about.
 
 use maqs::prelude::*;
 use maqs::report::render_flight_human;
@@ -32,6 +39,27 @@ impl Servant for Kv {
         "IDL:Kv:1.0"
     }
     fn dispatch(&self, op: &str, args: &[Any]) -> Result<Any, OrbError> {
+        match op {
+            "put" => {
+                *self.0.lock() = args.first().and_then(Any::as_i64).unwrap_or(0);
+                Ok(Any::Void)
+            }
+            "get" => Ok(Any::LongLong(*self.0.lock())),
+            _ => Err(OrbError::BadOperation(op.to_string())),
+        }
+    }
+}
+
+/// A `Kv` that burns ~8ms per request — the cluster view's victim,
+/// comfortably past the 5ms deadline its agreement promises.
+struct SlowKv(parking_lot::Mutex<i64>);
+
+impl Servant for SlowKv {
+    fn interface_id(&self) -> &str {
+        "IDL:Kv:1.0"
+    }
+    fn dispatch(&self, op: &str, args: &[Any]) -> Result<Any, OrbError> {
+        std::thread::sleep(std::time::Duration::from_millis(8));
         match op {
             "put" => {
                 *self.0.lock() = args.first().and_then(Any::as_i64).unwrap_or(0);
@@ -135,11 +163,137 @@ fn attach(target: &str) {
     println!("\nok.");
 }
 
+/// The `--cluster` mode: the fleet dashboard over the telemetry plane.
+fn cluster() {
+    use netsim::VirtualDuration;
+    use services::{SloConfig, TelemetryAggregator, TelemetryConfig};
+
+    let net = Network::new(29);
+    let mut workers = Vec::new();
+    for i in 0..4u32 {
+        let node =
+            MaqsNode::builder(&net, &format!("w{i}")).spec(KV_SPEC).build().expect("worker");
+        let servant: Arc<dyn Servant> = if i == 2 {
+            Arc::new(SlowKv(parking_lot::Mutex::new(0)))
+        } else {
+            Arc::new(Kv(parking_lot::Mutex::new(0)))
+        };
+        let ior = node
+            .serve(
+                "kv",
+                servant,
+                ServeOptions::interface("Kv")
+                    .qos_impl(Arc::new(qosmech::replication::ReplicationQosImpl::new()))
+                    .capacity("Replication", 4),
+            )
+            .expect("serve kv");
+        workers.push((node, ior));
+    }
+    let ops = MaqsNode::builder(&net, "ops").build().expect("ops");
+
+    // Negotiate a 5ms deadline with every worker. Those agreements —
+    // scraped back over introspection — are what the aggregator turns
+    // into SLO objectives; nothing below names the victim explicitly.
+    for (node, _) in &workers {
+        ops.negotiator()
+            .negotiate_offer(
+                node.orb().node(),
+                "kv",
+                &Offer::new("Replication", 1.0).with_param("deadline_ms", Any::ULongLong(5)),
+            )
+            .expect("negotiate deadline");
+    }
+
+    let clock_net = net.clone();
+    let agg = TelemetryAggregator::new(
+        ops.orb().clone(),
+        TelemetryConfig {
+            scrape_interval_ms: 0, // frames drive scrapes: deterministic
+            slo: SloConfig { min_samples: 4, ..SloConfig::default() },
+            ..TelemetryConfig::default()
+        },
+    )
+    // Ring timestamps and burn windows run on netsim virtual time.
+    .with_clock(Arc::new(move || clock_net.fault_now().0 / 1_000));
+    let fleet: Vec<NodeId> = workers.iter().map(|(n, _)| n.orb().node()).collect();
+    agg.watch_all(&fleet);
+
+    println!("== maqs-top --cluster: fleet telemetry plane ==");
+    for frame in 1..=4u32 {
+        for (_, ior) in &workers {
+            let stub = ops.stub(ior);
+            for i in 0..6i64 {
+                stub.invoke("put", &[Any::LongLong(i)]).expect("put");
+            }
+        }
+        net.tick(VirtualDuration::from_secs(15));
+        let alerts = agg.scrape_once();
+
+        println!("\n--- frame {frame}/4 (virtual t+{}s) ---", net.fault_now().0 / 1_000_000_000);
+        println!("{:<6} {:>3} {:>9} {:>6}  latency (delta)", "node", "up", "requests", "errs");
+        if let Some(sample) = agg.samples().last() {
+            for ns in &sample.nodes {
+                let latency = ns
+                    .delta
+                    .histogram("object.kv.latency_us")
+                    .map_or_else(|| "n/a".to_string(), quantile_line);
+                println!(
+                    "{:<6} {:>3} {:>9} {:>6}  {}",
+                    ns.name,
+                    if ns.up { "yes" } else { "NO" },
+                    ns.delta.counter("object.kv.requests"),
+                    ns.delta.counter("object.kv.errors"),
+                    latency
+                );
+            }
+        }
+        for alert in &alerts {
+            println!("  !! {alert}");
+        }
+    }
+
+    // Fleet-level panes: the merged latency distribution (bucket-exact
+    // across nodes), every objective's burn state, and the labeled
+    // exposition a fleet Prometheus endpoint would serve.
+    if let Some(h) = agg.fleet_histogram("object.kv.latency_us") {
+        println!("\nfleet object.kv.latency_us ({} obs): {}", h.count, quantile_line(&h));
+    }
+    println!("slo objectives:");
+    for status in agg.slo_status() {
+        println!(
+            "  node{} agreement#{} {}: burn short={} long={} {}",
+            status.objective.node.0,
+            status.objective.agreement_id,
+            status.objective.param,
+            status.burn_short.map_or_else(|| "n/a".to_string(), |b| format!("{b:.1}")),
+            status.burn_long.map_or_else(|| "n/a".to_string(), |b| format!("{b:.1}")),
+            if status.firing { "FIRING" } else { "ok" }
+        );
+    }
+    println!("\nfleet Prometheus exposition (object series):");
+    for line in agg.prometheus_fleet().lines().filter(|l| l.contains("object_kv")).take(8) {
+        println!("  {line}");
+    }
+
+    assert!(
+        agg.slo_status().iter().any(|s| s.firing),
+        "the slow worker must be burning its deadline budget"
+    );
+    for (node, _) in &workers {
+        node.shutdown();
+    }
+    ops.shutdown();
+    println!("\nok.");
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--attach" {
             return attach(&args.next().expect("--attach needs <maqs-ior:..|@file>"));
+        }
+        if a == "--cluster" {
+            return cluster();
         }
     }
 
@@ -163,6 +317,10 @@ fn main() {
     let echo = ops.stub(&echo_ior);
     let introspector = ops.introspector();
     let servers = [("alpha", alpha.orb().node()), ("beta", beta.orb().node())];
+    // Flight pane cursor: each frame asks alpha only for events it has
+    // not shipped yet (`flight_since`), instead of re-pulling a tail
+    // and deduplicating sequence numbers client-side.
+    let mut flight_cursor = 0u64;
 
     println!("== maqs-top: remote introspection dashboard ==");
     for frame in 1..=3u32 {
@@ -209,13 +367,16 @@ fn main() {
                 );
             }
         }
-    }
 
-    // The flight pane: the busiest node's recent lifecycle events,
-    // fetched remotely like everything else.
-    let tail = introspector.flight_tail(alpha.orb().node(), 6).expect("flight tail");
-    println!("\nalpha flight tail (last {} events):", tail.len());
-    print!("{}", render_flight_human(&tail));
+        // The flight pane: only what happened since the last frame.
+        let fresh =
+            introspector.flight_since(alpha.orb().node(), flight_cursor).expect("flight since");
+        if let Some(last) = fresh.last() {
+            flight_cursor = last.seq + 1;
+        }
+        println!("alpha flight (+{} events since last frame, tail):", fresh.len());
+        print!("{}", render_flight_human(&fresh[fresh.len().saturating_sub(4)..]));
+    }
 
     // And the scrape view: what a Prometheus endpoint for `alpha` would
     // serve, rendered from the same remote snapshot.

@@ -13,7 +13,7 @@
 //! ```
 
 use maqs::prelude::*;
-use orb::export::{chrome_trace_json, prometheus_text};
+use orb::export::{chrome_trace_json, prometheus_text, prometheus_text_labeled};
 use orb::MetricsRegistry;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -52,13 +52,23 @@ fn prometheus_exposition_is_stable() {
     m.incr("orb.requests_sent");
     m.incr("orb.requests_sent");
     m.add("wire.bytes_received", 4096);
+    // Telemetry-plane series render like any other metric.
+    m.add("telemetry.scrapes", 2);
+    m.add("slo.alerts", 1);
     for us in [30, 40, 60, 80, 120] {
         m.observe_us("orb.roundtrip_us", us);
     }
     for us in [100, 200, 9_000] {
         m.observe_us("orb.dispatch_us", us);
     }
-    check_golden(&prometheus_text(&m.snapshot()), "prometheus_exposition.txt");
+    m.observe_us("slo.burn_x100", 1_500);
+    // The fleet view renders the same snapshot with node/object labels
+    // on every series (including bucket lines); freeze both forms.
+    let snapshot = m.snapshot();
+    let mut actual = prometheus_text(&snapshot);
+    actual.push_str("# --- labeled (fleet) form ---\n");
+    actual.push_str(&prometheus_text_labeled(&snapshot, &[("node", "w0"), ("object", "kv")]));
+    check_golden(&actual, "prometheus_exposition.txt");
 }
 
 #[test]

@@ -9,8 +9,9 @@
 
 use maqs::prelude::*;
 use maqs::services::introspection::INTROSPECTION_KEY;
+use netsim::NodeId;
 use orb::export::prometheus_text;
-use orb::FlightEventKind;
+use orb::{FlightEventKind, TcpTransport, WireTransport};
 use std::sync::Arc;
 
 const SPEC: &str = r#"
@@ -104,8 +105,120 @@ fn remote_client_pulls_metrics_flight_health_and_bindings_over_giop() {
     assert_eq!(bindings[0].interface, "IDL:Counter:1.0");
     assert!(bindings[0].characteristics.iter().any(|c| c == "Replication"), "{bindings:?}");
 
+    // Cursor poll: `flight_since` ships each event exactly once across
+    // consecutive pulls — the tail-and-dedupe dance is the server's job
+    // now.
+    let first = introspector.flight_since(server_node, 0).unwrap();
+    assert!(!first.is_empty());
+    assert!(first.windows(2).all(|w| w[0].seq < w[1].seq), "since(0) ordered by seq");
+    let cursor = first.last().unwrap().seq + 1;
+    stub.invoke("bump", &[]).unwrap();
+    let fresh = introspector.flight_since(server_node, cursor).unwrap();
+    assert!(!fresh.is_empty(), "new traffic must appear after the cursor");
+    assert!(fresh.iter().all(|e| e.seq >= cursor), "{fresh:?}");
+
+    // Agreements: none negotiated yet, then exactly the one we strike.
+    assert!(introspector.agreements(server_node).unwrap().is_empty());
+    let agreement = client
+        .negotiator()
+        .negotiate_offer(
+            server_node,
+            "counter",
+            &Offer::new("Replication", 1.0).with_param("deadline_ms", Any::ULongLong(5)),
+        )
+        .unwrap();
+    let live = introspector.agreements(server_node).unwrap();
+    assert_eq!(live.len(), 1, "{live:?}");
+    assert_eq!(live[0].id, agreement.id);
+    assert_eq!(live[0].object, "counter");
+    assert_eq!(live[0].params, vec![("deadline_ms".to_string(), Any::ULongLong(5))]);
+
     server.shutdown();
     client.shutdown();
+}
+
+/// The full introspection exchange over a real socket backend: what the
+/// netsim test proves, proven again across an actual OS transport.
+fn introspection_over_sockets(server_wire: Arc<dyn WireTransport>, client_wire: Arc<dyn WireTransport>) {
+    let server = MaqsNode::builder_wire(server_wire, "server").spec(SPEC).build().unwrap();
+    let client = MaqsNode::builder_wire(client_wire, "client").build().unwrap();
+
+    let ior = server
+        .serve(
+            "counter",
+            Arc::new(Counter(parking_lot::Mutex::new(0))),
+            ServeOptions::interface("Counter")
+                .qos_impl(Arc::new(maqs::qosmech::replication::ReplicationQosImpl::new())),
+        )
+        .unwrap();
+    // Socket backends bootstrap from the IOR's endpoint profile; the
+    // introspection servant itself is reached by bare node id after.
+    client.orb().register_endpoints(&ior).unwrap();
+    let stub = client.stub(&ior);
+    for _ in 0..3 {
+        stub.invoke("bump", &[]).unwrap();
+    }
+
+    let introspector = client.introspector();
+    let health = introspector.health(ior.node).unwrap();
+    assert_eq!(health.node, "server");
+    assert!(health.requests_handled >= 3, "{health:?}");
+
+    let snapshot = introspector.metrics_snapshot(ior.node).unwrap();
+    assert!(snapshot.counter("orb.requests_handled") >= 3);
+    assert!(snapshot.histograms.iter().any(|(name, _)| name == "orb.dispatch_us"));
+
+    let since = introspector.flight_since(ior.node, 0).unwrap();
+    assert!(
+        since.iter().any(|e| e.kind == FlightEventKind::RequestDispatched),
+        "{since:?}"
+    );
+    let cursor = since.last().unwrap().seq + 1;
+    stub.invoke("bump", &[]).unwrap();
+    let fresh = introspector.flight_since(ior.node, cursor).unwrap();
+    assert!(fresh.iter().all(|e| e.seq >= cursor), "{fresh:?}");
+
+    let agreement = client
+        .negotiator()
+        .negotiate_offer(
+            ior.node,
+            "counter",
+            &Offer::new("Replication", 1.0).with_param("deadline_ms", Any::ULongLong(5)),
+        )
+        .unwrap();
+    let live = introspector.agreements(ior.node).unwrap();
+    assert_eq!(live.len(), 1, "{live:?}");
+    assert_eq!(live[0].id, agreement.id);
+
+    let bindings = introspector.bindings(ior.node).unwrap();
+    assert_eq!(bindings.len(), 1, "{bindings:?}");
+    assert_eq!(bindings[0].object, "counter");
+
+    server.shutdown();
+    client.shutdown();
+}
+
+#[test]
+fn introspection_over_tcp_loopback() {
+    let server = TcpTransport::bind(NodeId(1), "127.0.0.1:0").expect("bind server");
+    let client = TcpTransport::bind(NodeId(2), "127.0.0.1:0").expect("bind client");
+    introspection_over_sockets(Arc::new(server), Arc::new(client));
+}
+
+#[cfg(unix)]
+#[test]
+fn introspection_over_unix_sockets() {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let server_path = dir.join(format!("maqs-intro-srv-{pid}.sock"));
+    let client_path = dir.join(format!("maqs-intro-cli-{pid}.sock"));
+    let server = orb::UdsTransport::bind(NodeId(1), server_path.to_str().unwrap())
+        .expect("bind server uds");
+    let client = orb::UdsTransport::bind(NodeId(2), client_path.to_str().unwrap())
+        .expect("bind client uds");
+    introspection_over_sockets(Arc::new(server), Arc::new(client));
+    let _ = std::fs::remove_file(&server_path);
+    let _ = std::fs::remove_file(&client_path);
 }
 
 #[test]

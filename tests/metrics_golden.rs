@@ -10,6 +10,7 @@
 //! ```
 
 use maqs::prelude::*;
+use services::{SloConfig, SloKind, SloObjective, TelemetryAggregator, TelemetryConfig};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -65,6 +66,28 @@ fn request_path_metric_names_are_stable() {
     for i in 0..3 {
         assert_eq!(stub.invoke("echo", &[Any::LongLong(i)]).unwrap(), Any::LongLong(i));
     }
+
+    // The telemetry plane rides on the client node: one fleet scrape of
+    // the server plus one evaluated objective, so every `telemetry.*`
+    // and `slo.*` series the aggregator emits is frozen here too.
+    let agg = TelemetryAggregator::new(
+        client.orb().clone(),
+        TelemetryConfig { slo: SloConfig { min_samples: 1, ..SloConfig::default() }, ..TelemetryConfig::default() },
+    );
+    agg.watch(server.orb().node());
+    agg.add_objective(SloObjective {
+        node: server.orb().node(),
+        object: "echo".to_string(),
+        agreement_id: 0,
+        characteristic: "Static".to_string(),
+        param: "deadline_ms".to_string(),
+        target: 0.99,
+        kind: SloKind::Latency {
+            histogram: "object.echo.latency_us".to_string(),
+            threshold_us: 5_000,
+        },
+    });
+    agg.scrape_once();
 
     let mut actual = String::new();
     names_of(&client.metrics_snapshot(), "client", &mut actual);
